@@ -1,0 +1,134 @@
+// E2 (DESIGN.md): event-graph detection is demand-driven; per-operator
+// throughput, and cost as a function of subscriber fan-out.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.h"
+#include "detector/local_detector.h"
+
+namespace sentinel::bench {
+namespace {
+
+using detector::EventNode;
+using detector::LocalEventDetector;
+
+struct Graph {
+  LocalEventDetector det;
+  EventNode* a = nullptr;
+  EventNode* b = nullptr;
+  EventNode* c = nullptr;
+
+  Graph() {
+    a = *det.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+    b = *det.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+    c = *det.DefinePrimitive("c", "C", EventModifier::kEnd, "void fc()");
+  }
+
+  void Fire(const char* method, int v) {
+    det.Notify("C", 1, EventModifier::kEnd, method, OneIntParam(v), 1);
+  }
+};
+
+// One benchmark per operator: the canonical detecting stream, one sink in
+// RECENT context.
+void BM_Operator(benchmark::State& state) {
+  Graph g;
+  CountingSink sink;
+  const int op = static_cast<int>(state.range(0));
+  switch (op) {
+    case 0:
+      (void)g.det.DefineOr("e", g.a, g.b);
+      break;
+    case 1:
+      (void)g.det.DefineAnd("e", g.a, g.b);
+      break;
+    case 2:
+      (void)g.det.DefineSeq("e", g.a, g.b);
+      break;
+    case 3:
+      (void)g.det.DefineNot("e", g.a, g.c, g.b);
+      break;
+    case 4:
+      (void)g.det.DefineAperiodic("e", g.a, g.b, g.c);
+      break;
+    case 5:
+      (void)g.det.DefineAperiodicStar("e", g.a, g.b, g.c);
+      break;
+  }
+  (void)g.det.Subscribe("e", &sink, ParamContext::kRecent);
+  int v = 0;
+  for (auto _ : state) {
+    g.Fire("void fa()", ++v);
+    g.Fire("void fb()", ++v);
+    g.Fire("void fc()", ++v);
+    g.det.FlushAll();
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+  state.counters["detections"] = static_cast<double>(sink.count);
+  state.SetLabel(std::vector<std::string>{"OR", "AND", "SEQ", "NOT", "A",
+                                          "A*"}[static_cast<std::size_t>(op)]);
+}
+BENCHMARK(BM_Operator)->DenseRange(0, 5);
+
+// Fan-out: one primitive event with N sinks subscribed.
+void BM_SubscriberFanout(benchmark::State& state) {
+  Graph g;
+  const int fanout = static_cast<int>(state.range(0));
+  std::vector<std::unique_ptr<CountingSink>> sinks;
+  for (int i = 0; i < fanout; ++i) {
+    sinks.push_back(std::make_unique<CountingSink>());
+    (void)g.det.Subscribe("a", sinks.back().get(), ParamContext::kRecent);
+  }
+  int v = 0;
+  for (auto _ : state) {
+    g.Fire("void fa()", ++v);
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_SubscriberFanout)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// Depth: left-deep chain of AND nodes, event propagates to the root.
+void BM_ExpressionDepth(benchmark::State& state) {
+  Graph g;
+  const int depth = static_cast<int>(state.range(0));
+  EventNode* current = g.a;
+  for (int i = 0; i < depth; ++i) {
+    current = *g.det.DefineAnd("and" + std::to_string(i), current, g.b);
+  }
+  CountingSink sink;
+  (void)g.det.Subscribe(current->name(), &sink, ParamContext::kRecent);
+  int v = 0;
+  for (auto _ : state) {
+    g.Fire("void fa()", ++v);
+    g.Fire("void fb()", ++v);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["detections"] = static_cast<double>(sink.count);
+}
+BENCHMARK(BM_ExpressionDepth)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+// Demand-driven claim: cost of a notification that matches NO subscribed
+// node stays flat as unrelated (inactive) graph grows.
+void BM_InactiveGraphIsFree(benchmark::State& state) {
+  Graph g;
+  const int unrelated = static_cast<int>(state.range(0));
+  for (int i = 0; i < unrelated; ++i) {
+    auto p = g.det.DefinePrimitive("p" + std::to_string(i), "Other",
+                                   EventModifier::kEnd, "void m()");
+    (void)g.det.DefineAnd("x" + std::to_string(i), *p, g.b);
+  }
+  CountingSink sink;
+  (void)g.det.Subscribe("a", &sink, ParamContext::kRecent);
+  int v = 0;
+  for (auto _ : state) {
+    g.Fire("void fa()", ++v);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["graph_nodes"] = static_cast<double>(g.det.node_count());
+}
+BENCHMARK(BM_InactiveGraphIsFree)->Arg(0)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace sentinel::bench

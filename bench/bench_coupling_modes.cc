@@ -1,0 +1,93 @@
+// E6 (DESIGN.md): coupling modes. DEFERRED is rewritten to
+// A*(begin_txn, E, pre_commit) and executes exactly once per transaction —
+// so for M triggers per transaction, IMMEDIATE pays M rule executions while
+// DEFERRED pays M accumulations + 1 execution (the paper's net-effect
+// variant). DETACHED decouples entirely.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "bench_util.h"
+
+namespace sentinel::bench {
+namespace {
+
+using rules::CouplingMode;
+using rules::RuleManager;
+
+void RunTxn(core::ActiveDatabase* db, int triggers) {
+  auto txn = db->Begin();
+  for (int i = 0; i < triggers; ++i) {
+    FireMethod(db, "C", "void f(int v)", i, *txn);
+  }
+  (void)db->Commit(*txn);
+}
+
+void BM_TxnNoRules(benchmark::State& state) {
+  core::ActiveDatabase db;
+  (void)db.OpenInMemory();
+  (void)db.DeclareEvent("e", "C", EventModifier::kEnd, "void f(int v)");
+  const int triggers = static_cast<int>(state.range(0));
+  for (auto _ : state) RunTxn(&db, triggers);
+  state.SetItemsProcessed(state.iterations() * triggers);
+}
+BENCHMARK(BM_TxnNoRules)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_TxnImmediateRule(benchmark::State& state) {
+  core::ActiveDatabase db;
+  (void)db.OpenInMemory();
+  (void)db.DeclareEvent("e", "C", EventModifier::kEnd, "void f(int v)");
+  std::atomic<std::uint64_t> executions{0};
+  (void)db.rule_manager()->DefineRule(
+      "r", "e", nullptr,
+      [&executions](const rules::RuleContext&) { ++executions; });
+  const int triggers = static_cast<int>(state.range(0));
+  for (auto _ : state) RunTxn(&db, triggers);
+  state.SetItemsProcessed(state.iterations() * triggers);
+  state.counters["rule_execs_per_txn"] =
+      static_cast<double>(executions.load()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_TxnImmediateRule)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_TxnDeferredRule(benchmark::State& state) {
+  core::ActiveDatabase db;
+  (void)db.OpenInMemory();
+  (void)db.DeclareEvent("e", "C", EventModifier::kEnd, "void f(int v)");
+  std::atomic<std::uint64_t> executions{0};
+  RuleManager::RuleOptions options;
+  options.coupling = CouplingMode::kDeferred;
+  options.context = ParamContext::kCumulative;
+  (void)db.rule_manager()->DefineRule(
+      "r", "e", nullptr,
+      [&executions](const rules::RuleContext&) { ++executions; }, options);
+  const int triggers = static_cast<int>(state.range(0));
+  for (auto _ : state) RunTxn(&db, triggers);
+  state.SetItemsProcessed(state.iterations() * triggers);
+  state.counters["rule_execs_per_txn"] =
+      static_cast<double>(executions.load()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_TxnDeferredRule)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_TxnDetachedRule(benchmark::State& state) {
+  core::ActiveDatabase db;
+  (void)db.OpenInMemory();
+  (void)db.DeclareEvent("e", "C", EventModifier::kEnd, "void f(int v)");
+  std::atomic<std::uint64_t> executions{0};
+  RuleManager::RuleOptions options;
+  options.coupling = CouplingMode::kDetached;
+  (void)db.rule_manager()->DefineRule(
+      "r", "e", nullptr,
+      [&executions](const rules::RuleContext&) { ++executions; }, options);
+  const int triggers = static_cast<int>(state.range(0));
+  for (auto _ : state) RunTxn(&db, triggers);
+  db.scheduler()->WaitDetached();
+  state.SetItemsProcessed(state.iterations() * triggers);
+  state.counters["rule_execs"] = static_cast<double>(executions.load());
+}
+BENCHMARK(BM_TxnDetachedRule)->Arg(1)->Arg(16)->Arg(128);
+
+}  // namespace
+}  // namespace sentinel::bench

@@ -1,0 +1,108 @@
+// E7 (DESIGN.md): transaction-boundary hygiene — the cost of flushing
+// buffered partial detections at commit/abort, per-transaction vs. full vs.
+// selective per-expression flush (paper §3.2.2 item 3).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "detector/local_detector.h"
+
+namespace sentinel::bench {
+namespace {
+
+using detector::LocalEventDetector;
+
+struct FlushFixture {
+  LocalEventDetector det;
+  CountingSink sink;
+
+  FlushFixture(int expressions) {
+    auto a = det.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+    auto b = det.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+    for (int i = 0; i < expressions; ++i) {
+      (void)det.DefineAnd("e" + std::to_string(i), *a, *b);
+      (void)det.Subscribe("e" + std::to_string(i), &sink,
+                          ParamContext::kChronicle);
+    }
+  }
+
+  // Buffers `events` initiators, split across `txns` transactions.
+  void Fill(int events, int txns) {
+    for (int i = 0; i < events; ++i) {
+      det.Notify("C", 1, EventModifier::kEnd, "void fa()", OneIntParam(i),
+                 1 + (i % txns));
+    }
+  }
+};
+
+void BM_FlushTxn(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  FlushFixture fx(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fx.Fill(events, /*txns=*/4);
+    state.ResumeTiming();
+    fx.det.FlushTxn(1);  // drops ~1/4 of the buffered occurrences
+    state.PauseTiming();
+    fx.det.FlushAll();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * events / 4);
+}
+BENCHMARK(BM_FlushTxn)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_FlushAll(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  FlushFixture fx(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fx.Fill(events, 4);
+    state.ResumeTiming();
+    fx.det.FlushAll();
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_FlushAll)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_FlushSelectiveExpression(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  FlushFixture fx(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fx.Fill(events, 4);
+    state.ResumeTiming();
+    (void)fx.det.FlushEvent("e0");  // one expression's subtree only
+    state.PauseTiming();
+    fx.det.FlushAll();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * events / 4);
+}
+BENCHMARK(BM_FlushSelectiveExpression)->Arg(64)->Arg(512)->Arg(4096);
+
+// End-to-end: commit cost of a transaction whose events must be flushed by
+// the internal flush rule.
+void BM_CommitWithFlushRule(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  core::ActiveDatabase db;
+  (void)db.OpenInMemory();
+  (void)db.DeclareEvent("a", "C", EventModifier::kEnd, "void fa()");
+  (void)db.DeclareEvent("b", "C", EventModifier::kEnd, "void fb()");
+  auto a = db.detector()->Find("a");
+  auto b = db.detector()->Find("b");
+  (void)db.detector()->DefineAnd("pair", *a, *b);
+  (void)db.rule_manager()->DefineRule("r", "pair", nullptr,
+                                      [](const rules::RuleContext&) {});
+  for (auto _ : state) {
+    auto txn = db.Begin();
+    for (int i = 0; i < events; ++i) {
+      FireMethod(&db, "C", "void fa()", i, *txn);
+    }
+    (void)db.Commit(*txn);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_CommitWithFlushRule)->Arg(16)->Arg(128);
+
+}  // namespace
+}  // namespace sentinel::bench

@@ -1,0 +1,99 @@
+// E9 (DESIGN.md): global (inter-application) event detection — forwarding
+// throughput and cross-application composite detection as the number of
+// applications grows (paper Fig. 2).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "ged/global_detector.h"
+
+namespace sentinel::bench {
+namespace {
+
+struct Fleet {
+  std::vector<std::unique_ptr<core::ActiveDatabase>> apps;
+  ged::GlobalEventDetector ged;
+
+  explicit Fleet(int n) {
+    for (int i = 0; i < n; ++i) {
+      apps.push_back(std::make_unique<core::ActiveDatabase>());
+      (void)apps.back()->OpenInMemory();
+      (void)ged.RegisterApplication("app" + std::to_string(i),
+                                    apps.back().get());
+    }
+  }
+};
+
+void BM_ForwardingThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fleet fleet(n);
+  int v = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      FireMethod(fleet.apps[i].get(), "C", "void f(int v)", ++v, 1);
+    }
+    fleet.ged.WaitQuiescent();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["forwarded"] =
+      static_cast<double>(fleet.ged.forwarded_count());
+}
+BENCHMARK(BM_ForwardingThroughput)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CrossApplicationSeq(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fleet fleet(n);
+  // Chain: app0.f then app1.f then ... then app{n-1}.f
+  std::vector<detector::EventNode*> prims;
+  for (int i = 0; i < n; ++i) {
+    prims.push_back(*fleet.ged.DefineGlobalPrimitive(
+        "g" + std::to_string(i), "app" + std::to_string(i), "C",
+        EventModifier::kEnd, "void f(int v)"));
+  }
+  detector::EventNode* chain = prims[0];
+  for (int i = 1; i < n; ++i) {
+    chain = *fleet.ged.graph()->DefineSeq("seq" + std::to_string(i), chain,
+                                          prims[i]);
+  }
+  CountingSink sink;
+  (void)fleet.ged.Subscribe(chain->name(), &sink, ParamContext::kChronicle);
+  int v = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      FireMethod(fleet.apps[i].get(), "C", "void f(int v)", ++v, 1);
+    }
+    fleet.ged.WaitQuiescent();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["detections"] = static_cast<double>(sink.count);
+}
+BENCHMARK(BM_CrossApplicationSeq)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DeliverToDetachedRule(benchmark::State& state) {
+  Fleet fleet(2);
+  (void)fleet.ged.DefineGlobalPrimitive("g0", "app0", "C",
+                                        EventModifier::kEnd, "void f(int v)");
+  (void)fleet.apps[1]->detector()->DefineExplicit("incoming");
+  std::atomic<std::uint64_t> handled{0};
+  rules::RuleManager::RuleOptions options;
+  options.coupling = rules::CouplingMode::kDetached;
+  (void)fleet.apps[1]->rule_manager()->DefineRule(
+      "h", "incoming", nullptr,
+      [&handled](const rules::RuleContext&) { ++handled; }, options);
+  (void)fleet.ged.DeliverTo("g0", "app1", "incoming");
+  int v = 0;
+  for (auto _ : state) {
+    FireMethod(fleet.apps[0].get(), "C", "void f(int v)", ++v, 1);
+    fleet.ged.WaitQuiescent();
+    fleet.apps[1]->scheduler()->WaitDetached();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["handled"] = static_cast<double>(handled.load());
+}
+BENCHMARK(BM_DeliverToDetachedRule);
+
+}  // namespace
+}  // namespace sentinel::bench

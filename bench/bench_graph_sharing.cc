@@ -1,0 +1,80 @@
+// E4 (DESIGN.md): common sub-expressions are represented once (paper §3.1),
+// reducing node count and per-notification work. Compares K rules over one
+// shared expression vs. K rules over K duplicated expressions.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "detector/local_detector.h"
+
+namespace sentinel::bench {
+namespace {
+
+using detector::LocalEventDetector;
+
+void BM_SharedExpression(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  LocalEventDetector det;
+  auto a = det.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+  auto b = det.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+  (void)det.DefineAnd("shared", *a, *b);
+  std::vector<std::unique_ptr<CountingSink>> sinks;
+  for (int i = 0; i < k; ++i) {
+    sinks.push_back(std::make_unique<CountingSink>());
+    (void)det.Subscribe("shared", sinks.back().get(), ParamContext::kRecent);
+  }
+  int v = 0;
+  for (auto _ : state) {
+    det.Notify("C", 1, EventModifier::kEnd, "void fa()", OneIntParam(++v), 1);
+    det.Notify("C", 1, EventModifier::kEnd, "void fb()", OneIntParam(++v), 1);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["graph_nodes"] = static_cast<double>(det.node_count());
+}
+BENCHMARK(BM_SharedExpression)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DuplicatedExpressions(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  LocalEventDetector det;
+  auto a = det.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+  auto b = det.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+  std::vector<std::unique_ptr<CountingSink>> sinks;
+  for (int i = 0; i < k; ++i) {
+    (void)det.DefineAnd("dup" + std::to_string(i), *a, *b);
+    sinks.push_back(std::make_unique<CountingSink>());
+    (void)det.Subscribe("dup" + std::to_string(i), sinks.back().get(),
+                        ParamContext::kRecent);
+  }
+  int v = 0;
+  for (auto _ : state) {
+    det.Notify("C", 1, EventModifier::kEnd, "void fa()", OneIntParam(++v), 1);
+    det.Notify("C", 1, EventModifier::kEnd, "void fb()", OneIntParam(++v), 1);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["graph_nodes"] = static_cast<double>(det.node_count());
+}
+BENCHMARK(BM_DuplicatedExpressions)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+// Late binding of contexts (paper §3.1): one event definition reused by
+// rules in different contexts — vs. duplicating the event per context.
+void BM_LateContextBinding(benchmark::State& state) {
+  LocalEventDetector det;
+  auto a = det.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+  auto b = det.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+  (void)det.DefineAnd("e", *a, *b);
+  CountingSink recent, chronicle, cumulative;
+  (void)det.Subscribe("e", &recent, ParamContext::kRecent);
+  (void)det.Subscribe("e", &chronicle, ParamContext::kChronicle);
+  (void)det.Subscribe("e", &cumulative, ParamContext::kCumulative);
+  int v = 0;
+  for (auto _ : state) {
+    det.Notify("C", 1, EventModifier::kEnd, "void fa()", OneIntParam(++v), 1);
+    det.Notify("C", 1, EventModifier::kEnd, "void fb()", OneIntParam(++v), 1);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["graph_nodes"] = static_cast<double>(det.node_count());
+}
+BENCHMARK(BM_LateContextBinding);
+
+}  // namespace
+}  // namespace sentinel::bench

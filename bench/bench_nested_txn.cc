@@ -1,0 +1,120 @@
+// E11 (DESIGN.md): the nested transaction manager — subtransaction
+// begin/commit cost, lock acquisition with the Moss ancestor rule, lock
+// inheritance at commit, and sibling contention.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "txn/nested_txn.h"
+
+namespace sentinel::bench {
+namespace {
+
+using storage::LockMode;
+using txn::NestedTransactionManager;
+
+void BM_SubTxnBeginCommit(benchmark::State& state) {
+  NestedTransactionManager ntm;
+  for (auto _ : state) {
+    auto sub = ntm.Begin(1);
+    benchmark::DoNotOptimize(ntm.Commit(*sub).ok());
+  }
+  ntm.EndTop(1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubTxnBeginCommit);
+
+void BM_NestedChain(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  NestedTransactionManager ntm;
+  for (auto _ : state) {
+    std::vector<txn::SubTxnId> chain;
+    txn::SubTxnId parent = txn::kInvalidSubTxn;
+    for (int i = 0; i < depth; ++i) {
+      auto sub = ntm.Begin(1, parent);
+      chain.push_back(*sub);
+      parent = *sub;
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      (void)ntm.Commit(*it);
+    }
+  }
+  ntm.EndTop(1);
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_NestedChain)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_LockAcquire(benchmark::State& state) {
+  const int keys = static_cast<int>(state.range(0));
+  NestedTransactionManager ntm;
+  std::vector<std::string> names;
+  for (int i = 0; i < keys; ++i) names.push_back("k" + std::to_string(i));
+  for (auto _ : state) {
+    auto sub = ntm.Begin(1);
+    for (const auto& key : names) {
+      (void)ntm.Acquire(*sub, key, LockMode::kExclusive);
+    }
+    (void)ntm.Abort(*sub);  // release without inheritance
+  }
+  ntm.EndTop(1);
+  state.SetItemsProcessed(state.iterations() * keys);
+}
+BENCHMARK(BM_LockAcquire)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_LockInheritanceAtCommit(benchmark::State& state) {
+  const int keys = static_cast<int>(state.range(0));
+  NestedTransactionManager ntm;
+  std::vector<std::string> names;
+  for (int i = 0; i < keys; ++i) names.push_back("k" + std::to_string(i));
+  for (auto _ : state) {
+    auto parent = ntm.Begin(1);
+    auto child = ntm.Begin(1, *parent);
+    for (const auto& key : names) {
+      (void)ntm.Acquire(*child, key, LockMode::kExclusive);
+    }
+    (void)ntm.Commit(*child);   // locks inherited by parent
+    (void)ntm.Commit(*parent);  // retained by top
+    ntm.EndTop(1);
+  }
+  state.SetItemsProcessed(state.iterations() * keys);
+}
+BENCHMARK(BM_LockInheritanceAtCommit)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_AncestorLockIsFree(benchmark::State& state) {
+  // Child acquiring a lock its ancestor already holds (always granted).
+  NestedTransactionManager ntm;
+  auto parent = ntm.Begin(1);
+  (void)ntm.Acquire(*parent, "hot", LockMode::kExclusive);
+  for (auto _ : state) {
+    auto child = ntm.Begin(1, *parent);
+    benchmark::DoNotOptimize(
+        ntm.Acquire(*child, "hot", LockMode::kExclusive).ok());
+    (void)ntm.Commit(*child);
+  }
+  ntm.EndTop(1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AncestorLockIsFree);
+
+void BM_SharedSiblingLocks(benchmark::State& state) {
+  // All siblings take the same shared lock (compatible).
+  const int siblings = static_cast<int>(state.range(0));
+  NestedTransactionManager ntm;
+  auto parent = ntm.Begin(1);
+  for (auto _ : state) {
+    std::vector<txn::SubTxnId> subs;
+    for (int i = 0; i < siblings; ++i) {
+      auto sub = ntm.Begin(1, *parent);
+      (void)ntm.Acquire(*sub, "shared", LockMode::kShared);
+      subs.push_back(*sub);
+    }
+    for (auto sub : subs) (void)ntm.Commit(sub);
+  }
+  ntm.EndTop(1);
+  state.SetItemsProcessed(state.iterations() * siblings);
+}
+BENCHMARK(BM_SharedSiblingLocks)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace sentinel::bench

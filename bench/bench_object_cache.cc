@@ -1,0 +1,124 @@
+// Ablation: the object cache (Open OODB's address-space-manager analogue).
+// Compares attribute access through the persistence manager (record read +
+// deserialize every time) against the cache's pointer-served hits, and
+// measures the OID-index-backed load path.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "oodb/database.h"
+#include "oodb/object_cache.h"
+
+namespace sentinel::bench {
+namespace {
+
+using oodb::Database;
+using oodb::ObjectCache;
+using oodb::Oid;
+using oodb::PersistentObject;
+using oodb::Value;
+
+struct Fixture {
+  std::string prefix;
+  Database db;
+  std::vector<Oid> oids;
+
+  explicit Fixture(int objects) {
+    prefix = (std::filesystem::temp_directory_path() /
+              ("sentinel_bench_cache_" + std::to_string(::getpid())))
+                 .string();
+    Cleanup();
+    (void)db.Open(prefix);
+    auto txn = db.Begin();
+    for (int i = 0; i < objects; ++i) {
+      PersistentObject obj(oodb::kInvalidOid, "Part");
+      obj.Set("v", Value::Int(i));
+      obj.Set("name", Value::String("part-" + std::to_string(i)));
+      oids.push_back(*db.objects()->Put(*txn, std::move(obj)));
+    }
+    (void)db.Commit(*txn);
+  }
+  ~Fixture() {
+    (void)db.Close();
+    Cleanup();
+  }
+  void Cleanup() {
+    std::remove((prefix + ".db").c_str());
+    std::remove((prefix + ".wal").c_str());
+  }
+};
+
+void BM_UncachedAttributeRead(benchmark::State& state) {
+  Fixture fx(256);
+  auto txn = fx.db.Begin();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto obj = fx.db.objects()->Get(*txn, fx.oids[i++ % fx.oids.size()]);
+    benchmark::DoNotOptimize(obj->Get("v")->AsInt());
+  }
+  (void)fx.db.Commit(*txn);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UncachedAttributeRead);
+
+void BM_CachedAttributeRead(benchmark::State& state) {
+  Fixture fx(256);
+  ObjectCache cache(fx.db.engine(), fx.db.objects(), 512);
+  auto txn = fx.db.Begin();
+  // Warm.
+  for (Oid oid : fx.oids) (void)cache.Get(*txn, oid);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto obj = cache.Get(*txn, fx.oids[i++ % fx.oids.size()]);
+    benchmark::DoNotOptimize((*obj)->Get("v")->AsInt());
+  }
+  (void)fx.db.Commit(*txn);
+  cache.OnCommit(*txn);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hit_rate"] =
+      static_cast<double>(cache.hit_count()) /
+      static_cast<double>(cache.hit_count() + cache.miss_count());
+}
+BENCHMARK(BM_CachedAttributeRead);
+
+void BM_CacheThrashing(benchmark::State& state) {
+  // Working set larger than capacity: every access evicts.
+  Fixture fx(256);
+  ObjectCache cache(fx.db.engine(), fx.db.objects(), 16);
+  auto txn = fx.db.Begin();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto obj = cache.Get(*txn, fx.oids[i++ % fx.oids.size()]);
+    benchmark::DoNotOptimize((*obj)->Get("v")->AsInt());
+  }
+  (void)fx.db.Commit(*txn);
+  cache.OnCommit(*txn);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hit_rate"] =
+      static_cast<double>(cache.hit_count()) /
+      static_cast<double>(cache.hit_count() + cache.miss_count());
+}
+BENCHMARK(BM_CacheThrashing);
+
+void BM_CacheWriteThrough(benchmark::State& state) {
+  Fixture fx(64);
+  ObjectCache cache(fx.db.engine(), fx.db.objects(), 128);
+  auto txn = fx.db.Begin();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Oid oid = fx.oids[i++ % fx.oids.size()];
+    PersistentObject obj(oid, "Part");
+    obj.Set("v", Value::Int(static_cast<std::int64_t>(i)));
+    benchmark::DoNotOptimize(cache.Put(*txn, std::move(obj)).ok());
+  }
+  (void)fx.db.Commit(*txn);
+  cache.OnCommit(*txn);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheWriteThrough);
+
+}  // namespace
+}  // namespace sentinel::bench

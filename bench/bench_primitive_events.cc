@@ -1,0 +1,105 @@
+// E1 (DESIGN.md): primitive-event detection is a thin wrapper around method
+// invocation. Compares a plain call against the Notify path with
+// progressively more machinery engaged: no event declared, event declared
+// but unsubscribed, event with a no-op immediate rule.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace sentinel::bench {
+namespace {
+
+int g_side_effect = 0;
+
+void PlainMethod(int v) { g_side_effect += v; }
+
+void BM_PlainMethodCall(benchmark::State& state) {
+  int v = 0;
+  for (auto _ : state) {
+    PlainMethod(++v);
+    benchmark::DoNotOptimize(g_side_effect);
+  }
+}
+BENCHMARK(BM_PlainMethodCall);
+
+void BM_NotifyNoEventDeclared(benchmark::State& state) {
+  core::ActiveDatabase db;
+  (void)db.OpenInMemory();
+  auto txn = db.Begin();
+  int v = 0;
+  for (auto _ : state) {
+    FireMethod(&db, "Stock", "void f(int v)", ++v, *txn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NotifyNoEventDeclared);
+
+void BM_NotifyEventDeclaredNoRule(benchmark::State& state) {
+  core::ActiveDatabase db;
+  (void)db.OpenInMemory();
+  (void)db.DeclareEvent("e", "Stock", EventModifier::kEnd, "void f(int v)");
+  auto txn = db.Begin();
+  int v = 0;
+  for (auto _ : state) {
+    FireMethod(&db, "Stock", "void f(int v)", ++v, *txn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NotifyEventDeclaredNoRule);
+
+void BM_NotifyWithSubscribedSink(benchmark::State& state) {
+  core::ActiveDatabase db;
+  (void)db.OpenInMemory();
+  (void)db.DeclareEvent("e", "Stock", EventModifier::kEnd, "void f(int v)");
+  CountingSink sink;
+  (void)db.detector()->Subscribe("e", &sink, ParamContext::kRecent);
+  auto txn = db.Begin();
+  int v = 0;
+  for (auto _ : state) {
+    FireMethod(&db, "Stock", "void f(int v)", ++v, *txn);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["detections"] = static_cast<double>(sink.count);
+}
+BENCHMARK(BM_NotifyWithSubscribedSink);
+
+void BM_NotifyWithImmediateRule(benchmark::State& state) {
+  core::ActiveDatabase db;
+  (void)db.OpenInMemory();
+  (void)db.DeclareEvent("e", "Stock", EventModifier::kEnd, "void f(int v)");
+  (void)db.rule_manager()->DefineRule("r", "e", nullptr,
+                                      [](const rules::RuleContext&) {});
+  auto txn = db.Begin();
+  int v = 0;
+  for (auto _ : state) {
+    FireMethod(&db, "Stock", "void f(int v)", ++v, *txn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NotifyWithImmediateRule);
+
+// Instance-level filtering: many instance events defined, only one matches.
+void BM_NotifyInstanceLevelFilter(benchmark::State& state) {
+  core::ActiveDatabase db;
+  (void)db.OpenInMemory();
+  const int instances = static_cast<int>(state.range(0));
+  for (int i = 0; i < instances; ++i) {
+    (void)db.detector()->DefinePrimitive("e" + std::to_string(i), "Stock",
+                                         EventModifier::kEnd, "void f(int v)",
+                                         /*instance=*/i + 1);
+  }
+  CountingSink sink;
+  (void)db.detector()->Subscribe("e0", &sink, ParamContext::kRecent);
+  auto txn = db.Begin();
+  int v = 0;
+  for (auto _ : state) {
+    db.NotifyMethod("Stock", /*oid=*/1, EventModifier::kEnd, "void f(int v)",
+                    OneIntParam(++v), *txn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NotifyInstanceLevelFilter)->Arg(1)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace sentinel::bench

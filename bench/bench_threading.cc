@@ -1,0 +1,70 @@
+// Ablation (paper §2.3): Sentinel uses lightweight threads with a free-
+// thread pool because "the overhead involved in creating threads and
+// inter-task communication is low". This bench quantifies the design
+// choices: thread-per-task vs. the reusable pool the scheduler uses, and
+// process-style isolation cost approximated by fork().
+
+#include <benchmark/benchmark.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+#include "rules/thread_pool.h"
+
+namespace sentinel::bench {
+namespace {
+
+void BM_ThreadSpawnPerTask(benchmark::State& state) {
+  std::atomic<int> done{0};
+  for (auto _ : state) {
+    std::thread t([&done] { ++done; });
+    t.join();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThreadSpawnPerTask);
+
+void BM_ThreadPoolTask(benchmark::State& state) {
+  rules::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (auto _ : state) {
+    pool.Submit([&done] { ++done; });
+    pool.WaitIdle();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThreadPoolTask);
+
+void BM_ThreadPoolBatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  rules::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      pool.Submit([&done] { ++done; });
+    }
+    pool.WaitIdle();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ThreadPoolBatch)->Arg(4)->Arg(16)->Arg(64);
+
+// The alternative Sentinel rejected: a process per rule execution. fork()
+// without exec, child exits immediately — the cheapest possible "process".
+void BM_ProcessPerTask(benchmark::State& state) {
+  for (auto _ : state) {
+    pid_t pid = fork();
+    if (pid == 0) {
+      _exit(0);
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProcessPerTask)->Iterations(2000);
+
+}  // namespace
+}  // namespace sentinel::bench

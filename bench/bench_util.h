@@ -1,0 +1,38 @@
+#ifndef SENTINEL_BENCH_BENCH_UTIL_H_
+#define SENTINEL_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "core/active_database.h"
+
+namespace sentinel::bench {
+
+/// Shorthands used across the benchmark binaries.
+using detector::EventModifier;
+using detector::ParamContext;
+using detector::ParamList;
+
+inline std::shared_ptr<const ParamList> OneIntParam(int v) {
+  auto params = std::make_shared<ParamList>();
+  params->Insert("v", oodb::Value::Int(v));
+  return params;
+}
+
+/// Notifies `db` of one end-of-method invocation on (class_name, method).
+inline void FireMethod(core::ActiveDatabase* db, const std::string& class_name,
+                       const std::string& method, int v, storage::TxnId txn) {
+  db->NotifyMethod(class_name, /*oid=*/1, EventModifier::kEnd, method,
+                   OneIntParam(v), txn);
+}
+
+/// Sink that counts detections (used where rules would add noise).
+class CountingSink : public detector::EventSink {
+ public:
+  void OnEvent(const detector::Occurrence&, ParamContext) override { ++count; }
+  std::size_t count = 0;
+};
+
+}  // namespace sentinel::bench
+
+#endif  // SENTINEL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,46 @@
+#ifndef SENTINEL_COMMON_CLOCK_H_
+#define SENTINEL_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sentinel {
+
+/// Logical timestamp used for event occurrence ordering. Snoop operator
+/// semantics (SEQ, NOT, intervals) are defined over a total order of
+/// occurrence times; a per-application logical clock provides that order
+/// deterministically, which also makes batch replay reproducible.
+using Timestamp = std::uint64_t;
+
+constexpr Timestamp kInvalidTimestamp = 0;
+
+/// Monotonic logical clock. Thread-safe.
+class LogicalClock {
+ public:
+  LogicalClock() : now_(0) {}
+
+  LogicalClock(const LogicalClock&) = delete;
+  LogicalClock& operator=(const LogicalClock&) = delete;
+
+  /// Returns the next timestamp (strictly increasing, starts at 1).
+  Timestamp Tick() { return now_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  /// Latest timestamp issued (0 if none yet).
+  Timestamp Now() const { return now_.load(std::memory_order_relaxed); }
+
+  /// Advances the clock to at least `t` (used when merging remote events so
+  /// that causality is preserved across applications).
+  void Witness(Timestamp t) {
+    Timestamp cur = now_.load(std::memory_order_relaxed);
+    while (cur < t &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_COMMON_CLOCK_H_

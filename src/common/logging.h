@@ -1,0 +1,48 @@
+#ifndef SENTINEL_COMMON_LOGGING_H_
+#define SENTINEL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sentinel {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Process-wide logger. Thread-safe; writes to stderr.
+class Logger {
+ public:
+  /// Messages below `level` are discarded. Default is kWarn so that library
+  /// use stays quiet unless callers opt in.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+  static bool IsEnabled(LogLevel level);
+  static void Write(LogLevel level, const std::string& message);
+};
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Write(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace sentinel
+
+#define SENTINEL_LOG(level)                                     \
+  if (::sentinel::Logger::IsEnabled(::sentinel::LogLevel::level)) \
+  ::sentinel::internal_logging::LogMessage(::sentinel::LogLevel::level)
+
+#endif  // SENTINEL_COMMON_LOGGING_H_

@@ -1,0 +1,57 @@
+#ifndef SENTINEL_COMMON_RESULT_H_
+#define SENTINEL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace sentinel {
+
+/// Value-or-error: holds either a T or a non-OK Status.
+///
+/// A default-constructed Result is an Internal error; always initialize from
+/// a value or a Status.
+template <typename T>
+class Result {
+ public:
+  Result() : data_(Status::Internal("uninitialized Result")) {}
+  /* implicit */ Result(T value) : data_(std::move(value)) {}
+  /* implicit */ Result(Status status) : data_(std::move(status)) {
+    assert(!std::get<Status>(data_).ok() && "OK status in Result<T>");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_COMMON_RESULT_H_

@@ -1,0 +1,150 @@
+#ifndef SENTINEL_COMMON_STATUS_H_
+#define SENTINEL_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sentinel {
+
+/// Error categories used across all Sentinel modules. Values are stable so
+/// they can be logged and asserted on in tests.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kIOError = 4,
+  kCorruption = 5,
+  kTransactionAborted = 6,
+  kDeadlock = 7,
+  kLockTimeout = 8,
+  kNotImplemented = 9,
+  kInternal = 10,
+  kParseError = 11,
+  kTypeMismatch = 12,
+  kResourceExhausted = 13,
+};
+
+/// Returns a stable human-readable name for a status code ("OK", "NotFound").
+const char* StatusCodeToString(StatusCode code);
+
+/// Operation outcome used instead of exceptions across module boundaries.
+///
+/// The OK status is represented with a null state pointer so that the
+/// success path costs one pointer compare (RocksDB/Arrow idiom).
+class Status {
+ public:
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status TransactionAborted(std::string msg) {
+    return Status(StatusCode::kTransactionAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status LockTimeout(std::string msg) {
+    return Status(StatusCode::kLockTimeout, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsTransactionAborted() const {
+    return code() == StatusCode::kTransactionAborted;
+  }
+  bool IsDeadlock() const { return code() == StatusCode::kDeadlock; }
+  bool IsLockTimeout() const { return code() == StatusCode::kLockTimeout; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeMismatch() const { return code() == StatusCode::kTypeMismatch; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace sentinel
+
+/// Propagates a non-OK Status to the caller.
+#define SENTINEL_RETURN_NOT_OK(expr)                 \
+  do {                                               \
+    ::sentinel::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define SENTINEL_ASSIGN_OR_RETURN(lhs, expr)         \
+  SENTINEL_ASSIGN_OR_RETURN_IMPL(                    \
+      SENTINEL_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define SENTINEL_CONCAT_IMPL_(a, b) a##b
+#define SENTINEL_CONCAT_(a, b) SENTINEL_CONCAT_IMPL_(a, b)
+
+#define SENTINEL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie();
+
+#endif  // SENTINEL_COMMON_STATUS_H_

@@ -1,0 +1,221 @@
+#include "core/active_database.h"
+
+#include "common/logging.h"
+
+namespace sentinel::core {
+
+constexpr char ActiveDatabase::kBeginTxnEvent[];
+constexpr char ActiveDatabase::kPreCommitEvent[];
+constexpr char ActiveDatabase::kCommitEvent[];
+constexpr char ActiveDatabase::kAbortEvent[];
+constexpr char ActiveDatabase::kFlushOnCommitRule[];
+constexpr char ActiveDatabase::kFlushOnAbortRule[];
+constexpr char ActiveDatabase::kRuleClass[];
+constexpr char ActiveDatabase::kRuleFiredMethod[];
+
+ActiveDatabase::~ActiveDatabase() { (void)Close(); }
+
+Status ActiveDatabase::Open(const std::string& path_prefix) {
+  return Open(path_prefix, Options());
+}
+
+Status ActiveDatabase::OpenInMemory() { return OpenInMemory(Options()); }
+
+Status ActiveDatabase::Open(const std::string& path_prefix,
+                            const Options& options) {
+  if (open_) return Status::InvalidArgument("already open");
+  db_ = std::make_unique<oodb::Database>();
+  SENTINEL_RETURN_NOT_OK(db_->Open(path_prefix, options.database));
+  return OpenCommon(options);
+}
+
+Status ActiveDatabase::OpenInMemory(const Options& options) {
+  if (open_) return Status::InvalidArgument("already open");
+  db_ = nullptr;
+  return OpenCommon(options);
+}
+
+Status ActiveDatabase::OpenCommon(const Options& options) {
+  detector_ = std::make_unique<detector::LocalEventDetector>();
+  if (db_ != nullptr) {
+    detector_->set_class_registry(db_->classes());
+    cache_ = std::make_unique<oodb::ObjectCache>(db_->engine(), db_->objects(),
+                                                 /*capacity=*/1024);
+  }
+  nested_ = std::make_unique<txn::NestedTransactionManager>(options.nested);
+  scheduler_ = std::make_unique<rules::RuleScheduler>(nested_.get(), db_.get(),
+                                                      options.scheduler);
+  rules::RuleManager::Config config;
+  config.begin_txn_event = kBeginTxnEvent;
+  config.pre_commit_event = kPreCommitEvent;
+  rule_manager_ =
+      std::make_unique<rules::RuleManager>(detector_.get(), scheduler_.get(),
+                                           config);
+
+  // System transaction events (the REACTIVE system class, §3.2).
+  SENTINEL_RETURN_NOT_OK(detector_->DefineExplicit(kBeginTxnEvent).status());
+  SENTINEL_RETURN_NOT_OK(detector_->DefineExplicit(kPreCommitEvent).status());
+  SENTINEL_RETURN_NOT_OK(detector_->DefineExplicit(kCommitEvent).status());
+  SENTINEL_RETURN_NOT_OK(detector_->DefineExplicit(kAbortEvent).status());
+
+  // Internal flush rules (§3.2.2 item 3). Users may disable them via the
+  // rule manager to allow events to span transaction boundaries.
+  detector::LocalEventDetector* det = detector_.get();
+  rules::RuleManager::RuleOptions flush_options;
+  flush_options.priority = -1000000;  // run after every user rule
+  auto flush_action = [det](const rules::RuleContext& ctx) {
+    if (ctx.occurrence != nullptr &&
+        ctx.occurrence->txn != storage::kInvalidTxnId) {
+      det->FlushTxn(ctx.occurrence->txn);
+    }
+  };
+  SENTINEL_RETURN_NOT_OK(rule_manager_
+                             ->DefineRule(kFlushOnCommitRule, kCommitEvent,
+                                          nullptr, flush_action, flush_options)
+                             .status());
+  SENTINEL_RETURN_NOT_OK(rule_manager_
+                             ->DefineRule(kFlushOnAbortRule, kAbortEvent,
+                                          nullptr, flush_action, flush_options)
+                             .status());
+
+  // Reactive RULE class (§3.2): rule executions are method events when
+  // enabled. Skipped for executions that were themselves triggered by RULE
+  // events, so meta-rules cannot recurse onto their own firings.
+  scheduler_->SetExecutionObserver([this](const rules::Firing& firing,
+                                          bool condition_held, Status) {
+    if (!rule_events_ || firing.rule == nullptr) return;
+    for (const auto& constituent : firing.occurrence.constituents) {
+      if (constituent->class_name == kRuleClass) return;
+    }
+    auto params = std::make_shared<detector::ParamList>();
+    params->Insert("rule", oodb::Value::String(firing.rule->name()));
+    params->Insert("condition_held", oodb::Value::Bool(condition_held));
+    params->Insert("depth", oodb::Value::Int(firing.depth));
+    detector_->Notify(kRuleClass, oodb::kInvalidOid,
+                      detector::EventModifier::kEnd, kRuleFiredMethod, params,
+                      firing.txn);
+  });
+  open_ = true;
+  return Status::OK();
+}
+
+Status ActiveDatabase::Close() {
+  if (!open_) return Status::OK();
+  if (scheduler_ != nullptr) {
+    scheduler_->Drain();
+    scheduler_->WaitDetached();
+  }
+  // Tear down in dependency order: rules reference the detector.
+  rule_manager_.reset();
+  scheduler_.reset();
+  nested_.reset();
+  detector_.reset();
+  cache_.reset();
+  Status st;
+  if (db_ != nullptr) {
+    st = db_->Close();
+    db_.reset();
+  }
+  open_ = false;
+  return st;
+}
+
+Result<storage::TxnId> ActiveDatabase::Begin() {
+  storage::TxnId txn = storage::kInvalidTxnId;
+  if (db_ != nullptr) {
+    auto begun = db_->Begin();
+    if (!begun.ok()) return begun.status();
+    txn = *begun;
+  } else {
+    static std::atomic<storage::TxnId> fake_txn{1};
+    txn = fake_txn.fetch_add(1);
+  }
+  // The begin_transaction event is always signalled at the beginning of a
+  // transaction (§2.3).
+  auto params = std::make_shared<detector::ParamList>();
+  params->Insert("txn", oodb::Value::Int(static_cast<std::int64_t>(txn)));
+  SENTINEL_RETURN_NOT_OK(detector_->RaiseExplicit(kBeginTxnEvent, params, txn));
+  scheduler_->Drain();
+  return txn;
+}
+
+Status ActiveDatabase::Commit(storage::TxnId txn) {
+  auto params = std::make_shared<detector::ParamList>();
+  params->Insert("txn", oodb::Value::Int(static_cast<std::int64_t>(txn)));
+  // pre_commit is signalled before the commit (§2.3): deferred rules (A*
+  // terminator) execute here, inside the transaction.
+  SENTINEL_RETURN_NOT_OK(detector_->RaiseExplicit(kPreCommitEvent, params, txn));
+  scheduler_->Drain();
+
+  if (db_ != nullptr) SENTINEL_RETURN_NOT_OK(db_->Commit(txn));
+  if (cache_ != nullptr) cache_->OnCommit(txn);
+  nested_->EndTop(txn);
+
+  SENTINEL_RETURN_NOT_OK(detector_->RaiseExplicit(kCommitEvent, params, txn));
+  scheduler_->Drain();
+  return Status::OK();
+}
+
+Status ActiveDatabase::Abort(storage::TxnId txn) {
+  auto params = std::make_shared<detector::ParamList>();
+  params->Insert("txn", oodb::Value::Int(static_cast<std::int64_t>(txn)));
+  Status st;
+  if (db_ != nullptr) st = db_->Abort(txn);
+  if (cache_ != nullptr) cache_->OnAbort(txn);
+  nested_->EndTop(txn);
+  SENTINEL_RETURN_NOT_OK(detector_->RaiseExplicit(kAbortEvent, params, txn));
+  scheduler_->Drain();
+  return st;
+}
+
+Result<detector::EventNode*> ActiveDatabase::DeclareEvent(
+    const std::string& event_name, const std::string& class_name,
+    detector::EventModifier modifier, const std::string& method_signature,
+    oodb::Oid instance) {
+  return detector_->DefinePrimitive(event_name, class_name, modifier,
+                                    method_signature, instance);
+}
+
+void ActiveDatabase::NotifyMethod(
+    const std::string& class_name, oodb::Oid oid,
+    detector::EventModifier modifier, const std::string& method_signature,
+    std::shared_ptr<const detector::ParamList> params, storage::TxnId txn) {
+  detector_->Notify(class_name, oid, modifier, method_signature,
+                    std::move(params), txn);
+  // The application waits for its immediate rules (§2.3).
+  scheduler_->Drain();
+}
+
+Status ActiveDatabase::RaiseEvent(
+    const std::string& event_name,
+    std::shared_ptr<const detector::ParamList> params, storage::TxnId txn) {
+  SENTINEL_RETURN_NOT_OK(
+      detector_->RaiseExplicit(event_name, std::move(params), txn));
+  scheduler_->Drain();
+  return Status::OK();
+}
+
+void ActiveDatabase::AdvanceTime(std::uint64_t now_ms) {
+  detector_->AdvanceTime(now_ms);
+  scheduler_->Drain();
+}
+
+Result<oodb::Oid> ActiveDatabase::CreateObject(storage::TxnId txn,
+                                               const std::string& class_name,
+                                               const std::string& name) {
+  if (db_ == nullptr) {
+    return Status::InvalidArgument("no persistent store in in-memory mode");
+  }
+  if (!db_->classes()->Exists(class_name)) {
+    return Status::NotFound("class not registered: " + class_name);
+  }
+  oodb::PersistentObject obj(oodb::kInvalidOid, class_name);
+  auto oid = db_->objects()->Put(txn, std::move(obj));
+  if (!oid.ok()) return oid;
+  if (!name.empty()) {
+    SENTINEL_RETURN_NOT_OK(db_->names()->Bind(txn, name, *oid));
+  }
+  return oid;
+}
+
+}  // namespace sentinel::core

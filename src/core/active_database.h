@@ -1,0 +1,136 @@
+#ifndef SENTINEL_CORE_ACTIVE_DATABASE_H_
+#define SENTINEL_CORE_ACTIVE_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "detector/local_detector.h"
+#include "oodb/database.h"
+#include "oodb/object_cache.h"
+#include "rules/rule_manager.h"
+#include "rules/scheduler.h"
+#include "txn/nested_txn.h"
+
+namespace sentinel::core {
+
+/// Sentinel: the integrated active OODBMS (paper Fig. 1). Wraps the passive
+/// Database with
+///   - a local composite event detector,
+///   - a nested transaction manager for rule execution,
+///   - a prioritized rule scheduler (threads), and
+///   - a rule manager with coupling-mode support.
+///
+/// Transaction calls raise the system events the paper obtains by making the
+/// Open OODB system class REACTIVE (§3.2): `sys_begin_transaction`,
+/// `sys_pre_commit_transaction`, `sys_commit_transaction`,
+/// `sys_abort_transaction`. Deferred rules piggyback on begin/pre-commit via
+/// the A* rewrite; two internal rules flush the event graph on commit and
+/// abort (§3.2.2 item 3) and may be disabled to let events span transactions.
+class ActiveDatabase {
+ public:
+  struct Options {
+    oodb::Database::Options database;
+    rules::RuleScheduler::Options scheduler;
+    txn::NestedTransactionManager::Options nested;
+  };
+
+  ActiveDatabase() = default;
+  ~ActiveDatabase();
+
+  ActiveDatabase(const ActiveDatabase&) = delete;
+  ActiveDatabase& operator=(const ActiveDatabase&) = delete;
+
+  Status Open(const std::string& path_prefix, const Options& options);
+  Status Open(const std::string& path_prefix);
+  /// Detector-only mode: event detection and rules without persistence
+  /// (used by benchmarks and the GED's pure-event applications).
+  Status OpenInMemory(const Options& options);
+  Status OpenInMemory();
+  Status Close();
+  bool is_open() const { return open_; }
+
+  // -- Transactions (raise system events) ---------------------------------------
+  Result<storage::TxnId> Begin();
+  Status Commit(storage::TxnId txn);
+  Status Abort(storage::TxnId txn);
+
+  // -- Event interface ------------------------------------------------------------
+
+  /// Declares a class-level primitive event (paper §3.1 `event end(e1) ...`).
+  Result<detector::EventNode*> DeclareEvent(
+      const std::string& event_name, const std::string& class_name,
+      detector::EventModifier modifier, const std::string& method_signature,
+      oodb::Oid instance = oodb::kInvalidOid);
+
+  /// Signals a method invocation (wrapper entry; paper §3.2.1). The caller
+  /// then waits for immediate rules — Drain is invoked internally.
+  void NotifyMethod(const std::string& class_name, oodb::Oid oid,
+                    detector::EventModifier modifier,
+                    const std::string& method_signature,
+                    std::shared_ptr<const detector::ParamList> params,
+                    storage::TxnId txn);
+
+  /// Raises an explicit event and waits for immediate rules.
+  Status RaiseEvent(const std::string& event_name,
+                    std::shared_ptr<const detector::ParamList> params,
+                    storage::TxnId txn);
+
+  /// Advances the temporal clock, firing due PLUS/P events and their rules.
+  void AdvanceTime(std::uint64_t now_ms);
+
+  // -- Reactive RULE class (meta-rules) ----------------------------------------
+
+  /// When enabled, every rule execution raises an end-of-method event on the
+  /// built-in reactive class "RULE" (method `void fired()`, parameters
+  /// `rule`, `condition_held`, `depth`) — the paper's "the rule class can be
+  /// both reactive and notifiable, [so] methods of the rule class can
+  /// themselves be event generators" (§3.2). Meta-rules subscribe to events
+  /// declared on class kRuleClass. Executions triggered by RULE events do
+  /// not re-raise (no meta-meta recursion).
+  void set_rule_events_enabled(bool enabled) { rule_events_ = enabled; }
+  bool rule_events_enabled() const { return rule_events_; }
+
+  // -- Object helpers ---------------------------------------------------------------
+
+  /// Creates a persistent object of `class_name`; binds `name` when given.
+  Result<oodb::Oid> CreateObject(storage::TxnId txn,
+                                 const std::string& class_name,
+                                 const std::string& name = "");
+
+  // -- Components ---------------------------------------------------------------------
+  oodb::Database* database() { return db_.get(); }
+  /// Object cache over the persistence manager (null in in-memory mode).
+  oodb::ObjectCache* object_cache() { return cache_.get(); }
+  detector::LocalEventDetector* detector() { return detector_.get(); }
+  rules::RuleManager* rule_manager() { return rule_manager_.get(); }
+  rules::RuleScheduler* scheduler() { return scheduler_.get(); }
+  txn::NestedTransactionManager* nested_txns() { return nested_.get(); }
+
+  /// Names of the built-in system events and internal flush rules.
+  static constexpr char kBeginTxnEvent[] = "sys_begin_transaction";
+  static constexpr char kPreCommitEvent[] = "sys_pre_commit_transaction";
+  static constexpr char kCommitEvent[] = "sys_commit_transaction";
+  static constexpr char kAbortEvent[] = "sys_abort_transaction";
+  static constexpr char kFlushOnCommitRule[] = "__sys_flush_on_commit";
+  static constexpr char kFlushOnAbortRule[] = "__sys_flush_on_abort";
+  static constexpr char kRuleClass[] = "RULE";
+  static constexpr char kRuleFiredMethod[] = "void fired()";
+
+ private:
+  Status OpenCommon(const Options& options);
+
+  bool open_ = false;
+  bool rule_events_ = false;
+  std::unique_ptr<oodb::Database> db_;
+  std::unique_ptr<oodb::ObjectCache> cache_;
+  std::unique_ptr<detector::LocalEventDetector> detector_;
+  std::unique_ptr<txn::NestedTransactionManager> nested_;
+  std::unique_ptr<rules::RuleScheduler> scheduler_;
+  std::unique_ptr<rules::RuleManager> rule_manager_;
+};
+
+}  // namespace sentinel::core
+
+#endif  // SENTINEL_CORE_ACTIVE_DATABASE_H_

@@ -1,0 +1,25 @@
+#include "core/reactive.h"
+
+namespace sentinel::core {
+
+Result<oodb::Value> Reactive::GetAttr(const std::string& attr) const {
+  if (db_ == nullptr || db_->object_cache() == nullptr) {
+    return Status::InvalidArgument("no persistent store attached");
+  }
+  auto obj = db_->object_cache()->Get(txn_, oid_);
+  if (!obj.ok()) return obj.status();
+  return (*obj)->Get(attr);
+}
+
+Status Reactive::SetAttr(const std::string& attr, oodb::Value value) {
+  if (db_ == nullptr || db_->object_cache() == nullptr) {
+    return Status::InvalidArgument("no persistent store attached");
+  }
+  auto obj = db_->object_cache()->Get(txn_, oid_);
+  if (!obj.ok()) return obj.status();
+  oodb::PersistentObject copy = **obj;
+  copy.Set(attr, std::move(value));
+  return db_->object_cache()->Put(txn_, std::move(copy)).status();
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,99 @@
+#ifndef SENTINEL_CORE_REACTIVE_H_
+#define SENTINEL_CORE_REACTIVE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/active_database.h"
+
+namespace sentinel::core {
+
+/// Base class for event-generating objects (the paper's global REACTIVE
+/// class, §3.1/§3.2). A user class derives from Reactive and brackets each
+/// event-generating method body with a MethodScope — the C++-level
+/// equivalent of the wrapper the Sentinel pre/post-processors generate:
+///
+///   void Stock::set_price(double price) {
+///     Reactive::MethodScope scope(this, "void set_price(float price)");
+///     scope.Param("price", oodb::Value::Double(price));   // PARA_LIST
+///     scope.EnterBody();    // Notify(..., "begin", para_list)
+///     ...original method body...
+///   }                        // ~MethodScope: Notify(..., "end", para_list)
+///
+/// Immediate rules run inside the Notify calls (the application waits).
+class Reactive {
+ public:
+  Reactive(ActiveDatabase* db, std::string class_name,
+           oodb::Oid oid = oodb::kInvalidOid)
+      : db_(db), class_name_(std::move(class_name)), oid_(oid) {}
+  virtual ~Reactive() = default;
+
+  ActiveDatabase* db() const { return db_; }
+  const std::string& class_name() const { return class_name_; }
+  oodb::Oid oid() const { return oid_; }
+  void set_oid(oodb::Oid oid) { oid_ = oid; }
+
+  /// The transaction the object currently operates in; wrapper notifications
+  /// are tagged with it.
+  storage::TxnId current_txn() const { return txn_; }
+  void set_current_txn(storage::TxnId txn) { txn_ = txn; }
+
+  // -- Persistent state helpers ---------------------------------------------------
+
+  /// Reads this object's attribute from the object store.
+  Result<oodb::Value> GetAttr(const std::string& attr) const;
+  /// Read-modify-writes this object's attribute in the object store.
+  Status SetAttr(const std::string& attr, oodb::Value value);
+
+  /// Wrapper scope replicating the post-processed method (paper §3.2.1).
+  class MethodScope {
+   public:
+    MethodScope(Reactive* self, std::string signature)
+        : self_(self),
+          signature_(std::move(signature)),
+          params_(std::make_shared<detector::ParamList>()) {}
+
+    MethodScope(const MethodScope&) = delete;
+    MethodScope& operator=(const MethodScope&) = delete;
+
+    /// Collects one parameter into the PARA_LIST.
+    MethodScope& Param(std::string name, oodb::Value value) {
+      params_->Insert(std::move(name), std::move(value));
+      return *this;
+    }
+
+    /// Signals the begin-method event. Call after collecting parameters,
+    /// before the original method body.
+    void EnterBody() {
+      entered_ = true;
+      self_->db()->NotifyMethod(self_->class_name(), self_->oid(),
+                                detector::EventModifier::kBegin, signature_,
+                                params_, self_->current_txn());
+    }
+
+    /// Signals the end-method event.
+    ~MethodScope() {
+      if (!entered_) return;  // begin never signalled: treat as not invoked
+      self_->db()->NotifyMethod(self_->class_name(), self_->oid(),
+                                detector::EventModifier::kEnd, signature_,
+                                params_, self_->current_txn());
+    }
+
+   private:
+    Reactive* self_;
+    std::string signature_;
+    std::shared_ptr<detector::ParamList> params_;
+    bool entered_ = false;
+  };
+
+ private:
+  ActiveDatabase* db_;
+  std::string class_name_;
+  oodb::Oid oid_;
+  storage::TxnId txn_ = storage::kInvalidTxnId;
+};
+
+}  // namespace sentinel::core
+
+#endif  // SENTINEL_CORE_REACTIVE_H_

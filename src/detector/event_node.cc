@@ -1,0 +1,93 @@
+#include "detector/event_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sentinel::detector {
+
+void EventNode::AddParent(EventNode* parent, int port) {
+  parents_.push_back(ParentEdge{parent, port});
+}
+
+void EventNode::AddSink(EventSink* sink) { sinks_.push_back(sink); }
+
+void EventNode::RemoveSink(EventSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+void EventNode::AddContextRef(ParamContext context) {
+  int& refs = context_refs_[static_cast<int>(context)];
+  ++refs;
+  if (refs == 1) OnContextActivated(context);
+  for (EventNode* child : Children()) {
+    if (child != nullptr) child->AddContextRef(context);
+  }
+}
+
+void EventNode::ReleaseContextRef(ParamContext context) {
+  int& refs = context_refs_[static_cast<int>(context)];
+  if (refs == 0) {
+    SENTINEL_LOG(kWarn) << "context underflow on node " << name_;
+    return;
+  }
+  --refs;
+  if (refs == 0) OnContextDeactivated(context);
+  for (EventNode* child : Children()) {
+    if (child != nullptr) child->ReleaseContextRef(context);
+  }
+}
+
+void EventNode::Emit(const Occurrence& occurrence, ParamContext context) {
+  // When the same event feeds several ports of one parent (e.g. SEQ(e, e)),
+  // terminator/closer ports must observe the operator state *before* this
+  // occurrence is buffered as an initiator — so deliver higher ports first.
+  std::vector<ParentEdge> ordered = parents_;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ParentEdge& a, const ParentEdge& b) {
+                     return a.port > b.port;
+                   });
+  for (const ParentEdge& edge : ordered) {
+    if (edge.node->ActiveIn(context)) {
+      edge.node->Receive(edge.port, occurrence, context);
+    }
+  }
+  for (EventSink* sink : sinks_) {
+    sink->OnEvent(occurrence, context);
+  }
+}
+
+void PrimitiveEventNode::Signal(
+    const std::shared_ptr<const PrimitiveOccurrence>& raw) {
+  // One raw notification can match several primitive event nodes; each
+  // detection is labelled with the matching node's event name.
+  std::shared_ptr<const PrimitiveOccurrence> labelled = raw;
+  if (raw->event_name != name()) {
+    auto copy = std::make_shared<PrimitiveOccurrence>(*raw);
+    copy->event_name = name();
+    labelled = std::move(copy);
+  }
+  Occurrence occ;
+  occ.event_name = name();
+  occ.t_start = labelled->at;
+  occ.t_end = labelled->at;
+  occ.at_ms = labelled->at_ms;
+  occ.txn = labelled->txn;
+  occ.constituents.push_back(labelled);
+  for (int c = 0; c < kNumContexts; ++c) {
+    if (ActiveIn(static_cast<ParamContext>(c))) {
+      Emit(occ, static_cast<ParamContext>(c));
+    }
+  }
+}
+
+void PrimitiveEventNode::Receive(int port, const Occurrence& occurrence,
+                                 ParamContext context) {
+  // Primitive nodes have no children; nothing should route here.
+  (void)port;
+  (void)occurrence;
+  (void)context;
+  SENTINEL_LOG(kWarn) << "primitive node " << name() << " received an event";
+}
+
+}  // namespace sentinel::detector

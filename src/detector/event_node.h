@@ -1,0 +1,146 @@
+#ifndef SENTINEL_DETECTOR_EVENT_NODE_H_
+#define SENTINEL_DETECTOR_EVENT_NODE_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detector/event_types.h"
+
+namespace sentinel::detector {
+
+/// Node of the event graph (the paper's operator-tree analogue, §3.2.2).
+///
+/// Each node keeps two subscriber lists — parent event nodes and sinks
+/// (rules) — and a per-context reference counter. A node only detects (and
+/// buffers occurrences) in contexts whose counter is positive; the counter
+/// is incremented when a rule is defined in that context on an expression
+/// containing the node, and decremented when the rule is disabled/deleted
+/// (§3.2.2 item 1). This is what lets one shared graph serve many rules in
+/// different contexts while avoiding the storage cost of unused contexts.
+class EventNode {
+ public:
+  explicit EventNode(std::string name) : name_(std::move(name)) {}
+  virtual ~EventNode() = default;
+
+  EventNode(const EventNode&) = delete;
+  EventNode& operator=(const EventNode&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // -- Wiring ---------------------------------------------------------------
+
+  /// Registers `parent` to receive this node's detections on its child slot
+  /// `port` (0 = left/initiator, 1 = middle/detector, 2 = right/terminator).
+  void AddParent(EventNode* parent, int port);
+
+  /// Rules (and the GED forwarder) subscribe as sinks.
+  void AddSink(EventSink* sink);
+  void RemoveSink(EventSink* sink);
+
+  /// Children of this node in the event graph (empty for primitives).
+  virtual std::vector<EventNode*> Children() const { return {}; }
+
+  // -- Context management -----------------------------------------------------
+
+  /// Increments the context counter on this node and its whole subtree.
+  void AddContextRef(ParamContext context);
+  /// Decrements; a node whose counter reaches 0 stops detecting in that
+  /// context and discards its buffered occurrences for it.
+  void ReleaseContextRef(ParamContext context);
+  bool ActiveIn(ParamContext context) const {
+    return context_refs_[static_cast<int>(context)] > 0;
+  }
+  int ContextRefs(ParamContext context) const {
+    return context_refs_[static_cast<int>(context)];
+  }
+
+  // -- Detection ---------------------------------------------------------------
+
+  /// Delivery of a child detection into slot `port`, in `context`.
+  virtual void Receive(int port, const Occurrence& occurrence,
+                       ParamContext context) = 0;
+
+  /// Temporal-clock advance (PLUS/P nodes override; others ignore).
+  virtual void OnTimeAdvance(std::uint64_t now_ms) { (void)now_ms; }
+
+  // -- Transaction hygiene -------------------------------------------------------
+
+  /// Drops buffered (partially detected) occurrences belonging to `txn`
+  /// (§3.2.2 item 3: events must not leak across transaction boundaries).
+  virtual void FlushTxn(TxnId txn) { (void)txn; }
+  /// Drops all buffered occurrences.
+  virtual void FlushAll() {}
+
+  /// Total buffered occurrences across contexts (storage accounting for the
+  /// context benchmarks).
+  virtual std::size_t BufferedCount() const { return 0; }
+
+  std::size_t sink_count() const { return sinks_.size(); }
+
+ protected:
+  /// Delivers a detection to all parents and sinks.
+  void Emit(const Occurrence& occurrence, ParamContext context);
+
+  /// Called when a context transitions inactive->active / active->inactive.
+  virtual void OnContextActivated(ParamContext context) { (void)context; }
+  virtual void OnContextDeactivated(ParamContext context) { (void)context; }
+
+ private:
+  struct ParentEdge {
+    EventNode* node;
+    int port;
+  };
+
+  std::string name_;
+  std::vector<ParentEdge> parents_;
+  std::vector<EventSink*> sinks_;
+  std::array<int, kNumContexts> context_refs_{};
+};
+
+/// Leaf node: a primitive event declared on (class, method, modifier), with
+/// an optional instance filter (paper §3.1: class-level vs. instance-level
+/// primitive events distinguished by whether an OID is bound).
+class PrimitiveEventNode : public EventNode {
+ public:
+  PrimitiveEventNode(std::string name, std::string class_name,
+                     EventModifier modifier, std::string method_signature,
+                     oodb::Oid instance = oodb::kInvalidOid)
+      : EventNode(std::move(name)),
+        class_name_(std::move(class_name)),
+        modifier_(modifier),
+        method_signature_(std::move(method_signature)),
+        instance_(instance) {}
+
+  const std::string& class_name() const { return class_name_; }
+  EventModifier modifier() const { return modifier_; }
+  const std::string& method_signature() const { return method_signature_; }
+  oodb::Oid instance() const { return instance_; }
+  bool is_instance_level() const { return instance_ != oodb::kInvalidOid; }
+
+  /// True if a raw notification matches this node's declaration. The class
+  /// has already been matched by the detector's per-class node lists.
+  bool Matches(const PrimitiveOccurrence& raw) const {
+    return raw.modifier == modifier_ &&
+           raw.method_signature == method_signature_ &&
+           (instance_ == oodb::kInvalidOid || raw.oid == instance_);
+  }
+
+  /// Accepts a raw notification from the detector: wraps it into an
+  /// occurrence named after this node and emits it in every active context.
+  void Signal(const std::shared_ptr<const PrimitiveOccurrence>& raw);
+
+  void Receive(int port, const Occurrence& occurrence,
+               ParamContext context) override;
+
+ private:
+  std::string class_name_;
+  EventModifier modifier_;
+  std::string method_signature_;
+  oodb::Oid instance_;
+};
+
+}  // namespace sentinel::detector
+
+#endif  // SENTINEL_DETECTOR_EVENT_NODE_H_

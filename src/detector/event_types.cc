@@ -1,0 +1,73 @@
+#include "detector/event_types.h"
+
+#include <sstream>
+
+namespace sentinel::detector {
+
+const char* EventModifierToString(EventModifier m) {
+  return m == EventModifier::kBegin ? "begin" : "end";
+}
+
+const char* ParamContextToString(ParamContext c) {
+  switch (c) {
+    case ParamContext::kRecent:
+      return "RECENT";
+    case ParamContext::kChronicle:
+      return "CHRONICLE";
+    case ParamContext::kContinuous:
+      return "CONTINUOUS";
+    case ParamContext::kCumulative:
+      return "CUMULATIVE";
+  }
+  return "?";
+}
+
+std::string ParamList::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [name, value] : params_) {
+    if (!first) os << ", ";
+    first = false;
+    os << name << "=" << value.ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string PrimitiveOccurrence::ToString() const {
+  std::ostringstream os;
+  os << event_name << "[" << class_name << "." << method_signature << " "
+     << EventModifierToString(modifier) << " oid=" << oid << " t=" << at
+     << " txn=" << txn;
+  if (params != nullptr) os << " " << params->ToString();
+  os << "]";
+  return os.str();
+}
+
+Result<oodb::Value> Occurrence::Param(const std::string& name) const {
+  for (auto it = constituents.rbegin(); it != constituents.rend(); ++it) {
+    if ((*it)->params == nullptr) continue;
+    auto v = (*it)->params->Get(name);
+    if (v.ok()) return v;
+  }
+  return Status::NotFound("no parameter named " + name);
+}
+
+std::vector<std::shared_ptr<const PrimitiveOccurrence>> Occurrence::Of(
+    const std::string& primitive_event_name) const {
+  std::vector<std::shared_ptr<const PrimitiveOccurrence>> result;
+  for (const auto& c : constituents) {
+    if (c->event_name == primitive_event_name) result.push_back(c);
+  }
+  return result;
+}
+
+std::string Occurrence::ToString() const {
+  std::ostringstream os;
+  os << event_name << "@[" << t_start << "," << t_end << "] txn=" << txn
+     << " constituents=" << constituents.size();
+  return os.str();
+}
+
+}  // namespace sentinel::detector

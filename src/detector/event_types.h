@@ -1,0 +1,116 @@
+#ifndef SENTINEL_DETECTOR_EVENT_TYPES_H_
+#define SENTINEL_DETECTOR_EVENT_TYPES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "oodb/value.h"
+#include "storage/log_record.h"
+
+namespace sentinel::detector {
+
+using TxnId = storage::TxnId;
+
+/// Which edge of a method invocation raises the event (paper §3.1:
+/// begin(event) / end(event); end is the default).
+enum class EventModifier : std::uint8_t { kBegin = 0, kEnd = 1 };
+
+const char* EventModifierToString(EventModifier m);
+
+/// Snoop parameter contexts (paper §3.1; semantics from the VLDB'94
+/// companion paper). RECENT is the default for its low storage needs.
+enum class ParamContext : std::uint8_t {
+  kRecent = 0,
+  kChronicle = 1,
+  kContinuous = 2,
+  kCumulative = 3,
+};
+constexpr int kNumContexts = 4;
+
+const char* ParamContextToString(ParamContext c);
+
+/// The paper's PARA_LIST: ordered (name, value) pairs collected by the
+/// wrapper method at invocation time. Immutable once attached to an
+/// occurrence; shared by pointer through the graph (no copying — §3.2.2
+/// item 2).
+class ParamList {
+ public:
+  ParamList() = default;
+
+  ParamList& Insert(std::string name, oodb::Value value) {
+    params_.emplace_back(std::move(name), std::move(value));
+    return *this;
+  }
+
+  /// First value with the given name, or NotFound.
+  Result<oodb::Value> Get(const std::string& name) const {
+    for (const auto& [n, v] : params_) {
+      if (n == name) return v;
+    }
+    return Status::NotFound("no parameter named " + name);
+  }
+
+  const std::vector<std::pair<std::string, oodb::Value>>& entries() const {
+    return params_;
+  }
+  std::size_t size() const { return params_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, oodb::Value>> params_;
+};
+
+/// One primitive event occurrence: the unit collected into composite-event
+/// parameter lists. Carries the signalling object's OID plus atomic
+/// parameters (§2.1: "identification of the object (i.e., oid) as one of the
+/// event parameters and other parameters which have atomic values").
+struct PrimitiveOccurrence {
+  std::string event_name;        // primitive event node that matched
+  std::string class_name;        // class of the signalling object
+  oodb::Oid oid = oodb::kInvalidOid;
+  EventModifier modifier = EventModifier::kEnd;
+  std::string method_signature;
+  Timestamp at = kInvalidTimestamp;  // logical occurrence time
+  std::uint64_t at_ms = 0;           // temporal-clock time (for PLUS/P)
+  TxnId txn = storage::kInvalidTxnId;
+  std::shared_ptr<const ParamList> params;
+
+  std::string ToString() const;
+};
+
+/// An event occurrence flowing through the event graph. Composite
+/// occurrences span an interval [t_start, t_end] and reference (not copy)
+/// the parameter lists of their constituent primitive occurrences — the
+/// paper's linked-list-of-parameters representation.
+struct Occurrence {
+  std::string event_name;  // node that produced this occurrence
+  Timestamp t_start = kInvalidTimestamp;
+  Timestamp t_end = kInvalidTimestamp;
+  std::uint64_t at_ms = 0;
+  TxnId txn = storage::kInvalidTxnId;
+  std::vector<std::shared_ptr<const PrimitiveOccurrence>> constituents;
+
+  /// Looks a parameter up across constituents, newest first.
+  Result<oodb::Value> Param(const std::string& name) const;
+  /// All constituents raised by the named primitive event.
+  std::vector<std::shared_ptr<const PrimitiveOccurrence>> Of(
+      const std::string& primitive_event_name) const;
+
+  std::string ToString() const;
+};
+
+/// Receiver of detected events: rules subscribe to event nodes through this
+/// interface; the global event detector forwards through it as well.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void OnEvent(const Occurrence& occurrence, ParamContext context) = 0;
+};
+
+}  // namespace sentinel::detector
+
+#endif  // SENTINEL_DETECTOR_EVENT_TYPES_H_

@@ -1,0 +1,332 @@
+#include "detector/local_detector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sentinel::detector {
+
+namespace {
+thread_local int t_suppress_depth = 0;
+constexpr char kExplicitClass[] = "<explicit>";
+}  // namespace
+
+LocalEventDetector::SuppressScope::SuppressScope() { ++t_suppress_depth; }
+LocalEventDetector::SuppressScope::~SuppressScope() { --t_suppress_depth; }
+
+bool LocalEventDetector::SignalingSuppressed() { return t_suppress_depth > 0; }
+
+Result<EventNode*> LocalEventDetector::Install(
+    const std::string& name, std::unique_ptr<EventNode> node) {
+  if (nodes_.count(name) != 0) {
+    return Status::AlreadyExists("event already defined: " + name);
+  }
+  EventNode* raw = node.get();
+  nodes_[name] = std::move(node);
+  return raw;
+}
+
+Result<EventNode*> LocalEventDetector::DefinePrimitive(
+    const std::string& name, const std::string& class_name,
+    EventModifier modifier, const std::string& method_signature,
+    oodb::Oid instance) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto node = std::make_unique<PrimitiveEventNode>(
+      name, class_name, modifier, method_signature, instance);
+  PrimitiveEventNode* raw = node.get();
+  auto installed = Install(name, std::move(node));
+  if (!installed.ok()) return installed.status();
+  by_class_[class_name].push_back(raw);
+  return *installed;
+}
+
+Result<EventNode*> LocalEventDetector::DefineExplicit(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto node = std::make_unique<PrimitiveEventNode>(
+      name, kExplicitClass, EventModifier::kEnd, name);
+  PrimitiveEventNode* raw = node.get();
+  auto installed = Install(name, std::move(node));
+  if (!installed.ok()) return installed.status();
+  explicit_events_[name] = raw;
+  return *installed;
+}
+
+Result<EventNode*> LocalEventDetector::DefineOr(const std::string& name,
+                                                EventNode* left,
+                                                EventNode* right) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return Install(name, std::make_unique<OrNode>(name, left, right));
+}
+
+Result<EventNode*> LocalEventDetector::DefineAnd(const std::string& name,
+                                                 EventNode* left,
+                                                 EventNode* right) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return Install(name, std::make_unique<AndNode>(name, left, right));
+}
+
+Result<EventNode*> LocalEventDetector::DefineSeq(const std::string& name,
+                                                 EventNode* left,
+                                                 EventNode* right) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return Install(name, std::make_unique<SeqNode>(name, left, right));
+}
+
+Result<EventNode*> LocalEventDetector::DefineNot(const std::string& name,
+                                                 EventNode* opener,
+                                                 EventNode* canceller,
+                                                 EventNode* closer) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return Install(name,
+                 std::make_unique<NotNode>(name, opener, canceller, closer));
+}
+
+Result<EventNode*> LocalEventDetector::DefineAperiodic(const std::string& name,
+                                                       EventNode* opener,
+                                                       EventNode* detector,
+                                                       EventNode* closer) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return Install(
+      name, std::make_unique<AperiodicNode>(name, opener, detector, closer));
+}
+
+Result<EventNode*> LocalEventDetector::DefineAperiodicStar(
+    const std::string& name, EventNode* opener, EventNode* detector,
+    EventNode* closer) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return Install(name, std::make_unique<AperiodicStarNode>(name, opener,
+                                                           detector, closer));
+}
+
+Result<EventNode*> LocalEventDetector::DefineAny(
+    const std::string& name, std::size_t threshold,
+    std::vector<EventNode*> children) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (threshold == 0 || threshold > children.size()) {
+    return Status::InvalidArgument(
+        "ANY threshold must be in [1, #children]: " +
+        std::to_string(threshold) + " of " + std::to_string(children.size()));
+  }
+  return Install(name,
+                 std::make_unique<AnyNode>(name, threshold, std::move(children)));
+}
+
+Result<EventNode*> LocalEventDetector::DefinePlus(const std::string& name,
+                                                  EventNode* base,
+                                                  std::uint64_t delta_ms) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto node = std::make_unique<PlusNode>(name, base, delta_ms, &clock_);
+  EventNode* raw = node.get();
+  auto installed = Install(name, std::move(node));
+  if (!installed.ok()) return installed.status();
+  temporal_nodes_.push_back(raw);
+  return *installed;
+}
+
+Result<EventNode*> LocalEventDetector::DefinePeriodic(const std::string& name,
+                                                      EventNode* opener,
+                                                      std::uint64_t period_ms,
+                                                      EventNode* closer) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto node =
+      std::make_unique<PeriodicNode>(name, opener, period_ms, closer, &clock_);
+  EventNode* raw = node.get();
+  auto installed = Install(name, std::move(node));
+  if (!installed.ok()) return installed.status();
+  temporal_nodes_.push_back(raw);
+  return *installed;
+}
+
+Result<EventNode*> LocalEventDetector::DefinePeriodicStar(
+    const std::string& name, EventNode* opener, std::uint64_t period_ms,
+    EventNode* closer) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto node = std::make_unique<PeriodicStarNode>(name, opener, period_ms,
+                                                 closer, &clock_);
+  EventNode* raw = node.get();
+  auto installed = Install(name, std::move(node));
+  if (!installed.ok()) return installed.status();
+  temporal_nodes_.push_back(raw);
+  return *installed;
+}
+
+Result<EventNode*> LocalEventDetector::Find(const std::string& name) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    return Status::NotFound("no event named " + name);
+  }
+  return it->second.get();
+}
+
+bool LocalEventDetector::Exists(const std::string& name) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return nodes_.count(name) != 0;
+}
+
+std::vector<std::string> LocalEventDetector::EventNames() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& [name, node] : nodes_) {
+    (void)node;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::size_t LocalEventDetector::node_count() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return nodes_.size();
+}
+
+void LocalEventDetector::Route(
+    const std::shared_ptr<const PrimitiveOccurrence>& raw) {
+  for (const auto& observer : raw_observers_) observer(*raw);
+  // The invocation is propagated only to primitive events of the signalling
+  // class — and of its ancestors, so class-level events fire for subclass
+  // instances too.
+  for (auto& [declared_class, nodes] : by_class_) {
+    const bool applies =
+        declared_class == raw->class_name ||
+        (registry_ != nullptr &&
+         registry_->IsSubclassOf(raw->class_name, declared_class));
+    if (!applies) continue;
+    for (PrimitiveEventNode* node : nodes) {
+      if (node->Matches(*raw)) node->Signal(raw);
+    }
+  }
+}
+
+void LocalEventDetector::Notify(const std::string& class_name, oodb::Oid oid,
+                                EventModifier modifier,
+                                const std::string& method_signature,
+                                std::shared_ptr<const ParamList> params,
+                                TxnId txn) {
+  if (SignalingSuppressed()) return;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++notify_count_;
+  auto raw = std::make_shared<PrimitiveOccurrence>();
+  raw->class_name = class_name;
+  raw->oid = oid;
+  raw->modifier = modifier;
+  raw->method_signature = method_signature;
+  raw->at = clock_.Tick();
+  raw->at_ms = now_ms_;
+  raw->txn = txn;
+  raw->params = std::move(params);
+  Route(raw);
+}
+
+Status LocalEventDetector::RaiseExplicit(
+    const std::string& name, std::shared_ptr<const ParamList> params,
+    TxnId txn) {
+  if (SignalingSuppressed()) return Status::OK();
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = explicit_events_.find(name);
+  if (it == explicit_events_.end()) {
+    return Status::NotFound("no explicit event named " + name);
+  }
+  ++notify_count_;
+  auto raw = std::make_shared<PrimitiveOccurrence>();
+  raw->event_name = name;
+  raw->class_name = kExplicitClass;
+  raw->modifier = EventModifier::kEnd;
+  raw->method_signature = name;
+  raw->at = clock_.Tick();
+  raw->at_ms = now_ms_;
+  raw->txn = txn;
+  raw->params = std::move(params);
+  for (const auto& observer : raw_observers_) observer(*raw);
+  it->second->Signal(raw);
+  return Status::OK();
+}
+
+void LocalEventDetector::Inject(const PrimitiveOccurrence& recorded) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++notify_count_;
+  clock_.Witness(recorded.at);
+  if (recorded.at_ms > now_ms_) now_ms_ = recorded.at_ms;
+  auto raw = std::make_shared<PrimitiveOccurrence>(recorded);
+  if (recorded.class_name == kExplicitClass) {
+    auto it = explicit_events_.find(recorded.method_signature);
+    if (it != explicit_events_.end()) {
+      for (const auto& observer : raw_observers_) observer(*raw);
+      it->second->Signal(raw);
+    }
+    return;
+  }
+  Route(raw);
+}
+
+void LocalEventDetector::AdvanceTime(std::uint64_t now_ms) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (now_ms < now_ms_) return;
+  now_ms_ = now_ms;
+  for (EventNode* node : temporal_nodes_) node->OnTimeAdvance(now_ms);
+}
+
+Status LocalEventDetector::Subscribe(const std::string& event, EventSink* sink,
+                                     ParamContext context) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto node = Find(event);
+  if (!node.ok()) return node.status();
+  (*node)->AddSink(sink);
+  (*node)->AddContextRef(context);
+  return Status::OK();
+}
+
+Status LocalEventDetector::Unsubscribe(const std::string& event,
+                                       EventSink* sink, ParamContext context) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto node = Find(event);
+  if (!node.ok()) return node.status();
+  (*node)->RemoveSink(sink);
+  (*node)->ReleaseContextRef(context);
+  return Status::OK();
+}
+
+void LocalEventDetector::FlushTxn(TxnId txn) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  for (auto& [name, node] : nodes_) {
+    (void)name;
+    node->FlushTxn(txn);
+  }
+}
+
+void LocalEventDetector::FlushAll() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  for (auto& [name, node] : nodes_) {
+    (void)name;
+    node->FlushAll();
+  }
+}
+
+Status LocalEventDetector::FlushEvent(const std::string& event) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto node = Find(event);
+  if (!node.ok()) return node.status();
+  // Flush the expression's whole subtree.
+  std::vector<EventNode*> stack{*node};
+  while (!stack.empty()) {
+    EventNode* current = stack.back();
+    stack.pop_back();
+    current->FlushAll();
+    for (EventNode* child : current->Children()) {
+      if (child != nullptr) stack.push_back(child);
+    }
+  }
+  return Status::OK();
+}
+
+std::size_t LocalEventDetector::BufferedCount() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, node] : nodes_) {
+    (void)name;
+    n += node->BufferedCount();
+  }
+  return n;
+}
+
+}  // namespace sentinel::detector

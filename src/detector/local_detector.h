@@ -1,0 +1,182 @@
+#ifndef SENTINEL_DETECTOR_LOCAL_DETECTOR_H_
+#define SENTINEL_DETECTOR_LOCAL_DETECTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "detector/event_node.h"
+#include "detector/operator_nodes.h"
+#include "oodb/schema.h"
+
+namespace sentinel::detector {
+
+/// The local composite event detector (paper §2.3, §3.2.2): one instance per
+/// application. Owns the event graph, routes raw method notifications to the
+/// primitive event nodes of the signalling class (and its ancestors — class
+/// level events apply to subclasses), advances temporal events, manages
+/// subscriber lists and context reference counts, and flushes buffered
+/// occurrences at transaction boundaries.
+///
+/// Detection is demand-driven: notifications propagate only to nodes whose
+/// class/method matches, and operator nodes only process contexts with a
+/// positive reference count.
+class LocalEventDetector {
+ public:
+  LocalEventDetector() = default;
+
+  LocalEventDetector(const LocalEventDetector&) = delete;
+  LocalEventDetector& operator=(const LocalEventDetector&) = delete;
+
+  // -- Event definition --------------------------------------------------------
+
+  /// Declares a primitive event on (class, method, modifier); bind `instance`
+  /// for an instance-level event (paper §3.1).
+  Result<EventNode*> DefinePrimitive(const std::string& name,
+                                     const std::string& class_name,
+                                     EventModifier modifier,
+                                     const std::string& method_signature,
+                                     oodb::Oid instance = oodb::kInvalidOid);
+
+  /// Declares an explicit (abstract) event raised by name from application
+  /// code rather than by a method invocation.
+  Result<EventNode*> DefineExplicit(const std::string& name);
+
+  Result<EventNode*> DefineOr(const std::string& name, EventNode* left,
+                              EventNode* right);
+  Result<EventNode*> DefineAnd(const std::string& name, EventNode* left,
+                               EventNode* right);
+  Result<EventNode*> DefineSeq(const std::string& name, EventNode* left,
+                               EventNode* right);
+  Result<EventNode*> DefineNot(const std::string& name, EventNode* opener,
+                               EventNode* canceller, EventNode* closer);
+  Result<EventNode*> DefineAperiodic(const std::string& name, EventNode* opener,
+                                     EventNode* detector, EventNode* closer);
+  Result<EventNode*> DefineAperiodicStar(const std::string& name,
+                                         EventNode* opener, EventNode* detector,
+                                         EventNode* closer);
+  /// ANY(m, E1..En): m of the n distinct events occurred, any order.
+  Result<EventNode*> DefineAny(const std::string& name, std::size_t threshold,
+                               std::vector<EventNode*> children);
+  Result<EventNode*> DefinePlus(const std::string& name, EventNode* base,
+                                std::uint64_t delta_ms);
+  Result<EventNode*> DefinePeriodic(const std::string& name, EventNode* opener,
+                                    std::uint64_t period_ms, EventNode* closer);
+  Result<EventNode*> DefinePeriodicStar(const std::string& name,
+                                        EventNode* opener,
+                                        std::uint64_t period_ms,
+                                        EventNode* closer);
+
+  Result<EventNode*> Find(const std::string& name) const;
+  bool Exists(const std::string& name) const;
+  std::vector<std::string> EventNames() const;
+  std::size_t node_count() const;
+
+  // -- Signalling ----------------------------------------------------------------
+
+  /// Raw notification from a wrapper method (the paper's Notify call inserted
+  /// by the post-processor). Assigns the occurrence timestamp and routes to
+  /// matching primitive nodes.
+  void Notify(const std::string& class_name, oodb::Oid oid,
+              EventModifier modifier, const std::string& method_signature,
+              std::shared_ptr<const ParamList> params, TxnId txn);
+
+  /// Raises an explicit event by name.
+  Status RaiseExplicit(const std::string& name,
+                       std::shared_ptr<const ParamList> params, TxnId txn);
+
+  /// Batch-mode entry: injects a recorded occurrence (event-log replay),
+  /// preserving its original timestamps.
+  void Inject(const PrimitiveOccurrence& recorded);
+
+  // -- Temporal events -------------------------------------------------------------
+
+  /// Advances the temporal clock and fires due PLUS/P occurrences. The clock
+  /// is virtual: tests and batch replay advance it explicitly; an online
+  /// application may drive it from wall time.
+  void AdvanceTime(std::uint64_t now_ms);
+  std::uint64_t now_ms() const { return now_ms_; }
+
+  // -- Subscription ------------------------------------------------------------------
+
+  /// Subscribes `sink` to `event` in `context`: adds the sink to the node's
+  /// subscriber list and propagates a context reference through the
+  /// expression's subtree (starting detection in that context if it was
+  /// inactive — §3.2.2 item 1).
+  Status Subscribe(const std::string& event, EventSink* sink,
+                   ParamContext context);
+  Status Unsubscribe(const std::string& event, EventSink* sink,
+                     ParamContext context);
+
+  // -- Transaction hygiene ----------------------------------------------------------
+
+  /// Flushes buffered occurrences of `txn` from the whole graph (invoked on
+  /// commit/abort by the active layer's internal rules).
+  void FlushTxn(TxnId txn);
+  void FlushAll();
+  /// Flushes one event expression's subtree only (selective flush, §3.2.2).
+  Status FlushEvent(const std::string& event);
+
+  /// Total buffered occurrences (context storage accounting).
+  std::size_t BufferedCount() const;
+
+  // -- Condition guard ---------------------------------------------------------------
+
+  /// While a rule's condition function runs, signalled events must be
+  /// ignored (conditions are side-effect free — §3.2.1). The guard is
+  /// per-thread since rules execute on scheduler threads.
+  class SuppressScope {
+   public:
+    SuppressScope();
+    ~SuppressScope();
+    SuppressScope(const SuppressScope&) = delete;
+    SuppressScope& operator=(const SuppressScope&) = delete;
+  };
+  static bool SignalingSuppressed();
+
+  // -- Integration hooks ----------------------------------------------------------------
+
+  /// Class registry for inheritance-aware class-level event matching.
+  void set_class_registry(const oodb::ClassRegistry* registry) {
+    registry_ = registry;
+  }
+
+  /// Observers invoked for every accepted raw notification (event logging
+  /// and global-event forwarding may both be attached).
+  void AddRawObserver(std::function<void(const PrimitiveOccurrence&)> observer) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    raw_observers_.push_back(std::move(observer));
+  }
+
+  LogicalClock* clock() { return &clock_; }
+  std::uint64_t notify_count() const { return notify_count_; }
+
+ private:
+  Result<EventNode*> Install(const std::string& name,
+                             std::unique_ptr<EventNode> node);
+  void Route(const std::shared_ptr<const PrimitiveOccurrence>& raw);
+
+  mutable std::recursive_mutex mu_;
+  std::map<std::string, std::unique_ptr<EventNode>> nodes_;
+  // Class name -> primitive nodes declared on that class (paper: primitive
+  // events maintained as per-class lists).
+  std::map<std::string, std::vector<PrimitiveEventNode*>> by_class_;
+  std::map<std::string, PrimitiveEventNode*> explicit_events_;
+  std::vector<EventNode*> temporal_nodes_;
+
+  const oodb::ClassRegistry* registry_ = nullptr;
+  std::vector<std::function<void(const PrimitiveOccurrence&)>> raw_observers_;
+
+  LogicalClock clock_;
+  std::uint64_t now_ms_ = 0;
+  std::uint64_t notify_count_ = 0;
+};
+
+}  // namespace sentinel::detector
+
+#endif  // SENTINEL_DETECTOR_LOCAL_DETECTOR_H_

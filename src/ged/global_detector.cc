@@ -1,0 +1,170 @@
+#include "ged/global_detector.h"
+
+#include "common/logging.h"
+
+namespace sentinel::ged {
+
+namespace {
+std::string Namespaced(const std::string& app, const std::string& class_name) {
+  return app + "::" + class_name;
+}
+}  // namespace
+
+/// Sink that re-raises a global detection inside a target application as an
+/// explicit event (the "to execute detached rule" arrow in Fig. 2).
+class GlobalEventDetector::Forwarder : public detector::EventSink {
+ public:
+  Forwarder(core::ActiveDatabase* app, std::string as_event,
+            detector::ParamContext context)
+      : app_(app), as_event_(std::move(as_event)), context_(context) {}
+
+  void OnEvent(const detector::Occurrence& occurrence,
+               detector::ParamContext context) override {
+    if (context != context_) return;
+    // Re-package the global occurrence's parameters flat into one list.
+    auto params = std::make_shared<detector::ParamList>();
+    params->Insert("global_event",
+                   oodb::Value::String(occurrence.event_name));
+    for (const auto& constituent : occurrence.constituents) {
+      if (constituent->params == nullptr) continue;
+      for (const auto& [name, value] : constituent->params->entries()) {
+        params->Insert(name, value);
+      }
+    }
+    Status st = app_->RaiseEvent(as_event_, params, storage::kInvalidTxnId);
+    if (!st.ok()) {
+      SENTINEL_LOG(kWarn) << "global delivery of " << occurrence.event_name
+                          << " failed: " << st.ToString();
+    }
+  }
+
+ private:
+  core::ActiveDatabase* app_;
+  std::string as_event_;
+  detector::ParamContext context_;
+};
+
+GlobalEventDetector::GlobalEventDetector() {
+  worker_ = std::thread([this] { BusLoop(); });
+}
+
+GlobalEventDetector::~GlobalEventDetector() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+Status GlobalEventDetector::RegisterApplication(const std::string& app_name,
+                                                core::ActiveDatabase* app) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (apps_.count(app_name) != 0) {
+      return Status::AlreadyExists("application already registered: " +
+                                   app_name);
+    }
+    apps_[app_name] = app;
+  }
+  app->detector()->AddRawObserver(
+      [this, app_name](const detector::PrimitiveOccurrence& occ) {
+        Pump(app_name, occ);
+      });
+  return Status::OK();
+}
+
+Result<detector::EventNode*> GlobalEventDetector::DefineGlobalPrimitive(
+    const std::string& name, const std::string& app_name,
+    const std::string& class_name, detector::EventModifier modifier,
+    const std::string& method_signature) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (apps_.count(app_name) == 0) {
+      return Status::NotFound("application not registered: " + app_name);
+    }
+  }
+  return graph_.DefinePrimitive(name, Namespaced(app_name, class_name),
+                                modifier, method_signature);
+}
+
+Status GlobalEventDetector::Subscribe(const std::string& event,
+                                      detector::EventSink* sink,
+                                      detector::ParamContext context) {
+  return graph_.Subscribe(event, sink, context);
+}
+
+Status GlobalEventDetector::DeliverTo(const std::string& event,
+                                      const std::string& app_name,
+                                      const std::string& as_event) {
+  core::ActiveDatabase* app = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = apps_.find(app_name);
+    if (it == apps_.end()) {
+      return Status::NotFound("application not registered: " + app_name);
+    }
+    app = it->second;
+  }
+  if (!app->detector()->Exists(as_event)) {
+    return Status::NotFound("target application has no event " + as_event);
+  }
+  auto forwarder = std::make_unique<Forwarder>(
+      app, as_event, detector::ParamContext::kRecent);
+  SENTINEL_RETURN_NOT_OK(
+      graph_.Subscribe(event, forwarder.get(), detector::ParamContext::kRecent));
+  std::lock_guard<std::mutex> lock(mu_);
+  delivery_sinks_.push_back(std::move(forwarder));
+  return Status::OK();
+}
+
+void GlobalEventDetector::Pump(const std::string& app_name,
+                               const detector::PrimitiveOccurrence& occ) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bus_.emplace_back(app_name, occ);
+    ++forwarded_;
+  }
+  cv_.notify_one();
+}
+
+void GlobalEventDetector::BusLoop() {
+  for (;;) {
+    std::pair<std::string, detector::PrimitiveOccurrence> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !bus_.empty(); });
+      if (stop_ && bus_.empty()) return;
+      item = std::move(bus_.front());
+      bus_.pop_front();
+      busy_ = true;
+    }
+    // Rewrite the class to the application-scoped namespace and inject into
+    // the global graph. Inter-application events intentionally span
+    // transactions, so the GED performs no per-transaction flush. Each
+    // application has its own logical clock, so occurrences are re-stamped
+    // in bus-arrival order to give the global graph one total order (the
+    // paper defers distributed timestamping to future work).
+    detector::PrimitiveOccurrence occ = item.second;
+    occ.class_name = Namespaced(item.first, occ.class_name);
+    occ.at = graph_.clock()->Tick();
+    graph_.Inject(occ);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_ = false;
+      if (bus_.empty()) cv_.notify_all();
+    }
+  }
+}
+
+void GlobalEventDetector::WaitQuiescent() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return bus_.empty() && !busy_; });
+}
+
+std::uint64_t GlobalEventDetector::forwarded_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return forwarded_;
+}
+
+}  // namespace sentinel::ged

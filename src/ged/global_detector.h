@@ -1,0 +1,98 @@
+#ifndef SENTINEL_GED_GLOBAL_DETECTOR_H_
+#define SENTINEL_GED_GLOBAL_DETECTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/active_database.h"
+#include "detector/local_detector.h"
+
+namespace sentinel::ged {
+
+/// Global event detector (paper Fig. 2 and §4 future work): detects
+/// composite events whose constituents come from *different applications*
+/// (cooperative transactions, workflows).
+///
+/// Each registered application's local detector forwards its raw
+/// notifications onto the GED's message bus; a dedicated GED thread drains
+/// the bus into an internal event graph whose primitive nodes are namespaced
+/// by application ("app::class"). Global detections are delivered either to
+/// subscribed sinks or back into a target application's detector as an
+/// explicit event — where a (typically detached) rule executes it, matching
+/// the paper's "Application_i to execute detached rule" arrows.
+///
+/// The in-process message bus stands in for the socket/Corba transport the
+/// paper leaves as future work: it preserves the asynchronous, queue-based
+/// control flow of Fig. 2 without requiring separate OS processes.
+class GlobalEventDetector {
+ public:
+  GlobalEventDetector();
+  ~GlobalEventDetector();
+
+  GlobalEventDetector(const GlobalEventDetector&) = delete;
+  GlobalEventDetector& operator=(const GlobalEventDetector&) = delete;
+
+  /// Connects an application: its raw events are forwarded to the bus.
+  Status RegisterApplication(const std::string& app_name,
+                             core::ActiveDatabase* app);
+
+  /// Declares a global primitive event mirroring `app_name`'s primitive
+  /// (class, modifier, method) specification.
+  Result<detector::EventNode*> DefineGlobalPrimitive(
+      const std::string& name, const std::string& app_name,
+      const std::string& class_name, detector::EventModifier modifier,
+      const std::string& method_signature);
+
+  /// The GED's internal graph: compose global events with the usual
+  /// operators through this detector (definitions only; do not signal it
+  /// directly).
+  detector::LocalEventDetector* graph() { return &graph_; }
+
+  /// Subscribes a sink to a global event.
+  Status Subscribe(const std::string& event, detector::EventSink* sink,
+                   detector::ParamContext context);
+
+  /// Routes detections of `event` into `app_name`'s detector as the explicit
+  /// event `as_event` (define it and its — typically DETACHED — rules in the
+  /// application first).
+  Status DeliverTo(const std::string& event, const std::string& app_name,
+                   const std::string& as_event);
+
+  /// Blocks until every event forwarded so far has been processed.
+  void WaitQuiescent();
+
+  std::uint64_t forwarded_count() const;
+
+ private:
+  class Forwarder;
+
+  void BusLoop();
+  void Pump(const std::string& app_name,
+            const detector::PrimitiveOccurrence& occurrence);
+
+  detector::LocalEventDetector graph_;
+  std::map<std::string, core::ActiveDatabase*> apps_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::pair<std::string, detector::PrimitiveOccurrence>> bus_;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::uint64_t forwarded_ = 0;
+  std::thread worker_;
+
+  // Sinks created by DeliverTo (owned).
+  std::vector<std::unique_ptr<detector::EventSink>> delivery_sinks_;
+};
+
+}  // namespace sentinel::ged
+
+#endif  // SENTINEL_GED_GLOBAL_DETECTOR_H_

@@ -1,0 +1,66 @@
+#ifndef SENTINEL_OODB_DATABASE_H_
+#define SENTINEL_OODB_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "oodb/name_manager.h"
+#include "oodb/persistence_manager.h"
+#include "oodb/schema.h"
+#include "storage/storage_engine.h"
+
+namespace sentinel::oodb {
+
+/// The passive OODBMS facade (the Open OODB substitute): a storage engine
+/// plus persistence manager, name manager and class registry, with top-level
+/// transaction management.
+///
+/// This layer is deliberately event-free. The active layer
+/// (core::ActiveDatabase) wraps it and raises begin_transaction /
+/// pre_commit / abort system events around these calls — exactly how
+/// Sentinel made Open OODB's system class REACTIVE (§3.2).
+class Database {
+ public:
+  struct Options {
+    storage::StorageEngine::Options storage;
+  };
+
+  Database() = default;
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Opens (creating if needed) the database at `path_prefix` and bootstraps
+  /// the object and name catalogs.
+  Status Open(const std::string& path_prefix, const Options& options);
+  Status Open(const std::string& path_prefix);
+  Status Close();
+  bool is_open() const { return engine_ != nullptr; }
+
+  /// Test hook: simulated process crash (see StorageEngine::SimulateCrash).
+  void SimulateCrash();
+
+  Result<TxnId> Begin();
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+
+  ClassRegistry* classes() { return &classes_; }
+  PersistenceManager* objects() { return objects_.get(); }
+  NameManager* names() { return names_.get(); }
+  storage::StorageEngine* engine() { return engine_.get(); }
+
+ private:
+  bool HasCatalogFiles();
+
+  std::unique_ptr<storage::StorageEngine> engine_;
+  std::unique_ptr<PersistenceManager> objects_;
+  std::unique_ptr<NameManager> names_;
+  ClassRegistry classes_;
+};
+
+}  // namespace sentinel::oodb
+
+#endif  // SENTINEL_OODB_DATABASE_H_

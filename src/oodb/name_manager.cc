@@ -1,0 +1,116 @@
+#include "oodb/name_manager.h"
+
+#include "common/bytes.h"
+
+namespace sentinel::oodb {
+
+namespace {
+std::vector<std::uint8_t> EncodeBinding(const std::string& name, Oid oid) {
+  BytesWriter writer;
+  writer.PutString(name);
+  writer.PutU64(oid);
+  return writer.Release();
+}
+}  // namespace
+
+Status NameManager::Bootstrap() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bindings_.clear();
+  overlays_.clear();
+  auto txn = engine_->Begin();
+  if (!txn.ok()) return txn.status();
+  Status st = engine_->Scan(
+      *txn, file_,
+      [&](const storage::Rid& rid, const std::vector<std::uint8_t>& rec) {
+        BytesReader reader(rec);
+        auto name = reader.ReadString();
+        if (!name.ok()) return name.status();
+        auto oid = reader.ReadU64();
+        if (!oid.ok()) return oid.status();
+        bindings_[*name] = Binding{*oid, rid};
+        return Status::OK();
+      });
+  Status end = st.ok() ? engine_->Commit(*txn) : engine_->Abort(*txn);
+  SENTINEL_RETURN_NOT_OK(st);
+  return end;
+}
+
+std::optional<NameManager::Binding> NameManager::Locate(
+    storage::TxnId txn, const std::string& name) const {
+  auto overlay_it = overlays_.find(txn);
+  if (overlay_it != overlays_.end()) {
+    auto entry = overlay_it->second.find(name);
+    if (entry != overlay_it->second.end()) return entry->second;
+  }
+  auto it = bindings_.find(name);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status NameManager::Bind(storage::TxnId txn, const std::string& name,
+                         Oid oid) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto existing = Locate(txn, name);
+  lock.unlock();
+  auto bytes = EncodeBinding(name, oid);
+  if (existing.has_value()) {
+    SENTINEL_RETURN_NOT_OK(engine_->Update(txn, file_, existing->rid, bytes));
+    lock.lock();
+    overlays_[txn][name] = Binding{oid, existing->rid};
+    return Status::OK();
+  }
+  auto rid = engine_->Insert(txn, file_, bytes);
+  if (!rid.ok()) return rid.status();
+  lock.lock();
+  overlays_[txn][name] = Binding{oid, *rid};
+  return Status::OK();
+}
+
+Result<Oid> NameManager::Lookup(storage::TxnId txn,
+                                const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto binding = Locate(txn, name);
+  if (!binding.has_value()) {
+    return Status::NotFound("no binding for name: " + name);
+  }
+  return binding->oid;
+}
+
+Status NameManager::Unbind(storage::TxnId txn, const std::string& name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto binding = Locate(txn, name);
+  lock.unlock();
+  if (!binding.has_value()) {
+    return Status::NotFound("no binding for name: " + name);
+  }
+  SENTINEL_RETURN_NOT_OK(engine_->Delete(txn, file_, binding->rid));
+  lock.lock();
+  overlays_[txn][name] = std::nullopt;
+  return Status::OK();
+}
+
+void NameManager::OnCommit(storage::TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = overlays_.find(txn);
+  if (it == overlays_.end()) return;
+  for (const auto& [name, binding] : it->second) {
+    if (binding.has_value()) {
+      bindings_[name] = *binding;
+    } else {
+      bindings_.erase(name);
+    }
+  }
+  overlays_.erase(it);
+}
+
+void NameManager::OnAbort(storage::TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  overlays_.erase(txn);
+}
+
+std::size_t NameManager::binding_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bindings_.size();
+}
+
+}  // namespace sentinel::oodb

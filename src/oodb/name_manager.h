@@ -1,0 +1,62 @@
+#ifndef SENTINEL_OODB_NAME_MANAGER_H_
+#define SENTINEL_OODB_NAME_MANAGER_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "oodb/value.h"
+#include "storage/storage_engine.h"
+
+namespace sentinel::oodb {
+
+/// Open OODB's name manager: durable bindings from symbolic names to OIDs
+/// ("IBM" -> oid 7). Backed by its own heap file; bindings made by a
+/// transaction become globally visible at commit (same overlay discipline as
+/// the PersistenceManager).
+class NameManager {
+ public:
+  NameManager(storage::StorageEngine* engine, storage::PageId file)
+      : engine_(engine), file_(file) {}
+
+  NameManager(const NameManager&) = delete;
+  NameManager& operator=(const NameManager&) = delete;
+
+  /// Rebuilds the binding table from the heap file (called at open).
+  Status Bootstrap();
+
+  Status Bind(storage::TxnId txn, const std::string& name, Oid oid);
+  Result<Oid> Lookup(storage::TxnId txn, const std::string& name) const;
+  Status Unbind(storage::TxnId txn, const std::string& name);
+
+  void OnCommit(storage::TxnId txn);
+  void OnAbort(storage::TxnId txn);
+
+  std::size_t binding_count() const;
+
+ private:
+  struct Binding {
+    Oid oid;
+    storage::Rid rid;
+  };
+  // nullopt == unbound by this transaction.
+  using Overlay = std::map<std::string, std::optional<Binding>>;
+
+  std::optional<Binding> Locate(storage::TxnId txn,
+                                const std::string& name) const;
+
+  storage::StorageEngine* engine_;
+  storage::PageId file_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Binding> bindings_;
+  std::unordered_map<storage::TxnId, Overlay> overlays_;
+};
+
+}  // namespace sentinel::oodb
+
+#endif  // SENTINEL_OODB_NAME_MANAGER_H_

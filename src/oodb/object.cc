@@ -1,0 +1,35 @@
+#include "oodb/object.h"
+
+namespace sentinel::oodb {
+
+void PersistentObject::Serialize(BytesWriter* out) const {
+  out->PutU64(oid_);
+  out->PutString(class_name_);
+  out->PutU32(static_cast<std::uint32_t>(attrs_.size()));
+  for (const auto& [name, value] : attrs_) {
+    out->PutString(name);
+    value.Serialize(out);
+  }
+}
+
+Result<PersistentObject> PersistentObject::Deserialize(BytesReader* in) {
+  PersistentObject obj;
+  auto oid = in->ReadU64();
+  if (!oid.ok()) return oid.status();
+  obj.oid_ = *oid;
+  auto cls = in->ReadString();
+  if (!cls.ok()) return cls.status();
+  obj.class_name_ = std::move(*cls);
+  auto count = in->ReadU32();
+  if (!count.ok()) return count.status();
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto name = in->ReadString();
+    if (!name.ok()) return name.status();
+    auto value = Value::Deserialize(in);
+    if (!value.ok()) return value.status();
+    obj.attrs_[std::move(*name)] = std::move(*value);
+  }
+  return obj;
+}
+
+}  // namespace sentinel::oodb

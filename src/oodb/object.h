@@ -1,0 +1,51 @@
+#ifndef SENTINEL_OODB_OBJECT_H_
+#define SENTINEL_OODB_OBJECT_H_
+
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "oodb/value.h"
+
+namespace sentinel::oodb {
+
+/// Persistent object state: an OID, a class name, and attribute values.
+/// The in-memory C++ face of an object (a Reactive subclass instance) loads
+/// from and stores to this representation via the PersistenceManager.
+class PersistentObject {
+ public:
+  PersistentObject() = default;
+  PersistentObject(Oid oid, std::string class_name)
+      : oid_(oid), class_name_(std::move(class_name)) {}
+
+  Oid oid() const { return oid_; }
+  void set_oid(Oid oid) { oid_ = oid; }
+  const std::string& class_name() const { return class_name_; }
+  void set_class_name(std::string name) { class_name_ = std::move(name); }
+
+  void Set(const std::string& attr, Value value) {
+    attrs_[attr] = std::move(value);
+  }
+  Result<Value> Get(const std::string& attr) const {
+    auto it = attrs_.find(attr);
+    if (it == attrs_.end()) {
+      return Status::NotFound("attribute not set: " + attr);
+    }
+    return it->second;
+  }
+  bool Has(const std::string& attr) const { return attrs_.count(attr) != 0; }
+  const std::map<std::string, Value>& attributes() const { return attrs_; }
+
+  void Serialize(BytesWriter* out) const;
+  static Result<PersistentObject> Deserialize(BytesReader* in);
+
+ private:
+  Oid oid_ = kInvalidOid;
+  std::string class_name_;
+  std::map<std::string, Value> attrs_;
+};
+
+}  // namespace sentinel::oodb
+
+#endif  // SENTINEL_OODB_OBJECT_H_

@@ -1,0 +1,138 @@
+#include "oodb/object_cache.h"
+
+namespace sentinel::oodb {
+
+Result<std::shared_ptr<const PersistentObject>> ObjectCache::Get(TxnId txn,
+                                                                 Oid oid) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // This transaction's own writes win.
+    auto overlay_it = overlays_.find(txn);
+    if (overlay_it != overlays_.end()) {
+      auto entry = overlay_it->second.find(oid);
+      if (entry != overlay_it->second.end()) {
+        if (entry->second == nullptr) {
+          return Status::NotFound("object deleted in this transaction");
+        }
+        ++hits_;
+        return entry->second;
+      }
+    }
+  }
+
+  // Committed cache: a hit still takes the record's shared lock so 2PL
+  // isolation is identical to the uncached path. The lock is taken WITHOUT
+  // holding the cache mutex; the entry is then re-checked, because an
+  // in-flight writer invalidates it at write time (so waking up behind a
+  // committed writer falls through to a fresh load).
+  auto rid = objects_->RidOf(txn, oid);
+  if (!rid.ok()) return rid.status();
+  bool maybe_cached;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    maybe_cached = cache_.find(oid) != cache_.end();
+  }
+  if (maybe_cached) {
+    SENTINEL_RETURN_NOT_OK(engine_->lock_manager()->Acquire(
+        txn, storage::StorageEngine::RecordLockKey(*rid),
+        storage::LockMode::kShared));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(oid);
+    if (it != cache_.end()) {
+      ++hits_;
+      TouchLocked(oid);
+      return it->second;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+  }
+
+  auto loaded = objects_->Get(txn, oid);
+  if (!loaded.ok()) return loaded.status();
+  auto shared = std::make_shared<const PersistentObject>(std::move(*loaded));
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertCommittedLocked(oid, shared);
+  return shared;
+}
+
+namespace {
+void EraseLru(std::list<Oid>* lru,
+              std::unordered_map<Oid, std::list<Oid>::iterator>* pos,
+              Oid oid) {
+  auto it = pos->find(oid);
+  if (it != pos->end()) {
+    lru->erase(it->second);
+    pos->erase(it);
+  }
+}
+}  // namespace
+
+Result<Oid> ObjectCache::Put(TxnId txn, PersistentObject object) {
+  auto oid = objects_->Put(txn, object);
+  if (!oid.ok()) return oid;
+  object.set_oid(*oid);
+  auto shared = std::make_shared<const PersistentObject>(std::move(object));
+  std::lock_guard<std::mutex> lock(mu_);
+  overlays_[txn][*oid] = std::move(shared);
+  // Invalidate the committed entry: until this transaction resolves, other
+  // readers must go through the locked load path.
+  EraseLru(&lru_, &lru_pos_, *oid);
+  cache_.erase(*oid);
+  return oid;
+}
+
+Status ObjectCache::Delete(TxnId txn, Oid oid) {
+  SENTINEL_RETURN_NOT_OK(objects_->Delete(txn, oid));
+  std::lock_guard<std::mutex> lock(mu_);
+  overlays_[txn][oid] = nullptr;
+  EraseLru(&lru_, &lru_pos_, oid);
+  cache_.erase(oid);
+  return Status::OK();
+}
+
+void ObjectCache::OnCommit(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = overlays_.find(txn);
+  if (it == overlays_.end()) return;
+  for (auto& [oid, object] : it->second) {
+    if (object == nullptr) {
+      EraseLru(&lru_, &lru_pos_, oid);
+      cache_.erase(oid);
+    } else {
+      InsertCommittedLocked(oid, std::move(object));
+    }
+  }
+  overlays_.erase(it);
+}
+
+void ObjectCache::OnAbort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  overlays_.erase(txn);
+}
+
+void ObjectCache::InsertCommittedLocked(Oid oid, ObjectPtr object) {
+  cache_[oid] = std::move(object);
+  TouchLocked(oid);
+  while (cache_.size() > capacity_ && !lru_.empty()) {
+    Oid victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    cache_.erase(victim);
+  }
+}
+
+void ObjectCache::TouchLocked(Oid oid) {
+  auto pos = lru_pos_.find(oid);
+  if (pos != lru_pos_.end()) lru_.erase(pos->second);
+  lru_.push_front(oid);
+  lru_pos_[oid] = lru_.begin();
+}
+
+std::size_t ObjectCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace sentinel::oodb

@@ -1,0 +1,72 @@
+#ifndef SENTINEL_OODB_OBJECT_CACHE_H_
+#define SENTINEL_OODB_OBJECT_CACHE_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "oodb/persistence_manager.h"
+
+namespace sentinel::oodb {
+
+/// Open OODB's address-space-manager / object-translation analogue
+/// (Fig. 1): keeps recently used objects deserialized in memory so repeated
+/// access avoids record reads and decoding.
+///
+/// Isolation is preserved: a cache hit still acquires the record's shared
+/// lock through the storage engine's lock manager, so a reader blocks
+/// behind a concurrent writer exactly as an uncached read would. The main
+/// cache holds only committed versions; a transaction's own writes live in
+/// a per-transaction overlay promoted at commit and dropped at abort.
+class ObjectCache {
+ public:
+  ObjectCache(storage::StorageEngine* engine, PersistenceManager* objects,
+              std::size_t capacity)
+      : engine_(engine), objects_(objects), capacity_(capacity) {}
+
+  ObjectCache(const ObjectCache&) = delete;
+  ObjectCache& operator=(const ObjectCache&) = delete;
+
+  /// Reads an object (cache first, store on miss). The returned pointer is
+  /// an immutable snapshot; modify via Put().
+  Result<std::shared_ptr<const PersistentObject>> Get(TxnId txn, Oid oid);
+
+  /// Writes through to the persistence manager and updates this
+  /// transaction's overlay.
+  Result<Oid> Put(TxnId txn, PersistentObject object);
+
+  Status Delete(TxnId txn, Oid oid);
+
+  /// Transaction lifecycle (call alongside the persistence manager's).
+  void OnCommit(TxnId txn);
+  void OnAbort(TxnId txn);
+
+  std::size_t size() const;
+  std::uint64_t hit_count() const { return hits_; }
+  std::uint64_t miss_count() const { return misses_; }
+
+ private:
+  using ObjectPtr = std::shared_ptr<const PersistentObject>;
+
+  void InsertCommittedLocked(Oid oid, ObjectPtr object);
+  void TouchLocked(Oid oid);
+
+  storage::StorageEngine* engine_;
+  PersistenceManager* objects_;
+  std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Oid, ObjectPtr> cache_;
+  std::list<Oid> lru_;  // front == most recent
+  std::unordered_map<Oid, std::list<Oid>::iterator> lru_pos_;
+  // Per-transaction overlay: nullptr value == deleted by this txn.
+  std::unordered_map<TxnId, std::map<Oid, ObjectPtr>> overlays_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sentinel::oodb
+
+#endif  // SENTINEL_OODB_OBJECT_CACHE_H_

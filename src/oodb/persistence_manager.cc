@@ -1,0 +1,166 @@
+#include "oodb/persistence_manager.h"
+
+#include "common/logging.h"
+
+namespace sentinel::oodb {
+
+Status PersistenceManager::Bootstrap() {
+  std::lock_guard<std::mutex> lock(mu_);
+  overlays_.clear();
+  Oid max_oid = 0;
+  if (engine_->WasCleanShutdown()) {
+    // The index was flushed at the previous clean close: trust it and only
+    // recover the OID counter from the last (largest) key.
+    SENTINEL_RETURN_NOT_OK(
+        index_.Scan(0, UINT64_MAX, [&max_oid](std::uint64_t key,
+                                              const storage::Rid&) {
+          if (key > max_oid) max_oid = key;
+          return Status::OK();
+        }));
+  } else {
+    // Crash: rebuild the index from the object heap (the WAL already
+    // recovered the heap itself).
+    SENTINEL_RETURN_NOT_OK(index_.Clear());
+    auto txn = engine_->Begin();
+    if (!txn.ok()) return txn.status();
+    Status st = engine_->Scan(
+        *txn, file_,
+        [&](const storage::Rid& rid, const std::vector<std::uint8_t>& rec) {
+          BytesReader reader(rec);
+          auto obj = PersistentObject::Deserialize(&reader);
+          if (!obj.ok()) return obj.status();
+          SENTINEL_RETURN_NOT_OK(index_.Insert(obj->oid(), rid));
+          if (obj->oid() > max_oid) max_oid = obj->oid();
+          return Status::OK();
+        });
+    Status end = st.ok() ? engine_->Commit(*txn) : engine_->Abort(*txn);
+    SENTINEL_RETURN_NOT_OK(st);
+    SENTINEL_RETURN_NOT_OK(end);
+  }
+  next_oid_.store(max_oid + 1);
+  return Status::OK();
+}
+
+std::optional<storage::Rid> PersistenceManager::Locate(TxnId txn,
+                                                       Oid oid) const {
+  auto overlay_it = overlays_.find(txn);
+  if (overlay_it != overlays_.end()) {
+    auto entry = overlay_it->second.find(oid);
+    if (entry != overlay_it->second.end()) return entry->second;
+  }
+  auto rid = index_.Lookup(oid);
+  if (!rid.ok()) return std::nullopt;
+  return *rid;
+}
+
+Result<Oid> PersistenceManager::Put(TxnId txn, PersistentObject object) {
+  if (object.oid() == kInvalidOid) {
+    object.set_oid(next_oid_.fetch_add(1));
+  }
+  BytesWriter writer;
+  object.Serialize(&writer);
+  const std::vector<std::uint8_t>& bytes = writer.data();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto existing = Locate(txn, object.oid());
+  lock.unlock();
+
+  if (existing.has_value()) {
+    SENTINEL_RETURN_NOT_OK(engine_->Update(txn, file_, *existing, bytes));
+    return object.oid();
+  }
+  auto rid = engine_->Insert(txn, file_, bytes);
+  if (!rid.ok()) return rid.status();
+  lock.lock();
+  overlays_[txn][object.oid()] = *rid;
+  return object.oid();
+}
+
+Result<PersistentObject> PersistenceManager::Get(TxnId txn, Oid oid) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto rid = Locate(txn, oid);
+  lock.unlock();
+  if (!rid.has_value()) {
+    return Status::NotFound("no object with oid " + std::to_string(oid));
+  }
+  auto rec = engine_->Read(txn, file_, *rid);
+  if (!rec.ok()) return rec.status();
+  BytesReader reader(*rec);
+  return PersistentObject::Deserialize(&reader);
+}
+
+Status PersistenceManager::Delete(TxnId txn, Oid oid) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto rid = Locate(txn, oid);
+  lock.unlock();
+  if (!rid.has_value()) {
+    return Status::NotFound("no object with oid " + std::to_string(oid));
+  }
+  SENTINEL_RETURN_NOT_OK(engine_->Delete(txn, file_, *rid));
+  lock.lock();
+  overlays_[txn][oid] = std::nullopt;
+  return Status::OK();
+}
+
+bool PersistenceManager::Exists(TxnId txn, Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Locate(txn, oid).has_value();
+}
+
+Result<storage::Rid> PersistenceManager::RidOf(TxnId txn, Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto rid = Locate(txn, oid);
+  if (!rid.has_value()) {
+    return Status::NotFound("no object with oid " + std::to_string(oid));
+  }
+  return *rid;
+}
+
+Status PersistenceManager::ScanClass(
+    TxnId txn, const std::string& class_name,
+    const std::function<Status(const PersistentObject&)>& fn) {
+  return engine_->Scan(
+      txn, file_,
+      [&](const storage::Rid& rid, const std::vector<std::uint8_t>& rec) {
+        (void)rid;
+        BytesReader reader(rec);
+        auto obj = PersistentObject::Deserialize(&reader);
+        if (!obj.ok()) return obj.status();
+        if (!class_name.empty() && obj->class_name() != class_name) {
+          return Status::OK();
+        }
+        return fn(*obj);
+      });
+}
+
+void PersistenceManager::OnCommit(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = overlays_.find(txn);
+  if (it == overlays_.end()) return;
+  for (const auto& [oid, rid] : it->second) {
+    Status st;
+    if (rid.has_value()) {
+      st = index_.Insert(oid, *rid);
+    } else {
+      st = index_.Delete(oid);
+    }
+    if (!st.ok() && !st.IsNotFound()) {
+      SENTINEL_LOG(kWarn) << "OID index update failed for oid " << oid << ": "
+                          << st.ToString();
+    }
+  }
+  overlays_.erase(it);
+}
+
+void PersistenceManager::OnAbort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  overlays_.erase(txn);
+}
+
+std::size_t PersistenceManager::object_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto size = index_.Size();
+  return size.ok() ? *size : 0;
+}
+
+}  // namespace sentinel::oodb

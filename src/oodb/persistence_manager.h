@@ -1,0 +1,83 @@
+#ifndef SENTINEL_OODB_PERSISTENCE_MANAGER_H_
+#define SENTINEL_OODB_PERSISTENCE_MANAGER_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "oodb/object.h"
+#include "storage/btree.h"
+#include "storage/storage_engine.h"
+
+namespace sentinel::oodb {
+
+using TxnId = storage::TxnId;
+
+/// Object store over one heap file: serializes PersistentObjects to records,
+/// assigns OIDs, and maintains a durable OID -> RID B+-tree index.
+///
+/// The index is transaction-aware: changes made by a transaction live in a
+/// per-transaction overlay (visible to that transaction only) and are
+/// applied to the B+-tree at commit, or discarded at abort — record-level
+/// isolation itself is enforced by the storage engine's 2PL.
+///
+/// The index is not WAL-logged; Bootstrap() trusts it after a clean
+/// shutdown and rebuilds it from a heap scan after a crash.
+class PersistenceManager {
+ public:
+  PersistenceManager(storage::StorageEngine* engine, storage::PageId file,
+                     storage::PageId index_root)
+      : engine_(engine), file_(file), index_(engine->buffer_pool(), index_root) {}
+
+  PersistenceManager(const PersistenceManager&) = delete;
+  PersistenceManager& operator=(const PersistenceManager&) = delete;
+
+  /// Prepares the OID index (trust or rebuild) and recovers the OID counter.
+  Status Bootstrap();
+
+  /// Inserts (oid unset) or updates (oid set) an object; returns its OID.
+  Result<Oid> Put(TxnId txn, PersistentObject object);
+
+  Result<PersistentObject> Get(TxnId txn, Oid oid);
+  Status Delete(TxnId txn, Oid oid);
+  bool Exists(TxnId txn, Oid oid);
+
+  /// RID currently backing `oid` as visible to `txn` (overlay-aware).
+  Result<storage::Rid> RidOf(TxnId txn, Oid oid);
+
+  /// Invokes `fn` for every object of class `class_name` (empty matches all).
+  Status ScanClass(TxnId txn, const std::string& class_name,
+                   const std::function<Status(const PersistentObject&)>& fn);
+
+  /// Transaction lifecycle notifications from the Database facade.
+  void OnCommit(TxnId txn);
+  void OnAbort(TxnId txn);
+
+  /// Number of committed objects (walks the index leaf chain).
+  std::size_t object_count() const;
+  storage::PageId file() const { return file_; }
+  const storage::BTree& index() const { return index_; }
+
+ private:
+  // nullopt == deleted by this transaction.
+  using Overlay = std::map<Oid, std::optional<storage::Rid>>;
+
+  std::optional<storage::Rid> Locate(TxnId txn, Oid oid) const;
+
+  storage::StorageEngine* engine_;
+  storage::PageId file_;
+
+  mutable std::mutex mu_;
+  mutable storage::BTree index_;
+  std::unordered_map<TxnId, Overlay> overlays_;
+  std::atomic<Oid> next_oid_{1};
+};
+
+}  // namespace sentinel::oodb
+
+#endif  // SENTINEL_OODB_PERSISTENCE_MANAGER_H_

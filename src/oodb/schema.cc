@@ -1,0 +1,104 @@
+#include "oodb/schema.h"
+
+namespace sentinel::oodb {
+
+const AttributeDef* ClassDef::FindAttribute(const std::string& attr_name) const {
+  for (const auto& attr : attributes_) {
+    if (attr.name == attr_name) return &attr;
+  }
+  return nullptr;
+}
+
+const MethodDef* ClassDef::FindMethod(const std::string& signature) const {
+  for (const auto& method : methods_) {
+    if (method.signature == signature) return &method;
+  }
+  return nullptr;
+}
+
+Status ClassRegistry::Register(ClassDef def) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (classes_.count(def.name()) != 0) {
+    return Status::AlreadyExists("class already registered: " + def.name());
+  }
+  if (!def.base_name().empty() && classes_.count(def.base_name()) == 0) {
+    return Status::NotFound("base class not registered: " + def.base_name());
+  }
+  classes_.emplace(def.name(), std::move(def));
+  return Status::OK();
+}
+
+Result<ClassDef> ClassRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = classes_.find(name);
+  if (it == classes_.end()) {
+    return Status::NotFound("class not registered: " + name);
+  }
+  return it->second;
+}
+
+bool ClassRegistry::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return classes_.count(name) != 0;
+}
+
+bool ClassRegistry::IsSubclassOf(const std::string& cls,
+                                 const std::string& ancestor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string current = cls;
+  while (!current.empty()) {
+    if (current == ancestor) return true;
+    auto it = classes_.find(current);
+    if (it == classes_.end()) return false;
+    current = it->second.base_name();
+  }
+  return false;
+}
+
+Result<MethodDef> ClassRegistry::ResolveMethod(
+    const std::string& cls, const std::string& signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string current = cls;
+  while (!current.empty()) {
+    auto it = classes_.find(current);
+    if (it == classes_.end()) break;
+    const MethodDef* method = it->second.FindMethod(signature);
+    if (method != nullptr) return *method;
+    current = it->second.base_name();
+  }
+  return Status::NotFound("method " + signature + " not found on " + cls);
+}
+
+Result<std::vector<AttributeDef>> ClassRegistry::AllAttributes(
+    const std::string& cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Collect the inheritance chain root-first.
+  std::vector<const ClassDef*> chain;
+  std::string current = cls;
+  while (!current.empty()) {
+    auto it = classes_.find(current);
+    if (it == classes_.end()) {
+      return Status::NotFound("class not registered: " + current);
+    }
+    chain.push_back(&it->second);
+    current = it->second.base_name();
+  }
+  std::vector<AttributeDef> result;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const auto& attr : (*it)->attributes()) result.push_back(attr);
+  }
+  return result;
+}
+
+std::vector<std::string> ClassRegistry::ClassNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(classes_.size());
+  for (const auto& [name, def] : classes_) {
+    (void)def;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace sentinel::oodb

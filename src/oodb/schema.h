@@ -1,0 +1,92 @@
+#ifndef SENTINEL_OODB_SCHEMA_H_
+#define SENTINEL_OODB_SCHEMA_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "oodb/value.h"
+
+namespace sentinel::oodb {
+
+/// One attribute of a class.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// One method of a class, identified by its full signature string — the same
+/// identity the paper uses in Notify calls, e.g. "void set_price(float price)".
+struct MethodDef {
+  std::string signature;
+  /// Declared formal parameter names, in order (used by the method wrapper to
+  /// label collected parameters).
+  std::vector<std::string> param_names;
+};
+
+/// Schema of one persistent class.
+class ClassDef {
+ public:
+  ClassDef() = default;
+  ClassDef(std::string name, std::string base_name)
+      : name_(std::move(name)), base_name_(std::move(base_name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& base_name() const { return base_name_; }
+
+  ClassDef& AddAttribute(std::string attr_name, ValueType type) {
+    attributes_.push_back(AttributeDef{std::move(attr_name), type});
+    return *this;
+  }
+  ClassDef& AddMethod(std::string signature,
+                      std::vector<std::string> param_names = {}) {
+    methods_.push_back(MethodDef{std::move(signature), std::move(param_names)});
+    return *this;
+  }
+
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  const std::vector<MethodDef>& methods() const { return methods_; }
+
+  const AttributeDef* FindAttribute(const std::string& attr_name) const;
+  const MethodDef* FindMethod(const std::string& signature) const;
+
+ private:
+  std::string name_;
+  std::string base_name_;  // empty == no base
+  std::vector<AttributeDef> attributes_;
+  std::vector<MethodDef> methods_;
+};
+
+/// In-memory catalog of class definitions with single inheritance.
+/// Registered once at application start (the paper's preprocessor emits the
+/// class interface; here the application or the spec compiler registers it).
+class ClassRegistry {
+ public:
+  Status Register(ClassDef def);
+  Result<ClassDef> Get(const std::string& name) const;
+  bool Exists(const std::string& name) const;
+
+  /// True if `cls` equals `ancestor` or transitively derives from it.
+  bool IsSubclassOf(const std::string& cls, const std::string& ancestor) const;
+
+  /// Looks up `signature` on `cls` or any ancestor (method inheritance).
+  Result<MethodDef> ResolveMethod(const std::string& cls,
+                                  const std::string& signature) const;
+
+  /// All attributes of `cls` including inherited ones, base-first.
+  Result<std::vector<AttributeDef>> AllAttributes(const std::string& cls) const;
+
+  std::vector<std::string> ClassNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ClassDef> classes_;
+};
+
+}  // namespace sentinel::oodb
+
+#endif  // SENTINEL_OODB_SCHEMA_H_

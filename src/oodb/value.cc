@@ -1,0 +1,115 @@
+#include "oodb/value.h"
+
+namespace sentinel::oodb {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kOid:
+      return "oid";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(data_.index());
+}
+
+Result<double> Value::AsNumber() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      return Status::TypeMismatch(std::string("not numeric: ") +
+                                  ValueTypeToString(type()));
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble:
+      return std::to_string(AsDouble());
+    case ValueType::kString:
+      return "\"" + AsString() + "\"";
+    case ValueType::kOid:
+      return "oid:" + std::to_string(AsOid());
+  }
+  return "?";
+}
+
+void Value::Serialize(BytesWriter* out) const {
+  out->PutU8(static_cast<std::uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      out->PutBool(AsBool());
+      break;
+    case ValueType::kInt:
+      out->PutI64(AsInt());
+      break;
+    case ValueType::kDouble:
+      out->PutF64(AsDouble());
+      break;
+    case ValueType::kString:
+      out->PutString(AsString());
+      break;
+    case ValueType::kOid:
+      out->PutU64(AsOid());
+      break;
+  }
+}
+
+Result<Value> Value::Deserialize(BytesReader* in) {
+  auto tag = in->ReadU8();
+  if (!tag.ok()) return tag.status();
+  switch (static_cast<ValueType>(*tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      auto v = in->ReadBool();
+      if (!v.ok()) return v.status();
+      return Value::Bool(*v);
+    }
+    case ValueType::kInt: {
+      auto v = in->ReadI64();
+      if (!v.ok()) return v.status();
+      return Value::Int(*v);
+    }
+    case ValueType::kDouble: {
+      auto v = in->ReadF64();
+      if (!v.ok()) return v.status();
+      return Value::Double(*v);
+    }
+    case ValueType::kString: {
+      auto v = in->ReadString();
+      if (!v.ok()) return v.status();
+      return Value::String(std::move(*v));
+    }
+    case ValueType::kOid: {
+      auto v = in->ReadU64();
+      if (!v.ok()) return v.status();
+      return Value::OfOid(*v);
+    }
+  }
+  return Status::Corruption("unknown value type tag " + std::to_string(*tag));
+}
+
+}  // namespace sentinel::oodb

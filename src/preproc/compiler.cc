@@ -1,0 +1,388 @@
+#include "preproc/compiler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sentinel::preproc {
+
+namespace {
+
+/// Extracts formal parameter names from a C++ method signature, e.g.
+/// "void set_price(float price)" -> {"price"}. Best effort: the last
+/// identifier of each comma-separated parameter.
+std::vector<std::string> ParamNames(const std::string& signature) {
+  std::vector<std::string> names;
+  auto open = signature.find('(');
+  auto close = signature.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close <= open) {
+    return names;
+  }
+  std::string params = signature.substr(open + 1, close - open - 1);
+  std::stringstream ss(params);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    // Last identifier in the piece.
+    int end = static_cast<int>(part.size()) - 1;
+    while (end >= 0 && !(std::isalnum(static_cast<unsigned char>(part[end])) ||
+                         part[end] == '_')) {
+      --end;
+    }
+    int begin = end;
+    while (begin >= 0 &&
+           (std::isalnum(static_cast<unsigned char>(part[begin])) ||
+            part[begin] == '_')) {
+      --begin;
+    }
+    if (end > begin) {
+      names.push_back(part.substr(begin + 1, end - begin));
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+Result<rules::ConditionFn> FunctionRegistry::Condition(
+    const std::string& name) const {
+  if (name == "true" || name == "TRUE" || name == "none") {
+    return rules::ConditionFn(nullptr);
+  }
+  auto it = conditions_.find(name);
+  if (it == conditions_.end()) {
+    return Status::NotFound("condition function not registered: " + name);
+  }
+  return it->second;
+}
+
+Result<rules::ActionFn> FunctionRegistry::Action(const std::string& name) const {
+  if (name == "none" || name == "noop") {
+    return rules::ActionFn(nullptr);
+  }
+  auto it = actions_.find(name);
+  if (it == actions_.end()) {
+    return Status::NotFound("action function not registered: " + name);
+  }
+  return it->second;
+}
+
+std::string SpecCompiler::NodeNameFor(const snoop::EventExpr& expr) {
+  if (expr.kind == snoop::EventExpr::Kind::kRef) return expr.ref_name;
+  return "__expr:" + expr.ToString();
+}
+
+Status SpecCompiler::LoadString(const std::string& source) {
+  auto spec = snoop::Parser::Parse(source);
+  if (!spec.ok()) return spec.status();
+  return Install(*spec);
+}
+
+Status SpecCompiler::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open spec file " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return LoadString(buffer.str());
+}
+
+namespace {
+// Hidden class holding persisted specification sources.
+constexpr char kSpecClass[] = "__sentinel_spec";
+}  // namespace
+
+Status SpecCompiler::InstallAndPersist(const std::string& source) {
+  if (db_->database() == nullptr) {
+    return Status::InvalidArgument(
+        "InstallAndPersist requires a persistent database");
+  }
+  SENTINEL_RETURN_NOT_OK(LoadString(source));
+  if (!db_->database()->classes()->Exists(kSpecClass)) {
+    SENTINEL_RETURN_NOT_OK(db_->database()->classes()->Register(
+        oodb::ClassDef(kSpecClass, "")
+            .AddAttribute("source", oodb::ValueType::kString)));
+  }
+  auto txn = db_->database()->Begin();
+  if (!txn.ok()) return txn.status();
+  oodb::PersistentObject obj(oodb::kInvalidOid, kSpecClass);
+  obj.Set("source", oodb::Value::String(source));
+  auto put = db_->database()->objects()->Put(*txn, std::move(obj));
+  if (!put.ok()) {
+    (void)db_->database()->Abort(*txn);
+    return put.status();
+  }
+  return db_->database()->Commit(*txn);
+}
+
+Status SpecCompiler::LoadPersisted() {
+  if (db_->database() == nullptr) {
+    return Status::InvalidArgument(
+        "LoadPersisted requires a persistent database");
+  }
+  auto txn = db_->database()->Begin();
+  if (!txn.ok()) return txn.status();
+  // Collect sources in OID (definition) order.
+  std::vector<std::pair<oodb::Oid, std::string>> sources;
+  Status st = db_->database()->objects()->ScanClass(
+      *txn, kSpecClass, [&](const oodb::PersistentObject& obj) {
+        auto source = obj.Get("source");
+        if (!source.ok()) return source.status();
+        sources.emplace_back(obj.oid(), source->AsString());
+        return Status::OK();
+      });
+  Status end = st.ok() ? db_->database()->Commit(*txn)
+                       : db_->database()->Abort(*txn);
+  SENTINEL_RETURN_NOT_OK(st);
+  SENTINEL_RETURN_NOT_OK(end);
+  std::sort(sources.begin(), sources.end());
+  for (const auto& [oid, source] : sources) {
+    (void)oid;
+    SENTINEL_RETURN_NOT_OK(LoadString(source));
+  }
+  return Status::OK();
+}
+
+Status SpecCompiler::Install(const snoop::Spec& spec) {
+  for (const auto& cls : spec.classes) {
+    SENTINEL_RETURN_NOT_OK(InstallClass(cls));
+  }
+  for (const auto& event : spec.events) {
+    SENTINEL_RETURN_NOT_OK(InstallNamedEvent(event, ""));
+  }
+  for (const auto& rule : spec.rules) {
+    SENTINEL_RETURN_NOT_OK(InstallRule(rule));
+  }
+  return Status::OK();
+}
+
+Status SpecCompiler::InstallClass(const snoop::ClassDecl& decl) {
+  // Register the schema (persistent databases only).
+  if (db_->database() != nullptr) {
+    oodb::ClassDef def(decl.name,
+                       decl.base == "REACTIVE" ? "" : decl.base);
+    for (const auto& attr : decl.attributes) {
+      def.AddAttribute(attr.name, attr.type);
+    }
+    for (const auto& iface : decl.event_interface) {
+      def.AddMethod(iface.method_signature, ParamNames(iface.method_signature));
+    }
+    Status st = db_->database()->classes()->Register(std::move(def));
+    if (!st.ok() && !st.IsAlreadyExists()) return st;
+  }
+  // Event interface: one primitive event node per (modifier, name) binding.
+  for (const auto& iface : decl.event_interface) {
+    for (const auto& binding : iface.bindings) {
+      SENTINEL_RETURN_NOT_OK(db_->DeclareEvent(binding.event_name, decl.name,
+                                               binding.modifier,
+                                               iface.method_signature)
+                                 .status());
+    }
+  }
+  for (const auto& event : decl.events) {
+    SENTINEL_RETURN_NOT_OK(InstallNamedEvent(event, decl.name));
+  }
+  for (const auto& rule : decl.rules) {
+    SENTINEL_RETURN_NOT_OK(InstallRule(rule));
+  }
+  return Status::OK();
+}
+
+Status SpecCompiler::InstallNamedEvent(const snoop::NamedEventDef& def,
+                                       const std::string& class_scope) {
+  (void)class_scope;
+  return BuildExpr(*def.expr, def.name).status();
+}
+
+Result<detector::EventNode*> SpecCompiler::BuildExpr(
+    const snoop::EventExpr& expr, const std::string& name_hint) {
+  detector::LocalEventDetector* det = db_->detector();
+  using Kind = snoop::EventExpr::Kind;
+
+  if (expr.kind == Kind::kRef) {
+    return det->Find(expr.ref_name);
+  }
+
+  // Common sub-expression sharing: identical expressions (by canonical
+  // name) reuse the already installed node (§3.1).
+  const std::string name =
+      name_hint.empty() ? NodeNameFor(expr) : name_hint;
+  if (name_hint.empty() && det->Exists(name)) {
+    return det->Find(name);
+  }
+
+  switch (expr.kind) {
+    case Kind::kRef:
+      break;  // handled above
+    case Kind::kPrimitive: {
+      oodb::Oid instance = oodb::kInvalidOid;
+      if (!expr.instance_name.empty()) {
+        // Instance-level event: resolve the bound name to an OID.
+        if (db_->database() == nullptr) {
+          return Status::InvalidArgument(
+              "instance-level event requires a persistent database: " + name);
+        }
+        auto txn = db_->database()->Begin();
+        if (!txn.ok()) return txn.status();
+        auto oid = db_->database()->names()->Lookup(*txn, expr.instance_name);
+        (void)db_->database()->Commit(*txn);
+        if (!oid.ok()) {
+          return Status::NotFound("instance name not bound: " +
+                                  expr.instance_name);
+        }
+        instance = *oid;
+      }
+      return det->DefinePrimitive(name, expr.class_name, expr.modifier,
+                                  expr.signature, instance);
+    }
+    case Kind::kOr:
+    case Kind::kAnd:
+    case Kind::kSeq: {
+      auto left = BuildExpr(*expr.children[0], "");
+      if (!left.ok()) return left;
+      auto right = BuildExpr(*expr.children[1], "");
+      if (!right.ok()) return right;
+      if (expr.kind == Kind::kOr) return det->DefineOr(name, *left, *right);
+      if (expr.kind == Kind::kAnd) return det->DefineAnd(name, *left, *right);
+      return det->DefineSeq(name, *left, *right);
+    }
+    case Kind::kNot:
+    case Kind::kAperiodic:
+    case Kind::kAperiodicStar: {
+      auto opener = BuildExpr(*expr.children[0], "");
+      if (!opener.ok()) return opener;
+      auto middle = BuildExpr(*expr.children[1], "");
+      if (!middle.ok()) return middle;
+      auto closer = BuildExpr(*expr.children[2], "");
+      if (!closer.ok()) return closer;
+      if (expr.kind == Kind::kNot) {
+        return det->DefineNot(name, *opener, *middle, *closer);
+      }
+      if (expr.kind == Kind::kAperiodic) {
+        return det->DefineAperiodic(name, *opener, *middle, *closer);
+      }
+      return det->DefineAperiodicStar(name, *opener, *middle, *closer);
+    }
+    case Kind::kPlus: {
+      auto base = BuildExpr(*expr.children[0], "");
+      if (!base.ok()) return base;
+      return det->DefinePlus(name, *base, expr.time_ms);
+    }
+    case Kind::kAny: {
+      std::vector<detector::EventNode*> children;
+      children.reserve(expr.children.size());
+      for (const auto& child : expr.children) {
+        auto node = BuildExpr(*child, "");
+        if (!node.ok()) return node;
+        children.push_back(*node);
+      }
+      return det->DefineAny(name, expr.any_threshold, std::move(children));
+    }
+    case Kind::kPeriodic:
+    case Kind::kPeriodicStar: {
+      auto opener = BuildExpr(*expr.children[0], "");
+      if (!opener.ok()) return opener;
+      auto closer = BuildExpr(*expr.children[1], "");
+      if (!closer.ok()) return closer;
+      if (expr.kind == Kind::kPeriodic) {
+        return det->DefinePeriodic(name, *opener, expr.time_ms, *closer);
+      }
+      return det->DefinePeriodicStar(name, *opener, expr.time_ms, *closer);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Status SpecCompiler::InstallRule(const snoop::RuleDef& def) {
+  auto condition = functions_->Condition(def.condition_fn);
+  if (!condition.ok()) return condition.status();
+  auto action = functions_->Action(def.action_fn);
+  if (!action.ok()) return action.status();
+
+  rules::RuleManager::RuleOptions options;
+  if (def.context) options.context = *def.context;
+  if (def.coupling) options.coupling = *def.coupling;
+  if (def.priority) options.priority = *def.priority;
+  if (def.trigger) options.trigger_mode = *def.trigger;
+  return db_->rule_manager()
+      ->DefineRule(def.name, def.event_name, *condition, *action, options)
+      .status();
+}
+
+// ---- Code generation (paper §3.2 style) -----------------------------------------
+
+std::string SpecCompiler::GenerateCpp(const snoop::Spec& spec) {
+  std::ostringstream out;
+  out << "/* Generated by the Sentinel pre/post-processor. */\n";
+  out << "#include \"core/active_database.h\"\n\n";
+
+  // Wrapper methods (post-processor output, §3.2.1).
+  for (const auto& cls : spec.classes) {
+    for (const auto& iface : cls.event_interface) {
+      const auto params = ParamNames(iface.method_signature);
+      out << "/* wrapper for " << cls.name << "::" << iface.method_signature
+          << " */\n";
+      out << iface.method_signature << " {\n";
+      out << "  PARA_LIST* para_list = new PARA_LIST();\n";
+      for (const auto& p : params) {
+        out << "  para_list->insert(\"" << p << "\", " << p << ");\n";
+      }
+      bool has_begin = false, has_end = false;
+      for (const auto& b : iface.bindings) {
+        has_begin |= b.modifier == detector::EventModifier::kBegin;
+        has_end |= b.modifier == detector::EventModifier::kEnd;
+      }
+      if (has_begin) {
+        out << "  Notify(this, \"" << cls.name << "\", \""
+            << iface.method_signature << "\", \"begin\", para_list);\n";
+      }
+      out << "  user_" << iface.method_signature << ";\n";
+      if (has_end) {
+        out << "  Notify(this, \"" << cls.name << "\", \""
+            << iface.method_signature << "\", \"end\", para_list);\n";
+      }
+      out << "}\n\n";
+    }
+  }
+
+  // Main-program event graph construction (§3.2.2).
+  out << "int main() {\n";
+  out << "  LOCAL_EVENT_DETECTOR* Event_detector = new "
+         "LOCAL_EVENT_DETECTOR();\n";
+  for (const auto& cls : spec.classes) {
+    for (const auto& iface : cls.event_interface) {
+      for (const auto& b : iface.bindings) {
+        out << "  EVENT* " << cls.name << "_" << b.event_name
+            << " = new PRIMITIVE(\"" << b.event_name << "\", \"" << cls.name
+            << "\", \""
+            << (b.modifier == detector::EventModifier::kBegin ? "begin" : "end")
+            << "\", \"" << iface.method_signature << "\");\n";
+      }
+    }
+    for (const auto& event : cls.events) {
+      out << "  EVENT* " << cls.name << "_" << event.name
+          << " = /* " << event.expr->ToString() << " */;\n";
+    }
+    for (const auto& rule : cls.rules) {
+      out << "  RULE* " << rule.name << " = new RULE(\"" << rule.name
+          << "\", " << rule.event_name << ", " << rule.condition_fn << ", "
+          << rule.action_fn << ");\n";
+    }
+  }
+  for (const auto& event : spec.events) {
+    out << "  EVENT* " << event.name << " = /* " << event.expr->ToString()
+        << " */;\n";
+  }
+  for (const auto& rule : spec.rules) {
+    out << "  RULE* " << rule.name << " = new RULE(\"" << rule.name << "\", "
+        << rule.event_name << ", " << rule.condition_fn << ", "
+        << rule.action_fn << ");\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace sentinel::preproc

@@ -1,0 +1,98 @@
+#ifndef SENTINEL_PREPROC_COMPILER_H_
+#define SENTINEL_PREPROC_COMPILER_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/active_database.h"
+#include "snoop/ast.h"
+#include "snoop/parser.h"
+
+namespace sentinel::preproc {
+
+/// Named condition/action functions, mirroring the paper's restriction that
+/// conditions and actions are global C++ functions referenced by name in the
+/// rule specification (§3.1 footnote 2). The host application registers its
+/// functions before loading a spec.
+class FunctionRegistry {
+ public:
+  void RegisterCondition(const std::string& name, rules::ConditionFn fn) {
+    conditions_[name] = std::move(fn);
+  }
+  void RegisterAction(const std::string& name, rules::ActionFn fn) {
+    actions_[name] = std::move(fn);
+  }
+
+  /// "true" (any case) and "none" resolve to a null condition (always fires).
+  Result<rules::ConditionFn> Condition(const std::string& name) const;
+  /// "none"/"noop" resolve to a null action.
+  Result<rules::ActionFn> Action(const std::string& name) const;
+
+ private:
+  std::map<std::string, rules::ConditionFn> conditions_;
+  std::map<std::string, rules::ActionFn> actions_;
+};
+
+/// The Sentinel pre-processor (paper §2.3, §3.1): translates the high-level
+/// event/rule specification into the runtime calls that build the event
+/// graph and rule objects.
+///
+/// Two backends:
+///   - Install(): interpret the spec directly against an ActiveDatabase —
+///     registering classes, defining primitive/composite events (sharing
+///     common sub-expressions), and defining rules with their contexts,
+///     coupling modes, priorities and trigger modes.
+///   - GenerateCpp(): emit the C++ registration code the paper shows in
+///     §3.2 (wrapper methods with Notify calls plus the main-program event
+///     graph construction) as a documentation/codegen artifact.
+class SpecCompiler {
+ public:
+  SpecCompiler(core::ActiveDatabase* db, const FunctionRegistry* functions)
+      : db_(db), functions_(functions) {}
+
+  /// Parses and installs a whole specification.
+  Status LoadString(const std::string& source);
+  Status LoadFile(const std::string& path);
+
+  /// Installs an already parsed specification.
+  Status Install(const snoop::Spec& spec);
+
+  /// Installs the specification AND stores its source durably in the
+  /// database, so a later LoadPersisted() re-creates the same events and
+  /// rules. This gives Sentinel persistent rule/event definitions — the
+  /// paper treats rules as first-class objects created from the
+  /// preprocessed specification (§3.1); storing the specification source is
+  /// the equivalent durable representation.
+  Status InstallAndPersist(const std::string& source);
+
+  /// Re-installs every specification previously stored with
+  /// InstallAndPersist, in original definition order. Call after opening a
+  /// database (condition/action functions must already be registered).
+  Status LoadPersisted();
+
+  /// Emits paper-style C++ registration code for the specification.
+  static std::string GenerateCpp(const snoop::Spec& spec);
+
+  /// Name under which a sub-expression's node is (or would be) installed.
+  /// Equal sub-expressions map to the same node (common sub-expression
+  /// sharing, §3.1).
+  static std::string NodeNameFor(const snoop::EventExpr& expr);
+
+ private:
+  Status InstallClass(const snoop::ClassDecl& decl);
+  Status InstallNamedEvent(const snoop::NamedEventDef& def,
+                           const std::string& class_scope);
+  Status InstallRule(const snoop::RuleDef& def);
+  /// Builds (or reuses) the detector node for `expr`; returns it.
+  Result<detector::EventNode*> BuildExpr(const snoop::EventExpr& expr,
+                                         const std::string& name_hint);
+
+  core::ActiveDatabase* db_;
+  const FunctionRegistry* functions_;
+};
+
+}  // namespace sentinel::preproc
+
+#endif  // SENTINEL_PREPROC_COMPILER_H_

@@ -1,0 +1,249 @@
+#include "rules/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "detector/local_detector.h"
+
+namespace sentinel::rules {
+
+namespace {
+
+thread_local RuleScheduler::Frame* t_frame = nullptr;
+
+/// Lexicographic priority order: larger element wins; a path extending a
+/// prefix wins over the prefix (depth-first).
+bool PathLess(const std::vector<int>& a, const std::vector<int>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+const RuleScheduler::Frame* RuleScheduler::CurrentFrame() { return t_frame; }
+
+RuleScheduler::RuleScheduler(txn::NestedTransactionManager* nested,
+                             oodb::Database* db, const Options& options)
+    : options_(options),
+      nested_(nested),
+      db_(db),
+      pool_(std::make_unique<ThreadPool>(options.workers)) {
+  detached_worker_ = std::thread([this] { DetachedLoop(); });
+}
+
+RuleScheduler::~RuleScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(detached_mu_);
+    stop_detached_ = true;
+  }
+  detached_cv_.notify_all();
+  detached_worker_.join();
+  pool_.reset();
+}
+
+void RuleScheduler::Enqueue(Firing firing) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(std::move(firing));
+}
+
+void RuleScheduler::EnqueueDetached(Firing firing) {
+  {
+    std::lock_guard<std::mutex> lock(detached_mu_);
+    detached_pending_.push_back(std::move(firing));
+  }
+  detached_cv_.notify_one();
+}
+
+std::vector<Firing> RuleScheduler::PopBatch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Firing> batch;
+  if (pending_.empty()) return batch;
+
+  // Index of the highest-priority pending firing.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    if (PathLess(pending_[best].priority_path, pending_[i].priority_path)) {
+      best = i;
+    }
+  }
+  switch (options_.policy) {
+    case SchedulingPolicy::kSerial: {
+      batch.push_back(std::move(pending_[best]));
+      pending_.erase(pending_.begin() + static_cast<long>(best));
+      break;
+    }
+    case SchedulingPolicy::kConcurrent: {
+      for (Firing& f : pending_) batch.push_back(std::move(f));
+      pending_.clear();
+      break;
+    }
+    case SchedulingPolicy::kPriorityClasses: {
+      // Everything sharing the top priority path runs concurrently.
+      const std::vector<int> top = pending_[best].priority_path;
+      std::deque<Firing> keep;
+      for (Firing& f : pending_) {
+        if (f.priority_path == top) {
+          batch.push_back(std::move(f));
+        } else {
+          keep.push_back(std::move(f));
+        }
+      }
+      pending_ = std::move(keep);
+      break;
+    }
+  }
+  return batch;
+}
+
+void RuleScheduler::Drain() {
+  for (;;) {
+    std::vector<Firing> batch = PopBatch();
+    if (batch.empty()) return;
+    if (batch.size() == 1) {
+      Execute(std::move(batch[0]));
+      continue;
+    }
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::size_t remaining = batch.size();
+    for (Firing& firing : batch) {
+      pool_->Submit([this, f = std::move(firing), &done_mu, &done_cv,
+                     &remaining]() mutable {
+        Execute(std::move(f));
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--remaining == 0) done_cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  }
+}
+
+void RuleScheduler::Execute(Firing firing) {
+  Rule* rule = firing.rule;
+  if (rule == nullptr || !rule->enabled()) return;
+
+  RuleContext ctx;
+  ctx.occurrence = &firing.occurrence;
+  ctx.context = firing.context;
+  ctx.txn = firing.txn;
+  ctx.db = db_;
+
+  // Package condition+action as a subtransaction (paper Fig. 3).
+  txn::SubTxnId sub = txn::kInvalidSubTxn;
+  Status sub_status;
+  if (nested_ != nullptr && firing.txn != storage::kInvalidTxnId) {
+    auto begun = nested_->Begin(firing.txn, firing.parent_subtxn);
+    if (!begun.ok() && firing.parent_subtxn != txn::kInvalidSubTxn) {
+      // The triggering rule's subtransaction has already committed (its
+      // locks were inherited upward), so attach this nested rule directly
+      // under the top-level transaction — it shares the retained locks.
+      begun = nested_->Begin(firing.txn, txn::kInvalidSubTxn);
+    }
+    if (begun.ok()) {
+      sub = *begun;
+    } else {
+      sub_status = begun.status();
+      SENTINEL_LOG(kWarn) << "subtransaction begin failed for rule "
+                          << rule->name() << ": " << sub_status.ToString();
+    }
+  }
+  ctx.subtxn = sub;
+
+  // Publish this firing as the current frame so nested triggers (raised from
+  // the action) inherit txn/priority/depth.
+  Frame frame;
+  frame.txn = firing.txn;
+  frame.subtxn = sub;
+  frame.priority_path = firing.priority_path;
+  frame.depth = firing.depth;
+  Frame* prev_frame = t_frame;
+  t_frame = &frame;
+
+  int seen = max_depth_.load(std::memory_order_relaxed);
+  while (firing.depth > seen &&
+         !max_depth_.compare_exchange_weak(seen, firing.depth)) {
+  }
+
+  bool condition_held = true;
+  if (rule->condition()) {
+    // Conditions are side-effect free: suppress event signalling while the
+    // condition function runs (§3.2.1).
+    detector::LocalEventDetector::SuppressScope guard;
+    condition_held = rule->condition()(ctx);
+  }
+  if (condition_held) {
+    if (rule->action()) rule->action()(ctx);
+    rule->CountFiring();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  t_frame = prev_frame;
+
+  if (sub != txn::kInvalidSubTxn) {
+    Status commit = nested_->Commit(sub);
+    if (!commit.ok()) {
+      SENTINEL_LOG(kWarn) << "subtransaction commit failed for rule "
+                          << rule->name() << ": " << commit.ToString();
+      sub_status = commit;
+    }
+  }
+  for (const ExecutionObserver& observer : observers_) {
+    observer(firing, condition_held, sub_status);
+  }
+}
+
+void RuleScheduler::DetachedLoop() {
+  for (;;) {
+    Firing firing;
+    {
+      std::unique_lock<std::mutex> lock(detached_mu_);
+      detached_cv_.wait(lock, [this] {
+        return stop_detached_ || !detached_pending_.empty();
+      });
+      if (stop_detached_ && detached_pending_.empty()) return;
+      firing = std::move(detached_pending_.front());
+      detached_pending_.pop_front();
+      ++detached_busy_;
+    }
+    // Detached rules run in their own top-level transaction, causally
+    // independent of the triggering one (paper §2.2, §4).
+    storage::TxnId detached_txn = storage::kInvalidTxnId;
+    if (db_ != nullptr) {
+      auto begun = db_->Begin();
+      if (begun.ok()) detached_txn = *begun;
+    }
+    firing.txn = detached_txn;
+    firing.parent_subtxn = txn::kInvalidSubTxn;
+    Execute(std::move(firing));
+    if (detached_txn != storage::kInvalidTxnId) {
+      Status st = db_->Commit(detached_txn);
+      if (!st.ok()) {
+        SENTINEL_LOG(kWarn) << "detached txn commit failed: " << st.ToString();
+      }
+    }
+    // Nested triggers raised by a detached action execute inline here.
+    Drain();
+    {
+      std::lock_guard<std::mutex> lock(detached_mu_);
+      --detached_busy_;
+      if (detached_pending_.empty() && detached_busy_ == 0) {
+        detached_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void RuleScheduler::WaitDetached() {
+  std::unique_lock<std::mutex> lock(detached_mu_);
+  detached_cv_.wait(lock, [this] {
+    return detached_pending_.empty() && detached_busy_ == 0;
+  });
+}
+
+}  // namespace sentinel::rules

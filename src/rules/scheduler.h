@@ -1,0 +1,130 @@
+#ifndef SENTINEL_RULES_SCHEDULER_H_
+#define SENTINEL_RULES_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "rules/rule.h"
+#include "rules/thread_pool.h"
+
+namespace sentinel::rules {
+
+/// How triggered rules are ordered (paper §2.2 "Rule scheduling"):
+///   kSerial           — strict prioritized serial execution.
+///   kConcurrent       — all triggered rules run concurrently.
+///   kPriorityClasses  — global order among priority classes, concurrent
+///                       execution within a class (the paper's combination).
+enum class SchedulingPolicy : std::uint8_t {
+  kSerial = 0,
+  kConcurrent = 1,
+  kPriorityClasses = 2,
+};
+
+/// A triggered rule waiting to execute.
+struct Firing {
+  Rule* rule = nullptr;
+  detector::Occurrence occurrence;
+  detector::ParamContext context = detector::ParamContext::kRecent;
+  storage::TxnId txn = storage::kInvalidTxnId;
+  txn::SubTxnId parent_subtxn = txn::kInvalidSubTxn;
+  /// Effective priority: the triggering rule's path extended with this
+  /// rule's priority class. Lexicographically larger = runs earlier; a
+  /// longer path extending a prefix runs earlier (depth-first nested
+  /// execution, §3.2.3).
+  std::vector<int> priority_path;
+  int depth = 1;
+};
+
+/// Executes rule firings as prioritized subtransactions on a thread pool
+/// (paper Fig. 3): condition and action are packaged as the thread body; the
+/// triggering application thread suspends in Drain() until all immediate
+/// rules (including nested ones) have completed, then resumes.
+class RuleScheduler {
+ public:
+  struct Options {
+    SchedulingPolicy policy = SchedulingPolicy::kPriorityClasses;
+    std::size_t workers = 4;
+  };
+
+  RuleScheduler(txn::NestedTransactionManager* nested, oodb::Database* db,
+                const Options& options);
+  ~RuleScheduler();
+
+  RuleScheduler(const RuleScheduler&) = delete;
+  RuleScheduler& operator=(const RuleScheduler&) = delete;
+
+  /// Queues an immediate/deferred firing.
+  void Enqueue(Firing firing);
+
+  /// Queues a detached firing: executed asynchronously in its own top-level
+  /// transaction by the detached worker.
+  void EnqueueDetached(Firing firing);
+
+  /// Runs queued firings to completion (nested firings included). Called by
+  /// the application thread after signalling; it blocks — the paper's
+  /// "main application is suspended and the rule scheduler is invoked".
+  void Drain();
+
+  /// Blocks until the detached queue is empty (tests and shutdown).
+  void WaitDetached();
+
+  /// Per-thread frame describing the firing currently executing on this
+  /// thread; used to derive nested firings' parent/priority/depth.
+  struct Frame {
+    storage::TxnId txn = storage::kInvalidTxnId;
+    txn::SubTxnId subtxn = txn::kInvalidSubTxn;
+    std::vector<int> priority_path;
+    int depth = 0;
+  };
+  static const Frame* CurrentFrame();
+
+  std::uint64_t executed_count() const { return executed_; }
+  std::uint64_t condition_rejections() const { return rejected_; }
+  int max_depth_seen() const { return max_depth_; }
+  SchedulingPolicy policy() const { return options_.policy; }
+  void set_policy(SchedulingPolicy policy) { options_.policy = policy; }
+
+  /// Record of one executed firing, for the rule debugger and for the
+  /// reactive-RULE-class events. Multiple observers may be attached.
+  using ExecutionObserver = std::function<void(
+      const Firing&, bool condition_held, Status execution_status)>;
+  void SetExecutionObserver(ExecutionObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+ private:
+  // Pops the next batch to run according to the policy. Empty == idle.
+  std::vector<Firing> PopBatch();
+  void Execute(Firing firing);
+  void DetachedLoop();
+
+  Options options_;
+  txn::NestedTransactionManager* nested_;
+  oodb::Database* db_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::mutex mu_;
+  std::deque<Firing> pending_;
+
+  std::mutex detached_mu_;
+  std::condition_variable detached_cv_;
+  std::deque<Firing> detached_pending_;
+  std::size_t detached_busy_ = 0;
+  bool stop_detached_ = false;
+  std::thread detached_worker_;
+
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<int> max_depth_{0};
+  std::vector<ExecutionObserver> observers_;
+};
+
+}  // namespace sentinel::rules
+
+#endif  // SENTINEL_RULES_SCHEDULER_H_

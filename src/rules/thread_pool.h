@@ -1,0 +1,44 @@
+#ifndef SENTINEL_RULES_THREAD_POOL_H_
+#define SENTINEL_RULES_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sentinel::rules {
+
+/// Fixed pool of worker threads (the paper's "pool of free threads", Fig. 3).
+/// Tasks are arbitrary closures; Submit never blocks.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void WaitIdle();
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t busy_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sentinel::rules
+
+#endif  // SENTINEL_RULES_THREAD_POOL_H_

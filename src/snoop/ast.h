@@ -1,0 +1,112 @@
+#ifndef SENTINEL_SNOOP_AST_H_
+#define SENTINEL_SNOOP_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "detector/event_types.h"
+#include "rules/rule.h"
+
+namespace sentinel::snoop {
+
+/// Snoop event expression (paper §3.1, [5]). Operators:
+///   e1 ^ e2           AND          e1 | e2        OR
+///   e1 ; e2           SEQUENCE
+///   NOT(e2)[e1, e3]   non-occurrence of e2 in (e1, e3)
+///   A(e1, e2, e3)     aperiodic    A*(e1, e2, e3) cumulative aperiodic
+///   P(e1, t, e3)      periodic     P*(e1, t, e3)  cumulative periodic
+///   PLUS(e1, t)       e1 + t
+///   ANY(m, e1..en)    m of the n distinct events, any order
+struct EventExpr {
+  enum class Kind {
+    kRef,        // reference to a previously defined event name
+    kPrimitive,  // begin("Class"[:"instance"], "signature") / end(...)
+    kOr,
+    kAnd,
+    kSeq,
+    kNot,
+    kAperiodic,
+    kAperiodicStar,
+    kPlus,
+    kPeriodic,
+    kPeriodicStar,
+    kAny,
+  };
+
+  Kind kind = Kind::kRef;
+  std::string ref_name;  // kRef
+
+  // kPrimitive:
+  std::string class_name;
+  std::string instance_name;  // name-manager binding; empty == class level
+  std::string signature;
+  detector::EventModifier modifier = detector::EventModifier::kEnd;
+
+  std::vector<std::unique_ptr<EventExpr>> children;
+  std::uint64_t time_ms = 0;       // kPlus / kPeriodic*
+  std::size_t any_threshold = 0;   // kAny: the m in ANY(m, ...)
+
+  /// Canonical textual form (used for generated node names and codegen).
+  std::string ToString() const;
+};
+
+/// Class-level event interface entry (paper §3.1):
+///   event end(e1) int sell_stock(int qty);
+///   event begin(e2) && end(e3) void set_price(float price);
+struct EventInterfaceDecl {
+  struct Binding {
+    detector::EventModifier modifier;
+    std::string event_name;
+  };
+  std::vector<Binding> bindings;
+  std::string method_signature;
+};
+
+struct AttributeDecl {
+  std::string name;
+  oodb::ValueType type = oodb::ValueType::kNull;
+};
+
+/// event <name> = <expr>;
+struct NamedEventDef {
+  std::string name;
+  std::unique_ptr<EventExpr> expr;
+};
+
+/// rule R1(e4, cond1, action1 [, context [, coupling [, priority [, trigger]]]]);
+struct RuleDef {
+  std::string name;
+  std::string event_name;
+  std::string condition_fn;  // registered function name; "true" == none
+  std::string action_fn;
+  std::optional<detector::ParamContext> context;
+  std::optional<rules::CouplingMode> coupling;
+  std::optional<int> priority;
+  std::optional<rules::TriggerMode> trigger;
+};
+
+/// class STOCK : REACTIVE { ... }
+struct ClassDecl {
+  std::string name;
+  std::string base;  // empty or base class (REACTIVE implies reactivity)
+  std::vector<AttributeDecl> attributes;
+  std::vector<EventInterfaceDecl> event_interface;
+  std::vector<NamedEventDef> events;
+  std::vector<RuleDef> rules;
+
+  bool is_reactive() const { return base == "REACTIVE" || !base.empty(); }
+};
+
+/// A whole specification file.
+struct Spec {
+  std::vector<ClassDecl> classes;
+  std::vector<NamedEventDef> events;  // top-level (application) events
+  std::vector<RuleDef> rules;         // top-level (application) rules
+};
+
+}  // namespace sentinel::snoop
+
+#endif  // SENTINEL_SNOOP_AST_H_

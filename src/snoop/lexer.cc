@@ -1,0 +1,163 @@
+#include "snoop/lexer.h"
+
+#include <cctype>
+
+namespace sentinel::snoop {
+
+Lexer::Lexer(std::string source) : src_(std::move(source)) {
+  current_ = Lex();
+}
+
+Token Lexer::Next() {
+  Token token = current_;
+  current_ = Lex();
+  return token;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  for (;;) {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '/') {
+      while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      continue;
+    }
+    if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '*') {
+      pos_ += 2;
+      while (pos_ + 1 < src_.size() &&
+             !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      pos_ = pos_ + 2 <= src_.size() ? pos_ + 2 : src_.size();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::Lex() {
+  SkipWhitespaceAndComments();
+  current_start_ = pos_;
+  current_line_start_ = line_;
+  Token token;
+  token.line = line_;
+  if (pos_ >= src_.size()) {
+    token.kind = TokenKind::kEnd;
+    return token;
+  }
+  const char c = src_[pos_];
+  auto single = [&](TokenKind kind) {
+    token.kind = kind;
+    token.text = std::string(1, c);
+    ++pos_;
+    return token;
+  };
+  switch (c) {
+    case '(':
+      return single(TokenKind::kLParen);
+    case ')':
+      return single(TokenKind::kRParen);
+    case '{':
+      return single(TokenKind::kLBrace);
+    case '}':
+      return single(TokenKind::kRBrace);
+    case '[':
+      return single(TokenKind::kLBracket);
+    case ']':
+      return single(TokenKind::kRBracket);
+    case ',':
+      return single(TokenKind::kComma);
+    case ';':
+      return single(TokenKind::kSemicolon);
+    case ':':
+      return single(TokenKind::kColon);
+    case '=':
+      return single(TokenKind::kEquals);
+    case '^':
+      return single(TokenKind::kCaret);
+    case '|':
+      return single(TokenKind::kPipe);
+    case '*':
+      return single(TokenKind::kStar);
+    case '&':
+      if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '&') {
+        token.kind = TokenKind::kAmpAmp;
+        token.text = "&&";
+        pos_ += 2;
+        return token;
+      }
+      return single(TokenKind::kAmpAmp);  // lone & treated as &&
+    default:
+      break;
+  }
+  if (c == '"') {
+    ++pos_;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      text.push_back(src_[pos_++]);
+    }
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+    token.kind = TokenKind::kString;
+    token.text = std::move(text);
+    return token;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::uint64_t value = 0;
+    while (pos_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+      value = value * 10 + static_cast<std::uint64_t>(src_[pos_] - '0');
+      ++pos_;
+    }
+    // Optional "ms" suffix.
+    if (pos_ + 1 < src_.size() && src_[pos_] == 'm' && src_[pos_ + 1] == 's') {
+      pos_ += 2;
+    }
+    token.kind = TokenKind::kNumber;
+    token.number = value;
+    token.text = std::to_string(value);
+    return token;
+  }
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '-') {
+    std::string text;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_' || src_[pos_] == '-')) {
+      text.push_back(src_[pos_++]);
+    }
+    token.kind = TokenKind::kIdent;
+    token.text = std::move(text);
+    return token;
+  }
+  // Unknown character: emit as a one-char identifier so the parser reports a
+  // sensible error.
+  token.kind = TokenKind::kIdent;
+  token.text = std::string(1, c);
+  ++pos_;
+  return token;
+}
+
+Result<std::string> Lexer::CaptureUntilSemicolon() {
+  // The capture starts at the current (already lexed) token's first char.
+  std::size_t start = current_start_;
+  std::size_t end = src_.find(';', start);
+  if (end == std::string::npos) {
+    return Status::ParseError("expected ';' after method signature (line " +
+                              std::to_string(current_line_start_) + ")");
+  }
+  std::string captured = src_.substr(start, end - start);
+  // Trim trailing whitespace.
+  while (!captured.empty() &&
+         std::isspace(static_cast<unsigned char>(captured.back()))) {
+    captured.pop_back();
+  }
+  // Re-sync the lexer past the ';'.
+  pos_ = end + 1;
+  current_ = Lex();
+  return captured;
+}
+
+}  // namespace sentinel::snoop

@@ -1,0 +1,74 @@
+#ifndef SENTINEL_SNOOP_LEXER_H_
+#define SENTINEL_SNOOP_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sentinel::snoop {
+
+enum class TokenKind : std::uint8_t {
+  kIdent,
+  kString,   // "..."
+  kNumber,   // integer literal
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kColon,
+  kEquals,
+  kCaret,     // ^  (AND)
+  kPipe,      // |  (OR)
+  kStar,      // *  (A*, P*)
+  kAmpAmp,    // && (begin && end)
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::uint64_t number = 0;
+  int line = 1;
+};
+
+/// Hand-written lexer for the Sentinel specification language. `//` and
+/// `/* */` comments are skipped. The parser additionally uses
+/// CaptureUntilSemicolon() for raw method signatures.
+class Lexer {
+ public:
+  explicit Lexer(std::string source);
+
+  /// Current token (does not consume).
+  const Token& Peek() const { return current_; }
+  /// Consumes and returns the current token.
+  Token Next();
+
+  /// Raw-capture mode: returns the source text from the *start of the
+  /// current token* up to (not including) the next ';', consuming it. Used
+  /// for C++ method signatures inside event interface declarations.
+  Result<std::string> CaptureUntilSemicolon();
+
+  int line() const { return current_.line; }
+
+ private:
+  void SkipWhitespaceAndComments();
+  Token Lex();
+
+  std::string src_;
+  std::size_t pos_ = 0;          // first unconsumed char *after* current_
+  std::size_t current_start_ = 0;  // where current_ begins in src_
+  int line_ = 1;
+  int current_line_start_ = 1;
+  Token current_;
+};
+
+}  // namespace sentinel::snoop
+
+#endif  // SENTINEL_SNOOP_LEXER_H_

@@ -1,0 +1,69 @@
+#ifndef SENTINEL_SNOOP_PARSER_H_
+#define SENTINEL_SNOOP_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "snoop/ast.h"
+#include "snoop/lexer.h"
+
+namespace sentinel::snoop {
+
+/// Recursive-descent parser for the Sentinel specification language
+/// (paper §3.1). Grammar sketch:
+///
+///   spec        := { class_decl | named_event ';' | rule ';' }
+///   class_decl  := 'class' IDENT [':' IDENT] '{' { item } '}' [';']
+///   item        := 'attr' IDENT ':' type ';'
+///                | 'event' modbind { '&&' modbind } raw-signature ';'
+///                | named_event ';'
+///                | rule ';'
+///   modbind     := ('begin'|'end') '(' IDENT ')'
+///   named_event := 'event' IDENT '=' expr
+///   rule        := 'rule' IDENT '(' IDENT ',' IDENT ',' IDENT
+///                    [',' context] [',' coupling] [',' number] [',' trigger] ')'
+///   expr        := or { ';' or }          (sequence, lowest precedence)
+///   or          := and { '|' and }
+///   and         := primary { '^' primary }
+///   primary     := '(' expr ')'
+///                | 'NOT' '(' expr ')' '[' expr ',' expr ']'
+///                | 'A' ['*'] '(' expr ',' expr ',' expr ')'
+///                | 'P' ['*'] '(' expr ',' NUMBER ',' expr ')'
+///                | 'PLUS' '(' expr ',' NUMBER ')'
+///                | ('begin'|'end') '(' STRING [':' STRING] ',' STRING ')'
+///                | IDENT                  (reference to a defined event)
+class Parser {
+ public:
+  /// Parses a whole specification file.
+  static Result<Spec> Parse(const std::string& source);
+
+  /// Parses a single event expression (handy for tests and tools).
+  static Result<std::unique_ptr<EventExpr>> ParseExpression(
+      const std::string& source);
+
+ private:
+  explicit Parser(std::string source) : lexer_(std::move(source)) {}
+
+  Status ParseSpec(Spec* spec);
+  Result<ClassDecl> ParseClass();
+  Result<NamedEventDef> ParseNamedEvent();
+  Result<EventInterfaceDecl> ParseEventInterface(
+      EventInterfaceDecl::Binding first);
+  Result<RuleDef> ParseRule();
+  Result<std::unique_ptr<EventExpr>> ParseExpr();
+  Result<std::unique_ptr<EventExpr>> ParseOr();
+  Result<std::unique_ptr<EventExpr>> ParseAnd();
+  Result<std::unique_ptr<EventExpr>> ParsePrimary();
+  Result<std::unique_ptr<EventExpr>> ParsePrimitive(
+      detector::EventModifier modifier);
+
+  Status Expect(TokenKind kind, const std::string& what);
+  Status Error(const std::string& message) const;
+
+  Lexer lexer_;
+};
+
+}  // namespace sentinel::snoop
+
+#endif  // SENTINEL_SNOOP_PARSER_H_

@@ -1,0 +1,130 @@
+#include "storage/buffer_pool.h"
+
+#include <string>
+
+namespace sentinel::storage {
+
+BufferPool::BufferPool(DiskManager* disk, std::size_t capacity)
+    : disk_(disk), capacity_(capacity) {
+  frames_.reserve(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+    free_frames_.push_back(capacity - 1 - i);
+  }
+}
+
+Result<Page*> BufferPool::FetchPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Page* page = frames_[it->second].get();
+    page->Pin();
+    TouchLocked(it->second);
+    return page;
+  }
+  ++misses_;
+  auto frame = GetFreeFrameLocked();
+  if (!frame.ok()) return frame.status();
+  Page* page = frames_[*frame].get();
+  SENTINEL_RETURN_NOT_OK(disk_->ReadPage(page_id, page));
+  page->set_page_id(page_id);
+  page->Pin();
+  page_table_[page_id] = *frame;
+  TouchLocked(*frame);
+  return page;
+}
+
+Result<Page*> BufferPool::NewPage() {
+  auto page_id = disk_->AllocatePage();
+  if (!page_id.ok()) return page_id.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto frame = GetFreeFrameLocked();
+  if (!frame.ok()) return frame.status();
+  Page* page = frames_[*frame].get();
+  page->Reset();
+  page->set_page_id(*page_id);
+  page->set_dirty(true);
+  page->Pin();
+  page_table_[*page_id] = *frame;
+  TouchLocked(*frame);
+  return page;
+}
+
+Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::InvalidArgument("unpin of non-resident page " +
+                                   std::to_string(page_id));
+  }
+  Page* page = frames_[it->second].get();
+  if (page->pin_count() <= 0) {
+    return Status::InvalidArgument("unpin of unpinned page " +
+                                   std::to_string(page_id));
+  }
+  page->Unpin();
+  if (dirty) page->set_dirty(true);
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return Status::OK();
+  Page* page = frames_[it->second].get();
+  if (page->is_dirty()) {
+    SENTINEL_RETURN_NOT_OK(disk_->WritePage(*page));
+    page->set_dirty(false);
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [page_id, frame] : page_table_) {
+    Page* page = frames_[frame].get();
+    if (page->is_dirty()) {
+      SENTINEL_RETURN_NOT_OK(disk_->WritePage(*page));
+      page->set_dirty(false);
+    }
+  }
+  return Status::OK();
+}
+
+std::size_t BufferPool::resident_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_table_.size();
+}
+
+Result<std::size_t> BufferPool::GetFreeFrameLocked() {
+  if (!free_frames_.empty()) {
+    std::size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  // Evict the least recently used unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    std::size_t frame = *it;
+    Page* page = frames_[frame].get();
+    if (page->pin_count() > 0) continue;
+    if (page->is_dirty()) {
+      SENTINEL_RETURN_NOT_OK(disk_->WritePage(*page));
+      page->set_dirty(false);
+    }
+    page_table_.erase(page->page_id());
+    lru_.erase(std::next(it).base());
+    lru_pos_.erase(frame);
+    return frame;
+  }
+  return Status::ResourceExhausted("all buffer pool frames are pinned");
+}
+
+void BufferPool::TouchLocked(std::size_t frame) {
+  auto pos = lru_pos_.find(frame);
+  if (pos != lru_pos_.end()) lru_.erase(pos->second);
+  lru_.push_front(frame);
+  lru_pos_[frame] = lru_.begin();
+}
+
+}  // namespace sentinel::storage

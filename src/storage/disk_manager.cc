@@ -1,0 +1,181 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace sentinel::storage {
+
+namespace {
+// The header page stores the allocated page count at payload offset 0.
+constexpr long PageOffset(PageId page_id) {
+  return static_cast<long>(page_id) * static_cast<long>(kPageSize);
+}
+}  // namespace
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status DiskManager::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    return Status::InvalidArgument("disk manager already open: " + path_);
+  }
+  path_ = path;
+  // Try existing file first, then create.
+  file_ = std::fopen(path.c_str(), "r+b");
+  const bool created = (file_ == nullptr);
+  if (created) {
+    file_ = std::fopen(path.c_str(), "w+b");
+    if (file_ == nullptr) {
+      return Status::IOError("cannot create database file: " + path);
+    }
+    page_count_ = 1;
+    Page header;
+    header.set_page_id(0);
+    if (std::fwrite(header.data(), kPageSize, 1, file_) != 1) {
+      return Status::IOError("cannot initialize header page: " + path);
+    }
+    SENTINEL_RETURN_NOT_OK(WritePageCountLocked());
+  } else {
+    SENTINEL_RETURN_NOT_OK(ReadPageCountLocked());
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::OK();
+  SENTINEL_RETURN_NOT_OK(WritePageCountLocked());
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::OK();
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::IOError("disk manager not open");
+  PageId id = page_count_++;
+  // Extend the file with a zeroed page so later reads succeed.
+  Page fresh;
+  fresh.set_page_id(id);
+  if (std::fseek(file_, PageOffset(id), SEEK_SET) != 0 ||
+      std::fwrite(fresh.data(), kPageSize, 1, file_) != 1) {
+    return Status::IOError("cannot extend database file");
+  }
+  SENTINEL_RETURN_NOT_OK(WritePageCountLocked());
+  return id;
+}
+
+Status DiskManager::EnsureAllocated(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::IOError("disk manager not open");
+  while (page_count_ <= page_id) {
+    PageId id = page_count_++;
+    Page fresh;
+    fresh.set_page_id(id);
+    if (std::fseek(file_, PageOffset(id), SEEK_SET) != 0 ||
+        std::fwrite(fresh.data(), kPageSize, 1, file_) != 1) {
+      return Status::IOError("cannot extend database file");
+    }
+  }
+  return WritePageCountLocked();
+}
+
+Status DiskManager::ReadPage(PageId page_id, Page* page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::IOError("disk manager not open");
+  if (page_id >= page_count_) {
+    return Status::InvalidArgument("read of unallocated page " +
+                                   std::to_string(page_id));
+  }
+  if (std::fseek(file_, PageOffset(page_id), SEEK_SET) != 0 ||
+      std::fread(page->data(), kPageSize, 1, file_) != 1) {
+    return Status::IOError("cannot read page " + std::to_string(page_id));
+  }
+  page->set_dirty(false);
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::IOError("disk manager not open");
+  if (page.page_id() >= page_count_) {
+    return Status::InvalidArgument("write of unallocated page " +
+                                   std::to_string(page.page_id()));
+  }
+  if (std::fseek(file_, PageOffset(page.page_id()), SEEK_SET) != 0 ||
+      std::fwrite(page.data(), kPageSize, 1, file_) != 1) {
+    return Status::IOError("cannot write page " +
+                           std::to_string(page.page_id()));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::IOError("disk manager not open");
+  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  return Status::OK();
+}
+
+PageId DiskManager::page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_count_;
+}
+
+Status DiskManager::SetCleanShutdown(bool clean) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::IOError("disk manager not open");
+  // Flag lives just after the page count on the header page.
+  const long offset =
+      PageOffset(0) + static_cast<long>(Page::kPayloadOffset + sizeof(PageId));
+  std::uint8_t flag = clean ? 1 : 0;
+  if (std::fseek(file_, offset, SEEK_SET) != 0 ||
+      std::fwrite(&flag, sizeof(flag), 1, file_) != 1) {
+    return Status::IOError("cannot write clean-shutdown flag");
+  }
+  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  return Status::OK();
+}
+
+Result<bool> DiskManager::GetCleanShutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::IOError("disk manager not open");
+  const long offset =
+      PageOffset(0) + static_cast<long>(Page::kPayloadOffset + sizeof(PageId));
+  std::uint8_t flag = 0;
+  if (std::fseek(file_, offset, SEEK_SET) != 0 ||
+      std::fread(&flag, sizeof(flag), 1, file_) != 1) {
+    return Status::IOError("cannot read clean-shutdown flag");
+  }
+  return flag != 0;
+}
+
+Status DiskManager::ReadPageCountLocked() {
+  if (std::fseek(file_, PageOffset(0) + Page::kPayloadOffset, SEEK_SET) != 0) {
+    return Status::IOError("cannot seek to header page");
+  }
+  PageId count = 0;
+  if (std::fread(&count, sizeof(count), 1, file_) != 1) {
+    return Status::Corruption("cannot read page count from header page");
+  }
+  if (count == 0) count = 1;
+  page_count_ = count;
+  return Status::OK();
+}
+
+Status DiskManager::WritePageCountLocked() {
+  if (std::fseek(file_, PageOffset(0) + Page::kPayloadOffset, SEEK_SET) != 0) {
+    return Status::IOError("cannot seek to header page");
+  }
+  if (std::fwrite(&page_count_, sizeof(page_count_), 1, file_) != 1) {
+    return Status::IOError("cannot persist page count");
+  }
+  return Status::OK();
+}
+
+}  // namespace sentinel::storage

@@ -1,0 +1,66 @@
+#ifndef SENTINEL_STORAGE_DISK_MANAGER_H_
+#define SENTINEL_STORAGE_DISK_MANAGER_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace sentinel::storage {
+
+/// File-backed page store. Pages are allocated sequentially; page 0 is
+/// reserved for the database header (catalog root, page count). Thread-safe.
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if necessary) the database file.
+  Status Open(const std::string& path);
+  Status Close();
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Allocates a fresh page and returns its id.
+  Result<PageId> AllocatePage();
+
+  /// Extends the file so that `page_id` is readable (recovery: a crash can
+  /// lose the file extension even though the WAL references the page).
+  Status EnsureAllocated(PageId page_id);
+
+  /// Reads page `page_id` into `page`. The page must have been allocated.
+  Status ReadPage(PageId page_id, Page* page);
+
+  /// Writes `page` to its slot in the file.
+  Status WritePage(const Page& page);
+
+  /// Flushes OS buffers to stable storage.
+  Status Sync();
+
+  /// Number of pages allocated so far.
+  PageId page_count() const;
+
+  /// Clean-shutdown marker, stored on the header page. The storage engine
+  /// clears it at open and sets it at close; consumers (e.g. the OID index)
+  /// use it to decide whether non-WAL-logged structures can be trusted.
+  Status SetCleanShutdown(bool clean);
+  Result<bool> GetCleanShutdown();
+
+ private:
+  Status ReadPageCountLocked();
+  Status WritePageCountLocked();
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  PageId page_count_ = 1;  // page 0 is the header page
+};
+
+}  // namespace sentinel::storage
+
+#endif  // SENTINEL_STORAGE_DISK_MANAGER_H_

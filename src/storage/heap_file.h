@@ -1,0 +1,63 @@
+#ifndef SENTINEL_STORAGE_HEAP_FILE_H_
+#define SENTINEL_STORAGE_HEAP_FILE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/slotted_page.h"
+
+namespace sentinel::storage {
+
+/// Unordered record file: a singly linked chain of slotted pages. The head
+/// page id is the file's identity (persisted in the catalog by the OODB
+/// layer).
+class HeapFile {
+ public:
+  /// Creates a new heap file; returns its head page id.
+  static Result<PageId> Create(BufferPool* pool);
+
+  /// Invoked when Insert appends a page to the chain, with (parent, fresh)
+  /// page ids. The storage engine uses this to WAL-log the structural change
+  /// so recovery can rebuild chains whose pages never reached disk.
+  using LinkLogger = std::function<Status(PageId, PageId)>;
+
+  /// Opens an existing heap file whose chain starts at `head_page_id`.
+  HeapFile(BufferPool* pool, PageId head_page_id)
+      : pool_(pool), head_(head_page_id) {}
+  HeapFile(BufferPool* pool, PageId head_page_id, LinkLogger link_logger)
+      : pool_(pool), head_(head_page_id), link_logger_(std::move(link_logger)) {}
+
+  PageId head_page_id() const { return head_; }
+
+  /// Inserts a record into the first page with room, appending a page to the
+  /// chain when all are full.
+  Result<Rid> Insert(const std::vector<std::uint8_t>& record);
+
+  /// Inserts into a specific slot (used by recovery redo and abort undo so
+  /// that RIDs are preserved exactly).
+  Status InsertAt(const Rid& rid, const std::vector<std::uint8_t>& record);
+
+  Result<std::vector<std::uint8_t>> Read(const Rid& rid) const;
+  Status Update(const Rid& rid, const std::vector<std::uint8_t>& record);
+  Status Delete(const Rid& rid);
+
+  /// Invokes `fn(rid, bytes)` for every live record; stops on non-OK.
+  Status Scan(const std::function<Status(const Rid&,
+                                         const std::vector<std::uint8_t>&)>& fn)
+      const;
+
+  /// Stamps `lsn` on the page holding `rid` (WAL page-LSN protocol).
+  Status SetPageLsn(PageId page_id, Lsn lsn);
+
+ private:
+  BufferPool* pool_;
+  PageId head_;
+  LinkLogger link_logger_;
+};
+
+}  // namespace sentinel::storage
+
+#endif  // SENTINEL_STORAGE_HEAP_FILE_H_

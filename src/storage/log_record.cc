@@ -1,0 +1,72 @@
+#include "storage/log_record.h"
+
+namespace sentinel::storage {
+
+namespace {
+void PutBlob(BytesWriter* out, const std::vector<std::uint8_t>& blob) {
+  out->PutU32(static_cast<std::uint32_t>(blob.size()));
+  out->PutRaw(blob.data(), blob.size());
+}
+
+Result<std::vector<std::uint8_t>> ReadBlob(BytesReader* in) {
+  auto len = in->ReadU32();
+  if (!len.ok()) return len.status();
+  std::vector<std::uint8_t> blob(*len);
+  for (std::uint32_t i = 0; i < *len; ++i) {
+    auto b = in->ReadU8();
+    if (!b.ok()) return b.status();
+    blob[i] = *b;
+  }
+  return blob;
+}
+}  // namespace
+
+void LogRecord::Serialize(BytesWriter* out) const {
+  out->PutU64(lsn);
+  out->PutU64(prev_lsn);
+  out->PutU64(txn_id);
+  out->PutU8(static_cast<std::uint8_t>(type));
+  out->PutU32(rid.page_id);
+  out->PutU16(rid.slot);
+  PutBlob(out, before);
+  PutBlob(out, after);
+  out->PutU64(undo_next_lsn);
+  out->PutU8(static_cast<std::uint8_t>(undone_type));
+}
+
+Result<LogRecord> LogRecord::Deserialize(BytesReader* in) {
+  LogRecord rec;
+  auto lsn = in->ReadU64();
+  if (!lsn.ok()) return lsn.status();
+  rec.lsn = *lsn;
+  auto prev = in->ReadU64();
+  if (!prev.ok()) return prev.status();
+  rec.prev_lsn = *prev;
+  auto txn = in->ReadU64();
+  if (!txn.ok()) return txn.status();
+  rec.txn_id = *txn;
+  auto type = in->ReadU8();
+  if (!type.ok()) return type.status();
+  rec.type = static_cast<LogRecordType>(*type);
+  auto page_id = in->ReadU32();
+  if (!page_id.ok()) return page_id.status();
+  rec.rid.page_id = *page_id;
+  auto slot = in->ReadU16();
+  if (!slot.ok()) return slot.status();
+  rec.rid.slot = *slot;
+  auto before = ReadBlob(in);
+  if (!before.ok()) return before.status();
+  rec.before = std::move(*before);
+  auto after = ReadBlob(in);
+  if (!after.ok()) return after.status();
+  rec.after = std::move(*after);
+  auto undo_next = in->ReadU64();
+  if (!undo_next.ok()) return undo_next.status();
+  rec.undo_next_lsn = *undo_next;
+  auto undone = in->ReadU8();
+  if (!undone.ok()) return undone.status();
+  rec.undone_type = static_cast<LogRecordType>(*undone);
+  return rec;
+}
+
+}  // namespace sentinel::storage

@@ -1,0 +1,53 @@
+#ifndef SENTINEL_STORAGE_LOG_RECORD_H_
+#define SENTINEL_STORAGE_LOG_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/page.h"
+#include "storage/slotted_page.h"
+
+namespace sentinel::storage {
+
+using TxnId = std::uint64_t;
+constexpr TxnId kInvalidTxnId = 0;
+
+enum class LogRecordType : std::uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kAbort = 3,
+  kInsert = 4,   // rid + after image
+  kDelete = 5,   // rid + before image
+  kUpdate = 6,   // rid + before + after images
+  kClr = 7,      // compensation record: rid + restored image + op undone
+  kCheckpoint = 8,
+  // Structural heap-file change: page rid.page_id's next-page link is set to
+  // the page id encoded in `after` (4 bytes LE). Redo-only (never undone):
+  // appended pages are harmless if the owning transaction aborts.
+  kPageLink = 9,
+};
+
+/// One write-ahead log entry. Physical logging at record granularity:
+/// insert/delete/update carry the images needed for redo and undo.
+struct LogRecord {
+  Lsn lsn = kInvalidLsn;
+  Lsn prev_lsn = kInvalidLsn;  // previous record of the same transaction
+  TxnId txn_id = kInvalidTxnId;
+  LogRecordType type = LogRecordType::kBegin;
+  Rid rid;
+  std::vector<std::uint8_t> before;
+  std::vector<std::uint8_t> after;
+  /// For CLRs: the LSN of the next record of this txn to undo.
+  Lsn undo_next_lsn = kInvalidLsn;
+  /// For CLRs: the type of the operation this CLR compensates.
+  LogRecordType undone_type = LogRecordType::kBegin;
+
+  void Serialize(BytesWriter* out) const;
+  static Result<LogRecord> Deserialize(BytesReader* in);
+};
+
+}  // namespace sentinel::storage
+
+#endif  // SENTINEL_STORAGE_LOG_RECORD_H_

@@ -1,0 +1,41 @@
+#ifndef SENTINEL_STORAGE_RECOVERY_H_
+#define SENTINEL_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace sentinel::storage {
+
+class StorageEngine;
+
+/// ARIES-style crash recovery over the StorageEngine's write-ahead log.
+///
+///   1. Analysis: scan the log, classifying transactions as committed,
+///      aborted, or in-flight (losers).
+///   2. Redo: reapply every logged change (including CLRs) whose LSN is newer
+///      than the page LSN — history is repeated.
+///   3. Undo: roll back loser transactions newest-first, writing CLRs and a
+///      final abort record, so recovery is idempotent under repeated crashes.
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(StorageEngine* engine) : engine_(engine) {}
+
+  /// Runs the three recovery passes. Called from StorageEngine::Open.
+  Status Recover();
+
+  // Statistics from the last Recover() call (for tests and benchmarks).
+  std::uint64_t redo_count() const { return redo_count_; }
+  std::uint64_t undo_count() const { return undo_count_; }
+  std::uint64_t loser_count() const { return loser_count_; }
+
+ private:
+  StorageEngine* engine_;
+  std::uint64_t redo_count_ = 0;
+  std::uint64_t undo_count_ = 0;
+  std::uint64_t loser_count_ = 0;
+};
+
+}  // namespace sentinel::storage
+
+#endif  // SENTINEL_STORAGE_RECOVERY_H_

@@ -1,0 +1,171 @@
+#include "storage/slotted_page.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+namespace sentinel::storage {
+
+// Payload layout constants.
+namespace {
+constexpr std::size_t kCountOffset = 0;
+constexpr std::size_t kFreePtrOffset = 2;
+constexpr std::size_t kSlotsOffset = 4;
+}  // namespace
+
+std::uint16_t* SlottedPage::count_ptr() const {
+  return reinterpret_cast<std::uint16_t*>(page_->payload() + kCountOffset);
+}
+
+std::uint16_t* SlottedPage::free_ptr() const {
+  return reinterpret_cast<std::uint16_t*>(page_->payload() + kFreePtrOffset);
+}
+
+SlottedPage::Slot* SlottedPage::slots() const {
+  return reinterpret_cast<Slot*>(page_->payload() + kSlotsOffset);
+}
+
+void SlottedPage::Init() {
+  *count_ptr() = 0;
+  *free_ptr() = static_cast<std::uint16_t>(Page::kPayloadSize);
+}
+
+std::uint16_t SlottedPage::slot_count() const { return *count_ptr(); }
+
+std::uint16_t SlottedPage::FreeSpace() const {
+  const std::size_t slots_end = kSlotsOffset + *count_ptr() * sizeof(Slot);
+  const std::size_t free_start = *free_ptr();
+  if (free_start < slots_end + sizeof(Slot)) return 0;
+  return static_cast<std::uint16_t>(free_start - slots_end - sizeof(Slot));
+}
+
+bool SlottedPage::IsLive(SlotId slot) const {
+  if (slot >= *count_ptr()) return false;
+  return slots()[slot].offset != 0;
+}
+
+Result<SlotId> SlottedPage::Insert(const std::uint8_t* data,
+                                   std::uint16_t size) {
+  if (size > kMaxRecordSize) {
+    return Status::InvalidArgument("record too large for page: " +
+                                   std::to_string(size));
+  }
+  // Prefer reusing a tombstoned slot (no new slot entry needed).
+  const std::uint16_t count = *count_ptr();
+  SlotId reuse = count;
+  for (SlotId i = 0; i < count; ++i) {
+    if (slots()[i].offset == 0) {
+      reuse = i;
+      break;
+    }
+  }
+  const std::size_t slots_end =
+      kSlotsOffset + (reuse == count ? count + 1 : count) * sizeof(Slot);
+  if (*free_ptr() < slots_end + size) {
+    Compact();
+    if (*free_ptr() < slots_end + size) {
+      return Status::ResourceExhausted("page full");
+    }
+  }
+  *free_ptr() = static_cast<std::uint16_t>(*free_ptr() - size);
+  std::memcpy(page_->payload() + *free_ptr(), data, size);
+  if (reuse == count) *count_ptr() = count + 1;
+  slots()[reuse] = Slot{*free_ptr(), size};
+  return reuse;
+}
+
+Status SlottedPage::InsertInto(SlotId slot, const std::uint8_t* data,
+                               std::uint16_t size) {
+  if (size > kMaxRecordSize) {
+    return Status::InvalidArgument("record too large for page");
+  }
+  if (IsLive(slot)) {
+    return Status::AlreadyExists("slot " + std::to_string(slot) + " is live");
+  }
+  const std::uint16_t count = *count_ptr();
+  const std::uint16_t new_count =
+      std::max<std::uint16_t>(count, static_cast<std::uint16_t>(slot + 1));
+  const std::size_t slots_end = kSlotsOffset + new_count * sizeof(Slot);
+  if (*free_ptr() < slots_end + size) {
+    Compact();
+    if (*free_ptr() < slots_end + size) {
+      return Status::ResourceExhausted("page full");
+    }
+  }
+  // Tombstone any newly created directory entries.
+  for (SlotId i = count; i < new_count; ++i) slots()[i] = Slot{0, 0};
+  *count_ptr() = new_count;
+  *free_ptr() = static_cast<std::uint16_t>(*free_ptr() - size);
+  std::memcpy(page_->payload() + *free_ptr(), data, size);
+  slots()[slot] = Slot{*free_ptr(), size};
+  return Status::OK();
+}
+
+Result<std::vector<std::uint8_t>> SlottedPage::Read(SlotId slot) const {
+  if (!IsLive(slot)) {
+    return Status::NotFound("no record in slot " + std::to_string(slot));
+  }
+  const Slot& s = slots()[slot];
+  return std::vector<std::uint8_t>(page_->payload() + s.offset,
+                                   page_->payload() + s.offset + s.size);
+}
+
+Status SlottedPage::Update(SlotId slot, const std::uint8_t* data,
+                           std::uint16_t size) {
+  if (!IsLive(slot)) {
+    return Status::NotFound("update of dead slot " + std::to_string(slot));
+  }
+  Slot& s = slots()[slot];
+  if (size <= s.size) {
+    // Shrink in place; the slack is reclaimed by a later compaction.
+    std::memcpy(page_->payload() + s.offset, data, size);
+    s.size = size;
+    return Status::OK();
+  }
+  // Re-insert at the free pointer.
+  const std::size_t slots_end = kSlotsOffset + *count_ptr() * sizeof(Slot);
+  if (*free_ptr() < slots_end + size) {
+    s.offset = 0;  // let compaction drop the old copy
+    Compact();
+    if (*free_ptr() < slots_end + size) {
+      return Status::ResourceExhausted("page full on update");
+    }
+  }
+  *free_ptr() = static_cast<std::uint16_t>(*free_ptr() - size);
+  std::memcpy(page_->payload() + *free_ptr(), data, size);
+  s = Slot{*free_ptr(), size};
+  return Status::OK();
+}
+
+Status SlottedPage::Delete(SlotId slot) {
+  if (!IsLive(slot)) {
+    return Status::NotFound("delete of dead slot " + std::to_string(slot));
+  }
+  slots()[slot].offset = 0;
+  slots()[slot].size = 0;
+  return Status::OK();
+}
+
+void SlottedPage::Compact() {
+  // Collect live slots ordered by descending offset and repack from the end.
+  const std::uint16_t count = *count_ptr();
+  std::vector<SlotId> live;
+  live.reserve(count);
+  for (SlotId i = 0; i < count; ++i) {
+    if (slots()[i].offset != 0) live.push_back(i);
+  }
+  std::sort(live.begin(), live.end(), [this](SlotId a, SlotId b) {
+    return slots()[a].offset > slots()[b].offset;
+  });
+  std::uint16_t write_end = static_cast<std::uint16_t>(Page::kPayloadSize);
+  for (SlotId id : live) {
+    Slot& s = slots()[id];
+    write_end = static_cast<std::uint16_t>(write_end - s.size);
+    std::memmove(page_->payload() + write_end, page_->payload() + s.offset,
+                 s.size);
+    s.offset = write_end;
+  }
+  *free_ptr() = write_end;
+}
+
+}  // namespace sentinel::storage

@@ -1,0 +1,86 @@
+#ifndef SENTINEL_STORAGE_SLOTTED_PAGE_H_
+#define SENTINEL_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace sentinel::storage {
+
+using SlotId = std::uint16_t;
+
+/// Record identifier: (page, slot). Stable across in-page compaction.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  SlotId slot = 0;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+  bool operator==(const Rid& other) const {
+    return page_id == other.page_id && slot == other.slot;
+  }
+};
+
+/// Slotted-page layout over a Page's payload area:
+///
+///   [count | free_ptr | slot0 | slot1 | ... |   free space   | recN .. rec0]
+///
+/// Slots grow from the front, record bytes from the back. Deleted slots are
+/// tombstoned (offset 0) and reused by later inserts; compaction reclaims the
+/// record space while keeping slot ids stable.
+class SlottedPage {
+ public:
+  /// Wraps (does not own) `page`. Call Init() once on a freshly allocated page.
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Formats an empty slot directory.
+  void Init();
+
+  /// Inserts a record and returns its slot, or ResourceExhausted when the
+  /// record does not fit even after compaction.
+  Result<SlotId> Insert(const std::uint8_t* data, std::uint16_t size);
+
+  /// Places a record into a specific slot, extending the slot directory with
+  /// tombstones if needed. Used by recovery redo and abort undo, which must
+  /// restore records at their original RIDs. Fails if the slot is live.
+  Status InsertInto(SlotId slot, const std::uint8_t* data, std::uint16_t size);
+
+  /// Reads the record in `slot`.
+  Result<std::vector<std::uint8_t>> Read(SlotId slot) const;
+
+  /// Replaces the record in `slot`. The new record may differ in size.
+  Status Update(SlotId slot, const std::uint8_t* data, std::uint16_t size);
+
+  /// Tombstones the record in `slot`.
+  Status Delete(SlotId slot);
+
+  /// True when the slot holds a live record.
+  bool IsLive(SlotId slot) const;
+
+  std::uint16_t slot_count() const;
+  /// Bytes available for a new record (accounting for its slot entry).
+  std::uint16_t FreeSpace() const;
+
+  /// Largest record this layout can ever hold in one page.
+  static constexpr std::uint16_t kMaxRecordSize =
+      static_cast<std::uint16_t>(Page::kPayloadSize - 8);
+
+ private:
+  struct Slot {
+    std::uint16_t offset;  // 0 == tombstone; offset into payload
+    std::uint16_t size;
+  };
+
+  std::uint16_t* count_ptr() const;
+  std::uint16_t* free_ptr() const;  // offset of the start of record space
+  Slot* slots() const;
+  void Compact();
+
+  Page* page_;
+};
+
+}  // namespace sentinel::storage
+
+#endif  // SENTINEL_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,118 @@
+#include "storage/wal.h"
+
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace sentinel::storage {
+
+LogManager::~LogManager() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status LogManager::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    return Status::InvalidArgument("log manager already open: " + path_);
+  }
+  path_ = path;
+  file_ = std::fopen(path.c_str(), "a+b");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open log file: " + path);
+  }
+  // Recover next_lsn_ by scanning the existing log tail.
+  std::fseek(file_, 0, SEEK_SET);
+  next_lsn_ = 1;
+  for (;;) {
+    std::uint32_t size = 0;
+    if (std::fread(&size, sizeof(size), 1, file_) != 1) break;
+    std::vector<std::uint8_t> buf(size);
+    if (size > 0 && std::fread(buf.data(), size, 1, file_) != 1) break;
+    BytesReader reader(buf);
+    auto rec = LogRecord::Deserialize(&reader);
+    if (!rec.ok()) break;
+    if (rec->lsn >= next_lsn_) next_lsn_ = rec->lsn + 1;
+  }
+  std::fseek(file_, 0, SEEK_END);
+  return Status::OK();
+}
+
+Status LogManager::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::OK();
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::OK();
+}
+
+Result<Lsn> LogManager::Append(LogRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::IOError("log manager not open");
+  record.lsn = next_lsn_++;
+  BytesWriter writer;
+  record.Serialize(&writer);
+  const std::uint32_t size = static_cast<std::uint32_t>(writer.size());
+  if (std::fwrite(&size, sizeof(size), 1, file_) != 1 ||
+      std::fwrite(writer.data().data(), size, 1, file_) != 1) {
+    return Status::IOError("cannot append log record");
+  }
+  const bool force = record.type == LogRecordType::kCommit ||
+                     record.type == LogRecordType::kAbort ||
+                     record.type == LogRecordType::kCheckpoint;
+  if (force && std::fflush(file_) != 0) {
+    return Status::IOError("cannot flush log");
+  }
+  return record.lsn;
+}
+
+Status LogManager::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::IOError("log manager not open");
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "w+b");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot truncate log file: " + path_);
+  }
+  // next_lsn_ keeps counting: page LSNs stamped before the checkpoint stay
+  // larger than any future log record would otherwise be.
+  return Status::OK();
+}
+
+Status LogManager::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::IOError("log manager not open");
+  if (std::fflush(file_) != 0) return Status::IOError("cannot flush log");
+  return Status::OK();
+}
+
+Status LogManager::Scan(const std::function<Status(const LogRecord&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::IOError("log manager not open");
+  std::fflush(file_);
+  std::fseek(file_, 0, SEEK_SET);
+  Status result;
+  for (;;) {
+    std::uint32_t size = 0;
+    if (std::fread(&size, sizeof(size), 1, file_) != 1) break;
+    std::vector<std::uint8_t> buf(size);
+    if (size > 0 && std::fread(buf.data(), size, 1, file_) != 1) break;
+    BytesReader reader(buf);
+    auto rec = LogRecord::Deserialize(&reader);
+    if (!rec.ok()) break;  // torn tail == end of log
+    result = fn(*rec);
+    if (!result.ok()) break;
+  }
+  std::fseek(file_, 0, SEEK_END);
+  return result;
+}
+
+Lsn LogManager::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+}  // namespace sentinel::storage

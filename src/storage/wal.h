@@ -1,0 +1,61 @@
+#ifndef SENTINEL_STORAGE_WAL_H_
+#define SENTINEL_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/log_record.h"
+
+namespace sentinel::storage {
+
+/// Append-only write-ahead log. Each entry on disk is:
+///   u32 payload_size | payload (serialized LogRecord)
+///
+/// LSNs are assigned densely (1, 2, 3, ...) at append time. Commit records
+/// force a flush (WAL rule: log hits stable storage before the commit
+/// returns); data pages carry the LSN of their last modification so recovery
+/// can skip already-applied redo.
+class LogManager {
+ public:
+  LogManager() = default;
+  ~LogManager();
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  Status Open(const std::string& path);
+  Status Close();
+
+  /// Appends `record`, assigning and returning its LSN. The record's lsn
+  /// field is overwritten.
+  Result<Lsn> Append(LogRecord record);
+
+  /// Flushes buffered log entries to the OS.
+  Status Flush();
+
+  /// Truncates the log to empty, preserving the LSN sequence. Only valid
+  /// when every logged effect is already durable in the data file
+  /// (checkpoint with no active transactions).
+  Status Truncate();
+
+  /// Replays the whole log in LSN order, invoking `fn` per record. Used by
+  /// recovery; stops early on a corrupt tail (a torn final write is treated
+  /// as end-of-log, matching ARIES behaviour).
+  Status Scan(const std::function<Status(const LogRecord&)>& fn);
+
+  Lsn next_lsn() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  Lsn next_lsn_ = 1;
+};
+
+}  // namespace sentinel::storage
+
+#endif  // SENTINEL_STORAGE_WAL_H_

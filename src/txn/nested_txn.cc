@@ -1,0 +1,228 @@
+#include "txn/nested_txn.h"
+
+namespace sentinel::txn {
+
+Result<SubTxnId> NestedTransactionManager::Begin(TopTxnId top,
+                                                 SubTxnId parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SubTxn sub;
+  sub.top = top;
+  if (parent != kInvalidSubTxn) {
+    auto it = subs_.find(parent);
+    if (it == subs_.end() || !it->second.active) {
+      return Status::InvalidArgument("parent subtransaction not active: " +
+                                     std::to_string(parent));
+    }
+    if (it->second.top != top) {
+      return Status::InvalidArgument("parent belongs to another transaction");
+    }
+    sub.parent = parent;
+    sub.depth = it->second.depth + 1;
+    ++it->second.live_children;
+  }
+  SubTxnId id = next_id_++;
+  subs_[id] = sub;
+  return id;
+}
+
+bool NestedTransactionManager::IsAncestorLocked(SubTxnId ancestor,
+                                                SubTxnId sub) const {
+  SubTxnId current = sub;
+  while (current != kInvalidSubTxn) {
+    if (current == ancestor) return true;
+    auto it = subs_.find(current);
+    if (it == subs_.end()) return false;
+    current = it->second.parent;
+  }
+  return false;
+}
+
+bool NestedTransactionManager::CanGrantLocked(const LockState& state,
+                                              SubTxnId sub,
+                                              storage::LockMode mode) const {
+  auto sub_it = subs_.find(sub);
+  const TopTxnId top = sub_it != subs_.end() ? sub_it->second.top : 0;
+  // Conflicts with locks retained by other top-level transactions.
+  for (const auto& [retainer_top, held_mode] : state.top_retained) {
+    if (retainer_top == top) continue;
+    if (mode == storage::LockMode::kExclusive ||
+        held_mode == storage::LockMode::kExclusive) {
+      return false;
+    }
+  }
+  // Conflicts with live subtransaction holders, unless they are ancestors
+  // (Moss rule: a subtransaction may hold what its ancestors hold).
+  for (const auto& [holder, held_mode] : state.holders) {
+    if (holder == sub) continue;
+    if (IsAncestorLocked(holder, sub)) continue;
+    if (mode == storage::LockMode::kExclusive ||
+        held_mode == storage::LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status NestedTransactionManager::Acquire(SubTxnId sub,
+                                         const storage::LockKey& key,
+                                         storage::LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto sub_it = subs_.find(sub);
+  if (sub_it == subs_.end() || !sub_it->second.active) {
+    return Status::InvalidArgument("subtransaction not active: " +
+                                   std::to_string(sub));
+  }
+  auto& state_ptr = locks_[key];
+  if (state_ptr == nullptr) state_ptr = std::make_unique<LockState>();
+  LockState& state = *state_ptr;
+
+  auto held = state.holders.find(sub);
+  if (held != state.holders.end() &&
+      (held->second == storage::LockMode::kExclusive ||
+       mode == storage::LockMode::kShared)) {
+    return Status::OK();
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + options_.lock_timeout;
+  while (!CanGrantLocked(state, sub, mode)) {
+    if (state.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !CanGrantLocked(state, sub, mode)) {
+      return Status::LockTimeout("subtxn " + std::to_string(sub) +
+                                 " timed out on " + key);
+    }
+  }
+  state.holders[sub] = mode;
+  return Status::OK();
+}
+
+Status NestedTransactionManager::Commit(SubTxnId sub) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subs_.find(sub);
+  if (it == subs_.end() || !it->second.active) {
+    return Status::InvalidArgument("commit of inactive subtransaction " +
+                                   std::to_string(sub));
+  }
+  if (it->second.live_children > 0) {
+    return Status::InvalidArgument("subtransaction has live children");
+  }
+  const SubTxnId parent = it->second.parent;
+  const TopTxnId top = it->second.top;
+  // Inherit locks upward.
+  for (auto& [key, state] : locks_) {
+    (void)key;
+    auto held = state->holders.find(sub);
+    if (held == state->holders.end()) continue;
+    const storage::LockMode mode = held->second;
+    state->holders.erase(held);
+    if (parent != kInvalidSubTxn) {
+      auto existing = state->holders.find(parent);
+      if (existing == state->holders.end()) {
+        state->holders[parent] = mode;
+      } else if (mode == storage::LockMode::kExclusive) {
+        existing->second = storage::LockMode::kExclusive;
+      }
+    } else {
+      auto [retained_it, inserted] =
+          state->top_retained.emplace(top, mode);
+      if (!inserted && mode == storage::LockMode::kExclusive) {
+        retained_it->second = storage::LockMode::kExclusive;
+      }
+    }
+    state->cv.notify_all();
+  }
+  it->second.active = false;
+  if (parent != kInvalidSubTxn) {
+    auto parent_it = subs_.find(parent);
+    if (parent_it != subs_.end()) --parent_it->second.live_children;
+  }
+  subs_.erase(it);
+  return Status::OK();
+}
+
+Status NestedTransactionManager::Abort(SubTxnId sub) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subs_.find(sub);
+  if (it == subs_.end() || !it->second.active) {
+    return Status::InvalidArgument("abort of inactive subtransaction " +
+                                   std::to_string(sub));
+  }
+  if (it->second.live_children > 0) {
+    return Status::InvalidArgument("subtransaction has live children");
+  }
+  for (auto& [key, state] : locks_) {
+    (void)key;
+    if (state->holders.erase(sub) > 0) state->cv.notify_all();
+  }
+  const SubTxnId parent = it->second.parent;
+  if (parent != kInvalidSubTxn) {
+    auto parent_it = subs_.find(parent);
+    if (parent_it != subs_.end()) --parent_it->second.live_children;
+  }
+  subs_.erase(it);
+  return Status::OK();
+}
+
+void NestedTransactionManager::EndTop(TopTxnId top) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Drop any stragglers belonging to this top-level transaction.
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    if (it->second.top == top) {
+      for (auto& [key, state] : locks_) {
+        (void)key;
+        if (state->holders.erase(it->first) > 0) state->cv.notify_all();
+      }
+      it = subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    if (it->second->top_retained.erase(top) > 0) it->second->cv.notify_all();
+    if (it->second->holders.empty() && it->second->top_retained.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool NestedTransactionManager::IsActive(SubTxnId sub) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subs_.find(sub);
+  return it != subs_.end() && it->second.active;
+}
+
+Result<int> NestedTransactionManager::Depth(SubTxnId sub) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subs_.find(sub);
+  if (it == subs_.end()) {
+    return Status::NotFound("no subtransaction " + std::to_string(sub));
+  }
+  return it->second.depth;
+}
+
+Result<TopTxnId> NestedTransactionManager::TopOf(SubTxnId sub) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subs_.find(sub);
+  if (it == subs_.end()) {
+    return Status::NotFound("no subtransaction " + std::to_string(sub));
+  }
+  return it->second.top;
+}
+
+std::size_t NestedTransactionManager::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subs_.size();
+}
+
+std::size_t NestedTransactionManager::locked_key_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, state] : locks_) {
+    (void)key;
+    if (!state->holders.empty() || !state->top_retained.empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace sentinel::txn

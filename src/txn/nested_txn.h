@@ -1,0 +1,106 @@
+#ifndef SENTINEL_TXN_NESTED_TXN_H_
+#define SENTINEL_TXN_NESTED_TXN_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/lock_manager.h"
+
+namespace sentinel::txn {
+
+using TopTxnId = storage::TxnId;
+using SubTxnId = std::uint64_t;
+constexpr SubTxnId kInvalidSubTxn = 0;
+
+/// Nested transaction manager with its own lock manager (paper §2.3, [2]):
+/// rules execute as subtransactions spawned under the triggering top-level
+/// transaction. Implements Moss-style nesting:
+///
+///   - a subtransaction may acquire a lock if every conflicting holder is an
+///     ancestor (lock inheritance makes nested rule execution serializable
+///     against sibling rules while sharing the parent's access rights);
+///   - on subtransaction commit its locks are inherited by the parent;
+///   - on abort its locks are released and its effects are the parent's
+///     responsibility (condition/action functions operate through the
+///     storage engine, whose top-level undo covers them).
+///
+/// This manager is *in addition to* the storage engine's top-level 2PL, just
+/// as Sentinel's nested manager was layered over Exodus.
+class NestedTransactionManager {
+ public:
+  struct Options {
+    std::chrono::milliseconds lock_timeout{2000};
+  };
+
+  NestedTransactionManager() : NestedTransactionManager(Options{}) {}
+  explicit NestedTransactionManager(Options options) : options_(options) {}
+
+  NestedTransactionManager(const NestedTransactionManager&) = delete;
+  NestedTransactionManager& operator=(const NestedTransactionManager&) = delete;
+
+  /// Starts a subtransaction under `top`; `parent` == kInvalidSubTxn means a
+  /// direct child of the top-level transaction.
+  Result<SubTxnId> Begin(TopTxnId top, SubTxnId parent = kInvalidSubTxn);
+
+  /// Commits: locks are inherited by the parent (or by the top-level root).
+  Status Commit(SubTxnId sub);
+
+  /// Aborts: locks released, subtree below must already be finished.
+  Status Abort(SubTxnId sub);
+
+  /// Acquires a nested lock. Blocks; LockTimeout after Options::lock_timeout.
+  Status Acquire(SubTxnId sub, const storage::LockKey& key,
+                 storage::LockMode mode);
+
+  /// Releases everything owned under `top` (called when the top-level
+  /// transaction finishes).
+  void EndTop(TopTxnId top);
+
+  bool IsActive(SubTxnId sub) const;
+  Result<int> Depth(SubTxnId sub) const;
+  Result<TopTxnId> TopOf(SubTxnId sub) const;
+  std::size_t active_count() const;
+  std::size_t locked_key_count() const;
+
+ private:
+  struct SubTxn {
+    TopTxnId top = 0;
+    SubTxnId parent = kInvalidSubTxn;
+    int depth = 1;
+    bool active = true;
+    int live_children = 0;
+  };
+
+  struct LockState {
+    // holder -> mode. Holder kInvalidSubTxn represents "retained by the
+    // top-level transaction" after a depth-1 subtransaction commits; it is
+    // tagged with the owning top id in retainer_top.
+    std::map<SubTxnId, storage::LockMode> holders;
+    std::map<TopTxnId, storage::LockMode> top_retained;
+    std::condition_variable cv;
+  };
+
+  // True if `ancestor` is `sub` or one of its ancestors. Requires mu_.
+  bool IsAncestorLocked(SubTxnId ancestor, SubTxnId sub) const;
+  bool CanGrantLocked(const LockState& state, SubTxnId sub,
+                      storage::LockMode mode) const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<SubTxnId, SubTxn> subs_;
+  std::unordered_map<std::string, std::unique_ptr<LockState>> locks_;
+  SubTxnId next_id_ = 1;
+};
+
+}  // namespace sentinel::txn
+
+#endif  // SENTINEL_TXN_NESTED_TXN_H_

@@ -1,0 +1,362 @@
+#include "core/active_database.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "core/reactive.h"
+
+namespace sentinel::core {
+namespace {
+
+using detector::EventModifier;
+using detector::ParamContext;
+using rules::CouplingMode;
+using rules::RuleContext;
+using rules::RuleManager;
+
+/// The paper's STOCK class (§3.1), hand-written the way the Sentinel
+/// pre/post-processors would have rewritten it.
+class Stock : public Reactive {
+ public:
+  Stock(ActiveDatabase* db, oodb::Oid oid) : Reactive(db, "STOCK", oid) {}
+
+  int sell_stock(int qty) {
+    MethodScope scope(this, "int sell_stock(int qty)");
+    scope.Param("qty", oodb::Value::Int(qty));
+    scope.EnterBody();
+    return qty;
+  }
+
+  void set_price(double price) {
+    MethodScope scope(this, "void set_price(float price)");
+    scope.Param("price", oodb::Value::Double(price));
+    scope.EnterBody();
+    (void)SetAttr("price", oodb::Value::Double(price));
+  }
+};
+
+class ActiveDatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = (std::filesystem::temp_directory_path() /
+               ("sentinel_adb_test_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                  .string();
+    Cleanup();
+    ASSERT_TRUE(db_.Open(prefix_).ok());
+    ASSERT_TRUE(db_.database()
+                    ->classes()
+                    ->Register(oodb::ClassDef("STOCK", "")
+                                   .AddAttribute("price", oodb::ValueType::kDouble)
+                                   .AddMethod("int sell_stock(int qty)", {"qty"})
+                                   .AddMethod("void set_price(float price)",
+                                              {"price"}))
+                    .ok());
+  }
+
+  void TearDown() override {
+    (void)db_.Close();
+    Cleanup();
+  }
+
+  void Cleanup() {
+    std::remove((prefix_ + ".db").c_str());
+    std::remove((prefix_ + ".wal").c_str());
+  }
+
+  std::string prefix_;
+  ActiveDatabase db_;
+};
+
+TEST_F(ActiveDatabaseTest, ImmediateRuleOnMethodEvent) {
+  ASSERT_TRUE(db_.DeclareEvent("e1", "STOCK", EventModifier::kEnd,
+                               "int sell_stock(int qty)")
+                  .ok());
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("r1", "e1", nullptr,
+                               [&](const RuleContext&) { ++fired; })
+                  .ok());
+
+  auto txn = db_.Begin();
+  ASSERT_TRUE(txn.ok());
+  auto oid = db_.CreateObject(*txn, "STOCK", "IBM");
+  ASSERT_TRUE(oid.ok());
+  Stock ibm(&db_, *oid);
+  ibm.set_current_txn(*txn);
+  ibm.sell_stock(100);
+  EXPECT_EQ(fired, 1);  // the application waited for the immediate rule
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+}
+
+TEST_F(ActiveDatabaseTest, BeginAndEndMethodModifiers) {
+  ASSERT_TRUE(db_.DeclareEvent("e2", "STOCK", EventModifier::kBegin,
+                               "void set_price(float price)")
+                  .ok());
+  ASSERT_TRUE(db_.DeclareEvent("e3", "STOCK", EventModifier::kEnd,
+                               "void set_price(float price)")
+                  .ok());
+  std::vector<std::string> order;
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("r_begin", "e2", nullptr,
+                               [&](const RuleContext&) {
+                                 order.push_back("begin");
+                               })
+                  .ok());
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("r_end", "e3", nullptr,
+                               [&](const RuleContext&) { order.push_back("end"); })
+                  .ok());
+  auto txn = db_.Begin();
+  auto oid = db_.CreateObject(*txn, "STOCK");
+  Stock s(&db_, *oid);
+  s.set_current_txn(*txn);
+  s.set_price(55.5);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "begin");
+  EXPECT_EQ(order[1], "end");
+}
+
+TEST_F(ActiveDatabaseTest, RuleParametersCarryMethodArguments) {
+  ASSERT_TRUE(db_.DeclareEvent("e1", "STOCK", EventModifier::kEnd,
+                               "int sell_stock(int qty)")
+                  .ok());
+  std::atomic<std::int64_t> qty_seen{0};
+  std::atomic<oodb::Oid> oid_seen{0};
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("r1", "e1", nullptr,
+                               [&](const RuleContext& ctx) {
+                                 qty_seen = ctx.Param("qty")->AsInt();
+                                 oid_seen = ctx.occurrence->constituents[0]->oid;
+                               })
+                  .ok());
+  auto txn = db_.Begin();
+  auto oid = db_.CreateObject(*txn, "STOCK");
+  Stock s(&db_, *oid);
+  s.set_current_txn(*txn);
+  s.sell_stock(777);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+  EXPECT_EQ(qty_seen, 777);
+  EXPECT_EQ(oid_seen, *oid);
+}
+
+TEST_F(ActiveDatabaseTest, DeferredRuleRunsOnceAtPreCommit) {
+  // Paper §2.3: a DEFERRED rule with event E is rewritten to
+  // A*(begin_txn, E, pre_commit) and executes exactly once per transaction
+  // even when E triggers many times.
+  ASSERT_TRUE(db_.DeclareEvent("e1", "STOCK", EventModifier::kEnd,
+                               "int sell_stock(int qty)")
+                  .ok());
+  std::atomic<int> fired{0};
+  std::atomic<std::size_t> accumulated{0};
+  RuleManager::RuleOptions options;
+  options.coupling = CouplingMode::kDeferred;
+  options.context = ParamContext::kCumulative;
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("r_def", "e1", nullptr,
+                               [&](const RuleContext& ctx) {
+                                 ++fired;
+                                 accumulated = ctx.occurrence->Of("e1").size();
+                               },
+                               options)
+                  .ok());
+  auto txn = db_.Begin();
+  auto oid = db_.CreateObject(*txn, "STOCK");
+  Stock s(&db_, *oid);
+  s.set_current_txn(*txn);
+  s.sell_stock(1);
+  s.sell_stock(2);
+  s.sell_stock(3);
+  EXPECT_EQ(fired, 0);  // nothing until pre-commit
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(accumulated, 3u);
+  // A second transaction with no e1 occurrences must not fire the rule.
+  auto txn2 = db_.Begin();
+  ASSERT_TRUE(db_.Commit(*txn2).ok());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(ActiveDatabaseTest, EventsDoNotLeakAcrossTransactions) {
+  // Paper §3.2.2 item 3: partial detections are flushed at commit/abort.
+  ASSERT_TRUE(db_.DeclareEvent("sell", "STOCK", EventModifier::kEnd,
+                               "int sell_stock(int qty)")
+                  .ok());
+  ASSERT_TRUE(db_.DeclareEvent("price", "STOCK", EventModifier::kEnd,
+                               "void set_price(float price)")
+                  .ok());
+  auto sell = db_.detector()->Find("sell");
+  auto price = db_.detector()->Find("price");
+  ASSERT_TRUE(db_.detector()->DefineAnd("sell_and_price", *sell, *price).ok());
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("r", "sell_and_price", nullptr,
+                               [&](const RuleContext&) { ++fired; })
+                  .ok());
+
+  // Transaction 1 raises only `sell`, then aborts.
+  auto txn1 = db_.Begin();
+  auto oid = db_.CreateObject(*txn1, "STOCK");
+  Stock s1(&db_, *oid);
+  s1.set_current_txn(*txn1);
+  s1.sell_stock(10);
+  ASSERT_TRUE(db_.Abort(*txn1).ok());
+
+  // Transaction 2 raises only `price`: the AND must NOT complete with the
+  // aborted transaction's constituent.
+  auto txn2 = db_.Begin();
+  auto oid2 = db_.CreateObject(*txn2, "STOCK");
+  Stock s2(&db_, *oid2);
+  s2.set_current_txn(*txn2);
+  s2.set_price(9.0);
+  ASSERT_TRUE(db_.Commit(*txn2).ok());
+  EXPECT_EQ(fired, 0);
+
+  // Within ONE transaction the AND completes normally.
+  auto txn3 = db_.Begin();
+  Stock s3(&db_, *oid2);
+  s3.set_current_txn(*txn3);
+  s3.sell_stock(5);
+  s3.set_price(10.0);
+  ASSERT_TRUE(db_.Commit(*txn3).ok());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(ActiveDatabaseTest, DisablingFlushRulesLetsEventsSpanTransactions) {
+  ASSERT_TRUE(db_.DeclareEvent("sell", "STOCK", EventModifier::kEnd,
+                               "int sell_stock(int qty)")
+                  .ok());
+  ASSERT_TRUE(db_.DeclareEvent("price", "STOCK", EventModifier::kEnd,
+                               "void set_price(float price)")
+                  .ok());
+  auto sell = db_.detector()->Find("sell");
+  auto price = db_.detector()->Find("price");
+  ASSERT_TRUE(db_.detector()->DefineAnd("pair", *sell, *price).ok());
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("r", "pair", nullptr,
+                               [&](const RuleContext&) { ++fired; })
+                  .ok());
+  // Paper: "these can be easily modified by deactivating these rules".
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DisableRule(ActiveDatabase::kFlushOnCommitRule)
+                  .ok());
+
+  auto txn1 = db_.Begin();
+  auto oid = db_.CreateObject(*txn1, "STOCK");
+  Stock s(&db_, *oid);
+  s.set_current_txn(*txn1);
+  s.sell_stock(10);
+  ASSERT_TRUE(db_.Commit(*txn1).ok());
+
+  auto txn2 = db_.Begin();
+  s.set_current_txn(*txn2);
+  s.set_price(1.0);
+  ASSERT_TRUE(db_.Commit(*txn2).ok());
+  EXPECT_EQ(fired, 1);  // AND completed across the two transactions
+}
+
+TEST_F(ActiveDatabaseTest, DetachedRuleRunsInSeparateTransaction) {
+  ASSERT_TRUE(db_.DeclareEvent("e1", "STOCK", EventModifier::kEnd,
+                               "int sell_stock(int qty)")
+                  .ok());
+  std::atomic<storage::TxnId> rule_txn{storage::kInvalidTxnId};
+  RuleManager::RuleOptions options;
+  options.coupling = CouplingMode::kDetached;
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("r_det", "e1", nullptr,
+                               [&](const RuleContext& ctx) {
+                                 rule_txn = ctx.txn;
+                               },
+                               options)
+                  .ok());
+  auto txn = db_.Begin();
+  auto oid = db_.CreateObject(*txn, "STOCK");
+  Stock s(&db_, *oid);
+  s.set_current_txn(*txn);
+  s.sell_stock(1);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+  db_.scheduler()->WaitDetached();
+  EXPECT_NE(rule_txn.load(), storage::kInvalidTxnId);
+  EXPECT_NE(rule_txn.load(), *txn);
+}
+
+TEST_F(ActiveDatabaseTest, NestedRuleTriggeringThroughActions) {
+  // An action that calls a reactive method triggers further rules, to
+  // arbitrary depth (paper §2.2 "Nested rules").
+  ASSERT_TRUE(db_.DeclareEvent("sell", "STOCK", EventModifier::kEnd,
+                               "int sell_stock(int qty)")
+                  .ok());
+  ASSERT_TRUE(db_.DeclareEvent("price", "STOCK", EventModifier::kEnd,
+                               "void set_price(float price)")
+                  .ok());
+  std::atomic<int> inner{0};
+  std::shared_ptr<Stock> stock;  // created inside the txn below
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("outer", "sell", nullptr,
+                               [&](const RuleContext& ctx) {
+                                 stock->set_current_txn(ctx.txn);
+                                 stock->set_price(1.25);
+                               })
+                  .ok());
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("inner", "price", nullptr,
+                               [&](const RuleContext&) { ++inner; })
+                  .ok());
+  auto txn = db_.Begin();
+  auto oid = db_.CreateObject(*txn, "STOCK");
+  stock = std::make_shared<Stock>(&db_, *oid);
+  stock->set_current_txn(*txn);
+  stock->sell_stock(3);
+  EXPECT_EQ(inner, 1);
+  EXPECT_GE(db_.scheduler()->max_depth_seen(), 2);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+}
+
+TEST_F(ActiveDatabaseTest, PersistentAttributesSurviveReopen) {
+  auto txn = db_.Begin();
+  auto oid = db_.CreateObject(*txn, "STOCK", "IBM");
+  Stock s(&db_, *oid);
+  s.set_current_txn(*txn);
+  s.set_price(123.5);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+  ASSERT_TRUE(db_.Close().ok());
+
+  ActiveDatabase reopened;
+  ASSERT_TRUE(reopened.Open(prefix_).ok());
+  auto txn2 = reopened.Begin();
+  auto found = reopened.database()->names()->Lookup(*txn2, "IBM");
+  ASSERT_TRUE(found.ok());
+  auto obj = reopened.database()->objects()->Get(*txn2, *found);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_DOUBLE_EQ(obj->Get("price")->AsDouble(), 123.5);
+  ASSERT_TRUE(reopened.Commit(*txn2).ok());
+  ASSERT_TRUE(reopened.Close().ok());
+}
+
+TEST_F(ActiveDatabaseTest, InMemoryModeSupportsRulesWithoutStorage) {
+  ActiveDatabase mem;
+  ASSERT_TRUE(mem.OpenInMemory().ok());
+  ASSERT_TRUE(
+      mem.DeclareEvent("e", "C", EventModifier::kEnd, "void f()").ok());
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(mem.rule_manager()
+                  ->DefineRule("r", "e", nullptr,
+                               [&](const RuleContext&) { ++fired; })
+                  .ok());
+  auto txn = mem.Begin();
+  auto params = std::make_shared<detector::ParamList>();
+  mem.NotifyMethod("C", 1, EventModifier::kEnd, "void f()", params, *txn);
+  EXPECT_EQ(fired, 1);
+  ASSERT_TRUE(mem.Commit(*txn).ok());
+  ASSERT_TRUE(mem.Close().ok());
+}
+
+}  // namespace
+}  // namespace sentinel::core

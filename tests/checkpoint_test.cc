@@ -1,0 +1,151 @@
+// Quiescent checkpointing: log truncation bounds recovery work while
+// preserving correctness across crashes before and after the checkpoint.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/storage_engine.h"
+
+namespace sentinel::storage {
+namespace {
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+std::string Str(const std::vector<std::uint8_t>& b) {
+  return std::string(b.begin(), b.end());
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = (std::filesystem::temp_directory_path() /
+               ("sentinel_ckpt_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                  .string();
+    Cleanup();
+  }
+  void TearDown() override { Cleanup(); }
+  void Cleanup() {
+    std::remove((prefix_ + ".db").c_str());
+    std::remove((prefix_ + ".wal").c_str());
+  }
+  std::size_t WalSize() {
+    return std::filesystem::file_size(prefix_ + ".wal");
+  }
+  std::string prefix_;
+};
+
+TEST_F(CheckpointTest, TruncatesLog) {
+  StorageEngine engine;
+  ASSERT_TRUE(engine.Open(prefix_).ok());
+  auto file = engine.CreateHeapFile();
+  for (int t = 0; t < 20; ++t) {
+    auto txn = engine.Begin();
+    for (int i = 0; i < 10; ++i) {
+      (void)engine.Insert(*txn, *file, Bytes("record"));
+    }
+    ASSERT_TRUE(engine.Commit(*txn).ok());
+  }
+  ASSERT_TRUE(engine.log_manager()->Flush().ok());
+  const std::size_t before = WalSize();
+  ASSERT_TRUE(engine.Checkpoint().ok());
+  const std::size_t after = WalSize();
+  EXPECT_LT(after, before / 10);  // only the checkpoint record remains
+  ASSERT_TRUE(engine.Close().ok());
+}
+
+TEST_F(CheckpointTest, RefusedWithActiveTransactions) {
+  StorageEngine engine;
+  ASSERT_TRUE(engine.Open(prefix_).ok());
+  auto txn = engine.Begin();
+  EXPECT_TRUE(engine.Checkpoint().IsInvalidArgument());
+  ASSERT_TRUE(engine.Commit(*txn).ok());
+  EXPECT_TRUE(engine.Checkpoint().ok());
+  ASSERT_TRUE(engine.Close().ok());
+}
+
+TEST_F(CheckpointTest, CrashAfterCheckpointRecoversCorrectly) {
+  Rid pre_rid, post_rid;
+  PageId file;
+  {
+    StorageEngine engine;
+    ASSERT_TRUE(engine.Open(prefix_).ok());
+    file = *engine.CreateHeapFile();
+    auto txn = engine.Begin();
+    pre_rid = *engine.Insert(*txn, file, Bytes("pre-checkpoint"));
+    ASSERT_TRUE(engine.Commit(*txn).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+
+    auto txn2 = engine.Begin();
+    post_rid = *engine.Insert(*txn2, file, Bytes("post-checkpoint"));
+    ASSERT_TRUE(engine.Commit(*txn2).ok());
+    engine.SimulateCrash();
+  }
+  StorageEngine recovered;
+  ASSERT_TRUE(recovered.Open(prefix_).ok());
+  auto txn = recovered.Begin();
+  EXPECT_EQ(Str(*recovered.Read(*txn, file, pre_rid)), "pre-checkpoint");
+  EXPECT_EQ(Str(*recovered.Read(*txn, file, post_rid)), "post-checkpoint");
+  ASSERT_TRUE(recovered.Commit(*txn).ok());
+  ASSERT_TRUE(recovered.Close().ok());
+}
+
+TEST_F(CheckpointTest, LsnSequenceSurvivesTruncation) {
+  // Page LSNs stamped before the checkpoint must stay comparable with log
+  // records written after it — otherwise post-checkpoint redo would be
+  // skipped. Verified behaviourally: update a pre-checkpoint record after
+  // the checkpoint, crash, and expect the update to be redone.
+  Rid rid;
+  PageId file;
+  {
+    StorageEngine engine;
+    ASSERT_TRUE(engine.Open(prefix_).ok());
+    file = *engine.CreateHeapFile();
+    auto txn = engine.Begin();
+    rid = *engine.Insert(*txn, file, Bytes("v1"));
+    ASSERT_TRUE(engine.Commit(*txn).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+
+    auto txn2 = engine.Begin();
+    ASSERT_TRUE(engine.Update(*txn2, file, rid, Bytes("v2")).ok());
+    ASSERT_TRUE(engine.Commit(*txn2).ok());
+    engine.SimulateCrash();
+  }
+  StorageEngine recovered;
+  ASSERT_TRUE(recovered.Open(prefix_).ok());
+  auto txn = recovered.Begin();
+  EXPECT_EQ(Str(*recovered.Read(*txn, file, rid)), "v2");
+  ASSERT_TRUE(recovered.Commit(*txn).ok());
+  ASSERT_TRUE(recovered.Close().ok());
+}
+
+TEST_F(CheckpointTest, RepeatedCheckpointsAreIdempotent) {
+  StorageEngine engine;
+  ASSERT_TRUE(engine.Open(prefix_).ok());
+  auto file = engine.CreateHeapFile();
+  for (int round = 0; round < 5; ++round) {
+    auto txn = engine.Begin();
+    (void)engine.Insert(*txn, *file, Bytes("r" + std::to_string(round)));
+    ASSERT_TRUE(engine.Commit(*txn).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+  }
+  auto txn = engine.Begin();
+  int count = 0;
+  ASSERT_TRUE(engine
+                  .Scan(*txn, *file,
+                        [&](const Rid&, const std::vector<std::uint8_t>&) {
+                          ++count;
+                          return Status::OK();
+                        })
+                  .ok());
+  EXPECT_EQ(count, 5);
+  ASSERT_TRUE(engine.Commit(*txn).ok());
+  ASSERT_TRUE(engine.Close().ok());
+}
+
+}  // namespace
+}  // namespace sentinel::storage

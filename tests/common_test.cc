@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sentinel {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllFactoriesMapToPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::TransactionAborted("x").IsTransactionAborted());
+  EXPECT_TRUE(Status::Deadlock("x").IsDeadlock());
+  EXPECT_TRUE(Status::LockTimeout("x").IsLockTimeout());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::TypeMismatch("x").IsTypeMismatch());
+}
+
+TEST(StatusTest, CopySharesState) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_TRUE(b.code() == StatusCode::kInternal);
+  EXPECT_EQ(b.message(), "boom");
+}
+
+Status ReturnsNotOk() {
+  SENTINEL_RETURN_NOT_OK(Status::IOError("disk on fire"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(ReturnsNotOk().IsIOError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(BytesTest, ScalarRoundTrip) {
+  BytesWriter w;
+  w.PutU8(7);
+  w.PutU16(1000);
+  w.PutU32(70000);
+  w.PutU64(1ull << 40);
+  w.PutI32(-5);
+  w.PutI64(-12345678901234);
+  w.PutF64(3.25);
+  w.PutBool(true);
+  w.PutString("hello");
+
+  BytesReader r(w.data());
+  EXPECT_EQ(*r.ReadU8(), 7);
+  EXPECT_EQ(*r.ReadU16(), 1000);
+  EXPECT_EQ(*r.ReadU32(), 70000u);
+  EXPECT_EQ(*r.ReadU64(), 1ull << 40);
+  EXPECT_EQ(*r.ReadI32(), -5);
+  EXPECT_EQ(*r.ReadI64(), -12345678901234);
+  EXPECT_DOUBLE_EQ(*r.ReadF64(), 3.25);
+  EXPECT_TRUE(*r.ReadBool());
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, ReadPastEndIsCorruption) {
+  BytesWriter w;
+  w.PutU8(1);
+  BytesReader r(w.data());
+  EXPECT_TRUE(r.ReadU32().status().IsCorruption());
+}
+
+TEST(BytesTest, TruncatedStringIsCorruption) {
+  BytesWriter w;
+  w.PutU32(100);  // promises 100 bytes
+  w.PutU8('x');
+  BytesReader r(w.data());
+  EXPECT_TRUE(r.ReadString().status().IsCorruption());
+}
+
+TEST(BytesTest, EmptyString) {
+  BytesWriter w;
+  w.PutString("");
+  BytesReader r(w.data());
+  EXPECT_EQ(*r.ReadString(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ClockTest, TickIsStrictlyIncreasing) {
+  LogicalClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  Timestamp prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    Timestamp t = clock.Tick();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  EXPECT_EQ(clock.Now(), prev);
+}
+
+TEST(ClockTest, WitnessAdvances) {
+  LogicalClock clock;
+  clock.Witness(500);
+  EXPECT_EQ(clock.Now(), 500u);
+  EXPECT_EQ(clock.Tick(), 501u);
+  clock.Witness(100);  // never goes backwards
+  EXPECT_GE(clock.Now(), 501u);
+}
+
+TEST(ClockTest, ConcurrentTicksAreUnique) {
+  LogicalClock clock;
+  constexpr int kThreads = 4;
+  constexpr int kTicks = 1000;
+  std::vector<std::vector<Timestamp>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&clock, &seen, t] {
+      for (int i = 0; i < kTicks; ++i) seen[t].push_back(clock.Tick());
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<Timestamp> all;
+  for (const auto& v : seen) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kTicks));
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,140 @@
+// ANY(m, E1..En): m-of-n detection across contexts, plus its degenerate
+// equivalences with OR (m=1) and AND (m=n), and spec-language support.
+
+#include <gtest/gtest.h>
+
+#include "detector/local_detector.h"
+#include "detector_test_util.h"
+#include "snoop/parser.h"
+
+namespace sentinel::detector {
+namespace {
+
+class AnyOperatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = *det_.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+    b_ = *det_.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+    c_ = *det_.DefinePrimitive("c", "C", EventModifier::kEnd, "void fc()");
+  }
+  void FireA(int v = 0) { Fire(&det_, "C", "void fa()", v); }
+  void FireB(int v = 0) { Fire(&det_, "C", "void fb()", v); }
+  void FireC(int v = 0) { Fire(&det_, "C", "void fc()", v); }
+
+  LocalEventDetector det_;
+  EventNode* a_ = nullptr;
+  EventNode* b_ = nullptr;
+  EventNode* c_ = nullptr;
+  RecordingSink sink_;
+};
+
+TEST_F(AnyOperatorTest, TwoOfThreeFiresOnSecondDistinctEvent) {
+  ASSERT_TRUE(det_.DefineAny("any2", 2, {a_, b_, c_}).ok());
+  ASSERT_TRUE(det_.Subscribe("any2", &sink_, ParamContext::kChronicle).ok());
+  FireA(1);
+  EXPECT_TRUE(sink_.hits.empty());
+  FireC(2);  // second distinct event -> detect (a, c)
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.constituents.size(), 2u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("a").size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("c").size(), 1u);
+}
+
+TEST_F(AnyOperatorTest, RepeatsOfOneEventDoNotSatisfyThreshold) {
+  ASSERT_TRUE(det_.DefineAny("any2", 2, {a_, b_, c_}).ok());
+  ASSERT_TRUE(det_.Subscribe("any2", &sink_, ParamContext::kChronicle).ok());
+  FireA(1);
+  FireA(2);
+  FireA(3);  // still only one DISTINCT event
+  EXPECT_TRUE(sink_.hits.empty());
+  FireB(4);
+  EXPECT_EQ(sink_.hits.size(), 1u);
+}
+
+TEST_F(AnyOperatorTest, ThresholdOneBehavesLikeOr) {
+  ASSERT_TRUE(det_.DefineAny("any1", 1, {a_, b_}).ok());
+  ASSERT_TRUE(det_.Subscribe("any1", &sink_, ParamContext::kChronicle).ok());
+  FireA(1);
+  FireB(2);
+  FireA(3);
+  EXPECT_EQ(sink_.hits.size(), 3u);
+}
+
+TEST_F(AnyOperatorTest, ThresholdNBehavesLikeAnd) {
+  ASSERT_TRUE(det_.DefineAny("all", 2, {a_, b_}).ok());
+  ASSERT_TRUE(det_.DefineAnd("and", a_, b_).ok());
+  RecordingSink any_sink, and_sink;
+  ASSERT_TRUE(det_.Subscribe("all", &any_sink, ParamContext::kChronicle).ok());
+  ASSERT_TRUE(det_.Subscribe("and", &and_sink, ParamContext::kChronicle).ok());
+  FireA(1);
+  FireB(2);
+  FireB(3);
+  FireA(4);
+  EXPECT_EQ(any_sink.hits.size(), and_sink.hits.size());
+}
+
+TEST_F(AnyOperatorTest, ChronicleConsumesParticipants) {
+  ASSERT_TRUE(det_.DefineAny("any2", 2, {a_, b_, c_}).ok());
+  ASSERT_TRUE(det_.Subscribe("any2", &sink_, ParamContext::kChronicle).ok());
+  FireA(1);
+  FireB(2);  // detect (a1, b2); both consumed
+  FireC(3);  // no partner left
+  EXPECT_EQ(sink_.hits.size(), 1u);
+  FireA(4);  // pairs with buffered c3
+  EXPECT_EQ(sink_.hits.size(), 2u);
+}
+
+TEST_F(AnyOperatorTest, RecentReusesPartners) {
+  ASSERT_TRUE(det_.DefineAny("any2", 2, {a_, b_, c_}).ok());
+  ASSERT_TRUE(det_.Subscribe("any2", &sink_, ParamContext::kRecent).ok());
+  FireA(1);
+  FireB(2);  // detect (a1, b2)
+  FireC(3);  // recent a and b still present -> detect again
+  EXPECT_EQ(sink_.hits.size(), 2u);
+}
+
+TEST_F(AnyOperatorTest, CumulativeTakesEverything) {
+  ASSERT_TRUE(det_.DefineAny("any2", 2, {a_, b_, c_}).ok());
+  ASSERT_TRUE(det_.Subscribe("any2", &sink_, ParamContext::kCumulative).ok());
+  FireA(1);
+  FireA(2);
+  FireB(3);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.constituents.size(), 3u);
+  // Buffer flushed by the detection.
+  EXPECT_EQ(det_.BufferedCount(), 0u);
+}
+
+TEST_F(AnyOperatorTest, InvalidThresholdRejected) {
+  EXPECT_TRUE(det_.DefineAny("bad0", 0, {a_, b_}).status().IsInvalidArgument());
+  EXPECT_TRUE(det_.DefineAny("bad3", 3, {a_, b_}).status().IsInvalidArgument());
+}
+
+TEST_F(AnyOperatorTest, FlushTxnRespectsTransactions) {
+  ASSERT_TRUE(det_.DefineAny("any2", 2, {a_, b_, c_}).ok());
+  ASSERT_TRUE(det_.Subscribe("any2", &sink_, ParamContext::kChronicle).ok());
+  Fire(&det_, "C", "void fa()", 1, /*txn=*/1);
+  det_.FlushTxn(1);
+  Fire(&det_, "C", "void fb()", 2, /*txn=*/2);
+  EXPECT_TRUE(sink_.hits.empty());  // the flushed a cannot participate
+}
+
+TEST_F(AnyOperatorTest, SpecLanguageAnySyntax) {
+  auto expr = snoop::Parser::ParseExpression("ANY(2, a, b, c)");
+  ASSERT_TRUE(expr.ok()) << expr.status();
+  EXPECT_EQ((*expr)->kind, snoop::EventExpr::Kind::kAny);
+  EXPECT_EQ((*expr)->any_threshold, 2u);
+  EXPECT_EQ((*expr)->children.size(), 3u);
+  EXPECT_EQ((*expr)->ToString(), "ANY(2, a, b, c)");
+  // Round trip.
+  auto again = snoop::Parser::ParseExpression((*expr)->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->ToString(), (*expr)->ToString());
+  // Errors.
+  EXPECT_FALSE(snoop::Parser::ParseExpression("ANY(0, a, b)").ok());
+  EXPECT_FALSE(snoop::Parser::ParseExpression("ANY(3, a, b)").ok());
+  EXPECT_FALSE(snoop::Parser::ParseExpression("ANY(1, a)").ok());
+}
+
+}  // namespace
+}  // namespace sentinel::detector

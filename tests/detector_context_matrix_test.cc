@@ -1,0 +1,189 @@
+// Fine-grained context semantics for NOT and A (the operator × context
+// combinations not pinned down by detector_operators_test.cc), plus
+// parameter-propagation assertions on composite occurrences.
+
+#include <gtest/gtest.h>
+
+#include "detector/local_detector.h"
+#include "detector_test_util.h"
+
+namespace sentinel::detector {
+namespace {
+
+class ContextMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = *det_.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+    b_ = *det_.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+    c_ = *det_.DefinePrimitive("c", "C", EventModifier::kEnd, "void fc()");
+  }
+  void FireA(int v = 0) { Fire(&det_, "C", "void fa()", v); }
+  void FireB(int v = 0) { Fire(&det_, "C", "void fb()", v); }
+  void FireC(int v = 0) { Fire(&det_, "C", "void fc()", v); }
+
+  LocalEventDetector det_;
+  EventNode* a_ = nullptr;
+  EventNode* b_ = nullptr;
+  EventNode* c_ = nullptr;
+  RecordingSink sink_;
+};
+
+// ---- NOT across contexts ------------------------------------------------------
+
+TEST_F(ContextMatrixTest, NotChronicleConsumesInitiator) {
+  ASSERT_TRUE(det_.DefineNot("n", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("n", &sink_, ParamContext::kChronicle).ok());
+  FireA(1);
+  FireC(2);  // detects (a1, c2), consumes a1
+  FireC(3);  // no initiator left
+  EXPECT_EQ(sink_.hits.size(), 1u);
+}
+
+TEST_F(ContextMatrixTest, NotRecentKeepsInitiator) {
+  ASSERT_TRUE(det_.DefineNot("n", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("n", &sink_, ParamContext::kRecent).ok());
+  FireA(1);
+  FireC(2);
+  FireC(3);  // recent initiator still valid
+  EXPECT_EQ(sink_.hits.size(), 2u);
+}
+
+TEST_F(ContextMatrixTest, NotContinuousFiresPerSurvivingInitiator) {
+  ASSERT_TRUE(det_.DefineNot("n", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("n", &sink_, ParamContext::kContinuous).ok());
+  FireA(1);
+  FireA(2);
+  FireC(9);  // both windows close without a canceller
+  EXPECT_EQ(sink_.hits.size(), 2u);
+  sink_.Clear();
+  FireA(3);
+  FireB(4);  // cancels
+  FireC(5);
+  EXPECT_TRUE(sink_.hits.empty());
+}
+
+TEST_F(ContextMatrixTest, NotCumulativeGroupsSurvivors) {
+  ASSERT_TRUE(det_.DefineNot("n", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("n", &sink_, ParamContext::kCumulative).ok());
+  FireA(1);
+  FireA(2);
+  FireC(9);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("a").size(), 2u);
+}
+
+TEST_F(ContextMatrixTest, NotCancellerOnlyKillsPrecedingWindows) {
+  ASSERT_TRUE(det_.DefineNot("n", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("n", &sink_, ParamContext::kContinuous).ok());
+  FireB(1);  // canceller before any window: no effect
+  FireA(2);
+  FireC(3);
+  EXPECT_EQ(sink_.hits.size(), 1u);
+}
+
+// ---- A across contexts --------------------------------------------------------
+
+TEST_F(ContextMatrixTest, AperiodicChronicleUsesOldestOpenWindow) {
+  ASSERT_TRUE(det_.DefineAperiodic("ap", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("ap", &sink_, ParamContext::kChronicle).ok());
+  FireA(1);
+  FireA(2);
+  FireB(9);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("a")[0]->params->Get("v")->AsInt(), 1);
+  // Window stays open: another b detects again.
+  FireB(10);
+  EXPECT_EQ(sink_.hits.size(), 2u);
+}
+
+TEST_F(ContextMatrixTest, AperiodicRecentUsesNewestOpenWindow) {
+  ASSERT_TRUE(det_.DefineAperiodic("ap", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("ap", &sink_, ParamContext::kRecent).ok());
+  FireA(1);
+  FireA(2);  // replaces
+  FireB(9);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("a")[0]->params->Get("v")->AsInt(), 2);
+}
+
+TEST_F(ContextMatrixTest, AperiodicCloserEndsDetection) {
+  ASSERT_TRUE(det_.DefineAperiodic("ap", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("ap", &sink_, ParamContext::kContinuous).ok());
+  FireA(1);
+  FireB(2);
+  FireC(3);  // closes
+  FireB(4);
+  EXPECT_EQ(sink_.hits.size(), 1u);
+}
+
+// ---- A* window/context interplay ------------------------------------------------
+
+TEST_F(ContextMatrixTest, AStarRecentRestartDropsAccumulation) {
+  ASSERT_TRUE(det_.DefineAperiodicStar("as", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("as", &sink_, ParamContext::kRecent).ok());
+  FireA(1);
+  FireB(2);
+  FireA(3);  // RECENT restart: accumulation (b=2) is dropped
+  FireB(4);
+  FireC(5);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("b").size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("b")[0]->params->Get("v")->AsInt(), 4);
+}
+
+TEST_F(ContextMatrixTest, AStarCumulativeKeepsAccumulationAcrossOpeners) {
+  ASSERT_TRUE(det_.DefineAperiodicStar("as", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("as", &sink_, ParamContext::kCumulative).ok());
+  FireA(1);
+  FireB(2);
+  FireA(3);  // additional opener, accumulation continues
+  FireB(4);
+  FireC(5);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("b").size(), 2u);
+}
+
+// ---- Parameter propagation through composites -------------------------------------
+
+TEST_F(ContextMatrixTest, CompositeOccurrenceCarriesAllConstituentParams) {
+  auto and_node = det_.DefineAnd("ab", a_, b_);
+  ASSERT_TRUE(and_node.ok());
+  ASSERT_TRUE(det_.DefineSeq("abc", *and_node, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("abc", &sink_, ParamContext::kRecent).ok());
+  FireA(10);
+  FireB(20);
+  FireC(30);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  const Occurrence& occ = sink_.hits[0].occurrence;
+  ASSERT_EQ(occ.constituents.size(), 3u);
+  EXPECT_EQ(occ.Of("a")[0]->params->Get("v")->AsInt(), 10);
+  EXPECT_EQ(occ.Of("b")[0]->params->Get("v")->AsInt(), 20);
+  EXPECT_EQ(occ.Of("c")[0]->params->Get("v")->AsInt(), 30);
+  // Occurrence::Param resolves from the newest constituent backwards.
+  EXPECT_EQ(occ.Param("v")->AsInt(), 30);
+  // Interval spans first to last constituent.
+  EXPECT_EQ(occ.t_start, occ.Of("a")[0]->at);
+  EXPECT_EQ(occ.t_end, occ.Of("c")[0]->at);
+}
+
+TEST_F(ContextMatrixTest, ParameterListsAreSharedNotCopied) {
+  // The same underlying PrimitiveOccurrence object is referenced by every
+  // composite built from it (paper §3.2.2 item 2: pointers, no copying).
+  auto and1 = det_.DefineAnd("ab", a_, b_);
+  auto and2 = det_.DefineAnd("ac", a_, c_);
+  ASSERT_TRUE(and1.ok());
+  ASSERT_TRUE(and2.ok());
+  RecordingSink s1, s2;
+  ASSERT_TRUE(det_.Subscribe("ab", &s1, ParamContext::kRecent).ok());
+  ASSERT_TRUE(det_.Subscribe("ac", &s2, ParamContext::kRecent).ok());
+  FireA(1);
+  FireB(2);
+  FireC(3);
+  ASSERT_EQ(s1.hits.size(), 1u);
+  ASSERT_EQ(s2.hits.size(), 1u);
+  EXPECT_EQ(s1.hits[0].occurrence.Of("a")[0].get(),
+            s2.hits[0].occurrence.Of("a")[0].get());
+}
+
+}  // namespace
+}  // namespace sentinel::detector

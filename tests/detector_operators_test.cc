@@ -1,0 +1,475 @@
+#include <gtest/gtest.h>
+
+#include "detector/local_detector.h"
+#include "detector_test_util.h"
+
+namespace sentinel::detector {
+namespace {
+
+/// Fixture providing three primitive events a, b, c on distinct methods.
+class OperatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = *det_.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+    b_ = *det_.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+    c_ = *det_.DefinePrimitive("c", "C", EventModifier::kEnd, "void fc()");
+  }
+
+  void FireA(int v = 0, TxnId txn = 1) { Fire(&det_, "C", "void fa()", v, txn); }
+  void FireB(int v = 0, TxnId txn = 1) { Fire(&det_, "C", "void fb()", v, txn); }
+  void FireC(int v = 0, TxnId txn = 1) { Fire(&det_, "C", "void fc()", v, txn); }
+
+  LocalEventDetector det_;
+  EventNode* a_ = nullptr;
+  EventNode* b_ = nullptr;
+  EventNode* c_ = nullptr;
+  RecordingSink sink_;
+};
+
+// ---- OR ----------------------------------------------------------------------
+
+TEST_F(OperatorTest, OrFiresOnEitherChild) {
+  ASSERT_TRUE(det_.DefineOr("a_or_b", a_, b_).ok());
+  ASSERT_TRUE(det_.Subscribe("a_or_b", &sink_, ParamContext::kRecent).ok());
+  FireA(1);
+  FireB(2);
+  ASSERT_EQ(sink_.hits.size(), 2u);
+  EXPECT_EQ(sink_.hits[0].occurrence.constituents[0]->event_name, "a");
+  EXPECT_EQ(sink_.hits[1].occurrence.constituents[0]->event_name, "b");
+}
+
+// ---- AND (paper's ^) ------------------------------------------------------------
+
+TEST_F(OperatorTest, AndRequiresBothAnyOrder) {
+  ASSERT_TRUE(det_.DefineAnd("a_and_b", a_, b_).ok());
+  ASSERT_TRUE(det_.Subscribe("a_and_b", &sink_, ParamContext::kRecent).ok());
+  FireB();
+  EXPECT_TRUE(sink_.hits.empty());
+  FireA();
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.constituents.size(), 2u);
+}
+
+TEST_F(OperatorTest, AndRecentPartnerNotConsumed) {
+  ASSERT_TRUE(det_.DefineAnd("a_and_b", a_, b_).ok());
+  ASSERT_TRUE(det_.Subscribe("a_and_b", &sink_, ParamContext::kRecent).ok());
+  FireA(1);
+  FireB(2);  // detects (a1, b2)
+  FireB(3);  // recent: a1 still present -> detects (a1, b3)
+  EXPECT_EQ(sink_.hits.size(), 2u);
+}
+
+TEST_F(OperatorTest, AndRecentUsesMostRecent) {
+  ASSERT_TRUE(det_.DefineAnd("a_and_b", a_, b_).ok());
+  ASSERT_TRUE(det_.Subscribe("a_and_b", &sink_, ParamContext::kRecent).ok());
+  FireA(1);
+  FireA(2);  // replaces a=1
+  FireB(9);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  auto a_parts = sink_.hits[0].occurrence.Of("a");
+  ASSERT_EQ(a_parts.size(), 1u);
+  EXPECT_EQ(a_parts[0]->params->Get("v")->AsInt(), 2);
+}
+
+TEST_F(OperatorTest, AndChronicleFifoAndConsuming) {
+  ASSERT_TRUE(det_.DefineAnd("a_and_b", a_, b_).ok());
+  ASSERT_TRUE(det_.Subscribe("a_and_b", &sink_, ParamContext::kChronicle).ok());
+  FireA(1);
+  FireA(2);
+  FireB(10);  // pairs with a=1
+  FireB(11);  // pairs with a=2
+  FireB(12);  // no partner left
+  ASSERT_EQ(sink_.hits.size(), 2u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("a")[0]->params->Get("v")->AsInt(), 1);
+  EXPECT_EQ(sink_.hits[1].occurrence.Of("a")[0]->params->Get("v")->AsInt(), 2);
+}
+
+TEST_F(OperatorTest, AndContinuousTerminatorPairsWithAllOpen) {
+  ASSERT_TRUE(det_.DefineAnd("a_and_b", a_, b_).ok());
+  ASSERT_TRUE(
+      det_.Subscribe("a_and_b", &sink_, ParamContext::kContinuous).ok());
+  FireA(1);
+  FireA(2);
+  FireA(3);
+  FireB(10);  // pairs with each buffered a, consuming them
+  EXPECT_EQ(sink_.hits.size(), 3u);
+  sink_.Clear();
+  FireB(11);  // nothing left
+  EXPECT_TRUE(sink_.hits.empty());
+}
+
+TEST_F(OperatorTest, AndCumulativeOneDetectionWithEverything) {
+  ASSERT_TRUE(det_.DefineAnd("a_and_b", a_, b_).ok());
+  ASSERT_TRUE(
+      det_.Subscribe("a_and_b", &sink_, ParamContext::kCumulative).ok());
+  FireA(1);
+  FireA(2);
+  FireB(10);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("a").size(), 2u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("b").size(), 1u);
+  sink_.Clear();
+  FireB(11);  // accumulation was flushed by the detection
+  EXPECT_TRUE(sink_.hits.empty());
+}
+
+// ---- SEQ ---------------------------------------------------------------------
+
+TEST_F(OperatorTest, SeqRequiresOrder) {
+  ASSERT_TRUE(det_.DefineSeq("a_then_b", a_, b_).ok());
+  ASSERT_TRUE(det_.Subscribe("a_then_b", &sink_, ParamContext::kRecent).ok());
+  FireB();  // b before a: no detection
+  FireA();
+  EXPECT_TRUE(sink_.hits.empty());
+  FireB();  // now a precedes b
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  const Occurrence& occ = sink_.hits[0].occurrence;
+  EXPECT_LT(occ.constituents[0]->at, occ.constituents[1]->at);
+}
+
+TEST_F(OperatorTest, SeqChronicleConsumesInitiator) {
+  ASSERT_TRUE(det_.DefineSeq("a_then_b", a_, b_).ok());
+  ASSERT_TRUE(
+      det_.Subscribe("a_then_b", &sink_, ParamContext::kChronicle).ok());
+  FireA(1);
+  FireB(10);
+  FireB(11);  // initiator consumed: no second detection
+  EXPECT_EQ(sink_.hits.size(), 1u);
+}
+
+TEST_F(OperatorTest, SeqRecentKeepsInitiator) {
+  ASSERT_TRUE(det_.DefineSeq("a_then_b", a_, b_).ok());
+  ASSERT_TRUE(det_.Subscribe("a_then_b", &sink_, ParamContext::kRecent).ok());
+  FireA(1);
+  FireB(10);
+  FireB(11);
+  EXPECT_EQ(sink_.hits.size(), 2u);
+}
+
+TEST_F(OperatorTest, SeqContinuousFiresPerInitiator) {
+  ASSERT_TRUE(det_.DefineSeq("a_then_b", a_, b_).ok());
+  ASSERT_TRUE(
+      det_.Subscribe("a_then_b", &sink_, ParamContext::kContinuous).ok());
+  FireA(1);
+  FireA(2);
+  FireB(10);
+  EXPECT_EQ(sink_.hits.size(), 2u);
+}
+
+TEST_F(OperatorTest, SeqCumulativeGroupsInitiators) {
+  ASSERT_TRUE(det_.DefineSeq("a_then_b", a_, b_).ok());
+  ASSERT_TRUE(
+      det_.Subscribe("a_then_b", &sink_, ParamContext::kCumulative).ok());
+  FireA(1);
+  FireA(2);
+  FireB(10);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("a").size(), 2u);
+}
+
+// ---- NOT ---------------------------------------------------------------------
+
+TEST_F(OperatorTest, NotFiresWithoutCanceller) {
+  ASSERT_TRUE(det_.DefineNot("guarded", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("guarded", &sink_, ParamContext::kRecent).ok());
+  FireA();
+  FireC();
+  EXPECT_EQ(sink_.hits.size(), 1u);
+}
+
+TEST_F(OperatorTest, NotCancelledByMiddleEvent) {
+  ASSERT_TRUE(det_.DefineNot("guarded", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("guarded", &sink_, ParamContext::kRecent).ok());
+  FireA();
+  FireB();  // cancels
+  FireC();
+  EXPECT_TRUE(sink_.hits.empty());
+  // A fresh initiator after the canceller still works.
+  FireA();
+  FireC();
+  EXPECT_EQ(sink_.hits.size(), 1u);
+}
+
+// ---- A (aperiodic) -------------------------------------------------------------
+
+TEST_F(OperatorTest, AperiodicSignalsEachMiddleInWindow) {
+  ASSERT_TRUE(det_.DefineAperiodic("win", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("win", &sink_, ParamContext::kRecent).ok());
+  FireB();  // outside window: ignored
+  EXPECT_TRUE(sink_.hits.empty());
+  FireA();  // open
+  FireB(1);
+  FireB(2);
+  EXPECT_EQ(sink_.hits.size(), 2u);
+  FireC();  // close
+  FireB(3);
+  EXPECT_EQ(sink_.hits.size(), 2u);
+}
+
+TEST_F(OperatorTest, AperiodicContinuousFiresPerOpenWindow) {
+  ASSERT_TRUE(det_.DefineAperiodic("win", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("win", &sink_, ParamContext::kContinuous).ok());
+  FireA(1);
+  FireA(2);
+  FireB(9);
+  EXPECT_EQ(sink_.hits.size(), 2u);
+}
+
+// ---- A* (cumulative aperiodic; DEFERRED rewrite target) --------------------------
+
+TEST_F(OperatorTest, AperiodicStarFiresOnceAtCloseWithAccumulation) {
+  ASSERT_TRUE(det_.DefineAperiodicStar("acc", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("acc", &sink_, ParamContext::kRecent).ok());
+  FireA();
+  FireB(1);
+  FireB(2);
+  FireB(3);
+  EXPECT_TRUE(sink_.hits.empty());  // nothing until the window closes
+  FireC();
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("b").size(), 3u);
+}
+
+TEST_F(OperatorTest, AperiodicStarSilentWhenNothingAccumulated) {
+  ASSERT_TRUE(det_.DefineAperiodicStar("acc", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("acc", &sink_, ParamContext::kRecent).ok());
+  FireA();
+  FireC();  // no b occurred: deferred rules must not fire
+  EXPECT_TRUE(sink_.hits.empty());
+}
+
+TEST_F(OperatorTest, AperiodicStarWindowResets) {
+  ASSERT_TRUE(det_.DefineAperiodicStar("acc", a_, b_, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("acc", &sink_, ParamContext::kRecent).ok());
+  FireA();
+  FireB(1);
+  FireC();
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  // After closing, a new cycle accumulates independently.
+  FireA();
+  FireB(2);
+  FireB(3);
+  FireC();
+  ASSERT_EQ(sink_.hits.size(), 2u);
+  EXPECT_EQ(sink_.hits[1].occurrence.Of("b").size(), 2u);
+}
+
+// ---- PLUS / P / P* (temporal) -----------------------------------------------------
+
+TEST_F(OperatorTest, PlusFiresAfterDelta) {
+  ASSERT_TRUE(det_.DefinePlus("a_plus_100", a_, 100).ok());
+  ASSERT_TRUE(
+      det_.Subscribe("a_plus_100", &sink_, ParamContext::kRecent).ok());
+  det_.AdvanceTime(1000);
+  FireA(7);
+  det_.AdvanceTime(1099);
+  EXPECT_TRUE(sink_.hits.empty());
+  det_.AdvanceTime(1100);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.at_ms, 1100u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Param("v")->AsInt(), 7);
+}
+
+TEST_F(OperatorTest, PeriodicTicksUntilClosed) {
+  ASSERT_TRUE(det_.DefinePeriodic("heartbeat", a_, 10, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("heartbeat", &sink_, ParamContext::kRecent).ok());
+  det_.AdvanceTime(100);
+  FireA();
+  det_.AdvanceTime(135);  // ticks at 110, 120, 130
+  EXPECT_EQ(sink_.hits.size(), 3u);
+  FireC();  // close
+  det_.AdvanceTime(200);
+  EXPECT_EQ(sink_.hits.size(), 3u);
+}
+
+TEST_F(OperatorTest, PeriodicStarReportsOnceAtClose) {
+  ASSERT_TRUE(det_.DefinePeriodicStar("hb_total", a_, 10, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("hb_total", &sink_, ParamContext::kRecent).ok());
+  det_.AdvanceTime(100);
+  FireA();
+  det_.AdvanceTime(145);
+  EXPECT_TRUE(sink_.hits.empty());
+  FireC();
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Param("ticks")->AsInt(), 4);
+}
+
+// ---- Composition, sharing, flushing ------------------------------------------------
+
+TEST_F(OperatorTest, NestedCompositeExpression) {
+  // (a ^ b) ; c  — AND feeding a SEQ.
+  auto a_and_b = det_.DefineAnd("a_and_b", a_, b_);
+  ASSERT_TRUE(a_and_b.ok());
+  ASSERT_TRUE(det_.DefineSeq("then_c", *a_and_b, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("then_c", &sink_, ParamContext::kRecent).ok());
+  FireA();
+  FireB();
+  FireC();
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.constituents.size(), 3u);
+}
+
+TEST_F(OperatorTest, SharedSubexpressionServesTwoParents) {
+  // Both (a^b) and ((a^b);c) use the same AND node (paper §3.1: common
+  // sub-expressions represented once).
+  auto a_and_b = det_.DefineAnd("a_and_b", a_, b_);
+  ASSERT_TRUE(a_and_b.ok());
+  ASSERT_TRUE(det_.DefineSeq("then_c", *a_and_b, c_).ok());
+  RecordingSink and_sink, seq_sink;
+  ASSERT_TRUE(det_.Subscribe("a_and_b", &and_sink, ParamContext::kRecent).ok());
+  ASSERT_TRUE(det_.Subscribe("then_c", &seq_sink, ParamContext::kRecent).ok());
+  FireA();
+  FireB();
+  FireC();
+  EXPECT_EQ(and_sink.CountIn(ParamContext::kRecent), 1u);
+  EXPECT_EQ(seq_sink.CountIn(ParamContext::kRecent), 1u);
+  EXPECT_EQ(det_.node_count(), 5u);  // a, b, c, and, seq — no duplicates
+}
+
+TEST_F(OperatorTest, MultipleContextsOnOneGraph) {
+  // The same AND node detects simultaneously in RECENT and CHRONICLE with
+  // independent buffers (paper §3.2.2 item 1).
+  ASSERT_TRUE(det_.DefineAnd("a_and_b", a_, b_).ok());
+  RecordingSink recent_sink, chron_sink;
+  ASSERT_TRUE(
+      det_.Subscribe("a_and_b", &recent_sink, ParamContext::kRecent).ok());
+  ASSERT_TRUE(
+      det_.Subscribe("a_and_b", &chron_sink, ParamContext::kChronicle).ok());
+  FireA(1);
+  FireB(10);
+  FireB(11);
+  // RECENT: (a1,b10) and (a1,b11). CHRONICLE: (a1,b10) only.
+  EXPECT_EQ(recent_sink.CountIn(ParamContext::kRecent), 2u);
+  EXPECT_EQ(chron_sink.CountIn(ParamContext::kChronicle), 1u);
+}
+
+TEST_F(OperatorTest, ContextRefCountStopsDetectionAtZero) {
+  ASSERT_TRUE(det_.DefineAnd("a_and_b", a_, b_).ok());
+  ASSERT_TRUE(det_.Subscribe("a_and_b", &sink_, ParamContext::kRecent).ok());
+  FireA();
+  EXPECT_GT(det_.BufferedCount(), 0u);
+  ASSERT_TRUE(det_.Unsubscribe("a_and_b", &sink_, ParamContext::kRecent).ok());
+  FireB();
+  EXPECT_TRUE(sink_.hits.empty());
+  // No further buffering once inactive.
+  std::size_t before = det_.BufferedCount();
+  FireA();
+  EXPECT_EQ(det_.BufferedCount(), before);
+}
+
+TEST_F(OperatorTest, FlushTxnDropsOnlyThatTransaction) {
+  ASSERT_TRUE(det_.DefineAnd("a_and_b", a_, b_).ok());
+  ASSERT_TRUE(det_.Subscribe("a_and_b", &sink_, ParamContext::kChronicle).ok());
+  FireA(1, /*txn=*/1);
+  FireA(2, /*txn=*/2);
+  det_.FlushTxn(1);
+  FireB(10, /*txn=*/2);  // only txn 2's initiator should remain
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Of("a")[0]->params->Get("v")->AsInt(), 2);
+}
+
+TEST_F(OperatorTest, FlushEventClearsSubtree) {
+  auto a_and_b = det_.DefineAnd("a_and_b", a_, b_);
+  ASSERT_TRUE(a_and_b.ok());
+  ASSERT_TRUE(det_.DefineSeq("then_c", *a_and_b, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("then_c", &sink_, ParamContext::kRecent).ok());
+  FireA();
+  FireB();  // AND fired; SEQ holds the pair as initiator
+  ASSERT_TRUE(det_.FlushEvent("then_c").ok());
+  FireC();
+  EXPECT_TRUE(sink_.hits.empty());
+}
+
+TEST_F(OperatorTest, FlushAllResetsEverything) {
+  ASSERT_TRUE(det_.DefineAnd("a_and_b", a_, b_).ok());
+  ASSERT_TRUE(det_.Subscribe("a_and_b", &sink_, ParamContext::kCumulative).ok());
+  FireA(1);
+  FireA(2);
+  EXPECT_GT(det_.BufferedCount(), 0u);
+  det_.FlushAll();
+  EXPECT_EQ(det_.BufferedCount(), 0u);
+  FireB(10);
+  EXPECT_TRUE(sink_.hits.empty());
+}
+
+TEST_F(OperatorTest, BatchInjectReproducesOnlineDetection) {
+  ASSERT_TRUE(det_.DefineSeq("a_then_b", a_, b_).ok());
+  ASSERT_TRUE(det_.Subscribe("a_then_b", &sink_, ParamContext::kRecent).ok());
+
+  PrimitiveOccurrence rec_a;
+  rec_a.class_name = "C";
+  rec_a.method_signature = "void fa()";
+  rec_a.modifier = EventModifier::kEnd;
+  rec_a.at = 1000;
+  rec_a.txn = 9;
+  rec_a.params = std::make_shared<ParamList>();
+  PrimitiveOccurrence rec_b = rec_a;
+  rec_b.method_signature = "void fb()";
+  rec_b.at = 1001;
+
+  det_.Inject(rec_a);
+  det_.Inject(rec_b);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.t_start, 1000u);
+  EXPECT_EQ(sink_.hits[0].occurrence.t_end, 1001u);
+}
+
+// Parameterized sweep: every binary operator in every context detects at
+// least once for the canonical "left then right" stream and never crashes.
+using OpFactory = std::function<EventNode*(LocalEventDetector*, EventNode*,
+                                           EventNode*, EventNode*)>;
+
+class OperatorContextSweep
+    : public ::testing::TestWithParam<std::tuple<int, ParamContext>> {};
+
+TEST_P(OperatorContextSweep, CanonicalStreamDetects) {
+  LocalEventDetector det;
+  EventNode* a = *det.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+  EventNode* b = *det.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+  EventNode* c = *det.DefinePrimitive("c", "C", EventModifier::kEnd, "void fc()");
+  const int op = std::get<0>(GetParam());
+  const ParamContext ctx = std::get<1>(GetParam());
+  switch (op) {
+    case 0:
+      ASSERT_TRUE(det.DefineOr("e", a, b).ok());
+      break;
+    case 1:
+      ASSERT_TRUE(det.DefineAnd("e", a, b).ok());
+      break;
+    case 2:
+      ASSERT_TRUE(det.DefineSeq("e", a, b).ok());
+      break;
+    case 3:
+      ASSERT_TRUE(det.DefineNot("e", a, c, b).ok());
+      break;
+    case 4:
+      ASSERT_TRUE(det.DefineAperiodic("e", a, b, c).ok());
+      break;
+    case 5:
+      ASSERT_TRUE(det.DefineAperiodicStar("e", a, b, c).ok());
+      break;
+    default:
+      FAIL();
+  }
+  RecordingSink sink;
+  ASSERT_TRUE(det.Subscribe("e", &sink, ctx).ok());
+  Fire(&det, "C", "void fa()", 1);
+  Fire(&det, "C", "void fb()", 2);
+  Fire(&det, "C", "void fc()", 3);
+  EXPECT_GE(sink.CountIn(ctx), 1u)
+      << "operator " << op << " in " << ParamContextToString(ctx);
+  // Flushing in any state must leave the graph consistent.
+  det.FlushAll();
+  EXPECT_EQ(det.BufferedCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperatorsAllContexts, OperatorContextSweep,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(ParamContext::kRecent,
+                                         ParamContext::kChronicle,
+                                         ParamContext::kContinuous,
+                                         ParamContext::kCumulative)));
+
+}  // namespace
+}  // namespace sentinel::detector

@@ -1,0 +1,181 @@
+// Property-style sweeps over randomized event streams. A deterministic LCG
+// drives the stream so failures reproduce from the seed in the test name.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "detector/local_detector.h"
+#include "detector_test_util.h"
+
+namespace sentinel::detector {
+namespace {
+
+/// Tiny deterministic PRNG (so the sweep is reproducible by seed).
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  std::uint32_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(state_ >> 33);
+  }
+  int Below(int n) { return static_cast<int>(Next() % static_cast<unsigned>(n)); }
+
+ private:
+  std::uint64_t state_;
+};
+
+class RandomStreamProperty : public ::testing::TestWithParam<int> {};
+
+// Invariant 1: for AND in CHRONICLE, every detection consumes one occurrence
+// of each side, so #detections == min(#a, #b) for any interleaving.
+TEST_P(RandomStreamProperty, AndChronicleCountsMatchMinRule) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()));
+  LocalEventDetector det;
+  auto a = det.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+  auto b = det.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+  (void)det.DefineAnd("e", *a, *b);
+  RecordingSink sink;
+  ASSERT_TRUE(det.Subscribe("e", &sink, ParamContext::kChronicle).ok());
+
+  int count_a = 0, count_b = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (rng.Below(2) == 0) {
+      Fire(&det, "C", "void fa()", i);
+      ++count_a;
+    } else {
+      Fire(&det, "C", "void fb()", i);
+      ++count_b;
+    }
+  }
+  EXPECT_EQ(sink.hits.size(),
+            static_cast<std::size_t>(std::min(count_a, count_b)));
+  // Leftovers still buffered == |#a - #b|.
+  EXPECT_EQ(det.BufferedCount(),
+            static_cast<std::size_t>(std::abs(count_a - count_b)));
+}
+
+// Invariant 2: every detection's constituents are in non-decreasing
+// timestamp order for SEQ, and strictly earlier-initiator.
+TEST_P(RandomStreamProperty, SeqDetectionsAreOrdered) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) + 17);
+  LocalEventDetector det;
+  auto a = det.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+  auto b = det.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+  (void)det.DefineSeq("e", *a, *b);
+  RecordingSink sink;
+  ASSERT_TRUE(det.Subscribe("e", &sink, ParamContext::kContinuous).ok());
+
+  for (int i = 0; i < 200; ++i) {
+    Fire(&det, "C", rng.Below(2) == 0 ? "void fa()" : "void fb()", i);
+  }
+  for (const auto& hit : sink.hits) {
+    ASSERT_EQ(hit.occurrence.constituents.size(), 2u);
+    EXPECT_LT(hit.occurrence.constituents[0]->at,
+              hit.occurrence.constituents[1]->at);
+    EXPECT_EQ(hit.occurrence.constituents[0]->event_name, "a");
+    EXPECT_EQ(hit.occurrence.constituents[1]->event_name, "b");
+    EXPECT_EQ(hit.occurrence.t_start, hit.occurrence.constituents[0]->at);
+    EXPECT_EQ(hit.occurrence.t_end, hit.occurrence.constituents[1]->at);
+  }
+}
+
+// Invariant 3: FlushAll leaves zero buffered occurrences and detection
+// resumes cleanly, regardless of stream prefix.
+TEST_P(RandomStreamProperty, FlushAllAlwaysResets) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) + 99);
+  LocalEventDetector det;
+  auto a = det.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+  auto b = det.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+  auto c = det.DefinePrimitive("c", "C", EventModifier::kEnd, "void fc()");
+  auto and_node = det.DefineAnd("x", *a, *b);
+  (void)det.DefineAperiodicStar("y", *and_node, *c, *b);
+  RecordingSink sink;
+  ASSERT_TRUE(det.Subscribe("y", &sink, ParamContext::kCumulative).ok());
+  ASSERT_TRUE(det.Subscribe("x", &sink, ParamContext::kRecent).ok());
+
+  const char* methods[] = {"void fa()", "void fb()", "void fc()"};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < rng.Below(30) + 1; ++i) {
+      Fire(&det, "C", methods[rng.Below(3)], i);
+    }
+    det.FlushAll();
+    ASSERT_EQ(det.BufferedCount(), 0u) << "round " << round;
+  }
+  // Detection still works after all the flushing.
+  sink.Clear();
+  Fire(&det, "C", "void fa()", 1);
+  Fire(&det, "C", "void fb()", 2);
+  EXPECT_EQ(sink.CountIn(ParamContext::kRecent), 1u);
+}
+
+// Invariant 4: per-transaction flush removes exactly the flushed
+// transaction's occurrences.
+TEST_P(RandomStreamProperty, FlushTxnIsExact) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) + 31337);
+  LocalEventDetector det;
+  auto a = det.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+  auto b = det.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+  (void)det.DefineSeq("e", *a, *b);
+  RecordingSink sink;
+  ASSERT_TRUE(det.Subscribe("e", &sink, ParamContext::kContinuous).ok());
+
+  int txn1_initiators = 0, txn2_initiators = 0;
+  for (int i = 0; i < 60; ++i) {
+    TxnId txn = 1 + rng.Below(2);
+    Fire(&det, "C", "void fa()", i, txn);
+    if (txn == 1) {
+      ++txn1_initiators;
+    } else {
+      ++txn2_initiators;
+    }
+  }
+  EXPECT_EQ(det.BufferedCount(),
+            static_cast<std::size_t>(txn1_initiators + txn2_initiators));
+  det.FlushTxn(1);
+  EXPECT_EQ(det.BufferedCount(), static_cast<std::size_t>(txn2_initiators));
+  // A terminator fires once per surviving initiator (CONTINUOUS).
+  Fire(&det, "C", "void fb()", 999, 2);
+  EXPECT_EQ(sink.hits.size(), static_cast<std::size_t>(txn2_initiators));
+}
+
+// Invariant 5: online detection and batch replay of the identical stream
+// produce the same number of detections in every context.
+TEST_P(RandomStreamProperty, OnlineEqualsBatchAcrossContexts) {
+  for (int c = 0; c < kNumContexts; ++c) {
+    const auto context = static_cast<ParamContext>(c);
+    Lcg rng(static_cast<std::uint64_t>(GetParam()) * 7 + c);
+
+    std::vector<PrimitiveOccurrence> stream;
+    LocalEventDetector online;
+    auto a = online.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+    auto b = online.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+    (void)online.DefineAnd("e", *a, *b);
+    RecordingSink online_sink;
+    ASSERT_TRUE(online.Subscribe("e", &online_sink, context).ok());
+    online.AddRawObserver([&stream](const PrimitiveOccurrence& occ) {
+      stream.push_back(occ);
+    });
+    for (int i = 0; i < 100; ++i) {
+      Fire(&online, "C", rng.Below(2) == 0 ? "void fa()" : "void fb()", i);
+    }
+
+    LocalEventDetector batch;
+    auto a2 = batch.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+    auto b2 = batch.DefinePrimitive("b", "C", EventModifier::kEnd, "void fb()");
+    (void)batch.DefineAnd("e", *a2, *b2);
+    RecordingSink batch_sink;
+    ASSERT_TRUE(batch.Subscribe("e", &batch_sink, context).ok());
+    for (const auto& occ : stream) batch.Inject(occ);
+
+    EXPECT_EQ(online_sink.hits.size(), batch_sink.hits.size())
+        << ParamContextToString(context);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStreamProperty,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace sentinel::detector

@@ -1,0 +1,149 @@
+// Temporal operator edge cases: PLUS/P/P* under multiple pending timers,
+// context interactions, flushing, and clock monotonicity.
+
+#include <gtest/gtest.h>
+
+#include "detector/local_detector.h"
+#include "detector_test_util.h"
+
+namespace sentinel::detector {
+namespace {
+
+class TemporalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = *det_.DefinePrimitive("a", "C", EventModifier::kEnd, "void fa()");
+    c_ = *det_.DefinePrimitive("c", "C", EventModifier::kEnd, "void fc()");
+  }
+  void FireA(int v = 0, TxnId txn = 1) { Fire(&det_, "C", "void fa()", v, txn); }
+  void FireC(int v = 0, TxnId txn = 1) { Fire(&det_, "C", "void fc()", v, txn); }
+
+  LocalEventDetector det_;
+  EventNode* a_ = nullptr;
+  EventNode* c_ = nullptr;
+  RecordingSink sink_;
+};
+
+TEST_F(TemporalTest, MultiplePendingPlusTimersFireInOrder) {
+  ASSERT_TRUE(det_.DefinePlus("p", a_, 100).ok());
+  ASSERT_TRUE(det_.Subscribe("p", &sink_, ParamContext::kChronicle).ok());
+  det_.AdvanceTime(0);
+  FireA(1);  // due at 100
+  det_.AdvanceTime(50);
+  FireA(2);  // due at 150
+  det_.AdvanceTime(120);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Param("v")->AsInt(), 1);
+  det_.AdvanceTime(200);
+  ASSERT_EQ(sink_.hits.size(), 2u);
+  EXPECT_EQ(sink_.hits[1].occurrence.Param("v")->AsInt(), 2);
+}
+
+TEST_F(TemporalTest, PlusRecentKeepsOnlyLatestPending) {
+  ASSERT_TRUE(det_.DefinePlus("p", a_, 100).ok());
+  ASSERT_TRUE(det_.Subscribe("p", &sink_, ParamContext::kRecent).ok());
+  det_.AdvanceTime(0);
+  FireA(1);
+  FireA(2);  // RECENT: replaces the pending timer
+  det_.AdvanceTime(1000);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Param("v")->AsInt(), 2);
+}
+
+TEST_F(TemporalTest, ClockNeverGoesBackwards) {
+  ASSERT_TRUE(det_.DefinePlus("p", a_, 10).ok());
+  ASSERT_TRUE(det_.Subscribe("p", &sink_, ParamContext::kRecent).ok());
+  det_.AdvanceTime(500);
+  EXPECT_EQ(det_.now_ms(), 500u);
+  det_.AdvanceTime(100);  // ignored
+  EXPECT_EQ(det_.now_ms(), 500u);
+  FireA(1);
+  det_.AdvanceTime(510);
+  EXPECT_EQ(sink_.hits.size(), 1u);
+}
+
+TEST_F(TemporalTest, FlushTxnCancelsPendingTimers) {
+  ASSERT_TRUE(det_.DefinePlus("p", a_, 100).ok());
+  ASSERT_TRUE(det_.Subscribe("p", &sink_, ParamContext::kChronicle).ok());
+  det_.AdvanceTime(0);
+  FireA(1, /*txn=*/1);
+  FireA(2, /*txn=*/2);
+  det_.FlushTxn(1);
+  det_.AdvanceTime(1000);
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Param("v")->AsInt(), 2);
+}
+
+TEST_F(TemporalTest, PeriodicMultipleSchedulesInChronicle) {
+  ASSERT_TRUE(det_.DefinePeriodic("p", a_, 100, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("p", &sink_, ParamContext::kChronicle).ok());
+  det_.AdvanceTime(0);
+  FireA(1);  // ticks at 100, 200, ...
+  det_.AdvanceTime(50);
+  FireA(2);  // ticks at 150, 250, ...
+  det_.AdvanceTime(210);
+  // Schedule 1: 100, 200. Schedule 2: 150.
+  EXPECT_EQ(sink_.hits.size(), 3u);
+  FireC();  // closes both
+  det_.AdvanceTime(1000);
+  EXPECT_EQ(sink_.hits.size(), 3u);
+}
+
+TEST_F(TemporalTest, PeriodicCloseOnlyAffectsPrecedingOpeners) {
+  ASSERT_TRUE(det_.DefinePeriodic("p", a_, 100, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("p", &sink_, ParamContext::kChronicle).ok());
+  det_.AdvanceTime(0);
+  FireC();   // closer before any opener: no effect
+  FireA(1);
+  det_.AdvanceTime(150);
+  EXPECT_EQ(sink_.hits.size(), 1u);
+}
+
+TEST_F(TemporalTest, PeriodicStarAccumulatesTickTimes) {
+  ASSERT_TRUE(det_.DefinePeriodicStar("p", a_, 100, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("p", &sink_, ParamContext::kRecent).ok());
+  det_.AdvanceTime(0);
+  FireA();
+  det_.AdvanceTime(350);  // ticks at 100, 200, 300
+  EXPECT_TRUE(sink_.hits.empty());
+  FireC();
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.Param("ticks")->AsInt(), 3);
+  EXPECT_EQ(sink_.hits[0].occurrence.Param("tick_ms_0")->AsInt(), 100);
+  EXPECT_EQ(sink_.hits[0].occurrence.Param("tick_ms_2")->AsInt(), 300);
+}
+
+TEST_F(TemporalTest, PeriodicStarSilentWithZeroTicks) {
+  ASSERT_TRUE(det_.DefinePeriodicStar("p", a_, 1000, c_).ok());
+  ASSERT_TRUE(det_.Subscribe("p", &sink_, ParamContext::kRecent).ok());
+  det_.AdvanceTime(0);
+  FireA();
+  det_.AdvanceTime(10);  // no full period elapsed
+  FireC();
+  EXPECT_TRUE(sink_.hits.empty());
+}
+
+TEST_F(TemporalTest, PlusFeedsCompositeExpression) {
+  // SEQ(a, PLUS(a, 100)): fires when the timer elapses after a second a.
+  auto plus = det_.DefinePlus("a_plus", a_, 100);
+  ASSERT_TRUE(plus.ok());
+  ASSERT_TRUE(det_.DefineSeq("seq", a_, *plus).ok());
+  ASSERT_TRUE(det_.Subscribe("seq", &sink_, ParamContext::kRecent).ok());
+  det_.AdvanceTime(0);
+  FireA(1);
+  det_.AdvanceTime(100);  // PLUS fires; SEQ pairs a@t1 with plus@t2
+  ASSERT_EQ(sink_.hits.size(), 1u);
+  EXPECT_EQ(sink_.hits[0].occurrence.constituents.size(), 2u);
+}
+
+TEST_F(TemporalTest, InactiveContextTimersDoNotFire) {
+  ASSERT_TRUE(det_.DefinePlus("p", a_, 50).ok());
+  // No subscription -> no active context -> the PLUS node receives nothing.
+  det_.AdvanceTime(0);
+  FireA(1);
+  det_.AdvanceTime(1000);
+  EXPECT_EQ(det_.BufferedCount(), 0u);
+}
+
+}  // namespace
+}  // namespace sentinel::detector

@@ -1,0 +1,51 @@
+#ifndef SENTINEL_TESTS_DETECTOR_TEST_UTIL_H_
+#define SENTINEL_TESTS_DETECTOR_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detector/event_types.h"
+#include "detector/local_detector.h"
+
+namespace sentinel::detector {
+
+/// Test sink recording every delivered occurrence with its context.
+class RecordingSink : public EventSink {
+ public:
+  struct Hit {
+    Occurrence occurrence;
+    ParamContext context;
+  };
+
+  void OnEvent(const Occurrence& occurrence, ParamContext context) override {
+    hits.push_back(Hit{occurrence, context});
+  }
+
+  std::size_t CountIn(ParamContext context) const {
+    std::size_t n = 0;
+    for (const auto& hit : hits) {
+      if (hit.context == context) ++n;
+    }
+    return n;
+  }
+
+  void Clear() { hits.clear(); }
+
+  std::vector<Hit> hits;
+};
+
+/// Signals `event_name`'s (class, method, modifier) notification carrying a
+/// single int parameter `v`.
+inline void Fire(LocalEventDetector* det, const std::string& class_name,
+                 const std::string& method, int v, TxnId txn = 1,
+                 oodb::Oid oid = 100,
+                 EventModifier modifier = EventModifier::kEnd) {
+  auto params = std::make_shared<ParamList>();
+  params->Insert("v", oodb::Value::Int(v));
+  det->Notify(class_name, oid, modifier, method, params, txn);
+}
+
+}  // namespace sentinel::detector
+
+#endif  // SENTINEL_TESTS_DETECTOR_TEST_UTIL_H_

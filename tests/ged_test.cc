@@ -1,0 +1,128 @@
+#include "ged/global_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "detector_test_util.h"
+
+namespace sentinel::ged {
+namespace {
+
+using detector::EventModifier;
+using detector::ParamContext;
+
+class GedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(app1_.OpenInMemory().ok());
+    ASSERT_TRUE(app2_.OpenInMemory().ok());
+    ASSERT_TRUE(ged_.RegisterApplication("app1", &app1_).ok());
+    ASSERT_TRUE(ged_.RegisterApplication("app2", &app2_).ok());
+  }
+
+  void Fire(core::ActiveDatabase* app, const std::string& method, int v) {
+    auto params = std::make_shared<detector::ParamList>();
+    params->Insert("v", oodb::Value::Int(v));
+    app->NotifyMethod("Order", 1, EventModifier::kEnd, method, params, 1);
+  }
+
+  core::ActiveDatabase app1_, app2_;
+  GlobalEventDetector ged_;
+};
+
+TEST_F(GedTest, GlobalPrimitiveMirrorsApplicationEvent) {
+  ASSERT_TRUE(ged_.DefineGlobalPrimitive("g1", "app1", "Order",
+                                         EventModifier::kEnd, "void submit()")
+                  .ok());
+  detector::RecordingSink sink;
+  ASSERT_TRUE(ged_.Subscribe("g1", &sink, ParamContext::kRecent).ok());
+  Fire(&app1_, "void submit()", 7);
+  ged_.WaitQuiescent();
+  ASSERT_EQ(sink.hits.size(), 1u);
+  EXPECT_EQ(sink.hits[0].occurrence.Param("v")->AsInt(), 7);
+}
+
+TEST_F(GedTest, EventsAreScopedToTheirApplication) {
+  ASSERT_TRUE(ged_.DefineGlobalPrimitive("g1", "app1", "Order",
+                                         EventModifier::kEnd, "void submit()")
+                  .ok());
+  detector::RecordingSink sink;
+  ASSERT_TRUE(ged_.Subscribe("g1", &sink, ParamContext::kRecent).ok());
+  Fire(&app2_, "void submit()", 1);  // same class+method, other application
+  ged_.WaitQuiescent();
+  EXPECT_TRUE(sink.hits.empty());
+}
+
+TEST_F(GedTest, CrossApplicationSequence) {
+  // Paper Fig. 2: composite events whose constituents come from different
+  // applications (workflow: app1 submits, app2 approves).
+  ASSERT_TRUE(ged_.DefineGlobalPrimitive("submitted", "app1", "Order",
+                                         EventModifier::kEnd, "void submit()")
+                  .ok());
+  ASSERT_TRUE(ged_.DefineGlobalPrimitive("approved", "app2", "Order",
+                                         EventModifier::kEnd, "void approve()")
+                  .ok());
+  auto submitted = ged_.graph()->Find("submitted");
+  auto approved = ged_.graph()->Find("approved");
+  ASSERT_TRUE(
+      ged_.graph()->DefineSeq("submit_then_approve", *submitted, *approved).ok());
+  detector::RecordingSink sink;
+  ASSERT_TRUE(
+      ged_.Subscribe("submit_then_approve", &sink, ParamContext::kRecent).ok());
+
+  Fire(&app2_, "void approve()", 1);  // wrong order: no detection
+  Fire(&app1_, "void submit()", 2);
+  ged_.WaitQuiescent();
+  EXPECT_TRUE(sink.hits.empty());
+  Fire(&app2_, "void approve()", 3);
+  ged_.WaitQuiescent();
+  ASSERT_EQ(sink.hits.size(), 1u);
+  EXPECT_EQ(sink.hits[0].occurrence.constituents.size(), 2u);
+}
+
+TEST_F(GedTest, DeliverToExecutesDetachedRuleInTargetApp) {
+  ASSERT_TRUE(ged_.DefineGlobalPrimitive("submitted", "app1", "Order",
+                                         EventModifier::kEnd, "void submit()")
+                  .ok());
+  // Target application defines an explicit event + a detached rule on it.
+  ASSERT_TRUE(app2_.detector()->DefineExplicit("order_arrived").ok());
+  std::atomic<int> fired{0};
+  rules::RuleManager::RuleOptions options;
+  options.coupling = rules::CouplingMode::kDetached;
+  ASSERT_TRUE(app2_.rule_manager()
+                  ->DefineRule("on_order", "order_arrived", nullptr,
+                               [&](const rules::RuleContext& ctx) {
+                                 if (ctx.Param("v").ok()) ++fired;
+                               },
+                               options)
+                  .ok());
+  ASSERT_TRUE(ged_.DeliverTo("submitted", "app2", "order_arrived").ok());
+  EXPECT_TRUE(ged_.DeliverTo("submitted", "app2", "missing").IsNotFound());
+  EXPECT_TRUE(ged_.DeliverTo("submitted", "nope", "order_arrived").IsNotFound());
+
+  Fire(&app1_, "void submit()", 5);
+  ged_.WaitQuiescent();
+  app2_.scheduler()->WaitDetached();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(GedTest, DuplicateApplicationRejected) {
+  EXPECT_TRUE(ged_.RegisterApplication("app1", &app1_).IsAlreadyExists());
+  EXPECT_TRUE(ged_.DefineGlobalPrimitive("g", "ghost", "C",
+                                         EventModifier::kEnd, "void f()")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(GedTest, ForwardedCountTracksBusTraffic) {
+  const std::uint64_t before = ged_.forwarded_count();
+  Fire(&app1_, "void whatever()", 1);
+  Fire(&app2_, "void whatever()", 2);
+  ged_.WaitQuiescent();
+  EXPECT_EQ(ged_.forwarded_count(), before + 2);
+}
+
+}  // namespace
+}  // namespace sentinel::ged

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "core/active_database.h"
+
+namespace sentinel::core {
+namespace {
+
+using detector::EventModifier;
+using rules::RuleContext;
+
+class MetaRulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.OpenInMemory().ok());
+    ASSERT_TRUE(
+        db_.DeclareEvent("e", "C", EventModifier::kEnd, "void f()").ok());
+    ASSERT_TRUE(db_.DeclareEvent("any_rule_fired", ActiveDatabase::kRuleClass,
+                                 EventModifier::kEnd,
+                                 ActiveDatabase::kRuleFiredMethod)
+                    .ok());
+  }
+
+  void Fire(storage::TxnId txn) {
+    auto params = std::make_shared<detector::ParamList>();
+    db_.NotifyMethod("C", 1, EventModifier::kEnd, "void f()", params, txn);
+  }
+
+  ActiveDatabase db_;
+};
+
+TEST_F(MetaRulesTest, DisabledByDefault) {
+  std::atomic<int> meta{0};
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("base", "e", nullptr, [](const RuleContext&) {})
+                  .ok());
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("meta", "any_rule_fired", nullptr,
+                               [&](const RuleContext&) { ++meta; })
+                  .ok());
+  auto txn = db_.Begin();
+  Fire(*txn);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+  EXPECT_EQ(meta, 0);
+}
+
+TEST_F(MetaRulesTest, MetaRuleSeesRuleExecutions) {
+  db_.set_rule_events_enabled(true);
+  std::atomic<int> base{0};
+  std::atomic<int> meta{0};
+  std::string last_rule;
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("base", "e", nullptr,
+                               [&](const RuleContext&) { ++base; })
+                  .ok());
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("meta", "any_rule_fired", nullptr,
+                               [&](const RuleContext& ctx) {
+                                 ++meta;
+                                 last_rule = ctx.Param("rule")->AsString();
+                               })
+                  .ok());
+  auto txn = db_.Begin();
+  Fire(*txn);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+  EXPECT_EQ(base, 1);
+  // The flush rules also execute at commit: meta sees base + flush rule.
+  EXPECT_GE(meta, 1);
+  EXPECT_TRUE(last_rule == "base" ||
+              last_rule == ActiveDatabase::kFlushOnCommitRule)
+      << last_rule;
+}
+
+TEST_F(MetaRulesTest, ConditionOutcomeIsVisible) {
+  db_.set_rule_events_enabled(true);
+  std::atomic<int> held{0}, rejected{0};
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("base", "e",
+                               [](const RuleContext&) { return false; },
+                               [](const RuleContext&) {})
+                  .ok());
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("meta", "any_rule_fired", nullptr,
+                               [&](const RuleContext& ctx) {
+                                 if (ctx.Param("rule")->AsString() != "base") {
+                                   return;
+                                 }
+                                 if (ctx.Param("condition_held")->AsBool()) {
+                                   ++held;
+                                 } else {
+                                   ++rejected;
+                                 }
+                               })
+                  .ok());
+  auto txn = db_.Begin();
+  Fire(*txn);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+  EXPECT_EQ(held, 0);
+  EXPECT_EQ(rejected, 1);
+}
+
+TEST_F(MetaRulesTest, MetaRulesDoNotRecurse) {
+  db_.set_rule_events_enabled(true);
+  std::atomic<int> meta{0};
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("base", "e", nullptr, [](const RuleContext&) {})
+                  .ok());
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("meta", "any_rule_fired", nullptr,
+                               [&](const RuleContext&) { ++meta; })
+                  .ok());
+  auto txn = db_.Begin();
+  Fire(*txn);
+  Fire(*txn);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+  // meta fired for base twice + flush rule once; its own executions raised
+  // no further RULE events (guard), so the count is bounded.
+  EXPECT_GE(meta, 2);
+  EXPECT_LE(meta, 3);
+}
+
+}  // namespace
+}  // namespace sentinel::core

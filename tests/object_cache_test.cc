@@ -1,0 +1,174 @@
+#include "oodb/object_cache.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "oodb/database.h"
+
+namespace sentinel::oodb {
+namespace {
+
+class ObjectCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = (std::filesystem::temp_directory_path() /
+               ("sentinel_objcache_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                  .string();
+    Cleanup();
+    ASSERT_TRUE(db_.Open(prefix_).ok());
+    cache_ = std::make_unique<ObjectCache>(db_.engine(), db_.objects(), 8);
+  }
+  void TearDown() override {
+    cache_.reset();
+    (void)db_.Close();
+    Cleanup();
+  }
+  void Cleanup() {
+    std::remove((prefix_ + ".db").c_str());
+    std::remove((prefix_ + ".wal").c_str());
+  }
+
+  Oid MakeObject(storage::TxnId txn, int v) {
+    PersistentObject obj(kInvalidOid, "Part");
+    obj.Set("v", Value::Int(v));
+    auto oid = cache_->Put(txn, std::move(obj));
+    EXPECT_TRUE(oid.ok());
+    return *oid;
+  }
+
+  void Commit(storage::TxnId txn) {
+    ASSERT_TRUE(db_.Commit(txn).ok());
+    cache_->OnCommit(txn);
+  }
+  void Abort(storage::TxnId txn) {
+    ASSERT_TRUE(db_.Abort(txn).ok());
+    cache_->OnAbort(txn);
+  }
+
+  std::string prefix_;
+  Database db_;
+  std::unique_ptr<ObjectCache> cache_;
+};
+
+TEST_F(ObjectCacheTest, OwnWritesVisibleBeforeCommit) {
+  auto txn = db_.Begin();
+  Oid oid = MakeObject(*txn, 7);
+  auto got = cache_->Get(*txn, oid);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->Get("v")->AsInt(), 7);
+  Commit(*txn);
+}
+
+TEST_F(ObjectCacheTest, SecondReadIsAHit) {
+  auto setup = db_.Begin();
+  Oid oid = MakeObject(*setup, 1);
+  Commit(*setup);
+
+  auto txn = db_.Begin();
+  ASSERT_TRUE(cache_->Get(*txn, oid).ok());  // may hit (promoted at commit)
+  const auto hits_before = cache_->hit_count();
+  ASSERT_TRUE(cache_->Get(*txn, oid).ok());
+  EXPECT_GT(cache_->hit_count(), hits_before);
+  Commit(*txn);
+}
+
+TEST_F(ObjectCacheTest, AbortDropsOverlay) {
+  auto setup = db_.Begin();
+  Oid oid = MakeObject(*setup, 1);
+  Commit(*setup);
+
+  auto txn = db_.Begin();
+  PersistentObject updated(oid, "Part");
+  updated.Set("v", Value::Int(99));
+  ASSERT_TRUE(cache_->Put(*txn, std::move(updated)).ok());
+  EXPECT_EQ((*cache_->Get(*txn, oid))->Get("v")->AsInt(), 99);
+  Abort(*txn);
+
+  auto check = db_.Begin();
+  EXPECT_EQ((*cache_->Get(*check, oid))->Get("v")->AsInt(), 1);
+  Commit(*check);
+}
+
+TEST_F(ObjectCacheTest, DeleteHidesObjectWithinTxnAndAfterCommit) {
+  auto setup = db_.Begin();
+  Oid oid = MakeObject(*setup, 1);
+  Commit(*setup);
+
+  auto txn = db_.Begin();
+  ASSERT_TRUE(cache_->Delete(*txn, oid).ok());
+  EXPECT_TRUE(cache_->Get(*txn, oid).status().IsNotFound());
+  Commit(*txn);
+
+  auto check = db_.Begin();
+  EXPECT_TRUE(cache_->Get(*check, oid).status().IsNotFound());
+  Commit(*check);
+}
+
+TEST_F(ObjectCacheTest, CommitPromotesNewVersion) {
+  auto setup = db_.Begin();
+  Oid oid = MakeObject(*setup, 1);
+  Commit(*setup);
+
+  auto writer = db_.Begin();
+  PersistentObject updated(oid, "Part");
+  updated.Set("v", Value::Int(2));
+  ASSERT_TRUE(cache_->Put(*writer, std::move(updated)).ok());
+  Commit(*writer);
+
+  auto reader = db_.Begin();
+  EXPECT_EQ((*cache_->Get(*reader, oid))->Get("v")->AsInt(), 2);
+  Commit(*reader);
+}
+
+TEST_F(ObjectCacheTest, CapacityEvictsLru) {
+  auto txn = db_.Begin();
+  std::vector<Oid> oids;
+  for (int i = 0; i < 20; ++i) oids.push_back(MakeObject(*txn, i));
+  Commit(*txn);
+
+  auto reader = db_.Begin();
+  for (Oid oid : oids) ASSERT_TRUE(cache_->Get(*reader, oid).ok());
+  EXPECT_LE(cache_->size(), 8u);  // capacity respected
+  Commit(*reader);
+}
+
+TEST_F(ObjectCacheTest, CacheHitStillBlocksBehindWriterLock) {
+  auto setup = db_.Begin();
+  Oid oid = MakeObject(*setup, 1);
+  Commit(*setup);
+  // Warm the cache.
+  auto warm = db_.Begin();
+  ASSERT_TRUE(cache_->Get(*warm, oid).ok());
+  Commit(*warm);
+
+  // Writer holds the X lock.
+  auto writer = db_.Begin();
+  PersistentObject updated(oid, "Part");
+  updated.Set("v", Value::Int(2));
+  ASSERT_TRUE(cache_->Put(*writer, std::move(updated)).ok());
+
+  std::atomic<bool> read_done{false};
+  std::atomic<std::int64_t> value_seen{-1};
+  std::thread reader([&] {
+    auto txn = db_.Begin();
+    auto got = cache_->Get(*txn, oid);  // must block despite the cache hit
+    if (got.ok()) value_seen = (*got)->Get("v")->AsInt();
+    read_done = true;
+    (void)db_.Commit(*txn);
+    cache_->OnCommit(*txn);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(read_done);
+  Commit(*writer);
+  reader.join();
+  EXPECT_TRUE(read_done);
+  EXPECT_EQ(value_seen, 2);
+}
+
+}  // namespace
+}  // namespace sentinel::oodb

@@ -1,0 +1,127 @@
+// OID B+-tree index integration: trusted after clean shutdown, rebuilt after
+// a crash, and always consistent with the object heap.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "oodb/database.h"
+
+namespace sentinel::oodb {
+namespace {
+
+class OidIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = (std::filesystem::temp_directory_path() /
+               ("sentinel_oididx_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                  .string();
+    Cleanup();
+  }
+  void TearDown() override { Cleanup(); }
+  void Cleanup() {
+    std::remove((prefix_ + ".db").c_str());
+    std::remove((prefix_ + ".wal").c_str());
+  }
+  std::string prefix_;
+};
+
+TEST_F(OidIndexTest, CleanShutdownMarksAndReopenTrustsIndex) {
+  std::vector<Oid> oids;
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(prefix_).ok());
+    EXPECT_FALSE(db.engine()->WasCleanShutdown());  // fresh file
+    auto txn = db.Begin();
+    for (int i = 0; i < 600; ++i) {  // forces index splits
+      PersistentObject obj(kInvalidOid, "Part");
+      obj.Set("n", Value::Int(i));
+      oids.push_back(*db.objects()->Put(*txn, std::move(obj)));
+    }
+    ASSERT_TRUE(db.Commit(*txn).ok());
+    ASSERT_TRUE(db.Close().ok());
+  }
+  Database db;
+  ASSERT_TRUE(db.Open(prefix_).ok());
+  EXPECT_TRUE(db.engine()->WasCleanShutdown());
+  EXPECT_EQ(db.objects()->object_count(), 600u);
+  auto txn = db.Begin();
+  for (int i = 0; i < 600; i += 37) {
+    auto obj = db.objects()->Get(*txn, oids[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(obj.ok()) << i;
+    EXPECT_EQ(obj->Get("n")->AsInt(), i);
+  }
+  ASSERT_TRUE(db.Commit(*txn).ok());
+  ASSERT_TRUE(db.Close().ok());
+}
+
+TEST_F(OidIndexTest, CrashTriggersRebuildFromHeap) {
+  std::vector<Oid> oids;
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(prefix_).ok());
+    auto txn = db.Begin();
+    for (int i = 0; i < 50; ++i) {
+      PersistentObject obj(kInvalidOid, "Part");
+      obj.Set("n", Value::Int(i));
+      oids.push_back(*db.objects()->Put(*txn, std::move(obj)));
+    }
+    ASSERT_TRUE(db.Commit(*txn).ok());
+    // Crash: the clean flag stays false and the index pages may never have
+    // reached disk.
+    db.SimulateCrash();
+  }
+  Database db;
+  ASSERT_TRUE(db.Open(prefix_).ok());
+  EXPECT_FALSE(db.engine()->WasCleanShutdown());
+  EXPECT_EQ(db.objects()->object_count(), 50u);  // rebuilt from the heap
+  auto txn = db.Begin();
+  for (std::size_t i = 0; i < oids.size(); ++i) {
+    auto obj = db.objects()->Get(*txn, oids[i]);
+    ASSERT_TRUE(obj.ok()) << i;
+  }
+  ASSERT_TRUE(db.Commit(*txn).ok());
+  ASSERT_TRUE(db.Close().ok());
+}
+
+TEST_F(OidIndexTest, OidCounterRecoveredFromIndexAfterCleanClose) {
+  Oid last;
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(prefix_).ok());
+    auto txn = db.Begin();
+    last = *db.objects()->Put(*txn, PersistentObject(kInvalidOid, "P"));
+    ASSERT_TRUE(db.Commit(*txn).ok());
+    ASSERT_TRUE(db.Close().ok());
+  }
+  Database db;
+  ASSERT_TRUE(db.Open(prefix_).ok());
+  auto txn = db.Begin();
+  auto next = db.objects()->Put(*txn, PersistentObject(kInvalidOid, "P"));
+  EXPECT_GT(*next, last);
+  ASSERT_TRUE(db.Commit(*txn).ok());
+  ASSERT_TRUE(db.Close().ok());
+}
+
+TEST_F(OidIndexTest, DeletedObjectsLeaveIndexAfterCommit) {
+  Database db;
+  ASSERT_TRUE(db.Open(prefix_).ok());
+  auto txn = db.Begin();
+  auto oid = db.objects()->Put(*txn, PersistentObject(kInvalidOid, "P"));
+  ASSERT_TRUE(db.Commit(*txn).ok());
+  EXPECT_EQ(db.objects()->object_count(), 1u);
+
+  auto txn2 = db.Begin();
+  ASSERT_TRUE(db.objects()->Delete(*txn2, *oid).ok());
+  // Still counted until commit (overlay only).
+  EXPECT_EQ(db.objects()->object_count(), 1u);
+  ASSERT_TRUE(db.Commit(*txn2).ok());
+  EXPECT_EQ(db.objects()->object_count(), 0u);
+  ASSERT_TRUE(db.Close().ok());
+}
+
+}  // namespace
+}  // namespace sentinel::oodb

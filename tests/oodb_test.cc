@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "oodb/database.h"
+#include "oodb/object.h"
+#include "oodb/schema.h"
+#include "oodb/value.h"
+
+namespace sentinel::oodb {
+namespace {
+
+// ---- Value ---------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Int(-3).AsInt(), -3);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::String("s").AsString(), "s");
+  EXPECT_EQ(Value::OfOid(9).AsOid(), 9u);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_FALSE(Value::Int(5) == Value::Int(6));
+  EXPECT_FALSE(Value::Int(5) == Value::Double(5.0));  // type-sensitive
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, AsNumberCoercesIntAndDouble) {
+  EXPECT_DOUBLE_EQ(*Value::Int(4).AsNumber(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value::Double(2.5).AsNumber(), 2.5);
+  EXPECT_TRUE(Value::String("x").AsNumber().status().IsTypeMismatch());
+}
+
+TEST(ValueTest, SerializationRoundTrip) {
+  const Value values[] = {Value::Null(),         Value::Bool(false),
+                          Value::Int(-77),       Value::Double(0.125),
+                          Value::String("text"), Value::OfOid(123)};
+  for (const Value& v : values) {
+    BytesWriter w;
+    v.Serialize(&w);
+    BytesReader r(w.data());
+    auto back = Value::Deserialize(&r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v) << v.ToString();
+  }
+}
+
+TEST(ValueTest, ToStringIsReadable) {
+  EXPECT_EQ(Value::Int(3).ToString(), "3");
+  EXPECT_EQ(Value::String("a").ToString(), "\"a\"");
+  EXPECT_EQ(Value::OfOid(4).ToString(), "oid:4");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Null().ToString(), "null");
+}
+
+// ---- Schema --------------------------------------------------------------------
+
+TEST(SchemaTest, RegisterAndInheritance) {
+  ClassRegistry reg;
+  ASSERT_TRUE(reg.Register(ClassDef("Base", "")
+                               .AddAttribute("id", ValueType::kInt)
+                               .AddMethod("void touch()"))
+                  .ok());
+  ASSERT_TRUE(reg.Register(ClassDef("Mid", "Base")
+                               .AddAttribute("name", ValueType::kString))
+                  .ok());
+  ASSERT_TRUE(reg.Register(ClassDef("Leaf", "Mid")).ok());
+
+  EXPECT_TRUE(reg.IsSubclassOf("Leaf", "Base"));
+  EXPECT_TRUE(reg.IsSubclassOf("Leaf", "Leaf"));
+  EXPECT_FALSE(reg.IsSubclassOf("Base", "Leaf"));
+  EXPECT_FALSE(reg.IsSubclassOf("Unknown", "Base"));
+
+  // Method resolution walks the chain.
+  EXPECT_TRUE(reg.ResolveMethod("Leaf", "void touch()").ok());
+  EXPECT_TRUE(reg.ResolveMethod("Leaf", "void nope()").status().IsNotFound());
+
+  // Attribute collection is base-first.
+  auto attrs = reg.AllAttributes("Leaf");
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_EQ(attrs->size(), 2u);
+  EXPECT_EQ((*attrs)[0].name, "id");
+  EXPECT_EQ((*attrs)[1].name, "name");
+}
+
+TEST(SchemaTest, DuplicateAndMissingBaseRejected) {
+  ClassRegistry reg;
+  ASSERT_TRUE(reg.Register(ClassDef("A", "")).ok());
+  EXPECT_TRUE(reg.Register(ClassDef("A", "")).IsAlreadyExists());
+  EXPECT_TRUE(reg.Register(ClassDef("B", "Ghost")).IsNotFound());
+}
+
+// ---- PersistentObject -------------------------------------------------------------
+
+TEST(PersistentObjectTest, SerializationRoundTrip) {
+  PersistentObject obj(42, "Stock");
+  obj.Set("price", Value::Double(99.5));
+  obj.Set("symbol", Value::String("IBM"));
+  BytesWriter w;
+  obj.Serialize(&w);
+  BytesReader r(w.data());
+  auto back = PersistentObject::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->oid(), 42u);
+  EXPECT_EQ(back->class_name(), "Stock");
+  EXPECT_DOUBLE_EQ(back->Get("price")->AsDouble(), 99.5);
+  EXPECT_EQ(back->Get("symbol")->AsString(), "IBM");
+  EXPECT_TRUE(back->Get("ghost").status().IsNotFound());
+}
+
+// ---- Database / persistence + names -----------------------------------------------
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = (std::filesystem::temp_directory_path() /
+               ("sentinel_oodb_test_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                  .string();
+    Cleanup();
+    ASSERT_TRUE(db_.Open(prefix_).ok());
+  }
+  void TearDown() override {
+    (void)db_.Close();
+    Cleanup();
+  }
+  void Cleanup() {
+    std::remove((prefix_ + ".db").c_str());
+    std::remove((prefix_ + ".wal").c_str());
+  }
+  std::string prefix_;
+  Database db_;
+};
+
+TEST_F(DatabaseTest, PutGetDeleteObject) {
+  auto txn = db_.Begin();
+  PersistentObject obj(kInvalidOid, "Stock");
+  obj.Set("price", Value::Double(10.0));
+  auto oid = db_.objects()->Put(*txn, std::move(obj));
+  ASSERT_TRUE(oid.ok());
+  EXPECT_NE(*oid, kInvalidOid);
+
+  auto got = db_.objects()->Get(*txn, *oid);
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got->Get("price")->AsDouble(), 10.0);
+
+  ASSERT_TRUE(db_.objects()->Delete(*txn, *oid).ok());
+  EXPECT_TRUE(db_.objects()->Get(*txn, *oid).status().IsNotFound());
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+}
+
+TEST_F(DatabaseTest, UpdatePreservesOid) {
+  auto txn = db_.Begin();
+  PersistentObject obj(kInvalidOid, "Stock");
+  obj.Set("v", Value::Int(1));
+  auto oid = db_.objects()->Put(*txn, std::move(obj));
+  auto loaded = db_.objects()->Get(*txn, *oid);
+  loaded->Set("v", Value::Int(2));
+  auto oid2 = db_.objects()->Put(*txn, std::move(*loaded));
+  ASSERT_TRUE(oid2.ok());
+  EXPECT_EQ(*oid2, *oid);
+  EXPECT_EQ(db_.objects()->Get(*txn, *oid)->Get("v")->AsInt(), 2);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+}
+
+TEST_F(DatabaseTest, AbortedPutIsInvisible) {
+  auto txn = db_.Begin();
+  PersistentObject obj(kInvalidOid, "Stock");
+  auto oid = db_.objects()->Put(*txn, std::move(obj));
+  ASSERT_TRUE(oid.ok());
+  EXPECT_TRUE(db_.objects()->Exists(*txn, *oid));
+  ASSERT_TRUE(db_.Abort(*txn).ok());
+
+  auto txn2 = db_.Begin();
+  EXPECT_FALSE(db_.objects()->Exists(*txn2, *oid));
+  ASSERT_TRUE(db_.Commit(*txn2).ok());
+}
+
+TEST_F(DatabaseTest, ScanClassFilters) {
+  auto txn = db_.Begin();
+  for (int i = 0; i < 3; ++i) {
+    PersistentObject s(kInvalidOid, "Stock");
+    (void)db_.objects()->Put(*txn, std::move(s));
+  }
+  PersistentObject b(kInvalidOid, "Bond");
+  (void)db_.objects()->Put(*txn, std::move(b));
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+
+  auto txn2 = db_.Begin();
+  int stocks = 0, all = 0;
+  ASSERT_TRUE(db_.objects()
+                  ->ScanClass(*txn2, "Stock",
+                              [&](const PersistentObject&) {
+                                ++stocks;
+                                return Status::OK();
+                              })
+                  .ok());
+  ASSERT_TRUE(db_.objects()
+                  ->ScanClass(*txn2, "",
+                              [&](const PersistentObject&) {
+                                ++all;
+                                return Status::OK();
+                              })
+                  .ok());
+  EXPECT_EQ(stocks, 3);
+  EXPECT_EQ(all, 4);
+  ASSERT_TRUE(db_.Commit(*txn2).ok());
+}
+
+TEST_F(DatabaseTest, NameBindings) {
+  auto txn = db_.Begin();
+  ASSERT_TRUE(db_.names()->Bind(*txn, "IBM", 7).ok());
+  EXPECT_EQ(*db_.names()->Lookup(*txn, "IBM"), 7u);
+  ASSERT_TRUE(db_.names()->Bind(*txn, "IBM", 8).ok());  // rebind
+  EXPECT_EQ(*db_.names()->Lookup(*txn, "IBM"), 8u);
+  ASSERT_TRUE(db_.names()->Unbind(*txn, "IBM").ok());
+  EXPECT_TRUE(db_.names()->Lookup(*txn, "IBM").status().IsNotFound());
+  EXPECT_TRUE(db_.names()->Unbind(*txn, "IBM").IsNotFound());
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+}
+
+TEST_F(DatabaseTest, ObjectsAndNamesSurviveReopen) {
+  oodb::Oid oid;
+  {
+    auto txn = db_.Begin();
+    PersistentObject obj(kInvalidOid, "Stock");
+    obj.Set("price", Value::Double(55.0));
+    oid = *db_.objects()->Put(*txn, std::move(obj));
+    ASSERT_TRUE(db_.names()->Bind(*txn, "IBM", oid).ok());
+    ASSERT_TRUE(db_.Commit(*txn).ok());
+    ASSERT_TRUE(db_.Close().ok());
+  }
+  Database reopened;
+  ASSERT_TRUE(reopened.Open(prefix_).ok());
+  auto txn = reopened.Begin();
+  EXPECT_EQ(*reopened.names()->Lookup(*txn, "IBM"), oid);
+  auto obj = reopened.objects()->Get(*txn, oid);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_DOUBLE_EQ(obj->Get("price")->AsDouble(), 55.0);
+  EXPECT_EQ(reopened.objects()->object_count(), 1u);
+  EXPECT_EQ(reopened.names()->binding_count(), 1u);
+  ASSERT_TRUE(reopened.Commit(*txn).ok());
+  ASSERT_TRUE(reopened.Close().ok());
+}
+
+TEST_F(DatabaseTest, OidsAreNeverReusedAcrossRestart) {
+  oodb::Oid first;
+  {
+    auto txn = db_.Begin();
+    first = *db_.objects()->Put(*txn, PersistentObject(kInvalidOid, "S"));
+    ASSERT_TRUE(db_.Commit(*txn).ok());
+    ASSERT_TRUE(db_.Close().ok());
+  }
+  Database reopened;
+  ASSERT_TRUE(reopened.Open(prefix_).ok());
+  auto txn = reopened.Begin();
+  auto second = reopened.objects()->Put(*txn, PersistentObject(kInvalidOid, "S"));
+  EXPECT_GT(*second, first);
+  ASSERT_TRUE(reopened.Commit(*txn).ok());
+  ASSERT_TRUE(reopened.Close().ok());
+}
+
+}  // namespace
+}  // namespace sentinel::oodb

@@ -1,0 +1,70 @@
+// Parser robustness: random token soup must produce a ParseError (or, by
+// luck, a valid spec) — never a crash, hang, or uncontrolled exception.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "snoop/parser.h"
+
+namespace sentinel::snoop {
+namespace {
+
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  std::uint32_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(state_ >> 33);
+  }
+  int Below(int n) { return static_cast<int>(Next() % static_cast<unsigned>(n)); }
+
+ private:
+  std::uint64_t state_;
+};
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, RandomTokenSoupNeverCrashes) {
+  const char* vocabulary[] = {
+      "class",  "event", "rule",   "attr",  "begin", "end",   "NOT",
+      "A",      "P",     "PLUS",   "then",  "REACTIVE",       "e1",
+      "x",      "(",     ")",      "{",     "}",     "[",     "]",
+      ",",      ";",     ":",      "=",     "^",     "|",     "*",
+      "&&",     "100",   "\"C\"",  "\"void f()\"",   "RECENT",
+      "DEFERRED", "NOW", "int",    "double",
+  };
+  constexpr int kVocab = sizeof(vocabulary) / sizeof(vocabulary[0]);
+  Lcg rng(static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 200; ++round) {
+    std::string source;
+    const int len = rng.Below(40) + 1;
+    for (int i = 0; i < len; ++i) {
+      source += vocabulary[rng.Below(kVocab)];
+      source += " ";
+    }
+    auto spec = Parser::Parse(source);  // must terminate without crashing
+    if (!spec.ok()) {
+      EXPECT_TRUE(spec.status().IsParseError()) << spec.status() << "\n"
+                                                << source;
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RandomBytesNeverCrash) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) + 777);
+  for (int round = 0; round < 100; ++round) {
+    std::string source;
+    const int len = rng.Below(120);
+    for (int i = 0; i < len; ++i) {
+      source.push_back(static_cast<char>(rng.Below(94) + 32));  // printable
+    }
+    (void)Parser::Parse(source);
+    (void)Parser::ParseExpression(source);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1, 5));
+
+}  // namespace
+}  // namespace sentinel::snoop

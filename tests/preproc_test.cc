@@ -1,0 +1,187 @@
+#include "preproc/compiler.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/reactive.h"
+
+namespace sentinel::preproc {
+namespace {
+
+using detector::EventModifier;
+
+class SpecCompilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = (std::filesystem::temp_directory_path() /
+               ("sentinel_preproc_test_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                  .string();
+    Cleanup();
+    ASSERT_TRUE(db_.Open(prefix_).ok());
+  }
+  void TearDown() override {
+    (void)db_.Close();
+    Cleanup();
+  }
+  void Cleanup() {
+    std::remove((prefix_ + ".db").c_str());
+    std::remove((prefix_ + ".wal").c_str());
+  }
+
+  std::string prefix_;
+  core::ActiveDatabase db_;
+  FunctionRegistry functions_;
+};
+
+constexpr char kStockSpec[] = R"spec(
+  class STOCK : REACTIVE {
+    attr price: double;
+    event end(e1) int sell_stock(int qty);
+    event begin(e2) && end(e3) void set_price(float price);
+    event e4 = e1 ^ e2;
+    rule R1(e4, cond1, action1, RECENT, IMMEDIATE, 10, NOW);
+  }
+)spec";
+
+TEST_F(SpecCompilerTest, InstallsPaperStockSpec) {
+  std::atomic<int> fired{0};
+  functions_.RegisterCondition("cond1",
+                               [](const rules::RuleContext&) { return true; });
+  functions_.RegisterAction("action1",
+                            [&](const rules::RuleContext&) { ++fired; });
+  SpecCompiler compiler(&db_, &functions_);
+  ASSERT_TRUE(compiler.LoadString(kStockSpec).ok());
+
+  // Schema registered.
+  EXPECT_TRUE(db_.database()->classes()->Exists("STOCK"));
+  // Events defined.
+  EXPECT_TRUE(db_.detector()->Exists("e1"));
+  EXPECT_TRUE(db_.detector()->Exists("e2"));
+  EXPECT_TRUE(db_.detector()->Exists("e3"));
+  EXPECT_TRUE(db_.detector()->Exists("e4"));
+  // Rule defined.
+  auto rule = db_.rule_manager()->Find("R1");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ((*rule)->priority(), 10);
+
+  // End-to-end: invoke the methods, rule fires on e1 ^ e2.
+  auto txn = db_.Begin();
+  auto params = std::make_shared<detector::ParamList>();
+  db_.NotifyMethod("STOCK", 1, EventModifier::kEnd, "int sell_stock(int qty)",
+                   params, *txn);
+  db_.NotifyMethod("STOCK", 1, EventModifier::kBegin,
+                   "void set_price(float price)", params, *txn);
+  EXPECT_EQ(fired, 1);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+}
+
+TEST_F(SpecCompilerTest, DuplicateNamedEventRejected) {
+  SpecCompiler compiler(&db_, &functions_);
+  ASSERT_TRUE(compiler.LoadString(R"spec(event a = end("C", "void f()");)spec").ok());
+  EXPECT_TRUE(compiler.LoadString(R"spec(event a = end("C", "void g()");)spec")
+                  .IsAlreadyExists());
+}
+
+TEST_F(SpecCompilerTest, AnonymousSubexpressionSharing) {
+  functions_.RegisterAction("noop1", [](const rules::RuleContext&) {});
+  SpecCompiler compiler(&db_, &functions_);
+  ASSERT_TRUE(compiler
+                  .LoadString(R"spec(
+    event a = end("C", "void f()");
+    event b = end("C", "void g()");
+    event c = end("C", "void h()");
+  )spec")
+                  .ok());
+  const std::size_t base = db_.detector()->node_count();
+  ASSERT_TRUE(compiler.LoadString("event x = (a ^ b) then c;").ok());
+  const std::size_t after_x = db_.detector()->node_count();
+  EXPECT_EQ(after_x, base + 2);  // anonymous (a^b) + named x
+  // A second expression over the same sub-expression adds only its new top.
+  ASSERT_TRUE(compiler.LoadString("event y = (a ^ b) | c;").ok());
+  EXPECT_EQ(db_.detector()->node_count(), after_x + 1);
+}
+
+TEST_F(SpecCompilerTest, InstanceLevelEventResolvesNameBinding) {
+  // Bind "IBM" first, then install an instance-level event on it.
+  auto txn = db_.Begin();
+  ASSERT_TRUE(db_.database()
+                  ->classes()
+                  ->Register(oodb::ClassDef("Stock", ""))
+                  .ok());
+  auto oid = db_.CreateObject(*txn, "Stock", "IBM");
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+
+  SpecCompiler compiler(&db_, &functions_);
+  ASSERT_TRUE(compiler
+                  .LoadString(
+                      R"spec(event set_IBM_price =
+                           begin("Stock":"IBM", "void set_price(float p)");)spec")
+                  .ok());
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("r", "set_IBM_price", nullptr,
+                               [&](const rules::RuleContext&) { ++fired; })
+                  .ok());
+  auto txn2 = db_.Begin();
+  auto params = std::make_shared<detector::ParamList>();
+  db_.NotifyMethod("Stock", *oid, EventModifier::kBegin,
+                   "void set_price(float p)", params, *txn2);
+  db_.NotifyMethod("Stock", *oid + 999, EventModifier::kBegin,
+                   "void set_price(float p)", params, *txn2);
+  ASSERT_TRUE(db_.Commit(*txn2).ok());
+  EXPECT_EQ(fired, 1);  // only the IBM instance triggers
+}
+
+TEST_F(SpecCompilerTest, UnknownFunctionNameFails) {
+  SpecCompiler compiler(&db_, &functions_);
+  Status st = compiler.LoadString(R"spec(
+    event a = end("C", "void f()");
+    rule R(a, no_such_cond, no_such_action);
+  )spec");
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+TEST_F(SpecCompilerTest, LoadFileWorks) {
+  const std::string path = prefix_ + ".spec";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("event a = end(\"C\", \"void f()\");\n", f);
+    std::fclose(f);
+  }
+  SpecCompiler compiler(&db_, &functions_);
+  EXPECT_TRUE(compiler.LoadFile(path).ok());
+  EXPECT_TRUE(db_.detector()->Exists("a"));
+  EXPECT_TRUE(compiler.LoadFile(path + ".missing").IsIOError());
+  std::remove(path.c_str());
+}
+
+TEST_F(SpecCompilerTest, GenerateCppMirrorsPaperOutput) {
+  auto spec = snoop::Parser::Parse(kStockSpec);
+  ASSERT_TRUE(spec.ok());
+  std::string code = SpecCompiler::GenerateCpp(*spec);
+  // Wrapper shape from §3.2.1.
+  EXPECT_NE(code.find("PARA_LIST* para_list = new PARA_LIST()"),
+            std::string::npos);
+  EXPECT_NE(code.find(
+                "Notify(this, \"STOCK\", \"void set_price(float price)\", "
+                "\"begin\", para_list);"),
+            std::string::npos);
+  EXPECT_NE(code.find("user_void set_price(float price);"), std::string::npos);
+  // Graph construction from §3.2.2.
+  EXPECT_NE(code.find("new LOCAL_EVENT_DETECTOR()"), std::string::npos);
+  EXPECT_NE(code.find("new PRIMITIVE(\"e1\", \"STOCK\", \"end\", "
+                      "\"int sell_stock(int qty)\")"),
+            std::string::npos);
+  EXPECT_NE(code.find("new RULE(\"R1\", e4, cond1, action1);"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sentinel::preproc

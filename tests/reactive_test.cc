@@ -1,0 +1,131 @@
+// Reactive::MethodScope — the hand-written equivalent of the post-processed
+// wrapper (paper §3.2.1): parameter collection, begin/end signalling order,
+// and persistent attribute access through the object cache.
+
+#include "core/reactive.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+namespace sentinel::core {
+namespace {
+
+using detector::EventModifier;
+using rules::RuleContext;
+
+class ReactiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = (std::filesystem::temp_directory_path() /
+               ("sentinel_reactive_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                  .string();
+    Cleanup();
+    ASSERT_TRUE(db_.Open(prefix_).ok());
+    ASSERT_TRUE(db_.database()
+                    ->classes()
+                    ->Register(oodb::ClassDef("Widget", "").AddAttribute(
+                        "count", oodb::ValueType::kInt))
+                    .ok());
+  }
+  void TearDown() override {
+    (void)db_.Close();
+    Cleanup();
+  }
+  void Cleanup() {
+    std::remove((prefix_ + ".db").c_str());
+    std::remove((prefix_ + ".wal").c_str());
+  }
+
+  std::string prefix_;
+  ActiveDatabase db_;
+};
+
+class Widget : public Reactive {
+ public:
+  Widget(ActiveDatabase* db, oodb::Oid oid) : Reactive(db, "Widget", oid) {}
+
+  void poke(int amount, bool enter_body) {
+    MethodScope scope(this, "void poke(int amount)");
+    scope.Param("amount", oodb::Value::Int(amount));
+    if (enter_body) scope.EnterBody();
+  }
+};
+
+TEST_F(ReactiveTest, BeginAndEndCarrySameParamList) {
+  ASSERT_TRUE(db_.DeclareEvent("poke_begin", "Widget", EventModifier::kBegin,
+                               "void poke(int amount)")
+                  .ok());
+  ASSERT_TRUE(db_.DeclareEvent("poke_end", "Widget", EventModifier::kEnd,
+                               "void poke(int amount)")
+                  .ok());
+  std::vector<std::pair<std::string, std::int64_t>> seen;
+  for (const char* rule : {"poke_begin", "poke_end"}) {
+    ASSERT_TRUE(db_.rule_manager()
+                    ->DefineRule(std::string("on_") + rule, rule, nullptr,
+                                 [&seen, rule](const RuleContext& ctx) {
+                                   seen.emplace_back(
+                                       rule, ctx.Param("amount")->AsInt());
+                                 })
+                    .ok());
+  }
+  auto txn = db_.Begin();
+  auto oid = db_.CreateObject(*txn, "Widget");
+  Widget w(&db_, *oid);
+  w.set_current_txn(*txn);
+  w.poke(42, /*enter_body=*/true);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, std::int64_t>("poke_begin", 42)));
+  EXPECT_EQ(seen[1], (std::pair<std::string, std::int64_t>("poke_end", 42)));
+}
+
+TEST_F(ReactiveTest, NoEnterBodyMeansNoEvents) {
+  // A scope whose body is never entered (e.g. an early-out before the
+  // original method runs) must signal neither begin nor end.
+  ASSERT_TRUE(db_.DeclareEvent("poke_end", "Widget", EventModifier::kEnd,
+                               "void poke(int amount)")
+                  .ok());
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("r", "poke_end", nullptr,
+                               [&](const RuleContext&) { ++fired; })
+                  .ok());
+  auto txn = db_.Begin();
+  auto oid = db_.CreateObject(*txn, "Widget");
+  Widget w(&db_, *oid);
+  w.set_current_txn(*txn);
+  w.poke(1, /*enter_body=*/false);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(ReactiveTest, AttrAccessorsRoundTripThroughCache) {
+  auto txn = db_.Begin();
+  auto oid = db_.CreateObject(*txn, "Widget");
+  Widget w(&db_, *oid);
+  w.set_current_txn(*txn);
+  EXPECT_TRUE(w.GetAttr("count").status().IsNotFound());  // never set
+  ASSERT_TRUE(w.SetAttr("count", oodb::Value::Int(5)).ok());
+  EXPECT_EQ(w.GetAttr("count")->AsInt(), 5);
+  ASSERT_TRUE(w.SetAttr("count", oodb::Value::Int(6)).ok());
+  EXPECT_EQ(w.GetAttr("count")->AsInt(), 6);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+  EXPECT_GT(db_.object_cache()->hit_count(), 0u);
+}
+
+TEST_F(ReactiveTest, AttrAccessWithoutStoreFails) {
+  ActiveDatabase mem;
+  ASSERT_TRUE(mem.OpenInMemory().ok());
+  Widget w(&mem, 1);
+  EXPECT_TRUE(w.GetAttr("x").status().IsInvalidArgument());
+  EXPECT_TRUE(w.SetAttr("x", oodb::Value::Int(1)).IsInvalidArgument());
+  ASSERT_TRUE(mem.Close().ok());
+}
+
+}  // namespace
+}  // namespace sentinel::core

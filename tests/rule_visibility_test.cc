@@ -1,0 +1,95 @@
+// Rule visibility scopes (paper §4 future work: public/private/protected
+// rules): management rights depend on the caller's principal.
+
+#include <gtest/gtest.h>
+
+#include "detector/local_detector.h"
+#include "rules/rule_manager.h"
+#include "rules/scheduler.h"
+#include "txn/nested_txn.h"
+
+namespace sentinel::rules {
+namespace {
+
+using detector::EventModifier;
+
+class RuleVisibilityTest : public ::testing::Test {
+ protected:
+  RuleVisibilityTest()
+      : scheduler_(&nested_, nullptr, RuleScheduler::Options{}),
+        manager_(&det_, &scheduler_) {
+    (void)det_.DefinePrimitive("e", "C", EventModifier::kEnd, "void f()");
+  }
+
+  Rule* Define(const std::string& name, const std::string& owner,
+               RuleVisibility visibility) {
+    RuleManager::RuleOptions options;
+    options.owner = owner;
+    options.visibility = visibility;
+    auto rule = manager_.DefineRule(name, "e", nullptr,
+                                    [](const RuleContext&) {}, options);
+    EXPECT_TRUE(rule.ok());
+    return *rule;
+  }
+
+  detector::LocalEventDetector det_;
+  txn::NestedTransactionManager nested_;
+  RuleScheduler scheduler_;
+  RuleManager manager_;
+};
+
+TEST_F(RuleVisibilityTest, PublicRuleManageableByAnyone) {
+  Define("r", "alice", RuleVisibility::kPublic);
+  RuleManager::Principal bob{"bob", {}};
+  EXPECT_TRUE(manager_.DisableRuleAs(bob, "r").ok());
+  EXPECT_TRUE(manager_.EnableRuleAs(bob, "r").ok());
+  EXPECT_TRUE(manager_.DeleteRuleAs(bob, "r").ok());
+}
+
+TEST_F(RuleVisibilityTest, PrivateRuleOwnerOnly) {
+  Define("r", "alice", RuleVisibility::kPrivate);
+  RuleManager::Principal bob{"bob", {}};
+  RuleManager::Principal alice{"alice", {}};
+  EXPECT_TRUE(manager_.DisableRuleAs(bob, "r").IsInvalidArgument());
+  EXPECT_TRUE((*manager_.Find("r"))->enabled());  // untouched
+  EXPECT_TRUE(manager_.DisableRuleAs(alice, "r").ok());
+  EXPECT_FALSE((*manager_.Find("r"))->enabled());
+  EXPECT_TRUE(manager_.DeleteRuleAs(bob, "r").IsInvalidArgument());
+  EXPECT_TRUE(manager_.DeleteRuleAs(alice, "r").ok());
+}
+
+TEST_F(RuleVisibilityTest, ProtectedRuleSharedGroup) {
+  Define("r", "alice", RuleVisibility::kProtected);
+  manager_.JoinGroup("alice", "traders");
+  RuleManager::Principal carol{"carol", {"traders"}};
+  RuleManager::Principal mallory{"mallory", {"auditors"}};
+  EXPECT_TRUE(manager_.DisableRuleAs(mallory, "r").IsInvalidArgument());
+  EXPECT_TRUE(manager_.DisableRuleAs(carol, "r").ok());
+  EXPECT_TRUE(manager_.EnableRuleAs(carol, "r").ok());
+  // The owner always may.
+  RuleManager::Principal alice{"alice", {}};
+  EXPECT_TRUE(manager_.DeleteRuleAs(alice, "r").ok());
+}
+
+TEST_F(RuleVisibilityTest, UnownedRulesRemainUnrestricted) {
+  RuleManager::RuleOptions options;  // no owner
+  options.visibility = RuleVisibility::kPrivate;
+  ASSERT_TRUE(manager_.DefineRule("r", "e", nullptr, nullptr, options).ok());
+  RuleManager::Principal anyone{"anyone", {}};
+  EXPECT_TRUE(manager_.DisableRuleAs(anyone, "r").ok());
+}
+
+TEST_F(RuleVisibilityTest, ManagementOfMissingRuleIsNotFound) {
+  RuleManager::Principal who{"x", {}};
+  EXPECT_TRUE(manager_.EnableRuleAs(who, "ghost").IsNotFound());
+}
+
+TEST_F(RuleVisibilityTest, VisibilityToString) {
+  EXPECT_STREQ(RuleVisibilityToString(RuleVisibility::kPublic), "PUBLIC");
+  EXPECT_STREQ(RuleVisibilityToString(RuleVisibility::kProtected),
+               "PROTECTED");
+  EXPECT_STREQ(RuleVisibilityToString(RuleVisibility::kPrivate), "PRIVATE");
+}
+
+}  // namespace
+}  // namespace sentinel::rules

@@ -1,0 +1,206 @@
+#include "rules/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "rules/thread_pool.h"
+
+namespace sentinel::rules {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { ++done; });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done, 100);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      int now = ++concurrent;
+      int prev = peak.load();
+      while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      --concurrent;
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.WaitIdle();
+  EXPECT_TRUE(ran);
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest()
+      : scheduler_(&nested_, nullptr,
+                   RuleScheduler::Options{SchedulingPolicy::kSerial, 2}) {}
+
+  Firing MakeFiring(Rule* rule, int priority, storage::TxnId txn = 1) {
+    Firing f;
+    f.rule = rule;
+    f.txn = txn;
+    f.priority_path = {priority};
+    return f;
+  }
+
+  txn::NestedTransactionManager nested_;
+  RuleScheduler scheduler_;
+};
+
+TEST_F(SchedulerTest, DrainOnEmptyQueueReturns) {
+  scheduler_.Drain();
+  EXPECT_EQ(scheduler_.executed_count(), 0u);
+}
+
+TEST_F(SchedulerTest, SerialPolicyOrdersByPriority) {
+  std::vector<int> order;
+  std::mutex mu;
+  std::vector<std::unique_ptr<Rule>> rules;
+  for (int p : {2, 7, 5, 7, 1}) {
+    rules.push_back(std::make_unique<Rule>(
+        "r" + std::to_string(static_cast<int>(rules.size())), "e", nullptr,
+        [&order, &mu, p](const RuleContext&) {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(p);
+        }));
+    rules.back()->set_priority(p);
+    scheduler_.Enqueue(MakeFiring(rules.back().get(), p));
+  }
+  scheduler_.Drain();
+  EXPECT_EQ(order, (std::vector<int>{7, 7, 5, 2, 1}));
+  EXPECT_EQ(scheduler_.executed_count(), 5u);
+}
+
+TEST_F(SchedulerTest, DeeperPathPreemptsSiblingOfEqualPriority) {
+  // Path {5,3} (a nested rule under priority-5) must run before {5}'s
+  // sibling {4} and before {5} itself if both pending.
+  std::vector<std::string> order;
+  std::mutex mu;
+  auto mk = [&](const std::string& name) {
+    auto rule = std::make_unique<Rule>(name, "e", nullptr,
+                                       [&order, &mu, name](const RuleContext&) {
+                                         std::lock_guard<std::mutex> lock(mu);
+                                         order.push_back(name);
+                                       });
+    return rule;
+  };
+  auto nested = mk("nested"), sibling = mk("sibling");
+  Firing deep;
+  deep.rule = nested.get();
+  deep.priority_path = {5, 3};
+  deep.depth = 2;
+  Firing shallow;
+  shallow.rule = sibling.get();
+  shallow.priority_path = {4};
+  scheduler_.Enqueue(shallow);
+  scheduler_.Enqueue(deep);
+  scheduler_.Drain();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "nested");
+  EXPECT_EQ(order[1], "sibling");
+}
+
+TEST_F(SchedulerTest, DisabledRuleSkipped) {
+  auto rule = std::make_unique<Rule>("r", "e", nullptr,
+                                     [](const RuleContext&) { FAIL(); });
+  rule->set_enabled(false);
+  scheduler_.Enqueue(MakeFiring(rule.get(), 1));
+  scheduler_.Drain();
+  EXPECT_EQ(scheduler_.executed_count(), 0u);
+}
+
+TEST_F(SchedulerTest, ObserverSeesExecutions) {
+  std::atomic<int> observed{0};
+  std::atomic<int> held{0};
+  scheduler_.SetExecutionObserver(
+      [&](const Firing&, bool condition_held, Status) {
+        ++observed;
+        if (condition_held) ++held;
+      });
+  auto yes = std::make_unique<Rule>("yes", "e", nullptr,
+                                    [](const RuleContext&) {});
+  auto no = std::make_unique<Rule>(
+      "no", "e", [](const RuleContext&) { return false; },
+      [](const RuleContext&) {});
+  scheduler_.Enqueue(MakeFiring(yes.get(), 1));
+  scheduler_.Enqueue(MakeFiring(no.get(), 1));
+  scheduler_.Drain();
+  EXPECT_EQ(observed, 2);
+  EXPECT_EQ(held, 1);
+  EXPECT_EQ(scheduler_.condition_rejections(), 1u);
+}
+
+TEST_F(SchedulerTest, PriorityClassesRunEqualPathsTogether) {
+  RuleScheduler scheduler(
+      &nested_, nullptr,
+      RuleScheduler::Options{SchedulingPolicy::kPriorityClasses, 4});
+  std::mutex mu;
+  std::vector<int> order;
+  std::vector<std::unique_ptr<Rule>> rules;
+  auto add = [&](int priority) {
+    rules.push_back(std::make_unique<Rule>(
+        "r" + std::to_string(priority) + "_" +
+            std::to_string(static_cast<int>(rules.size())),
+        "e", nullptr, [&mu, &order, priority](const RuleContext&) {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(priority);
+        }));
+    Firing f;
+    f.rule = rules.back().get();
+    f.priority_path = {priority};
+    f.txn = 1;
+    scheduler.Enqueue(f);
+  };
+  add(1);
+  add(9);
+  add(9);
+  add(1);
+  scheduler.Drain();
+  ASSERT_EQ(order.size(), 4u);
+  // Both 9s strictly precede both 1s (within class, order is concurrent).
+  EXPECT_EQ(order[0], 9);
+  EXPECT_EQ(order[1], 9);
+  EXPECT_EQ(order[2], 1);
+  EXPECT_EQ(order[3], 1);
+}
+
+TEST_F(SchedulerTest, SubtransactionsCleanedUpAfterDrain) {
+  auto rule = std::make_unique<Rule>("r", "e", nullptr,
+                                     [](const RuleContext&) {});
+  for (int i = 0; i < 10; ++i) {
+    scheduler_.Enqueue(MakeFiring(rule.get(), 1, /*txn=*/7));
+  }
+  scheduler_.Drain();
+  EXPECT_EQ(nested_.active_count(), 0u);
+  EXPECT_EQ(scheduler_.executed_count(), 10u);
+}
+
+}  // namespace
+}  // namespace sentinel::rules

@@ -1,0 +1,104 @@
+#include "snoop/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sentinel::snoop {
+namespace {
+
+std::vector<Token> LexAll(const std::string& src) {
+  Lexer lexer(src);
+  std::vector<Token> tokens;
+  while (lexer.Peek().kind != TokenKind::kEnd) {
+    tokens.push_back(lexer.Next());
+  }
+  return tokens;
+}
+
+TEST(LexerTest, Punctuation) {
+  auto tokens = LexAll("( ) { } [ ] , ; : = ^ | * &&");
+  ASSERT_EQ(tokens.size(), 14u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kRParen);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLBrace);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kRBrace);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kLBracket);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kRBracket);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kComma);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kSemicolon);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kColon);
+  EXPECT_EQ(tokens[9].kind, TokenKind::kEquals);
+  EXPECT_EQ(tokens[10].kind, TokenKind::kCaret);
+  EXPECT_EQ(tokens[11].kind, TokenKind::kPipe);
+  EXPECT_EQ(tokens[12].kind, TokenKind::kStar);
+  EXPECT_EQ(tokens[13].kind, TokenKind::kAmpAmp);
+}
+
+TEST(LexerTest, IdentifiersAndKeywordsAreJustIdents) {
+  auto tokens = LexAll("event e_1 begin Class_Name");
+  ASSERT_EQ(tokens.size(), 4u);
+  for (const auto& t : tokens) EXPECT_EQ(t.kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].text, "e_1");
+}
+
+TEST(LexerTest, NumbersWithOptionalMsSuffix) {
+  auto tokens = LexAll("100 250ms 0");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].number, 100u);
+  EXPECT_EQ(tokens[1].number, 250u);
+  EXPECT_EQ(tokens[2].number, 0u);
+}
+
+TEST(LexerTest, StringsPreserveContent) {
+  auto tokens = LexAll(R"lex("void set_price(float price)" "x")lex");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "void set_price(float price)");
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(LexerTest, LineAndBlockComments) {
+  auto tokens = LexAll("a // comment\nb /* multi\nline */ c");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  Lexer lexer("a\nb\n\nc");
+  EXPECT_EQ(lexer.Next().line, 1);
+  EXPECT_EQ(lexer.Next().line, 2);
+  EXPECT_EQ(lexer.Next().line, 4);
+}
+
+TEST(LexerTest, CaptureUntilSemicolon) {
+  Lexer lexer("int sell_stock(int qty) ; next");
+  auto sig = lexer.CaptureUntilSemicolon();
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(*sig, "int sell_stock(int qty)");
+  EXPECT_EQ(lexer.Peek().text, "next");
+}
+
+TEST(LexerTest, CaptureWithoutSemicolonFails) {
+  Lexer lexer("no terminator here");
+  EXPECT_TRUE(lexer.CaptureUntilSemicolon().status().IsParseError());
+}
+
+TEST(LexerTest, EmptyInput) {
+  Lexer lexer("");
+  EXPECT_EQ(lexer.Peek().kind, TokenKind::kEnd);
+  EXPECT_EQ(lexer.Next().kind, TokenKind::kEnd);
+  EXPECT_EQ(lexer.Next().kind, TokenKind::kEnd);  // stable at end
+}
+
+TEST(LexerTest, UnterminatedStringDoesNotCrash) {
+  auto tokens = LexAll("\"never closed");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "never closed");
+}
+
+}  // namespace
+}  // namespace sentinel::snoop

@@ -1,0 +1,181 @@
+#include "snoop/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sentinel::snoop {
+namespace {
+
+using detector::EventModifier;
+
+TEST(SnoopParserTest, ParsesPaperStockClass) {
+  // The paper's §3.1 example, in the spec syntax.
+  const char* source = R"(
+    class STOCK : REACTIVE {
+      attr price: double;
+      attr qty: int;
+      event end(e1) int sell_stock(int qty);
+      event begin(e2) && end(e3) void set_price(float price);
+      event e4 = e1 ^ e2;   /* AND operator */
+      rule R1(e4, cond1, action1, CUMULATIVE, DEFERRED, 10, NOW);
+    }
+  )";
+  auto spec = Parser::Parse(source);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ASSERT_EQ(spec->classes.size(), 1u);
+  const ClassDecl& cls = spec->classes[0];
+  EXPECT_EQ(cls.name, "STOCK");
+  EXPECT_EQ(cls.base, "REACTIVE");
+  EXPECT_TRUE(cls.is_reactive());
+  ASSERT_EQ(cls.attributes.size(), 2u);
+  EXPECT_EQ(cls.attributes[0].name, "price");
+  EXPECT_EQ(cls.attributes[0].type, oodb::ValueType::kDouble);
+
+  ASSERT_EQ(cls.event_interface.size(), 2u);
+  EXPECT_EQ(cls.event_interface[0].bindings.size(), 1u);
+  EXPECT_EQ(cls.event_interface[0].bindings[0].event_name, "e1");
+  EXPECT_EQ(cls.event_interface[0].bindings[0].modifier, EventModifier::kEnd);
+  EXPECT_EQ(cls.event_interface[0].method_signature, "int sell_stock(int qty)");
+  ASSERT_EQ(cls.event_interface[1].bindings.size(), 2u);
+  EXPECT_EQ(cls.event_interface[1].bindings[0].modifier,
+            EventModifier::kBegin);
+  EXPECT_EQ(cls.event_interface[1].bindings[1].modifier, EventModifier::kEnd);
+  EXPECT_EQ(cls.event_interface[1].method_signature,
+            "void set_price(float price)");
+
+  ASSERT_EQ(cls.events.size(), 1u);
+  EXPECT_EQ(cls.events[0].name, "e4");
+  EXPECT_EQ(cls.events[0].expr->kind, EventExpr::Kind::kAnd);
+
+  ASSERT_EQ(cls.rules.size(), 1u);
+  const RuleDef& rule = cls.rules[0];
+  EXPECT_EQ(rule.name, "R1");
+  EXPECT_EQ(rule.event_name, "e4");
+  EXPECT_EQ(rule.condition_fn, "cond1");
+  EXPECT_EQ(rule.action_fn, "action1");
+  EXPECT_EQ(*rule.context, detector::ParamContext::kCumulative);
+  EXPECT_EQ(*rule.coupling, rules::CouplingMode::kDeferred);
+  EXPECT_EQ(*rule.priority, 10);
+  EXPECT_EQ(*rule.trigger, rules::TriggerMode::kNow);
+}
+
+TEST(SnoopParserTest, TopLevelPrimitiveEvents) {
+  // Paper: class-level vs instance-level application events.
+  const char* source = R"spec(
+    event any_stk_price = begin("Stock", "void set_price(float price)");
+    event set_IBM_price = begin("Stock":"IBM", "void set_price(float price)");
+  )spec";
+  auto spec = Parser::Parse(source);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ASSERT_EQ(spec->events.size(), 2u);
+  EXPECT_EQ(spec->events[0].expr->kind, EventExpr::Kind::kPrimitive);
+  EXPECT_EQ(spec->events[0].expr->class_name, "Stock");
+  EXPECT_TRUE(spec->events[0].expr->instance_name.empty());
+  EXPECT_EQ(spec->events[1].expr->instance_name, "IBM");
+  EXPECT_EQ(spec->events[1].expr->modifier, EventModifier::kBegin);
+}
+
+TEST(SnoopParserTest, OperatorPrecedenceAndParens) {
+  auto expr = Parser::ParseExpression("a ^ b | c");
+  ASSERT_TRUE(expr.ok());
+  // ^ binds tighter than |
+  EXPECT_EQ((*expr)->kind, EventExpr::Kind::kOr);
+  EXPECT_EQ((*expr)->children[0]->kind, EventExpr::Kind::kAnd);
+
+  auto paren = Parser::ParseExpression("a ^ (b | c)");
+  ASSERT_TRUE(paren.ok());
+  EXPECT_EQ((*paren)->kind, EventExpr::Kind::kAnd);
+  EXPECT_EQ((*paren)->children[1]->kind, EventExpr::Kind::kOr);
+}
+
+TEST(SnoopParserTest, SequenceOperator) {
+  auto expr = Parser::ParseExpression("a then b");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, EventExpr::Kind::kSeq);
+}
+
+TEST(SnoopParserTest, SnoopOperators) {
+  auto not_expr = Parser::ParseExpression("NOT(b)[a, c]");
+  ASSERT_TRUE(not_expr.ok());
+  EXPECT_EQ((*not_expr)->kind, EventExpr::Kind::kNot);
+  EXPECT_EQ((*not_expr)->children[0]->ref_name, "a");  // opener
+  EXPECT_EQ((*not_expr)->children[1]->ref_name, "b");  // canceller
+  EXPECT_EQ((*not_expr)->children[2]->ref_name, "c");  // closer
+
+  auto a = Parser::ParseExpression("A(x, y, z)");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)->kind, EventExpr::Kind::kAperiodic);
+
+  auto astar = Parser::ParseExpression("A*(x, y, z)");
+  ASSERT_TRUE(astar.ok());
+  EXPECT_EQ((*astar)->kind, EventExpr::Kind::kAperiodicStar);
+
+  auto p = Parser::ParseExpression("P(x, 100ms, z)");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->kind, EventExpr::Kind::kPeriodic);
+  EXPECT_EQ((*p)->time_ms, 100u);
+
+  auto pstar = Parser::ParseExpression("P*(x, 250, z)");
+  ASSERT_TRUE(pstar.ok());
+  EXPECT_EQ((*pstar)->kind, EventExpr::Kind::kPeriodicStar);
+  EXPECT_EQ((*pstar)->time_ms, 250u);
+
+  auto plus = Parser::ParseExpression("PLUS(x, 500)");
+  ASSERT_TRUE(plus.ok());
+  EXPECT_EQ((*plus)->kind, EventExpr::Kind::kPlus);
+  EXPECT_EQ((*plus)->time_ms, 500u);
+}
+
+TEST(SnoopParserTest, NestedCompositeExpressions) {
+  auto expr = Parser::ParseExpression("A*(begin(\"T\", \"void b()\"), a ^ b, c)");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, EventExpr::Kind::kAperiodicStar);
+  EXPECT_EQ((*expr)->children[0]->kind, EventExpr::Kind::kPrimitive);
+  EXPECT_EQ((*expr)->children[1]->kind, EventExpr::Kind::kAnd);
+}
+
+TEST(SnoopParserTest, RuleArgumentsAreOrderFlexible) {
+  auto spec = Parser::Parse("rule R(e, c, a, DETACHED, CHRONICLE);");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(*spec->rules[0].coupling, rules::CouplingMode::kDetached);
+  EXPECT_EQ(*spec->rules[0].context, detector::ParamContext::kChronicle);
+  EXPECT_FALSE(spec->rules[0].priority.has_value());
+}
+
+TEST(SnoopParserTest, ErrorsCarryLineNumbers) {
+  auto spec = Parser::Parse("class Foo {\n  bogus;\n}");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_TRUE(spec.status().IsParseError());
+  EXPECT_NE(spec.status().message().find("line 2"), std::string::npos)
+      << spec.status();
+}
+
+TEST(SnoopParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parser::Parse("event x =;").ok());
+  EXPECT_FALSE(Parser::Parse("rule R(e);").ok());
+  EXPECT_FALSE(Parser::Parse("class {}").ok());
+  EXPECT_FALSE(Parser::Parse("event e = A(a, b);").ok());  // A needs 3 args
+  EXPECT_FALSE(Parser::Parse("garbage").ok());
+}
+
+TEST(SnoopParserTest, CommentsAreIgnored) {
+  const char* source = R"(
+    // line comment
+    /* block
+       comment */
+    event e = a ^ b;  // trailing
+  )";
+  auto spec = Parser::Parse(source);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->events.size(), 1u);
+}
+
+TEST(SnoopParserTest, ExpressionToStringRoundTrips) {
+  auto expr = Parser::ParseExpression("(a ^ b) | NOT(c)[d, e]");
+  ASSERT_TRUE(expr.ok());
+  auto reparsed = Parser::ParseExpression((*expr)->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ((*reparsed)->ToString(), (*expr)->ToString());
+}
+
+}  // namespace
+}  // namespace sentinel::snoop

@@ -1,0 +1,230 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+
+namespace sentinel::storage {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("sentinel_btree_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".db"))
+                .string();
+    std::remove(path_.c_str());
+    ASSERT_TRUE(disk_.Open(path_).ok());
+    pool_ = std::make_unique<BufferPool>(&disk_, 64);
+    auto root = BTree::Create(pool_.get());
+    ASSERT_TRUE(root.ok());
+    tree_ = std::make_unique<BTree>(pool_.get(), *root);
+  }
+  void TearDown() override {
+    tree_.reset();
+    pool_.reset();
+    (void)disk_.Close();
+    std::remove(path_.c_str());
+  }
+
+  static Rid MakeRid(std::uint64_t key) {
+    return Rid{static_cast<PageId>(key * 7 + 1),
+               static_cast<SlotId>(key % 200)};
+  }
+
+  std::string path_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, EmptyTreeLookupFails) {
+  EXPECT_TRUE(tree_->Lookup(42).status().IsNotFound());
+  EXPECT_EQ(*tree_->Size(), 0u);
+  EXPECT_EQ(*tree_->Height(), 1);
+}
+
+TEST_F(BTreeTest, InsertAndLookup) {
+  ASSERT_TRUE(tree_->Insert(10, MakeRid(10)).ok());
+  ASSERT_TRUE(tree_->Insert(5, MakeRid(5)).ok());
+  ASSERT_TRUE(tree_->Insert(20, MakeRid(20)).ok());
+  EXPECT_EQ(*tree_->Lookup(10), MakeRid(10));
+  EXPECT_EQ(*tree_->Lookup(5), MakeRid(5));
+  EXPECT_EQ(*tree_->Lookup(20), MakeRid(20));
+  EXPECT_TRUE(tree_->Lookup(15).status().IsNotFound());
+  EXPECT_EQ(*tree_->Size(), 3u);
+}
+
+TEST_F(BTreeTest, InsertOverwrites) {
+  ASSERT_TRUE(tree_->Insert(1, Rid{10, 1}).ok());
+  ASSERT_TRUE(tree_->Insert(1, Rid{99, 2}).ok());
+  EXPECT_EQ(tree_->Lookup(1)->page_id, 99u);
+  EXPECT_EQ(*tree_->Size(), 1u);
+}
+
+TEST_F(BTreeTest, DeleteRemovesKey) {
+  ASSERT_TRUE(tree_->Insert(1, MakeRid(1)).ok());
+  ASSERT_TRUE(tree_->Insert(2, MakeRid(2)).ok());
+  ASSERT_TRUE(tree_->Delete(1).ok());
+  EXPECT_TRUE(tree_->Lookup(1).status().IsNotFound());
+  EXPECT_TRUE(tree_->Lookup(2).ok());
+  EXPECT_TRUE(tree_->Delete(1).IsNotFound());
+  EXPECT_EQ(*tree_->Size(), 1u);
+}
+
+TEST_F(BTreeTest, SequentialInsertSplitsToMultipleLevels) {
+  constexpr std::uint64_t kN = 2000;  // > leaf capacity (254), forces splits
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, MakeRid(k)).ok()) << k;
+  }
+  EXPECT_EQ(*tree_->Size(), kN);
+  EXPECT_GE(*tree_->Height(), 2);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    auto rid = tree_->Lookup(k);
+    ASSERT_TRUE(rid.ok()) << k;
+    EXPECT_EQ(*rid, MakeRid(k)) << k;
+  }
+}
+
+TEST_F(BTreeTest, ReverseInsertAlsoWorks) {
+  constexpr std::uint64_t kN = 1500;
+  for (std::uint64_t k = kN; k > 0; --k) {
+    ASSERT_TRUE(tree_->Insert(k, MakeRid(k)).ok()) << k;
+  }
+  EXPECT_EQ(*tree_->Size(), kN);
+  for (std::uint64_t k = 1; k <= kN; ++k) {
+    ASSERT_TRUE(tree_->Lookup(k).ok()) << k;
+  }
+}
+
+TEST_F(BTreeTest, ScanReturnsSortedRange) {
+  for (std::uint64_t k = 0; k < 1000; k += 2) {  // even keys only
+    ASSERT_TRUE(tree_->Insert(k, MakeRid(k)).ok());
+  }
+  std::vector<std::uint64_t> keys;
+  ASSERT_TRUE(tree_->Scan(100, 200,
+                          [&](std::uint64_t k, const Rid&) {
+                            keys.push_back(k);
+                            return Status::OK();
+                          })
+                  .ok());
+  ASSERT_EQ(keys.size(), 51u);  // 100,102,...,200
+  EXPECT_EQ(keys.front(), 100u);
+  EXPECT_EQ(keys.back(), 200u);
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LT(keys[i - 1], keys[i]);
+  }
+}
+
+TEST_F(BTreeTest, ScanEarlyStopPropagates) {
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, MakeRid(k)).ok());
+  }
+  int seen = 0;
+  Status st = tree_->Scan(0, UINT64_MAX, [&](std::uint64_t, const Rid&) {
+    if (++seen == 10) return Status::Internal("stop");
+    return Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(seen, 10);
+}
+
+TEST_F(BTreeTest, RootPageIdIsStableAcrossSplits) {
+  const PageId root = tree_->root();
+  for (std::uint64_t k = 0; k < 3000; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, MakeRid(k)).ok());
+  }
+  EXPECT_EQ(tree_->root(), root);
+}
+
+TEST_F(BTreeTest, PersistsAcrossReopen) {
+  const PageId root = tree_->root();
+  for (std::uint64_t k = 0; k < 800; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, MakeRid(k)).ok());
+  }
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  tree_.reset();
+  pool_.reset();
+  ASSERT_TRUE(disk_.Close().ok());
+
+  DiskManager disk2;
+  ASSERT_TRUE(disk2.Open(path_).ok());
+  BufferPool pool2(&disk2, 64);
+  BTree reopened(&pool2, root);
+  EXPECT_EQ(*reopened.Size(), 800u);
+  EXPECT_EQ(*reopened.Lookup(777), MakeRid(777));
+  ASSERT_TRUE(disk2.Close().ok());
+}
+
+class BTreeRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeRandomized, MatchesReferenceMap) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("sentinel_btree_fuzz_" + std::to_string(::getpid()) + "_" +
+        std::to_string(GetParam()) + ".db"))
+          .string();
+  std::remove(path.c_str());
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path).ok());
+  BufferPool pool(&disk, 64);
+  auto root = BTree::Create(&pool);
+  ASSERT_TRUE(root.ok());
+  BTree tree(&pool, *root);
+
+  std::uint64_t rng = static_cast<std::uint64_t>(GetParam()) * 2654435761u + 1;
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(rng >> 33);
+  };
+  std::map<std::uint64_t, Rid> reference;
+  for (int op = 0; op < 5000; ++op) {
+    const std::uint64_t key = next() % 700;  // collisions likely
+    const int kind = static_cast<int>(next() % 3);
+    if (kind == 0 || kind == 1) {
+      Rid rid{next() % 10000, static_cast<SlotId>(next() % 100)};
+      ASSERT_TRUE(tree.Insert(key, rid).ok());
+      reference[key] = rid;
+    } else {
+      Status st = tree.Delete(key);
+      if (reference.erase(key) > 0) {
+        EXPECT_TRUE(st.ok());
+      } else {
+        EXPECT_TRUE(st.IsNotFound());
+      }
+    }
+  }
+  EXPECT_EQ(*tree.Size(), reference.size());
+  for (const auto& [key, rid] : reference) {
+    auto found = tree.Lookup(key);
+    ASSERT_TRUE(found.ok()) << key;
+    EXPECT_EQ(*found, rid) << key;
+  }
+  // Full scan is sorted and complete.
+  std::uint64_t prev = 0;
+  bool first = true;
+  std::size_t scanned = 0;
+  ASSERT_TRUE(tree.Scan(0, UINT64_MAX,
+                        [&](std::uint64_t k, const Rid&) {
+                          if (!first) EXPECT_GT(k, prev);
+                          prev = k;
+                          first = false;
+                          ++scanned;
+                          return Status::OK();
+                        })
+                  .ok());
+  EXPECT_EQ(scanned, reference.size());
+  (void)disk.Close();
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomized, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace sentinel::storage

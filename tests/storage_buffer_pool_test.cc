@@ -1,0 +1,123 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "storage/wal.h"
+
+namespace sentinel::storage {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("sentinel_bp_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".db"))
+                .string();
+    std::remove(path_.c_str());
+    ASSERT_TRUE(disk_.Open(path_).ok());
+  }
+
+  void TearDown() override {
+    (void)disk_.Close();
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+  DiskManager disk_;
+};
+
+TEST_F(BufferPoolTest, NewPageIsPinnedAndDirty) {
+  BufferPool pool(&disk_, 4);
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ((*page)->pin_count(), 1);
+  EXPECT_TRUE((*page)->is_dirty());
+  EXPECT_TRUE(pool.UnpinPage((*page)->page_id(), true).ok());
+}
+
+TEST_F(BufferPoolTest, FetchHitsCache) {
+  BufferPool pool(&disk_, 4);
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  PageId id = (*page)->page_id();
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+  auto again = pool.FetchPage(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *page);  // same frame
+  EXPECT_GE(pool.hit_count(), 1u);
+  ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  BufferPool pool(&disk_, 2);
+  // Create 3 pages, writing a marker into each; capacity 2 forces eviction.
+  PageId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok()) << page.status();
+    ids[i] = (*page)->page_id();
+    (*page)->payload()[0] = static_cast<std::uint8_t>(0xA0 + i);
+    ASSERT_TRUE(pool.UnpinPage(ids[i], true).ok());
+  }
+  // All three readable with their markers intact.
+  for (int i = 0; i < 3; ++i) {
+    auto page = pool.FetchPage(ids[i]);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ((*page)->payload()[0], 0xA0 + i);
+    ASSERT_TRUE(pool.UnpinPage(ids[i], false).ok());
+  }
+}
+
+TEST_F(BufferPoolTest, AllPinnedExhaustsPool) {
+  BufferPool pool(&disk_, 2);
+  auto p1 = pool.NewPage();
+  auto p2 = pool.NewPage();
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  auto p3 = pool.NewPage();
+  EXPECT_EQ(p3.status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(pool.UnpinPage((*p1)->page_id(), false).ok());
+  auto p4 = pool.NewPage();
+  EXPECT_TRUE(p4.ok());
+}
+
+TEST_F(BufferPoolTest, UnpinErrors) {
+  BufferPool pool(&disk_, 2);
+  EXPECT_FALSE(pool.UnpinPage(99, false).ok());
+  auto p = pool.NewPage();
+  ASSERT_TRUE(p.ok());
+  PageId id = (*p)->page_id();
+  ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+  EXPECT_FALSE(pool.UnpinPage(id, false).ok());  // already unpinned
+}
+
+TEST_F(BufferPoolTest, FlushAllPersistsAcrossReopen) {
+  {
+    BufferPool pool(&disk_, 4);
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok());
+    (*page)->payload()[10] = 0x5A;
+    ASSERT_TRUE(pool.UnpinPage((*page)->page_id(), true).ok());
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  ASSERT_TRUE(disk_.Close().ok());
+  DiskManager disk2;
+  ASSERT_TRUE(disk2.Open(path_).ok());
+  BufferPool pool2(&disk2, 4);
+  auto page = pool2.FetchPage(1);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ((*page)->payload()[10], 0x5A);
+  ASSERT_TRUE(pool2.UnpinPage(1, false).ok());
+  ASSERT_TRUE(disk2.Close().ok());
+}
+
+}  // namespace
+}  // namespace sentinel::storage

@@ -1,0 +1,90 @@
+#include "storage/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace sentinel::storage {
+namespace {
+
+TEST(LockManagerTest, SharedLocksAreCompatible) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, "k", LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, "k", LockMode::kShared));
+  EXPECT_FALSE(lm.Holds(1, "k", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, ExclusiveBlocksOthers) {
+  LockManager lm(LockManager::Options{std::chrono::milliseconds(100)});
+  EXPECT_TRUE(lm.Acquire(1, "k", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, "k", LockMode::kShared).IsLockTimeout());
+  EXPECT_TRUE(lm.Acquire(3, "k", LockMode::kExclusive).IsLockTimeout());
+}
+
+TEST(LockManagerTest, ReacquireIsIdempotent) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "k", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, "k", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, "k", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeSharedToExclusive) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, "k", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, "k", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, ReleaseAllWakesWaiters) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "k", LockMode::kExclusive).ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    ASSERT_TRUE(lm.Acquire(2, "k", LockMode::kExclusive).ok());
+    granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted);
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(granted);
+}
+
+TEST(LockManagerTest, DeadlockDetectedNotTimedOut) {
+  LockManager lm(LockManager::Options{std::chrono::seconds(10)});
+  ASSERT_TRUE(lm.Acquire(1, "a", LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(2, "b", LockMode::kExclusive).ok());
+
+  Status s2;
+  std::thread t2([&] {
+    s2 = lm.Acquire(2, "a", LockMode::kExclusive);
+    if (!s2.ok()) lm.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Closing the cycle must produce a deadlock error quickly, not a 10s wait.
+  auto start = std::chrono::steady_clock::now();
+  Status s1 = lm.Acquire(1, "b", LockMode::kExclusive);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  if (!s1.ok()) lm.ReleaseAll(1);
+  t2.join();
+  EXPECT_TRUE(s1.IsDeadlock() || s2.IsDeadlock());
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(LockManagerTest, LockedKeyCount) {
+  LockManager lm;
+  EXPECT_EQ(lm.locked_key_count(), 0u);
+  ASSERT_TRUE(lm.Acquire(1, "a", LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(1, "b", LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.locked_key_count(), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.locked_key_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sentinel::storage

@@ -1,0 +1,152 @@
+#include "storage/slotted_page.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace sentinel::storage {
+namespace {
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+std::string Str(const std::vector<std::uint8_t>& b) {
+  return std::string(b.begin(), b.end());
+}
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : sp_(&page_) { sp_.Init(); }
+  Page page_;
+  SlottedPage sp_;
+};
+
+TEST_F(SlottedPageTest, InsertAndRead) {
+  auto rec = Bytes("hello");
+  auto slot = sp_.Insert(rec.data(), rec.size());
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(*slot, 0);
+  auto read = sp_.Read(*slot);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(Str(*read), "hello");
+}
+
+TEST_F(SlottedPageTest, MultipleInsertsGetDistinctSlots) {
+  for (int i = 0; i < 10; ++i) {
+    auto rec = Bytes("rec" + std::to_string(i));
+    auto slot = sp_.Insert(rec.data(), rec.size());
+    ASSERT_TRUE(slot.ok());
+    EXPECT_EQ(*slot, i);
+  }
+  EXPECT_EQ(sp_.slot_count(), 10);
+  for (int i = 0; i < 10; ++i) {
+    auto read = sp_.Read(static_cast<SlotId>(i));
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(Str(*read), "rec" + std::to_string(i));
+  }
+}
+
+TEST_F(SlottedPageTest, DeleteTombstonesSlot) {
+  auto rec = Bytes("x");
+  auto slot = sp_.Insert(rec.data(), rec.size());
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(sp_.Delete(*slot).ok());
+  EXPECT_FALSE(sp_.IsLive(*slot));
+  EXPECT_TRUE(sp_.Read(*slot).status().IsNotFound());
+  EXPECT_TRUE(sp_.Delete(*slot).IsNotFound());
+}
+
+TEST_F(SlottedPageTest, DeletedSlotIsReused) {
+  auto a = Bytes("a"), b = Bytes("b"), c = Bytes("c");
+  auto s0 = sp_.Insert(a.data(), a.size());
+  auto s1 = sp_.Insert(b.data(), b.size());
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(sp_.Delete(*s0).ok());
+  auto s2 = sp_.Insert(c.data(), c.size());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, *s0);  // reuse of the tombstoned slot
+  EXPECT_EQ(sp_.slot_count(), 2);
+}
+
+TEST_F(SlottedPageTest, UpdateInPlaceAndGrow) {
+  auto rec = Bytes("short");
+  auto slot = sp_.Insert(rec.data(), rec.size());
+  ASSERT_TRUE(slot.ok());
+
+  auto smaller = Bytes("ab");
+  ASSERT_TRUE(sp_.Update(*slot, smaller.data(), smaller.size()).ok());
+  EXPECT_EQ(Str(*sp_.Read(*slot)), "ab");
+
+  auto bigger = Bytes(std::string(100, 'z'));
+  ASSERT_TRUE(sp_.Update(*slot, bigger.data(), bigger.size()).ok());
+  EXPECT_EQ(Str(*sp_.Read(*slot)), std::string(100, 'z'));
+}
+
+TEST_F(SlottedPageTest, FillPageThenResourceExhausted) {
+  auto rec = Bytes(std::string(100, 'a'));
+  int inserted = 0;
+  for (;;) {
+    auto slot = sp_.Insert(rec.data(), rec.size());
+    if (!slot.ok()) {
+      EXPECT_EQ(slot.status().code(), StatusCode::kResourceExhausted);
+      break;
+    }
+    ++inserted;
+    ASSERT_LT(inserted, 1000) << "page never filled";
+  }
+  // ~4KB payload / (100B + 4B slot) ≈ 39 records.
+  EXPECT_GT(inserted, 30);
+  EXPECT_LT(inserted, 45);
+}
+
+TEST_F(SlottedPageTest, CompactionReclaimsDeletedSpace) {
+  auto rec = Bytes(std::string(100, 'a'));
+  std::vector<SlotId> slots;
+  for (;;) {
+    auto slot = sp_.Insert(rec.data(), rec.size());
+    if (!slot.ok()) break;
+    slots.push_back(*slot);
+  }
+  // Delete every other record; a big record should now fit via compaction.
+  for (std::size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(sp_.Delete(slots[i]).ok());
+  }
+  auto big = Bytes(std::string(800, 'b'));
+  auto slot = sp_.Insert(big.data(), big.size());
+  ASSERT_TRUE(slot.ok()) << slot.status();
+  EXPECT_EQ(Str(*sp_.Read(*slot)), std::string(800, 'b'));
+  // Survivors are intact after compaction.
+  for (std::size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_EQ(Str(*sp_.Read(slots[i])), std::string(100, 'a'));
+  }
+}
+
+TEST_F(SlottedPageTest, InsertIntoSpecificSlot) {
+  auto rec = Bytes("target");
+  ASSERT_TRUE(sp_.InsertInto(5, rec.data(), rec.size()).ok());
+  EXPECT_EQ(sp_.slot_count(), 6);
+  EXPECT_TRUE(sp_.IsLive(5));
+  for (SlotId s = 0; s < 5; ++s) EXPECT_FALSE(sp_.IsLive(s));
+  EXPECT_EQ(Str(*sp_.Read(5)), "target");
+  // Inserting into a live slot fails.
+  EXPECT_TRUE(sp_.InsertInto(5, rec.data(), rec.size()).IsAlreadyExists());
+  // Tombstoned directory entries are reusable by normal Insert.
+  auto other = Bytes("x");
+  auto slot = sp_.Insert(other.data(), other.size());
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(*slot, 0);
+}
+
+TEST_F(SlottedPageTest, RejectsOversizedRecord) {
+  std::vector<std::uint8_t> huge(SlottedPage::kMaxRecordSize + 1, 0);
+  EXPECT_TRUE(sp_.Insert(huge.data(), huge.size()).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace sentinel::storage

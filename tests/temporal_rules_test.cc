@@ -1,0 +1,124 @@
+// Temporal events driving rules through the full active stack: PLUS-based
+// timeout rules, periodic heartbeat rules, and their interaction with
+// transactions and coupling modes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "core/active_database.h"
+
+namespace sentinel::core {
+namespace {
+
+using detector::EventModifier;
+using rules::RuleContext;
+
+class TemporalRulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.OpenInMemory().ok());
+    ASSERT_TRUE(db_.DeclareEvent("request", "Server", EventModifier::kEnd,
+                                 "void request(int id)")
+                    .ok());
+    ASSERT_TRUE(db_.DeclareEvent("response", "Server", EventModifier::kEnd,
+                                 "void respond(int id)")
+                    .ok());
+  }
+
+  void Request(int id, storage::TxnId txn) {
+    auto params = std::make_shared<detector::ParamList>();
+    params->Insert("id", oodb::Value::Int(id));
+    db_.NotifyMethod("Server", 1, EventModifier::kEnd, "void request(int id)",
+                     params, txn);
+  }
+  void Respond(int id, storage::TxnId txn) {
+    auto params = std::make_shared<detector::ParamList>();
+    params->Insert("id", oodb::Value::Int(id));
+    db_.NotifyMethod("Server", 1, EventModifier::kEnd, "void respond(int id)",
+                     params, txn);
+  }
+
+  ActiveDatabase db_;
+};
+
+TEST_F(TemporalRulesTest, TimeoutRuleFiresWhenNoResponse) {
+  // NOT(response)[request, PLUS(request, 100)]: a request with no response
+  // within 100ms of detector time.
+  auto det = db_.detector();
+  auto request = det->Find("request");
+  auto response = det->Find("response");
+  auto deadline = det->DefinePlus("deadline", *request, 100);
+  ASSERT_TRUE(deadline.ok());
+  ASSERT_TRUE(det->DefineNot("timeout", *request, *response, *deadline).ok());
+
+  std::atomic<int> timeouts{0};
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("on_timeout", "timeout", nullptr,
+                               [&](const RuleContext&) { ++timeouts; })
+                  .ok());
+  auto txn = db_.Begin();
+  db_.AdvanceTime(0);
+
+  Request(1, *txn);
+  Respond(1, *txn);       // answered in time
+  db_.AdvanceTime(150);   // deadline for request 1 passes silently
+  EXPECT_EQ(timeouts, 0);
+
+  Request(2, *txn);       // never answered
+  db_.AdvanceTime(300);
+  EXPECT_EQ(timeouts, 1);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+}
+
+TEST_F(TemporalRulesTest, PeriodicRuleFiresPerTick) {
+  auto det = db_.detector();
+  auto request = det->Find("request");
+  auto response = det->Find("response");
+  ASSERT_TRUE(det->DefinePeriodic("heartbeat", *request, 50, *response).ok());
+  std::atomic<int> beats{0};
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("on_beat", "heartbeat", nullptr,
+                               [&](const RuleContext&) { ++beats; })
+                  .ok());
+  auto txn = db_.Begin();
+  db_.AdvanceTime(0);
+  Request(1, *txn);
+  db_.AdvanceTime(175);  // ticks at 50, 100, 150
+  EXPECT_EQ(beats, 3);
+  Respond(1, *txn);      // closes the schedule
+  db_.AdvanceTime(500);
+  EXPECT_EQ(beats, 3);
+  ASSERT_TRUE(db_.Commit(*txn).ok());
+}
+
+TEST_F(TemporalRulesTest, CommitFlushCancelsPendingTimers) {
+  auto det = db_.detector();
+  auto request = det->Find("request");
+  ASSERT_TRUE(det->DefinePlus("later", *request, 100).ok());
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DefineRule("on_later", "later", nullptr,
+                               [&](const RuleContext&) { ++fired; })
+                  .ok());
+  auto txn = db_.Begin();
+  db_.AdvanceTime(0);
+  Request(1, *txn);
+  ASSERT_TRUE(db_.Commit(*txn).ok());  // flush rule drops the pending timer
+  db_.AdvanceTime(1000);
+  EXPECT_EQ(fired, 0);
+
+  // With the flush rule disabled, the timer survives the commit.
+  ASSERT_TRUE(db_.rule_manager()
+                  ->DisableRule(ActiveDatabase::kFlushOnCommitRule)
+                  .ok());
+  auto txn2 = db_.Begin();
+  Request(2, *txn2);
+  ASSERT_TRUE(db_.Commit(*txn2).ok());
+  db_.AdvanceTime(2000);
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace sentinel::core

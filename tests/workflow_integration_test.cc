@@ -1,0 +1,154 @@
+// End-to-end workflow integration: two PERSISTENT active databases, the
+// global event detector between them, detached fulfilment rules writing
+// durable state, and verification after reopen — the full Fig. 2 scenario.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "core/active_database.h"
+#include "core/reactive.h"
+#include "ged/global_detector.h"
+
+namespace sentinel {
+namespace {
+
+using core::ActiveDatabase;
+using core::Reactive;
+using detector::EventModifier;
+using rules::CouplingMode;
+using rules::RuleContext;
+
+class WorkflowIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = (std::filesystem::temp_directory_path() /
+             ("sentinel_workflow_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    Cleanup();
+  }
+  void TearDown() override { Cleanup(); }
+  void Cleanup() {
+    for (const char* suffix : {"_orders.db", "_orders.wal", "_ship.db",
+                               "_ship.wal"}) {
+      std::remove((base_ + suffix).c_str());
+    }
+  }
+  std::string base_;
+};
+
+class Order : public Reactive {
+ public:
+  Order(ActiveDatabase* db, oodb::Oid oid) : Reactive(db, "Order", oid) {}
+  void submit(int id) {
+    MethodScope scope(this, "void submit(int id)");
+    scope.Param("id", oodb::Value::Int(id));
+    scope.EnterBody();
+    (void)SetAttr("status", oodb::Value::String("submitted"));
+  }
+};
+
+class Shipment : public Reactive {
+ public:
+  Shipment(ActiveDatabase* db, oodb::Oid oid) : Reactive(db, "Shipment", oid) {}
+  void dispatch(int id) {
+    MethodScope scope(this, "void dispatch(int id)");
+    scope.Param("id", oodb::Value::Int(id));
+    scope.EnterBody();
+  }
+};
+
+TEST_F(WorkflowIntegrationTest, CrossAppFulfilmentPersistsDurably) {
+  oodb::Oid order_oid = oodb::kInvalidOid;
+  {
+    ActiveDatabase orders, shipping;
+    ASSERT_TRUE(orders.Open(base_ + "_orders").ok());
+    ASSERT_TRUE(shipping.Open(base_ + "_ship").ok());
+    ASSERT_TRUE(
+        orders.database()->classes()->Register(oodb::ClassDef("Order", "")).ok());
+    ASSERT_TRUE(shipping.database()
+                    ->classes()
+                    ->Register(oodb::ClassDef("Shipment", ""))
+                    .ok());
+
+    ged::GlobalEventDetector ged;
+    ASSERT_TRUE(ged.RegisterApplication("orders", &orders).ok());
+    ASSERT_TRUE(ged.RegisterApplication("shipping", &shipping).ok());
+    auto submitted = ged.DefineGlobalPrimitive(
+        "submitted", "orders", "Order", EventModifier::kEnd,
+        "void submit(int id)");
+    auto dispatched = ged.DefineGlobalPrimitive(
+        "dispatched", "shipping", "Shipment", EventModifier::kEnd,
+        "void dispatch(int id)");
+    ASSERT_TRUE(submitted.ok());
+    ASSERT_TRUE(dispatched.ok());
+    ASSERT_TRUE(
+        ged.graph()->DefineSeq("fulfilled", *submitted, *dispatched).ok());
+
+    // Detached rule in the orders app: durably mark the order fulfilled in
+    // its own top-level transaction.
+    ASSERT_TRUE(orders.detector()->DefineExplicit("fulfilment").ok());
+    std::atomic<int> fulfilments{0};
+    rules::RuleManager::RuleOptions detached;
+    detached.coupling = CouplingMode::kDetached;
+    ActiveDatabase* orders_ptr = &orders;
+    oodb::Oid* oid_ptr = &order_oid;
+    ASSERT_TRUE(orders.rule_manager()
+                    ->DefineRule(
+                        "record", "fulfilment", nullptr,
+                        [orders_ptr, oid_ptr, &fulfilments](
+                            const RuleContext& ctx) {
+                          auto obj = orders_ptr->database()->objects()->Get(
+                              ctx.txn, *oid_ptr);
+                          if (!obj.ok()) return;
+                          obj->Set("status", oodb::Value::String("fulfilled"));
+                          (void)orders_ptr->database()->objects()->Put(
+                              ctx.txn, std::move(*obj));
+                          ++fulfilments;
+                        },
+                        detached)
+                    .ok());
+    ASSERT_TRUE(ged.DeliverTo("fulfilled", "orders", "fulfilment").ok());
+
+    // Run the workflow.
+    auto otxn = orders.Begin();
+    order_oid = *orders.CreateObject(*otxn, "Order", "order-1");
+    Order order(&orders, order_oid);
+    order.set_current_txn(*otxn);
+    order.submit(1);
+    ASSERT_TRUE(orders.Commit(*otxn).ok());
+
+    auto stxn = shipping.Begin();
+    auto ship_oid = shipping.CreateObject(*stxn, "Shipment");
+    Shipment shipment(&shipping, *ship_oid);
+    shipment.set_current_txn(*stxn);
+    shipment.dispatch(1);
+    ASSERT_TRUE(shipping.Commit(*stxn).ok());
+
+    ged.WaitQuiescent();
+    orders.scheduler()->WaitDetached();
+    EXPECT_EQ(fulfilments, 1);
+    ASSERT_TRUE(orders.Close().ok());
+    ASSERT_TRUE(shipping.Close().ok());
+  }
+
+  // Reopen the orders database: the detached rule's write survived.
+  ActiveDatabase reopened;
+  ASSERT_TRUE(reopened.Open(base_ + "_orders").ok());
+  auto txn = reopened.Begin();
+  auto oid = reopened.database()->names()->Lookup(*txn, "order-1");
+  ASSERT_TRUE(oid.ok());
+  auto obj = reopened.database()->objects()->Get(*txn, *oid);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->Get("status")->AsString(), "fulfilled");
+  ASSERT_TRUE(reopened.Commit(*txn).ok());
+  ASSERT_TRUE(reopened.Close().ok());
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,234 @@
+// sentinel_shell — interactive / scriptable driver for a Sentinel database.
+//
+// Lets you open a database, load event/rule specifications, fire events and
+// watch rules execute, without writing C++. Reads commands from stdin (one
+// per line), so it doubles as a scripting harness:
+//
+//   $ ./build/tools/sentinel_shell <<'EOF'
+//   memory
+//   load examples/specs/stock.spec
+//   begin
+//   notify STOCK 1 end int sell_stock(int qty) | qty=500
+//   commit
+//   trace
+//   EOF
+//
+// Built-in rule functions available to specs: condition `true`; actions
+// `print` (dump the triggering occurrence) and `none`.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/active_database.h"
+#include "debug/rule_debugger.h"
+#include "preproc/compiler.h"
+
+namespace {
+
+using sentinel::Status;
+using sentinel::core::ActiveDatabase;
+using sentinel::detector::EventModifier;
+using sentinel::detector::ParamList;
+using sentinel::oodb::Value;
+using sentinel::rules::RuleContext;
+
+struct Shell {
+  ActiveDatabase db;
+  sentinel::preproc::FunctionRegistry functions;
+  sentinel::debug::RuleDebugger debugger;
+  sentinel::storage::TxnId txn = sentinel::storage::kInvalidTxnId;
+  bool open = false;
+
+  Shell() {
+    functions.RegisterAction("print", [](const RuleContext& ctx) {
+      std::printf("  [rule] triggered by %s:",
+                  ctx.occurrence->event_name.c_str());
+      for (const auto& constituent : ctx.occurrence->constituents) {
+        if (constituent->params == nullptr) continue;
+        for (const auto& [name, value] : constituent->params->entries()) {
+          std::printf(" %s=%s", name.c_str(), value.ToString().c_str());
+        }
+      }
+      std::printf("\n");
+    });
+  }
+};
+
+std::vector<std::string> Split(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> words;
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+/// Parses trailing "k=v" pairs into a ParamList (ints, doubles, strings).
+std::shared_ptr<ParamList> ParseParams(const std::vector<std::string>& words,
+                                       std::size_t from) {
+  auto params = std::make_shared<ParamList>();
+  for (std::size_t i = from; i < words.size(); ++i) {
+    auto eq = words[i].find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = words[i].substr(0, eq);
+    const std::string value = words[i].substr(eq + 1);
+    char* end = nullptr;
+    const long long as_int = std::strtoll(value.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && !value.empty()) {
+      params->Insert(key, Value::Int(as_int));
+      continue;
+    }
+    const double as_double = std::strtod(value.c_str(), &end);
+    if (end != nullptr && *end == '\0' && !value.empty()) {
+      params->Insert(key, Value::Double(as_double));
+      continue;
+    }
+    params->Insert(key, Value::String(value));
+  }
+  return params;
+}
+
+void PrintHelp() {
+  std::printf(R"(commands:
+  open <path>              open (or create) a persistent database
+  memory                   open an in-memory (detector-only) database
+  load <file>              load a Sentinel spec file
+  spec <inline spec...>    load an inline spec (single line)
+  begin | commit | abort   transaction control
+  notify <class> <oid> <begin|end> <signature...> [| k=v ...]
+  raise <event> [k=v ...]  raise an explicit event
+  advance <ms>             advance the temporal clock
+  events | rules           list definitions
+  enable <rule> | disable <rule>
+  trace                    print the rule debugger trace
+  dot                      print the event graph in DOT
+  stats                    detector / scheduler statistics
+  help | quit
+)");
+}
+
+int Run() {
+  Shell shell;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto words = Split(line);
+    if (words.empty()) continue;
+    const std::string& cmd = words[0];
+    Status st;
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (cmd == "open" && words.size() >= 2) {
+      st = shell.db.Open(words[1]);
+      if (st.ok()) {
+        shell.debugger.Attach(&shell.db);
+        shell.open = true;
+      }
+    } else if (cmd == "memory") {
+      st = shell.db.OpenInMemory();
+      if (st.ok()) {
+        shell.debugger.Attach(&shell.db);
+        shell.open = true;
+      }
+    } else if (!shell.open) {
+      std::printf("error: no database open (use 'open <path>' or 'memory')\n");
+      continue;
+    } else if (cmd == "load" && words.size() >= 2) {
+      sentinel::preproc::SpecCompiler compiler(&shell.db, &shell.functions);
+      st = compiler.LoadFile(words[1]);
+    } else if (cmd == "spec") {
+      const std::string source = line.substr(5);
+      sentinel::preproc::SpecCompiler compiler(&shell.db, &shell.functions);
+      st = compiler.LoadString(source);
+    } else if (cmd == "begin") {
+      auto begun = shell.db.Begin();
+      st = begun.status();
+      if (begun.ok()) {
+        shell.txn = *begun;
+        std::printf("txn %llu\n", static_cast<unsigned long long>(shell.txn));
+      }
+    } else if (cmd == "commit") {
+      st = shell.db.Commit(shell.txn);
+      shell.txn = sentinel::storage::kInvalidTxnId;
+    } else if (cmd == "abort") {
+      st = shell.db.Abort(shell.txn);
+      shell.txn = sentinel::storage::kInvalidTxnId;
+    } else if (cmd == "notify" && words.size() >= 5) {
+      // notify <class> <oid> <begin|end> <signature...> [| k=v ...]
+      const std::string& class_name = words[1];
+      const auto oid =
+          static_cast<sentinel::oodb::Oid>(std::strtoull(words[2].c_str(),
+                                                         nullptr, 10));
+      const EventModifier modifier =
+          words[3] == "begin" ? EventModifier::kBegin : EventModifier::kEnd;
+      // Signature: everything up to "|"; params after.
+      std::string signature;
+      std::size_t i = 4;
+      for (; i < words.size() && words[i] != "|"; ++i) {
+        if (!signature.empty()) signature += " ";
+        signature += words[i];
+      }
+      auto params = ParseParams(words, i + 1);
+      shell.db.NotifyMethod(class_name, oid, modifier, signature, params,
+                            shell.txn);
+    } else if (cmd == "raise" && words.size() >= 2) {
+      st = shell.db.RaiseEvent(words[1], ParseParams(words, 2), shell.txn);
+    } else if (cmd == "advance" && words.size() >= 2) {
+      shell.db.AdvanceTime(std::strtoull(words[1].c_str(), nullptr, 10));
+    } else if (cmd == "events") {
+      for (const auto& name : shell.db.detector()->EventNames()) {
+        std::printf("  %s\n", name.c_str());
+      }
+    } else if (cmd == "rules") {
+      for (const auto& name : shell.db.rule_manager()->RuleNames()) {
+        auto rule = shell.db.rule_manager()->Find(name);
+        if (!rule.ok()) continue;
+        std::printf("  %s on %s [%s, prio %d, %s, fired %llu]\n", name.c_str(),
+                    (*rule)->declared_event().c_str(),
+                    sentinel::rules::CouplingModeToString((*rule)->coupling()),
+                    (*rule)->priority(),
+                    (*rule)->enabled() ? "enabled" : "disabled",
+                    static_cast<unsigned long long>((*rule)->fired_count()));
+      }
+    } else if (cmd == "enable" && words.size() >= 2) {
+      st = shell.db.rule_manager()->EnableRule(words[1]);
+    } else if (cmd == "disable" && words.size() >= 2) {
+      st = shell.db.rule_manager()->DisableRule(words[1]);
+    } else if (cmd == "trace") {
+      std::printf("%s", shell.debugger.RenderTrace().c_str());
+    } else if (cmd == "dot") {
+      std::printf("%s", sentinel::debug::RuleDebugger::EventGraphDot(&shell.db)
+                            .c_str());
+    } else if (cmd == "stats") {
+      std::printf("events notified: %llu\n",
+                  static_cast<unsigned long long>(
+                      shell.db.detector()->notify_count()));
+      std::printf("graph nodes:     %zu\n", shell.db.detector()->node_count());
+      std::printf("buffered:        %zu\n",
+                  shell.db.detector()->BufferedCount());
+      std::printf("rules executed:  %llu\n",
+                  static_cast<unsigned long long>(
+                      shell.db.scheduler()->executed_count()));
+      std::printf("cond rejected:   %llu\n",
+                  static_cast<unsigned long long>(
+                      shell.db.scheduler()->condition_rejections()));
+    } else {
+      std::printf("error: unknown command '%s' (try 'help')\n", cmd.c_str());
+      continue;
+    }
+    if (!st.ok()) std::printf("error: %s\n", st.ToString().c_str());
+  }
+  if (shell.open) (void)shell.db.Close();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }
