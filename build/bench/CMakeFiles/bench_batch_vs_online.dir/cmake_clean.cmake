@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_vs_online.dir/bench_batch_vs_online.cc.o"
+  "CMakeFiles/bench_batch_vs_online.dir/bench_batch_vs_online.cc.o.d"
+  "bench_batch_vs_online"
+  "bench_batch_vs_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_vs_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_beast.dir/bench_beast.cc.o"
+  "CMakeFiles/bench_beast.dir/bench_beast.cc.o.d"
+  "bench_beast"
+  "bench_beast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_beast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

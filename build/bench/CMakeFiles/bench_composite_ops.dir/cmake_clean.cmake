@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_composite_ops.dir/bench_composite_ops.cc.o"
+  "CMakeFiles/bench_composite_ops.dir/bench_composite_ops.cc.o.d"
+  "bench_composite_ops"
+  "bench_composite_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_composite_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coupling_modes.dir/bench_coupling_modes.cc.o"
+  "CMakeFiles/bench_coupling_modes.dir/bench_coupling_modes.cc.o.d"
+  "bench_coupling_modes"
+  "bench_coupling_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coupling_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flush.dir/bench_flush.cc.o"
+  "CMakeFiles/bench_flush.dir/bench_flush.cc.o.d"
+  "bench_flush"
+  "bench_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ged.dir/bench_ged.cc.o"
+  "CMakeFiles/bench_ged.dir/bench_ged.cc.o.d"
+  "bench_ged"
+  "bench_ged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

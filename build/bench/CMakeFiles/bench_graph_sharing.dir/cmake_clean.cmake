@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_sharing.dir/bench_graph_sharing.cc.o"
+  "CMakeFiles/bench_graph_sharing.dir/bench_graph_sharing.cc.o.d"
+  "bench_graph_sharing"
+  "bench_graph_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

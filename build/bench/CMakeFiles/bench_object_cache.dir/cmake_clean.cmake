@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_object_cache.dir/bench_object_cache.cc.o"
+  "CMakeFiles/bench_object_cache.dir/bench_object_cache.cc.o.d"
+  "bench_object_cache"
+  "bench_object_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_object_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

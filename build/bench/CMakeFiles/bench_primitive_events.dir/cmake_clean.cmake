@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_primitive_events.dir/bench_primitive_events.cc.o"
+  "CMakeFiles/bench_primitive_events.dir/bench_primitive_events.cc.o.d"
+  "bench_primitive_events"
+  "bench_primitive_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_primitive_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_threading.dir/bench_threading.cc.o"
+  "CMakeFiles/bench_threading.dir/bench_threading.cc.o.d"
+  "bench_threading"
+  "bench_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

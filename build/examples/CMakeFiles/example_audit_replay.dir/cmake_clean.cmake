@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_audit_replay.dir/audit_replay.cpp.o"
+  "CMakeFiles/example_audit_replay.dir/audit_replay.cpp.o.d"
+  "example_audit_replay"
+  "example_audit_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_audit_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

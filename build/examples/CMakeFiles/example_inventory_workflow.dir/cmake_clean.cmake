@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_inventory_workflow.dir/inventory_workflow.cpp.o"
+  "CMakeFiles/example_inventory_workflow.dir/inventory_workflow.cpp.o.d"
+  "example_inventory_workflow"
+  "example_inventory_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_inventory_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

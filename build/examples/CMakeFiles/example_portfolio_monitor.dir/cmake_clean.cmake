@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_portfolio_monitor.dir/portfolio_monitor.cpp.o"
+  "CMakeFiles/example_portfolio_monitor.dir/portfolio_monitor.cpp.o.d"
+  "example_portfolio_monitor"
+  "example_portfolio_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_portfolio_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

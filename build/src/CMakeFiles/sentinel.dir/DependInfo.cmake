@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/sentinel.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sentinel.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/common/status.cc.o.d"
+  "/root/repo/src/core/active_database.cc" "src/CMakeFiles/sentinel.dir/core/active_database.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/core/active_database.cc.o.d"
+  "/root/repo/src/core/reactive.cc" "src/CMakeFiles/sentinel.dir/core/reactive.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/core/reactive.cc.o.d"
+  "/root/repo/src/debug/rule_debugger.cc" "src/CMakeFiles/sentinel.dir/debug/rule_debugger.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/debug/rule_debugger.cc.o.d"
+  "/root/repo/src/detector/event_log.cc" "src/CMakeFiles/sentinel.dir/detector/event_log.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/detector/event_log.cc.o.d"
+  "/root/repo/src/detector/event_node.cc" "src/CMakeFiles/sentinel.dir/detector/event_node.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/detector/event_node.cc.o.d"
+  "/root/repo/src/detector/event_types.cc" "src/CMakeFiles/sentinel.dir/detector/event_types.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/detector/event_types.cc.o.d"
+  "/root/repo/src/detector/local_detector.cc" "src/CMakeFiles/sentinel.dir/detector/local_detector.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/detector/local_detector.cc.o.d"
+  "/root/repo/src/detector/operator_nodes.cc" "src/CMakeFiles/sentinel.dir/detector/operator_nodes.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/detector/operator_nodes.cc.o.d"
+  "/root/repo/src/ged/global_detector.cc" "src/CMakeFiles/sentinel.dir/ged/global_detector.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/ged/global_detector.cc.o.d"
+  "/root/repo/src/oodb/database.cc" "src/CMakeFiles/sentinel.dir/oodb/database.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/oodb/database.cc.o.d"
+  "/root/repo/src/oodb/name_manager.cc" "src/CMakeFiles/sentinel.dir/oodb/name_manager.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/oodb/name_manager.cc.o.d"
+  "/root/repo/src/oodb/object.cc" "src/CMakeFiles/sentinel.dir/oodb/object.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/oodb/object.cc.o.d"
+  "/root/repo/src/oodb/object_cache.cc" "src/CMakeFiles/sentinel.dir/oodb/object_cache.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/oodb/object_cache.cc.o.d"
+  "/root/repo/src/oodb/persistence_manager.cc" "src/CMakeFiles/sentinel.dir/oodb/persistence_manager.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/oodb/persistence_manager.cc.o.d"
+  "/root/repo/src/oodb/schema.cc" "src/CMakeFiles/sentinel.dir/oodb/schema.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/oodb/schema.cc.o.d"
+  "/root/repo/src/oodb/value.cc" "src/CMakeFiles/sentinel.dir/oodb/value.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/oodb/value.cc.o.d"
+  "/root/repo/src/preproc/compiler.cc" "src/CMakeFiles/sentinel.dir/preproc/compiler.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/preproc/compiler.cc.o.d"
+  "/root/repo/src/rules/rule_manager.cc" "src/CMakeFiles/sentinel.dir/rules/rule_manager.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/rules/rule_manager.cc.o.d"
+  "/root/repo/src/rules/scheduler.cc" "src/CMakeFiles/sentinel.dir/rules/scheduler.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/rules/scheduler.cc.o.d"
+  "/root/repo/src/rules/thread_pool.cc" "src/CMakeFiles/sentinel.dir/rules/thread_pool.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/rules/thread_pool.cc.o.d"
+  "/root/repo/src/snoop/lexer.cc" "src/CMakeFiles/sentinel.dir/snoop/lexer.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/snoop/lexer.cc.o.d"
+  "/root/repo/src/snoop/parser.cc" "src/CMakeFiles/sentinel.dir/snoop/parser.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/snoop/parser.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/sentinel.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/sentinel.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/sentinel.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/sentinel.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/lock_manager.cc" "src/CMakeFiles/sentinel.dir/storage/lock_manager.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/storage/lock_manager.cc.o.d"
+  "/root/repo/src/storage/log_record.cc" "src/CMakeFiles/sentinel.dir/storage/log_record.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/storage/log_record.cc.o.d"
+  "/root/repo/src/storage/recovery.cc" "src/CMakeFiles/sentinel.dir/storage/recovery.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/storage/recovery.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/sentinel.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/storage/slotted_page.cc.o.d"
+  "/root/repo/src/storage/storage_engine.cc" "src/CMakeFiles/sentinel.dir/storage/storage_engine.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/storage/storage_engine.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/sentinel.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/storage/wal.cc.o.d"
+  "/root/repo/src/txn/nested_txn.cc" "src/CMakeFiles/sentinel.dir/txn/nested_txn.cc.o" "gcc" "src/CMakeFiles/sentinel.dir/txn/nested_txn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/active_database_test.cc" "tests/CMakeFiles/sentinel_tests.dir/active_database_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/active_database_test.cc.o.d"
+  "/root/repo/tests/checkpoint_test.cc" "tests/CMakeFiles/sentinel_tests.dir/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/checkpoint_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/sentinel_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/concurrency_test.cc" "tests/CMakeFiles/sentinel_tests.dir/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/concurrency_test.cc.o.d"
+  "/root/repo/tests/detector_any_test.cc" "tests/CMakeFiles/sentinel_tests.dir/detector_any_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/detector_any_test.cc.o.d"
+  "/root/repo/tests/detector_context_matrix_test.cc" "tests/CMakeFiles/sentinel_tests.dir/detector_context_matrix_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/detector_context_matrix_test.cc.o.d"
+  "/root/repo/tests/detector_operators_test.cc" "tests/CMakeFiles/sentinel_tests.dir/detector_operators_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/detector_operators_test.cc.o.d"
+  "/root/repo/tests/detector_primitive_test.cc" "tests/CMakeFiles/sentinel_tests.dir/detector_primitive_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/detector_primitive_test.cc.o.d"
+  "/root/repo/tests/detector_property_test.cc" "tests/CMakeFiles/sentinel_tests.dir/detector_property_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/detector_property_test.cc.o.d"
+  "/root/repo/tests/detector_temporal_test.cc" "tests/CMakeFiles/sentinel_tests.dir/detector_temporal_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/detector_temporal_test.cc.o.d"
+  "/root/repo/tests/event_log_test.cc" "tests/CMakeFiles/sentinel_tests.dir/event_log_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/event_log_test.cc.o.d"
+  "/root/repo/tests/ged_test.cc" "tests/CMakeFiles/sentinel_tests.dir/ged_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/ged_test.cc.o.d"
+  "/root/repo/tests/meta_rules_test.cc" "tests/CMakeFiles/sentinel_tests.dir/meta_rules_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/meta_rules_test.cc.o.d"
+  "/root/repo/tests/nested_txn_test.cc" "tests/CMakeFiles/sentinel_tests.dir/nested_txn_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/nested_txn_test.cc.o.d"
+  "/root/repo/tests/object_cache_test.cc" "tests/CMakeFiles/sentinel_tests.dir/object_cache_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/object_cache_test.cc.o.d"
+  "/root/repo/tests/oid_index_test.cc" "tests/CMakeFiles/sentinel_tests.dir/oid_index_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/oid_index_test.cc.o.d"
+  "/root/repo/tests/oodb_test.cc" "tests/CMakeFiles/sentinel_tests.dir/oodb_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/oodb_test.cc.o.d"
+  "/root/repo/tests/parser_fuzz_test.cc" "tests/CMakeFiles/sentinel_tests.dir/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/preproc_test.cc" "tests/CMakeFiles/sentinel_tests.dir/preproc_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/preproc_test.cc.o.d"
+  "/root/repo/tests/reactive_test.cc" "tests/CMakeFiles/sentinel_tests.dir/reactive_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/reactive_test.cc.o.d"
+  "/root/repo/tests/recovery_fuzz_test.cc" "tests/CMakeFiles/sentinel_tests.dir/recovery_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/recovery_fuzz_test.cc.o.d"
+  "/root/repo/tests/rule_debugger_test.cc" "tests/CMakeFiles/sentinel_tests.dir/rule_debugger_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/rule_debugger_test.cc.o.d"
+  "/root/repo/tests/rule_visibility_test.cc" "tests/CMakeFiles/sentinel_tests.dir/rule_visibility_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/rule_visibility_test.cc.o.d"
+  "/root/repo/tests/rules_test.cc" "tests/CMakeFiles/sentinel_tests.dir/rules_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/rules_test.cc.o.d"
+  "/root/repo/tests/scheduler_test.cc" "tests/CMakeFiles/sentinel_tests.dir/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/scheduler_test.cc.o.d"
+  "/root/repo/tests/snoop_lexer_test.cc" "tests/CMakeFiles/sentinel_tests.dir/snoop_lexer_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/snoop_lexer_test.cc.o.d"
+  "/root/repo/tests/snoop_parser_test.cc" "tests/CMakeFiles/sentinel_tests.dir/snoop_parser_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/snoop_parser_test.cc.o.d"
+  "/root/repo/tests/spec_persistence_test.cc" "tests/CMakeFiles/sentinel_tests.dir/spec_persistence_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/spec_persistence_test.cc.o.d"
+  "/root/repo/tests/storage_btree_test.cc" "tests/CMakeFiles/sentinel_tests.dir/storage_btree_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/storage_btree_test.cc.o.d"
+  "/root/repo/tests/storage_buffer_pool_test.cc" "tests/CMakeFiles/sentinel_tests.dir/storage_buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/storage_buffer_pool_test.cc.o.d"
+  "/root/repo/tests/storage_engine_test.cc" "tests/CMakeFiles/sentinel_tests.dir/storage_engine_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/storage_engine_test.cc.o.d"
+  "/root/repo/tests/storage_heap_file_test.cc" "tests/CMakeFiles/sentinel_tests.dir/storage_heap_file_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/storage_heap_file_test.cc.o.d"
+  "/root/repo/tests/storage_lock_manager_test.cc" "tests/CMakeFiles/sentinel_tests.dir/storage_lock_manager_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/storage_lock_manager_test.cc.o.d"
+  "/root/repo/tests/storage_slotted_page_test.cc" "tests/CMakeFiles/sentinel_tests.dir/storage_slotted_page_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/storage_slotted_page_test.cc.o.d"
+  "/root/repo/tests/storage_wal_test.cc" "tests/CMakeFiles/sentinel_tests.dir/storage_wal_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/storage_wal_test.cc.o.d"
+  "/root/repo/tests/temporal_rules_test.cc" "tests/CMakeFiles/sentinel_tests.dir/temporal_rules_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/temporal_rules_test.cc.o.d"
+  "/root/repo/tests/workflow_integration_test.cc" "tests/CMakeFiles/sentinel_tests.dir/workflow_integration_test.cc.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/workflow_integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sentinel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_shell.dir/sentinel_shell.cc.o"
+  "CMakeFiles/sentinel_shell.dir/sentinel_shell.cc.o.d"
+  "sentinel_shell"
+  "sentinel_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
