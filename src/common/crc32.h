@@ -1,0 +1,17 @@
+#ifndef SENTINEL_COMMON_CRC32_H_
+#define SENTINEL_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sentinel {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320, init/final XOR
+/// 0xFFFFFFFF). Pass a previous result as `seed` to checksum incrementally.
+/// Used to frame WAL records so recovery can tell a torn or corrupted tail
+/// from a valid one.
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_COMMON_CRC32_H_

@@ -1,0 +1,302 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace sentinel {
+
+std::atomic<int> FailPointRegistry::active_count_{0};
+
+const char* FailPointModeToString(FailPointMode mode) {
+  switch (mode) {
+    case FailPointMode::kOff:
+      return "off";
+    case FailPointMode::kReturnError:
+      return "error";
+    case FailPointMode::kTornWrite:
+      return "torn";
+    case FailPointMode::kDelay:
+      return "delay";
+    case FailPointMode::kCrashAfter:
+      return "crash";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+Result<FailPointMode> ParseMode(const std::string& word) {
+  if (word == "off") return FailPointMode::kOff;
+  if (word == "error") return FailPointMode::kReturnError;
+  if (word == "torn") return FailPointMode::kTornWrite;
+  if (word == "delay") return FailPointMode::kDelay;
+  if (word == "crash") return FailPointMode::kCrashAfter;
+  return Status::ParseError("unknown failpoint mode '" + word +
+                            "' (off|error|torn|delay|crash)");
+}
+
+}  // namespace
+
+std::string FailPointSpec::ToString() const {
+  std::string out = FailPointModeToString(mode);
+  std::string params;
+  auto add = [&params](const std::string& kv) {
+    if (!params.empty()) params += ",";
+    params += kv;
+  };
+  if (start_hit != 1) add("hit=" + std::to_string(start_hit));
+  if (max_fires != 0) add("count=" + std::to_string(max_fires));
+  if (probability < 1.0) add("prob=" + std::to_string(probability));
+  if (mode == FailPointMode::kDelay) add("ms=" + std::to_string(delay_ms));
+  if (mode == FailPointMode::kTornWrite && torn_bytes != 0) {
+    add("bytes=" + std::to_string(torn_bytes));
+  }
+  if (!message.empty()) add("msg=" + message);
+  if (!params.empty()) out += "(" + params + ")";
+  return out;
+}
+
+Result<FailPointSpec> FailPointSpec::Parse(const std::string& text) {
+  const std::string trimmed = Trim(text);
+  if (trimmed.empty()) return Status::ParseError("empty failpoint spec");
+
+  FailPointSpec spec;
+  std::string mode_word = trimmed;
+  std::string params;
+  const std::size_t paren = trimmed.find('(');
+  if (paren != std::string::npos) {
+    if (trimmed.back() != ')') {
+      return Status::ParseError("unterminated '(' in failpoint spec: " + text);
+    }
+    mode_word = Trim(trimmed.substr(0, paren));
+    params = trimmed.substr(paren + 1, trimmed.size() - paren - 2);
+  }
+  auto mode = ParseMode(mode_word);
+  if (!mode.ok()) return mode.status();
+  spec.mode = *mode;
+
+  bool saw_hit = false;
+  bool saw_count = false;
+  std::size_t pos = 0;
+  while (pos < params.size()) {
+    std::size_t comma = params.find(',', pos);
+    if (comma == std::string::npos) comma = params.size();
+    const std::string pair = Trim(params.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("failpoint parameter is not key=value: " +
+                                pair);
+    }
+    const std::string key = Trim(pair.substr(0, eq));
+    const std::string value = Trim(pair.substr(eq + 1));
+    char* end = nullptr;
+    if (key == "hit") {
+      spec.start_hit = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      saw_hit = true;
+    } else if (key == "count") {
+      spec.max_fires = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      saw_count = true;
+    } else if (key == "prob") {
+      spec.probability = std::strtod(value.c_str(), &end);
+    } else if (key == "ms") {
+      spec.delay_ms =
+          static_cast<std::uint32_t>(std::strtoul(value.c_str(), &end, 10));
+    } else if (key == "bytes") {
+      spec.torn_bytes =
+          static_cast<std::uint32_t>(std::strtoul(value.c_str(), &end, 10));
+    } else if (key == "msg") {
+      spec.message = value;
+      continue;
+    } else {
+      return Status::ParseError("unknown failpoint parameter '" + key + "'");
+    }
+    if (end == nullptr || *end != '\0' || value.empty()) {
+      return Status::ParseError("bad numeric value for failpoint parameter " +
+                                key + ": '" + value + "'");
+    }
+  }
+  if (spec.start_hit < 1) {
+    return Status::ParseError("failpoint hit must be >= 1");
+  }
+  if (spec.probability < 0.0 || spec.probability > 1.0) {
+    return Status::ParseError("failpoint prob must be in [0, 1]");
+  }
+  // "hit=N" alone means "fire exactly on the Nth hit".
+  if (saw_hit && !saw_count) spec.max_fires = 1;
+  return spec;
+}
+
+Status FailPointAction::ToStatus(const char* site) const {
+  if (!fired()) return Status::OK();
+  if (!message.empty()) return Status::IOError(message);
+  return Status::IOError(std::string("failpoint '") + site + "' injected " +
+                         FailPointModeToString(mode));
+}
+
+FailPointRegistry::FailPointRegistry() {
+  const char* env = std::getenv("SENTINEL_FAILPOINTS");
+  if (env != nullptr && *env != '\0') {
+    Status st = Configure(env);
+    if (!st.ok()) {
+      SENTINEL_LOG(kWarn) << "SENTINEL_FAILPOINTS ignored: " << st.ToString();
+    }
+  }
+}
+
+FailPointRegistry& FailPointRegistry::Instance() {
+  static FailPointRegistry* registry = new FailPointRegistry();
+  return *registry;
+}
+
+bool FailPointRegistry::AnyActive() {
+  // Force singleton construction once so SENTINEL_FAILPOINTS is read even
+  // when every caller gates on AnyActive() before touching Instance().
+  static const bool env_loaded = (Instance(), true);
+  (void)env_loaded;
+  return active_count_.load(std::memory_order_relaxed) > 0;
+}
+
+Status FailPointRegistry::Enable(const std::string& name, FailPointSpec spec) {
+  if (name.empty()) return Status::InvalidArgument("empty failpoint name");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = points_.try_emplace(name);
+  const bool was_armed =
+      !inserted && it->second.spec.mode != FailPointMode::kOff;
+  const bool now_armed = spec.mode != FailPointMode::kOff;
+  it->second.spec = std::move(spec);
+  it->second.fires = 0;
+  if (inserted || !was_armed) {
+    if (now_armed) active_count_.fetch_add(1, std::memory_order_relaxed);
+  } else if (!now_armed) {
+    active_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status FailPointRegistry::Enable(const std::string& name,
+                                 const std::string& spec_text) {
+  auto spec = FailPointSpec::Parse(spec_text);
+  if (!spec.ok()) return spec.status();
+  return Enable(name, std::move(*spec));
+}
+
+Status FailPointRegistry::Configure(const std::string& list) {
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t sep = list.find(';', pos);
+    if (sep == std::string::npos) sep = list.size();
+    const std::string entry = Trim(list.substr(pos, sep - pos));
+    pos = sep + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("failpoint entry is not name=spec: " + entry);
+    }
+    SENTINEL_RETURN_NOT_OK(
+        Enable(Trim(entry.substr(0, eq)), Trim(entry.substr(eq + 1))));
+  }
+  return Status::OK();
+}
+
+bool FailPointRegistry::Disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return false;
+  if (it->second.spec.mode != FailPointMode::kOff) {
+    active_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  points_.erase(it);
+  return true;
+}
+
+void FailPointRegistry::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : points_) {
+    (void)name;
+    if (entry.spec.mode != FailPointMode::kOff) {
+      active_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  points_.clear();
+}
+
+double FailPointRegistry::NextUniformLocked() {
+  rng_state_ = rng_state_ * 6364136223846793005ull + 1442695040888963407ull;
+  return static_cast<double>(rng_state_ >> 11) /
+         static_cast<double>(1ull << 53);
+}
+
+FailPointAction FailPointRegistry::Evaluate(const std::string& name) {
+  FailPointSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end()) return {};
+    Entry& entry = it->second;
+    const std::uint64_t hit = ++entry.hits;
+    if (entry.spec.mode == FailPointMode::kOff) return {};
+    if (hit < static_cast<std::uint64_t>(entry.spec.start_hit)) return {};
+    if (entry.spec.max_fires > 0 &&
+        entry.fires >= static_cast<std::uint64_t>(entry.spec.max_fires)) {
+      return {};
+    }
+    if (entry.spec.probability < 1.0 &&
+        NextUniformLocked() >= entry.spec.probability) {
+      return {};
+    }
+    ++entry.fires;
+    spec = entry.spec;
+  }
+  switch (spec.mode) {
+    case FailPointMode::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+      return {};
+    case FailPointMode::kCrashAfter:
+      // _Exit skips stdio flushing and destructors: user-space buffers are
+      // lost, already-flushed bytes survive in the OS — a process crash.
+      std::_Exit(kFailPointCrashExitCode);
+    case FailPointMode::kReturnError:
+      return {FailPointMode::kReturnError, 0, spec.message};
+    case FailPointMode::kTornWrite:
+      return {FailPointMode::kTornWrite, spec.torn_bytes, spec.message};
+    case FailPointMode::kOff:
+      break;
+  }
+  return {};
+}
+
+std::vector<FailPointRegistry::Info> FailPointRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Info> out;
+  out.reserve(points_.size());
+  for (const auto& [name, entry] : points_) {
+    out.push_back(Info{name, entry.spec, entry.hits, entry.fires});
+  }
+  return out;
+}
+
+std::uint64_t FailPointRegistry::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FailPointRegistry::fires(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace sentinel

@@ -1,0 +1,143 @@
+#ifndef SENTINEL_COMMON_FAILPOINT_H_
+#define SENTINEL_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sentinel {
+
+/// Fault-injection subsystem. Code under test declares *failpoints* — named
+/// choke points at I/O and scheduling boundaries — which are inert until a
+/// test, the `failpoint` shell command, or the SENTINEL_FAILPOINTS
+/// environment variable arms them with a spec:
+///
+///   SENTINEL_FAILPOINTS="wal.append=error(hit=3);disk.sync=crash"
+///
+/// Spec grammar:  <mode>[(<key>=<value>[,<key>=<value>...])]
+///   modes: off | error | torn | delay | crash
+///   keys:  hit=N     fire starting at the Nth hit (1-based); implies a
+///                    single fire unless count is given
+///          count=N   fire at most N times (0 = unlimited, the default)
+///          prob=P    fire with probability P (deterministic seeded PRNG)
+///          ms=N      delay duration (delay mode, default 10)
+///          bytes=N   prefix written before failing (torn mode; 0 = site
+///                    default, typically half the payload)
+///          msg=TEXT  custom error message (error/torn modes)
+///
+/// The registered failpoint catalog (the names threaded through the system)
+/// is documented in DESIGN.md §"Fault model & failpoints".
+enum class FailPointMode : std::uint8_t {
+  kOff = 0,
+  kReturnError,  // the site returns an injected Status::IOError
+  kTornWrite,    // the site writes a prefix of its payload, then fails
+  kDelay,        // sleep, then proceed normally (latency injection)
+  kCrashAfter,   // deterministic process exit, skipping stdio flush —
+                 // user-space buffers are lost, models a process crash
+};
+
+const char* FailPointModeToString(FailPointMode mode);
+
+/// Exit code used by kCrashAfter so crash-matrix harnesses can tell an
+/// injected crash from an organic failure.
+constexpr int kFailPointCrashExitCode = 42;
+
+struct FailPointSpec {
+  FailPointMode mode = FailPointMode::kOff;
+  int start_hit = 1;             // first hit (1-based) eligible to fire
+  int max_fires = 0;             // 0 = unlimited
+  double probability = 1.0;      // fire chance once hit/count allow it
+  std::uint32_t delay_ms = 10;   // delay mode
+  std::uint32_t torn_bytes = 0;  // torn mode; 0 = site default
+  std::string message;           // optional custom error message
+
+  std::string ToString() const;
+  /// Parses the spec grammar above, e.g. "crash(hit=3)" or
+  /// "torn(bytes=7,count=2)".
+  static Result<FailPointSpec> Parse(const std::string& text);
+};
+
+/// What an armed failpoint asks the site to do. Delay and crash are applied
+/// inside Evaluate(); only actions requiring site cooperation are returned.
+struct FailPointAction {
+  FailPointMode mode = FailPointMode::kOff;
+  std::uint32_t torn_bytes = 0;
+  std::string message;
+
+  bool fired() const { return mode != FailPointMode::kOff; }
+  /// Error for return-error sites; also used for torn-write when the site
+  /// cannot model a partial write.
+  Status ToStatus(const char* site) const;
+};
+
+class FailPointRegistry {
+ public:
+  /// Process-wide registry. The first call arms any failpoints listed in
+  /// the SENTINEL_FAILPOINTS environment variable.
+  static FailPointRegistry& Instance();
+
+  /// Lock-free fast path: true iff any failpoint is currently armed. Sites
+  /// check this before paying for Evaluate().
+  static bool AnyActive();
+
+  Status Enable(const std::string& name, FailPointSpec spec);
+  Status Enable(const std::string& name, const std::string& spec_text);
+  /// Arms a ';'-separated list of `name=spec` entries (the env-var format).
+  Status Configure(const std::string& list);
+  /// Returns true if the failpoint existed.
+  bool Disable(const std::string& name);
+  void DisableAll();
+
+  /// Counts a hit at `name` and decides whether it fires. Delay sleeps and
+  /// crash exits the process here; error/torn are returned for the site to
+  /// apply. Unarmed names return an inert action.
+  FailPointAction Evaluate(const std::string& name);
+
+  struct Info {
+    std::string name;
+    FailPointSpec spec;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+  std::vector<Info> List() const;
+  std::uint64_t hits(const std::string& name) const;
+  std::uint64_t fires(const std::string& name) const;
+
+ private:
+  FailPointRegistry();
+
+  struct Entry {
+    FailPointSpec spec;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  double NextUniformLocked();
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> points_;
+  std::uint64_t rng_state_ = 0x5eed5eed5eed5eedull;
+  static std::atomic<int> active_count_;
+};
+
+}  // namespace sentinel
+
+/// Evaluates failpoint `name`; if an error (or torn-write, at sites that
+/// cannot model partial writes) fires, returns it from the enclosing
+/// Status- or Result-returning function. Near-zero cost while unarmed.
+#define SENTINEL_FAILPOINT(name)                                      \
+  do {                                                                \
+    if (::sentinel::FailPointRegistry::AnyActive()) {                 \
+      ::sentinel::FailPointAction _fp_action =                        \
+          ::sentinel::FailPointRegistry::Instance().Evaluate(name);   \
+      if (_fp_action.fired()) return _fp_action.ToStatus(name);       \
+    }                                                                 \
+  } while (false)
+
+#endif  // SENTINEL_COMMON_FAILPOINT_H_

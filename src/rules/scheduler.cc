@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "detector/local_detector.h"
 
@@ -22,6 +23,16 @@ bool PathLess(const std::vector<int>& a, const std::vector<int>& b) {
 }
 
 }  // namespace
+
+const char* ContingencyPolicyToString(ContingencyPolicy policy) {
+  switch (policy) {
+    case ContingencyPolicy::kSkipRule:
+      return "SKIP_RULE";
+    case ContingencyPolicy::kAbortTop:
+      return "ABORT_TOP";
+  }
+  return "?";
+}
 
 const RuleScheduler::Frame* RuleScheduler::CurrentFrame() { return t_frame; }
 
@@ -168,33 +179,96 @@ void RuleScheduler::Execute(Firing firing) {
          !max_depth_.compare_exchange_weak(seen, firing.depth)) {
   }
 
+  // Run condition + action inside a containment boundary (paper §2.3: rule
+  // failures are isolated in their subtransaction). A thrown exception or
+  // an injected fault aborts only this rule's subtransaction — it must
+  // never escape into the worker thread and kill the process.
   bool condition_held = true;
-  if (rule->condition()) {
-    // Conditions are side-effect free: suppress event signalling while the
-    // condition function runs (§3.2.1).
-    detector::LocalEventDetector::SuppressScope guard;
-    condition_held = rule->condition()(ctx);
+  Status failure;
+  if (FailPointRegistry::AnyActive()) {
+    FailPointAction action =
+        FailPointRegistry::Instance().Evaluate("scheduler.execute");
+    if (action.fired()) failure = action.ToStatus("scheduler.execute");
   }
-  if (condition_held) {
-    if (rule->action()) rule->action()(ctx);
-    rule->CountFiring();
-    executed_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+  if (failure.ok()) {
+    try {
+      if (rule->condition()) {
+        // Conditions are side-effect free: suppress event signalling while
+        // the condition function runs (§3.2.1).
+        detector::LocalEventDetector::SuppressScope guard;
+        condition_held = rule->condition()(ctx);
+      }
+      if (condition_held && rule->action()) rule->action()(ctx);
+    } catch (const std::exception& e) {
+      failure = Status::Internal("rule " + rule->name() +
+                                 " threw: " + e.what());
+    } catch (...) {
+      failure =
+          Status::Internal("rule " + rule->name() + " threw a non-standard "
+                           "exception");
+    }
   }
 
   t_frame = prev_frame;
 
   if (sub != txn::kInvalidSubTxn) {
-    Status commit = nested_->Commit(sub);
-    if (!commit.ok()) {
-      SENTINEL_LOG(kWarn) << "subtransaction commit failed for rule "
-                          << rule->name() << ": " << commit.ToString();
-      sub_status = commit;
+    if (failure.ok()) {
+      Status commit = nested_->Commit(sub);
+      if (!commit.ok()) {
+        SENTINEL_LOG(kWarn) << "subtransaction commit failed for rule "
+                            << rule->name() << ": " << commit.ToString();
+        sub_status = commit;
+      }
+    } else {
+      Status aborted = nested_->Abort(sub);
+      if (!aborted.ok()) {
+        SENTINEL_LOG(kWarn) << "subtransaction abort failed for rule "
+                            << rule->name() << ": " << aborted.ToString();
+      }
+    }
+  }
+
+  if (failure.ok()) {
+    if (condition_held) {
+      rule->CountFiring();
+      executed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    sub_status = failure;
+    SENTINEL_LOG(kWarn) << "rule " << rule->name() << " failed (contained, "
+                        << ContingencyPolicyToString(options_.contingency)
+                        << "): " << failure.ToString();
+    if (options_.contingency == ContingencyPolicy::kAbortTop &&
+        firing.txn != storage::kInvalidTxnId) {
+      AbortTop(firing.txn);
     }
   }
   for (const ExecutionObserver& observer : observers_) {
     observer(firing, condition_held, sub_status);
+  }
+}
+
+void RuleScheduler::AbortTop(storage::TxnId txn) {
+  abort_top_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Drop this transaction's queued firings: its effects are being rolled
+    // back, so running more of its rules would be wasted (and unsafe) work.
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [txn](const Firing& f) {
+                                    return f.txn == txn;
+                                  }),
+                   pending_.end());
+  }
+  if (db_ != nullptr) {
+    Status st = db_->Abort(txn);
+    if (!st.ok()) {
+      SENTINEL_LOG(kWarn) << "contingency abort of txn " << txn
+                          << " failed: " << st.ToString();
+    }
   }
 }
 

@@ -26,6 +26,23 @@ enum class SchedulingPolicy : std::uint8_t {
   kPriorityClasses = 2,
 };
 
+/// What happens to the *triggering* transaction when a rule fails (its
+/// condition/action throws, or its subtransaction cannot commit). The
+/// failing rule's own subtransaction is always aborted; the policy decides
+/// how far the failure propagates (HiPAC-style contingency handling):
+///   kSkipRule — contain the failure to the rule: its subtransaction is
+///               aborted, the top-level transaction and sibling rules
+///               proceed (default).
+///   kAbortTop — the failure dooms the triggering top-level transaction:
+///               its remaining queued firings are dropped and the
+///               transaction is aborted.
+enum class ContingencyPolicy : std::uint8_t {
+  kSkipRule = 0,
+  kAbortTop = 1,
+};
+
+const char* ContingencyPolicyToString(ContingencyPolicy policy);
+
 /// A triggered rule waiting to execute.
 struct Firing {
   Rule* rule = nullptr;
@@ -50,6 +67,7 @@ class RuleScheduler {
   struct Options {
     SchedulingPolicy policy = SchedulingPolicy::kPriorityClasses;
     std::size_t workers = 4;
+    ContingencyPolicy contingency = ContingencyPolicy::kSkipRule;
   };
 
   RuleScheduler(txn::NestedTransactionManager* nested, oodb::Database* db,
@@ -86,9 +104,19 @@ class RuleScheduler {
 
   std::uint64_t executed_count() const { return executed_; }
   std::uint64_t condition_rejections() const { return rejected_; }
+  /// Firings whose condition/action threw or whose subtransaction failed.
+  /// Failures are contained: the rule's subtransaction is aborted and the
+  /// process keeps serving (never std::terminate).
+  std::uint64_t failed_count() const { return failed_; }
+  /// Times the kAbortTop contingency aborted a triggering transaction.
+  std::uint64_t abort_top_count() const { return abort_top_; }
   int max_depth_seen() const { return max_depth_; }
   SchedulingPolicy policy() const { return options_.policy; }
   void set_policy(SchedulingPolicy policy) { options_.policy = policy; }
+  ContingencyPolicy contingency() const { return options_.contingency; }
+  void set_contingency(ContingencyPolicy policy) {
+    options_.contingency = policy;
+  }
 
   /// Record of one executed firing, for the rule debugger and for the
   /// reactive-RULE-class events. Multiple observers may be attached.
@@ -103,6 +131,8 @@ class RuleScheduler {
   std::vector<Firing> PopBatch();
   void Execute(Firing firing);
   void DetachedLoop();
+  // kAbortTop contingency: drop queued firings of `txn` and abort it.
+  void AbortTop(storage::TxnId txn);
 
   Options options_;
   txn::NestedTransactionManager* nested_;
@@ -121,6 +151,8 @@ class RuleScheduler {
 
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> abort_top_{0};
   std::atomic<int> max_depth_{0};
   std::vector<ExecutionObserver> observers_;
 };

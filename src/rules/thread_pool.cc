@@ -1,5 +1,7 @@
 #include "rules/thread_pool.h"
 
+#include "common/logging.h"
+
 namespace sentinel::rules {
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -43,7 +45,18 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++busy_;
     }
-    task();
+    // An exception leaving a worker would std::terminate the process; the
+    // scheduler contains rule failures upstream, this is the last line of
+    // defence for any other task.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      SENTINEL_LOG(kError) << "thread pool task threw (contained): "
+                           << e.what();
+    } catch (...) {
+      SENTINEL_LOG(kError) << "thread pool task threw a non-standard "
+                              "exception (contained)";
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --busy_;

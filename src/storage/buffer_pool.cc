@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "common/failpoint.h"
+
 namespace sentinel::storage {
 
 BufferPool::BufferPool(DiskManager* disk, std::size_t capacity)
@@ -109,6 +111,9 @@ Result<std::size_t> BufferPool::GetFreeFrameLocked() {
     Page* page = frames_[frame].get();
     if (page->pin_count() > 0) continue;
     if (page->is_dirty()) {
+      // Eviction writes a dirty page outside any commit path; a failure
+      // here must surface to the caller, never silently drop the page.
+      SENTINEL_FAILPOINT("bufferpool.evict");
       SENTINEL_RETURN_NOT_OK(disk_->WritePage(*page));
       page->set_dirty(false);
     }

@@ -1,6 +1,13 @@
 #include "storage/disk_manager.h"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "common/failpoint.h"
 
 namespace sentinel::storage {
 
@@ -9,6 +16,9 @@ namespace {
 constexpr long PageOffset(PageId page_id) {
   return static_cast<long>(page_id) * static_cast<long>(kPageSize);
 }
+
+constexpr int kMaxIoAttempts = 4;
+constexpr std::chrono::milliseconds kRetryBackoffBase{1};
 }  // namespace
 
 DiskManager::~DiskManager() {
@@ -18,11 +28,28 @@ DiskManager::~DiskManager() {
   }
 }
 
+Status DiskManager::RetryTransientIo(const std::function<Status()>& op) {
+  Status st;
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    if (attempt > 0) {
+      io_retries_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(kRetryBackoffBase * (1 << (attempt - 1)));
+      // A failed stdio op can leave the stream's error flag set, which
+      // would poison the retry.
+      if (file_ != nullptr) std::clearerr(file_);
+    }
+    st = op();
+    if (st.ok() || !st.IsIOError()) return st;
+  }
+  return st;
+}
+
 Status DiskManager::Open(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) {
     return Status::InvalidArgument("disk manager already open: " + path_);
   }
+  SENTINEL_FAILPOINT("disk.open");
   path_ = path;
   // Try existing file first, then create.
   file_ = std::fopen(path.c_str(), "r+b");
@@ -49,7 +76,7 @@ Status DiskManager::Close() {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::OK();
   SENTINEL_RETURN_NOT_OK(WritePageCountLocked());
-  std::fflush(file_);
+  SENTINEL_RETURN_NOT_OK(SyncLocked());
   std::fclose(file_);
   file_ = nullptr;
   return Status::OK();
@@ -58,14 +85,18 @@ Status DiskManager::Close() {
 Result<PageId> DiskManager::AllocatePage() {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::IOError("disk manager not open");
+  SENTINEL_FAILPOINT("disk.extend");
   PageId id = page_count_++;
   // Extend the file with a zeroed page so later reads succeed.
   Page fresh;
   fresh.set_page_id(id);
-  if (std::fseek(file_, PageOffset(id), SEEK_SET) != 0 ||
-      std::fwrite(fresh.data(), kPageSize, 1, file_) != 1) {
-    return Status::IOError("cannot extend database file");
-  }
+  SENTINEL_RETURN_NOT_OK(RetryTransientIo([&]() -> Status {
+    if (std::fseek(file_, PageOffset(id), SEEK_SET) != 0 ||
+        std::fwrite(fresh.data(), kPageSize, 1, file_) != 1) {
+      return Status::IOError("cannot extend database file");
+    }
+    return Status::OK();
+  }));
   SENTINEL_RETURN_NOT_OK(WritePageCountLocked());
   return id;
 }
@@ -73,14 +104,18 @@ Result<PageId> DiskManager::AllocatePage() {
 Status DiskManager::EnsureAllocated(PageId page_id) {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::IOError("disk manager not open");
+  SENTINEL_FAILPOINT("disk.extend");
   while (page_count_ <= page_id) {
     PageId id = page_count_++;
     Page fresh;
     fresh.set_page_id(id);
-    if (std::fseek(file_, PageOffset(id), SEEK_SET) != 0 ||
-        std::fwrite(fresh.data(), kPageSize, 1, file_) != 1) {
-      return Status::IOError("cannot extend database file");
-    }
+    SENTINEL_RETURN_NOT_OK(RetryTransientIo([&]() -> Status {
+      if (std::fseek(file_, PageOffset(id), SEEK_SET) != 0 ||
+          std::fwrite(fresh.data(), kPageSize, 1, file_) != 1) {
+        return Status::IOError("cannot extend database file");
+      }
+      return Status::OK();
+    }));
   }
   return WritePageCountLocked();
 }
@@ -92,10 +127,14 @@ Status DiskManager::ReadPage(PageId page_id, Page* page) {
     return Status::InvalidArgument("read of unallocated page " +
                                    std::to_string(page_id));
   }
-  if (std::fseek(file_, PageOffset(page_id), SEEK_SET) != 0 ||
-      std::fread(page->data(), kPageSize, 1, file_) != 1) {
-    return Status::IOError("cannot read page " + std::to_string(page_id));
-  }
+  SENTINEL_RETURN_NOT_OK(RetryTransientIo([&]() -> Status {
+    SENTINEL_FAILPOINT("disk.read");
+    if (std::fseek(file_, PageOffset(page_id), SEEK_SET) != 0 ||
+        std::fread(page->data(), kPageSize, 1, file_) != 1) {
+      return Status::IOError("cannot read page " + std::to_string(page_id));
+    }
+    return Status::OK();
+  }));
   page->set_dirty(false);
   return Status::OK();
 }
@@ -107,18 +146,56 @@ Status DiskManager::WritePage(const Page& page) {
     return Status::InvalidArgument("write of unallocated page " +
                                    std::to_string(page.page_id()));
   }
-  if (std::fseek(file_, PageOffset(page.page_id()), SEEK_SET) != 0 ||
-      std::fwrite(page.data(), kPageSize, 1, file_) != 1) {
-    return Status::IOError("cannot write page " +
-                           std::to_string(page.page_id()));
-  }
-  return Status::OK();
+  return RetryTransientIo([&]() -> Status {
+    if (FailPointRegistry::AnyActive()) {
+      FailPointAction action =
+          FailPointRegistry::Instance().Evaluate("disk.write");
+      if (action.mode == FailPointMode::kTornWrite) {
+        // Write a prefix of the page, then fail — a torn page write. A
+        // successful retry (or recovery redo) repairs it.
+        const std::size_t n = action.torn_bytes != 0
+                                  ? std::min<std::size_t>(action.torn_bytes,
+                                                          kPageSize)
+                                  : kPageSize / 2;
+        if (std::fseek(file_, PageOffset(page.page_id()), SEEK_SET) == 0) {
+          std::fwrite(page.data(), 1, n, file_);
+          std::fflush(file_);
+        }
+        return Status::IOError("torn write injected at page " +
+                               std::to_string(page.page_id()));
+      }
+      if (action.fired()) return action.ToStatus("disk.write");
+    }
+    if (std::fseek(file_, PageOffset(page.page_id()), SEEK_SET) != 0 ||
+        std::fwrite(page.data(), kPageSize, 1, file_) != 1) {
+      return Status::IOError("cannot write page " +
+                             std::to_string(page.page_id()));
+    }
+    return Status::OK();
+  });
 }
 
 Status DiskManager::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::IOError("disk manager not open");
-  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  SENTINEL_RETURN_NOT_OK(RetryTransientIo([&]() -> Status {
+    SENTINEL_FAILPOINT("disk.sync");
+    return SyncLocked();
+  }));
+  // Crash site after the durability barrier: everything written so far must
+  // survive a crash landing here.
+  SENTINEL_FAILPOINT("disk.sync.after");
+  return Status::OK();
+}
+
+Status DiskManager::SyncLocked() {
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("fflush failed: " + path_);
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError("fsync failed: " + path_);
+  }
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -130,16 +207,21 @@ PageId DiskManager::page_count() const {
 Status DiskManager::SetCleanShutdown(bool clean) {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::IOError("disk manager not open");
+  SENTINEL_FAILPOINT("disk.header");
   // Flag lives just after the page count on the header page.
   const long offset =
       PageOffset(0) + static_cast<long>(Page::kPayloadOffset + sizeof(PageId));
   std::uint8_t flag = clean ? 1 : 0;
-  if (std::fseek(file_, offset, SEEK_SET) != 0 ||
-      std::fwrite(&flag, sizeof(flag), 1, file_) != 1) {
-    return Status::IOError("cannot write clean-shutdown flag");
-  }
-  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
-  return Status::OK();
+  SENTINEL_RETURN_NOT_OK(RetryTransientIo([&]() -> Status {
+    if (std::fseek(file_, offset, SEEK_SET) != 0 ||
+        std::fwrite(&flag, sizeof(flag), 1, file_) != 1) {
+      return Status::IOError("cannot write clean-shutdown flag");
+    }
+    return Status::OK();
+  }));
+  // The marker is a durability barrier: readers trust non-WAL-logged
+  // structures based on it, so it must actually be on stable storage.
+  return RetryTransientIo([&]() -> Status { return SyncLocked(); });
 }
 
 Result<bool> DiskManager::GetCleanShutdown() {
@@ -169,13 +251,17 @@ Status DiskManager::ReadPageCountLocked() {
 }
 
 Status DiskManager::WritePageCountLocked() {
-  if (std::fseek(file_, PageOffset(0) + Page::kPayloadOffset, SEEK_SET) != 0) {
-    return Status::IOError("cannot seek to header page");
-  }
-  if (std::fwrite(&page_count_, sizeof(page_count_), 1, file_) != 1) {
-    return Status::IOError("cannot persist page count");
-  }
-  return Status::OK();
+  SENTINEL_FAILPOINT("disk.header");
+  return RetryTransientIo([&]() -> Status {
+    if (std::fseek(file_, PageOffset(0) + Page::kPayloadOffset, SEEK_SET) !=
+        0) {
+      return Status::IOError("cannot seek to header page");
+    }
+    if (std::fwrite(&page_count_, sizeof(page_count_), 1, file_) != 1) {
+      return Status::IOError("cannot persist page count");
+    }
+    return Status::OK();
+  });
 }
 
 }  // namespace sentinel::storage

@@ -1,7 +1,9 @@
 #ifndef SENTINEL_STORAGE_DISK_MANAGER_H_
 #define SENTINEL_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdio>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -13,6 +15,13 @@ namespace sentinel::storage {
 
 /// File-backed page store. Pages are allocated sequentially; page 0 is
 /// reserved for the database header (catalog root, page count). Thread-safe.
+///
+/// Fault model: transient I/O errors are retried with bounded exponential
+/// backoff; Sync() and the clean-shutdown marker reach stable storage via
+/// ::fsync (fflush alone only moves bytes to the OS). Failpoints
+/// (`disk.open`, `disk.read`, `disk.write`, `disk.extend`, `disk.sync`,
+/// `disk.sync.after`, `disk.header`) cover every choke point — see
+/// DESIGN.md "Fault model & failpoints".
 class DiskManager {
  public:
   DiskManager() = default;
@@ -39,7 +48,7 @@ class DiskManager {
   /// Writes `page` to its slot in the file.
   Status WritePage(const Page& page);
 
-  /// Flushes OS buffers to stable storage.
+  /// Flushes OS buffers AND the OS page cache (::fsync) to stable storage.
   Status Sync();
 
   /// Number of pages allocated so far.
@@ -48,17 +57,34 @@ class DiskManager {
   /// Clean-shutdown marker, stored on the header page. The storage engine
   /// clears it at open and sets it at close; consumers (e.g. the OID index)
   /// use it to decide whether non-WAL-logged structures can be trusted.
+  /// Durable: the marker is fsync'd before returning.
   Status SetCleanShutdown(bool clean);
   Result<bool> GetCleanShutdown();
+
+  /// Times a transient I/O error was absorbed by the retry loop.
+  std::uint64_t io_retries() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
+  /// Completed fsync barriers.
+  std::uint64_t sync_count() const {
+    return sync_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   Status ReadPageCountLocked();
   Status WritePageCountLocked();
+  /// fflush + fsync; the only way bytes are guaranteed on stable storage.
+  Status SyncLocked();
+  /// Runs `op`, retrying transient (IOError) failures with bounded
+  /// exponential backoff. Non-transient statuses fail fast.
+  Status RetryTransientIo(const std::function<Status()>& op);
 
   mutable std::mutex mu_;
   std::FILE* file_ = nullptr;
   std::string path_;
   PageId page_count_ = 1;  // page 0 is the header page
+  std::atomic<std::uint64_t> io_retries_{0};
+  std::atomic<std::uint64_t> sync_count_{0};
 };
 
 }  // namespace sentinel::storage

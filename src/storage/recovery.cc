@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "storage/heap_file.h"
 #include "storage/storage_engine.h"
@@ -50,6 +51,9 @@ Status RecoveryManager::Recover() {
                            rec.type == LogRecordType::kClr ||
                            rec.type == LogRecordType::kPageLink;
     if (!is_change) continue;
+    // Crash/fault site per redone record: recovery must be idempotent, so a
+    // crash here simply means the next recovery replays the same prefix.
+    SENTINEL_FAILPOINT("recovery.redo");
     // A crash can lose the physical file extension; re-extend before reading.
     SENTINEL_RETURN_NOT_OK(engine_->disk_->EnsureAllocated(rec.rid.page_id));
     HeapFile heap(engine_->pool_.get(), rec.rid.page_id);
@@ -112,6 +116,7 @@ Status RecoveryManager::Recover() {
 
   // ---- Pass 3: undo losers ---------------------------------------------------
   for (TxnId loser : losers) {
+    SENTINEL_FAILPOINT("recovery.undo");
     // Register as active so UndoTxn's logging path works, then roll back.
     {
       std::lock_guard<std::mutex> lock(engine_->txn_mu_);

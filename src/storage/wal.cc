@@ -1,10 +1,22 @@
 #include "storage/wal.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
 
 namespace sentinel::storage {
+
+namespace {
+// Sanity bound on a single record: anything larger is a corrupt size field,
+// not a real record (payloads carry record images, far below this).
+constexpr std::uint32_t kMaxLogRecordSize = 1u << 26;
+}  // namespace
 
 LogManager::~LogManager() {
   if (file_ != nullptr) {
@@ -13,30 +25,77 @@ LogManager::~LogManager() {
   }
 }
 
+Result<LogRecord> LogManager::ReadFrameLocked() {
+  std::uint32_t size = 0;
+  if (std::fread(&size, sizeof(size), 1, file_) != 1) {
+    return Status::NotFound("end of log");
+  }
+  if (size == 0 || size > kMaxLogRecordSize) {
+    return Status::Corruption("implausible log record size " +
+                              std::to_string(size));
+  }
+  std::uint32_t stored_crc = 0;
+  if (std::fread(&stored_crc, sizeof(stored_crc), 1, file_) != 1) {
+    return Status::Corruption("torn log record header");
+  }
+  std::vector<std::uint8_t> buf(size);
+  if (std::fread(buf.data(), size, 1, file_) != 1) {
+    return Status::Corruption("torn log record payload");
+  }
+  if (Crc32(buf.data(), buf.size()) != stored_crc) {
+    return Status::Corruption("log record checksum mismatch");
+  }
+  BytesReader reader(buf);
+  auto rec = LogRecord::Deserialize(&reader);
+  if (!rec.ok()) {
+    return Status::Corruption("undecodable log record: " +
+                              rec.status().ToString());
+  }
+  return rec;
+}
+
 Status LogManager::Open(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) {
     return Status::InvalidArgument("log manager already open: " + path_);
   }
+  SENTINEL_FAILPOINT("wal.open");
   path_ = path;
   file_ = std::fopen(path.c_str(), "a+b");
   if (file_ == nullptr) {
     return Status::IOError("cannot open log file: " + path);
   }
-  // Recover next_lsn_ by scanning the existing log tail.
+  // Recover next_lsn_ by scanning the existing log; stop at the first bad
+  // record and physically truncate there so a torn/corrupt tail can never
+  // be mistaken for data by a later reader.
   std::fseek(file_, 0, SEEK_SET);
   next_lsn_ = 1;
+  truncated_bytes_.store(0, std::memory_order_relaxed);
+  wedged_ = false;
+  long good_end = 0;
   for (;;) {
-    std::uint32_t size = 0;
-    if (std::fread(&size, sizeof(size), 1, file_) != 1) break;
-    std::vector<std::uint8_t> buf(size);
-    if (size > 0 && std::fread(buf.data(), size, 1, file_) != 1) break;
-    BytesReader reader(buf);
-    auto rec = LogRecord::Deserialize(&reader);
-    if (!rec.ok()) break;
+    auto rec = ReadFrameLocked();
+    if (!rec.ok()) {
+      if (rec.status().IsCorruption()) {
+        SENTINEL_LOG(kWarn) << "log " << path
+                            << ": bad tail record, truncating ("
+                            << rec.status().ToString() << ")";
+      }
+      break;
+    }
     if (rec->lsn >= next_lsn_) next_lsn_ = rec->lsn + 1;
+    good_end = std::ftell(file_);
   }
   std::fseek(file_, 0, SEEK_END);
+  const long file_size = std::ftell(file_);
+  if (file_size > good_end) {
+    truncated_bytes_.store(static_cast<std::uint64_t>(file_size - good_end),
+                           std::memory_order_relaxed);
+    if (::ftruncate(::fileno(file_), good_end) != 0) {
+      return Status::IOError("cannot truncate corrupt log tail: " + path);
+    }
+    std::fseek(file_, 0, SEEK_END);
+  }
   return Status::OK();
 }
 
@@ -44,6 +103,7 @@ Status LogManager::Close() {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::OK();
   std::fflush(file_);
+  ::fsync(::fileno(file_));
   std::fclose(file_);
   file_ = nullptr;
   return Status::OK();
@@ -52,19 +112,56 @@ Status LogManager::Close() {
 Result<Lsn> LogManager::Append(LogRecord record) {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::IOError("log manager not open");
+  if (wedged_) {
+    return Status::IOError(
+        "log wedged after a partial append; reopen to truncate the tail");
+  }
   record.lsn = next_lsn_++;
-  BytesWriter writer;
-  record.Serialize(&writer);
-  const std::uint32_t size = static_cast<std::uint32_t>(writer.size());
-  if (std::fwrite(&size, sizeof(size), 1, file_) != 1 ||
-      std::fwrite(writer.data().data(), size, 1, file_) != 1) {
+  BytesWriter payload;
+  record.Serialize(&payload);
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = Crc32(payload.data().data(), payload.size());
+  BytesWriter frame;
+  frame.PutU32(size);
+  frame.PutU32(crc);
+  frame.PutRaw(payload.data().data(), payload.size());
+
+  if (FailPointRegistry::AnyActive()) {
+    FailPointAction action =
+        FailPointRegistry::Instance().Evaluate("wal.append");
+    if (action.mode == FailPointMode::kReturnError) {
+      // Nothing written: withdraw the LSN so the sequence stays dense.
+      --next_lsn_;
+      return action.ToStatus("wal.append");
+    }
+    if (action.mode == FailPointMode::kTornWrite) {
+      // Write a strict prefix of the frame then fail — exactly what a crash
+      // mid-append leaves behind. The log is wedged until reopen.
+      const std::size_t n =
+          action.torn_bytes != 0
+              ? std::min<std::size_t>(action.torn_bytes, frame.size() - 1)
+              : frame.size() / 2;
+      std::fwrite(frame.data().data(), 1, n, file_);
+      std::fflush(file_);
+      wedged_ = true;
+      return Status::IOError("torn append injected at lsn " +
+                             std::to_string(record.lsn));
+    }
+  }
+
+  if (std::fwrite(frame.data().data(), frame.size(), 1, file_) != 1) {
+    // The write may have landed partially; refuse further appends so the
+    // only possible corruption is at the tail, where Open() truncates it.
+    wedged_ = true;
     return Status::IOError("cannot append log record");
   }
+  SENTINEL_FAILPOINT("wal.append.after");
   const bool force = record.type == LogRecordType::kCommit ||
                      record.type == LogRecordType::kAbort ||
                      record.type == LogRecordType::kCheckpoint;
-  if (force && std::fflush(file_) != 0) {
-    return Status::IOError("cannot flush log");
+  if (force) {
+    SENTINEL_FAILPOINT("wal.flush");
+    SENTINEL_RETURN_NOT_OK(FlushLocked());
   }
   return record.lsn;
 }
@@ -77,6 +174,7 @@ Status LogManager::Truncate() {
   if (file_ == nullptr) {
     return Status::IOError("cannot truncate log file: " + path_);
   }
+  wedged_ = false;
   // next_lsn_ keeps counting: page LSNs stamped before the checkpoint stay
   // larger than any future log record would otherwise be.
   return Status::OK();
@@ -85,7 +183,16 @@ Status LogManager::Truncate() {
 Status LogManager::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::IOError("log manager not open");
+  SENTINEL_FAILPOINT("wal.flush");
+  return FlushLocked();
+}
+
+Status LogManager::FlushLocked() {
   if (std::fflush(file_) != 0) return Status::IOError("cannot flush log");
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError("cannot fsync log: " + path_);
+  }
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -96,13 +203,8 @@ Status LogManager::Scan(const std::function<Status(const LogRecord&)>& fn) {
   std::fseek(file_, 0, SEEK_SET);
   Status result;
   for (;;) {
-    std::uint32_t size = 0;
-    if (std::fread(&size, sizeof(size), 1, file_) != 1) break;
-    std::vector<std::uint8_t> buf(size);
-    if (size > 0 && std::fread(buf.data(), size, 1, file_) != 1) break;
-    BytesReader reader(buf);
-    auto rec = LogRecord::Deserialize(&reader);
-    if (!rec.ok()) break;  // torn tail == end of log
+    auto rec = ReadFrameLocked();
+    if (!rec.ok()) break;  // torn/corrupt tail == end of log
     result = fn(*rec);
     if (!result.ok()) break;
   }

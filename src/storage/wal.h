@@ -1,6 +1,7 @@
 #ifndef SENTINEL_STORAGE_WAL_H_
 #define SENTINEL_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <mutex>
@@ -13,12 +14,21 @@
 namespace sentinel::storage {
 
 /// Append-only write-ahead log. Each entry on disk is:
-///   u32 payload_size | payload (serialized LogRecord)
+///   u32 payload_size | u32 crc32(payload) | payload (serialized LogRecord)
 ///
 /// LSNs are assigned densely (1, 2, 3, ...) at append time. Commit records
-/// force a flush (WAL rule: log hits stable storage before the commit
-/// returns); data pages carry the LSN of their last modification so recovery
-/// can skip already-applied redo.
+/// force a flush + fsync (WAL rule: log hits *stable storage* before the
+/// commit returns); data pages carry the LSN of their last modification so
+/// recovery can skip already-applied redo.
+///
+/// The CRC makes a torn or corrupted tail detectable: Open() scans the log,
+/// truncates the file at the first bad record (short frame, checksum
+/// mismatch, or undecodable payload), and never replays garbage. A failed
+/// append that may have left partial bytes wedges the log — further appends
+/// are refused until reopen — so corruption can only ever be at the tail.
+///
+/// Failpoints: `wal.open`, `wal.append` (supports torn-write),
+/// `wal.append.after`, `wal.flush`.
 class LogManager {
  public:
   LogManager() = default;
@@ -31,15 +41,16 @@ class LogManager {
   Status Close();
 
   /// Appends `record`, assigning and returning its LSN. The record's lsn
-  /// field is overwritten.
+  /// field is overwritten. Commit/abort/checkpoint records are forced to
+  /// stable storage before returning.
   Result<Lsn> Append(LogRecord record);
 
-  /// Flushes buffered log entries to the OS.
+  /// Flushes buffered log entries to stable storage (fflush + fsync).
   Status Flush();
 
   /// Truncates the log to empty, preserving the LSN sequence. Only valid
   /// when every logged effect is already durable in the data file
-  /// (checkpoint with no active transactions).
+  /// (checkpoint with no active transactions). Clears a wedged log.
   Status Truncate();
 
   /// Replays the whole log in LSN order, invoking `fn` per record. Used by
@@ -49,11 +60,33 @@ class LogManager {
 
   Lsn next_lsn() const;
 
+  /// Bytes discarded from the tail by the last Open() (0 = clean log).
+  std::uint64_t truncated_bytes() const {
+    return truncated_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Completed fsync barriers (forced appends + explicit flushes).
+  std::uint64_t sync_count() const {
+    return sync_count_.load(std::memory_order_relaxed);
+  }
+  /// True after a failed append left possibly-partial bytes at the tail.
+  bool wedged() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return wedged_;
+  }
+
  private:
+  /// Reads one frame at the current position; distinguishes a good record
+  /// from a bad/absent tail (bad == Corruption, clean EOF == NotFound).
+  Result<LogRecord> ReadFrameLocked();
+  Status FlushLocked();
+
   mutable std::mutex mu_;
   std::FILE* file_ = nullptr;
   std::string path_;
   Lsn next_lsn_ = 1;
+  bool wedged_ = false;
+  std::atomic<std::uint64_t> truncated_bytes_{0};
+  std::atomic<std::uint64_t> sync_count_{0};
 };
 
 }  // namespace sentinel::storage

@@ -1,5 +1,7 @@
 #include "txn/nested_txn.h"
 
+#include "common/failpoint.h"
+
 namespace sentinel::txn {
 
 Result<SubTxnId> NestedTransactionManager::Begin(TopTxnId top,
@@ -72,6 +74,9 @@ Status NestedTransactionManager::Acquire(SubTxnId sub,
     return Status::InvalidArgument("subtransaction not active: " +
                                    std::to_string(sub));
   }
+  // Fault site: an injected failure here models lock-table trouble inside a
+  // rule's subtransaction; the scheduler contains it to that rule.
+  SENTINEL_FAILPOINT("nested.acquire");
   auto& state_ptr = locks_[key];
   if (state_ptr == nullptr) state_ptr = std::make_unique<LockState>();
   LockState& state = *state_ptr;

@@ -1,0 +1,202 @@
+// Crash-consistency matrix: a child process runs a commit workload with a
+// crash failpoint armed at one WAL/disk choke point, dies mid-operation via
+// std::_Exit (stdio buffers lost, fsync'd bytes kept — a process crash), and
+// the parent reopens the database and checks the fundamental invariant:
+//
+//   every commit the child observed as successful is visible after recovery;
+//   the never-committed transaction is not.
+//
+// The child records each acknowledged commit in a progress file using raw
+// write()+fsync(), which survives _Exit.
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "storage/storage_engine.h"
+
+namespace sentinel {
+namespace {
+
+using storage::PageId;
+using storage::StorageEngine;
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+/// Appends one line to the progress file, durably (raw fd: survives _Exit).
+void RecordProgress(int fd, const std::string& line) {
+  const std::string out = line + "\n";
+  if (::write(fd, out.data(), out.size()) !=
+      static_cast<ssize_t>(out.size())) {
+    std::_Exit(7);
+  }
+  if (::fsync(fd) != 0) std::_Exit(7);
+}
+
+constexpr int kRounds = 8;
+
+/// Child body. Exits 42 if the armed crash failpoint fired, 0 if the
+/// workload completed without the site being exercised, 7 on harness bugs.
+[[noreturn]] void ChildWorkload(const std::string& prefix,
+                                const std::string& progress_path,
+                                const std::string& failpoint_config) {
+  int fd = ::open(progress_path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) std::_Exit(7);
+
+  StorageEngine engine;
+  if (!engine.Open(prefix).ok()) std::_Exit(7);
+  auto file = engine.CreateHeapFile();
+  if (!file.ok()) std::_Exit(7);
+  RecordProgress(fd, "file " + std::to_string(*file));
+
+  // A committed baseline and a never-committed loser, both before the fault
+  // is armed: recovery must keep the first and roll back the second no
+  // matter where the crash lands.
+  {
+    auto txn = engine.Begin();
+    if (!txn.ok() || !engine.Insert(*txn, *file, Bytes("base")).ok() ||
+        !engine.Commit(*txn).ok()) {
+      std::_Exit(7);
+    }
+    RecordProgress(fd, "commit base");
+  }
+  auto loser = engine.Begin();
+  if (!loser.ok() || !engine.Insert(*loser, *file, Bytes("loser")).ok()) {
+    std::_Exit(7);
+  }
+
+  if (!FailPointRegistry::Instance().Configure(failpoint_config).ok()) {
+    std::_Exit(7);
+  }
+
+  // Commit rounds; a crash can land inside any Insert/Commit/Checkpoint.
+  // Only commits that RETURNED OK are recorded — the invariant under test.
+  for (int i = 0; i < kRounds; ++i) {
+    const std::string name = "round-" + std::to_string(i);
+    auto txn = engine.Begin();
+    if (!txn.ok()) break;
+    if (!engine.Insert(*txn, *file, Bytes(name)).ok()) {
+      (void)engine.Abort(*txn);
+      continue;
+    }
+    if (engine.Commit(*txn).ok()) {
+      RecordProgress(fd, "commit " + name);
+    }
+    // Push dirty pages through disk.write/disk.sync sites as well.
+    (void)engine.Checkpoint();
+  }
+  std::_Exit(0);  // site never fired (or only injected errors): fine too
+}
+
+class CrashMatrixTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    std::string name = GetParam();
+    for (char& c : name) {
+      if (c == '.' || c == '=' || c == '(' || c == ')') c = '_';
+    }
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("sentinel_crash_matrix_" + std::to_string(::getpid()) + "_" +
+             name))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    FailPointRegistry::Instance().DisableAll();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_P(CrashMatrixTest, CommittedSurvivesUncommittedRollsBack) {
+  const std::string prefix = dir_ + "/db";
+  const std::string progress_path = dir_ + "/progress";
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) ChildWorkload(prefix, progress_path, GetParam());
+
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(pid, &wait_status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wait_status)) << "child killed by signal "
+                                      << WTERMSIG(wait_status);
+  const int code = WEXITSTATUS(wait_status);
+  ASSERT_TRUE(code == kFailPointCrashExitCode || code == 0)
+      << "unexpected child exit code " << code;
+
+  // Parse the durably-recorded progress.
+  std::set<std::string> acknowledged;
+  PageId file = storage::kInvalidPageId;
+  std::ifstream progress(progress_path);
+  std::string line;
+  while (std::getline(progress, line)) {
+    std::istringstream in(line);
+    std::string verb, arg;
+    in >> verb >> arg;
+    if (verb == "file") {
+      file = static_cast<PageId>(std::stoul(arg));
+    } else if (verb == "commit") {
+      acknowledged.insert(arg == "base" ? "base" : arg);
+    }
+  }
+  ASSERT_NE(file, storage::kInvalidPageId);
+  ASSERT_TRUE(acknowledged.count("base"));
+
+  // Reopen (runs recovery) and collect what survived.
+  StorageEngine engine;
+  ASSERT_TRUE(engine.Open(prefix).ok());
+  auto txn = engine.Begin();
+  ASSERT_TRUE(txn.ok());
+  std::set<std::string> visible;
+  ASSERT_TRUE(engine
+                  .Scan(*txn, file,
+                        [&](const storage::Rid&,
+                            const std::vector<std::uint8_t>& rec) {
+                          visible.insert(std::string(rec.begin(), rec.end()));
+                          return Status::OK();
+                        })
+                  .ok());
+  ASSERT_TRUE(engine.Commit(*txn).ok());
+  ASSERT_TRUE(engine.Close().ok());
+
+  // Invariants: acknowledged ⊆ visible; the loser never reappears.
+  acknowledged.erase("base");
+  EXPECT_TRUE(visible.count("base"));
+  EXPECT_FALSE(visible.count("loser"))
+      << "uncommitted transaction resurrected after crash";
+  for (const std::string& name : acknowledged) {
+    EXPECT_TRUE(visible.count(name))
+        << "acknowledged commit '" << name << "' lost after crash at "
+        << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sites, CrashMatrixTest,
+    ::testing::Values("wal.append=crash(hit=1)",      //
+                      "wal.append=crash(hit=3)",      //
+                      "wal.append.after=crash(hit=1)",//
+                      "wal.flush=crash(hit=1)",       //
+                      "wal.flush=crash(hit=3)",       //
+                      "disk.write=crash(hit=1)",      //
+                      "disk.sync=crash(hit=1)",       //
+                      "disk.sync.after=crash(hit=1)", //
+                      "disk.extend=crash(hit=1)",     //
+                      "disk.header=crash(hit=1)"));
+
+}  // namespace
+}  // namespace sentinel

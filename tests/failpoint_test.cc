@@ -1,0 +1,330 @@
+// Tests for the failpoint fault-injection subsystem and the crash-consistency
+// hardening it exercises: spec parsing, trigger semantics, DiskManager retry
+// healing, and WAL checksum truncation of torn/corrupt tails.
+
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/wal.h"
+
+namespace sentinel {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPointRegistry::Instance().DisableAll();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("sentinel_failpoint_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    FailPointRegistry::Instance().DisableAll();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string dir_;
+  FailPointRegistry& registry() { return FailPointRegistry::Instance(); }
+};
+
+TEST_F(FailPointTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(FailPointSpec::Parse("").ok());
+  EXPECT_FALSE(FailPointSpec::Parse("explode").ok());
+  EXPECT_FALSE(FailPointSpec::Parse("error(hit=").ok());
+  EXPECT_FALSE(FailPointSpec::Parse("error(hit=x)").ok());
+  EXPECT_FALSE(FailPointSpec::Parse("error(hit=0)").ok());
+  EXPECT_FALSE(FailPointSpec::Parse("error(prob=1.5)").ok());
+  EXPECT_FALSE(FailPointSpec::Parse("error(frequency=2)").ok());
+}
+
+TEST_F(FailPointTest, ParseAcceptsFullGrammar) {
+  auto spec = FailPointSpec::Parse("torn(hit=3,count=2,bytes=7,msg=oops)");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->mode, FailPointMode::kTornWrite);
+  EXPECT_EQ(spec->start_hit, 3);
+  EXPECT_EQ(spec->max_fires, 2);
+  EXPECT_EQ(spec->torn_bytes, 7u);
+  EXPECT_EQ(spec->message, "oops");
+
+  auto plain = FailPointSpec::Parse("crash");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->mode, FailPointMode::kCrashAfter);
+  EXPECT_EQ(plain->max_fires, 0);  // unlimited (crash only fires once anyway)
+
+  // hit=N alone implies a single fire.
+  auto once = FailPointSpec::Parse("error(hit=5)");
+  ASSERT_TRUE(once.ok());
+  EXPECT_EQ(once->start_hit, 5);
+  EXPECT_EQ(once->max_fires, 1);
+}
+
+TEST_F(FailPointTest, SpecToStringRoundTrips) {
+  for (const char* text :
+       {"error(hit=3)", "torn(count=2,bytes=7)", "delay(ms=5)", "crash"}) {
+    auto spec = FailPointSpec::Parse(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    auto again = FailPointSpec::Parse(spec->ToString());
+    ASSERT_TRUE(again.ok()) << spec->ToString();
+    EXPECT_EQ(again->mode, spec->mode);
+    EXPECT_EQ(again->start_hit, spec->start_hit);
+    EXPECT_EQ(again->max_fires, spec->max_fires);
+  }
+}
+
+TEST_F(FailPointTest, HitAndCountTriggers) {
+  ASSERT_TRUE(registry().Enable("t.point", "error(hit=3,count=2)").ok());
+  EXPECT_TRUE(FailPointRegistry::AnyActive());
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(registry().Evaluate("t.point").fired());
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, false, false}));
+  EXPECT_EQ(registry().hits("t.point"), 6u);
+  EXPECT_EQ(registry().fires("t.point"), 2u);
+}
+
+TEST_F(FailPointTest, UnarmedNamesAreInert) {
+  EXPECT_FALSE(registry().Evaluate("never.armed").fired());
+  ASSERT_TRUE(registry().Enable("some.point", "error").ok());
+  EXPECT_FALSE(registry().Evaluate("other.point").fired());
+  EXPECT_TRUE(registry().Evaluate("some.point").fired());
+}
+
+TEST_F(FailPointTest, DisableAndDisableAll) {
+  ASSERT_TRUE(registry().Enable("a", "error").ok());
+  ASSERT_TRUE(registry().Enable("b", "error").ok());
+  EXPECT_TRUE(registry().Disable("a"));
+  EXPECT_FALSE(registry().Disable("a"));  // already gone
+  EXPECT_FALSE(registry().Evaluate("a").fired());
+  EXPECT_TRUE(FailPointRegistry::AnyActive());  // b still armed
+  registry().DisableAll();
+  EXPECT_FALSE(FailPointRegistry::AnyActive());
+  EXPECT_FALSE(registry().Evaluate("b").fired());
+}
+
+TEST_F(FailPointTest, ConfigureParsesEnvFormat) {
+  ASSERT_TRUE(registry().Configure("a=error(hit=2); b=delay(ms=1)").ok());
+  EXPECT_EQ(registry().List().size(), 2u);
+  EXPECT_FALSE(registry().Evaluate("a").fired());
+  EXPECT_TRUE(registry().Evaluate("a").fired());
+  EXPECT_FALSE(registry().Configure("broken").ok());
+  EXPECT_FALSE(registry().Configure("a=explode").ok());
+}
+
+TEST_F(FailPointTest, ProbabilityZeroNeverFires) {
+  ASSERT_TRUE(registry().Enable("p", "error(prob=0.0)").ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(registry().Evaluate("p").fired());
+  }
+}
+
+TEST_F(FailPointTest, InjectedErrorCarriesSiteAndMessage) {
+  ASSERT_TRUE(registry().Enable("site.x", "error").ok());
+  Status st = registry().Evaluate("site.x").ToStatus("site.x");
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_NE(st.ToString().find("site.x"), std::string::npos);
+
+  ASSERT_TRUE(registry().Enable("site.y", "error(msg=custom text)").ok());
+  Status custom = registry().Evaluate("site.y").ToStatus("site.y");
+  EXPECT_NE(custom.ToString().find("custom text"), std::string::npos);
+}
+
+// --- DiskManager: retry healing + failpoint coverage -----------------------
+
+TEST_F(FailPointTest, DiskWriteTransientErrorIsRetried) {
+  storage::DiskManager disk;
+  ASSERT_TRUE(disk.Open(dir_ + "/db").ok());
+  auto page_id = disk.AllocatePage();
+  ASSERT_TRUE(page_id.ok());
+  storage::Page page;
+  page.set_page_id(*page_id);
+
+  // One injected failure: the bounded-backoff retry loop must absorb it.
+  ASSERT_TRUE(registry().Enable("disk.write", "error(hit=1)").ok());
+  EXPECT_TRUE(disk.WritePage(page).ok());
+  EXPECT_GE(disk.io_retries(), 1u);
+  ASSERT_TRUE(disk.Close().ok());
+}
+
+TEST_F(FailPointTest, DiskWritePersistentErrorFailsAfterBoundedAttempts) {
+  storage::DiskManager disk;
+  ASSERT_TRUE(disk.Open(dir_ + "/db").ok());
+  auto page_id = disk.AllocatePage();
+  ASSERT_TRUE(page_id.ok());
+  storage::Page page;
+  page.set_page_id(*page_id);
+
+  ASSERT_TRUE(registry().Enable("disk.write", "error").ok());  // every hit
+  EXPECT_FALSE(disk.WritePage(page).ok());
+  // All attempts consumed the failpoint; the loop is bounded, not infinite.
+  EXPECT_LE(registry().fires("disk.write"), 8u);
+  registry().DisableAll();
+  EXPECT_TRUE(disk.WritePage(page).ok());  // healthy again
+  ASSERT_TRUE(disk.Close().ok());
+}
+
+TEST_F(FailPointTest, DiskReadAndSyncFailpointsFire) {
+  storage::DiskManager disk;
+  ASSERT_TRUE(disk.Open(dir_ + "/db").ok());
+  auto page_id = disk.AllocatePage();
+  ASSERT_TRUE(page_id.ok());
+
+  ASSERT_TRUE(registry().Enable("disk.read", "error(count=0)").ok());
+  storage::Page page;
+  EXPECT_FALSE(disk.ReadPage(*page_id, &page).ok());
+  registry().DisableAll();
+  EXPECT_TRUE(disk.ReadPage(*page_id, &page).ok());
+
+  ASSERT_TRUE(registry().Enable("disk.sync", "error").ok());
+  EXPECT_FALSE(disk.Sync().ok());
+  registry().DisableAll();
+  const std::uint64_t before = disk.sync_count();
+  EXPECT_TRUE(disk.Sync().ok());
+  EXPECT_GT(disk.sync_count(), before);  // real fsync barrier completed
+  ASSERT_TRUE(disk.Close().ok());
+}
+
+TEST_F(FailPointTest, BufferPoolEvictionFailpointSurfacesError) {
+  storage::DiskManager disk;
+  ASSERT_TRUE(disk.Open(dir_ + "/db").ok());
+  storage::BufferPool pool(&disk, /*capacity=*/2);
+  // Fill the pool with dirty pages, then force an eviction under a failing
+  // disk: the eviction flush error must surface to the caller.
+  for (int i = 0; i < 2; ++i) {
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE(pool.UnpinPage((*page)->page_id(), /*dirty=*/true).ok());
+  }
+  ASSERT_TRUE(registry().Enable("bufferpool.evict", "error").ok());
+  EXPECT_FALSE(pool.NewPage().ok());
+  registry().DisableAll();
+  EXPECT_TRUE(pool.NewPage().ok());
+  ASSERT_TRUE(disk.Close().ok());
+}
+
+// --- WAL: torn writes, wedging, checksum truncation ------------------------
+
+storage::LogRecord MakeRecord(storage::TxnId txn) {
+  storage::LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = storage::LogRecordType::kUpdate;
+  rec.rid = storage::Rid{1, 1};
+  rec.before = {1, 2, 3};
+  rec.after = {4, 5, 6, 7};
+  return rec;
+}
+
+TEST_F(FailPointTest, WalInjectedErrorKeepsLsnsDense) {
+  storage::LogManager log;
+  ASSERT_TRUE(log.Open(dir_ + "/wal").ok());
+  ASSERT_TRUE(log.Append(MakeRecord(1)).ok());
+  ASSERT_TRUE(registry().Enable("wal.append", "error(hit=1)").ok());
+  EXPECT_FALSE(log.Append(MakeRecord(1)).ok());
+  registry().DisableAll();
+  // A pure injected error writes nothing, so it must not burn an LSN.
+  auto lsn = log.Append(MakeRecord(1));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 2u);
+  EXPECT_FALSE(log.wedged());
+  ASSERT_TRUE(log.Close().ok());
+}
+
+TEST_F(FailPointTest, WalTornAppendWedgesLogAndReopenTruncates) {
+  {
+    storage::LogManager log;
+    ASSERT_TRUE(log.Open(dir_ + "/wal").ok());
+    ASSERT_TRUE(log.Append(MakeRecord(1)).ok());
+    ASSERT_TRUE(log.Flush().ok());
+
+    ASSERT_TRUE(registry().Enable("wal.append", "torn(hit=1)").ok());
+    EXPECT_FALSE(log.Append(MakeRecord(2)).ok());
+    registry().DisableAll();
+
+    // Partial bytes may be on disk: the log refuses to write past them.
+    EXPECT_TRUE(log.wedged());
+    EXPECT_FALSE(log.Append(MakeRecord(2)).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  storage::LogManager log;
+  ASSERT_TRUE(log.Open(dir_ + "/wal").ok());
+  EXPECT_GT(log.truncated_bytes(), 0u);  // torn tail chopped off
+  EXPECT_FALSE(log.wedged());
+  int count = 0;
+  ASSERT_TRUE(log.Scan([&](const storage::LogRecord&) {
+                   ++count;
+                   return Status::OK();
+                 }).ok());
+  EXPECT_EQ(count, 1);  // only the intact record survives
+  // The log is writable again and LSNs continue past the good prefix.
+  auto lsn = log.Append(MakeRecord(3));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 2u);
+  ASSERT_TRUE(log.Close().ok());
+}
+
+TEST_F(FailPointTest, WalChecksumDetectsBitFlip) {
+  const std::string path = dir_ + "/wal";
+  long first_record_end = 0;
+  {
+    storage::LogManager log;
+    ASSERT_TRUE(log.Open(path).ok());
+    ASSERT_TRUE(log.Append(MakeRecord(1)).ok());
+    ASSERT_TRUE(log.Flush().ok());
+    first_record_end = static_cast<long>(std::filesystem::file_size(path));
+    ASSERT_TRUE(log.Append(MakeRecord(2)).ok());
+    ASSERT_TRUE(log.Append(MakeRecord(2)).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  // Flip one payload byte inside the second record.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, first_record_end + 10, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, first_record_end + 10, SEEK_SET), 0);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+  storage::LogManager log;
+  ASSERT_TRUE(log.Open(path).ok());
+  // Everything from the corrupt record on is discarded — garbage is never
+  // replayed, at the cost of losing the (also unreplayable) suffix.
+  EXPECT_GT(log.truncated_bytes(), 0u);
+  int count = 0;
+  ASSERT_TRUE(log.Scan([&](const storage::LogRecord& r) {
+                   EXPECT_EQ(r.txn_id, 1u);
+                   ++count;
+                   return Status::OK();
+                 }).ok());
+  EXPECT_EQ(count, 1);
+  ASSERT_TRUE(log.Close().ok());
+}
+
+TEST_F(FailPointTest, WalFlushFailpointSurfacesOnCommitForce) {
+  storage::LogManager log;
+  ASSERT_TRUE(log.Open(dir_ + "/wal").ok());
+  storage::LogRecord commit;
+  commit.txn_id = 1;
+  commit.type = storage::LogRecordType::kCommit;
+  ASSERT_TRUE(registry().Enable("wal.flush", "error(hit=1)").ok());
+  EXPECT_FALSE(log.Append(commit).ok());  // commit force hits the failpoint
+  registry().DisableAll();
+  EXPECT_TRUE(log.Append(commit).ok());
+  EXPECT_GE(log.sync_count(), 1u);
+  ASSERT_TRUE(log.Close().ok());
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -6,9 +6,11 @@
 #include <chrono>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "rules/thread_pool.h"
 
 namespace sentinel::rules {
@@ -61,6 +63,8 @@ class SchedulerTest : public ::testing::Test {
   SchedulerTest()
       : scheduler_(&nested_, nullptr,
                    RuleScheduler::Options{SchedulingPolicy::kSerial, 2}) {}
+
+  void TearDown() override { FailPointRegistry::Instance().DisableAll(); }
 
   Firing MakeFiring(Rule* rule, int priority, storage::TxnId txn = 1) {
     Firing f;
@@ -200,6 +204,101 @@ TEST_F(SchedulerTest, SubtransactionsCleanedUpAfterDrain) {
   scheduler_.Drain();
   EXPECT_EQ(nested_.active_count(), 0u);
   EXPECT_EQ(scheduler_.executed_count(), 10u);
+}
+
+TEST_F(SchedulerTest, ThrowingActionIsContained) {
+  // A rule whose action throws must not take the process down: its
+  // subtransaction is aborted, the failure is counted and reported to the
+  // observer, and later rules still run.
+  std::vector<Status> statuses;
+  std::mutex mu;
+  scheduler_.SetExecutionObserver([&](const Firing&, bool, Status st) {
+    std::lock_guard<std::mutex> lock(mu);
+    statuses.push_back(std::move(st));
+  });
+  auto bomb = std::make_unique<Rule>("bomb", "e", nullptr,
+                                     [](const RuleContext&) {
+                                       throw std::runtime_error("boom");
+                                     });
+  std::atomic<bool> survivor_ran{false};
+  auto survivor = std::make_unique<Rule>(
+      "survivor", "e", nullptr,
+      [&survivor_ran](const RuleContext&) { survivor_ran = true; });
+  scheduler_.Enqueue(MakeFiring(bomb.get(), 9));
+  scheduler_.Enqueue(MakeFiring(survivor.get(), 1));
+  scheduler_.Drain();
+  EXPECT_TRUE(survivor_ran);
+  EXPECT_EQ(scheduler_.failed_count(), 1u);
+  EXPECT_EQ(scheduler_.executed_count(), 1u);
+  EXPECT_EQ(nested_.active_count(), 0u);  // failed subtxn was aborted
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_FALSE(statuses[0].ok());  // bomb ran first (priority 9)
+  EXPECT_NE(statuses[0].ToString().find("boom"), std::string::npos);
+  EXPECT_TRUE(statuses[1].ok());
+}
+
+TEST_F(SchedulerTest, ThrowingConditionIsContained) {
+  auto rule = std::make_unique<Rule>(
+      "r", "e",
+      [](const RuleContext&) -> bool { throw std::runtime_error("cond"); },
+      [](const RuleContext&) { FAIL() << "action must not run"; });
+  scheduler_.Enqueue(MakeFiring(rule.get(), 1));
+  scheduler_.Drain();
+  EXPECT_EQ(scheduler_.failed_count(), 1u);
+  EXPECT_EQ(scheduler_.executed_count(), 0u);
+  EXPECT_EQ(nested_.active_count(), 0u);
+  EXPECT_EQ(rule->fired_count(), 0u);
+}
+
+TEST_F(SchedulerTest, FailpointInjectedRuleFailure) {
+  ASSERT_TRUE(FailPointRegistry::Instance()
+                  .Enable("scheduler.execute", "error(hit=1)")
+                  .ok());
+  std::atomic<bool> second_ran{false};
+  auto first = std::make_unique<Rule>("first", "e", nullptr,
+                                      [](const RuleContext&) {});
+  auto second = std::make_unique<Rule>(
+      "second", "e", nullptr,
+      [&second_ran](const RuleContext&) { second_ran = true; });
+  scheduler_.Enqueue(MakeFiring(first.get(), 9));
+  scheduler_.Enqueue(MakeFiring(second.get(), 1));
+  scheduler_.Drain();
+  EXPECT_TRUE(second_ran);
+  EXPECT_EQ(scheduler_.failed_count(), 1u);
+  EXPECT_EQ(scheduler_.executed_count(), 1u);
+  EXPECT_EQ(first->fired_count(), 0u);  // injected failure before the action
+  EXPECT_EQ(nested_.active_count(), 0u);
+}
+
+TEST_F(SchedulerTest, AbortTopContingencyDropsPendingFirings) {
+  RuleScheduler scheduler(
+      &nested_, nullptr,
+      RuleScheduler::Options{SchedulingPolicy::kSerial, 2,
+                             ContingencyPolicy::kAbortTop});
+  auto bomb = std::make_unique<Rule>("bomb", "e", nullptr,
+                                     [](const RuleContext&) {
+                                       throw std::runtime_error("boom");
+                                     });
+  std::atomic<int> same_txn_ran{0};
+  auto same_txn = std::make_unique<Rule>(
+      "same", "e", nullptr,
+      [&same_txn_ran](const RuleContext&) { ++same_txn_ran; });
+  std::atomic<int> other_txn_ran{0};
+  auto other_txn = std::make_unique<Rule>(
+      "other", "e", nullptr,
+      [&other_txn_ran](const RuleContext&) { ++other_txn_ran; });
+  scheduler.Enqueue(MakeFiring(bomb.get(), 9, /*txn=*/7));
+  scheduler.Enqueue(MakeFiring(same_txn.get(), 5, /*txn=*/7));
+  scheduler.Enqueue(MakeFiring(same_txn.get(), 4, /*txn=*/7));
+  scheduler.Enqueue(MakeFiring(other_txn.get(), 1, /*txn=*/8));
+  scheduler.Drain();
+  // The doomed transaction's queued rules were dropped; the unrelated
+  // transaction's rule still ran.
+  EXPECT_EQ(same_txn_ran, 0);
+  EXPECT_EQ(other_txn_ran, 1);
+  EXPECT_EQ(scheduler.failed_count(), 1u);
+  EXPECT_EQ(scheduler.abort_top_count(), 1u);
+  EXPECT_EQ(nested_.active_count(), 0u);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "core/active_database.h"
 #include "debug/rule_debugger.h"
 #include "preproc/compiler.h"
@@ -106,6 +107,9 @@ void PrintHelp() {
   trace                    print the rule debugger trace
   dot                      print the event graph in DOT
   stats                    detector / scheduler statistics
+  failpoint list                     show armed failpoints
+  failpoint set <name> <spec>        arm one, e.g.: failpoint set wal.append error(hit=2)
+  failpoint clear [<name>]           disarm one (or all)
   help | quit
 )");
 }
@@ -136,6 +140,34 @@ int Run() {
       if (st.ok()) {
         shell.debugger.Attach(&shell.db);
         shell.open = true;
+      }
+    } else if (cmd == "failpoint") {
+      // Interactive fault drills: arm/disarm injection points while driving
+      // a live database (works with or without one open).
+      auto& registry = sentinel::FailPointRegistry::Instance();
+      const std::string sub = words.size() >= 2 ? words[1] : "list";
+      if (sub == "list") {
+        auto infos = registry.List();
+        if (infos.empty()) std::printf("  (no failpoints armed)\n");
+        for (const auto& info : infos) {
+          std::printf("  %s = %s  [hits %llu, fired %llu]\n",
+                      info.name.c_str(), info.spec.ToString().c_str(),
+                      static_cast<unsigned long long>(info.hits),
+                      static_cast<unsigned long long>(info.fires));
+        }
+      } else if (sub == "set" && words.size() >= 4) {
+        st = registry.Enable(words[2], words[3]);
+      } else if (sub == "clear") {
+        if (words.size() >= 3) {
+          if (!registry.Disable(words[2])) {
+            std::printf("error: no such failpoint '%s'\n", words[2].c_str());
+          }
+        } else {
+          registry.DisableAll();
+        }
+      } else {
+        std::printf("usage: failpoint list | set <name> <spec> | clear "
+                    "[<name>]\n");
       }
     } else if (!shell.open) {
       std::printf("error: no database open (use 'open <path>' or 'memory')\n");
