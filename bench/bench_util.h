@@ -1,9 +1,11 @@
 #ifndef SENTINEL_BENCH_BENCH_UTIL_H_
 #define SENTINEL_BENCH_BENCH_UTIL_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
+#include "common/pool.h"
 #include "core/active_database.h"
 
 namespace sentinel::bench {
@@ -14,7 +16,7 @@ using detector::ParamContext;
 using detector::ParamList;
 
 inline std::shared_ptr<const ParamList> OneIntParam(int v) {
-  auto params = std::make_shared<ParamList>();
+  auto params = common::MakePooled<ParamList>();
   params->Insert("v", oodb::Value::Int(v));
   return params;
 }
@@ -31,6 +33,15 @@ class CountingSink : public detector::EventSink {
  public:
   void OnEvent(const detector::Occurrence&, ParamContext) override { ++count; }
   std::size_t count = 0;
+};
+
+/// Thread-safe counting sink for multi-threaded Notify benchmarks.
+class AtomicCountingSink : public detector::EventSink {
+ public:
+  void OnEvent(const detector::Occurrence&, ParamContext) override {
+    count.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::atomic<std::size_t> count{0};
 };
 
 }  // namespace sentinel::bench

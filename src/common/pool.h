@@ -1,0 +1,139 @@
+#ifndef SENTINEL_COMMON_POOL_H_
+#define SENTINEL_COMMON_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace sentinel::common {
+
+namespace pool_internal {
+
+/// Per-thread freelist of fixed-size raw blocks. Allocation never contends:
+/// each thread recycles its own blocks; a block freed on a different thread
+/// from the one that allocated it simply joins the freeing thread's list
+/// (blocks are untyped memory, so lists mix freely across types of the same
+/// size). The freelist is capped so bursts cannot pin unbounded memory.
+///
+/// Thread-exit safety: the list lives behind a trivially-destructible
+/// thread_local pointer that the owning holder nulls in its destructor —
+/// deallocations arriving after the holder died (e.g. from other TLS
+/// destructors releasing shared_ptrs) fall back to plain operator delete.
+template <std::size_t kBlockSize>
+class Freelist {
+ public:
+  static void* Allocate() {
+    Freelist* list = Get();
+    if (list != nullptr && list->head_ != nullptr) {
+      Node* node = list->head_;
+      list->head_ = node->next;
+      --list->count_;
+      return node;
+    }
+    return ::operator new(kBlockSize);
+  }
+
+  static void Deallocate(void* p) noexcept {
+    Freelist* list = tls_;  // do not (re)construct the holder on a dying thread
+    if (list != nullptr && list->count_ < kMaxBlocks) {
+      Node* node = static_cast<Node*>(p);
+      node->next = list->head_;
+      list->head_ = node;
+      ++list->count_;
+      return;
+    }
+    ::operator delete(p);
+  }
+
+ private:
+  struct Node {
+    Node* next;
+  };
+  static_assert(kBlockSize >= sizeof(Node));
+
+  struct Holder {
+    Freelist list;
+    Holder() { tls_ = &list; }
+    ~Holder() {
+      tls_ = nullptr;
+      Node* node = list.head_;
+      while (node != nullptr) {
+        Node* next = node->next;
+        ::operator delete(node);
+        node = next;
+      }
+    }
+  };
+
+  static Freelist* Get() {
+    thread_local Holder holder;  // first use wires tls_; dtor unwires it
+    return tls_;
+  }
+
+  static constexpr std::size_t kMaxBlocks = 256;
+  static thread_local Freelist* tls_;
+
+  Node* head_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+template <std::size_t kBlockSize>
+thread_local Freelist<kBlockSize>* Freelist<kBlockSize>::tls_ = nullptr;
+
+constexpr std::size_t RoundBlockSize(std::size_t n) {
+  const std::size_t min = sizeof(void*);
+  const std::size_t size = n < min ? min : n;
+  return (size + min - 1) / min * min;
+}
+
+}  // namespace pool_internal
+
+/// Minimal std allocator backed by the per-thread freelist; intended for
+/// std::allocate_shared so the combined control-block + object allocation of
+/// hot-path shared_ptrs is recycled instead of hitting the heap every call.
+template <typename T>
+class ThreadLocalFreelistAllocator {
+ public:
+  using value_type = T;
+
+  ThreadLocalFreelistAllocator() noexcept = default;
+  template <typename U>
+  ThreadLocalFreelistAllocator(const ThreadLocalFreelistAllocator<U>&) noexcept {
+  }
+
+  T* allocate(std::size_t n) {
+    if (n == 1 && alignof(T) <= alignof(std::max_align_t)) {
+      using List = pool_internal::Freelist<pool_internal::RoundBlockSize(
+          sizeof(T))>;
+      return static_cast<T*>(List::Allocate());
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1 && alignof(T) <= alignof(std::max_align_t)) {
+      using List = pool_internal::Freelist<pool_internal::RoundBlockSize(
+          sizeof(T))>;
+      List::Deallocate(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  friend bool operator==(const ThreadLocalFreelistAllocator&,
+                         const ThreadLocalFreelistAllocator&) {
+    return true;
+  }
+};
+
+/// make_shared whose allocation is recycled through the thread-local pool.
+template <typename T, typename... Args>
+std::shared_ptr<T> MakePooled(Args&&... args) {
+  return std::allocate_shared<T>(ThreadLocalFreelistAllocator<T>{},
+                                 std::forward<Args>(args)...);
+}
+
+}  // namespace sentinel::common
+
+#endif  // SENTINEL_COMMON_POOL_H_

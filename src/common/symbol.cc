@@ -1,0 +1,62 @@
+#include "common/symbol.h"
+
+namespace sentinel::common {
+
+SymbolTable::~SymbolTable() {
+  const Snapshot* current = snapshot_.load(std::memory_order_acquire);
+  // The live snapshot is the last element of retired_; everything is owned.
+  (void)current;
+}
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  if (SymbolId id = TryLookup(name); id != kInvalidSymbol) return id;
+
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const Snapshot* current = snapshot_.load(std::memory_order_relaxed);
+  if (current != nullptr) {
+    auto it = current->ids.find(name);
+    if (it != current->ids.end()) return it->second;  // raced with a writer
+  }
+
+  auto next = std::make_unique<Snapshot>();
+  if (current != nullptr) *next = *current;
+  arena_.emplace_back(name);
+  const std::string& stored = arena_.back();
+  next->names.push_back(&stored);
+  const SymbolId id = static_cast<SymbolId>(next->names.size());
+  next->ids.emplace(std::string_view(stored), id);
+
+  const Snapshot* published = next.get();
+  retired_.push_back(std::move(next));
+  snapshot_.store(published, std::memory_order_release);
+  return id;
+}
+
+SymbolId SymbolTable::TryLookup(std::string_view name) const {
+  const Snapshot* current = snapshot_.load(std::memory_order_acquire);
+  if (current == nullptr) return kInvalidSymbol;
+  auto it = current->ids.find(name);
+  return it != current->ids.end() ? it->second : kInvalidSymbol;
+}
+
+const std::string& SymbolTable::NameOf(SymbolId id) const {
+  static const std::string kEmpty;
+  const Snapshot* current = snapshot_.load(std::memory_order_acquire);
+  if (current == nullptr || id == kInvalidSymbol ||
+      id > current->names.size()) {
+    return kEmpty;
+  }
+  return *current->names[id - 1];
+}
+
+std::size_t SymbolTable::size() const {
+  const Snapshot* current = snapshot_.load(std::memory_order_acquire);
+  return current != nullptr ? current->names.size() : 0;
+}
+
+SymbolTable& SymbolTable::Global() {
+  static SymbolTable* table = new SymbolTable();  // never destroyed
+  return *table;
+}
+
+}  // namespace sentinel::common

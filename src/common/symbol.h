@@ -1,0 +1,68 @@
+#ifndef SENTINEL_COMMON_SYMBOL_H_
+#define SENTINEL_COMMON_SYMBOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sentinel::common {
+
+/// Dense id of an interned string. 0 is reserved for "not interned".
+using SymbolId = std::uint32_t;
+constexpr SymbolId kInvalidSymbol = 0;
+
+/// Interns class names and method signatures into dense SymbolIds so the
+/// event-dispatch hot path compares integers instead of strings. The string
+/// forms are kept (NameOf) for display and persistence.
+///
+/// Concurrency: lookups are lock-free — the id map is published as an
+/// immutable snapshot through one atomic pointer; Intern takes a mutex only
+/// when it must add a new name (bounded by the schema size, not by traffic).
+/// Retired snapshots are kept until the table is destroyed: a reader that
+/// loaded an old snapshot can keep using it without hazard pointers. The
+/// retained memory is O(distinct names²) in map nodes across republishes,
+/// which is negligible for schema-sized name sets.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+  ~SymbolTable();
+
+  /// Returns the id of `name`, interning it on first use. Thread-safe;
+  /// lock-free when the name is already interned.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id of `name` or kInvalidSymbol if never interned. Lock-free.
+  SymbolId TryLookup(std::string_view name) const;
+
+  /// The string form of a valid id (ids are never recycled).
+  const std::string& NameOf(SymbolId id) const;
+
+  std::size_t size() const;
+
+  /// Process-wide table shared by all detectors (ids stay comparable across
+  /// the local detectors and the global event detector).
+  static SymbolTable& Global();
+
+ private:
+  struct Snapshot {
+    std::unordered_map<std::string_view, SymbolId> ids;
+    std::vector<const std::string*> names;  // names[id - 1]
+  };
+
+  mutable std::mutex write_mu_;
+  std::deque<std::string> arena_;  // stable addresses for string_view keys
+  std::vector<std::unique_ptr<const Snapshot>> retired_;
+  std::atomic<const Snapshot*> snapshot_{nullptr};
+};
+
+}  // namespace sentinel::common
+
+#endif  // SENTINEL_COMMON_SYMBOL_H_

@@ -1,6 +1,7 @@
 #include "core/active_database.h"
 
 #include "common/logging.h"
+#include "common/pool.h"
 
 namespace sentinel::core {
 
@@ -87,7 +88,7 @@ Status ActiveDatabase::OpenCommon(const Options& options) {
     for (const auto& constituent : firing.occurrence.constituents) {
       if (constituent->class_name == kRuleClass) return;
     }
-    auto params = std::make_shared<detector::ParamList>();
+    auto params = common::MakePooled<detector::ParamList>();
     params->Insert("rule", oodb::Value::String(firing.rule->name()));
     params->Insert("condition_held", oodb::Value::Bool(condition_held));
     params->Insert("depth", oodb::Value::Int(firing.depth));
@@ -132,7 +133,7 @@ Result<storage::TxnId> ActiveDatabase::Begin() {
   }
   // The begin_transaction event is always signalled at the beginning of a
   // transaction (§2.3).
-  auto params = std::make_shared<detector::ParamList>();
+  auto params = common::MakePooled<detector::ParamList>();
   params->Insert("txn", oodb::Value::Int(static_cast<std::int64_t>(txn)));
   SENTINEL_RETURN_NOT_OK(detector_->RaiseExplicit(kBeginTxnEvent, params, txn));
   scheduler_->Drain();
@@ -140,7 +141,7 @@ Result<storage::TxnId> ActiveDatabase::Begin() {
 }
 
 Status ActiveDatabase::Commit(storage::TxnId txn) {
-  auto params = std::make_shared<detector::ParamList>();
+  auto params = common::MakePooled<detector::ParamList>();
   params->Insert("txn", oodb::Value::Int(static_cast<std::int64_t>(txn)));
   // pre_commit is signalled before the commit (§2.3): deferred rules (A*
   // terminator) execute here, inside the transaction.
@@ -157,7 +158,7 @@ Status ActiveDatabase::Commit(storage::TxnId txn) {
 }
 
 Status ActiveDatabase::Abort(storage::TxnId txn) {
-  auto params = std::make_shared<detector::ParamList>();
+  auto params = common::MakePooled<detector::ParamList>();
   params->Insert("txn", oodb::Value::Int(static_cast<std::int64_t>(txn)));
   Status st;
   if (db_ != nullptr) st = db_->Abort(txn);

@@ -47,7 +47,7 @@ void EventLog::Serialize(const PrimitiveOccurrence& occurrence,
           : 0;
   out->PutU32(params);
   if (occurrence.params != nullptr) {
-    for (const auto& [name, value] : occurrence.params->entries()) {
+    for (const auto& [name, value] : *occurrence.params) {
       out->PutString(name);
       value.Serialize(out);
     }

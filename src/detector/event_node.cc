@@ -3,11 +3,37 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/pool.h"
 
 namespace sentinel::detector {
 
+namespace {
+
+/// Striped buffer mutexes shared by all event nodes in the process. Nodes
+/// are assigned stripes round-robin at construction so sibling nodes (built
+/// together when an expression is defined) land on distinct stripes. A
+/// stripe collision between unrelated nodes costs contention only, never
+/// deadlock: buffer locks are leaf locks (collect-then-emit).
+constexpr std::size_t kBufferStripes = 64;
+
+std::mutex& AssignBufferStripe() {
+  static std::array<std::mutex, kBufferStripes> stripes;
+  static std::atomic<std::size_t> next{0};
+  return stripes[next.fetch_add(1, std::memory_order_relaxed) %
+                 kBufferStripes];
+}
+
+}  // namespace
+
+EventNode::EventNode(std::string name)
+    : name_(std::move(name)), buffer_mu_(AssignBufferStripe()) {}
+
 void EventNode::AddParent(EventNode* parent, int port) {
-  parents_.push_back(ParentEdge{parent, port});
+  // Insert keeping descending port order (stable for equal ports).
+  auto it = std::find_if(
+      parents_.begin(), parents_.end(),
+      [port](const ParentEdge& edge) { return edge.port < port; });
+  parents_.insert(it, ParentEdge{parent, port});
 }
 
 void EventNode::AddSink(EventSink* sink) { sinks_.push_back(sink); }
@@ -19,7 +45,10 @@ void EventNode::RemoveSink(EventSink* sink) {
 void EventNode::AddContextRef(ParamContext context) {
   int& refs = context_refs_[static_cast<int>(context)];
   ++refs;
-  if (refs == 1) OnContextActivated(context);
+  if (refs == 1) {
+    active_contexts_.fetch_add(1, std::memory_order_release);
+    OnContextActivated(context);
+  }
   for (EventNode* child : Children()) {
     if (child != nullptr) child->AddContextRef(context);
   }
@@ -32,30 +61,59 @@ void EventNode::ReleaseContextRef(ParamContext context) {
     return;
   }
   --refs;
-  if (refs == 0) OnContextDeactivated(context);
+  if (refs == 0) {
+    active_contexts_.fetch_sub(1, std::memory_order_release);
+    OnContextDeactivated(context);
+  }
   for (EventNode* child : Children()) {
     if (child != nullptr) child->ReleaseContextRef(context);
   }
 }
 
 void EventNode::Emit(const Occurrence& occurrence, ParamContext context) {
-  // When the same event feeds several ports of one parent (e.g. SEQ(e, e)),
-  // terminator/closer ports must observe the operator state *before* this
-  // occurrence is buffered as an initiator — so deliver higher ports first.
-  std::vector<ParentEdge> ordered = parents_;
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const ParentEdge& a, const ParentEdge& b) {
-                     return a.port > b.port;
-                   });
-  for (const ParentEdge& edge : ordered) {
+  // parents_ is kept sorted by descending port (AddParent), so higher ports
+  // are delivered first without sorting per emission.
+  for (const ParentEdge& edge : parents_) {
     if (edge.node->ActiveIn(context)) {
       edge.node->Receive(edge.port, occurrence, context);
     }
   }
-  for (EventSink* sink : sinks_) {
+  if (sinks_.empty()) return;
+  // Snapshot the sink list: a sink's OnEvent may reentrantly call
+  // RemoveSink/Unsubscribe. Each delivery re-checks membership so sinks
+  // removed mid-emission (including by an earlier sink) are skipped.
+  EventSink* inline_snapshot[8];
+  std::vector<EventSink*> heap_snapshot;
+  EventSink** snapshot;
+  const std::size_t n = sinks_.size();
+  if (n <= std::size(inline_snapshot)) {
+    std::copy(sinks_.begin(), sinks_.end(), inline_snapshot);
+    snapshot = inline_snapshot;
+  } else {
+    heap_snapshot.assign(sinks_.begin(), sinks_.end());
+    snapshot = heap_snapshot.data();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EventSink* sink = snapshot[i];
+    if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) {
+      continue;  // removed reentrantly
+    }
     sink->OnEvent(occurrence, context);
   }
 }
+
+PrimitiveEventNode::PrimitiveEventNode(std::string name,
+                                       std::string class_name,
+                                       EventModifier modifier,
+                                       std::string method_signature,
+                                       oodb::Oid instance)
+    : EventNode(std::move(name)),
+      class_name_(std::move(class_name)),
+      modifier_(modifier),
+      method_signature_(std::move(method_signature)),
+      class_sym_(common::SymbolTable::Global().Intern(class_name_)),
+      method_sym_(common::SymbolTable::Global().Intern(method_signature_)),
+      instance_(instance) {}
 
 void PrimitiveEventNode::Signal(
     const std::shared_ptr<const PrimitiveOccurrence>& raw) {
@@ -63,7 +121,7 @@ void PrimitiveEventNode::Signal(
   // detection is labelled with the matching node's event name.
   std::shared_ptr<const PrimitiveOccurrence> labelled = raw;
   if (raw->event_name != name()) {
-    auto copy = std::make_shared<PrimitiveOccurrence>(*raw);
+    auto copy = common::MakePooled<PrimitiveOccurrence>(*raw);
     copy->event_name = name();
     labelled = std::move(copy);
   }

@@ -2,10 +2,13 @@
 #define SENTINEL_DETECTOR_EVENT_NODE_H_
 
 #include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/symbol.h"
 #include "detector/event_types.h"
 
 namespace sentinel::detector {
@@ -19,9 +22,19 @@ namespace sentinel::detector {
 /// containing the node, and decremented when the rule is disabled/deleted
 /// (§3.2.2 item 1). This is what lets one shared graph serve many rules in
 /// different contexts while avoiding the storage cost of unused contexts.
+///
+/// Locking discipline (two levels — see DESIGN.md "Concurrent dispatch"):
+/// graph *structure* (parents_/sinks_/context_refs_) is guarded by the
+/// detector's shared_mutex — mutated under the exclusive lock, read under
+/// the shared lock that every signalling path holds. Operator-node
+/// *occurrence buffers* are guarded by per-node striped mutexes (buffer_mu)
+/// so concurrent notifications serialize only when they touch the same
+/// node's state, never on one global lock. Buffer locks are leaf locks:
+/// never held across Emit (operators collect detections under the lock and
+/// emit after releasing it), so stripe sharing cannot deadlock.
 class EventNode {
  public:
-  explicit EventNode(std::string name) : name_(std::move(name)) {}
+  explicit EventNode(std::string name);
   virtual ~EventNode() = default;
 
   EventNode(const EventNode&) = delete;
@@ -55,6 +68,12 @@ class EventNode {
   int ContextRefs(ParamContext context) const {
     return context_refs_[static_cast<int>(context)];
   }
+  /// Number of contexts with a positive reference count. Lock-free: the
+  /// detector's Notify fast path uses it to skip nodes nobody subscribed to
+  /// without taking the graph lock.
+  int active_context_count() const {
+    return active_contexts_.load(std::memory_order_acquire);
+  }
 
   // -- Detection ---------------------------------------------------------------
 
@@ -80,12 +99,18 @@ class EventNode {
   std::size_t sink_count() const { return sinks_.size(); }
 
  protected:
-  /// Delivers a detection to all parents and sinks.
+  /// Delivers a detection to all parents and sinks. The sink list is
+  /// snapshotted and each delivery re-checks membership, so a sink that
+  /// reentrantly calls RemoveSink/Unsubscribe from OnEvent (e.g. a one-shot
+  /// rule removing itself) cannot invalidate the iteration.
   void Emit(const Occurrence& occurrence, ParamContext context);
 
   /// Called when a context transitions inactive->active / active->inactive.
   virtual void OnContextActivated(ParamContext context) { (void)context; }
   virtual void OnContextDeactivated(ParamContext context) { (void)context; }
+
+  /// This node's buffer lock (striped across nodes). Leaf lock only.
+  std::mutex& buffer_mu() const { return buffer_mu_; }
 
  private:
   struct ParentEdge {
@@ -94,9 +119,15 @@ class EventNode {
   };
 
   std::string name_;
+  // Kept sorted by descending port (see AddParent) so Emit needs no per-call
+  // sort: when one event feeds several ports of a parent (e.g. SEQ(e, e)),
+  // terminator/closer ports must observe the operator state *before* the
+  // occurrence is buffered as an initiator.
   std::vector<ParentEdge> parents_;
   std::vector<EventSink*> sinks_;
   std::array<int, kNumContexts> context_refs_{};
+  std::atomic<int> active_contexts_{0};
+  std::mutex& buffer_mu_;
 };
 
 /// Leaf node: a primitive event declared on (class, method, modifier), with
@@ -106,25 +137,28 @@ class PrimitiveEventNode : public EventNode {
  public:
   PrimitiveEventNode(std::string name, std::string class_name,
                      EventModifier modifier, std::string method_signature,
-                     oodb::Oid instance = oodb::kInvalidOid)
-      : EventNode(std::move(name)),
-        class_name_(std::move(class_name)),
-        modifier_(modifier),
-        method_signature_(std::move(method_signature)),
-        instance_(instance) {}
+                     oodb::Oid instance = oodb::kInvalidOid);
 
   const std::string& class_name() const { return class_name_; }
   EventModifier modifier() const { return modifier_; }
   const std::string& method_signature() const { return method_signature_; }
+  common::SymbolId class_sym() const { return class_sym_; }
+  common::SymbolId method_sym() const { return method_sym_; }
   oodb::Oid instance() const { return instance_; }
   bool is_instance_level() const { return instance_ != oodb::kInvalidOid; }
 
   /// True if a raw notification matches this node's declaration. The class
-  /// has already been matched by the detector's per-class node lists.
+  /// has already been matched by the detector's dispatch index. Compares
+  /// interned symbols; occurrences built outside the detector (no symbols
+  /// attached) fall back to the string form.
   bool Matches(const PrimitiveOccurrence& raw) const {
-    return raw.modifier == modifier_ &&
-           raw.method_signature == method_signature_ &&
-           (instance_ == oodb::kInvalidOid || raw.oid == instance_);
+    if (raw.modifier != modifier_) return false;
+    if (raw.method_sym != common::kInvalidSymbol
+            ? raw.method_sym != method_sym_
+            : raw.method_signature != method_signature_) {
+      return false;
+    }
+    return instance_ == oodb::kInvalidOid || raw.oid == instance_;
   }
 
   /// Accepts a raw notification from the detector: wraps it into an
@@ -138,6 +172,8 @@ class PrimitiveEventNode : public EventNode {
   std::string class_name_;
   EventModifier modifier_;
   std::string method_signature_;
+  common::SymbolId class_sym_;
+  common::SymbolId method_sym_;
   oodb::Oid instance_;
 };
 

@@ -26,7 +26,7 @@ std::string ParamList::ToString() const {
   std::ostringstream os;
   os << "{";
   bool first = true;
-  for (const auto& [name, value] : params_) {
+  for (const auto& [name, value] : *this) {
     if (!first) os << ", ";
     first = false;
     os << name << "=" << value.ToString();

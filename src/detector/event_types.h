@@ -1,12 +1,14 @@
 #ifndef SENTINEL_DETECTOR_EVENT_TYPES_H_
 #define SENTINEL_DETECTOR_EVENT_TYPES_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/symbol.h"
 #include "oodb/value.h"
 #include "storage/log_record.h"
 
@@ -36,32 +38,73 @@ const char* ParamContextToString(ParamContext c);
 /// wrapper method at invocation time. Immutable once attached to an
 /// occurrence; shared by pointer through the graph (no copying — §3.2.2
 /// item 2).
+///
+/// Storage is a small inline buffer (method wrappers collect a handful of
+/// actual parameters) with a vector spill-over, so building the list on the
+/// Notify hot path does not allocate.
 class ParamList {
  public:
+  using Entry = std::pair<std::string, oodb::Value>;
+
   ParamList() = default;
 
   ParamList& Insert(std::string name, oodb::Value value) {
-    params_.emplace_back(std::move(name), std::move(value));
+    if (inline_size_ < kInlineCapacity) {
+      inline_[inline_size_].first = std::move(name);
+      inline_[inline_size_].second = std::move(value);
+      ++inline_size_;
+    } else {
+      overflow_.emplace_back(std::move(name), std::move(value));
+    }
     return *this;
   }
 
   /// First value with the given name, or NotFound.
   Result<oodb::Value> Get(const std::string& name) const {
-    for (const auto& [n, v] : params_) {
-      if (n == name) return v;
+    for (const Entry& e : *this) {
+      if (e.first == name) return e.second;
     }
     return Status::NotFound("no parameter named " + name);
   }
 
-  const std::vector<std::pair<std::string, oodb::Value>>& entries() const {
-    return params_;
+  std::size_t size() const { return inline_size_ + overflow_.size(); }
+
+  const Entry& entry(std::size_t i) const {
+    return i < inline_size_ ? inline_[i] : overflow_[i - inline_size_];
   }
-  std::size_t size() const { return params_.size(); }
+
+  class const_iterator {
+   public:
+    const_iterator(const ParamList* list, std::size_t i)
+        : list_(list), i_(i) {}
+    const Entry& operator*() const { return list_->entry(i_); }
+    const Entry* operator->() const { return &list_->entry(i_); }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.i_ == b.i_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return a.i_ != b.i_;
+    }
+
+   private:
+    const ParamList* list_;
+    std::size_t i_;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size()); }
 
   std::string ToString() const;
 
  private:
-  std::vector<std::pair<std::string, oodb::Value>> params_;
+  static constexpr std::size_t kInlineCapacity = 4;
+
+  std::size_t inline_size_ = 0;
+  std::array<Entry, kInlineCapacity> inline_{};
+  std::vector<Entry> overflow_;
 };
 
 /// One primitive event occurrence: the unit collected into composite-event
@@ -74,6 +117,12 @@ struct PrimitiveOccurrence {
   oodb::Oid oid = oodb::kInvalidOid;
   EventModifier modifier = EventModifier::kEnd;
   std::string method_signature;
+  // Interned forms of class_name/method_signature (common::SymbolTable::
+  // Global()); kInvalidSymbol when the occurrence was built outside the
+  // detector (matching then falls back to the string forms). Not persisted —
+  // the detector re-interns on Inject.
+  common::SymbolId class_sym = common::kInvalidSymbol;
+  common::SymbolId method_sym = common::kInvalidSymbol;
   Timestamp at = kInvalidTimestamp;  // logical occurrence time
   std::uint64_t at_ms = 0;           // temporal-clock time (for PLUS/P)
   TxnId txn = storage::kInvalidTxnId;

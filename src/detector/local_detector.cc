@@ -1,22 +1,54 @@
 #include "detector/local_detector.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/logging.h"
+#include "common/pool.h"
 
 namespace sentinel::detector {
 
 namespace {
 thread_local int t_suppress_depth = 0;
 constexpr char kExplicitClass[] = "<explicit>";
+
+/// Monotonic id for published dispatch-index generations, process-wide.
+/// Never recycled, so a thread's memo can validate its cached entry by id
+/// without any ABA hazard across detector lifetimes.
+std::atomic<std::uint64_t> g_next_index_uid{1};
 }  // namespace
+
+struct LocalEventDetector::DispatchEntry {
+  common::SymbolId class_sym = common::kInvalidSymbol;
+  common::SymbolId method_sym = common::kInvalidSymbol;
+  std::vector<PrimitiveEventNode*> nodes;
+};
+
+struct LocalEventDetector::DispatchIndex {
+  std::uint64_t uid = 0;
+  std::uint64_t def_gen = 0;
+  const oodb::ClassRegistry* registry = nullptr;
+  std::uint64_t registry_version = 0;
+  std::unordered_map<std::uint64_t, DispatchEntry> entries;
+};
+
+struct LocalEventDetector::DispatchMemo {
+  std::uint64_t index_uid = 0;
+  EventModifier modifier = EventModifier::kEnd;
+  std::string class_name;
+  std::string method_signature;
+  const DispatchEntry* entry = nullptr;
+};
+
+LocalEventDetector::LocalEventDetector() = default;
+LocalEventDetector::~LocalEventDetector() = default;
 
 LocalEventDetector::SuppressScope::SuppressScope() { ++t_suppress_depth; }
 LocalEventDetector::SuppressScope::~SuppressScope() { --t_suppress_depth; }
 
 bool LocalEventDetector::SignalingSuppressed() { return t_suppress_depth > 0; }
 
-Result<EventNode*> LocalEventDetector::Install(
+Result<EventNode*> LocalEventDetector::InstallLocked(
     const std::string& name, std::unique_ptr<EventNode> node) {
   if (nodes_.count(name) != 0) {
     return Status::AlreadyExists("event already defined: " + name);
@@ -30,22 +62,26 @@ Result<EventNode*> LocalEventDetector::DefinePrimitive(
     const std::string& name, const std::string& class_name,
     EventModifier modifier, const std::string& method_signature,
     oodb::Oid instance) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
   auto node = std::make_unique<PrimitiveEventNode>(
       name, class_name, modifier, method_signature, instance);
   PrimitiveEventNode* raw = node.get();
-  auto installed = Install(name, std::move(node));
+  auto installed = InstallLocked(name, std::move(node));
   if (!installed.ok()) return installed.status();
   by_class_[class_name].push_back(raw);
+  primitive_count_.fetch_add(1, std::memory_order_release);
+  // Invalidate published dispatch indexes: keys already resolved (including
+  // negative-cache entries for subclasses of `class_name`) may now match.
+  def_gen_.fetch_add(1, std::memory_order_release);
   return *installed;
 }
 
 Result<EventNode*> LocalEventDetector::DefineExplicit(const std::string& name) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
   auto node = std::make_unique<PrimitiveEventNode>(
       name, kExplicitClass, EventModifier::kEnd, name);
   PrimitiveEventNode* raw = node.get();
-  auto installed = Install(name, std::move(node));
+  auto installed = InstallLocked(name, std::move(node));
   if (!installed.ok()) return installed.status();
   explicit_events_[name] = raw;
   return *installed;
@@ -54,70 +90,70 @@ Result<EventNode*> LocalEventDetector::DefineExplicit(const std::string& name) {
 Result<EventNode*> LocalEventDetector::DefineOr(const std::string& name,
                                                 EventNode* left,
                                                 EventNode* right) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return Install(name, std::make_unique<OrNode>(name, left, right));
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  return InstallLocked(name, std::make_unique<OrNode>(name, left, right));
 }
 
 Result<EventNode*> LocalEventDetector::DefineAnd(const std::string& name,
                                                  EventNode* left,
                                                  EventNode* right) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return Install(name, std::make_unique<AndNode>(name, left, right));
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  return InstallLocked(name, std::make_unique<AndNode>(name, left, right));
 }
 
 Result<EventNode*> LocalEventDetector::DefineSeq(const std::string& name,
                                                  EventNode* left,
                                                  EventNode* right) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return Install(name, std::make_unique<SeqNode>(name, left, right));
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  return InstallLocked(name, std::make_unique<SeqNode>(name, left, right));
 }
 
 Result<EventNode*> LocalEventDetector::DefineNot(const std::string& name,
                                                  EventNode* opener,
                                                  EventNode* canceller,
                                                  EventNode* closer) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return Install(name,
-                 std::make_unique<NotNode>(name, opener, canceller, closer));
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  return InstallLocked(
+      name, std::make_unique<NotNode>(name, opener, canceller, closer));
 }
 
 Result<EventNode*> LocalEventDetector::DefineAperiodic(const std::string& name,
                                                        EventNode* opener,
                                                        EventNode* detector,
                                                        EventNode* closer) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return Install(
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  return InstallLocked(
       name, std::make_unique<AperiodicNode>(name, opener, detector, closer));
 }
 
 Result<EventNode*> LocalEventDetector::DefineAperiodicStar(
     const std::string& name, EventNode* opener, EventNode* detector,
     EventNode* closer) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return Install(name, std::make_unique<AperiodicStarNode>(name, opener,
-                                                           detector, closer));
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  return InstallLocked(name, std::make_unique<AperiodicStarNode>(
+                                 name, opener, detector, closer));
 }
 
 Result<EventNode*> LocalEventDetector::DefineAny(
     const std::string& name, std::size_t threshold,
     std::vector<EventNode*> children) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
   if (threshold == 0 || threshold > children.size()) {
     return Status::InvalidArgument(
         "ANY threshold must be in [1, #children]: " +
         std::to_string(threshold) + " of " + std::to_string(children.size()));
   }
-  return Install(name,
-                 std::make_unique<AnyNode>(name, threshold, std::move(children)));
+  return InstallLocked(
+      name, std::make_unique<AnyNode>(name, threshold, std::move(children)));
 }
 
 Result<EventNode*> LocalEventDetector::DefinePlus(const std::string& name,
                                                   EventNode* base,
                                                   std::uint64_t delta_ms) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
   auto node = std::make_unique<PlusNode>(name, base, delta_ms, &clock_);
   EventNode* raw = node.get();
-  auto installed = Install(name, std::move(node));
+  auto installed = InstallLocked(name, std::move(node));
   if (!installed.ok()) return installed.status();
   temporal_nodes_.push_back(raw);
   return *installed;
@@ -127,11 +163,11 @@ Result<EventNode*> LocalEventDetector::DefinePeriodic(const std::string& name,
                                                       EventNode* opener,
                                                       std::uint64_t period_ms,
                                                       EventNode* closer) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
   auto node =
       std::make_unique<PeriodicNode>(name, opener, period_ms, closer, &clock_);
   EventNode* raw = node.get();
-  auto installed = Install(name, std::move(node));
+  auto installed = InstallLocked(name, std::move(node));
   if (!installed.ok()) return installed.status();
   temporal_nodes_.push_back(raw);
   return *installed;
@@ -140,18 +176,18 @@ Result<EventNode*> LocalEventDetector::DefinePeriodic(const std::string& name,
 Result<EventNode*> LocalEventDetector::DefinePeriodicStar(
     const std::string& name, EventNode* opener, std::uint64_t period_ms,
     EventNode* closer) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
   auto node = std::make_unique<PeriodicStarNode>(name, opener, period_ms,
                                                  closer, &clock_);
   EventNode* raw = node.get();
-  auto installed = Install(name, std::move(node));
+  auto installed = InstallLocked(name, std::move(node));
   if (!installed.ok()) return installed.status();
   temporal_nodes_.push_back(raw);
   return *installed;
 }
 
-Result<EventNode*> LocalEventDetector::Find(const std::string& name) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+Result<EventNode*> LocalEventDetector::FindLocked(
+    const std::string& name) const {
   auto it = nodes_.find(name);
   if (it == nodes_.end()) {
     return Status::NotFound("no event named " + name);
@@ -159,13 +195,18 @@ Result<EventNode*> LocalEventDetector::Find(const std::string& name) const {
   return it->second.get();
 }
 
+Result<EventNode*> LocalEventDetector::Find(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return FindLocked(name);
+}
+
 bool LocalEventDetector::Exists(const std::string& name) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
   return nodes_.count(name) != 0;
 }
 
 std::vector<std::string> LocalEventDetector::EventNames() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
   std::vector<std::string> names;
   names.reserve(nodes_.size());
   for (const auto& [name, node] : nodes_) {
@@ -176,27 +217,135 @@ std::vector<std::string> LocalEventDetector::EventNames() const {
 }
 
 std::size_t LocalEventDetector::node_count() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
   return nodes_.size();
 }
 
-void LocalEventDetector::Route(
-    const std::shared_ptr<const PrimitiveOccurrence>& raw) {
-  for (const auto& observer : raw_observers_) observer(*raw);
+// ---- Dispatch index ---------------------------------------------------------
+
+std::uint64_t LocalEventDetector::RegistryVersion() const {
+  const oodb::ClassRegistry* registry =
+      registry_.load(std::memory_order_acquire);
+  return registry != nullptr ? registry->version() : 0;
+}
+
+bool LocalEventDetector::IndexCurrent(const DispatchIndex& idx) const {
+  return idx.def_gen == def_gen_.load(std::memory_order_acquire) &&
+         idx.registry == registry_.load(std::memory_order_acquire) &&
+         idx.registry_version == RegistryVersion();
+}
+
+std::uint64_t LocalEventDetector::PackKey(common::SymbolId class_sym,
+                                          EventModifier modifier,
+                                          common::SymbolId method_sym) {
+  return (static_cast<std::uint64_t>(class_sym) << 33) |
+         (static_cast<std::uint64_t>(modifier) << 32) |
+         static_cast<std::uint64_t>(method_sym);
+}
+
+LocalEventDetector::DispatchMemo& LocalEventDetector::Memo() {
+  thread_local DispatchMemo memo;
+  return memo;
+}
+
+const LocalEventDetector::DispatchEntry* LocalEventDetector::Probe(
+    const DispatchIndex& idx, const std::string& class_name,
+    EventModifier modifier, const std::string& method_signature) const {
+  DispatchMemo& memo = Memo();
+  if (memo.index_uid == idx.uid && memo.modifier == modifier &&
+      memo.class_name == class_name &&
+      memo.method_signature == method_signature) {
+    return memo.entry;
+  }
+  auto& symbols = common::SymbolTable::Global();
+  const common::SymbolId class_sym = symbols.TryLookup(class_name);
+  if (class_sym == common::kInvalidSymbol) return nullptr;
+  const common::SymbolId method_sym = symbols.TryLookup(method_signature);
+  if (method_sym == common::kInvalidSymbol) return nullptr;
+  auto it = idx.entries.find(PackKey(class_sym, modifier, method_sym));
+  if (it == idx.entries.end()) return nullptr;
+  memo.index_uid = idx.uid;
+  memo.modifier = modifier;
+  memo.class_name = class_name;
+  memo.method_signature = method_signature;
+  memo.entry = &it->second;
+  return &it->second;
+}
+
+std::vector<PrimitiveEventNode*> LocalEventDetector::BuildDispatchList(
+    const std::string& class_name, EventModifier modifier,
+    common::SymbolId method_sym) const {
+  const oodb::ClassRegistry* registry =
+      registry_.load(std::memory_order_acquire);
+  std::vector<PrimitiveEventNode*> nodes;
   // The invocation is propagated only to primitive events of the signalling
   // class — and of its ancestors, so class-level events fire for subclass
-  // instances too.
-  for (auto& [declared_class, nodes] : by_class_) {
+  // instances too. This walk runs once per distinct notification key, not
+  // once per notification.
+  for (const auto& [declared_class, declared_nodes] : by_class_) {
     const bool applies =
-        declared_class == raw->class_name ||
-        (registry_ != nullptr &&
-         registry_->IsSubclassOf(raw->class_name, declared_class));
+        declared_class == class_name ||
+        (registry != nullptr &&
+         registry->IsSubclassOf(class_name, declared_class));
     if (!applies) continue;
-    for (PrimitiveEventNode* node : nodes) {
-      if (node->Matches(*raw)) node->Signal(raw);
+    for (PrimitiveEventNode* node : declared_nodes) {
+      if (node->modifier() == modifier && node->method_sym() == method_sym) {
+        nodes.push_back(node);
+      }
     }
   }
+  return nodes;
 }
+
+const LocalEventDetector::DispatchEntry* LocalEventDetector::ResolveLocked(
+    const std::string& class_name, EventModifier modifier,
+    const std::string& method_signature) {
+  auto& symbols = common::SymbolTable::Global();
+  const common::SymbolId class_sym = symbols.Intern(class_name);
+  const common::SymbolId method_sym = symbols.Intern(method_signature);
+  const std::uint64_t key = PackKey(class_sym, modifier, method_sym);
+
+  // Read the validity tags before building: if a class registration races
+  // the build, the published index is stamped stale and rebuilt next time.
+  const std::uint64_t def_gen = def_gen_.load(std::memory_order_acquire);
+  const oodb::ClassRegistry* registry =
+      registry_.load(std::memory_order_acquire);
+  const std::uint64_t registry_version = RegistryVersion();
+
+  const DispatchIndex* idx = index_.load(std::memory_order_acquire);
+  if (idx != nullptr && idx->def_gen == def_gen && idx->registry == registry &&
+      idx->registry_version == registry_version) {
+    auto it = idx->entries.find(key);
+    if (it != idx->entries.end()) return &it->second;
+  }
+
+  std::lock_guard<std::mutex> index_lock(index_mu_);
+  idx = index_.load(std::memory_order_relaxed);
+  auto next = std::make_unique<DispatchIndex>();
+  next->uid = g_next_index_uid.fetch_add(1, std::memory_order_relaxed);
+  next->def_gen = def_gen;
+  next->registry = registry;
+  next->registry_version = registry_version;
+  if (idx != nullptr && idx->def_gen == def_gen && idx->registry == registry &&
+      idx->registry_version == registry_version) {
+    auto it = idx->entries.find(key);
+    if (it != idx->entries.end()) return &it->second;  // raced with a builder
+    next->entries = idx->entries;  // carry resolved keys forward
+  }
+  DispatchEntry entry;
+  entry.class_sym = class_sym;
+  entry.method_sym = method_sym;
+  entry.nodes = BuildDispatchList(class_name, modifier, method_sym);
+  auto [slot, inserted] = next->entries.emplace(key, std::move(entry));
+  (void)inserted;
+  const DispatchEntry* resolved = &slot->second;
+  const DispatchIndex* published = next.get();
+  retired_indexes_.push_back(std::move(next));
+  index_.store(published, std::memory_order_release);
+  return resolved;
+}
+
+// ---- Signalling -------------------------------------------------------------
 
 void LocalEventDetector::Notify(const std::string& class_name, oodb::Oid oid,
                                 EventModifier modifier,
@@ -204,72 +353,139 @@ void LocalEventDetector::Notify(const std::string& class_name, oodb::Oid oid,
                                 std::shared_ptr<const ParamList> params,
                                 TxnId txn) {
   if (SignalingSuppressed()) return;
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  ++notify_count_;
-  auto raw = std::make_shared<PrimitiveOccurrence>();
-  raw->class_name = class_name;
-  raw->oid = oid;
-  raw->modifier = modifier;
-  raw->method_signature = method_signature;
-  raw->at = clock_.Tick();
-  raw->at_ms = now_ms_;
-  raw->txn = txn;
-  raw->params = std::move(params);
-  Route(raw);
+  notify_count_.fetch_add(1, std::memory_order_relaxed);
+  const bool has_observers =
+      observer_count_.load(std::memory_order_acquire) > 0;
+  // Fast path 1: no primitive events declared and nobody observing raw
+  // notifications — nothing can react, skip everything.
+  if (!has_observers &&
+      primitive_count_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+
+  // Fast path 2: lock-free probe of the published dispatch index. A
+  // negative-cache hit (no matching nodes) or a hit whose nodes all have no
+  // active context returns without taking a lock or allocating. The logical
+  // clock is not ticked on these paths: timestamps only order *delivered*
+  // occurrences.
+  const DispatchEntry* entry = nullptr;
+  const DispatchIndex* idx = index_.load(std::memory_order_acquire);
+  if (idx != nullptr && IndexCurrent(*idx)) {
+    entry = Probe(*idx, class_name, modifier, method_signature);
+  }
+  if (entry != nullptr && !has_observers) {
+    bool any_active = false;
+    for (PrimitiveEventNode* node : entry->nodes) {
+      if (node->active_context_count() > 0) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active) return;
+  }
+
+  // Full path: occurrence assembly, observers, and routing under the shared
+  // graph lock (concurrent with other notifications; exclusive only against
+  // definitions and subscriptions).
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  if (entry == nullptr) {
+    entry = ResolveLocked(class_name, modifier, method_signature);
+  }
+  if (!has_observers && entry->nodes.empty()) return;
+
+  auto pooled = common::MakePooled<PrimitiveOccurrence>();
+  pooled->class_name = class_name;
+  pooled->oid = oid;
+  pooled->modifier = modifier;
+  pooled->method_signature = method_signature;
+  pooled->class_sym = entry->class_sym;
+  pooled->method_sym = entry->method_sym;
+  pooled->at = clock_.Tick();
+  pooled->at_ms = now_ms_.load(std::memory_order_relaxed);
+  pooled->txn = txn;
+  pooled->params = std::move(params);
+  const std::shared_ptr<const PrimitiveOccurrence> raw = std::move(pooled);
+  for (const auto& observer : raw_observers_) observer(*raw);
+  for (PrimitiveEventNode* node : entry->nodes) {
+    if (node->Matches(*raw)) node->Signal(raw);
+  }
 }
 
 Status LocalEventDetector::RaiseExplicit(
     const std::string& name, std::shared_ptr<const ParamList> params,
     TxnId txn) {
   if (SignalingSuppressed()) return Status::OK();
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
   auto it = explicit_events_.find(name);
   if (it == explicit_events_.end()) {
     return Status::NotFound("no explicit event named " + name);
   }
-  ++notify_count_;
-  auto raw = std::make_shared<PrimitiveOccurrence>();
-  raw->event_name = name;
-  raw->class_name = kExplicitClass;
-  raw->modifier = EventModifier::kEnd;
-  raw->method_signature = name;
-  raw->at = clock_.Tick();
-  raw->at_ms = now_ms_;
-  raw->txn = txn;
-  raw->params = std::move(params);
+  notify_count_.fetch_add(1, std::memory_order_relaxed);
+  auto pooled = common::MakePooled<PrimitiveOccurrence>();
+  pooled->event_name = name;
+  pooled->class_name = kExplicitClass;
+  pooled->modifier = EventModifier::kEnd;
+  pooled->method_signature = name;
+  pooled->class_sym = it->second->class_sym();
+  pooled->method_sym = it->second->method_sym();
+  pooled->at = clock_.Tick();
+  pooled->at_ms = now_ms_.load(std::memory_order_relaxed);
+  pooled->txn = txn;
+  pooled->params = std::move(params);
+  const std::shared_ptr<const PrimitiveOccurrence> raw = std::move(pooled);
   for (const auto& observer : raw_observers_) observer(*raw);
   it->second->Signal(raw);
   return Status::OK();
 }
 
 void LocalEventDetector::Inject(const PrimitiveOccurrence& recorded) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  ++notify_count_;
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  notify_count_.fetch_add(1, std::memory_order_relaxed);
   clock_.Witness(recorded.at);
-  if (recorded.at_ms > now_ms_) now_ms_ = recorded.at_ms;
+  std::uint64_t seen = now_ms_.load(std::memory_order_relaxed);
+  while (recorded.at_ms > seen &&
+         !now_ms_.compare_exchange_weak(seen, recorded.at_ms,
+                                        std::memory_order_relaxed)) {
+  }
   auto raw = std::make_shared<PrimitiveOccurrence>(recorded);
   if (recorded.class_name == kExplicitClass) {
     auto it = explicit_events_.find(recorded.method_signature);
     if (it != explicit_events_.end()) {
+      raw->class_sym = it->second->class_sym();
+      raw->method_sym = it->second->method_sym();
       for (const auto& observer : raw_observers_) observer(*raw);
       it->second->Signal(raw);
     }
     return;
   }
-  Route(raw);
+  // Recorded occurrences carry no symbols (and the GED rewrites class names
+  // before injecting) — re-intern and route through the dispatch index.
+  const DispatchEntry* entry =
+      ResolveLocked(recorded.class_name, recorded.modifier,
+                    recorded.method_signature);
+  raw->class_sym = entry->class_sym;
+  raw->method_sym = entry->method_sym;
+  for (const auto& observer : raw_observers_) observer(*raw);
+  for (PrimitiveEventNode* node : entry->nodes) {
+    if (node->Matches(*raw)) node->Signal(raw);
+  }
 }
 
 void LocalEventDetector::AdvanceTime(std::uint64_t now_ms) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (now_ms < now_ms_) return;
-  now_ms_ = now_ms;
+  std::uint64_t seen = now_ms_.load(std::memory_order_relaxed);
+  if (now_ms < seen) return;
+  while (!now_ms_.compare_exchange_weak(seen, now_ms,
+                                        std::memory_order_relaxed)) {
+    if (now_ms < seen) return;
+  }
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
   for (EventNode* node : temporal_nodes_) node->OnTimeAdvance(now_ms);
 }
 
 Status LocalEventDetector::Subscribe(const std::string& event, EventSink* sink,
                                      ParamContext context) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  auto node = Find(event);
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  auto node = FindLocked(event);
   if (!node.ok()) return node.status();
   (*node)->AddSink(sink);
   (*node)->AddContextRef(context);
@@ -278,16 +494,24 @@ Status LocalEventDetector::Subscribe(const std::string& event, EventSink* sink,
 
 Status LocalEventDetector::Unsubscribe(const std::string& event,
                                        EventSink* sink, ParamContext context) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  auto node = Find(event);
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  auto node = FindLocked(event);
   if (!node.ok()) return node.status();
   (*node)->RemoveSink(sink);
   (*node)->ReleaseContextRef(context);
   return Status::OK();
 }
 
+void LocalEventDetector::AddRawObserver(
+    std::function<void(const PrimitiveOccurrence&)> observer) {
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  raw_observers_.push_back(std::move(observer));
+  observer_count_.store(static_cast<int>(raw_observers_.size()),
+                        std::memory_order_release);
+}
+
 void LocalEventDetector::FlushTxn(TxnId txn) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
   for (auto& [name, node] : nodes_) {
     (void)name;
     node->FlushTxn(txn);
@@ -295,7 +519,7 @@ void LocalEventDetector::FlushTxn(TxnId txn) {
 }
 
 void LocalEventDetector::FlushAll() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
   for (auto& [name, node] : nodes_) {
     (void)name;
     node->FlushAll();
@@ -303,8 +527,8 @@ void LocalEventDetector::FlushAll() {
 }
 
 Status LocalEventDetector::FlushEvent(const std::string& event) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  auto node = Find(event);
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  auto node = FindLocked(event);
   if (!node.ok()) return node.status();
   // Flush the expression's whole subtree.
   std::vector<EventNode*> stack{*node};
@@ -320,7 +544,7 @@ Status LocalEventDetector::FlushEvent(const std::string& event) {
 }
 
 std::size_t LocalEventDetector::BufferedCount() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
   std::size_t n = 0;
   for (const auto& [name, node] : nodes_) {
     (void)name;

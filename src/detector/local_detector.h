@@ -1,15 +1,18 @@
 #ifndef SENTINEL_DETECTOR_LOCAL_DETECTOR_H_
 #define SENTINEL_DETECTOR_LOCAL_DETECTOR_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "common/symbol.h"
 #include "detector/event_node.h"
 #include "detector/operator_nodes.h"
 #include "oodb/schema.h"
@@ -26,9 +29,24 @@ namespace sentinel::detector {
 /// Detection is demand-driven: notifications propagate only to nodes whose
 /// class/method matches, and operator nodes only process contexts with a
 /// positive reference count.
+///
+/// Concurrency (see DESIGN.md "Concurrent dispatch fast path"):
+///  - graph_mu_ (shared_mutex) guards graph *structure*: definitions and
+///    (un)subscriptions take it exclusive; Notify/Inject/RaiseExplicit/
+///    AdvanceTime/flushes take it shared, so signalling threads run
+///    concurrently.
+///  - Operator-node occurrence buffers are guarded by per-node striped
+///    mutexes (EventNode::buffer_mu) under the shared graph lock.
+///  - Routing uses a precompiled dispatch index keyed by
+///    (class_sym, modifier, method_sym) → flat vector of matching primitive
+///    nodes, published lock-free through one atomic pointer and invalidated
+///    by generation counters (event definitions and class registrations).
+///    Classes with no reactive events hit a negative-cache entry, making
+///    Notify on a quiescent class a few atomic loads and one probe.
 class LocalEventDetector {
  public:
-  LocalEventDetector() = default;
+  LocalEventDetector();
+  ~LocalEventDetector();
 
   LocalEventDetector(const LocalEventDetector&) = delete;
   LocalEventDetector& operator=(const LocalEventDetector&) = delete;
@@ -100,7 +118,9 @@ class LocalEventDetector {
   /// is virtual: tests and batch replay advance it explicitly; an online
   /// application may drive it from wall time.
   void AdvanceTime(std::uint64_t now_ms);
-  std::uint64_t now_ms() const { return now_ms_; }
+  std::uint64_t now_ms() const {
+    return now_ms_.load(std::memory_order_relaxed);
+  }
 
   // -- Subscription ------------------------------------------------------------------
 
@@ -143,38 +163,83 @@ class LocalEventDetector {
 
   /// Class registry for inheritance-aware class-level event matching.
   void set_class_registry(const oodb::ClassRegistry* registry) {
-    registry_ = registry;
+    registry_.store(registry, std::memory_order_release);
   }
 
   /// Observers invoked for every accepted raw notification (event logging
   /// and global-event forwarding may both be attached).
-  void AddRawObserver(std::function<void(const PrimitiveOccurrence&)> observer) {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    raw_observers_.push_back(std::move(observer));
-  }
+  void AddRawObserver(std::function<void(const PrimitiveOccurrence&)> observer);
 
   LogicalClock* clock() { return &clock_; }
-  std::uint64_t notify_count() const { return notify_count_; }
+  std::uint64_t notify_count() const {
+    return notify_count_.load(std::memory_order_relaxed);
+  }
 
  private:
-  Result<EventNode*> Install(const std::string& name,
-                             std::unique_ptr<EventNode> node);
-  void Route(const std::shared_ptr<const PrimitiveOccurrence>& raw);
+  /// One dispatch-index slot: the matching primitive nodes for a
+  /// (class, modifier, method) notification key, plus the interned symbols
+  /// so the hot path never re-interns. An empty node list is the negative
+  /// cache for classes/methods with no reactive events.
+  struct DispatchEntry;
+  /// An immutable published index generation. Retired generations are kept
+  /// until the detector dies so lock-free readers never race reclamation.
+  struct DispatchIndex;
+  /// Per-thread single-entry inline cache of the last resolved key.
+  struct DispatchMemo;
 
-  mutable std::recursive_mutex mu_;
+  Result<EventNode*> InstallLocked(const std::string& name,
+                                   std::unique_ptr<EventNode> node);
+  Result<EventNode*> FindLocked(const std::string& name) const;
+
+  std::uint64_t RegistryVersion() const;
+  bool IndexCurrent(const DispatchIndex& idx) const;
+  static std::uint64_t PackKey(common::SymbolId class_sym,
+                               EventModifier modifier,
+                               common::SymbolId method_sym);
+  static DispatchMemo& Memo();
+
+  /// Lock-free probe of a published index (memo first, then symbol + hash
+  /// probes). Returns nullptr when the key has no entry yet.
+  const DispatchEntry* Probe(const DispatchIndex& idx,
+                             const std::string& class_name,
+                             EventModifier modifier,
+                             const std::string& method_signature) const;
+  /// Resolves (building and publishing a new index generation if needed).
+  /// Caller holds graph_mu_ at least shared.
+  const DispatchEntry* ResolveLocked(const std::string& class_name,
+                                     EventModifier modifier,
+                                     const std::string& method_signature);
+  /// Flattens the per-class lists + inheritance walk into the flat node
+  /// vector for one key. Caller holds graph_mu_ at least shared.
+  std::vector<PrimitiveEventNode*> BuildDispatchList(
+      const std::string& class_name, EventModifier modifier,
+      common::SymbolId method_sym) const;
+
+  mutable std::shared_mutex graph_mu_;
   std::map<std::string, std::unique_ptr<EventNode>> nodes_;
   // Class name -> primitive nodes declared on that class (paper: primitive
-  // events maintained as per-class lists).
+  // events maintained as per-class lists). Flattened into the dispatch
+  // index on first use of each notification key.
   std::map<std::string, std::vector<PrimitiveEventNode*>> by_class_;
   std::map<std::string, PrimitiveEventNode*> explicit_events_;
   std::vector<EventNode*> temporal_nodes_;
 
-  const oodb::ClassRegistry* registry_ = nullptr;
+  std::atomic<const oodb::ClassRegistry*> registry_{nullptr};
   std::vector<std::function<void(const PrimitiveOccurrence&)>> raw_observers_;
 
+  // Lock-free counters consulted by the Notify fast path.
+  std::atomic<int> observer_count_{0};
+  std::atomic<std::size_t> primitive_count_{0};
+  // Bumped on every DefinePrimitive: invalidates published indexes.
+  std::atomic<std::uint64_t> def_gen_{1};
+
+  mutable std::mutex index_mu_;  // serializes index builds only
+  std::vector<std::unique_ptr<const DispatchIndex>> retired_indexes_;
+  std::atomic<const DispatchIndex*> index_{nullptr};
+
   LogicalClock clock_;
-  std::uint64_t now_ms_ = 0;
-  std::uint64_t notify_count_ = 0;
+  std::atomic<std::uint64_t> now_ms_{0};
+  std::atomic<std::uint64_t> notify_count_{0};
 };
 
 }  // namespace sentinel::detector

@@ -84,6 +84,7 @@ OrNode::OrNode(std::string name, EventNode* left, EventNode* right)
 
 void OrNode::Receive(int port, const Occurrence& occurrence,
                      ParamContext context) {
+  // Stateless: no buffers, no lock.
   (void)port;
   Emit(Compose({&occurrence}), context);
 }
@@ -95,58 +96,64 @@ AndNode::AndNode(std::string name, EventNode* left, EventNode* right)
 
 void AndNode::Receive(int port, const Occurrence& occurrence,
                       ParamContext context) {
-  State& st = state_[Idx(context)];
-  std::deque<Occurrence>& mine = st.side[port];
-  std::deque<Occurrence>& other = st.side[1 - port];
+  std::vector<Occurrence> out;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu());
+    State& st = state_[Idx(context)];
+    std::deque<Occurrence>& mine = st.side[port];
+    std::deque<Occurrence>& other = st.side[1 - port];
 
-  switch (context) {
-    case ParamContext::kRecent:
-      // Keep at most the most recent occurrence per side; a detection does
-      // not consume the partner (it stays until replaced).
-      if (!other.empty()) {
-        Emit(Compose({&other.back(), &occurrence}), context);
-      }
-      mine.clear();
-      mine.push_back(occurrence);
-      break;
-    case ParamContext::kChronicle:
-      // FIFO pairing; both partners consumed.
-      if (!other.empty()) {
-        Emit(Compose({&other.front(), &occurrence}), context);
-        other.pop_front();
-      } else {
-        mine.push_back(occurrence);
-      }
-      break;
-    case ParamContext::kContinuous:
-      // Every buffered partner pairs with (and is consumed by) the arrival.
-      if (!other.empty()) {
-        for (const Occurrence& partner : other) {
-          Emit(Compose({&partner, &occurrence}), context);
+    switch (context) {
+      case ParamContext::kRecent:
+        // Keep at most the most recent occurrence per side; a detection does
+        // not consume the partner (it stays until replaced).
+        if (!other.empty()) {
+          out.push_back(Compose({&other.back(), &occurrence}));
         }
-        other.clear();
-      } else {
-        mine.push_back(occurrence);
-      }
-      break;
-    case ParamContext::kCumulative:
-      // One detection carrying everything accumulated on both sides.
-      if (!other.empty()) {
-        std::vector<const Occurrence*> parts;
-        for (const Occurrence& o : other) parts.push_back(&o);
-        for (const Occurrence& o : mine) parts.push_back(&o);
-        parts.push_back(&occurrence);
-        Emit(Compose(parts), context);
-        other.clear();
         mine.clear();
-      } else {
         mine.push_back(occurrence);
-      }
-      break;
+        break;
+      case ParamContext::kChronicle:
+        // FIFO pairing; both partners consumed.
+        if (!other.empty()) {
+          out.push_back(Compose({&other.front(), &occurrence}));
+          other.pop_front();
+        } else {
+          mine.push_back(occurrence);
+        }
+        break;
+      case ParamContext::kContinuous:
+        // Every buffered partner pairs with (and is consumed by) the arrival.
+        if (!other.empty()) {
+          for (const Occurrence& partner : other) {
+            out.push_back(Compose({&partner, &occurrence}));
+          }
+          other.clear();
+        } else {
+          mine.push_back(occurrence);
+        }
+        break;
+      case ParamContext::kCumulative:
+        // One detection carrying everything accumulated on both sides.
+        if (!other.empty()) {
+          std::vector<const Occurrence*> parts;
+          for (const Occurrence& o : other) parts.push_back(&o);
+          for (const Occurrence& o : mine) parts.push_back(&o);
+          parts.push_back(&occurrence);
+          out.push_back(Compose(parts));
+          other.clear();
+          mine.clear();
+        } else {
+          mine.push_back(occurrence);
+        }
+        break;
+    }
   }
+  EmitAll(out, context);
 }
 
 void AndNode::FlushTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) {
     EraseTxn(&st.side[0], txn);
     EraseTxn(&st.side[1], txn);
@@ -154,6 +161,7 @@ void AndNode::FlushTxn(TxnId txn) {
 }
 
 void AndNode::FlushAll() {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) {
     st.side[0].clear();
     st.side[1].clear();
@@ -161,6 +169,7 @@ void AndNode::FlushAll() {
 }
 
 std::size_t AndNode::BufferedCount() const {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   std::size_t n = 0;
   for (const State& st : state_) n += st.side[0].size() + st.side[1].size();
   return n;
@@ -173,78 +182,88 @@ SeqNode::SeqNode(std::string name, EventNode* left, EventNode* right)
 
 void SeqNode::Receive(int port, const Occurrence& occurrence,
                       ParamContext context) {
-  State& st = state_[Idx(context)];
-  if (port == 0) {  // initiator
-    if (context == ParamContext::kRecent) st.initiators.clear();
-    st.initiators.push_back(occurrence);
-    return;
-  }
-  // Terminator: pair with initiators that strictly precede it.
-  auto precedes = [&occurrence](const Occurrence& init) {
-    return init.t_end < occurrence.t_start;
-  };
-  switch (context) {
-    case ParamContext::kRecent: {
-      // Most recent qualifying initiator; not consumed.
-      for (auto it = st.initiators.rbegin(); it != st.initiators.rend(); ++it) {
-        if (precedes(*it)) {
-          Emit(Compose({&*it, &occurrence}), context);
-          break;
-        }
-      }
-      break;
+  std::vector<Occurrence> out;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu());
+    State& st = state_[Idx(context)];
+    if (port == 0) {  // initiator
+      if (context == ParamContext::kRecent) st.initiators.clear();
+      st.initiators.push_back(occurrence);
+      return;
     }
-    case ParamContext::kChronicle: {
-      for (auto it = st.initiators.begin(); it != st.initiators.end(); ++it) {
-        if (precedes(*it)) {
-          Emit(Compose({&*it, &occurrence}), context);
-          st.initiators.erase(it);
-          break;
+    // Terminator: pair with initiators that strictly precede it.
+    auto precedes = [&occurrence](const Occurrence& init) {
+      return init.t_end < occurrence.t_start;
+    };
+    switch (context) {
+      case ParamContext::kRecent: {
+        // Most recent qualifying initiator; not consumed.
+        for (auto it = st.initiators.rbegin(); it != st.initiators.rend();
+             ++it) {
+          if (precedes(*it)) {
+            out.push_back(Compose({&*it, &occurrence}));
+            break;
+          }
         }
+        break;
       }
-      break;
-    }
-    case ParamContext::kContinuous: {
-      std::deque<Occurrence> keep;
-      for (const Occurrence& init : st.initiators) {
-        if (precedes(init)) {
-          Emit(Compose({&init, &occurrence}), context);
-        } else {
-          keep.push_back(init);
+      case ParamContext::kChronicle: {
+        for (auto it = st.initiators.begin(); it != st.initiators.end();
+             ++it) {
+          if (precedes(*it)) {
+            out.push_back(Compose({&*it, &occurrence}));
+            st.initiators.erase(it);
+            break;
+          }
         }
+        break;
       }
-      st.initiators = std::move(keep);
-      break;
-    }
-    case ParamContext::kCumulative: {
-      std::vector<const Occurrence*> parts;
-      std::deque<Occurrence> keep;
-      for (const Occurrence& init : st.initiators) {
-        if (precedes(init)) {
-          parts.push_back(&init);
-        } else {
-          keep.push_back(init);
+      case ParamContext::kContinuous: {
+        std::deque<Occurrence> keep;
+        for (const Occurrence& init : st.initiators) {
+          if (precedes(init)) {
+            out.push_back(Compose({&init, &occurrence}));
+          } else {
+            keep.push_back(init);
+          }
         }
-      }
-      if (!parts.empty()) {
-        parts.push_back(&occurrence);
-        Emit(Compose(parts), context);
         st.initiators = std::move(keep);
+        break;
       }
-      break;
+      case ParamContext::kCumulative: {
+        std::vector<const Occurrence*> parts;
+        std::deque<Occurrence> keep;
+        for (const Occurrence& init : st.initiators) {
+          if (precedes(init)) {
+            parts.push_back(&init);
+          } else {
+            keep.push_back(init);
+          }
+        }
+        if (!parts.empty()) {
+          parts.push_back(&occurrence);
+          out.push_back(Compose(parts));
+          st.initiators = std::move(keep);
+        }
+        break;
+      }
     }
   }
+  EmitAll(out, context);
 }
 
 void SeqNode::FlushTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) EraseTxn(&st.initiators, txn);
 }
 
 void SeqNode::FlushAll() {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) st.initiators.clear();
 }
 
 std::size_t SeqNode::BufferedCount() const {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   std::size_t n = 0;
   for (const State& st : state_) n += st.initiators.size();
   return n;
@@ -259,92 +278,101 @@ NotNode::NotNode(std::string name, EventNode* opener, EventNode* canceller,
 
 void NotNode::Receive(int port, const Occurrence& occurrence,
                       ParamContext context) {
-  State& st = state_[Idx(context)];
-  switch (port) {
-    case 0:  // opener E1
-      if (context == ParamContext::kRecent) st.initiators.clear();
-      st.initiators.push_back(occurrence);
-      break;
-    case 1:  // canceller E2: every pending window that started before it dies
-      st.initiators.erase(
-          std::remove_if(st.initiators.begin(), st.initiators.end(),
-                         [&occurrence](const Occurrence& init) {
-                           return init.t_end < occurrence.t_start;
-                         }),
-          st.initiators.end());
-      break;
-    case 2: {  // closer E3
-      auto precedes = [&occurrence](const Occurrence& init) {
-        return init.t_end < occurrence.t_start;
-      };
-      switch (context) {
-        case ParamContext::kRecent: {
-          for (auto it = st.initiators.rbegin(); it != st.initiators.rend();
-               ++it) {
-            if (precedes(*it)) {
-              Emit(Compose({&*it, &occurrence}), context);
-              break;
+  std::vector<Occurrence> out;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu());
+    State& st = state_[Idx(context)];
+    switch (port) {
+      case 0:  // opener E1
+        if (context == ParamContext::kRecent) st.initiators.clear();
+        st.initiators.push_back(occurrence);
+        break;
+      case 1:  // canceller E2: every pending window that started before it
+               // dies
+        st.initiators.erase(
+            std::remove_if(st.initiators.begin(), st.initiators.end(),
+                           [&occurrence](const Occurrence& init) {
+                             return init.t_end < occurrence.t_start;
+                           }),
+            st.initiators.end());
+        break;
+      case 2: {  // closer E3
+        auto precedes = [&occurrence](const Occurrence& init) {
+          return init.t_end < occurrence.t_start;
+        };
+        switch (context) {
+          case ParamContext::kRecent: {
+            for (auto it = st.initiators.rbegin(); it != st.initiators.rend();
+                 ++it) {
+              if (precedes(*it)) {
+                out.push_back(Compose({&*it, &occurrence}));
+                break;
+              }
             }
+            break;
           }
-          break;
-        }
-        case ParamContext::kChronicle: {
-          for (auto it = st.initiators.begin(); it != st.initiators.end();
-               ++it) {
-            if (precedes(*it)) {
-              Emit(Compose({&*it, &occurrence}), context);
-              st.initiators.erase(it);
-              break;
+          case ParamContext::kChronicle: {
+            for (auto it = st.initiators.begin(); it != st.initiators.end();
+                 ++it) {
+              if (precedes(*it)) {
+                out.push_back(Compose({&*it, &occurrence}));
+                st.initiators.erase(it);
+                break;
+              }
             }
+            break;
           }
-          break;
-        }
-        case ParamContext::kContinuous: {
-          std::deque<Occurrence> keep;
-          for (const Occurrence& init : st.initiators) {
-            if (precedes(init)) {
-              Emit(Compose({&init, &occurrence}), context);
-            } else {
-              keep.push_back(init);
+          case ParamContext::kContinuous: {
+            std::deque<Occurrence> keep;
+            for (const Occurrence& init : st.initiators) {
+              if (precedes(init)) {
+                out.push_back(Compose({&init, &occurrence}));
+              } else {
+                keep.push_back(init);
+              }
             }
-          }
-          st.initiators = std::move(keep);
-          break;
-        }
-        case ParamContext::kCumulative: {
-          std::vector<const Occurrence*> parts;
-          std::deque<Occurrence> keep;
-          for (const Occurrence& init : st.initiators) {
-            if (precedes(init)) {
-              parts.push_back(&init);
-            } else {
-              keep.push_back(init);
-            }
-          }
-          if (!parts.empty()) {
-            parts.push_back(&occurrence);
-            Emit(Compose(parts), context);
             st.initiators = std::move(keep);
+            break;
           }
-          break;
+          case ParamContext::kCumulative: {
+            std::vector<const Occurrence*> parts;
+            std::deque<Occurrence> keep;
+            for (const Occurrence& init : st.initiators) {
+              if (precedes(init)) {
+                parts.push_back(&init);
+              } else {
+                keep.push_back(init);
+              }
+            }
+            if (!parts.empty()) {
+              parts.push_back(&occurrence);
+              out.push_back(Compose(parts));
+              st.initiators = std::move(keep);
+            }
+            break;
+          }
         }
+        break;
       }
-      break;
+      default:
+        break;
     }
-    default:
-      break;
   }
+  EmitAll(out, context);
 }
 
 void NotNode::FlushTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) EraseTxn(&st.initiators, txn);
 }
 
 void NotNode::FlushAll() {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) st.initiators.clear();
 }
 
 std::size_t NotNode::BufferedCount() const {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   std::size_t n = 0;
   for (const State& st : state_) n += st.initiators.size();
   return n;
@@ -359,70 +387,79 @@ AperiodicNode::AperiodicNode(std::string name, EventNode* opener,
 
 void AperiodicNode::Receive(int port, const Occurrence& occurrence,
                             ParamContext context) {
-  State& st = state_[Idx(context)];
-  switch (port) {
-    case 0:  // E1 opens a window
-      if (context == ParamContext::kRecent) st.openers.clear();
-      st.openers.push_back(occurrence);
-      break;
-    case 1: {  // E2 signals inside every open window
-      auto in_window = [&occurrence](const Occurrence& opener) {
-        return opener.t_end < occurrence.t_start;
-      };
-      switch (context) {
-        case ParamContext::kRecent: {
-          for (auto it = st.openers.rbegin(); it != st.openers.rend(); ++it) {
-            if (in_window(*it)) {
-              Emit(Compose({&*it, &occurrence}), context);
-              break;
+  std::vector<Occurrence> out;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu());
+    State& st = state_[Idx(context)];
+    switch (port) {
+      case 0:  // E1 opens a window
+        if (context == ParamContext::kRecent) st.openers.clear();
+        st.openers.push_back(occurrence);
+        break;
+      case 1: {  // E2 signals inside every open window
+        auto in_window = [&occurrence](const Occurrence& opener) {
+          return opener.t_end < occurrence.t_start;
+        };
+        switch (context) {
+          case ParamContext::kRecent: {
+            for (auto it = st.openers.rbegin(); it != st.openers.rend();
+                 ++it) {
+              if (in_window(*it)) {
+                out.push_back(Compose({&*it, &occurrence}));
+                break;
+              }
             }
+            break;
           }
-          break;
-        }
-        case ParamContext::kChronicle:
-        case ParamContext::kCumulative: {
-          // Oldest open window detects; windows stay open until E3.
-          for (auto it = st.openers.begin(); it != st.openers.end(); ++it) {
-            if (in_window(*it)) {
-              Emit(Compose({&*it, &occurrence}), context);
-              break;
+          case ParamContext::kChronicle:
+          case ParamContext::kCumulative: {
+            // Oldest open window detects; windows stay open until E3.
+            for (auto it = st.openers.begin(); it != st.openers.end(); ++it) {
+              if (in_window(*it)) {
+                out.push_back(Compose({&*it, &occurrence}));
+                break;
+              }
             }
+            break;
           }
-          break;
-        }
-        case ParamContext::kContinuous: {
-          for (const Occurrence& opener : st.openers) {
-            if (in_window(opener)) {
-              Emit(Compose({&opener, &occurrence}), context);
+          case ParamContext::kContinuous: {
+            for (const Occurrence& opener : st.openers) {
+              if (in_window(opener)) {
+                out.push_back(Compose({&opener, &occurrence}));
+              }
             }
+            break;
           }
-          break;
         }
+        break;
       }
-      break;
+      case 2:  // E3 closes windows that precede it, without signalling
+        st.openers.erase(
+            std::remove_if(st.openers.begin(), st.openers.end(),
+                           [&occurrence](const Occurrence& opener) {
+                             return opener.t_end < occurrence.t_start;
+                           }),
+            st.openers.end());
+        break;
+      default:
+        break;
     }
-    case 2:  // E3 closes windows that precede it, without signalling
-      st.openers.erase(
-          std::remove_if(st.openers.begin(), st.openers.end(),
-                         [&occurrence](const Occurrence& opener) {
-                           return opener.t_end < occurrence.t_start;
-                         }),
-          st.openers.end());
-      break;
-    default:
-      break;
   }
+  EmitAll(out, context);
 }
 
 void AperiodicNode::FlushTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) EraseTxn(&st.openers, txn);
 }
 
 void AperiodicNode::FlushAll() {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) st.openers.clear();
 }
 
 std::size_t AperiodicNode::BufferedCount() const {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   std::size_t n = 0;
   for (const State& st : state_) n += st.openers.size();
   return n;
@@ -437,40 +474,46 @@ AperiodicStarNode::AperiodicStarNode(std::string name, EventNode* opener,
 
 void AperiodicStarNode::Receive(int port, const Occurrence& occurrence,
                                 ParamContext context) {
-  State& st = state_[Idx(context)];
-  switch (port) {
-    case 0:  // E1: open (RECENT restarts the window, dropping accumulation)
-      if (context == ParamContext::kRecent) {
+  std::vector<Occurrence> out;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu());
+    State& st = state_[Idx(context)];
+    switch (port) {
+      case 0:  // E1: open (RECENT restarts the window, dropping accumulation)
+        if (context == ParamContext::kRecent) {
+          st.openers.clear();
+          st.accumulated.clear();
+        }
+        st.openers.push_back(occurrence);
+        break;
+      case 1:  // E2: accumulate while a window is open
+        if (!st.openers.empty() &&
+            st.openers.front().t_end < occurrence.t_start) {
+          st.accumulated.push_back(occurrence);
+        }
+        break;
+      case 2: {  // E3: signal once with the whole accumulation (if non-empty)
+        if (!st.openers.empty() && !st.accumulated.empty() &&
+            st.openers.front().t_end < occurrence.t_start) {
+          std::vector<const Occurrence*> parts;
+          parts.push_back(&st.openers.front());
+          for (const Occurrence& acc : st.accumulated) parts.push_back(&acc);
+          parts.push_back(&occurrence);
+          out.push_back(Compose(parts));
+        }
         st.openers.clear();
         st.accumulated.clear();
+        break;
       }
-      st.openers.push_back(occurrence);
-      break;
-    case 1:  // E2: accumulate while a window is open
-      if (!st.openers.empty() &&
-          st.openers.front().t_end < occurrence.t_start) {
-        st.accumulated.push_back(occurrence);
-      }
-      break;
-    case 2: {  // E3: signal once with the whole accumulation (if non-empty)
-      if (!st.openers.empty() && !st.accumulated.empty() &&
-          st.openers.front().t_end < occurrence.t_start) {
-        std::vector<const Occurrence*> parts;
-        parts.push_back(&st.openers.front());
-        for (const Occurrence& acc : st.accumulated) parts.push_back(&acc);
-        parts.push_back(&occurrence);
-        Emit(Compose(parts), context);
-      }
-      st.openers.clear();
-      st.accumulated.clear();
-      break;
+      default:
+        break;
     }
-    default:
-      break;
   }
+  EmitAll(out, context);
 }
 
 void AperiodicStarNode::FlushTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) {
     EraseTxn(&st.openers, txn);
     EraseTxn(&st.accumulated, txn);
@@ -478,6 +521,7 @@ void AperiodicStarNode::FlushTxn(TxnId txn) {
 }
 
 void AperiodicStarNode::FlushAll() {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) {
     st.openers.clear();
     st.accumulated.clear();
@@ -485,6 +529,7 @@ void AperiodicStarNode::FlushAll() {
 }
 
 std::size_t AperiodicStarNode::BufferedCount() const {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   std::size_t n = 0;
   for (const State& st : state_) {
     n += st.openers.size() + st.accumulated.size();
@@ -503,87 +548,96 @@ AnyNode::AnyNode(std::string name, std::size_t threshold,
 
 void AnyNode::Receive(int port, const Occurrence& occurrence,
                       ParamContext context) {
-  State& st = state_[Idx(context)];
-  auto& mine = st.ports[static_cast<std::size_t>(port)];
+  std::vector<Occurrence> out;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu());
+    State& st = state_[Idx(context)];
+    auto& mine = st.ports[static_cast<std::size_t>(port)];
 
-  // Ports (other than this one) currently holding at least one occurrence.
-  std::vector<std::size_t> populated;
-  for (std::size_t p = 0; p < st.ports.size(); ++p) {
-    if (p != static_cast<std::size_t>(port) && !st.ports[p].empty()) {
-      populated.push_back(p);
-    }
-  }
-  if (populated.size() + 1 < threshold_) {
-    // Not enough distinct constituents yet: buffer and wait.
-    if (context == ParamContext::kRecent) mine.clear();
-    mine.push_back(occurrence);
-    return;
-  }
-
-  switch (context) {
-    case ParamContext::kRecent: {
-      // Use the most recent occurrence of the (threshold-1) most recently
-      // active other ports; nothing is consumed.
-      std::sort(populated.begin(), populated.end(),
-                [&st](std::size_t a, std::size_t b) {
-                  return st.ports[a].back().t_end > st.ports[b].back().t_end;
-                });
-      std::vector<const Occurrence*> parts;
-      for (std::size_t i = 0; i + 1 < threshold_; ++i) {
-        parts.push_back(&st.ports[populated[i]].back());
+    // Ports (other than this one) currently holding at least one occurrence.
+    std::vector<std::size_t> populated;
+    for (std::size_t p = 0; p < st.ports.size(); ++p) {
+      if (p != static_cast<std::size_t>(port) && !st.ports[p].empty()) {
+        populated.push_back(p);
       }
-      parts.push_back(&occurrence);
-      Emit(Compose(parts), context);
-      mine.clear();
+    }
+    if (populated.size() + 1 < threshold_) {
+      // Not enough distinct constituents yet: buffer and wait.
+      if (context == ParamContext::kRecent) mine.clear();
       mine.push_back(occurrence);
-      break;
+      return;
     }
-    case ParamContext::kChronicle:
-    case ParamContext::kContinuous: {
-      // FIFO: consume the oldest occurrence of the (threshold-1) other
-      // ports whose heads are oldest.
-      std::sort(populated.begin(), populated.end(),
-                [&st](std::size_t a, std::size_t b) {
-                  return st.ports[a].front().t_end <
-                         st.ports[b].front().t_end;
-                });
-      std::vector<const Occurrence*> parts;
-      for (std::size_t i = 0; i + 1 < threshold_; ++i) {
-        parts.push_back(&st.ports[populated[i]].front());
+
+    switch (context) {
+      case ParamContext::kRecent: {
+        // Use the most recent occurrence of the (threshold-1) most recently
+        // active other ports; nothing is consumed.
+        std::sort(populated.begin(), populated.end(),
+                  [&st](std::size_t a, std::size_t b) {
+                    return st.ports[a].back().t_end >
+                           st.ports[b].back().t_end;
+                  });
+        std::vector<const Occurrence*> parts;
+        for (std::size_t i = 0; i + 1 < threshold_; ++i) {
+          parts.push_back(&st.ports[populated[i]].back());
+        }
+        parts.push_back(&occurrence);
+        out.push_back(Compose(parts));
+        mine.clear();
+        mine.push_back(occurrence);
+        break;
       }
-      parts.push_back(&occurrence);
-      Emit(Compose(parts), context);
-      for (std::size_t i = 0; i + 1 < threshold_; ++i) {
-        st.ports[populated[i]].pop_front();
+      case ParamContext::kChronicle:
+      case ParamContext::kContinuous: {
+        // FIFO: consume the oldest occurrence of the (threshold-1) other
+        // ports whose heads are oldest.
+        std::sort(populated.begin(), populated.end(),
+                  [&st](std::size_t a, std::size_t b) {
+                    return st.ports[a].front().t_end <
+                           st.ports[b].front().t_end;
+                  });
+        std::vector<const Occurrence*> parts;
+        for (std::size_t i = 0; i + 1 < threshold_; ++i) {
+          parts.push_back(&st.ports[populated[i]].front());
+        }
+        parts.push_back(&occurrence);
+        out.push_back(Compose(parts));
+        for (std::size_t i = 0; i + 1 < threshold_; ++i) {
+          st.ports[populated[i]].pop_front();
+        }
+        break;
       }
-      break;
-    }
-    case ParamContext::kCumulative: {
-      std::vector<const Occurrence*> parts;
-      for (auto& port_buffer : st.ports) {
-        for (const Occurrence& o : port_buffer) parts.push_back(&o);
+      case ParamContext::kCumulative: {
+        std::vector<const Occurrence*> parts;
+        for (auto& port_buffer : st.ports) {
+          for (const Occurrence& o : port_buffer) parts.push_back(&o);
+        }
+        parts.push_back(&occurrence);
+        out.push_back(Compose(parts));
+        for (auto& port_buffer : st.ports) port_buffer.clear();
+        break;
       }
-      parts.push_back(&occurrence);
-      Emit(Compose(parts), context);
-      for (auto& port_buffer : st.ports) port_buffer.clear();
-      break;
     }
   }
+  EmitAll(out, context);
 }
 
 void AnyNode::FlushTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) {
     for (auto& port_buffer : st.ports) EraseTxn(&port_buffer, txn);
   }
 }
 
 void AnyNode::FlushAll() {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) {
     for (auto& port_buffer : st.ports) port_buffer.clear();
   }
 }
 
 std::size_t AnyNode::BufferedCount() const {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   std::size_t n = 0;
   for (const State& st : state_) {
     for (const auto& port_buffer : st.ports) n += port_buffer.size();
@@ -602,6 +656,7 @@ PlusNode::PlusNode(std::string name, EventNode* base, std::uint64_t delta_ms,
 void PlusNode::Receive(int port, const Occurrence& occurrence,
                        ParamContext context) {
   (void)port;
+  std::lock_guard<std::mutex> lock(buffer_mu());
   State& st = state_[Idx(context)];
   if (context == ParamContext::kRecent) st.pending.clear();
   st.pending.push_back(Pending{occurrence.at_ms + delta_ms_, occurrence});
@@ -610,19 +665,26 @@ void PlusNode::Receive(int port, const Occurrence& occurrence,
 void PlusNode::OnTimeAdvance(std::uint64_t now_ms) {
   for (int c = 0; c < kNumContexts; ++c) {
     if (!ActiveIn(static_cast<ParamContext>(c))) continue;
-    State& st = state_[c];
-    while (!st.pending.empty() && st.pending.front().deadline_ms <= now_ms) {
-      Pending fired = std::move(st.pending.front());
-      st.pending.pop_front();
-      Occurrence occ = Compose({&fired.base});
-      occ.t_start = occ.t_end = clock_->Tick();
-      occ.at_ms = fired.deadline_ms;
-      Emit(occ, static_cast<ParamContext>(c));
+    std::vector<Occurrence> out;
+    {
+      std::lock_guard<std::mutex> lock(buffer_mu());
+      State& st = state_[c];
+      while (!st.pending.empty() &&
+             st.pending.front().deadline_ms <= now_ms) {
+        Pending fired = std::move(st.pending.front());
+        st.pending.pop_front();
+        Occurrence occ = Compose({&fired.base});
+        occ.t_start = occ.t_end = clock_->Tick();
+        occ.at_ms = fired.deadline_ms;
+        out.push_back(std::move(occ));
+      }
     }
+    EmitAll(out, static_cast<ParamContext>(c));
   }
 }
 
 void PlusNode::FlushTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) {
     st.pending.erase(std::remove_if(st.pending.begin(), st.pending.end(),
                                     [txn](const Pending& p) {
@@ -633,10 +695,12 @@ void PlusNode::FlushTxn(TxnId txn) {
 }
 
 void PlusNode::FlushAll() {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) st.pending.clear();
 }
 
 std::size_t PlusNode::BufferedCount() const {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   std::size_t n = 0;
   for (const State& st : state_) n += st.pending.size();
   return n;
@@ -654,56 +718,68 @@ PeriodicNode::PeriodicNode(std::string name, EventNode* opener,
 
 void PeriodicNode::Receive(int port, const Occurrence& occurrence,
                            ParamContext context) {
-  State& st = state_[Idx(context)];
-  if (port == 0) {
-    if (context == ParamContext::kRecent) st.schedules.clear();
-    st.schedules.push_back(
-        Schedule{occurrence.at_ms + period_ms_, occurrence, 0, {}});
-  } else if (port == 2) {
-    // Close schedules whose opener precedes the closer.
-    std::deque<Schedule> keep;
-    for (Schedule& schedule : st.schedules) {
-      if (schedule.opener.t_end < occurrence.t_start) {
-        OnClose(&schedule, occurrence, context);
-      } else {
-        keep.push_back(std::move(schedule));
+  std::vector<Occurrence> out;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu());
+    State& st = state_[Idx(context)];
+    if (port == 0) {
+      if (context == ParamContext::kRecent) st.schedules.clear();
+      st.schedules.push_back(
+          Schedule{occurrence.at_ms + period_ms_, occurrence, 0, {}});
+    } else if (port == 2) {
+      // Close schedules whose opener precedes the closer.
+      std::deque<Schedule> keep;
+      for (Schedule& schedule : st.schedules) {
+        if (schedule.opener.t_end < occurrence.t_start) {
+          OnClose(&schedule, occurrence, &out);
+        } else {
+          keep.push_back(std::move(schedule));
+        }
       }
+      st.schedules = std::move(keep);
     }
-    st.schedules = std::move(keep);
   }
+  EmitAll(out, context);
 }
 
 void PeriodicNode::OnTimeAdvance(std::uint64_t now_ms) {
   for (int c = 0; c < kNumContexts; ++c) {
     if (!ActiveIn(static_cast<ParamContext>(c))) continue;
-    for (Schedule& schedule : state_[c].schedules) {
-      while (schedule.next_ms <= now_ms) {
-        OnTick(&schedule, schedule.next_ms, static_cast<ParamContext>(c));
-        schedule.next_ms += period_ms_;
+    std::vector<Occurrence> out;
+    {
+      std::lock_guard<std::mutex> lock(buffer_mu());
+      for (Schedule& schedule : state_[c].schedules) {
+        while (schedule.next_ms <= now_ms) {
+          OnTick(&schedule, schedule.next_ms, &out);
+          schedule.next_ms += period_ms_;
+        }
       }
     }
+    EmitAll(out, static_cast<ParamContext>(c));
   }
 }
 
 void PeriodicNode::OnTick(Schedule* schedule, std::uint64_t tick_ms,
-                          ParamContext context) {
+                          std::vector<Occurrence>* out) {
   ++schedule->ticks;
   Occurrence occ = Compose({&schedule->opener});
   occ.t_start = occ.t_end = clock_->Tick();
   occ.at_ms = tick_ms;
-  Emit(occ, context);
+  out->push_back(std::move(occ));
 }
 
 void PeriodicNode::OnClose(Schedule* schedule, const Occurrence& closer,
-                           ParamContext context) {
+                           std::vector<Occurrence>* out) {
   (void)schedule;
   (void)closer;
-  (void)context;  // plain P: closing is silent
+  (void)out;  // plain P: closing is silent
 }
 
 void PeriodicNode::FlushTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) {
-    st.schedules.erase(std::remove_if(st.schedules.begin(), st.schedules.end(),
+    st.schedules.erase(std::remove_if(st.schedules.begin(),
+                                      st.schedules.end(),
                                       [txn](const Schedule& s) {
                                         return s.opener.txn == txn;
                                       }),
@@ -712,10 +788,12 @@ void PeriodicNode::FlushTxn(TxnId txn) {
 }
 
 void PeriodicNode::FlushAll() {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   for (State& st : state_) st.schedules.clear();
 }
 
 std::size_t PeriodicNode::BufferedCount() const {
+  std::lock_guard<std::mutex> lock(buffer_mu());
   std::size_t n = 0;
   for (const State& st : state_) n += st.schedules.size();
   return n;
@@ -729,14 +807,14 @@ PeriodicStarNode::PeriodicStarNode(std::string name, EventNode* opener,
     : PeriodicNode(std::move(name), opener, period_ms, closer, clock) {}
 
 void PeriodicStarNode::OnTick(Schedule* schedule, std::uint64_t tick_ms,
-                              ParamContext context) {
-  (void)context;
+                              std::vector<Occurrence>* out) {
+  (void)out;
   ++schedule->ticks;
   schedule->tick_times.push_back(tick_ms);
 }
 
 void PeriodicStarNode::OnClose(Schedule* schedule, const Occurrence& closer,
-                               ParamContext context) {
+                               std::vector<Occurrence>* out) {
   if (schedule->ticks == 0) return;
   Occurrence occ = Compose({&schedule->opener, &closer});
   // Synthesize the accumulated tick times as a constituent parameter list.
@@ -756,7 +834,7 @@ void PeriodicStarNode::OnClose(Schedule* schedule, const Occurrence& closer,
   synthetic->txn = closer.txn;
   synthetic->params = std::move(params);
   occ.constituents.push_back(std::move(synthetic));
-  Emit(occ, context);
+  out->push_back(std::move(occ));
 }
 
 }  // namespace sentinel::detector

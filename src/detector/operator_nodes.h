@@ -46,6 +46,14 @@ class OperatorNode : public EventNode {
   /// chronological order of their roles).
   Occurrence Compose(const std::vector<const Occurrence*>& parts) const;
 
+  /// Emits a batch of detections collected under the buffer lock. Operators
+  /// mutate their buffers and Compose results while holding buffer_mu(),
+  /// then emit after releasing it — buffer locks are leaf locks and are
+  /// never held across Emit (see EventNode locking discipline).
+  void EmitAll(std::vector<Occurrence>& batch, ParamContext context) {
+    for (Occurrence& occ : batch) Emit(occ, context);
+  }
+
   std::vector<EventNode*> children_;
 
  private:
@@ -240,12 +248,13 @@ class PeriodicNode : public OperatorNode {
     std::deque<Schedule> schedules;
   };
 
-  /// Hook for P*: called per elapsed period instead of emitting.
+  /// Hook for P*: called per elapsed period; detections are appended to
+  /// `out` (the caller emits them after releasing the buffer lock).
   virtual void OnTick(Schedule* schedule, std::uint64_t tick_ms,
-                      ParamContext context);
-  /// Hook for P*: called when E3 closes `schedule`.
+                      std::vector<Occurrence>* out);
+  /// Hook for P*: called when E3 closes `schedule`; same collection rule.
   virtual void OnClose(Schedule* schedule, const Occurrence& closer,
-                       ParamContext context);
+                       std::vector<Occurrence>* out);
 
   std::uint64_t period_ms_;
   LogicalClock* clock_;
@@ -261,9 +270,9 @@ class PeriodicStarNode : public PeriodicNode {
 
  protected:
   void OnTick(Schedule* schedule, std::uint64_t tick_ms,
-              ParamContext context) override;
+              std::vector<Occurrence>* out) override;
   void OnClose(Schedule* schedule, const Occurrence& closer,
-               ParamContext context) override;
+               std::vector<Occurrence>* out) override;
 };
 
 }  // namespace sentinel::detector

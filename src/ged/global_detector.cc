@@ -27,7 +27,7 @@ class GlobalEventDetector::Forwarder : public detector::EventSink {
                    oodb::Value::String(occurrence.event_name));
     for (const auto& constituent : occurrence.constituents) {
       if (constituent->params == nullptr) continue;
-      for (const auto& [name, value] : constituent->params->entries()) {
+      for (const auto& [name, value] : *constituent->params) {
         params->Insert(name, value);
       }
     }

@@ -25,6 +25,7 @@ Status ClassRegistry::Register(ClassDef def) {
     return Status::NotFound("base class not registered: " + def.base_name());
   }
   classes_.emplace(def.name(), std::move(def));
+  version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 

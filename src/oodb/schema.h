@@ -1,6 +1,8 @@
 #ifndef SENTINEL_OODB_SCHEMA_H_
 #define SENTINEL_OODB_SCHEMA_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -82,9 +84,17 @@ class ClassRegistry {
 
   std::vector<std::string> ClassNames() const;
 
+  /// Monotonic counter bumped on every successful Register. The event
+  /// detector stamps its dispatch index with this so cached inheritance
+  /// walks are invalidated when the class hierarchy grows.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, ClassDef> classes_;
+  std::atomic<std::uint64_t> version_{1};
 };
 
 }  // namespace sentinel::oodb

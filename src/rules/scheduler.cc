@@ -58,6 +58,7 @@ RuleScheduler::~RuleScheduler() {
 void RuleScheduler::Enqueue(Firing firing) {
   std::lock_guard<std::mutex> lock(mu_);
   pending_.push_back(std::move(firing));
+  pending_count_.store(pending_.size(), std::memory_order_release);
 }
 
 void RuleScheduler::EnqueueDetached(Firing firing) {
@@ -106,11 +107,15 @@ std::vector<Firing> RuleScheduler::PopBatch() {
       break;
     }
   }
+  pending_count_.store(pending_.size(), std::memory_order_release);
   return batch;
 }
 
 void RuleScheduler::Drain() {
   for (;;) {
+    // Drain is called after every notification; when no rule fired there is
+    // nothing queued — return without touching the queue lock.
+    if (pending_count_.load(std::memory_order_acquire) == 0) return;
     std::vector<Firing> batch = PopBatch();
     if (batch.empty()) return;
     if (batch.size() == 1) {
@@ -262,6 +267,7 @@ void RuleScheduler::AbortTop(storage::TxnId txn) {
                                     return f.txn == txn;
                                   }),
                    pending_.end());
+    pending_count_.store(pending_.size(), std::memory_order_release);
   }
   if (db_ != nullptr) {
     Status st = db_->Abort(txn);

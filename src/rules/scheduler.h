@@ -141,6 +141,10 @@ class RuleScheduler {
 
   std::mutex mu_;
   std::deque<Firing> pending_;
+  // Mirrors pending_.size(); lets Drain() return without locking when no
+  // rule fired (the common case on the Notify hot path, which calls Drain
+  // after every notification).
+  std::atomic<std::size_t> pending_count_{0};
 
   std::mutex detached_mu_;
   std::condition_variable detached_cv_;

@@ -141,5 +141,95 @@ TEST(ConcurrencyTest, ParallelTransactionsOnPersistentStore) {
   std::remove((prefix + ".wal").c_str());
 }
 
+// Notify storm across the lock-striped dispatch path: each thread hammers
+// its own class (composite SEQ event subscribed per class) while every
+// notification also matches a class-level event on the shared base class.
+// Exercises the shared graph lock, the dispatch index under concurrent
+// probes, striped operator buffers, and inheritance routing, with exact
+// final counts.
+TEST(ConcurrencyTest, NotifyStormStripedDispatch) {
+  class AtomicSink : public detector::EventSink {
+   public:
+    void OnEvent(const detector::Occurrence&,
+                 detector::ParamContext) override {
+      count.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  ActiveDatabase db;
+  ASSERT_TRUE(db.OpenInMemory().ok());
+  constexpr int kThreads = 4;
+  constexpr int kPairsPerThread = 400;
+
+  // In-memory mode has no persistent store; supply the class hierarchy
+  // directly so inheritance-aware routing is exercised.
+  oodb::ClassRegistry classes;
+  db.detector()->set_class_registry(&classes);
+  ASSERT_TRUE(classes.Register(oodb::ClassDef("Base", "")).ok());
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(
+        classes.Register(oodb::ClassDef("S" + std::to_string(t), "Base"))
+            .ok());
+  }
+
+  // Class-level event on the base class: fires for every subclass `fa` call.
+  auto base_event = db.detector()->DefinePrimitive(
+      "base_fa", "Base", EventModifier::kEnd, "void fa()");
+  ASSERT_TRUE(base_event.ok());
+  AtomicSink base_sink;
+  ASSERT_TRUE(db.detector()
+                  ->Subscribe("base_fa", &base_sink,
+                              detector::ParamContext::kRecent)
+                  .ok());
+
+  // Per-class composite SEQ(a_t ; b_t), each with its own sink.
+  std::vector<std::unique_ptr<AtomicSink>> seq_sinks;
+  for (int t = 0; t < kThreads; ++t) {
+    const std::string cls = "S" + std::to_string(t);
+    auto a = db.detector()->DefinePrimitive("a" + std::to_string(t), cls,
+                                            EventModifier::kEnd, "void fa()");
+    auto b = db.detector()->DefinePrimitive("b" + std::to_string(t), cls,
+                                            EventModifier::kEnd, "void fb()");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(
+        db.detector()->DefineSeq("seq" + std::to_string(t), *a, *b).ok());
+    seq_sinks.push_back(std::make_unique<AtomicSink>());
+    ASSERT_TRUE(db.detector()
+                    ->Subscribe("seq" + std::to_string(t),
+                                seq_sinks.back().get(),
+                                detector::ParamContext::kRecent)
+                    .ok());
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, t] {
+      const std::string cls = "S" + std::to_string(t);
+      auto params = std::make_shared<detector::ParamList>();
+      for (int i = 0; i < kPairsPerThread; ++i) {
+        db.NotifyMethod(cls, static_cast<oodb::Oid>(t + 1),
+                        EventModifier::kEnd, "void fa()", params, 1);
+        db.NotifyMethod(cls, static_cast<oodb::Oid>(t + 1),
+                        EventModifier::kEnd, "void fb()", params, 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  db.scheduler()->Drain();
+
+  // Every fa on every subclass matched the base-class event.
+  EXPECT_EQ(base_sink.count.load(),
+            static_cast<std::uint64_t>(kThreads) * kPairsPerThread);
+  // Each per-class SEQ paired its own thread's fa;fb stream exactly.
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(seq_sinks[t]->count.load(),
+              static_cast<std::uint64_t>(kPairsPerThread))
+        << "class S" << t;
+  }
+  ASSERT_TRUE(db.Close().ok());
+}
+
 }  // namespace
 }  // namespace sentinel::core

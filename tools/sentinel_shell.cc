@@ -50,7 +50,7 @@ struct Shell {
                   ctx.occurrence->event_name.c_str());
       for (const auto& constituent : ctx.occurrence->constituents) {
         if (constituent->params == nullptr) continue;
-        for (const auto& [name, value] : constituent->params->entries()) {
+        for (const auto& [name, value] : *constituent->params) {
           std::printf(" %s=%s", name.c_str(), value.ToString().c_str());
         }
       }
