@@ -81,6 +81,27 @@ void BM_LockInheritanceAtCommit(benchmark::State& state) {
 }
 BENCHMARK(BM_LockInheritanceAtCommit)->Arg(1)->Arg(16)->Arg(128);
 
+void BM_SubTxnFinishWithResidentKeys(benchmark::State& state) {
+  // A long-lived sibling keeps `resident` keys locked while a small
+  // subtransaction begins, takes one lock, and commits. Finish cost must
+  // depend on the finishing subtransaction's own held keys (via its held-key
+  // index), not on the total number of keys resident in the lock table.
+  const int resident = static_cast<int>(state.range(0));
+  NestedTransactionManager ntm;
+  auto holder = ntm.Begin(1);
+  for (int i = 0; i < resident; ++i) {
+    (void)ntm.Acquire(*holder, "res" + std::to_string(i), LockMode::kShared);
+  }
+  for (auto _ : state) {
+    auto sub = ntm.Begin(1);
+    (void)ntm.Acquire(*sub, "own", LockMode::kExclusive);
+    (void)ntm.Commit(*sub);
+  }
+  ntm.EndTop(1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubTxnFinishWithResidentKeys)->Arg(16)->Arg(256)->Arg(4096);
+
 void BM_AncestorLockIsFree(benchmark::State& state) {
   // Child acquiring a lock its ancestor already holds (always granted).
   NestedTransactionManager ntm;

@@ -45,6 +45,7 @@ void BM_NotifyEventDeclaredNoRule(benchmark::State& state) {
     FireMethod(&db, "Stock", "void f(int v)", ++v, *txn);
   }
   state.SetItemsProcessed(state.iterations());
+  DumpMetricsSnapshot(&db, "BM_NotifyEventDeclaredNoRule");
 }
 BENCHMARK(BM_NotifyEventDeclaredNoRule);
 
@@ -76,6 +77,7 @@ void BM_NotifyWithImmediateRule(benchmark::State& state) {
     FireMethod(&db, "Stock", "void f(int v)", ++v, *txn);
   }
   state.SetItemsProcessed(state.iterations());
+  DumpMetricsSnapshot(&db, "BM_NotifyWithImmediateRule");
 }
 BENCHMARK(BM_NotifyWithImmediateRule);
 

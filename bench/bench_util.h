@@ -2,6 +2,8 @@
 #define SENTINEL_BENCH_BENCH_UTIL_H_
 
 #include <atomic>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -26,6 +28,18 @@ inline void FireMethod(core::ActiveDatabase* db, const std::string& class_name,
                        const std::string& method, int v, storage::TxnId txn) {
   db->NotifyMethod(class_name, /*oid=*/1, EventModifier::kEnd, method,
                    OneIntParam(v), txn);
+}
+
+/// Writes `db`'s pipeline metrics snapshot to
+/// $SENTINEL_BENCH_METRICS_DIR/<name>.json when that env var is set; no-op
+/// otherwise. Lets a bench run leave per-benchmark observability artifacts
+/// (tools/run_benches.sh wires the directory up).
+inline void DumpMetricsSnapshot(core::ActiveDatabase* db,
+                                const std::string& name) {
+  const char* dir = std::getenv("SENTINEL_BENCH_METRICS_DIR");
+  if (dir == nullptr || *dir == '\0' || db == nullptr) return;
+  std::ofstream out(std::string(dir) + "/" + name + ".json");
+  if (out) out << db->StatsJson() << "\n";
 }
 
 /// Sink that counts detections (used where rules would add noise).

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/pool.h"
+#include "obs/json.h"
 
 namespace sentinel::core {
 
@@ -38,6 +39,7 @@ Status ActiveDatabase::OpenInMemory(const Options& options) {
 
 Status ActiveDatabase::OpenCommon(const Options& options) {
   detector_ = std::make_unique<detector::LocalEventDetector>();
+  detector_->set_tracer(&tracer_);
   if (db_ != nullptr) {
     detector_->set_class_registry(db_->classes());
     cache_ = std::make_unique<oodb::ObjectCache>(db_->engine(), db_->objects(),
@@ -46,6 +48,7 @@ Status ActiveDatabase::OpenCommon(const Options& options) {
   nested_ = std::make_unique<txn::NestedTransactionManager>(options.nested);
   scheduler_ = std::make_unique<rules::RuleScheduler>(nested_.get(), db_.get(),
                                                       options.scheduler);
+  scheduler_->set_tracer(&tracer_);
   rules::RuleManager::Config config;
   config.begin_txn_event = kBeginTxnEvent;
   config.pre_commit_event = kPreCommitEvent;
@@ -199,6 +202,62 @@ Status ActiveDatabase::RaiseEvent(
 void ActiveDatabase::AdvanceTime(std::uint64_t now_ms) {
   detector_->AdvanceTime(now_ms);
   scheduler_->Drain();
+}
+
+std::string ActiveDatabase::StatsJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  if (detector_ != nullptr) {
+    w.Key("detector").Raw(detector_->StatsJson());
+  }
+  if (scheduler_ != nullptr) {
+    w.Key("scheduler").BeginObject();
+    w.Field("policy", static_cast<int>(scheduler_->policy()));
+    w.Field("contingency",
+            rules::ContingencyPolicyToString(scheduler_->contingency()));
+    w.Field("executed", scheduler_->executed_count());
+    w.Field("condition_rejections", scheduler_->condition_rejections());
+    w.Field("failed", scheduler_->failed_count());
+    w.Field("abort_top", scheduler_->abort_top_count());
+    w.Field("max_depth", scheduler_->max_depth_seen());
+    w.EndObject();
+  }
+  if (rule_manager_ != nullptr) {
+    w.Key("rules").BeginArray();
+    for (const std::string& name : rule_manager_->RuleNames()) {
+      auto rule = rule_manager_->Find(name);
+      if (!rule.ok()) continue;
+      const obs::RuleMetrics& m = (*rule)->metrics();
+      w.BeginObject();
+      w.Field("name", name);
+      w.Field("event", (*rule)->declared_event());
+      w.Field("coupling", rules::CouplingModeToString((*rule)->coupling()));
+      w.Field("fired", (*rule)->fired_count());
+      w.Key("condition_ns").Raw(obs::HistogramJson(m.condition_ns.TakeSnapshot()));
+      w.Key("action_ns").Raw(obs::HistogramJson(m.action_ns.TakeSnapshot()));
+      w.Key("commit_ns").Raw(obs::HistogramJson(m.commit_ns.TakeSnapshot()));
+      w.Key("abort_ns").Raw(obs::HistogramJson(m.abort_ns.TakeSnapshot()));
+      w.Key("lock_wait_ns")
+          .Raw(obs::HistogramJson(m.lock_wait_ns.TakeSnapshot()));
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  if (nested_ != nullptr) {
+    w.Key("nested_txn").BeginObject();
+    w.Field("active_subtxns", nested_->active_count());
+    w.Field("locked_keys", nested_->locked_key_count());
+    w.EndObject();
+  }
+  w.Key("trace").BeginObject();
+  w.Field("enabled", tracer_.enabled());
+  w.Field("capacity", tracer_.capacity());
+  w.Field("size", tracer_.size());
+  w.Field("recorded", tracer_.recorded());
+  w.Field("dropped", tracer_.dropped());
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
 }
 
 Result<oodb::Oid> ActiveDatabase::CreateObject(storage::TxnId txn,

@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "detector/local_detector.h"
+#include "obs/trace.h"
 #include "oodb/database.h"
 #include "oodb/object_cache.h"
 #include "rules/rule_manager.h"
@@ -108,6 +109,18 @@ class ActiveDatabase {
   rules::RuleScheduler* scheduler() { return scheduler_.get(); }
   txn::NestedTransactionManager* nested_txns() { return nested_.get(); }
 
+  // -- Observability ------------------------------------------------------------
+
+  /// Event→rule→subtransaction provenance tracer (disabled by default; the
+  /// shell's `trace on` or a test enables it). Wired into the detector, the
+  /// rule manager, and the scheduler on Open.
+  obs::ProvenanceTracer* tracer() { return &tracer_; }
+
+  /// Pipeline-wide metrics snapshot (detector per-node counters, per-rule
+  /// latency histograms, scheduler totals, nested-txn gauges, tracer
+  /// counters) as one JSON object.
+  std::string StatsJson() const;
+
   /// Names of the built-in system events and internal flush rules.
   static constexpr char kBeginTxnEvent[] = "sys_begin_transaction";
   static constexpr char kPreCommitEvent[] = "sys_pre_commit_transaction";
@@ -123,6 +136,7 @@ class ActiveDatabase {
 
   bool open_ = false;
   bool rule_events_ = false;
+  obs::ProvenanceTracer tracer_;
   std::unique_ptr<oodb::Database> db_;
   std::unique_ptr<oodb::ObjectCache> cache_;
   std::unique_ptr<detector::LocalEventDetector> detector_;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/pool.h"
+#include "obs/trace.h"
 
 namespace sentinel::detector {
 
@@ -34,6 +35,14 @@ void EventNode::AddParent(EventNode* parent, int port) {
       parents_.begin(), parents_.end(),
       [port](const ParentEdge& edge) { return edge.port < port; });
   parents_.insert(it, ParentEdge{parent, port});
+}
+
+void EventNode::RemoveParent(EventNode* parent) {
+  parents_.erase(std::remove_if(parents_.begin(), parents_.end(),
+                                [parent](const ParentEdge& edge) {
+                                  return edge.node == parent;
+                                }),
+                 parents_.end());
 }
 
 void EventNode::AddSink(EventSink* sink) { sinks_.push_back(sink); }
@@ -71,10 +80,17 @@ void EventNode::ReleaseContextRef(ParamContext context) {
 }
 
 void EventNode::Emit(const Occurrence& occurrence, ParamContext context) {
+  metrics_.OnDetected(context);
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
   // parents_ is kept sorted by descending port (AddParent), so higher ports
   // are delivered first without sorting per emission.
   for (const ParentEdge& edge : parents_) {
     if (edge.node->ActiveIn(context)) {
+      edge.node->metrics().OnReceived(context);
+      if (tracing) {
+        tracer_->Record(obs::EdgeKind::kComposite, name_, edge.node->name(),
+                        occurrence.txn, context);
+      }
       edge.node->Receive(edge.port, occurrence, context);
     }
   }
@@ -132,10 +148,18 @@ void PrimitiveEventNode::Signal(
   occ.at_ms = labelled->at_ms;
   occ.txn = labelled->txn;
   occ.constituents.push_back(labelled);
+  obs::ProvenanceTracer* tracer = this->tracer();
+  const bool tracing = tracer != nullptr && tracer->enabled();
   for (int c = 0; c < kNumContexts; ++c) {
-    if (ActiveIn(static_cast<ParamContext>(c))) {
-      Emit(occ, static_cast<ParamContext>(c));
+    const auto context = static_cast<ParamContext>(c);
+    if (!ActiveIn(context)) continue;
+    metrics().OnReceived(context);
+    if (tracing) {
+      tracer->Record(obs::EdgeKind::kPrimitive,
+                     labelled->class_name + "::" + labelled->method_signature,
+                     name(), labelled->txn, context);
     }
+    Emit(occ, context);
   }
 }
 

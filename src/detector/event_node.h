@@ -10,6 +10,11 @@
 
 #include "common/symbol.h"
 #include "detector/event_types.h"
+#include "obs/metrics.h"
+
+namespace sentinel::obs {
+class ProvenanceTracer;
+}  // namespace sentinel::obs
 
 namespace sentinel::detector {
 
@@ -47,6 +52,10 @@ class EventNode {
   /// Registers `parent` to receive this node's detections on its child slot
   /// `port` (0 = left/initiator, 1 = middle/detector, 2 = right/terminator).
   void AddParent(EventNode* parent, int port);
+
+  /// Drops every edge to `parent` (graph hygiene when an operator node is
+  /// removed — e.g. the generated A* node of a deleted DEFERRED rule).
+  void RemoveParent(EventNode* parent);
 
   /// Rules (and the GED forwarder) subscribe as sinks.
   void AddSink(EventSink* sink);
@@ -98,6 +107,18 @@ class EventNode {
 
   std::size_t sink_count() const { return sinks_.size(); }
 
+  // -- Observability -------------------------------------------------------------
+
+  /// Per-node, per-context detection counters (src/obs). Written on the
+  /// delivery paths with relaxed atomics; read by the stats surfaces.
+  obs::NodeMetrics& metrics() const { return metrics_; }
+
+  /// Attaches the provenance tracer (set by the owning detector when the
+  /// node is installed; may be null). Edges are recorded only while the
+  /// tracer is enabled, so an idle tracer costs one relaxed load per Emit.
+  void set_tracer(obs::ProvenanceTracer* tracer) { tracer_ = tracer; }
+  obs::ProvenanceTracer* tracer() const { return tracer_; }
+
  protected:
   /// Delivers a detection to all parents and sinks. The sink list is
   /// snapshotted and each delivery re-checks membership, so a sink that
@@ -128,6 +149,8 @@ class EventNode {
   std::array<int, kNumContexts> context_refs_{};
   std::atomic<int> active_contexts_{0};
   std::mutex& buffer_mu_;
+  mutable obs::NodeMetrics metrics_;
+  obs::ProvenanceTracer* tracer_ = nullptr;
 };
 
 /// Leaf node: a primitive event declared on (class, method, modifier), with

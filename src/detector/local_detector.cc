@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/pool.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 
 namespace sentinel::detector {
 
@@ -54,6 +56,7 @@ Result<EventNode*> LocalEventDetector::InstallLocked(
     return Status::AlreadyExists("event already defined: " + name);
   }
   EventNode* raw = node.get();
+  raw->set_tracer(tracer_.load(std::memory_order_acquire));
   nodes_[name] = std::move(node);
   return raw;
 }
@@ -510,19 +513,36 @@ void LocalEventDetector::AddRawObserver(
                         std::memory_order_release);
 }
 
+namespace {
+
+/// Flushes one node and charges the buffered occurrences it dropped to its
+/// flush counter (the flush paths do not know per-occurrence contexts, so
+/// accounting is by before/after delta of the buffer gauge).
+template <typename Flush>
+void FlushCounted(EventNode* node, Flush&& flush) {
+  const std::size_t before = node->BufferedCount();
+  flush();
+  const std::size_t after = node->BufferedCount();
+  if (before > after) node->metrics().OnFlushed(before - after);
+}
+
+}  // namespace
+
 void LocalEventDetector::FlushTxn(TxnId txn) {
   std::shared_lock<std::shared_mutex> lock(graph_mu_);
   for (auto& [name, node] : nodes_) {
     (void)name;
-    node->FlushTxn(txn);
+    FlushCounted(node.get(), [&] { node->FlushTxn(txn); });
   }
+  obs::ProvenanceTracer* tracer = tracer_.load(std::memory_order_acquire);
+  if (tracer != nullptr && tracer->enabled()) tracer->FlushTxn(txn);
 }
 
 void LocalEventDetector::FlushAll() {
   std::shared_lock<std::shared_mutex> lock(graph_mu_);
   for (auto& [name, node] : nodes_) {
     (void)name;
-    node->FlushAll();
+    FlushCounted(node.get(), [&] { node->FlushAll(); });
   }
 }
 
@@ -535,7 +555,7 @@ Status LocalEventDetector::FlushEvent(const std::string& event) {
   while (!stack.empty()) {
     EventNode* current = stack.back();
     stack.pop_back();
-    current->FlushAll();
+    FlushCounted(current, [&] { current->FlushAll(); });
     for (EventNode* child : current->Children()) {
       if (child != nullptr) stack.push_back(child);
     }
@@ -551,6 +571,157 @@ std::size_t LocalEventDetector::BufferedCount() const {
     n += node->BufferedCount();
   }
   return n;
+}
+
+Status LocalEventDetector::RemoveEvent(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    return Status::NotFound("no event named " + name);
+  }
+  EventNode* node = it->second.get();
+  if (node->sink_count() > 0) {
+    return Status::InvalidArgument("event " + name +
+                                   " still has subscribed rules");
+  }
+  for (const auto& [other_name, other] : nodes_) {
+    if (other.get() == node) continue;
+    for (EventNode* child : other->Children()) {
+      if (child == node) {
+        return Status::InvalidArgument("event " + name +
+                                       " is a constituent of " + other_name);
+      }
+    }
+  }
+  // Defensive: release any context refs that survived unsubscription so
+  // children stop detecting (and drop buffers) on the node's behalf.
+  for (int c = 0; c < kNumContexts; ++c) {
+    const auto context = static_cast<ParamContext>(c);
+    while (node->ContextRefs(context) > 0) node->ReleaseContextRef(context);
+  }
+  // Unhook the node from its children's parent lists so nothing routes into
+  // freed memory.
+  for (EventNode* child : node->Children()) {
+    if (child != nullptr) child->RemoveParent(node);
+  }
+  if (auto* primitive = dynamic_cast<PrimitiveEventNode*>(node)) {
+    auto by_class = by_class_.find(primitive->class_name());
+    if (by_class != by_class_.end()) {
+      auto& list = by_class->second;
+      list.erase(std::remove(list.begin(), list.end(), primitive), list.end());
+      if (list.empty()) by_class_.erase(by_class);
+      primitive_count_.fetch_sub(1, std::memory_order_release);
+      // Invalidate published dispatch indexes so no stale entry can hand the
+      // dead node to a signalling thread.
+      def_gen_.fetch_add(1, std::memory_order_release);
+    }
+    explicit_events_.erase(name);
+  }
+  temporal_nodes_.erase(
+      std::remove(temporal_nodes_.begin(), temporal_nodes_.end(), node),
+      temporal_nodes_.end());
+  nodes_.erase(it);
+  return Status::OK();
+}
+
+// ---- Observability ----------------------------------------------------------
+
+void LocalEventDetector::set_tracer(obs::ProvenanceTracer* tracer) {
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  tracer_.store(tracer, std::memory_order_release);
+  for (auto& [name, node] : nodes_) {
+    (void)name;
+    node->set_tracer(tracer);
+  }
+}
+
+namespace {
+
+const char* NodeKind(const EventNode* node) {
+  if (auto* op = dynamic_cast<const OperatorNode*>(node)) {
+    return OperatorKindToString(op->kind());
+  }
+  if (dynamic_cast<const PrimitiveEventNode*>(node) != nullptr) {
+    return "PRIMITIVE";
+  }
+  return "NODE";
+}
+
+}  // namespace
+
+std::string LocalEventDetector::DumpGraph() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  std::string out = "digraph events {\n  rankdir=BT;\n";
+  for (const auto& [name, node] : nodes_) {
+    out += "  \"" + name + "\" [label=\"" + name + "\\n" + NodeKind(node.get());
+    std::string refs;
+    for (int c = 0; c < kNumContexts; ++c) {
+      const auto context = static_cast<ParamContext>(c);
+      const int n = node->ContextRefs(context);
+      if (n == 0) continue;
+      if (!refs.empty()) refs += ' ';
+      refs += std::string(ParamContextToString(context)) + "=" +
+              std::to_string(n);
+    }
+    if (!refs.empty()) out += "\\nrefs: " + refs;
+    const obs::NodeMetrics& m = node->metrics();
+    out += "\\nrecv=" + std::to_string(m.received_total()) +
+           " det=" + std::to_string(m.detected_total()) +
+           " buf=" + std::to_string(node->BufferedCount()) + "\"];\n";
+  }
+  // Edges point child → parent (detections flow upward).
+  for (const auto& [name, node] : nodes_) {
+    for (EventNode* child : node->Children()) {
+      if (child != nullptr) {
+        out += "  \"" + child->name() + "\" -> \"" + name + "\";\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string LocalEventDetector::StatsJson() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("notify_count", notify_count_.load(std::memory_order_relaxed));
+  w.Field("node_count", nodes_.size());
+  std::size_t buffered = 0;
+  for (const auto& [name, node] : nodes_) {
+    (void)name;
+    buffered += node->BufferedCount();
+  }
+  w.Field("buffered", buffered);
+  w.Key("events").BeginArray();
+  for (const auto& [name, node] : nodes_) {
+    const obs::NodeMetrics& m = node->metrics();
+    w.BeginObject();
+    w.Field("name", name);
+    w.Field("kind", NodeKind(node.get()));
+    w.Field("sinks", node->sink_count());
+    w.Field("buffered", node->BufferedCount());
+    w.Field("flushed", m.flushed());
+    w.Field("received", m.received_total());
+    w.Field("detected", m.detected_total());
+    w.Key("contexts").BeginObject();
+    for (int c = 0; c < kNumContexts; ++c) {
+      const auto context = static_cast<ParamContext>(c);
+      const auto snap = m.ForContext(context);
+      const int refs = node->ContextRefs(context);
+      if (refs == 0 && snap.received == 0 && snap.detected == 0) continue;
+      w.Key(ParamContextToString(context)).BeginObject();
+      w.Field("refs", static_cast<std::uint64_t>(refs));
+      w.Field("received", snap.received);
+      w.Field("detected", snap.detected);
+      w.EndObject();
+    }
+    w.EndObject();  // contexts
+    w.EndObject();  // event
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace sentinel::detector

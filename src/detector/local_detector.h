@@ -95,6 +95,11 @@ class LocalEventDetector {
   std::vector<std::string> EventNames() const;
   std::size_t node_count() const;
 
+  /// Removes an event node from the graph (graph hygiene: the rewritten A*
+  /// node of a deleted DEFERRED rule must not keep buffering occurrences).
+  /// Fails if the node still has sinks or is a child of another expression.
+  Status RemoveEvent(const std::string& name);
+
   // -- Signalling ----------------------------------------------------------------
 
   /// Raw notification from a wrapper method (the paper's Notify call inserted
@@ -175,6 +180,22 @@ class LocalEventDetector {
     return notify_count_.load(std::memory_order_relaxed);
   }
 
+  // -- Observability ------------------------------------------------------------
+
+  /// Attaches the provenance tracer: propagated to every installed node and
+  /// to nodes installed later. Call before signalling starts.
+  void set_tracer(obs::ProvenanceTracer* tracer);
+  obs::ProvenanceTracer* tracer() const {
+    return tracer_.load(std::memory_order_acquire);
+  }
+
+  /// Event graph in Graphviz DOT, nodes annotated with their per-context
+  /// reference counts and detection counters.
+  std::string DumpGraph() const;
+
+  /// Per-node / per-context counters plus detector totals as a JSON object.
+  std::string StatsJson() const;
+
  private:
   /// One dispatch-index slot: the matching primitive nodes for a
   /// (class, modifier, method) notification key, plus the interned symbols
@@ -240,6 +261,7 @@ class LocalEventDetector {
   LogicalClock clock_;
   std::atomic<std::uint64_t> now_ms_{0};
   std::atomic<std::uint64_t> notify_count_{0};
+  std::atomic<obs::ProvenanceTracer*> tracer_{nullptr};
 };
 
 }  // namespace sentinel::detector

@@ -1,6 +1,7 @@
 #include "ged/global_detector.h"
 
 #include "common/logging.h"
+#include "obs/json.h"
 
 namespace sentinel::ged {
 
@@ -124,6 +125,7 @@ void GlobalEventDetector::Pump(const std::string& app_name,
     std::lock_guard<std::mutex> lock(mu_);
     bus_.emplace_back(app_name, occ);
     ++forwarded_;
+    if (bus_.size() > bus_peak_) bus_peak_ = bus_.size();
   }
   cv_.notify_one();
 }
@@ -165,6 +167,22 @@ void GlobalEventDetector::WaitQuiescent() {
 std::uint64_t GlobalEventDetector::forwarded_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return forwarded_;
+}
+
+std::string GlobalEventDetector::StatsJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    w.Field("forwarded", forwarded_);
+    w.Field("bus_depth", bus_.size());
+    w.Field("bus_peak", bus_peak_);
+    w.Field("applications", apps_.size());
+  }
+  // The internal graph has its own lock; do not hold mu_ across it.
+  w.Key("graph").Raw(graph_.StatsJson());
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace sentinel::ged

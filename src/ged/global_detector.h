@@ -71,6 +71,9 @@ class GlobalEventDetector {
 
   std::uint64_t forwarded_count() const;
 
+  /// Bus counters plus the internal graph's per-node stats as JSON.
+  std::string StatsJson() const;
+
  private:
   class Forwarder;
 
@@ -87,6 +90,7 @@ class GlobalEventDetector {
   bool busy_ = false;
   bool stop_ = false;
   std::uint64_t forwarded_ = 0;
+  std::size_t bus_peak_ = 0;  // deepest the bus has been (backlog gauge)
   std::thread worker_;
 
   // Sinks created by DeliverTo (owned).

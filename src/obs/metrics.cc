@@ -1,0 +1,46 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+
+namespace sentinel::obs {
+
+std::uint64_t LatencyHistogram::Snapshot::QuantileNs(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Upper bound of bucket i: 2^i - 1 ns (bucket 0 holds exactly 0 ns).
+      if (i == 0) return 0;
+      if (i >= 63) return max_ns;
+      const std::uint64_t bound = (1ull << i) - 1;
+      return bound < max_ns ? bound : max_ns;
+    }
+  }
+  return max_ns;
+}
+
+std::string HistogramJson(const LatencyHistogram::Snapshot& snap) {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("count", snap.count)
+      .Field("sum_ns", snap.sum_ns)
+      .Field("mean_ns", snap.mean_ns())
+      .Field("max_ns", snap.max_ns)
+      .Field("p50_ns", snap.QuantileNs(0.50))
+      .Field("p90_ns", snap.QuantileNs(0.90))
+      .Field("p99_ns", snap.QuantileNs(0.99));
+  w.Key("buckets").BeginArray();
+  // Trailing zero buckets are elided to keep snapshots compact.
+  int last = LatencyHistogram::kBuckets - 1;
+  while (last >= 0 && snap.buckets[last] == 0) --last;
+  for (int i = 0; i <= last; ++i) w.Value(snap.buckets[i]);
+  w.EndArray().EndObject();
+  return w.Take();
+}
+
+}  // namespace sentinel::obs

@@ -1,0 +1,113 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace sentinel::obs {
+
+const char* EdgeKindToString(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kPrimitive:
+      return "primitive";
+    case EdgeKind::kComposite:
+      return "composite";
+    case EdgeKind::kFiring:
+      return "firing";
+    case EdgeKind::kSubTxn:
+      return "subtxn";
+  }
+  return "?";
+}
+
+void ProvenanceTracer::Record(EdgeKind kind, std::string from, std::string to,
+                              detector::TxnId txn,
+                              detector::ParamContext context,
+                              std::uint64_t subtxn) {
+  if (!enabled()) return;
+  recorded_.Add();
+  TraceEdge edge;
+  edge.kind = kind;
+  edge.context = context;
+  edge.txn = txn;
+  edge.subtxn = subtxn;
+  edge.from = std::move(from);
+  edge.to = std::move(to);
+  std::lock_guard<std::mutex> lock(mu_);
+  edge.seq = next_seq_++;
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring_.push_back(std::move(edge));
+}
+
+std::vector<TraceEdge> ProvenanceTracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceEdge>(ring_.begin(), ring_.end());
+}
+
+std::vector<TraceEdge> ProvenanceTracer::DrainTxn(detector::TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEdge> drained;
+  auto keep = ring_.begin();
+  for (auto& edge : ring_) {
+    if (edge.txn == txn) {
+      drained.push_back(std::move(edge));
+    } else {
+      *keep++ = std::move(edge);
+    }
+  }
+  ring_.erase(keep, ring_.end());
+  return drained;
+}
+
+void ProvenanceTracer::FlushTxn(detector::TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.erase(std::remove_if(
+                  ring_.begin(), ring_.end(),
+                  [txn](const TraceEdge& edge) { return edge.txn == txn; }),
+              ring_.end());
+}
+
+void ProvenanceTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+std::size_t ProvenanceTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::string ProvenanceTracer::EdgesJson(const std::vector<TraceEdge>& edges) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const TraceEdge& edge : edges) {
+    w.BeginObject()
+        .Field("seq", edge.seq)
+        .Field("kind", EdgeKindToString(edge.kind))
+        .Field("from", edge.from)
+        .Field("to", edge.to)
+        .Field("txn", static_cast<std::uint64_t>(edge.txn))
+        .Field("subtxn", edge.subtxn)
+        .Field("context", detector::ParamContextToString(edge.context))
+        .EndObject();
+  }
+  w.EndArray();
+  return w.Take();
+}
+
+std::string ProvenanceTracer::ToJson() const {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("enabled", enabled())
+      .Field("capacity", capacity_)
+      .Field("recorded", recorded())
+      .Field("dropped", dropped());
+  w.Key("edges").Raw(EdgesJson(Snapshot()));
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace sentinel::obs

@@ -1,0 +1,99 @@
+#ifndef SENTINEL_OBS_TRACE_H_
+#define SENTINEL_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "detector/event_types.h"
+#include "obs/metrics.h"
+
+namespace sentinel::obs {
+
+/// One edge of the event→rule→subtransaction provenance graph.
+enum class EdgeKind : std::uint8_t {
+  kPrimitive = 0,  // raw method notification → primitive event node
+  kComposite = 1,  // child node detection → parent operator node
+  kFiring = 2,     // event detection → rule firing
+  kSubTxn = 3,     // rule firing → subtransaction begin/commit/abort
+};
+
+const char* EdgeKindToString(EdgeKind kind);
+
+struct TraceEdge {
+  EdgeKind kind = EdgeKind::kPrimitive;
+  detector::ParamContext context = detector::ParamContext::kRecent;
+  std::uint64_t seq = 0;
+  detector::TxnId txn = storage::kInvalidTxnId;
+  std::uint64_t subtxn = 0;  // txn::SubTxnId; 0 == none
+  std::string from;
+  std::string to;
+};
+
+/// Bounded ring buffer of provenance edges. Recording while disabled is a
+/// single relaxed atomic load; while enabled it is one short critical
+/// section on the ring mutex (tracing is a debugging/evaluation surface, not
+/// a hot-path feature — the budget is "cheap when off, bounded when on").
+/// When the ring wraps, the oldest edges are overwritten and counted as
+/// dropped.
+class ProvenanceTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit ProvenanceTracer(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  ProvenanceTracer(const ProvenanceTracer&) = delete;
+  ProvenanceTracer& operator=(const ProvenanceTracer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Appends an edge (call sites guard with enabled() so labels are not even
+  /// built when tracing is idle).
+  void Record(EdgeKind kind, std::string from, std::string to,
+              detector::TxnId txn, detector::ParamContext context,
+              std::uint64_t subtxn = 0);
+
+  /// Edges currently in the ring, oldest first.
+  std::vector<TraceEdge> Snapshot() const;
+
+  /// Removes and returns the edges belonging to `txn`, oldest first.
+  std::vector<TraceEdge> DrainTxn(detector::TxnId txn);
+
+  /// Drops `txn`'s edges (per-transaction trace hygiene, mirroring the
+  /// detector's occurrence flush).
+  void FlushTxn(detector::TxnId txn);
+
+  void Clear();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::uint64_t recorded() const { return recorded_.value(); }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Renders the ring (plus counters) as a JSON object.
+  std::string ToJson() const;
+  static std::string EdgesJson(const std::vector<TraceEdge>& edges);
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  ShardedCounter recorded_;
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable std::mutex mu_;
+  std::deque<TraceEdge> ring_;  // ordered oldest→newest, size <= capacity_
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace sentinel::obs
+
+#endif  // SENTINEL_OBS_TRACE_H_

@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "detector/event_types.h"
+#include "obs/metrics.h"
 #include "oodb/database.h"
 #include "txn/nested_txn.h"
 
@@ -115,6 +116,10 @@ class Rule : public detector::EventSink {
   }
   void CountFiring() { fired_.fetch_add(1, std::memory_order_relaxed); }
 
+  /// Latency histograms for this rule's firing pipeline (condition, action,
+  /// subtransaction commit/abort, lock wait). Recorded by the scheduler.
+  obs::RuleMetrics& metrics() const { return metrics_; }
+
   /// EventSink: filters by context, enabled flag and trigger mode, then
   /// hands the firing to the rule manager.
   void OnEvent(const detector::Occurrence& occurrence,
@@ -137,6 +142,7 @@ class Rule : public detector::EventSink {
   RuleVisibility visibility_ = RuleVisibility::kPublic;
   std::atomic<bool> enabled_{true};
   std::atomic<std::uint64_t> fired_{0};
+  mutable obs::RuleMetrics metrics_;
   RuleManager* manager_ = nullptr;
 };
 

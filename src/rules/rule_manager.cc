@@ -1,6 +1,7 @@
 #include "rules/rule_manager.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace sentinel::rules {
 
@@ -175,6 +176,7 @@ Status RuleManager::DisableRule(const std::string& name) {
 }
 
 Status RuleManager::DeleteRule(const std::string& name) {
+  std::string rewritten_event;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = rules_.find(name);
@@ -183,13 +185,31 @@ Status RuleManager::DeleteRule(const std::string& name) {
       SENTINEL_RETURN_NOT_OK(UnsubscribeRuleLocked(it->second.get()));
       it->second->set_enabled(false);
     }
+    if (it->second->event_name() != it->second->declared_event()) {
+      // Coupling-mode rewrite (e.g. the DEFERRED A* node): generated per
+      // rule, so it dies with the rule.
+      rewritten_event = it->second->event_name();
+    }
   }
   // Firings already queued still hold a pointer to the rule object; being
   // disabled they will be skipped, but they must finish before the object
-  // dies. Unsubscribed + disabled means no new firings can appear.
+  // dies. Unsubscribed + disabled means no new firings can appear. Detached
+  // firings run on their own worker and hold the same pointer — wait for
+  // that queue too.
   scheduler_->Drain();
+  scheduler_->WaitDetached();
   std::lock_guard<std::mutex> lock(mu_);
   rules_.erase(name);
+  if (!rewritten_event.empty()) {
+    // Graph hygiene: without this the generated node keeps buffering
+    // occurrences (in whatever contexts other expressions still activate on
+    // its children) for the rest of the process lifetime.
+    Status removed = detector_->RemoveEvent(rewritten_event);
+    if (!removed.ok()) {
+      SENTINEL_LOG(kWarn) << "failed to remove rewritten event node "
+                          << rewritten_event << ": " << removed.ToString();
+    }
+  }
   return Status::OK();
 }
 
@@ -330,6 +350,12 @@ void RuleManager::Trigger(Rule* rule, const detector::Occurrence& occurrence,
     if (firing.txn == storage::kInvalidTxnId) firing.txn = frame->txn;
   }
   firing.priority_path.push_back(rule->priority());
+
+  obs::ProvenanceTracer* tracer = detector_->tracer();
+  if (tracer != nullptr && tracer->enabled()) {
+    tracer->Record(obs::EdgeKind::kFiring, occurrence.event_name, rule->name(),
+                   firing.txn, context, 0);
+  }
 
   if (rule->coupling() == CouplingMode::kDetached) {
     scheduler_->EnqueueDetached(std::move(firing));

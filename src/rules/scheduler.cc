@@ -1,16 +1,25 @@
 #include "rules/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "detector/local_detector.h"
+#include "obs/trace.h"
 
 namespace sentinel::rules {
 
 namespace {
 
 thread_local RuleScheduler::Frame* t_frame = nullptr;
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Lexicographic priority order: larger element wins; a path extending a
 /// prefix wins over the prefix (depth-first).
@@ -38,7 +47,8 @@ const RuleScheduler::Frame* RuleScheduler::CurrentFrame() { return t_frame; }
 
 RuleScheduler::RuleScheduler(txn::NestedTransactionManager* nested,
                              oodb::Database* db, const Options& options)
-    : options_(options),
+    : policy_(options.policy),
+      contingency_(options.contingency),
       nested_(nested),
       db_(db),
       pool_(std::make_unique<ThreadPool>(options.workers)) {
@@ -62,6 +72,19 @@ void RuleScheduler::Enqueue(Firing firing) {
 }
 
 void RuleScheduler::EnqueueDetached(Firing firing) {
+  // A detached firing outlives the Notify call that raised it, but its
+  // constituent occurrences may reference caller-owned parameter lists that
+  // are only guaranteed to live for the duration of that call. Pin them by
+  // deep-copying every constituent (and its ParamList) onto fresh
+  // heap-owned storage before the firing crosses onto the detached queue.
+  for (auto& constituent : firing.occurrence.constituents) {
+    if (constituent == nullptr) continue;
+    auto copy = std::make_shared<detector::PrimitiveOccurrence>(*constituent);
+    if (copy->params != nullptr) {
+      copy->params = std::make_shared<detector::ParamList>(*copy->params);
+    }
+    constituent = std::move(copy);
+  }
   {
     std::lock_guard<std::mutex> lock(detached_mu_);
     detached_pending_.push_back(std::move(firing));
@@ -81,7 +104,7 @@ std::vector<Firing> RuleScheduler::PopBatch() {
       best = i;
     }
   }
-  switch (options_.policy) {
+  switch (policy()) {
     case SchedulingPolicy::kSerial: {
       batch.push_back(std::move(pending_[best]));
       pending_.erase(pending_.begin() + static_cast<long>(best));
@@ -142,6 +165,9 @@ void RuleScheduler::Execute(Firing firing) {
   Rule* rule = firing.rule;
   if (rule == nullptr || !rule->enabled()) return;
 
+  obs::ProvenanceTracer* tracer = tracer_.load(std::memory_order_acquire);
+  const bool tracing = tracer != nullptr && tracer->enabled();
+
   RuleContext ctx;
   ctx.occurrence = &firing.occurrence;
   ctx.context = firing.context;
@@ -161,6 +187,10 @@ void RuleScheduler::Execute(Firing firing) {
     }
     if (begun.ok()) {
       sub = *begun;
+      if (tracing) {
+        tracer->Record(obs::EdgeKind::kSubTxn, rule->name(), "begin",
+                       firing.txn, firing.context, sub);
+      }
     } else {
       sub_status = begun.status();
       SENTINEL_LOG(kWarn) << "subtransaction begin failed for rule "
@@ -201,9 +231,15 @@ void RuleScheduler::Execute(Firing firing) {
         // Conditions are side-effect free: suppress event signalling while
         // the condition function runs (§3.2.1).
         detector::LocalEventDetector::SuppressScope guard;
+        const std::uint64_t t0 = NowNs();
         condition_held = rule->condition()(ctx);
+        rule->metrics().condition_ns.Record(NowNs() - t0);
       }
-      if (condition_held && rule->action()) rule->action()(ctx);
+      if (condition_held && rule->action()) {
+        const std::uint64_t t0 = NowNs();
+        rule->action()(ctx);
+        rule->metrics().action_ns.Record(NowNs() - t0);
+      }
     } catch (const std::exception& e) {
       failure = Status::Internal("rule " + rule->name() +
                                  " threw: " + e.what());
@@ -217,15 +253,31 @@ void RuleScheduler::Execute(Firing firing) {
   t_frame = prev_frame;
 
   if (sub != txn::kInvalidSubTxn) {
+    // The time this subtransaction spent blocked acquiring nested locks is
+    // accumulated by the lock table; harvest it before the subtxn finishes.
+    rule->metrics().lock_wait_ns.Record(nested_->LockWaitNs(sub));
     if (failure.ok()) {
+      const std::uint64_t t0 = NowNs();
       Status commit = nested_->Commit(sub);
+      rule->metrics().commit_ns.Record(NowNs() - t0);
+      if (tracing) {
+        tracer->Record(obs::EdgeKind::kSubTxn, rule->name(),
+                       commit.ok() ? "commit" : "commit-failed", firing.txn,
+                       firing.context, sub);
+      }
       if (!commit.ok()) {
         SENTINEL_LOG(kWarn) << "subtransaction commit failed for rule "
                             << rule->name() << ": " << commit.ToString();
         sub_status = commit;
       }
     } else {
+      const std::uint64_t t0 = NowNs();
       Status aborted = nested_->Abort(sub);
+      rule->metrics().abort_ns.Record(NowNs() - t0);
+      if (tracing) {
+        tracer->Record(obs::EdgeKind::kSubTxn, rule->name(), "abort",
+                       firing.txn, firing.context, sub);
+      }
       if (!aborted.ok()) {
         SENTINEL_LOG(kWarn) << "subtransaction abort failed for rule "
                             << rule->name() << ": " << aborted.ToString();
@@ -243,10 +295,11 @@ void RuleScheduler::Execute(Firing firing) {
   } else {
     failed_.fetch_add(1, std::memory_order_relaxed);
     sub_status = failure;
+    const ContingencyPolicy contingency = this->contingency();
     SENTINEL_LOG(kWarn) << "rule " << rule->name() << " failed (contained, "
-                        << ContingencyPolicyToString(options_.contingency)
+                        << ContingencyPolicyToString(contingency)
                         << "): " << failure.ToString();
-    if (options_.contingency == ContingencyPolicy::kAbortTop &&
+    if (contingency == ContingencyPolicy::kAbortTop &&
         firing.txn != storage::kInvalidTxnId) {
       AbortTop(firing.txn);
     }
@@ -320,6 +373,10 @@ void RuleScheduler::DetachedLoop() {
 }
 
 void RuleScheduler::WaitDetached() {
+  // A detached rule's action may itself delete rules (which waits on this
+  // queue); waiting for the queue to drain from the worker that is draining
+  // it would self-deadlock.
+  if (std::this_thread::get_id() == detached_worker_.get_id()) return;
   std::unique_lock<std::mutex> lock(detached_mu_);
   detached_cv_.wait(lock, [this] {
     return detached_pending_.empty() && detached_busy_ == 0;

@@ -13,6 +13,10 @@
 #include "rules/rule.h"
 #include "rules/thread_pool.h"
 
+namespace sentinel::obs {
+class ProvenanceTracer;
+}  // namespace sentinel::obs
+
 namespace sentinel::rules {
 
 /// How triggered rules are ordered (paper §2.2 "Rule scheduling"):
@@ -111,11 +115,25 @@ class RuleScheduler {
   /// Times the kAbortTop contingency aborted a triggering transaction.
   std::uint64_t abort_top_count() const { return abort_top_; }
   int max_depth_seen() const { return max_depth_; }
-  SchedulingPolicy policy() const { return options_.policy; }
-  void set_policy(SchedulingPolicy policy) { options_.policy = policy; }
-  ContingencyPolicy contingency() const { return options_.contingency; }
+  // Policy knobs are atomics: the shell (or any admin surface) may flip them
+  // while worker threads are popping batches and executing firings.
+  SchedulingPolicy policy() const {
+    return policy_.load(std::memory_order_relaxed);
+  }
+  void set_policy(SchedulingPolicy policy) {
+    policy_.store(policy, std::memory_order_relaxed);
+  }
+  ContingencyPolicy contingency() const {
+    return contingency_.load(std::memory_order_relaxed);
+  }
   void set_contingency(ContingencyPolicy policy) {
-    options_.contingency = policy;
+    contingency_.store(policy, std::memory_order_relaxed);
+  }
+
+  /// Attaches the provenance tracer; firing→subtransaction edges are
+  /// recorded while it is enabled.
+  void set_tracer(obs::ProvenanceTracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
   }
 
   /// Record of one executed firing, for the rule debugger and for the
@@ -134,10 +152,12 @@ class RuleScheduler {
   // kAbortTop contingency: drop queued firings of `txn` and abort it.
   void AbortTop(storage::TxnId txn);
 
-  Options options_;
+  std::atomic<SchedulingPolicy> policy_;
+  std::atomic<ContingencyPolicy> contingency_;
   txn::NestedTransactionManager* nested_;
   oodb::Database* db_;
   std::unique_ptr<ThreadPool> pool_;
+  std::atomic<obs::ProvenanceTracer*> tracer_{nullptr};
 
   std::mutex mu_;
   std::deque<Firing> pending_;

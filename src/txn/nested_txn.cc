@@ -88,16 +88,108 @@ Status NestedTransactionManager::Acquire(SubTxnId sub,
     return Status::OK();
   }
 
-  const auto deadline = std::chrono::steady_clock::now() + options_.lock_timeout;
-  while (!CanGrantLocked(state, sub, mode)) {
-    if (state.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
-        !CanGrantLocked(state, sub, mode)) {
+  bool timed_out = false;
+  if (!CanGrantLocked(state, sub, mode)) {
+    // Block. The LockState reference stays valid while we wait: entries are
+    // never erased while waiters > 0, and unordered_map rehashes do not move
+    // the pointed-to unique_ptr targets.
+    ++state.waiters;
+    const auto wait_start = std::chrono::steady_clock::now();
+    const auto deadline = wait_start + options_.lock_timeout;
+    while (!CanGrantLocked(state, sub, mode)) {
+      if (state.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+          !CanGrantLocked(state, sub, mode)) {
+        timed_out = true;
+        break;
+      }
+    }
+    --state.waiters;
+    const std::uint64_t waited_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count());
+    // The wait released mu_, so our subs_ iterator may be stale (rehash) or
+    // the subtransaction may have been torn down by EndTop; re-resolve.
+    sub_it = subs_.find(sub);
+    if (sub_it == subs_.end() || !sub_it->second.active) {
+      MaybeEraseLocked(key);
+      return Status::InvalidArgument("subtransaction not active: " +
+                                     std::to_string(sub));
+    }
+    sub_it->second.lock_wait_ns += waited_ns;
+    if (timed_out) {
+      MaybeEraseLocked(key);
       return Status::LockTimeout("subtxn " + std::to_string(sub) +
                                  " timed out on " + key);
     }
   }
-  state.holders[sub] = mode;
+  auto [holder_it, inserted] = state.holders.emplace(sub, mode);
+  if (inserted) {
+    sub_it->second.held_keys.push_back(key);
+  } else {
+    holder_it->second = mode;
+  }
   return Status::OK();
+}
+
+void NestedTransactionManager::MaybeEraseLocked(const std::string& key) {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return;
+  const LockState& state = *it->second;
+  if (state.holders.empty() && state.top_retained.empty() &&
+      state.waiters == 0) {
+    locks_.erase(it);
+  }
+}
+
+void NestedTransactionManager::InheritLocksLocked(SubTxn& sub_state,
+                                                  SubTxnId sub) {
+  const SubTxnId parent = sub_state.parent;
+  const TopTxnId top = sub_state.top;
+  for (const std::string& key : sub_state.held_keys) {
+    auto lock_it = locks_.find(key);
+    if (lock_it == locks_.end()) continue;
+    LockState& state = *lock_it->second;
+    auto held = state.holders.find(sub);
+    if (held == state.holders.end()) continue;
+    const storage::LockMode mode = held->second;
+    state.holders.erase(held);
+    if (parent != kInvalidSubTxn) {
+      auto [existing, inserted] = state.holders.emplace(parent, mode);
+      if (inserted) {
+        auto parent_it = subs_.find(parent);
+        if (parent_it != subs_.end()) {
+          parent_it->second.held_keys.push_back(key);
+        }
+      } else if (mode == storage::LockMode::kExclusive) {
+        existing->second = storage::LockMode::kExclusive;
+      }
+    } else {
+      auto [retained_it, inserted] = state.top_retained.emplace(top, mode);
+      if (inserted) {
+        retained_keys_[top].push_back(key);
+      } else if (mode == storage::LockMode::kExclusive) {
+        retained_it->second = storage::LockMode::kExclusive;
+      }
+    }
+    state.cv.notify_all();
+  }
+  sub_state.held_keys.clear();
+}
+
+void NestedTransactionManager::ReleaseLocksLocked(SubTxn& sub_state,
+                                                  SubTxnId sub) {
+  for (const std::string& key : sub_state.held_keys) {
+    auto lock_it = locks_.find(key);
+    if (lock_it == locks_.end()) continue;
+    LockState& state = *lock_it->second;
+    if (state.holders.erase(sub) > 0) state.cv.notify_all();
+    if (state.holders.empty() && state.top_retained.empty() &&
+        state.waiters == 0) {
+      locks_.erase(lock_it);
+    }
+  }
+  sub_state.held_keys.clear();
 }
 
 Status NestedTransactionManager::Commit(SubTxnId sub) {
@@ -111,30 +203,9 @@ Status NestedTransactionManager::Commit(SubTxnId sub) {
     return Status::InvalidArgument("subtransaction has live children");
   }
   const SubTxnId parent = it->second.parent;
-  const TopTxnId top = it->second.top;
-  // Inherit locks upward.
-  for (auto& [key, state] : locks_) {
-    (void)key;
-    auto held = state->holders.find(sub);
-    if (held == state->holders.end()) continue;
-    const storage::LockMode mode = held->second;
-    state->holders.erase(held);
-    if (parent != kInvalidSubTxn) {
-      auto existing = state->holders.find(parent);
-      if (existing == state->holders.end()) {
-        state->holders[parent] = mode;
-      } else if (mode == storage::LockMode::kExclusive) {
-        existing->second = storage::LockMode::kExclusive;
-      }
-    } else {
-      auto [retained_it, inserted] =
-          state->top_retained.emplace(top, mode);
-      if (!inserted && mode == storage::LockMode::kExclusive) {
-        retained_it->second = storage::LockMode::kExclusive;
-      }
-    }
-    state->cv.notify_all();
-  }
+  // Inherit locks upward — touches only the keys this subtransaction holds,
+  // not the whole lock table.
+  InheritLocksLocked(it->second, sub);
   it->second.active = false;
   if (parent != kInvalidSubTxn) {
     auto parent_it = subs_.find(parent);
@@ -154,10 +225,7 @@ Status NestedTransactionManager::Abort(SubTxnId sub) {
   if (it->second.live_children > 0) {
     return Status::InvalidArgument("subtransaction has live children");
   }
-  for (auto& [key, state] : locks_) {
-    (void)key;
-    if (state->holders.erase(sub) > 0) state->cv.notify_all();
-  }
+  ReleaseLocksLocked(it->second, sub);
   const SubTxnId parent = it->second.parent;
   if (parent != kInvalidSubTxn) {
     auto parent_it = subs_.find(parent);
@@ -172,22 +240,27 @@ void NestedTransactionManager::EndTop(TopTxnId top) {
   // Drop any stragglers belonging to this top-level transaction.
   for (auto it = subs_.begin(); it != subs_.end();) {
     if (it->second.top == top) {
-      for (auto& [key, state] : locks_) {
-        (void)key;
-        if (state->holders.erase(it->first) > 0) state->cv.notify_all();
-      }
+      ReleaseLocksLocked(it->second, it->first);
       it = subs_.erase(it);
     } else {
       ++it;
     }
   }
-  for (auto it = locks_.begin(); it != locks_.end();) {
-    if (it->second->top_retained.erase(top) > 0) it->second->cv.notify_all();
-    if (it->second->holders.empty() && it->second->top_retained.empty()) {
-      it = locks_.erase(it);
-    } else {
-      ++it;
+  // Release locks retained by this transaction's committed subtransactions
+  // (indexed per top, so no full-table scan here either).
+  auto retained_it = retained_keys_.find(top);
+  if (retained_it != retained_keys_.end()) {
+    for (const std::string& key : retained_it->second) {
+      auto lock_it = locks_.find(key);
+      if (lock_it == locks_.end()) continue;
+      LockState& state = *lock_it->second;
+      if (state.top_retained.erase(top) > 0) state.cv.notify_all();
+      if (state.holders.empty() && state.top_retained.empty() &&
+          state.waiters == 0) {
+        locks_.erase(lock_it);
+      }
     }
+    retained_keys_.erase(retained_it);
   }
 }
 
@@ -228,6 +301,12 @@ std::size_t NestedTransactionManager::locked_key_count() const {
     if (!state->holders.empty() || !state->top_retained.empty()) ++n;
   }
   return n;
+}
+
+std::uint64_t NestedTransactionManager::LockWaitNs(SubTxnId sub) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subs_.find(sub);
+  return it != subs_.end() ? it->second.lock_wait_ns : 0;
 }
 
 }  // namespace sentinel::txn

@@ -71,6 +71,10 @@ class NestedTransactionManager {
   std::size_t active_count() const;
   std::size_t locked_key_count() const;
 
+  /// Nanoseconds `sub` has spent blocked in Acquire so far (latency
+  /// accounting for the rule metrics; harvested before commit/abort).
+  std::uint64_t LockWaitNs(SubTxnId sub) const;
+
  private:
   struct SubTxn {
     TopTxnId top = 0;
@@ -78,6 +82,12 @@ class NestedTransactionManager {
     int depth = 1;
     bool active = true;
     int live_children = 0;
+    // Keys this subtransaction holds (insertion order; no duplicates —
+    // Acquire appends only when the holder entry is newly created). Lets
+    // Commit/Abort/EndTop release exactly the locks involved instead of
+    // scanning the whole lock table.
+    std::vector<std::string> held_keys;
+    std::uint64_t lock_wait_ns = 0;
   };
 
   struct LockState {
@@ -87,17 +97,31 @@ class NestedTransactionManager {
     std::map<SubTxnId, storage::LockMode> holders;
     std::map<TopTxnId, storage::LockMode> top_retained;
     std::condition_variable cv;
+    // Threads currently blocked in Acquire on this entry. An entry may only
+    // be erased when this is 0: erasing would destroy a condition_variable
+    // another thread is waiting on.
+    int waiters = 0;
   };
 
   // True if `ancestor` is `sub` or one of its ancestors. Requires mu_.
   bool IsAncestorLocked(SubTxnId ancestor, SubTxnId sub) const;
   bool CanGrantLocked(const LockState& state, SubTxnId sub,
                       storage::LockMode mode) const;
+  // Erases `key`'s entry if nothing holds/retains/waits on it. Requires mu_.
+  void MaybeEraseLocked(const std::string& key);
+  // Moves `sub`'s hold on each of its held keys to the parent (or retains it
+  // for the top on a depth-1 commit). Requires mu_.
+  void InheritLocksLocked(SubTxn& sub_state, SubTxnId sub);
+  // Drops `sub`'s hold on each of its held keys. Requires mu_.
+  void ReleaseLocksLocked(SubTxn& sub_state, SubTxnId sub);
 
   Options options_;
   mutable std::mutex mu_;
   std::unordered_map<SubTxnId, SubTxn> subs_;
   std::unordered_map<std::string, std::unique_ptr<LockState>> locks_;
+  // top txn -> keys its committed depth-1 subtransactions retained; lets
+  // EndTop release retained locks without scanning the whole table.
+  std::unordered_map<TopTxnId, std::vector<std::string>> retained_keys_;
   SubTxnId next_id_ = 1;
 };
 

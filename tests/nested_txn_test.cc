@@ -130,6 +130,64 @@ TEST(NestedTxnTest, BlockedSiblingWakesOnRelease) {
   EXPECT_TRUE(granted);
 }
 
+TEST(NestedTxnTest, LockTableDrainsAsSubtxnsFinish) {
+  // Finishing a subtransaction must erase lock-table entries it leaves empty
+  // (via its held-key index) rather than parking them until EndTop — the
+  // table size tracks live locks, not historical ones.
+  NestedTransactionManager ntm;
+  auto parent = ntm.Begin(1);
+  auto child = ntm.Begin(1, *parent);
+  ASSERT_TRUE(ntm.Acquire(*child, "a", LockMode::kExclusive).ok());
+  ASSERT_TRUE(ntm.Acquire(*child, "b", LockMode::kShared).ok());
+  ASSERT_TRUE(ntm.Acquire(*parent, "c", LockMode::kExclusive).ok());
+  EXPECT_EQ(ntm.locked_key_count(), 3u);
+  // Commit inherits a and b to the parent: entries stay live.
+  ASSERT_TRUE(ntm.Commit(*child).ok());
+  EXPECT_EQ(ntm.locked_key_count(), 3u);
+  // Abort of the parent drops all three immediately — no EndTop needed.
+  ASSERT_TRUE(ntm.Abort(*parent).ok());
+  EXPECT_EQ(ntm.locked_key_count(), 0u);
+
+  // Depth-1 commit retains for the top; EndTop drains the retained set.
+  auto sub = ntm.Begin(2);
+  ASSERT_TRUE(ntm.Acquire(*sub, "k", LockMode::kExclusive).ok());
+  ASSERT_TRUE(ntm.Commit(*sub).ok());
+  EXPECT_EQ(ntm.locked_key_count(), 1u);
+  ntm.EndTop(2);
+  EXPECT_EQ(ntm.locked_key_count(), 0u);
+}
+
+TEST(NestedTxnTest, ReacquiringAHeldKeyDoesNotDuplicate) {
+  // Upgrades/re-acquires reuse the existing holder entry; the held-key index
+  // must not double-count, or release would try to drop the key twice.
+  NestedTransactionManager ntm;
+  auto sub = ntm.Begin(1);
+  ASSERT_TRUE(ntm.Acquire(*sub, "k", LockMode::kShared).ok());
+  ASSERT_TRUE(ntm.Acquire(*sub, "k", LockMode::kExclusive).ok());
+  EXPECT_EQ(ntm.locked_key_count(), 1u);
+  ASSERT_TRUE(ntm.Abort(*sub).ok());
+  EXPECT_EQ(ntm.locked_key_count(), 0u);
+  ntm.EndTop(1);
+}
+
+TEST(NestedTxnTest, LockWaitTimeIsAccounted) {
+  NestedTransactionManager ntm(
+      NestedTransactionManager::Options{std::chrono::seconds(5)});
+  auto parent = ntm.Begin(1);
+  auto s1 = ntm.Begin(1, *parent);
+  auto s2 = ntm.Begin(1, *parent);
+  ASSERT_TRUE(ntm.Acquire(*s1, "k", LockMode::kExclusive).ok());
+  EXPECT_EQ(ntm.LockWaitNs(*s2), 0u);
+  std::thread waiter([&] {
+    ASSERT_TRUE(ntm.Acquire(*s2, "k", LockMode::kExclusive).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(ntm.Abort(*s1).ok());
+  waiter.join();
+  // s2 blocked for ~50ms; the accounting only needs to be non-zero and sane.
+  EXPECT_GT(ntm.LockWaitNs(*s2), 1000000u);  // > 1ms
+}
+
 TEST(NestedTxnTest, EndTopCleansEverything) {
   NestedTransactionManager ntm;
   auto s1 = ntm.Begin(7);

@@ -1,0 +1,238 @@
+// Observability layer: sharded counters, latency histograms, per-node
+// per-context metrics, the provenance trace ring, and the lifetime/race
+// regressions that ride along with it (scheduler policy atomics, detached
+// firing parameter pinning). Suite names start with Obs* so the TSan CI job's
+// --gtest_filter picks them up.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "detector/local_detector.h"
+#include "detector_test_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rules/rule_manager.h"
+#include "rules/scheduler.h"
+#include "txn/nested_txn.h"
+
+namespace sentinel::obs {
+namespace {
+
+using detector::EventModifier;
+using detector::LocalEventDetector;
+using detector::ParamContext;
+
+TEST(ObsShardedCounterTest, ConcurrentAddsAggregate) {
+  ShardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAdds; ++i) counter.Add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(ObsHistogramTest, RecordsCountSumMaxAndQuantiles) {
+  LatencyHistogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(400);
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum_ns, 700u);
+  EXPECT_EQ(snap.max_ns, 400u);
+  EXPECT_EQ(snap.mean_ns(), 233u);
+  // Quantiles are bucket upper bounds (2^i - 1), clamped to the max.
+  EXPECT_EQ(snap.QuantileNs(0.0), 127u);  // 100 lands in bucket 7
+  EXPECT_EQ(snap.QuantileNs(0.5), 255u);  // 200 lands in bucket 8
+  EXPECT_EQ(snap.QuantileNs(1.0), 400u);  // bucket 9's bound clamps to max
+}
+
+TEST(ObsHistogramTest, AggregatesAcrossThreads) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kRecords; ++i) {
+        h.Record(static_cast<std::uint64_t>(t + 1) * 10);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kRecords);
+  // sum = 5000 * 10 * (1 + 2 + ... + 8)
+  EXPECT_EQ(snap.sum_ns, static_cast<std::uint64_t>(kRecords) * 10 * 36);
+  EXPECT_EQ(snap.max_ns, 80u);
+  std::uint64_t bucketed = 0;
+  for (auto b : snap.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, snap.count);
+}
+
+TEST(ObsTraceTest, RingWrapsAndCountsDropped) {
+  ProvenanceTracer tracer(/*capacity=*/8);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 20; ++i) {
+    tracer.Record(EdgeKind::kPrimitive, "m", "e", /*txn=*/1,
+                  ParamContext::kRecent);
+  }
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_EQ(tracer.recorded(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  auto edges = tracer.Snapshot();
+  ASSERT_EQ(edges.size(), 8u);
+  // The survivors are the 8 newest, oldest first.
+  EXPECT_EQ(edges.front().seq, 13u);
+  EXPECT_EQ(edges.back().seq, 20u);
+}
+
+TEST(ObsTraceTest, FlushTxnDropsOnlyThatTxn) {
+  ProvenanceTracer tracer;
+  tracer.set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    tracer.Record(EdgeKind::kFiring, "e", "r", /*txn=*/1,
+                  ParamContext::kRecent);
+  }
+  for (int i = 0; i < 2; ++i) {
+    tracer.Record(EdgeKind::kFiring, "e", "r", /*txn=*/2,
+                  ParamContext::kRecent);
+  }
+  tracer.FlushTxn(1);
+  EXPECT_EQ(tracer.size(), 2u);
+  for (const auto& edge : tracer.Snapshot()) EXPECT_EQ(edge.txn, 2u);
+  auto drained = tracer.DrainTxn(2);
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(ObsTraceTest, DetectorFlushTxnFlushesTrace) {
+  LocalEventDetector det;
+  ProvenanceTracer tracer;
+  det.set_tracer(&tracer);
+  tracer.set_enabled(true);
+  ASSERT_TRUE(
+      det.DefinePrimitive("e1", "C", EventModifier::kEnd, "void f()").ok());
+  detector::RecordingSink sink;
+  ASSERT_TRUE(det.Subscribe("e1", &sink, ParamContext::kRecent).ok());
+  detector::Fire(&det, "C", "void f()", 1, /*txn=*/5);
+  detector::Fire(&det, "C", "void f()", 2, /*txn=*/6);
+  ASSERT_GT(tracer.size(), 0u);
+  det.FlushTxn(5);
+  for (const auto& edge : tracer.Snapshot()) EXPECT_EQ(edge.txn, 6u);
+}
+
+TEST(ObsNodeMetricsTest, CountersPerContextInSharedGraph) {
+  LocalEventDetector det;
+  auto node =
+      det.DefinePrimitive("e1", "C", EventModifier::kEnd, "void f()");
+  ASSERT_TRUE(node.ok());
+  // One sink per parameter context, all sharing the node.
+  detector::RecordingSink sinks[detector::kNumContexts];
+  for (int c = 0; c < detector::kNumContexts; ++c) {
+    ASSERT_TRUE(
+        det.Subscribe("e1", &sinks[c], static_cast<ParamContext>(c)).ok());
+  }
+  detector::Fire(&det, "C", "void f()", 1);
+  detector::Fire(&det, "C", "void f()", 2);
+  const obs::NodeMetrics& m = (*node)->metrics();
+  for (int c = 0; c < detector::kNumContexts; ++c) {
+    auto snap = m.ForContext(static_cast<ParamContext>(c));
+    EXPECT_EQ(snap.received, 2u) << "context " << c;
+    EXPECT_EQ(snap.detected, 2u) << "context " << c;
+    // Sinks see every active context's detection and filter themselves
+    // (as Rule::OnEvent does); count only their own context.
+    EXPECT_EQ(sinks[c].CountIn(static_cast<ParamContext>(c)), 2u)
+        << "context " << c;
+  }
+  EXPECT_EQ(m.received_total(), 2u * detector::kNumContexts);
+  EXPECT_EQ(m.detected_total(), 2u * detector::kNumContexts);
+}
+
+// S2 regression: policy/contingency are read by scheduler workers while the
+// application may retune them — both must be data-race free (TSan verifies).
+TEST(ObsSchedulerTest, PolicySettersRaceWithReaders) {
+  txn::NestedTransactionManager nested;
+  rules::RuleScheduler scheduler(&nested, nullptr,
+                                 rules::RuleScheduler::Options{});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 2000; ++i) {
+      scheduler.set_policy(i % 2 == 0 ? rules::SchedulingPolicy::kSerial
+                                      : rules::SchedulingPolicy::kConcurrent);
+      scheduler.set_contingency(i % 2 == 0
+                                    ? rules::ContingencyPolicy::kSkipRule
+                                    : rules::ContingencyPolicy::kAbortTop);
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    std::uint64_t observed = 0;
+    while (!stop) {
+      observed += static_cast<std::uint64_t>(scheduler.policy());
+      observed += static_cast<std::uint64_t>(scheduler.contingency());
+    }
+    // Keep the loop from being optimized away.
+    EXPECT_GE(observed, 0u);
+  });
+  writer.join();
+  reader.join();
+}
+
+/// Detector + scheduler + manager for the detached-lifetime regression.
+class ObsDetachedLifetimeTest : public ::testing::Test {
+ protected:
+  ObsDetachedLifetimeTest()
+      : scheduler_(&nested_, nullptr, rules::RuleScheduler::Options{}),
+        manager_(&det_, &scheduler_) {
+    (void)*det_.DefinePrimitive("e1", "C", EventModifier::kEnd, "void f(int)");
+  }
+
+  LocalEventDetector det_;
+  txn::NestedTransactionManager nested_;
+  rules::RuleScheduler scheduler_;
+  rules::RuleManager manager_;
+};
+
+// S4 regression: a DETACHED firing crosses threads, so the parameter list of
+// the triggering occurrence must be deep-copied at enqueue time — the caller
+// only guarantees it lives until Notify returns. Under ASan the pre-fix
+// behavior is a heap-use-after-free in the detached worker.
+TEST_F(ObsDetachedLifetimeTest, DetachedFiringOutlivesCallerParams) {
+  std::atomic<int> observed{0};
+  rules::RuleManager::RuleOptions options;
+  options.coupling = rules::CouplingMode::kDetached;
+  ASSERT_TRUE(manager_
+                  .DefineRule("rd", "e1", nullptr,
+                              [&](const rules::RuleContext& ctx) {
+                                auto v = ctx.Param("v");
+                                if (v.ok()) observed = (*v).AsInt();
+                              },
+                              options)
+                  .ok());
+  {
+    auto params = std::make_shared<detector::ParamList>();
+    params->Insert("v", oodb::Value::Int(42));
+    det_.Notify("C", /*oid=*/100, EventModifier::kEnd, "void f(int)", params,
+                /*txn=*/1);
+    // The only reference dies here, before the detached worker necessarily
+    // ran. The enqueue-time deep copy keeps the firing self-contained.
+  }
+  scheduler_.WaitDetached();
+  EXPECT_EQ(observed, 42);
+}
+
+}  // namespace
+}  // namespace sentinel::obs

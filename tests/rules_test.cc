@@ -103,6 +103,48 @@ TEST_F(RulesTest, DisableEnableDelete) {
   EXPECT_TRUE(manager_.Find("r1").status().IsNotFound());
 }
 
+TEST_F(RulesTest, DeleteDeferredRuleRemovesRewrittenNode) {
+  // The DEFERRED rewrite generates a per-rule A*(begin, E, pre_commit) node;
+  // deleting the rule must remove it again, including anything it buffered —
+  // otherwise every define/delete cycle leaks a node that accumulates
+  // occurrences for the rest of the process lifetime.
+  ASSERT_TRUE(det_.DefineExplicit("sys_begin_transaction").ok());
+  ASSERT_TRUE(det_.DefineExplicit("sys_pre_commit_transaction").ok());
+  const std::size_t baseline_nodes = det_.node_count();
+  const std::size_t baseline_buffered = det_.BufferedCount();
+
+  RuleManager::RuleOptions options;
+  options.coupling = CouplingMode::kDeferred;
+  std::atomic<int> actions{0};
+  ASSERT_TRUE(manager_
+                  .DefineRule("rd", "e1", nullptr,
+                              [&](const RuleContext&) { ++actions; }, options)
+                  .ok());
+  EXPECT_EQ(det_.node_count(), baseline_nodes + 1);
+
+  // Open the A* window and accumulate an occurrence in it.
+  auto params = std::make_shared<detector::ParamList>();
+  ASSERT_TRUE(det_.RaiseExplicit("sys_begin_transaction", params, 1).ok());
+  FireF(1, 1);
+  EXPECT_GT(det_.BufferedCount(), baseline_buffered);
+
+  ASSERT_TRUE(manager_.DeleteRule("rd").ok());
+  EXPECT_EQ(det_.node_count(), baseline_nodes);
+  EXPECT_EQ(det_.BufferedCount(), baseline_buffered);
+
+  // The event graph stays fully usable: a fresh deferred rule gets its own
+  // node and still executes at pre_commit.
+  ASSERT_TRUE(manager_
+                  .DefineRule("rd2", "e1", nullptr,
+                              [&](const RuleContext&) { ++actions; }, options)
+                  .ok());
+  ASSERT_TRUE(det_.RaiseExplicit("sys_begin_transaction", params, 2).ok());
+  FireF(1, 2);
+  ASSERT_TRUE(det_.RaiseExplicit("sys_pre_commit_transaction", params, 2).ok());
+  scheduler_.Drain();
+  EXPECT_EQ(actions, 1);
+}
+
 TEST_F(RulesTest, RuleOnUndefinedEventFails) {
   EXPECT_TRUE(manager_.DefineRule("r", "nope", nullptr, nullptr)
                   .status()

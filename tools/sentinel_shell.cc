@@ -104,9 +104,10 @@ void PrintHelp() {
   advance <ms>             advance the temporal clock
   events | rules           list definitions
   enable <rule> | disable <rule>
-  trace                    print the rule debugger trace
-  dot                      print the event graph in DOT
-  stats                    detector / scheduler statistics
+  stats                    pipeline metrics snapshot (JSON)
+  trace [on|off|txn <id>]  provenance trace: toggle, dump (JSON), or drain one txn
+  rtrace                   print the rule debugger trace
+  dot                      print the event graph in DOT (with counters)
   failpoint list                     show armed failpoints
   failpoint set <name> <spec>        arm one, e.g.: failpoint set wal.append error(hit=2)
   failpoint clear [<name>]           disarm one (or all)
@@ -234,23 +235,29 @@ int Run() {
     } else if (cmd == "disable" && words.size() >= 2) {
       st = shell.db.rule_manager()->DisableRule(words[1]);
     } else if (cmd == "trace") {
+      sentinel::obs::ProvenanceTracer* tracer = shell.db.tracer();
+      if (words.size() >= 2 && words[1] == "on") {
+        tracer->set_enabled(true);
+        std::printf("tracing on\n");
+      } else if (words.size() >= 2 && words[1] == "off") {
+        tracer->set_enabled(false);
+        std::printf("tracing off\n");
+      } else if (words.size() >= 3 && words[1] == "txn") {
+        const auto txn = static_cast<sentinel::storage::TxnId>(
+            std::strtoull(words[2].c_str(), nullptr, 10));
+        std::printf("%s\n",
+                    sentinel::obs::ProvenanceTracer::EdgesJson(
+                        tracer->DrainTxn(txn))
+                        .c_str());
+      } else {
+        std::printf("%s\n", tracer->ToJson().c_str());
+      }
+    } else if (cmd == "rtrace") {
       std::printf("%s", shell.debugger.RenderTrace().c_str());
     } else if (cmd == "dot") {
-      std::printf("%s", sentinel::debug::RuleDebugger::EventGraphDot(&shell.db)
-                            .c_str());
+      std::printf("%s", shell.db.detector()->DumpGraph().c_str());
     } else if (cmd == "stats") {
-      std::printf("events notified: %llu\n",
-                  static_cast<unsigned long long>(
-                      shell.db.detector()->notify_count()));
-      std::printf("graph nodes:     %zu\n", shell.db.detector()->node_count());
-      std::printf("buffered:        %zu\n",
-                  shell.db.detector()->BufferedCount());
-      std::printf("rules executed:  %llu\n",
-                  static_cast<unsigned long long>(
-                      shell.db.scheduler()->executed_count()));
-      std::printf("cond rejected:   %llu\n",
-                  static_cast<unsigned long long>(
-                      shell.db.scheduler()->condition_rejections()));
+      std::printf("%s\n", shell.db.StatsJson().c_str());
     } else {
       std::printf("error: unknown command '%s' (try 'help')\n", cmd.c_str());
       continue;
