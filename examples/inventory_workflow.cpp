@@ -11,6 +11,7 @@
 // fulfilment in its own top-level transaction.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "core/active_database.h"
@@ -39,6 +40,12 @@ class Order : public Reactive {
     scope.EnterBody();
     std::printf("  [orders]   order %d submitted (qty %d)\n", order_id, qty);
   }
+  void confirm(int order_id) {
+    MethodScope scope(this, "void confirm(int order_id)");
+    scope.Param("order_id", Value::Int(order_id));
+    scope.EnterBody();
+    std::printf("  [orders]   order %d confirmed\n", order_id);
+  }
 };
 
 class Shipment : public Reactive {
@@ -58,6 +65,14 @@ class Shipment : public Reactive {
 int main() {
   ActiveDatabase orders, shipping;
   if (!orders.OpenInMemory().ok() || !shipping.OpenInMemory().ok()) return 1;
+
+  // SENTINEL_TRACE_EXPORT=<path>: record full causal spans and export them
+  // as Chrome trace JSON at the end (load the file in ui.perfetto.dev).
+  const char* trace_path = std::getenv("SENTINEL_TRACE_EXPORT");
+  if (trace_path != nullptr) {
+    orders.span_tracer()->set_mode(sentinel::obs::TraceMode::kFull);
+    shipping.span_tracer()->set_mode(sentinel::obs::TraceMode::kFull);
+  }
 
   sentinel::ged::GlobalEventDetector ged;
   (void)ged.RegisterApplication("orders", &orders);
@@ -90,11 +105,35 @@ int main() {
       detached);
   (void)ged.DeliverTo("order_fulfilled", "orders", "fulfilment");
 
+  // Local composite inside the orders application: an order submitted and
+  // then confirmed in the same transaction finalizes it — an IMMEDIATE rule
+  // runs as a subtransaction of the submitting transaction. (This is the
+  // txn → notify → composite_detect → subtxn chain a full span trace shows
+  // as one tree.)
+  auto submitted_l = orders.DeclareEvent(
+      "order_submitted_l", "Order", EventModifier::kEnd,
+      "void submit(int order_id, int qty)");
+  auto confirmed_l = orders.DeclareEvent(
+      "order_confirmed_l", "Order", EventModifier::kEnd,
+      "void confirm(int order_id)");
+  if (!submitted_l.ok() || !confirmed_l.ok()) return 1;
+  (void)orders.detector()->DefineSeq("order_finalized", *submitted_l,
+                                     *confirmed_l);
+  (void)orders.rule_manager()->DefineRule(
+      "log_finalized", "order_finalized", nullptr,
+      [](const RuleContext& ctx) {
+        std::printf("  [orders, subtxn %llu] order %lld finalized\n",
+                    static_cast<unsigned long long>(ctx.subtxn),
+                    static_cast<long long>(ctx.Param("order_id")->AsInt()));
+      },
+      RuleManager::RuleOptions{});
+
   std::printf("-- workflow run\n");
   auto otxn = orders.Begin();
   Order order(&orders, 1);
   order.set_current_txn(*otxn);
   order.submit(4711, 12);
+  order.confirm(4711);
   (void)orders.Commit(*otxn);
 
   auto stxn = shipping.Begin();
@@ -109,6 +148,16 @@ int main() {
 
   std::printf("done: GED forwarded %llu events\n",
               static_cast<unsigned long long>(ged.forwarded_count()));
+
+  if (trace_path != nullptr) {
+    sentinel::Status st = orders.ExportTrace(trace_path);
+    if (st.ok()) {
+      std::printf("trace written to %s (load in ui.perfetto.dev)\n",
+                  trace_path);
+    } else {
+      std::printf("trace export failed: %s\n", st.ToString().c_str());
+    }
+  }
   (void)orders.Close();
   (void)shipping.Close();
   return 0;

@@ -1,5 +1,6 @@
 #include "core/active_database.h"
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/pool.h"
 #include "obs/json.h"
@@ -38,17 +39,36 @@ Status ActiveDatabase::OpenInMemory(const Options& options) {
 }
 
 Status ActiveDatabase::OpenCommon(const Options& options) {
+  span_tracer_.set_flight_recorder(&flight_recorder_);
   detector_ = std::make_unique<detector::LocalEventDetector>();
   detector_->set_tracer(&tracer_);
+  detector_->set_span_tracer(&span_tracer_);
   if (db_ != nullptr) {
     detector_->set_class_registry(db_->classes());
     cache_ = std::make_unique<oodb::ObjectCache>(db_->engine(), db_->objects(),
                                                  /*capacity=*/1024);
+    // Storage-layer spans + postmortem-on-deadlock. The deadlock hook runs
+    // after the lock manager released its latch, so the dump may snapshot
+    // the lock table safely.
+    storage::StorageEngine* engine = db_->engine();
+    engine->lock_manager()->set_span_tracer(&span_tracer_);
+    engine->lock_manager()->set_deadlock_hook(
+        [this](storage::TxnId victim, const storage::LockKey& key) {
+          (void)key;
+          (void)DumpPostmortem("deadlock", victim);
+        });
+    engine->buffer_pool()->set_span_tracer(&span_tracer_);
+    engine->log_manager()->set_span_tracer(&span_tracer_);
   }
   nested_ = std::make_unique<txn::NestedTransactionManager>(options.nested);
+  nested_->set_span_tracer(&span_tracer_);
   scheduler_ = std::make_unique<rules::RuleScheduler>(nested_.get(), db_.get(),
                                                       options.scheduler);
   scheduler_->set_tracer(&tracer_);
+  scheduler_->set_span_tracer(&span_tracer_);
+  scheduler_->set_postmortem_hook([this](storage::TxnId doomed) {
+    (void)DumpPostmortem("abort_top", doomed);
+  });
   rules::RuleManager::Config config;
   config.begin_txn_event = kBeginTxnEvent;
   config.pre_commit_event = kPreCommitEvent;
@@ -134,6 +154,13 @@ Result<storage::TxnId> ActiveDatabase::Begin() {
     static std::atomic<storage::TxnId> fake_txn{1};
     txn = fake_txn.fetch_add(1);
   }
+  // Root of this transaction's span tree; closes at Commit/Abort. The
+  // anchor parents the begin-event spans raised below into it.
+  if (span_tracer_.enabled_for(obs::SpanKind::kTxn)) {
+    span_tracer_.BeginTxnSpan(txn);
+  }
+  obs::TxnAnchorScope anchor;
+  anchor.Start(&span_tracer_, txn);
   // The begin_transaction event is always signalled at the beginning of a
   // transaction (§2.3).
   auto params = common::MakePooled<detector::ParamList>();
@@ -144,6 +171,11 @@ Result<storage::TxnId> ActiveDatabase::Begin() {
 }
 
 Status ActiveDatabase::Commit(storage::TxnId txn) {
+  // Parent everything the commit does (pre-commit rules, WAL fsyncs, the
+  // commit event) into the transaction's span; the txn span itself closes
+  // once the commit pipeline has run.
+  obs::TxnAnchorScope anchor;
+  anchor.Start(&span_tracer_, txn);
   auto params = common::MakePooled<detector::ParamList>();
   params->Insert("txn", oodb::Value::Int(static_cast<std::int64_t>(txn)));
   // pre_commit is signalled before the commit (§2.3): deferred rules (A*
@@ -157,10 +189,14 @@ Status ActiveDatabase::Commit(storage::TxnId txn) {
 
   SENTINEL_RETURN_NOT_OK(detector_->RaiseExplicit(kCommitEvent, params, txn));
   scheduler_->Drain();
+  anchor.End();
+  span_tracer_.EndTxnSpan(txn);
   return Status::OK();
 }
 
 Status ActiveDatabase::Abort(storage::TxnId txn) {
+  obs::TxnAnchorScope anchor;
+  anchor.Start(&span_tracer_, txn);
   auto params = common::MakePooled<detector::ParamList>();
   params->Insert("txn", oodb::Value::Int(static_cast<std::int64_t>(txn)));
   Status st;
@@ -169,6 +205,8 @@ Status ActiveDatabase::Abort(storage::TxnId txn) {
   nested_->EndTop(txn);
   SENTINEL_RETURN_NOT_OK(detector_->RaiseExplicit(kAbortEvent, params, txn));
   scheduler_->Drain();
+  anchor.End();
+  span_tracer_.EndTxnSpan(txn);
   return st;
 }
 
@@ -249,6 +287,49 @@ std::string ActiveDatabase::StatsJson() const {
     w.Field("locked_keys", nested_->locked_key_count());
     w.EndObject();
   }
+  if (db_ != nullptr) {
+    // Unified storage-layer telemetry: every cache/WAL/lock counter in one
+    // place instead of scattered over component accessors.
+    storage::StorageEngine* engine = db_->engine();
+    w.Key("storage").BeginObject();
+    storage::BufferPool* pool = engine->buffer_pool();
+    w.Key("buffer_pool").BeginObject();
+    w.Field("hits", pool->hit_count());
+    w.Field("misses", pool->miss_count());
+    w.Field("evictions", pool->eviction_count());
+    w.Field("resident", pool->resident_count());
+    w.Field("capacity", pool->capacity());
+    w.EndObject();
+    if (cache_ != nullptr) {
+      w.Key("object_cache").BeginObject();
+      w.Field("hits", cache_->hit_count());
+      w.Field("misses", cache_->miss_count());
+      w.Field("resident", cache_->size());
+      w.EndObject();
+    }
+    storage::LogManager* wal = engine->log_manager();
+    w.Key("wal").BeginObject();
+    w.Field("sync_count", wal->sync_count());
+    w.Field("truncated_bytes", wal->truncated_bytes());
+    w.Field("wedged", wal->wedged());
+    w.Key("fsync_ns").Raw(obs::HistogramJson(wal->fsync_histogram().TakeSnapshot()));
+    w.EndObject();
+    storage::DiskManager* disk = engine->disk_manager();
+    w.Key("disk").BeginObject();
+    w.Field("sync_count", disk->sync_count());
+    w.Field("io_retries", disk->io_retries());
+    w.Field("pages", disk->page_count());
+    w.Key("fsync_ns").Raw(obs::HistogramJson(disk->fsync_histogram().TakeSnapshot()));
+    w.EndObject();
+    storage::LockManager* locks = engine->lock_manager();
+    w.Key("lock_manager").BeginObject();
+    w.Field("waits", locks->wait_count());
+    w.Field("deadlocks", locks->deadlock_count());
+    w.Field("timeouts", locks->timeout_count());
+    w.Key("wait_ns").Raw(obs::HistogramJson(locks->wait_histogram().TakeSnapshot()));
+    w.EndObject();
+    w.EndObject();
+  }
   w.Key("trace").BeginObject();
   w.Field("enabled", tracer_.enabled());
   w.Field("capacity", tracer_.capacity());
@@ -256,8 +337,134 @@ std::string ActiveDatabase::StatsJson() const {
   w.Field("recorded", tracer_.recorded());
   w.Field("dropped", tracer_.dropped());
   w.EndObject();
+  w.Key("span_trace").BeginObject();
+  w.Field("mode", obs::TraceModeToString(span_tracer_.mode()));
+  w.Field("recorded", span_tracer_.recorded());
+  w.Field("dropped", span_tracer_.dropped());
+  w.Field("flight_recorded", flight_recorder_.recorded());
+  w.Field("postmortems", flight_recorder_.dumps());
+  w.EndObject();
   w.EndObject();
   return w.Take();
+}
+
+Status ActiveDatabase::ExportTrace(const std::string& path) {
+  return span_tracer_.ExportChromeTrace(path);
+}
+
+std::string ActiveDatabase::PostmortemJson(const std::string& reason,
+                                           storage::TxnId txn) {
+  const std::uint64_t now_ns = obs::SpanTracer::NowNs();
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("reason", reason);
+  if (txn != storage::kInvalidTxnId) w.Field("victim_txn", txn);
+  w.Field("trace_mode", obs::TraceModeToString(span_tracer_.mode()));
+
+  // Top-level transactions still open, via their anchor spans.
+  w.Key("active_txns").BeginArray();
+  for (const obs::Span& span : span_tracer_.OpenTxnSpans()) {
+    w.BeginObject();
+    w.Field("txn", span.txn);
+    w.Field("span", span.id);
+    w.Field("open_ns", now_ns > span.start_ns ? now_ns - span.start_ns : 0);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // In-flight rule subtransactions and the nested locks they hold.
+  if (nested_ != nullptr) {
+    w.Key("subtxns").BeginArray();
+    for (const auto& info : nested_->ActiveSubTxns()) {
+      w.BeginObject();
+      w.Field("id", info.id);
+      w.Field("top", info.top);
+      w.Field("parent", info.parent);
+      w.Field("depth", info.depth);
+      w.Field("lock_wait_ns", info.lock_wait_ns);
+      w.Key("held_keys").BeginArray();
+      for (const std::string& key : info.held_keys) w.Value(key);
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
+  // Storage lock table: held locks plus waits-for edges (who is blocked on
+  // what — the deadlock evidence).
+  if (db_ != nullptr) {
+    storage::LockManager* locks = db_->engine()->lock_manager();
+    w.Key("locks").BeginArray();
+    for (const auto& info : locks->SnapshotLocks()) {
+      w.BeginObject();
+      w.Field("key", info.key);
+      w.Key("holders").BeginArray();
+      for (const auto& holder : info.holders) {
+        w.BeginObject();
+        w.Field("txn", holder.txn);
+        w.Field("mode",
+                holder.mode == storage::LockMode::kExclusive ? "X" : "S");
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("waits_for").BeginArray();
+    for (const auto& edge : locks->SnapshotWaits()) {
+      w.BeginObject();
+      w.Field("txn", edge.txn);
+      w.Field("key", edge.key);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
+  // Failpoint hit counts: which injected faults were armed and firing.
+  w.Key("failpoints").BeginArray();
+  for (const auto& info : FailPointRegistry::Instance().List()) {
+    w.BeginObject();
+    w.Field("name", info.name);
+    w.Field("spec", info.spec.ToString());
+    w.Field("hits", info.hits);
+    w.Field("fires", info.fires);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // The last spans the system recorded before the failure, oldest first.
+  w.Key("last_spans").BeginArray();
+  for (const obs::Span& span : flight_recorder_.Snapshot()) {
+    w.BeginObject();
+    w.Field("id", span.id);
+    w.Field("parent", span.parent);
+    w.Field("kind", obs::SpanKindToString(span.kind));
+    if (span.txn != storage::kInvalidTxnId) w.Field("txn", span.txn);
+    if (span.subtxn != 0) w.Field("subtxn", span.subtxn);
+    w.Field("dur_ns", span.end_ns > span.start_ns
+                          ? span.end_ns - span.start_ns
+                          : 0);
+    w.Field("tid", span.tid);
+    w.Field("label", span.label);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  if (scheduler_ != nullptr) {
+    w.Key("scheduler").BeginObject();
+    w.Field("executed", scheduler_->executed_count());
+    w.Field("failed", scheduler_->failed_count());
+    w.Field("abort_top", scheduler_->abort_top_count());
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+Result<std::string> ActiveDatabase::DumpPostmortem(const std::string& reason,
+                                                   storage::TxnId txn,
+                                                   const std::string& path) {
+  return flight_recorder_.WritePostmortem(PostmortemJson(reason, txn), path);
 }
 
 Result<oodb::Oid> ActiveDatabase::CreateObject(storage::TxnId txn,

@@ -7,6 +7,8 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "detector/local_detector.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "oodb/database.h"
 #include "oodb/object_cache.h"
@@ -116,9 +118,44 @@ class ActiveDatabase {
   /// rule manager, and the scheduler on Open.
   obs::ProvenanceTracer* tracer() { return &tracer_; }
 
+  /// Causal span tracer (flight-recorder mode by default). Wired into the
+  /// detector, scheduler, nested-txn manager, and — in persistent mode —
+  /// the storage engine's lock manager, WAL, and buffer pool on Open, so one
+  /// top-level transaction renders as a single tree: txn → notify →
+  /// composite_detect → subtxn → condition/action, with lock_wait /
+  /// wal_fsync / page_read leaves.
+  obs::SpanTracer* span_tracer() { return &span_tracer_; }
+
+  /// Always-on last-N span ring consulted by postmortems.
+  obs::FlightRecorder* flight_recorder() { return &flight_recorder_; }
+
+  /// Writes the buffered spans as Chrome trace-event JSON (loadable in
+  /// ui.perfetto.dev / chrome://tracing). Full per-thread rings require
+  /// TraceMode::kFull; in flight-recorder mode the export covers the
+  /// flight ring only.
+  Status ExportTrace(const std::string& path);
+
+  /// Crash/abort postmortem: active transactions and their open spans,
+  /// in-flight subtransactions with held nested locks, storage lock table
+  /// with waits-for edges, failpoint hit counts, and the last spans from the
+  /// flight recorder, as one JSON object.
+  std::string PostmortemJson(const std::string& reason,
+                             storage::TxnId txn = storage::kInvalidTxnId);
+
+  /// Renders PostmortemJson and writes it via the flight recorder (explicit
+  /// `path`, else $SENTINEL_POSTMORTEM_DIR). Returns the path written, or ""
+  /// when no destination is configured. Invoked automatically when the
+  /// kAbortTop contingency dooms a transaction and when the storage lock
+  /// manager selects a deadlock victim.
+  Result<std::string> DumpPostmortem(const std::string& reason,
+                                     storage::TxnId txn = storage::kInvalidTxnId,
+                                     const std::string& path = "");
+
   /// Pipeline-wide metrics snapshot (detector per-node counters, per-rule
   /// latency histograms, scheduler totals, nested-txn gauges, tracer
-  /// counters) as one JSON object.
+  /// counters, and — in persistent mode — the unified storage telemetry:
+  /// buffer pool / object cache hit rates, WAL + disk fsync histograms,
+  /// lock-manager wait/deadlock stats) as one JSON object.
   std::string StatsJson() const;
 
   /// Names of the built-in system events and internal flush rules.
@@ -137,6 +174,10 @@ class ActiveDatabase {
   bool open_ = false;
   bool rule_events_ = false;
   obs::ProvenanceTracer tracer_;
+  // Span tracer + flight recorder are declared before the components so they
+  // outlive every component holding a pointer to them during teardown.
+  obs::SpanTracer span_tracer_;
+  obs::FlightRecorder flight_recorder_;
   std::unique_ptr<oodb::Database> db_;
   std::unique_ptr<oodb::ObjectCache> cache_;
   std::unique_ptr<detector::LocalEventDetector> detector_;

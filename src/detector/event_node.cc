@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/pool.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace sentinel::detector {
@@ -81,6 +82,15 @@ void EventNode::ReleaseContextRef(ParamContext context) {
 
 void EventNode::Emit(const Occurrence& occurrence, ParamContext context) {
   metrics_.OnDetected(context);
+  // Operator detections open a composite_detect span covering the whole
+  // cascade (parent deliveries and sink firings below happen inside it, so
+  // rule subtransactions parent into the detection that triggered them).
+  obs::SpanScope detect_span;
+  if (composite_ && span_tracer_ != nullptr &&
+      span_tracer_->enabled_for(obs::SpanKind::kCompositeDetect)) {
+    detect_span.Start(span_tracer_, obs::SpanKind::kCompositeDetect,
+                      occurrence.txn, name_);
+  }
   const bool tracing = tracer_ != nullptr && tracer_->enabled();
   // parents_ is kept sorted by descending port (AddParent), so higher ports
   // are delivered first without sorting per emission.

@@ -14,6 +14,7 @@
 
 namespace sentinel::obs {
 class ProvenanceTracer;
+class SpanTracer;
 }  // namespace sentinel::obs
 
 namespace sentinel::detector {
@@ -119,6 +120,16 @@ class EventNode {
   void set_tracer(obs::ProvenanceTracer* tracer) { tracer_ = tracer; }
   obs::ProvenanceTracer* tracer() const { return tracer_; }
 
+  /// Attaches the causal span tracer (set by the owning detector alongside
+  /// the provenance tracer; may be null). Operator nodes record a
+  /// composite_detect span around each Emit so downstream rule firings
+  /// parent into the detection that caused them.
+  void set_span_tracer(obs::SpanTracer* tracer) { span_tracer_ = tracer; }
+  obs::SpanTracer* span_tracer() const { return span_tracer_; }
+
+  /// True for operator (composite) nodes; set once at construction.
+  bool is_composite() const { return composite_; }
+
  protected:
   /// Delivers a detection to all parents and sinks. The sink list is
   /// snapshotted and each delivery re-checks membership, so a sink that
@@ -132,6 +143,10 @@ class EventNode {
 
   /// This node's buffer lock (striped across nodes). Leaf lock only.
   std::mutex& buffer_mu() const { return buffer_mu_; }
+
+  /// Operator-node constructors call this once; Emit then wraps deliveries
+  /// in a composite_detect span when a span tracer is attached.
+  void MarkComposite() { composite_ = true; }
 
  private:
   struct ParentEdge {
@@ -151,6 +166,8 @@ class EventNode {
   std::mutex& buffer_mu_;
   mutable obs::NodeMetrics metrics_;
   obs::ProvenanceTracer* tracer_ = nullptr;
+  obs::SpanTracer* span_tracer_ = nullptr;
+  bool composite_ = false;
 };
 
 /// Leaf node: a primitive event declared on (class, method, modifier), with

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/pool.h"
 #include "obs/json.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace sentinel::detector {
@@ -57,6 +58,7 @@ Result<EventNode*> LocalEventDetector::InstallLocked(
   }
   EventNode* raw = node.get();
   raw->set_tracer(tracer_.load(std::memory_order_acquire));
+  raw->set_span_tracer(span_tracer_.load(std::memory_order_acquire));
   nodes_[name] = std::move(node);
   return raw;
 }
@@ -396,6 +398,14 @@ void LocalEventDetector::Notify(const std::string& class_name, oodb::Oid oid,
   }
   if (!has_observers && entry->nodes.empty()) return;
 
+  // Slow path only: the fast-path returns above stay span-free.
+  obs::SpanScope notify_span;
+  if (obs::SpanTracer* st = span_tracer_.load(std::memory_order_acquire);
+      st != nullptr && st->enabled_for(obs::SpanKind::kNotify)) {
+    notify_span.Start(st, obs::SpanKind::kNotify, txn,
+                      class_name + "::" + method_signature);
+  }
+
   auto pooled = common::MakePooled<PrimitiveOccurrence>();
   pooled->class_name = class_name;
   pooled->oid = oid;
@@ -424,6 +434,11 @@ Status LocalEventDetector::RaiseExplicit(
     return Status::NotFound("no explicit event named " + name);
   }
   notify_count_.fetch_add(1, std::memory_order_relaxed);
+  obs::SpanScope notify_span;
+  if (obs::SpanTracer* st = span_tracer_.load(std::memory_order_acquire);
+      st != nullptr && st->enabled_for(obs::SpanKind::kNotify)) {
+    notify_span.Start(st, obs::SpanKind::kNotify, txn, name);
+  }
   auto pooled = common::MakePooled<PrimitiveOccurrence>();
   pooled->event_name = name;
   pooled->class_name = kExplicitClass;
@@ -632,6 +647,15 @@ void LocalEventDetector::set_tracer(obs::ProvenanceTracer* tracer) {
   for (auto& [name, node] : nodes_) {
     (void)name;
     node->set_tracer(tracer);
+  }
+}
+
+void LocalEventDetector::set_span_tracer(obs::SpanTracer* tracer) {
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  span_tracer_.store(tracer, std::memory_order_release);
+  for (auto& [name, node] : nodes_) {
+    (void)name;
+    node->set_span_tracer(tracer);
   }
 }
 

@@ -189,6 +189,14 @@ class LocalEventDetector {
     return tracer_.load(std::memory_order_acquire);
   }
 
+  /// Attaches the causal span tracer: notify spans on the Notify slow path
+  /// (the fast-path returns stay metric-free) and composite_detect spans on
+  /// operator-node detections. Propagated to nodes like set_tracer.
+  void set_span_tracer(obs::SpanTracer* tracer);
+  obs::SpanTracer* span_tracer() const {
+    return span_tracer_.load(std::memory_order_acquire);
+  }
+
   /// Event graph in Graphviz DOT, nodes annotated with their per-context
   /// reference counts and detection counters.
   std::string DumpGraph() const;
@@ -262,6 +270,7 @@ class LocalEventDetector {
   std::atomic<std::uint64_t> now_ms_{0};
   std::atomic<std::uint64_t> notify_count_{0};
   std::atomic<obs::ProvenanceTracer*> tracer_{nullptr};
+  std::atomic<obs::SpanTracer*> span_tracer_{nullptr};
 };
 
 }  // namespace sentinel::detector

@@ -50,6 +50,7 @@ const char* OperatorKindToString(OperatorKind kind) {
 OperatorNode::OperatorNode(std::string name, OperatorKind kind,
                            std::vector<EventNode*> children)
     : EventNode(std::move(name)), children_(std::move(children)), kind_(kind) {
+  MarkComposite();
   for (int port = 0; port < static_cast<int>(children_.size()); ++port) {
     if (children_[port] != nullptr) children_[port]->AddParent(this, port);
   }

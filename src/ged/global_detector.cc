@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "obs/json.h"
+#include "obs/span.h"
 
 namespace sentinel::ged {
 
@@ -150,7 +151,14 @@ void GlobalEventDetector::BusLoop() {
     detector::PrimitiveOccurrence occ = item.second;
     occ.class_name = Namespaced(item.first, occ.class_name);
     occ.at = graph_.clock()->Tick();
+    obs::SpanScope forward_span;
+    if (obs::SpanTracer* st = graph_.span_tracer();
+        st != nullptr && st->enabled_for(obs::SpanKind::kGedForward)) {
+      forward_span.Start(st, obs::SpanKind::kGedForward, occ.txn,
+                         occ.class_name + "::" + occ.method_signature);
+    }
     graph_.Inject(occ);
+    forward_span.End();
     {
       std::lock_guard<std::mutex> lock(mu_);
       busy_ = false;
@@ -167,6 +175,10 @@ void GlobalEventDetector::WaitQuiescent() {
 std::uint64_t GlobalEventDetector::forwarded_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return forwarded_;
+}
+
+void GlobalEventDetector::set_span_tracer(obs::SpanTracer* tracer) {
+  graph_.set_span_tracer(tracer);
 }
 
 std::string GlobalEventDetector::StatsJson() const {

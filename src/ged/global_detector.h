@@ -15,6 +15,10 @@
 #include "core/active_database.h"
 #include "detector/local_detector.h"
 
+namespace sentinel::obs {
+class SpanTracer;
+}  // namespace sentinel::obs
+
 namespace sentinel::ged {
 
 /// Global event detector (paper Fig. 2 and §4 future work): detects
@@ -73,6 +77,11 @@ class GlobalEventDetector {
 
   /// Bus counters plus the internal graph's per-node stats as JSON.
   std::string StatsJson() const;
+
+  /// Attaches the causal span tracer: the bus worker records a ged_forward
+  /// span around each injection into the global graph (and the graph's own
+  /// nodes record composite_detect spans).
+  void set_span_tracer(obs::SpanTracer* tracer);
 
  private:
   class Forwarder;

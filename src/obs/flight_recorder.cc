@@ -1,0 +1,60 @@
+#include "obs/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sentinel::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void FlightRecorder::Record(const Span& span) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_ % capacity_] = span;
+  ++next_;
+}
+
+std::vector<Span> FlightRecorder::Snapshot() const {
+  std::vector<Span> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t count = std::min<std::uint64_t>(next_, capacity_);
+  std::uint64_t first = next_ - count;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(first + i) % capacity_]);
+  }
+  return out;
+}
+
+Result<std::string> FlightRecorder::WritePostmortem(const std::string& json,
+                                                    const std::string& path) {
+  std::uint64_t n = dumps_.fetch_add(1, std::memory_order_relaxed);
+  std::string target = path;
+  if (target.empty()) {
+    const char* dir = std::getenv("SENTINEL_POSTMORTEM_DIR");
+    if (dir == nullptr || dir[0] == '\0') return std::string();
+    target = std::string(dir) + "/postmortem-" + std::to_string(::getpid()) +
+             "-" + std::to_string(n) + ".json";
+  }
+  std::FILE* f = std::fopen(target.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open postmortem output: " + target);
+  }
+  std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  // fsync so a postmortem written on the way down survives an immediate
+  // process exit (the crash matrix's std::_Exit skips stdio flush).
+  bool ok = written == json.size() && std::fflush(f) == 0 &&
+            ::fsync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write dumping postmortem: " + target);
+  return target;
+}
+
+}  // namespace sentinel::obs

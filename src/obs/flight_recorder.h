@@ -1,0 +1,62 @@
+#ifndef SENTINEL_OBS_FLIGHT_RECORDER_H_
+#define SENTINEL_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/span.h"
+
+namespace sentinel::obs {
+
+/// Always-on bounded history of the last N spans plus the postmortem file
+/// sink. The span tracer copies every committed span here regardless of
+/// trace mode (unless tracing is fully off), so when a transaction is
+/// doomed by the ABORT_TOP contingency or picked as a deadlock victim the
+/// postmortem can show what the system was doing just before.
+///
+/// Postmortem destination: an explicit path wins; otherwise files named
+/// postmortem-<pid>-<n>.json go to $SENTINEL_POSTMORTEM_DIR; with neither,
+/// writing is disabled (dumps are counted but nothing touches disk).
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Record(const Span& span);
+
+  /// Last spans, oldest first.
+  std::vector<Span> Snapshot() const;
+
+  std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  /// Postmortems requested (whether or not a destination was configured).
+  std::uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+
+  /// Writes `json` to the resolved destination (fsynced, so crash-matrix
+  /// children can assert on it after _Exit). Returns the path written, an
+  /// empty string when no destination is configured, or an IOError.
+  Result<std::string> WritePostmortem(const std::string& json,
+                                      const std::string& path = "");
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Span> ring_;
+  std::uint64_t next_ = 0;  // total spans ever recorded (ring write position)
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> dumps_{0};
+};
+
+}  // namespace sentinel::obs
+
+#endif  // SENTINEL_OBS_FLIGHT_RECORDER_H_

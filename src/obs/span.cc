@@ -1,0 +1,381 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+
+namespace sentinel::obs {
+
+namespace {
+
+// Stable small thread ids for the trace "tid" lane, assigned on first use.
+std::uint32_t ThisThreadId() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Process-unique tracer ids validate the thread-local caches below: a cache
+// entry from a destroyed tracer never matches a live one, even if the
+// allocator reuses the address.
+std::uint64_t NextTracerUid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Thread-local scope stack. Scopes are strictly nested (RAII on one thread),
+// so push/pop is LIFO; entries are (tracer uid, span id) pairs so spans from
+// two databases interleaved on one thread resolve parents independently.
+struct StackEntry {
+  std::uint64_t uid = 0;
+  std::uint64_t id = 0;
+};
+constexpr int kMaxScopeDepth = 64;
+thread_local StackEntry g_scope_stack[kMaxScopeDepth];
+thread_local int g_scope_depth = 0;
+
+bool PushScope(std::uint64_t uid, std::uint64_t id) {
+  if (g_scope_depth >= kMaxScopeDepth) return false;
+  g_scope_stack[g_scope_depth++] = {uid, id};
+  return true;
+}
+
+void PopScope(std::uint64_t uid, std::uint64_t id) {
+  if (g_scope_depth > 0 && g_scope_stack[g_scope_depth - 1].uid == uid &&
+      g_scope_stack[g_scope_depth - 1].id == id) {
+    --g_scope_depth;
+  }
+}
+
+// Per-thread ring lookup cache: one entry per (thread, tracer) pair the
+// thread has recorded into. Rings are owned by the tracer; the uid check
+// keeps a stale entry from ever dereferencing a dead tracer's ring.
+struct RingCacheEntry {
+  std::uint64_t uid = 0;
+  const void* tracer = nullptr;
+  void* ring = nullptr;
+};
+thread_local std::vector<RingCacheEntry> g_ring_cache;
+
+}  // namespace
+
+const char* SpanKindToString(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kTxn:
+      return "txn";
+    case SpanKind::kNotify:
+      return "notify";
+    case SpanKind::kCompositeDetect:
+      return "composite_detect";
+    case SpanKind::kCondition:
+      return "condition";
+    case SpanKind::kAction:
+      return "action";
+    case SpanKind::kSubTxn:
+      return "subtxn";
+    case SpanKind::kLockWait:
+      return "lock_wait";
+    case SpanKind::kWalFsync:
+      return "wal_fsync";
+    case SpanKind::kPageRead:
+      return "page_read";
+    case SpanKind::kGedForward:
+      return "ged_forward";
+  }
+  return "?";
+}
+
+const char* TraceModeToString(TraceMode mode) {
+  switch (mode) {
+    case TraceMode::kOff:
+      return "off";
+    case TraceMode::kFlightOnly:
+      return "flight";
+    case TraceMode::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+std::uint64_t SpanTracer::NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SpanTracer::SpanTracer(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      uid_(NextTracerUid()) {}
+
+SpanTracer::~SpanTracer() = default;
+
+std::uint64_t SpanTracer::CurrentSpanIdFor(const SpanTracer* tracer) {
+  if (tracer == nullptr) return 0;
+  for (int i = g_scope_depth - 1; i >= 0; --i) {
+    if (g_scope_stack[i].uid == tracer->uid_) return g_scope_stack[i].id;
+  }
+  return 0;
+}
+
+std::uint64_t SpanTracer::ResolveParent(storage::TxnId txn) const {
+  std::uint64_t parent = CurrentSpanIdFor(this);
+  if (parent != 0) return parent;
+  if (txn != storage::kInvalidTxnId) {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    auto it = open_txns_.find(txn);
+    if (it != open_txns_.end()) return it->second.id;
+  }
+  return 0;
+}
+
+SpanTracer::ThreadRing* SpanTracer::RingForThisThread() {
+  for (const RingCacheEntry& entry : g_ring_cache) {
+    if (entry.uid == uid_ && entry.tracer == this) {
+      return static_cast<ThreadRing*>(entry.ring);
+    }
+  }
+  std::uint32_t tid = ThisThreadId();
+  ThreadRing* ring = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (auto& candidate : rings_) {
+      if (candidate->tid == tid) {
+        ring = candidate.get();
+        break;
+      }
+    }
+    if (ring == nullptr) {
+      auto owned = std::make_unique<ThreadRing>();
+      owned->tid = tid;
+      owned->slots.resize(ring_capacity_);
+      ring = owned.get();
+      rings_.push_back(std::move(owned));
+    }
+  }
+  g_ring_cache.push_back({uid_, this, ring});
+  return ring;
+}
+
+void SpanTracer::Commit(Span&& span) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (FlightRecorder* fr = flight_.load(std::memory_order_acquire)) {
+    fr->Record(span);
+  }
+  if (mode_.load(std::memory_order_relaxed) != TraceMode::kFull) return;
+  ThreadRing* ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring->mu);
+  std::uint64_t pos = ring->seq.fetch_add(1, std::memory_order_relaxed);
+  if (pos >= ring_capacity_) dropped_.fetch_add(1, std::memory_order_relaxed);
+  ring->slots[pos % ring_capacity_] = std::move(span);
+}
+
+void SpanTracer::BeginTxnSpan(storage::TxnId txn) {
+  if (txn == storage::kInvalidTxnId) return;
+  Span span;
+  span.id = NextSpanId();
+  span.kind = SpanKind::kTxn;
+  span.txn = txn;
+  span.start_ns = NowNs();
+  span.tid = ThisThreadId();
+  span.label = "txn " + std::to_string(txn);
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  open_txns_[txn] = std::move(span);
+}
+
+void SpanTracer::EndTxnSpan(storage::TxnId txn) {
+  Span span;
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    auto it = open_txns_.find(txn);
+    if (it == open_txns_.end()) return;
+    span = std::move(it->second);
+    open_txns_.erase(it);
+  }
+  span.end_ns = NowNs();
+  Commit(std::move(span));
+}
+
+std::vector<Span> SpanTracer::OpenTxnSpans() const {
+  std::vector<Span> out;
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  out.reserve(open_txns_.size());
+  for (const auto& [txn, span] : open_txns_) {
+    (void)txn;
+    out.push_back(span);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Span& a, const Span& b) { return a.start_ns < b.start_ns; });
+  return out;
+}
+
+std::vector<Span> SpanTracer::Snapshot() const {
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      std::uint64_t seq = ring->seq.load(std::memory_order_relaxed);
+      std::uint64_t count = std::min<std::uint64_t>(seq, ring_capacity_);
+      std::uint64_t first = seq - count;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        out.push_back(ring->slots[(first + i) % ring_capacity_]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Span& a, const Span& b) { return a.start_ns < b.start_ns; });
+  return out;
+}
+
+void SpanTracer::Clear() {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->seq.store(0, std::memory_order_relaxed);
+  }
+  recorded_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void AppendTraceEvent(JsonWriter& w, const Span& span, std::uint64_t base_ns,
+                      std::uint64_t fallback_end_ns) {
+  std::uint64_t end_ns = span.end_ns != 0 ? span.end_ns : fallback_end_ns;
+  double ts_us = static_cast<double>(span.start_ns - base_ns) / 1000.0;
+  double dur_us =
+      end_ns > span.start_ns
+          ? static_cast<double>(end_ns - span.start_ns) / 1000.0
+          : 0.0;
+  std::uint64_t pid = span.txn == storage::kInvalidTxnId ? 0 : span.txn;
+  char buf[64];
+  w.BeginObject();
+  w.Field("name", span.label.empty() ? SpanKindToString(span.kind)
+                                     : span.label.c_str());
+  w.Field("cat", SpanKindToString(span.kind));
+  w.Field("ph", "X");
+  std::snprintf(buf, sizeof(buf), "%.3f", ts_us);
+  w.Key("ts");
+  w.Raw(buf);
+  std::snprintf(buf, sizeof(buf), "%.3f", dur_us);
+  w.Key("dur");
+  w.Raw(buf);
+  w.Field("pid", pid);
+  w.Field("tid", span.tid);
+  w.Key("args");
+  w.BeginObject();
+  w.Field("span", span.id);
+  w.Field("parent", span.parent);
+  w.Field("kind", SpanKindToString(span.kind));
+  if (span.txn != storage::kInvalidTxnId) w.Field("txn", span.txn);
+  if (span.subtxn != 0) w.Field("subtxn", span.subtxn);
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string SpanTracer::ChromeTraceJson() const {
+  std::vector<Span> spans = Snapshot();
+  std::vector<Span> open = OpenTxnSpans();
+  spans.insert(spans.end(), open.begin(), open.end());
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& a, const Span& b) { return a.start_ns < b.start_ns; });
+
+  std::uint64_t base_ns = spans.empty() ? 0 : spans.front().start_ns;
+  std::uint64_t now_ns = NowNs();
+  std::set<std::uint64_t> pids;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("displayTimeUnit", "ns");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const Span& span : spans) {
+    AppendTraceEvent(w, span, base_ns, now_ns);
+    pids.insert(span.txn == storage::kInvalidTxnId ? 0 : span.txn);
+  }
+  // Name each pid lane after its transaction so Perfetto's process groups
+  // read as "txn N".
+  for (std::uint64_t pid : pids) {
+    w.BeginObject();
+    w.Field("name", "process_name");
+    w.Field("ph", "M");
+    w.Field("pid", pid);
+    w.Key("args");
+    w.BeginObject();
+    w.Field("name", pid == 0 ? std::string("background")
+                             : "txn " + std::to_string(pid));
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+Status SpanTracer::ExportChromeTrace(const std::string& path) const {
+  std::string json = ChromeTraceJson();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open trace output: " + path);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.put('\n');
+  out.flush();
+  if (!out) return Status::IOError("short write exporting trace: " + path);
+  return Status::OK();
+}
+
+void SpanScope::Start(SpanTracer* tracer, SpanKind kind, storage::TxnId txn,
+                      std::string label, std::uint64_t subtxn,
+                      std::uint64_t parent_override) {
+  if (tracer == nullptr || tracer_ != nullptr) return;
+  tracer_ = tracer;
+  span_.id = tracer->NextSpanId();
+  span_.parent =
+      parent_override != 0 ? parent_override : tracer->ResolveParent(txn);
+  span_.kind = kind;
+  span_.txn = txn;
+  span_.subtxn = subtxn;
+  span_.start_ns = SpanTracer::NowNs();
+  span_.tid = ThisThreadId();
+  span_.label = std::move(label);
+  pushed_ = PushScope(tracer->uid_, span_.id);
+}
+
+void SpanScope::End() {
+  if (tracer_ == nullptr) return;
+  if (pushed_) PopScope(tracer_->uid_, span_.id);
+  span_.end_ns = SpanTracer::NowNs();
+  tracer_->Commit(std::move(span_));
+  tracer_ = nullptr;
+  pushed_ = false;
+}
+
+void TxnAnchorScope::Start(SpanTracer* tracer, storage::TxnId txn) {
+  if (tracer == nullptr || pushed_ || txn == storage::kInvalidTxnId) return;
+  std::uint64_t anchor = 0;
+  {
+    std::lock_guard<std::mutex> lock(tracer->txn_mu_);
+    auto it = tracer->open_txns_.find(txn);
+    if (it == tracer->open_txns_.end()) return;
+    anchor = it->second.id;
+  }
+  tracer_ = tracer;
+  anchor_ = anchor;
+  pushed_ = PushScope(tracer->uid_, anchor);
+}
+
+void TxnAnchorScope::End() {
+  if (tracer_ == nullptr) return;
+  if (pushed_) PopScope(tracer_->uid_, anchor_);
+  tracer_ = nullptr;
+  pushed_ = false;
+}
+
+}  // namespace sentinel::obs

@@ -1,0 +1,223 @@
+#ifndef SENTINEL_OBS_SPAN_H_
+#define SENTINEL_OBS_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/log_record.h"
+
+namespace sentinel::obs {
+
+class FlightRecorder;
+
+/// What a span measures. One kind per instrumented layer so a trace reads as
+/// the paper's pipeline: txn → notify → composite_detect → (condition,
+/// action, subtxn) with storage-layer leaves (lock_wait, wal_fsync,
+/// page_read) and cross-application hops (ged_forward) hanging off it.
+enum class SpanKind : std::uint8_t {
+  kTxn = 0,
+  kNotify,
+  kCompositeDetect,
+  kCondition,
+  kAction,
+  kSubTxn,
+  kLockWait,
+  kWalFsync,
+  kPageRead,
+  kGedForward,
+};
+
+const char* SpanKindToString(SpanKind kind);
+
+/// Recording level. kFlightOnly (the default) feeds the crash flight
+/// recorder but skips the per-event hot kinds (notify, composite_detect) so
+/// the always-on cost stays out of the event dispatch path; kFull records
+/// everything into the per-thread rings for export.
+enum class TraceMode : std::uint8_t {
+  kOff = 0,
+  kFlightOnly = 1,
+  kFull = 2,
+};
+
+const char* TraceModeToString(TraceMode mode);
+
+/// One closed (or, for transactions still open, in-flight) span. Timestamps
+/// are steady-clock nanoseconds; `parent` is the id of the enclosing span
+/// (0 = root), which is how a whole top transaction renders as one tree.
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  SpanKind kind = SpanKind::kTxn;
+  storage::TxnId txn = storage::kInvalidTxnId;
+  std::uint64_t subtxn = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;
+  std::string label;
+};
+
+/// Causal span tracer. Same budget discipline as the provenance tracer
+/// (PR 3): a single relaxed load decides "off", and every instrumentation
+/// site builds its label only after that gate passes. Closed spans go to
+/// per-thread rings (pooled under the tracer, relaxed-atomic sequence
+/// numbers; each ring is written only by its owning thread, so its mutex is
+/// uncontended and exists for snapshot safety under TSan). Parent links come
+/// from a thread-local scope stack, falling back to the open-transaction
+/// anchor table for spans recorded outside any scope (e.g. a scheduler
+/// worker picking up a firing for a transaction begun on the app thread).
+class SpanTracer {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 8192;
+
+  explicit SpanTracer(std::size_t ring_capacity = kDefaultRingCapacity);
+  ~SpanTracer();
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  TraceMode mode() const { return mode_.load(std::memory_order_relaxed); }
+  void set_mode(TraceMode mode) {
+    mode_.store(mode, std::memory_order_relaxed);
+  }
+
+  /// The instrumentation gate: one relaxed load when tracing is off.
+  bool enabled_for(SpanKind kind) const {
+    TraceMode m = mode_.load(std::memory_order_relaxed);
+    if (m == TraceMode::kOff) return false;
+    if (m == TraceMode::kFull) return true;
+    // Flight-recorder-only: skip the per-event hot kinds.
+    return kind != SpanKind::kNotify && kind != SpanKind::kCompositeDetect;
+  }
+
+  /// Every committed span is also copied into `recorder` (the always-on
+  /// last-N history consulted by postmortems).
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_.store(recorder, std::memory_order_release);
+  }
+
+  /// Transaction anchors: a txn span opens at Begin and closes at
+  /// Commit/Abort, possibly touching many threads in between, so it lives in
+  /// an id-keyed table rather than the scope stack.
+  void BeginTxnSpan(storage::TxnId txn);
+  void EndTxnSpan(storage::TxnId txn);
+  std::vector<Span> OpenTxnSpans() const;
+
+  std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// All closed spans currently held by the rings, sorted by start time.
+  std::vector<Span> Snapshot() const;
+  void Clear();
+
+  /// Chrome trace-event JSON ("X" complete events, pid = transaction id,
+  /// tid = recording thread) — loads directly in ui.perfetto.dev or
+  /// chrome://tracing. Open transactions are included with `now` as their
+  /// provisional end.
+  std::string ChromeTraceJson() const;
+  Status ExportChromeTrace(const std::string& path) const;
+
+  /// Id of the innermost open scope on this thread belonging to `tracer`
+  /// (0 when none). Used to stamp a firing with the detection span that
+  /// triggered it before the firing migrates to a worker thread.
+  static std::uint64_t CurrentSpanIdFor(const SpanTracer* tracer);
+
+  static std::uint64_t NowNs();
+
+ private:
+  friend class SpanScope;
+  friend class TxnAnchorScope;
+
+  struct ThreadRing {
+    std::mutex mu;
+    std::atomic<std::uint64_t> seq{0};  // relaxed monotonic write position
+    std::uint32_t tid = 0;
+    std::vector<Span> slots;
+  };
+
+  std::uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Scope-stack parent, else the open txn span for `txn`, else 0.
+  std::uint64_t ResolveParent(storage::TxnId txn) const;
+  /// Routes a finished span: flight recorder always, thread ring when the
+  /// mode is kFull.
+  void Commit(Span&& span);
+  ThreadRing* RingForThisThread();
+
+  const std::size_t ring_capacity_;
+  const std::uint64_t uid_;  // validates thread-local ring/stack caches
+  std::atomic<TraceMode> mode_{TraceMode::kFlightOnly};
+  std::atomic<FlightRecorder*> flight_{nullptr};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+
+  mutable std::mutex txn_mu_;
+  std::unordered_map<storage::TxnId, Span> open_txns_;
+};
+
+/// RAII span. Default-constructed scopes are inert; call Start() only after
+/// the tracer's enabled_for() gate passed, so label construction never runs
+/// when tracing is off. End() (or destruction) closes the span and commits
+/// it to the rings.
+class SpanScope {
+ public:
+  SpanScope() = default;
+  ~SpanScope() { End(); }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// `parent_override` pins the parent explicitly (a firing's triggering
+  /// detection span); 0 means resolve from the scope stack / txn anchors.
+  void Start(SpanTracer* tracer, SpanKind kind, storage::TxnId txn,
+             std::string label, std::uint64_t subtxn = 0,
+             std::uint64_t parent_override = 0);
+  void End();
+
+  bool active() const { return tracer_ != nullptr; }
+  std::uint64_t id() const { return span_.id; }
+
+ private:
+  SpanTracer* tracer_ = nullptr;
+  bool pushed_ = false;
+  Span span_;
+};
+
+/// Pushes an already-open transaction span onto the thread-local scope stack
+/// without opening a new span: storage spans recorded while the anchor is
+/// live (wal_fsync during commit, page reads during object faulting) parent
+/// into the transaction's tree even though those layers don't know the txn.
+class TxnAnchorScope {
+ public:
+  TxnAnchorScope() = default;
+  ~TxnAnchorScope() { End(); }
+
+  TxnAnchorScope(const TxnAnchorScope&) = delete;
+  TxnAnchorScope& operator=(const TxnAnchorScope&) = delete;
+
+  void Start(SpanTracer* tracer, storage::TxnId txn);
+  void End();
+
+ private:
+  SpanTracer* tracer_ = nullptr;
+  std::uint64_t anchor_ = 0;
+  bool pushed_ = false;
+};
+
+}  // namespace sentinel::obs
+
+#endif  // SENTINEL_OBS_SPAN_H_

@@ -14,7 +14,7 @@ Result<std::shared_ptr<const PersistentObject>> ObjectCache::Get(TxnId txn,
         if (entry->second == nullptr) {
           return Status::NotFound("object deleted in this transaction");
         }
-        ++hits_;
+        hits_.fetch_add(1, std::memory_order_relaxed);
         return entry->second;
       }
     }
@@ -39,15 +39,12 @@ Result<std::shared_ptr<const PersistentObject>> ObjectCache::Get(TxnId txn,
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(oid);
     if (it != cache_.end()) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       TouchLocked(oid);
       return it->second;
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++misses_;
-  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
 
   auto loaded = objects_->Get(txn, oid);
   if (!loaded.ok()) return loaded.status();

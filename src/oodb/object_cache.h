@@ -1,6 +1,7 @@
 #ifndef SENTINEL_OODB_OBJECT_CACHE_H_
 #define SENTINEL_OODB_OBJECT_CACHE_H_
 
+#include <atomic>
 #include <list>
 #include <map>
 #include <memory>
@@ -44,8 +45,14 @@ class ObjectCache {
   void OnAbort(TxnId txn);
 
   std::size_t size() const;
-  std::uint64_t hit_count() const { return hits_; }
-  std::uint64_t miss_count() const { return misses_; }
+  // Counters are written under mu_ but read lock-free by stats surfaces, so
+  // they are relaxed atomics.
+  std::uint64_t hit_count() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t miss_count() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   using ObjectPtr = std::shared_ptr<const PersistentObject>;
@@ -63,8 +70,8 @@ class ObjectCache {
   std::unordered_map<Oid, std::list<Oid>::iterator> lru_pos_;
   // Per-transaction overlay: nullptr value == deleted by this txn.
   std::unordered_map<TxnId, std::map<Oid, ObjectPtr>> overlays_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace sentinel::oodb

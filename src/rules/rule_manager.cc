@@ -1,6 +1,7 @@
 #include "rules/rule_manager.h"
 
 #include "common/logging.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace sentinel::rules {
@@ -350,6 +351,12 @@ void RuleManager::Trigger(Rule* rule, const detector::Occurrence& occurrence,
     if (firing.txn == storage::kInvalidTxnId) firing.txn = frame->txn;
   }
   firing.priority_path.push_back(rule->priority());
+
+  // Capture the span live on this (signalling) thread — the composite_detect
+  // or notify span we are inside of — so the firing's subtxn span can parent
+  // under it even though it executes on a scheduler thread.
+  firing.trigger_span =
+      obs::SpanTracer::CurrentSpanIdFor(detector_->span_tracer());
 
   obs::ProvenanceTracer* tracer = detector_->tracer();
   if (tracer != nullptr && tracer->enabled()) {

@@ -6,6 +6,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "detector/local_detector.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace sentinel::rules {
@@ -167,6 +168,10 @@ void RuleScheduler::Execute(Firing firing) {
 
   obs::ProvenanceTracer* tracer = tracer_.load(std::memory_order_acquire);
   const bool tracing = tracer != nullptr && tracer->enabled();
+  obs::SpanTracer* span_tracer = span_tracer_.load(std::memory_order_acquire);
+  const bool spans =
+      span_tracer != nullptr &&
+      span_tracer->enabled_for(obs::SpanKind::kSubTxn);
 
   RuleContext ctx;
   ctx.occurrence = &firing.occurrence;
@@ -198,6 +203,18 @@ void RuleScheduler::Execute(Firing firing) {
     }
   }
   ctx.subtxn = sub;
+
+  // Subtxn span: parented under the triggering detection's span (captured
+  // into the firing when it was enqueued — the execution usually happens on
+  // a different thread, so the per-thread scope stack cannot supply it).
+  // The scope stays open across commit/abort below so the span covers the
+  // whole firing lifecycle; condition/action child spans nest inside it via
+  // this thread's scope stack.
+  obs::SpanScope subtxn_span;
+  if (spans) {
+    subtxn_span.Start(span_tracer, obs::SpanKind::kSubTxn, firing.txn,
+                      rule->name(), sub, firing.trigger_span);
+  }
 
   // Publish this firing as the current frame so nested triggers (raised from
   // the action) inherit txn/priority/depth.
@@ -231,11 +248,21 @@ void RuleScheduler::Execute(Firing firing) {
         // Conditions are side-effect free: suppress event signalling while
         // the condition function runs (§3.2.1).
         detector::LocalEventDetector::SuppressScope guard;
+        obs::SpanScope cond_span;
+        if (spans && span_tracer->enabled_for(obs::SpanKind::kCondition)) {
+          cond_span.Start(span_tracer, obs::SpanKind::kCondition, firing.txn,
+                          rule->name() + ".condition", sub);
+        }
         const std::uint64_t t0 = NowNs();
         condition_held = rule->condition()(ctx);
         rule->metrics().condition_ns.Record(NowNs() - t0);
       }
       if (condition_held && rule->action()) {
+        obs::SpanScope action_span;
+        if (spans && span_tracer->enabled_for(obs::SpanKind::kAction)) {
+          action_span.Start(span_tracer, obs::SpanKind::kAction, firing.txn,
+                            rule->name() + ".action", sub);
+        }
         const std::uint64_t t0 = NowNs();
         rule->action()(ctx);
         rule->metrics().action_ns.Record(NowNs() - t0);
@@ -311,10 +338,12 @@ void RuleScheduler::Execute(Firing firing) {
 
 void RuleScheduler::AbortTop(storage::TxnId txn) {
   abort_top_.fetch_add(1, std::memory_order_relaxed);
+  PostmortemHook hook;
   {
     // Drop this transaction's queued firings: its effects are being rolled
     // back, so running more of its rules would be wasted (and unsafe) work.
     std::lock_guard<std::mutex> lock(mu_);
+    hook = postmortem_hook_;
     pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
                                   [txn](const Firing& f) {
                                     return f.txn == txn;
@@ -322,6 +351,9 @@ void RuleScheduler::AbortTop(storage::TxnId txn) {
                    pending_.end());
     pending_count_.store(pending_.size(), std::memory_order_release);
   }
+  // Dump the postmortem before the abort tears down the transaction state
+  // it describes (open spans, in-flight subtransactions, held locks).
+  if (hook) hook(txn);
   if (db_ != nullptr) {
     Status st = db_->Abort(txn);
     if (!st.ok()) {

@@ -15,6 +15,7 @@
 
 namespace sentinel::obs {
 class ProvenanceTracer;
+class SpanTracer;
 }  // namespace sentinel::obs
 
 namespace sentinel::rules {
@@ -60,6 +61,10 @@ struct Firing {
   /// execution, §3.2.3).
   std::vector<int> priority_path;
   int depth = 1;
+  /// Span id of the composite_detect (or notify) span live when the rule
+  /// triggered; the firing's subtxn span parents under it so the causal
+  /// chain survives the hop onto a scheduler thread.
+  std::uint64_t trigger_span = 0;
 };
 
 /// Executes rule firings as prioritized subtransactions on a thread pool
@@ -136,6 +141,21 @@ class RuleScheduler {
     tracer_.store(tracer, std::memory_order_release);
   }
 
+  /// Attaches the causal span tracer; each firing records a subtxn span
+  /// (with condition/action child spans) parented under its trigger_span.
+  void set_span_tracer(obs::SpanTracer* tracer) {
+    span_tracer_.store(tracer, std::memory_order_release);
+  }
+
+  /// Invoked (with the doomed transaction id) when the kAbortTop contingency
+  /// fires, before the transaction is aborted — the active layer hooks the
+  /// crash-postmortem dump here.
+  using PostmortemHook = std::function<void(storage::TxnId)>;
+  void set_postmortem_hook(PostmortemHook hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    postmortem_hook_ = std::move(hook);
+  }
+
   /// Record of one executed firing, for the rule debugger and for the
   /// reactive-RULE-class events. Multiple observers may be attached.
   using ExecutionObserver = std::function<void(
@@ -158,6 +178,8 @@ class RuleScheduler {
   oodb::Database* db_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<obs::ProvenanceTracer*> tracer_{nullptr};
+  std::atomic<obs::SpanTracer*> span_tracer_{nullptr};
+  PostmortemHook postmortem_hook_;  // guarded by mu_
 
   std::mutex mu_;
   std::deque<Firing> pending_;

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/failpoint.h"
+#include "obs/span.h"
 
 namespace sentinel::storage {
 
@@ -19,17 +20,24 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     Page* page = frames_[it->second].get();
     page->Pin();
     TouchLocked(it->second);
     return page;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   auto frame = GetFreeFrameLocked();
   if (!frame.ok()) return frame.status();
   Page* page = frames_[*frame].get();
+  obs::SpanScope read_span;
+  if (obs::SpanTracer* st = span_tracer_.load(std::memory_order_acquire);
+      st != nullptr && st->enabled_for(obs::SpanKind::kPageRead)) {
+    read_span.Start(st, obs::SpanKind::kPageRead, kInvalidTxnId,
+                    "page " + std::to_string(page_id));
+  }
   SENTINEL_RETURN_NOT_OK(disk_->ReadPage(page_id, page));
+  read_span.End();
   page->set_page_id(page_id);
   page->Pin();
   page_table_[page_id] = *frame;
@@ -117,6 +125,7 @@ Result<std::size_t> BufferPool::GetFreeFrameLocked() {
       SENTINEL_RETURN_NOT_OK(disk_->WritePage(*page));
       page->set_dirty(false);
     }
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     page_table_.erase(page->page_id());
     lru_.erase(std::next(it).base());
     lru_pos_.erase(frame);

@@ -1,6 +1,7 @@
 #ifndef SENTINEL_STORAGE_BUFFER_POOL_H_
 #define SENTINEL_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <list>
 #include <memory>
@@ -12,6 +13,10 @@
 #include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
+
+namespace sentinel::obs {
+class SpanTracer;
+}  // namespace sentinel::obs
 
 namespace sentinel::storage {
 
@@ -47,8 +52,23 @@ class BufferPool {
   std::size_t capacity() const { return capacity_; }
   /// Number of resident pages (for tests/benchmarks).
   std::size_t resident_count() const;
-  std::uint64_t hit_count() const { return hits_; }
-  std::uint64_t miss_count() const { return misses_; }
+  // Counters are written under the pool latch but read lock-free by stats
+  // surfaces, so they are relaxed atomics.
+  std::uint64_t hit_count() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t miss_count() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t eviction_count() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches the causal span tracer; disk reads on miss record page_read
+  /// spans.
+  void set_span_tracer(obs::SpanTracer* tracer) {
+    span_tracer_.store(tracer, std::memory_order_release);
+  }
 
  private:
   // Picks a frame to (re)use, evicting the LRU unpinned page if needed.
@@ -64,8 +84,10 @@ class BufferPool {
   std::list<std::size_t> lru_;  // front == most recently used
   std::unordered_map<std::size_t, std::list<std::size_t>::iterator> lru_pos_;
   std::vector<std::size_t> free_frames_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<obs::SpanTracer*> span_tracer_{nullptr};
 };
 
 }  // namespace sentinel::storage

@@ -189,12 +189,17 @@ Status DiskManager::Sync() {
 }
 
 Status DiskManager::SyncLocked() {
+  const auto start = std::chrono::steady_clock::now();
   if (std::fflush(file_) != 0) {
     return Status::IOError("fflush failed: " + path_);
   }
   if (::fsync(::fileno(file_)) != 0) {
     return Status::IOError("fsync failed: " + path_);
   }
+  fsync_ns_.Record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
   sync_count_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/page.h"
 
 namespace sentinel::storage {
@@ -69,6 +70,8 @@ class DiskManager {
   std::uint64_t sync_count() const {
     return sync_count_.load(std::memory_order_relaxed);
   }
+  /// Latency distribution of the fsync barriers counted by sync_count().
+  const obs::LatencyHistogram& fsync_histogram() const { return fsync_ns_; }
 
  private:
   Status ReadPageCountLocked();
@@ -85,6 +88,7 @@ class DiskManager {
   PageId page_count_ = 1;  // page 0 is the header page
   std::atomic<std::uint64_t> io_retries_{0};
   std::atomic<std::uint64_t> sync_count_{0};
+  obs::LatencyHistogram fsync_ns_;
 };
 
 }  // namespace sentinel::storage

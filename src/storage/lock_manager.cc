@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/span.h"
+
 namespace sentinel::storage {
 
 bool LockManager::CanGrantLocked(const LockState& state, TxnId txn,
@@ -70,8 +72,25 @@ Status LockManager::Acquire(TxnId txn, const LockKey& key, LockMode mode) {
   }
 
   const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
+  obs::SpanScope wait_span;
+  std::uint64_t wait_start_ns = 0;
   while (!CanGrantLocked(state, txn, mode)) {
+    if (wait_start_ns == 0) {
+      // First blocked iteration: open the wait window.
+      wait_start_ns = obs::SpanTracer::NowNs();
+      waits_.fetch_add(1, std::memory_order_relaxed);
+      obs::SpanTracer* st = span_tracer_.load(std::memory_order_acquire);
+      if (st != nullptr && st->enabled_for(obs::SpanKind::kLockWait)) {
+        wait_span.Start(st, obs::SpanKind::kLockWait, txn, key);
+      }
+    }
     if (WouldDeadlockLocked(txn, key, mode)) {
+      deadlocks_.fetch_add(1, std::memory_order_relaxed);
+      wait_ns_.Record(obs::SpanTracer::NowNs() - wait_start_ns);
+      wait_span.End();
+      DeadlockHook hook = deadlock_hook_;
+      lock.unlock();  // the hook snapshots this table; don't hold the latch
+      if (hook) hook(txn, key);
       return Status::Deadlock("deadlock victim: txn " + std::to_string(txn) +
                               " on " + key);
     }
@@ -80,12 +99,53 @@ Status LockManager::Acquire(TxnId txn, const LockKey& key, LockMode mode) {
     waiting_for_.erase(txn);
     if (wait_status == std::cv_status::timeout &&
         !CanGrantLocked(state, txn, mode)) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      wait_ns_.Record(obs::SpanTracer::NowNs() - wait_start_ns);
       return Status::LockTimeout("txn " + std::to_string(txn) +
                                  " timed out waiting for " + key);
     }
   }
+  if (wait_start_ns != 0) {
+    wait_ns_.Record(obs::SpanTracer::NowNs() - wait_start_ns);
+  }
   state.holders[txn] = mode;
   return Status::OK();
+}
+
+void LockManager::set_deadlock_hook(DeadlockHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  deadlock_hook_ = std::move(hook);
+}
+
+std::vector<LockManager::LockInfo> LockManager::SnapshotLocks() const {
+  std::vector<LockInfo> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(table_.size());
+  for (const auto& [key, state] : table_) {
+    if (state->holders.empty()) continue;
+    LockInfo info;
+    info.key = key;
+    for (const auto& [txn, mode] : state->holders) {
+      info.holders.push_back({txn, mode});
+    }
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LockInfo& a, const LockInfo& b) { return a.key < b.key; });
+  return out;
+}
+
+std::vector<LockManager::WaitEdge> LockManager::SnapshotWaits() const {
+  std::vector<WaitEdge> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(waiting_for_.size());
+  for (const auto& [txn, key] : waiting_for_) {
+    out.push_back({txn, key});
+  }
+  std::sort(out.begin(), out.end(), [](const WaitEdge& a, const WaitEdge& b) {
+    return a.txn < b.txn;
+  });
+  return out;
 }
 
 void LockManager::ReleaseAll(TxnId txn) {

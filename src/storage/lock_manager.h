@@ -1,9 +1,11 @@
 #ifndef SENTINEL_STORAGE_LOCK_MANAGER_H_
 #define SENTINEL_STORAGE_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -12,7 +14,12 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/log_record.h"
+
+namespace sentinel::obs {
+class SpanTracer;
+}  // namespace sentinel::obs
 
 namespace sentinel::storage {
 
@@ -53,6 +60,47 @@ class LockManager {
   /// Number of distinct keys currently locked (tests/benchmarks).
   std::size_t locked_key_count() const;
 
+  /// Attaches the causal span tracer; blocking acquisitions record
+  /// lock_wait spans covering the full wait.
+  void set_span_tracer(obs::SpanTracer* tracer) {
+    span_tracer_.store(tracer, std::memory_order_release);
+  }
+
+  /// Invoked (outside the table latch) when `txn` is chosen as a deadlock
+  /// victim, with the key whose request closed the cycle — the postmortem
+  /// trigger.
+  using DeadlockHook = std::function<void(TxnId, const LockKey&)>;
+  void set_deadlock_hook(DeadlockHook hook);
+
+  struct LockHolder {
+    TxnId txn = kInvalidTxnId;
+    LockMode mode = LockMode::kShared;
+  };
+  struct LockInfo {
+    LockKey key;
+    std::vector<LockHolder> holders;
+  };
+  /// Currently held locks (postmortems).
+  std::vector<LockInfo> SnapshotLocks() const;
+
+  struct WaitEdge {
+    TxnId txn = kInvalidTxnId;
+    LockKey key;
+  };
+  /// txn → requested-key edges of the waits-for graph (postmortems).
+  std::vector<WaitEdge> SnapshotWaits() const;
+
+  std::uint64_t wait_count() const {
+    return waits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t deadlock_count() const {
+    return deadlocks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t timeout_count() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+  const obs::LatencyHistogram& wait_histogram() const { return wait_ns_; }
+
  private:
   struct LockState {
     // Granted holders. Invariant: either one exclusive holder or any number
@@ -70,6 +118,13 @@ class LockManager {
   std::unordered_map<LockKey, std::unique_ptr<LockState>> table_;
   // txn -> key it is currently waiting for (for the waits-for graph).
   std::unordered_map<TxnId, LockKey> waiting_for_;
+  DeadlockHook deadlock_hook_;  // guarded by mu_
+
+  std::atomic<obs::SpanTracer*> span_tracer_{nullptr};
+  std::atomic<std::uint64_t> waits_{0};
+  std::atomic<std::uint64_t> deadlocks_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  obs::LatencyHistogram wait_ns_;
 };
 
 }  // namespace sentinel::storage

@@ -9,6 +9,7 @@
 #include "common/crc32.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "obs/span.h"
 
 namespace sentinel::storage {
 
@@ -188,10 +189,18 @@ Status LogManager::Flush() {
 }
 
 Status LogManager::FlushLocked() {
+  obs::SpanScope fsync_span;
+  if (obs::SpanTracer* st = span_tracer_.load(std::memory_order_acquire);
+      st != nullptr && st->enabled_for(obs::SpanKind::kWalFsync)) {
+    fsync_span.Start(st, obs::SpanKind::kWalFsync, kInvalidTxnId,
+                     "wal.fsync");
+  }
+  const std::uint64_t start_ns = obs::SpanTracer::NowNs();
   if (std::fflush(file_) != 0) return Status::IOError("cannot flush log");
   if (::fsync(::fileno(file_)) != 0) {
     return Status::IOError("cannot fsync log: " + path_);
   }
+  fsync_ns_.Record(obs::SpanTracer::NowNs() - start_ns);
   sync_count_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }

@@ -9,7 +9,12 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/log_record.h"
+
+namespace sentinel::obs {
+class SpanTracer;
+}  // namespace sentinel::obs
 
 namespace sentinel::storage {
 
@@ -74,6 +79,15 @@ class LogManager {
     return wedged_;
   }
 
+  /// Latency distribution of the fsync barriers counted by sync_count().
+  const obs::LatencyHistogram& fsync_histogram() const { return fsync_ns_; }
+
+  /// Attaches the causal span tracer; each fsync barrier records a
+  /// wal_fsync span.
+  void set_span_tracer(obs::SpanTracer* tracer) {
+    span_tracer_.store(tracer, std::memory_order_release);
+  }
+
  private:
   /// Reads one frame at the current position; distinguishes a good record
   /// from a bad/absent tail (bad == Corruption, clean EOF == NotFound).
@@ -87,6 +101,8 @@ class LogManager {
   bool wedged_ = false;
   std::atomic<std::uint64_t> truncated_bytes_{0};
   std::atomic<std::uint64_t> sync_count_{0};
+  std::atomic<obs::SpanTracer*> span_tracer_{nullptr};
+  obs::LatencyHistogram fsync_ns_;
 };
 
 }  // namespace sentinel::storage

@@ -1,6 +1,9 @@
 #include "txn/nested_txn.h"
 
+#include <algorithm>
+
 #include "common/failpoint.h"
+#include "obs/span.h"
 
 namespace sentinel::txn {
 
@@ -93,6 +96,12 @@ Status NestedTransactionManager::Acquire(SubTxnId sub,
     // Block. The LockState reference stays valid while we wait: entries are
     // never erased while waiters > 0, and unordered_map rehashes do not move
     // the pointed-to unique_ptr targets.
+    obs::SpanScope wait_span;
+    if (obs::SpanTracer* st = span_tracer_.load(std::memory_order_acquire);
+        st != nullptr && st->enabled_for(obs::SpanKind::kLockWait)) {
+      wait_span.Start(st, obs::SpanKind::kLockWait, sub_it->second.top, key,
+                      sub);
+    }
     ++state.waiters;
     const auto wait_start = std::chrono::steady_clock::now();
     const auto deadline = wait_start + options_.lock_timeout;
@@ -307,6 +316,26 @@ std::uint64_t NestedTransactionManager::LockWaitNs(SubTxnId sub) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = subs_.find(sub);
   return it != subs_.end() ? it->second.lock_wait_ns : 0;
+}
+
+std::vector<NestedTransactionManager::SubTxnInfo>
+NestedTransactionManager::ActiveSubTxns() const {
+  std::vector<SubTxnInfo> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, sub] : subs_) {
+    if (!sub.active) continue;
+    SubTxnInfo info;
+    info.id = id;
+    info.top = sub.top;
+    info.parent = sub.parent;
+    info.depth = sub.depth;
+    info.held_keys = sub.held_keys;
+    info.lock_wait_ns = sub.lock_wait_ns;
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SubTxnInfo& a, const SubTxnInfo& b) { return a.id < b.id; });
+  return out;
 }
 
 }  // namespace sentinel::txn

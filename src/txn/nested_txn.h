@@ -1,6 +1,7 @@
 #ifndef SENTINEL_TXN_NESTED_TXN_H_
 #define SENTINEL_TXN_NESTED_TXN_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -14,6 +15,10 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/lock_manager.h"
+
+namespace sentinel::obs {
+class SpanTracer;
+}  // namespace sentinel::obs
 
 namespace sentinel::txn {
 
@@ -75,6 +80,23 @@ class NestedTransactionManager {
   /// accounting for the rule metrics; harvested before commit/abort).
   std::uint64_t LockWaitNs(SubTxnId sub) const;
 
+  /// Attaches the causal span tracer; blocking nested acquisitions record
+  /// lock_wait spans.
+  void set_span_tracer(obs::SpanTracer* tracer) {
+    span_tracer_.store(tracer, std::memory_order_release);
+  }
+
+  /// Snapshot of the in-flight subtransactions (postmortems).
+  struct SubTxnInfo {
+    SubTxnId id = kInvalidSubTxn;
+    TopTxnId top = 0;
+    SubTxnId parent = kInvalidSubTxn;
+    int depth = 1;
+    std::vector<std::string> held_keys;
+    std::uint64_t lock_wait_ns = 0;
+  };
+  std::vector<SubTxnInfo> ActiveSubTxns() const;
+
  private:
   struct SubTxn {
     TopTxnId top = 0;
@@ -123,6 +145,7 @@ class NestedTransactionManager {
   // EndTop release retained locks without scanning the whole table.
   std::unordered_map<TopTxnId, std::vector<std::string>> retained_keys_;
   SubTxnId next_id_ = 1;
+  std::atomic<obs::SpanTracer*> span_tracer_{nullptr};
 };
 
 }  // namespace sentinel::txn

@@ -1,0 +1,400 @@
+// Causal span tracer tests: mode gating (off / flight-only / full), span
+// tree integrity across the detector → scheduler → nested-txn pipeline,
+// Chrome trace export shape, and postmortem JSON structure.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/active_database.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
+
+namespace sentinel {
+namespace {
+
+using core::ActiveDatabase;
+using detector::EventModifier;
+using obs::Span;
+using obs::SpanKind;
+using obs::TraceMode;
+
+/// Structural JSON check: braces/brackets balance outside of strings and the
+/// document is one value. Enough to catch truncated or mis-comma'd output
+/// without pulling in a JSON library.
+bool JsonBalanced(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+/// Declares submit/confirm primitives, SEQ(submit; confirm), and an
+/// immediate rule (with a condition so condition spans appear) on `db`.
+void InstallPipeline(ActiveDatabase* db) {
+  auto submit = db->DeclareEvent("ev_submit", "Order", EventModifier::kEnd,
+                                 "void submit()");
+  auto confirm = db->DeclareEvent("ev_confirm", "Order", EventModifier::kEnd,
+                                  "void confirm()");
+  ASSERT_TRUE(submit.ok());
+  ASSERT_TRUE(confirm.ok());
+  ASSERT_TRUE(db->detector()->DefineSeq("ev_seq", *submit, *confirm).ok());
+  ASSERT_TRUE(db->rule_manager()
+                  ->DefineRule(
+                      "seq_rule", "ev_seq",
+                      [](const rules::RuleContext&) { return true; },
+                      [](const rules::RuleContext&) {},
+                      rules::RuleManager::RuleOptions{})
+                  .ok());
+}
+
+void RunPipelineTxn(ActiveDatabase* db, storage::TxnId* txn_out) {
+  auto txn = db->Begin();
+  ASSERT_TRUE(txn.ok());
+  db->NotifyMethod("Order", 1, EventModifier::kEnd, "void submit()", nullptr,
+                   *txn);
+  db->NotifyMethod("Order", 1, EventModifier::kEnd, "void confirm()", nullptr,
+                   *txn);
+  ASSERT_TRUE(db->Commit(*txn).ok());
+  *txn_out = *txn;
+}
+
+TEST(ObsSpanTest, TracerOffRecordsNothing) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.OpenInMemory().ok());
+  db.span_tracer()->set_mode(TraceMode::kOff);
+  InstallPipeline(&db);
+  storage::TxnId txn;
+  RunPipelineTxn(&db, &txn);
+  EXPECT_EQ(db.span_tracer()->recorded(), 0u);
+  EXPECT_EQ(db.flight_recorder()->recorded(), 0u);
+  EXPECT_TRUE(db.span_tracer()->Snapshot().empty());
+  ASSERT_TRUE(db.Close().ok());
+}
+
+TEST(ObsSpanTest, FlightModeSkipsHotKindsButKeepsLastSpans) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.OpenInMemory().ok());
+  // kFlightOnly is the default mode.
+  EXPECT_EQ(db.span_tracer()->mode(), TraceMode::kFlightOnly);
+  InstallPipeline(&db);
+  storage::TxnId txn;
+  RunPipelineTxn(&db, &txn);
+  // The flight recorder saw spans (txn, subtxn, condition/action)...
+  EXPECT_GT(db.flight_recorder()->recorded(), 0u);
+  // ...but never the per-event hot kinds, and nothing went to the rings.
+  for (const Span& span : db.flight_recorder()->Snapshot()) {
+    EXPECT_NE(span.kind, SpanKind::kNotify);
+    EXPECT_NE(span.kind, SpanKind::kCompositeDetect);
+  }
+  EXPECT_TRUE(db.span_tracer()->Snapshot().empty());
+  ASSERT_TRUE(db.Close().ok());
+}
+
+TEST(ObsSpanTest, SpanTreeIntegrityFullTrace) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.OpenInMemory().ok());
+  db.span_tracer()->set_mode(TraceMode::kFull);
+  InstallPipeline(&db);
+  storage::TxnId txn;
+  RunPipelineTxn(&db, &txn);
+
+  std::vector<Span> spans = db.span_tracer()->Snapshot();
+  std::map<std::uint64_t, Span> by_id;
+  for (const Span& span : spans) by_id[span.id] = span;
+
+  // The acceptance chain: subtxn → composite_detect → notify → txn.
+  const Span* seq_subtxn = nullptr;
+  for (const Span& span : spans) {
+    if (span.kind == SpanKind::kSubTxn && span.label == "seq_rule" &&
+        span.txn == txn) {
+      seq_subtxn = &by_id[span.id];
+    }
+  }
+  ASSERT_NE(seq_subtxn, nullptr) << "no subtxn span for seq_rule";
+  ASSERT_TRUE(by_id.count(seq_subtxn->parent)) << "dangling subtxn parent";
+  const Span& detect = by_id[seq_subtxn->parent];
+  EXPECT_EQ(detect.kind, SpanKind::kCompositeDetect);
+  EXPECT_EQ(detect.label, "ev_seq");
+  ASSERT_TRUE(by_id.count(detect.parent)) << "dangling detect parent";
+  const Span& notify = by_id[detect.parent];
+  EXPECT_EQ(notify.kind, SpanKind::kNotify);
+  ASSERT_TRUE(by_id.count(notify.parent)) << "dangling notify parent";
+  const Span& txn_span = by_id[notify.parent];
+  EXPECT_EQ(txn_span.kind, SpanKind::kTxn);
+  EXPECT_EQ(txn_span.txn, txn);
+
+  // Condition and action spans hang off the subtxn span.
+  bool saw_condition = false, saw_action = false;
+  for (const Span& span : spans) {
+    if (span.parent != seq_subtxn->id) continue;
+    saw_condition |= span.kind == SpanKind::kCondition;
+    saw_action |= span.kind == SpanKind::kAction;
+  }
+  EXPECT_TRUE(saw_condition);
+  EXPECT_TRUE(saw_action);
+
+  // Tree invariants: every non-txn span of this transaction has a live
+  // parent, and no parent edge crosses a transaction boundary.
+  for (const Span& span : spans) {
+    if (span.txn != txn || span.kind == SpanKind::kTxn) continue;
+    EXPECT_NE(span.parent, 0u) << "rootless " << obs::SpanKindToString(span.kind)
+                               << " span '" << span.label << "'";
+    auto parent = by_id.find(span.parent);
+    if (parent != by_id.end() &&
+        parent->second.txn != storage::kInvalidTxnId) {
+      EXPECT_EQ(parent->second.txn, span.txn)
+          << "span '" << span.label << "' parented across transactions";
+    }
+  }
+  ASSERT_TRUE(db.Close().ok());
+}
+
+TEST(ObsSpanTest, SecondTransactionDoesNotInheritFirst) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.OpenInMemory().ok());
+  db.span_tracer()->set_mode(TraceMode::kFull);
+  InstallPipeline(&db);
+  storage::TxnId t1, t2;
+  RunPipelineTxn(&db, &t1);
+  RunPipelineTxn(&db, &t2);
+  ASSERT_NE(t1, t2);
+
+  std::map<std::uint64_t, Span> by_id;
+  for (const Span& span : db.span_tracer()->Snapshot()) by_id[span.id] = span;
+  for (const auto& [id, span] : by_id) {
+    (void)id;
+    auto parent = by_id.find(span.parent);
+    if (parent == by_id.end()) continue;
+    if (span.txn == storage::kInvalidTxnId ||
+        parent->second.txn == storage::kInvalidTxnId) {
+      continue;
+    }
+    EXPECT_EQ(parent->second.txn, span.txn);
+  }
+  ASSERT_TRUE(db.Close().ok());
+}
+
+TEST(ObsSpanTest, ExportChromeTraceWellFormed) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.OpenInMemory().ok());
+  db.span_tracer()->set_mode(TraceMode::kFull);
+  InstallPipeline(&db);
+  storage::TxnId txn;
+  RunPipelineTxn(&db, &txn);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("sentinel_span_trace_" + std::to_string(::getpid()) + ".json"))
+          .string();
+  ASSERT_TRUE(db.ExportTrace(path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  std::filesystem::remove(path);
+
+  EXPECT_TRUE(JsonBalanced(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // process names
+  EXPECT_NE(json.find("\"pid\":" + std::to_string(txn)), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"composite_detect\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"subtxn\""), std::string::npos);
+  ASSERT_TRUE(db.Close().ok());
+}
+
+TEST(ObsSpanTest, PostmortemJsonStructure) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.OpenInMemory().ok());
+  InstallPipeline(&db);
+  storage::TxnId txn;
+  RunPipelineTxn(&db, &txn);
+
+  // With a transaction open, the postmortem lists it as active.
+  auto open = db.Begin();
+  ASSERT_TRUE(open.ok());
+  const std::string json = db.PostmortemJson("test_reason", *open);
+  ASSERT_TRUE(db.Abort(*open).ok());
+
+  EXPECT_TRUE(JsonBalanced(json));
+  EXPECT_NE(json.find("\"reason\":\"test_reason\""), std::string::npos);
+  EXPECT_NE(json.find("\"victim_txn\":" + std::to_string(*open)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"active_txns\""), std::string::npos);
+  EXPECT_NE(json.find("\"txn\":" + std::to_string(*open)), std::string::npos);
+  EXPECT_NE(json.find("\"subtxns\""), std::string::npos);
+  EXPECT_NE(json.find("\"failpoints\""), std::string::npos);
+  EXPECT_NE(json.find("\"last_spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler\""), std::string::npos);
+  ASSERT_TRUE(db.Close().ok());
+}
+
+TEST(ObsSpanTest, StatsJsonCarriesSpanSection) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.OpenInMemory().ok());
+  InstallPipeline(&db);
+  storage::TxnId txn;
+  RunPipelineTxn(&db, &txn);
+  const std::string json = db.StatsJson();
+  EXPECT_TRUE(JsonBalanced(json));
+  EXPECT_NE(json.find("\"span_trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"flight\""), std::string::npos);
+  ASSERT_TRUE(db.Close().ok());
+}
+
+TEST(ObsSpanTest, StatsJsonCarriesStorageSectionWhenPersistent) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("sentinel_span_stats_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    ActiveDatabase db;
+    ASSERT_TRUE(db.Open(dir + "/db").ok());
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(db.database()->classes()->Register(oodb::ClassDef("Order", ""))
+                    .ok());
+    ASSERT_TRUE(db.CreateObject(*txn, "Order", "o1").ok());
+    ASSERT_TRUE(db.Commit(*txn).ok());
+    const std::string json = db.StatsJson();
+    EXPECT_TRUE(JsonBalanced(json));
+    EXPECT_NE(json.find("\"storage\""), std::string::npos);
+    EXPECT_NE(json.find("\"buffer_pool\""), std::string::npos);
+    EXPECT_NE(json.find("\"wal\""), std::string::npos);
+    EXPECT_NE(json.find("\"lock_manager\""), std::string::npos);
+    EXPECT_NE(json.find("\"fsync_ns\""), std::string::npos);
+    ASSERT_TRUE(db.Close().ok());
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(ObsSpanTest, FlightRecorderRingKeepsLastN) {
+  obs::FlightRecorder recorder(/*capacity=*/4);
+  obs::SpanTracer tracer;
+  tracer.set_flight_recorder(&recorder);
+  tracer.set_mode(TraceMode::kFlightOnly);
+  for (int i = 0; i < 10; ++i) {
+    obs::SpanScope scope;
+    scope.Start(&tracer, SpanKind::kAction, storage::kInvalidTxnId,
+                "op " + std::to_string(i));
+    scope.End();
+  }
+  std::vector<Span> last = recorder.Snapshot();
+  ASSERT_EQ(last.size(), 4u);
+  EXPECT_EQ(last.front().label, "op 6");  // oldest surviving
+  EXPECT_EQ(last.back().label, "op 9");   // newest
+  EXPECT_EQ(recorder.recorded(), 10u);
+}
+
+// The kAbortTop contingency dooms the triggering transaction — and, with
+// $SENTINEL_POSTMORTEM_DIR set, automatically drops a postmortem file that
+// names the reason and parses as JSON.
+TEST(ObsSpanTest, AbortTopContingencyEmitsPostmortem) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("sentinel_abort_postmortem_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ASSERT_EQ(::setenv("SENTINEL_POSTMORTEM_DIR", dir.c_str(), 1), 0);
+
+  {
+    ActiveDatabase db;
+    ActiveDatabase::Options options;
+    options.scheduler.contingency = rules::ContingencyPolicy::kAbortTop;
+    ASSERT_TRUE(db.OpenInMemory(options).ok());
+    auto boom = db.detector()->DefineExplicit("boom");
+    ASSERT_TRUE(boom.ok());
+    ASSERT_TRUE(db.rule_manager()
+                    ->DefineRule("exploding_rule", "boom", nullptr,
+                                 [](const rules::RuleContext&) {
+                                   throw std::runtime_error("rule failure");
+                                 })
+                    .ok());
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn.ok());
+    // NotifyMethod drains immediate firings, so the contingency (and the
+    // postmortem dump) happens inside this call.
+    ASSERT_TRUE(db.RaiseEvent("boom", nullptr, *txn).ok());
+    EXPECT_GT(db.scheduler()->abort_top_count(), 0u);
+    EXPECT_GT(db.flight_recorder()->dumps(), 0u);
+    ASSERT_TRUE(db.Close().ok());
+  }
+  ASSERT_EQ(::unsetenv("SENTINEL_POSTMORTEM_DIR"), 0);
+
+  std::string postmortem;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::ifstream in(entry.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    if (buf.str().find("\"reason\":\"abort_top\"") != std::string::npos) {
+      postmortem = buf.str();
+    }
+  }
+  ASSERT_FALSE(postmortem.empty()) << "no abort_top postmortem written";
+  EXPECT_TRUE(JsonBalanced(postmortem));
+  EXPECT_NE(postmortem.find("\"victim_txn\""), std::string::npos);
+  EXPECT_NE(postmortem.find("\"last_spans\""), std::string::npos);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(ObsSpanTest, WritePostmortemHonorsExplicitPath) {
+  obs::FlightRecorder recorder;
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("sentinel_postmortem_" + std::to_string(::getpid()) + ".json"))
+          .string();
+  auto written = recorder.WritePostmortem("{\"reason\":\"unit\"}", path);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(*written, path);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "{\"reason\":\"unit\"}\n");
+  EXPECT_EQ(recorder.dumps(), 1u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sentinel

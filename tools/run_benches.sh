@@ -4,7 +4,9 @@
 # throughput (the benchmark library reports per-thread-normalized rates for
 # ->Threads(n) runs, so the aggregate is items_per_second * threads).
 #
-# Usage: tools/run_benches.sh [build_dir] [out_json]
+# Usage: tools/run_benches.sh [--strict] [build_dir] [out_json]
+#   --strict   exit non-zero when a BM_Notify* benchmark regresses >10%
+#              against tools/bench_baseline.json (default: warn only)
 #   build_dir  defaults to ./build (must contain bench/ binaries)
 #   out_json   defaults to BENCH_dispatch.json in the current directory
 #
@@ -12,9 +14,19 @@
 # --benchmark_min_time values; pass plain seconds (0.2, not "0.2s").
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_dispatch.json}"
+STRICT=0
+positional=()
+for arg in "$@"; do
+  case "${arg}" in
+    --strict) STRICT=1 ;;
+    *) positional+=("${arg}") ;;
+  esac
+done
+
+BUILD_DIR="${positional[0]:-build}"
+OUT="${positional[1]:-BENCH_dispatch.json}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
+export SENTINEL_BENCH_STRICT="${STRICT}"
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -37,11 +49,12 @@ run() {
 
 run bench_primitive_events 'BM_Notify.*' "${tmpdir}/primitive.json"
 run bench_threading 'BM_NotifyConcurrent.*' "${tmpdir}/threading.json"
+run bench_span_overhead 'BM_Span.*' "${tmpdir}/span.json"
 
 BASELINE="$(dirname "$0")/bench_baseline.json"
 
 python3 - "${BASELINE}" "${tmpdir}/primitive.json" "${tmpdir}/threading.json" \
-    "${OUT}" <<'PY'
+    "${tmpdir}/span.json" "${OUT}" <<'PY'
 import json
 import os
 import re
@@ -67,8 +80,9 @@ for bench in merged["benchmarks"]:
 
 # Fold in the checked-in pre-PR baseline and per-benchmark speedups so the
 # artifact is self-contained evidence of the improvement. BM_Notify* entries
-# that regress more than 10% against the baseline get a printed warning —
-# non-gating, since CI machines are noisy, but visible in the job log.
+# that regress more than 10% against the baseline get a printed warning;
+# with --strict (SENTINEL_BENCH_STRICT=1) they fail the run instead, so CI
+# can gate on dispatch-path regressions.
 regressions = []
 if os.path.exists(baseline_path):
     with open(baseline_path) as f:
@@ -89,10 +103,12 @@ with open(sys.argv[-1], "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
 
+strict = os.environ.get("SENTINEL_BENCH_STRICT") == "1"
 for name, base_ns, now_ns in regressions:
+    severity = "ERROR" if strict else "WARNING"
     print(
-        f"WARNING: {name} regressed >10% vs baseline "
-        f"({base_ns:.1f} ns -> {now_ns:.1f} ns); not gating, but investigate."
+        f"{severity}: {name} regressed >10% vs baseline "
+        f"({base_ns:.1f} ns -> {now_ns:.1f} ns)."
     )
 
 for bench in merged["benchmarks"]:
@@ -109,6 +125,9 @@ for bench in merged["benchmarks"]:
     if speedup is not None:
         line += f"   {speedup:.2f}x vs baseline"
     print(line)
+
+if strict and regressions:
+    sys.exit(1)
 PY
 
 echo "wrote ${OUT}"

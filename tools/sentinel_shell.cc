@@ -106,6 +106,9 @@ void PrintHelp() {
   enable <rule> | disable <rule>
   stats                    pipeline metrics snapshot (JSON)
   trace [on|off|txn <id>]  provenance trace: toggle, dump (JSON), or drain one txn
+  trace span <off|flight|full>       set the causal span tracer mode
+  trace export <path>      write buffered spans as Chrome trace JSON (Perfetto)
+  postmortem [<path>]      crash postmortem: print JSON, or write it to <path>
   rtrace                   print the rule debugger trace
   dot                      print the event graph in DOT (with counters)
   failpoint list                     show armed failpoints
@@ -234,6 +237,37 @@ int Run() {
       st = shell.db.rule_manager()->EnableRule(words[1]);
     } else if (cmd == "disable" && words.size() >= 2) {
       st = shell.db.rule_manager()->DisableRule(words[1]);
+    } else if (cmd == "trace" && words.size() >= 3 && words[1] == "span") {
+      sentinel::obs::SpanTracer* spans = shell.db.span_tracer();
+      if (words[2] == "off") {
+        spans->set_mode(sentinel::obs::TraceMode::kOff);
+      } else if (words[2] == "flight") {
+        spans->set_mode(sentinel::obs::TraceMode::kFlightOnly);
+      } else if (words[2] == "full") {
+        spans->set_mode(sentinel::obs::TraceMode::kFull);
+      } else {
+        std::printf("usage: trace span <off|flight|full>\n");
+        continue;
+      }
+      std::printf("span tracing %s\n",
+                  sentinel::obs::TraceModeToString(spans->mode()));
+    } else if (cmd == "trace" && words.size() >= 3 && words[1] == "export") {
+      st = shell.db.ExportTrace(words[2]);
+      if (st.ok()) {
+        std::printf("trace written to %s (load in ui.perfetto.dev)\n",
+                    words[2].c_str());
+      }
+    } else if (cmd == "postmortem") {
+      if (words.size() >= 2) {
+        auto written = shell.db.DumpPostmortem("shell", shell.txn, words[1]);
+        st = written.status();
+        if (written.ok()) {
+          std::printf("postmortem written to %s\n", written->c_str());
+        }
+      } else {
+        std::printf("%s\n",
+                    shell.db.PostmortemJson("shell", shell.txn).c_str());
+      }
     } else if (cmd == "trace") {
       sentinel::obs::ProvenanceTracer* tracer = shell.db.tracer();
       if (words.size() >= 2 && words[1] == "on") {
