@@ -1,0 +1,119 @@
+// Monitoring-plane overhead (DESIGN.md §11): the watchdog samples every
+// pipeline counter from its own thread, and the monitor server answers
+// scrapes from its own thread — neither may tax the Notify hot path, whose
+// cost is a handful of relaxed atomics either way. Three variants of the
+// BM_NotifyEventDeclaredNoRule-shaped loop:
+//   - Off:               no watchdog, no server (the baseline),
+//   - Watchdog:          watchdog sampling at an aggressive 10ms interval
+//                        (25x the production default),
+//   - ServerAndWatchdog: watchdog plus the HTTP endpoint bound and a
+//                        concurrent scraper hammering /metrics, the
+//                        worst-case contention a Prometheus deployment adds.
+// tools/run_benches.sh folds the three into BENCH_monitor.json and warns
+// when either monitored variant drifts more than the noise allowance from
+// Off (strict mode fails the run at >10%).
+
+#include <benchmark/benchmark.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "bench_util.h"
+#include "obs/watchdog.h"
+
+namespace sentinel::bench {
+namespace {
+
+enum class Plane { kOff, kWatchdog, kServerAndWatchdog };
+
+/// One GET /metrics against 127.0.0.1:port; discards the body.
+void ScrapeOnce(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const char req[] = "GET /metrics HTTP/1.1\r\nHost: b\r\n\r\n";
+    (void)::send(fd, req, sizeof(req) - 1, 0);
+    char buf[4096];
+    while (::read(fd, buf, sizeof(buf)) > 0) {
+    }
+  }
+  ::close(fd);
+}
+
+void NotifyWithPlane(benchmark::State& state, Plane plane) {
+  core::ActiveDatabase db;
+  (void)db.OpenInMemory();
+  (void)db.DeclareEvent("e", "C", EventModifier::kEnd, "void f(int v)");
+  CountingSink sink;
+  (void)db.detector()->Subscribe("e", &sink, ParamContext::kRecent);
+
+  std::atomic<bool> stop_scraper{false};
+  std::thread scraper;
+  if (plane != Plane::kOff) {
+    obs::Watchdog::Options wd;
+    wd.interval = std::chrono::milliseconds(10);
+    auto bound =
+        db.StartMonitoring(plane == Plane::kWatchdog ? -1 : 0, wd);
+    if (!bound.ok()) {
+      state.SkipWithError(bound.status().ToString().c_str());
+      return;
+    }
+    if (plane == Plane::kServerAndWatchdog) {
+      const int port = *bound;
+      scraper = std::thread([port, &stop_scraper] {
+        while (!stop_scraper.load(std::memory_order_acquire)) {
+          ScrapeOnce(port);
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      });
+    }
+  }
+
+  auto txn = db.Begin();
+  CounterBaseline base(db);
+  int v = 0;
+  for (auto _ : state) {
+    FireMethod(&db, "C", "void f(int v)", ++v, *txn);
+  }
+  state.SetItemsProcessed(state.iterations());
+  base.Report(&db, &state);
+  if (db.watchdog() != nullptr) {
+    state.counters["watchdog_ticks"] =
+        static_cast<double>(db.watchdog()->ticks());
+  }
+  if (db.monitor_server() != nullptr) {
+    state.counters["scrapes"] =
+        static_cast<double>(db.monitor_server()->requests());
+  }
+  if (scraper.joinable()) {
+    stop_scraper.store(true, std::memory_order_release);
+    scraper.join();
+  }
+}
+
+void BM_MonitorNotifyOff(benchmark::State& state) {
+  NotifyWithPlane(state, Plane::kOff);
+}
+void BM_MonitorNotifyWatchdog(benchmark::State& state) {
+  NotifyWithPlane(state, Plane::kWatchdog);
+}
+void BM_MonitorNotifyServerAndWatchdog(benchmark::State& state) {
+  NotifyWithPlane(state, Plane::kServerAndWatchdog);
+}
+BENCHMARK(BM_MonitorNotifyOff);
+BENCHMARK(BM_MonitorNotifyWatchdog);
+BENCHMARK(BM_MonitorNotifyServerAndWatchdog);
+
+}  // namespace
+}  // namespace sentinel::bench

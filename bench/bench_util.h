@@ -1,7 +1,10 @@
 #ifndef SENTINEL_BENCH_BENCH_UTIL_H_
 #define SENTINEL_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -41,6 +44,37 @@ inline void DumpMetricsSnapshot(core::ActiveDatabase* db,
   std::ofstream out(std::string(dir) + "/" + name + ".json");
   if (out) out << db->StatsJson() << "\n";
 }
+
+/// Delta-since-baseline counter capture. Benchmarks must never Reset() the
+/// shared pipeline counters mid-run (ShardedCounter::Reset races concurrent
+/// writers and loses increments — see obs/metrics.h); instead capture a
+/// baseline before the measured loop and report the delta after it:
+///
+///   CounterBaseline base(db);
+///   for (auto _ : state) { ... }
+///   base.Report(&db, &state);   // counters["executed"], ["notifications"]
+struct CounterBaseline {
+  std::uint64_t notifications = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t executed = 0;
+
+  explicit CounterBaseline(core::ActiveDatabase& db) {
+    const auto totals = db.detector()->TotalsSnapshot();
+    notifications = totals.notifications;
+    detections = totals.detections;
+    executed = db.scheduler()->executed_count();
+  }
+
+  void Report(core::ActiveDatabase* db, benchmark::State* state) const {
+    const auto totals = db->detector()->TotalsSnapshot();
+    (*state).counters["notifications"] =
+        static_cast<double>(totals.notifications - notifications);
+    (*state).counters["detections"] =
+        static_cast<double>(totals.detections - detections);
+    (*state).counters["rule_execs"] =
+        static_cast<double>(db->scheduler()->executed_count() - executed);
+  }
+};
 
 /// Sink that counts detections (used where rules would add noise).
 class CountingSink : public detector::EventSink {

@@ -10,9 +10,11 @@
 // event back into the `orders` application where a DETACHED rule records the
 // fulfilment in its own top-level transaction.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "core/active_database.h"
 #include "core/reactive.h"
@@ -156,6 +158,20 @@ int main() {
                   trace_path);
     } else {
       std::printf("trace export failed: %s\n", st.ToString().c_str());
+    }
+  }
+  // SENTINEL_MONITOR_HOLD_MS=<ms>: keep the process (and therefore the
+  // monitor endpoint started via SENTINEL_MONITOR_PORT) alive so an external
+  // scraper can curl /metrics and /healthz — the CI monitoring smoke test.
+  if (const char* hold = std::getenv("SENTINEL_MONITOR_HOLD_MS")) {
+    const long ms = std::strtol(hold, nullptr, 10);
+    if (ms > 0) {
+      if (auto* server = orders.monitor_server()) {
+        std::printf("monitor listening on 127.0.0.1:%d for %ld ms\n",
+                    server->port(), ms);
+      }
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
     }
   }
   (void)orders.Close();

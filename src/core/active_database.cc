@@ -1,9 +1,12 @@
 #include "core/active_database.h"
 
+#include <cstdlib>
+
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/pool.h"
 #include "obs/json.h"
+#include "obs/prometheus.h"
 
 namespace sentinel::core {
 
@@ -120,11 +123,36 @@ Status ActiveDatabase::OpenCommon(const Options& options) {
                       firing.txn);
   });
   open_ = true;
+
+  // Operator opt-in monitoring: SENTINEL_MONITOR_PORT starts the watchdog
+  // plus the HTTP endpoint (0 = ephemeral port, logged below); a bind
+  // failure degrades to a warning — monitoring must never take the
+  // database down with it.
+  if (const char* port_env = std::getenv("SENTINEL_MONITOR_PORT")) {
+    obs::Watchdog::Options wd;
+    if (const char* ms_env = std::getenv("SENTINEL_WATCHDOG_MS")) {
+      const long ms = std::strtol(ms_env, nullptr, 10);
+      if (ms > 0) wd.interval = std::chrono::milliseconds(ms);
+    }
+    auto started = StartMonitoring(
+        static_cast<int>(std::strtol(port_env, nullptr, 10)), wd);
+    if (started.ok()) {
+      SENTINEL_LOG(kInfo) << "monitor server listening on 127.0.0.1:"
+                          << *started;
+    } else {
+      SENTINEL_LOG(kWarn) << "SENTINEL_MONITOR_PORT set but monitoring "
+                             "failed to start: "
+                          << started.status().ToString();
+    }
+  }
   return Status::OK();
 }
 
 Status ActiveDatabase::Close() {
   if (!open_) return Status::OK();
+  // Tear down the monitoring plane first: its sampler thread and request
+  // handlers read every component released below.
+  StopMonitoring();
   if (scheduler_ != nullptr) {
     scheduler_->Drain();
     scheduler_->WaitDetached();
@@ -167,6 +195,7 @@ Result<storage::TxnId> ActiveDatabase::Begin() {
   params->Insert("txn", oodb::Value::Int(static_cast<std::int64_t>(txn)));
   SENTINEL_RETURN_NOT_OK(detector_->RaiseExplicit(kBeginTxnEvent, params, txn));
   scheduler_->Drain();
+  open_txn_gauge_.fetch_add(1, std::memory_order_relaxed);
   return txn;
 }
 
@@ -186,6 +215,7 @@ Status ActiveDatabase::Commit(storage::TxnId txn) {
   if (db_ != nullptr) SENTINEL_RETURN_NOT_OK(db_->Commit(txn));
   if (cache_ != nullptr) cache_->OnCommit(txn);
   nested_->EndTop(txn);
+  open_txn_gauge_.fetch_sub(1, std::memory_order_relaxed);
 
   SENTINEL_RETURN_NOT_OK(detector_->RaiseExplicit(kCommitEvent, params, txn));
   scheduler_->Drain();
@@ -203,6 +233,7 @@ Status ActiveDatabase::Abort(storage::TxnId txn) {
   if (db_ != nullptr) st = db_->Abort(txn);
   if (cache_ != nullptr) cache_->OnAbort(txn);
   nested_->EndTop(txn);
+  open_txn_gauge_.fetch_sub(1, std::memory_order_relaxed);
   SENTINEL_RETURN_NOT_OK(detector_->RaiseExplicit(kAbortEvent, params, txn));
   scheduler_->Drain();
   anchor.End();
@@ -465,6 +496,374 @@ Result<std::string> ActiveDatabase::DumpPostmortem(const std::string& reason,
                                                    storage::TxnId txn,
                                                    const std::string& path) {
   return flight_recorder_.WritePostmortem(PostmortemJson(reason, txn), path);
+}
+
+Result<int> ActiveDatabase::StartMonitoring(
+    int port, obs::Watchdog::Options watchdog_options) {
+  if (!open_) return Status::InvalidArgument("database not open");
+  if (watchdog_ != nullptr || monitor_ != nullptr) {
+    return Status::InvalidArgument("monitoring already started");
+  }
+  watchdog_ = std::make_unique<obs::Watchdog>(
+      [this] { return CollectMonitorSample(); }, watchdog_options);
+  watchdog_->set_postmortem_hook([this](const std::string& reason) {
+    (void)DumpPostmortem("watchdog: " + reason);
+  });
+  Status st = watchdog_->Start();
+  if (!st.ok()) {
+    watchdog_.reset();
+    return st;
+  }
+  if (port < 0) return -1;  // watchdog-only mode
+
+  monitor_ = std::make_unique<obs::MonitorServer>();
+  monitor_->Route("/metrics", [this] {
+    obs::MonitorServer::Response r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = PrometheusText();
+    return r;
+  });
+  monitor_->Route("/stats", [this] {
+    obs::MonitorServer::Response r;
+    r.content_type = "application/json";
+    r.body = StatsJson();
+    return r;
+  });
+  monitor_->Route("/graph", [this] {
+    obs::MonitorServer::Response r;
+    r.content_type = "text/vnd.graphviz";
+    r.body = detector_->DumpGraph();
+    return r;
+  });
+  monitor_->Route("/trace", [this] {
+    obs::MonitorServer::Response r;
+    r.content_type = "application/json";
+    r.body = span_tracer_.ChromeTraceJson();
+    return r;
+  });
+  monitor_->Route("/postmortem", [this] {
+    obs::MonitorServer::Response r;
+    r.content_type = "application/json";
+    r.body = PostmortemJson("manual");
+    return r;
+  });
+  monitor_->Route("/healthz", [this] {
+    obs::MonitorServer::Response r;
+    r.content_type = "application/json";
+    r.body = HealthJson(&r.status);
+    return r;
+  });
+  obs::MonitorServer::Options server_options;
+  server_options.port = port;
+  st = monitor_->Start(server_options);
+  if (!st.ok()) {
+    monitor_.reset();
+    watchdog_->Stop();
+    watchdog_.reset();
+    return st;
+  }
+  return monitor_->port();
+}
+
+void ActiveDatabase::StopMonitoring() {
+  // Server first: once it is down no handler can race component access
+  // while the watchdog (and later Close) tears the rest down.
+  if (monitor_ != nullptr) {
+    monitor_->Stop();
+    monitor_.reset();
+  }
+  if (watchdog_ != nullptr) {
+    watchdog_->Stop();
+    watchdog_.reset();
+  }
+}
+
+obs::MonitorSample ActiveDatabase::CollectMonitorSample() {
+  obs::MonitorSample s;
+  s.at_ns = obs::SpanTracer::NowNs();
+  if (detector_ != nullptr) {
+    const auto totals = detector_->TotalsSnapshot();
+    s.notifications = totals.notifications;
+    s.detections = totals.detections;
+    s.detector_buffered = totals.buffered;
+  }
+  if (scheduler_ != nullptr) {
+    s.executed = scheduler_->executed_count();
+    s.failed = scheduler_->failed_count();
+    s.abort_top = scheduler_->abort_top_count();
+    s.sched_pending = scheduler_->pending_count();
+    s.sched_detached = scheduler_->detached_pending_count();
+  }
+  if (nested_ != nullptr) {
+    s.active_subtxns = nested_->active_count();
+    s.nested_waiters = nested_->waiting_count();
+  }
+  if (db_ != nullptr) {
+    storage::StorageEngine* engine = db_->engine();
+    s.open_txns = engine->active_txn_count();
+    s.lock_waiters = engine->lock_manager()->waiting_count();
+    s.deadlocks = engine->lock_manager()->deadlock_count();
+    s.lock_wait = engine->lock_manager()->wait_histogram().TakeSnapshot();
+    s.pool_resident = engine->buffer_pool()->resident_count();
+    s.pool_dirty = engine->buffer_pool()->dirty_count();
+    s.wal_wedged = engine->log_manager()->wedged();
+    s.wal_fsync = engine->log_manager()->fsync_histogram().TakeSnapshot();
+  } else {
+    const std::int64_t open = open_txn_gauge_.load(std::memory_order_relaxed);
+    s.open_txns = open > 0 ? static_cast<std::uint64_t>(open) : 0;
+  }
+  return s;
+}
+
+std::string ActiveDatabase::HealthJson(int* http_status) {
+  if (watchdog_ != nullptr) {
+    const obs::HealthState state = watchdog_->health();
+    if (http_status != nullptr) {
+      *http_status = state == obs::HealthState::kHealthy ? 200 : 503;
+    }
+    return watchdog_->HealthJson();
+  }
+  // No watchdog: report the cheap invariants only.
+  bool wedged = false;
+  if (db_ != nullptr) wedged = db_->engine()->log_manager()->wedged();
+  if (http_status != nullptr) *http_status = wedged ? 503 : 200;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("status", wedged ? "unhealthy" : "healthy");
+  w.Field("healthy", !wedged);
+  w.Field("watchdog_running", false);
+  if (wedged) {
+    w.Key("reasons").BeginArray();
+    w.Value("wal_wedged");
+    w.EndArray();
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+std::string ActiveDatabase::PrometheusText() {
+  obs::PromWriter p;
+  using Labels = obs::PromWriter::Labels;
+
+  // Pipeline totals + per-node event-graph series.
+  if (detector_ != nullptr) {
+    const auto totals = detector_->TotalsSnapshot();
+    p.Counter("sentinel_detector_notifications_total",
+              "Raw event notifications accepted by the detector.", {},
+              totals.notifications);
+    p.Counter("sentinel_detector_detections_total",
+              "Occurrences emitted by event-graph nodes.", {},
+              totals.detections);
+    p.Counter("sentinel_detector_flushed_total",
+              "Buffered occurrences dropped by transaction flushes.", {},
+              totals.flushed);
+    p.Gauge("sentinel_detector_buffered",
+            "Occurrences currently buffered in the event graph.", {},
+            totals.buffered);
+
+    p.Family("sentinel_event_received_total",
+             "Occurrences delivered into an event node, by context.",
+             "counter");
+    p.Family("sentinel_event_detected_total",
+             "Occurrences emitted by an event node, by context.", "counter");
+    p.Family("sentinel_event_buffered",
+             "Occurrences buffered at an event node.", "gauge");
+    p.Family("sentinel_event_context_refs",
+             "Subscriber reference count per parameter context.", "gauge");
+    for (const auto& node : detector_->SnapshotNodes()) {
+      const Labels node_labels = {{"event", node.name}, {"kind", node.kind}};
+      p.Sample("sentinel_event_buffered", node_labels, node.buffered);
+      for (int c = 0; c < detector::kNumContexts; ++c) {
+        const auto& ctx = node.contexts[c];
+        if (ctx.refs == 0 && ctx.received == 0 && ctx.detected == 0) continue;
+        Labels ctx_labels = node_labels;
+        ctx_labels.emplace_back(
+            "context",
+            detector::ParamContextToString(
+                static_cast<detector::ParamContext>(c)));
+        p.Sample("sentinel_event_received_total", ctx_labels, ctx.received);
+        p.Sample("sentinel_event_detected_total", ctx_labels, ctx.detected);
+        p.Sample("sentinel_event_context_refs", ctx_labels,
+                 static_cast<std::uint64_t>(ctx.refs > 0 ? ctx.refs : 0));
+      }
+    }
+  }
+
+  // Scheduler counters + queue-depth gauges.
+  if (scheduler_ != nullptr) {
+    p.Counter("sentinel_rules_executed_total",
+              "Rule firings that ran to completion.", {},
+              scheduler_->executed_count());
+    p.Counter("sentinel_rules_condition_rejections_total",
+              "Firings whose condition did not hold.", {},
+              scheduler_->condition_rejections());
+    p.Counter("sentinel_rules_failed_total",
+              "Contained rule failures (subtransaction rolled back).", {},
+              scheduler_->failed_count());
+    p.Counter("sentinel_rules_abort_top_total",
+              "ABORT_TOP contingencies: rule failures that doomed the "
+              "top-level transaction.",
+              {}, scheduler_->abort_top_count());
+    p.Gauge("sentinel_scheduler_pending",
+            "Prioritized firings awaiting execution.", {},
+            scheduler_->pending_count());
+    p.Gauge("sentinel_scheduler_detached_pending",
+            "Detached firings queued or executing.", {},
+            scheduler_->detached_pending_count());
+    p.Gauge("sentinel_scheduler_max_depth",
+            "Deepest cascaded-rule nesting observed.", {},
+            scheduler_->max_depth_seen());
+  }
+
+  // Per-rule firing counters and latency histograms.
+  if (rule_manager_ != nullptr) {
+    p.Family("sentinel_rule_fired_total", "Firings per rule.", "counter");
+    for (const std::string& name : rule_manager_->RuleNames()) {
+      auto rule = rule_manager_->Find(name);
+      if (!rule.ok()) continue;
+      const Labels labels = {{"rule", name},
+                             {"event", (*rule)->declared_event()}};
+      p.Sample("sentinel_rule_fired_total", labels, (*rule)->fired_count());
+      const obs::RuleMetrics& m = (*rule)->metrics();
+      const Labels rl = {{"rule", name}};
+      p.Histogram("sentinel_rule_condition_ns",
+                  "Condition evaluation latency (ns).", rl,
+                  m.condition_ns.TakeSnapshot());
+      p.Histogram("sentinel_rule_action_ns", "Action execution latency (ns).",
+                  rl, m.action_ns.TakeSnapshot());
+      p.Histogram("sentinel_rule_commit_ns",
+                  "Rule subtransaction commit latency (ns).", rl,
+                  m.commit_ns.TakeSnapshot());
+      p.Histogram("sentinel_rule_abort_ns",
+                  "Rule subtransaction abort latency (ns).", rl,
+                  m.abort_ns.TakeSnapshot());
+      p.Histogram("sentinel_rule_lock_wait_ns",
+                  "Time the rule's subtransaction blocked on nested locks "
+                  "(ns).",
+                  rl, m.lock_wait_ns.TakeSnapshot());
+    }
+  }
+
+  // Transactions + nested-transaction gauges.
+  if (db_ != nullptr) {
+    p.Gauge("sentinel_open_txns", "Open top-level transactions.", {},
+            db_->engine()->active_txn_count());
+  } else {
+    const std::int64_t open = open_txn_gauge_.load(std::memory_order_relaxed);
+    p.Gauge("sentinel_open_txns", "Open top-level transactions.", {},
+            open > 0 ? static_cast<std::uint64_t>(open) : 0);
+  }
+  if (nested_ != nullptr) {
+    p.Gauge("sentinel_subtxns_active", "Rule subtransactions in flight.", {},
+            nested_->active_count());
+    p.Gauge("sentinel_nested_locked_keys",
+            "Keys held in the nested lock table.", {},
+            nested_->locked_key_count());
+    p.Gauge("sentinel_nested_waiters",
+            "Threads blocked acquiring nested locks.", {},
+            nested_->waiting_count());
+  }
+
+  // Storage layer (persistent mode only).
+  if (db_ != nullptr) {
+    storage::StorageEngine* engine = db_->engine();
+    storage::BufferPool* pool = engine->buffer_pool();
+    p.Counter("sentinel_buffer_pool_hits_total", "Buffer-pool page hits.", {},
+              pool->hit_count());
+    p.Counter("sentinel_buffer_pool_misses_total", "Buffer-pool page misses.",
+              {}, pool->miss_count());
+    p.Counter("sentinel_buffer_pool_evictions_total",
+              "Pages evicted from the buffer pool.", {},
+              pool->eviction_count());
+    p.Gauge("sentinel_buffer_pool_resident", "Resident buffer-pool pages.",
+            {}, pool->resident_count());
+    p.Gauge("sentinel_buffer_pool_dirty", "Dirty buffer-pool pages.", {},
+            pool->dirty_count());
+    p.Gauge("sentinel_buffer_pool_capacity", "Buffer-pool frame capacity.",
+            {}, pool->capacity());
+    if (cache_ != nullptr) {
+      p.Counter("sentinel_object_cache_hits_total", "Object-cache hits.", {},
+                cache_->hit_count());
+      p.Counter("sentinel_object_cache_misses_total", "Object-cache misses.",
+                {}, cache_->miss_count());
+      p.Gauge("sentinel_object_cache_resident", "Cached objects.", {},
+              cache_->size());
+    }
+    storage::LogManager* wal = engine->log_manager();
+    p.Counter("sentinel_wal_syncs_total", "WAL fsync batches.", {},
+              wal->sync_count());
+    p.Counter("sentinel_wal_truncated_bytes_total",
+              "Bytes of torn tail discarded during WAL recovery.", {},
+              wal->truncated_bytes());
+    p.Gauge("sentinel_wal_wedged",
+            "1 when the WAL refused further appends after a torn write.", {},
+            wal->wedged() ? 1 : 0);
+    p.Histogram("sentinel_wal_fsync_ns", "WAL fsync latency (ns).", {},
+                wal->fsync_histogram().TakeSnapshot());
+    storage::DiskManager* disk = engine->disk_manager();
+    p.Counter("sentinel_disk_syncs_total", "Data-file fsyncs.", {},
+              disk->sync_count());
+    p.Counter("sentinel_disk_io_retries_total",
+              "Short read/write retries against the data file.", {},
+              disk->io_retries());
+    p.Gauge("sentinel_disk_pages", "Pages in the data file.", {},
+            disk->page_count());
+    p.Histogram("sentinel_disk_fsync_ns", "Data-file fsync latency (ns).", {},
+                disk->fsync_histogram().TakeSnapshot());
+    storage::LockManager* locks = engine->lock_manager();
+    p.Counter("sentinel_lock_waits_total",
+              "Lock requests that had to block.", {}, locks->wait_count());
+    p.Counter("sentinel_lock_deadlocks_total",
+              "Deadlocks broken by victim selection.", {},
+              locks->deadlock_count());
+    p.Counter("sentinel_lock_timeouts_total", "Lock waits that timed out.",
+              {}, locks->timeout_count());
+    p.Gauge("sentinel_lock_waiters",
+            "Transactions currently blocked in the lock table.", {},
+            locks->waiting_count());
+    p.Histogram("sentinel_lock_wait_ns", "Storage lock wait latency (ns).",
+                {}, locks->wait_histogram().TakeSnapshot());
+  }
+
+  // Tracing plane.
+  p.Counter("sentinel_spans_recorded_total", "Spans recorded.", {},
+            span_tracer_.recorded());
+  p.Counter("sentinel_spans_dropped_total",
+            "Spans dropped by full trace rings.", {}, span_tracer_.dropped());
+  p.Counter("sentinel_provenance_recorded_total",
+            "Provenance records captured.", {}, tracer_.recorded());
+  p.Counter("sentinel_postmortems_total", "Postmortem dumps written.", {},
+            flight_recorder_.dumps());
+
+  // Watchdog verdict + rates.
+  if (watchdog_ != nullptr) {
+    p.Gauge("sentinel_health_state",
+            "0 = healthy, 1 = degraded, 2 = unhealthy.", {},
+            static_cast<std::uint64_t>(watchdog_->health()));
+    p.Counter("sentinel_watchdog_ticks_total", "Watchdog sampler ticks.", {},
+              watchdog_->ticks());
+    p.Counter("sentinel_watchdog_transitions_total",
+              "Upward health transitions.", {}, watchdog_->transitions());
+    p.Counter("sentinel_watchdog_postmortems_total",
+              "Automatic postmortems the watchdog triggered.", {},
+              watchdog_->postmortems_triggered());
+    const obs::Watchdog::Rates rates = watchdog_->rates();
+    p.GaugeF("sentinel_rate_events_per_sec",
+             "Notification rate over the watchdog window.", {},
+             rates.events_per_sec);
+    p.GaugeF("sentinel_rate_firings_per_sec",
+             "Rule firing rate over the watchdog window.", {},
+             rates.firings_per_sec);
+    p.GaugeF("sentinel_rate_aborts_per_sec",
+             "ABORT_TOP rate over the watchdog window.", {},
+             rates.aborts_per_sec);
+  }
+  if (monitor_ != nullptr) {
+    p.Counter("sentinel_monitor_requests_total",
+              "HTTP requests served by the monitor endpoint.", {},
+              monitor_->requests());
+  }
+  return p.Take();
 }
 
 Result<oodb::Oid> ActiveDatabase::CreateObject(storage::TxnId txn,

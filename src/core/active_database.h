@@ -8,8 +8,10 @@
 #include "common/status.h"
 #include "detector/local_detector.h"
 #include "obs/flight_recorder.h"
+#include "obs/monitor_server.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "oodb/database.h"
 #include "oodb/object_cache.h"
 #include "rules/rule_manager.h"
@@ -158,6 +160,39 @@ class ActiveDatabase {
   /// lock-manager wait/deadlock stats) as one JSON object.
   std::string StatsJson() const;
 
+  // -- Live monitoring plane ----------------------------------------------------
+
+  /// Starts the health watchdog and, when `port >= 0`, the embedded HTTP
+  /// monitor server on 127.0.0.1:`port` (0 = ephemeral; `port < 0` runs the
+  /// watchdog alone). Endpoints: /metrics (Prometheus text exposition),
+  /// /healthz (200/503 + JSON detail), /stats, /graph (DOT), /trace
+  /// (Perfetto JSON), /postmortem. Returns the bound port (-1 when no
+  /// server was requested). Also started automatically by Open when
+  /// $SENTINEL_MONITOR_PORT is set ($SENTINEL_WATCHDOG_MS overrides the
+  /// sampling interval).
+  Result<int> StartMonitoring(int port,
+                              obs::Watchdog::Options watchdog_options = {});
+  void StopMonitoring();
+
+  /// Full metric surface in Prometheus text exposition format: every
+  /// counter/gauge/histogram StatsJson reports, as sentinel_* families with
+  /// rule/event/context labels (see DESIGN.md §11 for the naming scheme).
+  std::string PrometheusText();
+
+  /// Health verdict as JSON; sets `*http_status` (when non-null) to 200 for
+  /// healthy, 503 for degraded/unhealthy — the /healthz contract. Without a
+  /// running watchdog only cheap invariants (WAL wedged) are checked.
+  std::string HealthJson(int* http_status = nullptr);
+
+  /// One watchdog reading of the whole pipeline (also useful to tests and
+  /// benches that want the gauges without JSON parsing).
+  obs::MonitorSample CollectMonitorSample();
+
+  /// Null until StartMonitoring ran with `port >= 0`.
+  obs::MonitorServer* monitor_server() { return monitor_.get(); }
+  /// Null until StartMonitoring ran.
+  obs::Watchdog* watchdog() { return watchdog_.get(); }
+
   /// Names of the built-in system events and internal flush rules.
   static constexpr char kBeginTxnEvent[] = "sys_begin_transaction";
   static constexpr char kPreCommitEvent[] = "sys_pre_commit_transaction";
@@ -184,6 +219,15 @@ class ActiveDatabase {
   std::unique_ptr<txn::NestedTransactionManager> nested_;
   std::unique_ptr<rules::RuleScheduler> scheduler_;
   std::unique_ptr<rules::RuleManager> rule_manager_;
+  // Monitoring plane. Declared last / torn down first (StopMonitoring runs
+  // before component teardown in Close): the watchdog sampler and the
+  // server handlers read every component above.
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  std::unique_ptr<obs::MonitorServer> monitor_;
+  // Open top-level transactions in detector-only mode, where no storage
+  // engine tracks them. Advisory gauge: clamped at zero on read so an
+  // unmatched Commit/Abort cannot wrap it.
+  std::atomic<std::int64_t> open_txn_gauge_{0};
 };
 
 }  // namespace sentinel::core

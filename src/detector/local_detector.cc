@@ -748,4 +748,45 @@ std::string LocalEventDetector::StatsJson() const {
   return w.Take();
 }
 
+std::vector<LocalEventDetector::NodeStat> LocalEventDetector::SnapshotNodes()
+    const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  std::vector<NodeStat> stats;
+  stats.reserve(nodes_.size());
+  for (const auto& [name, node] : nodes_) {
+    const obs::NodeMetrics& m = node->metrics();
+    NodeStat stat;
+    stat.name = name;
+    stat.kind = NodeKind(node.get());
+    stat.sinks = node->sink_count();
+    stat.buffered = node->BufferedCount();
+    stat.flushed = m.flushed();
+    stat.received = m.received_total();
+    stat.detected = m.detected_total();
+    for (int c = 0; c < kNumContexts; ++c) {
+      const auto context = static_cast<ParamContext>(c);
+      const auto snap = m.ForContext(context);
+      stat.contexts[c].refs = node->ContextRefs(context);
+      stat.contexts[c].received = snap.received;
+      stat.contexts[c].detected = snap.detected;
+    }
+    stats.push_back(std::move(stat));
+  }
+  return stats;
+}
+
+LocalEventDetector::Totals LocalEventDetector::TotalsSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  Totals totals;
+  totals.notifications = notify_count_.load(std::memory_order_relaxed);
+  for (const auto& [name, node] : nodes_) {
+    (void)name;
+    const obs::NodeMetrics& m = node->metrics();
+    totals.detections += m.detected_total();
+    totals.buffered += node->BufferedCount();
+    totals.flushed += m.flushed();
+  }
+  return totals;
+}
+
 }  // namespace sentinel::detector

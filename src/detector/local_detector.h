@@ -1,6 +1,7 @@
 #ifndef SENTINEL_DETECTOR_LOCAL_DETECTOR_H_
 #define SENTINEL_DETECTOR_LOCAL_DETECTOR_H_
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <map>
@@ -203,6 +204,35 @@ class LocalEventDetector {
 
   /// Per-node / per-context counters plus detector totals as a JSON object.
   std::string StatsJson() const;
+
+  /// Structured counter snapshot of one graph node, for renderers that need
+  /// more than the pre-baked JSON (the Prometheus exposition).
+  struct NodeStat {
+    std::string name;
+    std::string kind;
+    std::size_t sinks = 0;
+    std::size_t buffered = 0;
+    std::uint64_t flushed = 0;
+    std::uint64_t received = 0;
+    std::uint64_t detected = 0;
+    struct Context {
+      int refs = 0;
+      std::uint64_t received = 0;
+      std::uint64_t detected = 0;
+    };
+    std::array<Context, kNumContexts> contexts;
+  };
+  std::vector<NodeStat> SnapshotNodes() const;
+
+  /// Graph-wide counter totals (the watchdog's per-tick sample; one shared
+  /// lock + one pass over the nodes).
+  struct Totals {
+    std::uint64_t notifications = 0;
+    std::uint64_t detections = 0;
+    std::uint64_t buffered = 0;
+    std::uint64_t flushed = 0;
+  };
+  Totals TotalsSnapshot() const;
 
  private:
   /// One dispatch-index slot: the matching primitive nodes for a

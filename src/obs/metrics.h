@@ -30,6 +30,12 @@ class ShardedCounter {
     return total;
   }
 
+  /// Zeroes every shard. NOT safe against concurrent Add: a writer racing
+  /// the per-shard stores can have its increment land in an already-cleared
+  /// shard (kept) or a not-yet-cleared one (lost), so counts taken after a
+  /// racing Reset under-report. Call only while writers are quiesced
+  /// (tests); measurement code should instead capture a baseline value()
+  /// and report deltas (see tools/run_benches.sh metric snapshots).
   void Reset() {
     for (Shard& shard : shards_) shard.v.store(0, std::memory_order_relaxed);
   }
@@ -70,23 +76,38 @@ class LatencyHistogram {
   }
 
   struct Snapshot {
-    std::uint64_t count = 0;
+    std::uint64_t count = 0;   // always the bucket sum (quantile-consistent)
     std::uint64_t sum_ns = 0;
     std::uint64_t max_ns = 0;
     std::array<std::uint64_t, kBuckets> buckets{};
 
-    std::uint64_t mean_ns() const { return count == 0 ? 0 : sum_ns / count; }
+    /// Clamped to max_ns: under a torn read sum_ns can lag or lead the
+    /// bucket counts slightly, and without the clamp the quotient could
+    /// exceed every recorded sample.
+    std::uint64_t mean_ns() const {
+      if (count == 0) return 0;
+      const std::uint64_t mean = sum_ns / count;
+      return max_ns != 0 && mean > max_ns ? max_ns : mean;
+    }
     /// Upper bound of the bucket containing quantile `q` in [0, 1].
     std::uint64_t QuantileNs(double q) const;
   };
 
+  /// Relaxed-snapshot contract: Record is three independent relaxed atomic
+  /// adds, so a snapshot taken under concurrent recording is *consistent
+  /// per series* but not across them — `count` is derived from the bucket
+  /// array it ships with (never from the separate count_ cell, so quantile
+  /// ranks always match the buckets), while `sum_ns` may include a racing
+  /// record the buckets miss or vice versa. sum_ns is loaded before the
+  /// buckets, biasing the skew toward sum lagging count; mean_ns() clamps
+  /// the residual error to max_ns. Exact agreement requires quiescence.
   Snapshot TakeSnapshot() const {
     Snapshot snap;
+    snap.sum_ns = sum_.load(std::memory_order_relaxed);
     for (int i = 0; i < kBuckets; ++i) {
       snap.buckets[i] = counts_[i].load(std::memory_order_relaxed);
       snap.count += snap.buckets[i];
     }
-    snap.sum_ns = sum_.load(std::memory_order_relaxed);
     snap.max_ns = max_.load(std::memory_order_relaxed);
     return snap;
   }

@@ -1,0 +1,165 @@
+#include "obs/monitor_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sentinel::obs {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away; nothing to do for a monitoring endpoint
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+MonitorServer::~MonitorServer() { Stop(); }
+
+void MonitorServer::Route(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+Status MonitorServer::Start(const Options& options) {
+  if (running()) return Status::InvalidArgument("monitor server already running");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("monitor: socket: " + std::string(strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = strerror(errno);
+    ::close(fd);
+    return Status::IOError("monitor: bind 127.0.0.1:" +
+                           std::to_string(options.port) + ": " + err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string err = strerror(errno);
+    ::close(fd);
+    return Status::IOError("monitor: listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_.store(static_cast<int>(ntohs(bound.sin_port)),
+                std::memory_order_release);
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MonitorServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MonitorServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout (re-check stop flag) or EINTR
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void MonitorServer::ServeConnection(int fd) {
+  // Bound both the read and the total request size so a stuck client cannot
+  // hold the accept loop hostage.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;
+  const std::string line = request.substr(0, line_end);
+
+  Response response;
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response = {405, "text/plain; charset=utf-8", "malformed request\n"};
+  } else if (line.substr(0, sp1) != "GET") {
+    response = {405, "text/plain; charset=utf-8", "only GET is supported\n"};
+  } else {
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    auto it = routes_.find(path);
+    if (it == routes_.end()) {
+      response = {404, "text/plain; charset=utf-8",
+                  "no such endpoint: " + path + "\n"};
+    } else {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        response = it->second();
+      } catch (const std::exception& e) {
+        response = {500, "text/plain; charset=utf-8",
+                    std::string("handler failed: ") + e.what() + "\n"};
+      }
+    }
+  }
+
+  std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                     ReasonPhrase(response.status) + "\r\nContent-Type: " +
+                     response.content_type + "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  SendAll(fd, head);
+  SendAll(fd, response.body);
+}
+
+}  // namespace sentinel::obs

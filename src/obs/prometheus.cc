@@ -1,0 +1,129 @@
+#include "obs/prometheus.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace sentinel::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string PromWriter::EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromWriter::RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void PromWriter::Header(const std::string& name, const std::string& help,
+                        const char* type) {
+  if (std::find(declared_.begin(), declared_.end(), name) != declared_.end()) {
+    return;
+  }
+  declared_.push_back(name);
+  out_ += "# HELP " + name + " " + help + "\n";
+  out_ += "# TYPE " + name + " ";
+  out_ += type;
+  out_ += '\n';
+}
+
+PromWriter& PromWriter::Family(const std::string& name, const std::string& help,
+                               const char* type) {
+  Header(name, help, type);
+  return *this;
+}
+
+PromWriter& PromWriter::Sample(const std::string& name, const Labels& labels,
+                               std::uint64_t value) {
+  out_ += name + RenderLabels(labels) + " " + std::to_string(value) + "\n";
+  return *this;
+}
+
+PromWriter& PromWriter::SampleF(const std::string& name, const Labels& labels,
+                                double value) {
+  out_ += name + RenderLabels(labels) + " " + FormatDouble(value) + "\n";
+  return *this;
+}
+
+PromWriter& PromWriter::Counter(const std::string& name,
+                                const std::string& help, const Labels& labels,
+                                std::uint64_t value) {
+  Header(name, help, "counter");
+  return Sample(name, labels, value);
+}
+
+PromWriter& PromWriter::Gauge(const std::string& name, const std::string& help,
+                              const Labels& labels, std::uint64_t value) {
+  Header(name, help, "gauge");
+  return Sample(name, labels, value);
+}
+
+PromWriter& PromWriter::GaugeF(const std::string& name, const std::string& help,
+                               const Labels& labels, double value) {
+  Header(name, help, "gauge");
+  return SampleF(name, labels, value);
+}
+
+PromWriter& PromWriter::Histogram(const std::string& name,
+                                  const std::string& help, const Labels& labels,
+                                  const LatencyHistogram::Snapshot& snap) {
+  Header(name, help, "histogram");
+  int last = LatencyHistogram::kBuckets - 1;
+  while (last >= 0 && snap.buckets[last] == 0) --last;
+  std::uint64_t cumulative = 0;
+  Labels bucket_labels = labels;
+  bucket_labels.emplace_back("le", "");
+  for (int i = 0; i <= last; ++i) {
+    cumulative += snap.buckets[i];
+    // Inclusive upper bound of source bucket i (see class comment).
+    const std::uint64_t bound =
+        i >= 63 ? ~0ull : ((std::uint64_t{1} << i) - 1);
+    bucket_labels.back().second = std::to_string(bound);
+    Sample(name + "_bucket", bucket_labels, cumulative);
+  }
+  bucket_labels.back().second = "+Inf";
+  Sample(name + "_bucket", bucket_labels, snap.count);
+  Sample(name + "_sum", labels, snap.sum_ns);
+  Sample(name + "_count", labels, snap.count);
+  return *this;
+}
+
+}  // namespace sentinel::obs

@@ -1,0 +1,71 @@
+#ifndef SENTINEL_OBS_PROMETHEUS_H_
+#define SENTINEL_OBS_PROMETHEUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sentinel::obs {
+
+/// Streaming writer for the Prometheus text exposition format (version
+/// 0.0.4): `# HELP` / `# TYPE` headers followed by `name{labels} value`
+/// sample lines. Families are declared once via Counter/Gauge/Histogram;
+/// label values are escaped per the exposition spec (backslash, double
+/// quote, newline).
+///
+/// Histograms map the power-of-two LatencyHistogram buckets onto cumulative
+/// `_bucket{le="..."}` lines: bucket i of the source covers
+/// [2^(i-1), 2^i) ns, so its inclusive upper bound — the `le` label — is
+/// 2^i - 1 (bucket 0 holds exactly 0 ns). Trailing empty buckets are elided
+/// (the `le="+Inf"` line always closes the family), which keeps the series
+/// cumulative and monotone while dropping dozens of all-zero lines per
+/// histogram. Values are nanoseconds; families carry the `_ns` suffix to
+/// make the unit explicit.
+class PromWriter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// Declares a family; emits HELP/TYPE once per (name, type).
+  PromWriter& Family(const std::string& name, const std::string& help,
+                     const char* type);
+
+  PromWriter& Sample(const std::string& name, const Labels& labels,
+                     std::uint64_t value);
+  PromWriter& SampleF(const std::string& name, const Labels& labels,
+                      double value);
+
+  /// Counter family + single sample helper.
+  PromWriter& Counter(const std::string& name, const std::string& help,
+                      const Labels& labels, std::uint64_t value);
+  PromWriter& Gauge(const std::string& name, const std::string& help,
+                    const Labels& labels, std::uint64_t value);
+  PromWriter& GaugeF(const std::string& name, const std::string& help,
+                     const Labels& labels, double value);
+
+  /// Declares `name` as a histogram family (call once) and emits the
+  /// `_bucket`/`_sum`/`_count` series for one labelled snapshot.
+  PromWriter& Histogram(const std::string& name, const std::string& help,
+                        const Labels& labels,
+                        const LatencyHistogram::Snapshot& snap);
+
+  static std::string EscapeLabelValue(const std::string& value);
+  /// Renders `{k="v",...}` (empty string for no labels).
+  static std::string RenderLabels(const Labels& labels);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Header(const std::string& name, const std::string& help,
+              const char* type);
+
+  std::string out_;
+  std::vector<std::string> declared_;
+};
+
+}  // namespace sentinel::obs
+
+#endif  // SENTINEL_OBS_PROMETHEUS_H_

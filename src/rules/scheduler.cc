@@ -89,6 +89,8 @@ void RuleScheduler::EnqueueDetached(Firing firing) {
   {
     std::lock_guard<std::mutex> lock(detached_mu_);
     detached_pending_.push_back(std::move(firing));
+    detached_count_.store(detached_pending_.size() + detached_busy_,
+                          std::memory_order_release);
   }
   detached_cv_.notify_one();
 }
@@ -375,6 +377,8 @@ void RuleScheduler::DetachedLoop() {
       firing = std::move(detached_pending_.front());
       detached_pending_.pop_front();
       ++detached_busy_;
+      detached_count_.store(detached_pending_.size() + detached_busy_,
+                            std::memory_order_release);
     }
     // Detached rules run in their own top-level transaction, causally
     // independent of the triggering one (paper §2.2, §4).
@@ -397,6 +401,8 @@ void RuleScheduler::DetachedLoop() {
     {
       std::lock_guard<std::mutex> lock(detached_mu_);
       --detached_busy_;
+      detached_count_.store(detached_pending_.size() + detached_busy_,
+                            std::memory_order_release);
       if (detached_pending_.empty() && detached_busy_ == 0) {
         detached_cv_.notify_all();
       }

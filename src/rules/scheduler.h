@@ -112,6 +112,16 @@ class RuleScheduler {
   static const Frame* CurrentFrame();
 
   std::uint64_t executed_count() const { return executed_; }
+  /// Pending-queue depth (the lock-free mirror the Drain early-out reads);
+  /// a live gauge for the monitoring plane.
+  std::size_t pending_count() const {
+    return pending_count_.load(std::memory_order_acquire);
+  }
+  /// Detached-queue depth: queued detached firings plus the one currently
+  /// executing on the detached worker.
+  std::size_t detached_pending_count() const {
+    return detached_count_.load(std::memory_order_acquire);
+  }
   std::uint64_t condition_rejections() const { return rejected_; }
   /// Firings whose condition/action threw or whose subtransaction failed.
   /// Failures are contained: the rule's subtransaction is aborted and the
@@ -191,6 +201,9 @@ class RuleScheduler {
   std::mutex detached_mu_;
   std::condition_variable detached_cv_;
   std::deque<Firing> detached_pending_;
+  // Mirrors detached_pending_.size() + detached_busy_ for lock-free gauge
+  // reads by the watchdog sampler.
+  std::atomic<std::size_t> detached_count_{0};
   std::size_t detached_busy_ = 0;
   bool stop_detached_ = false;
   std::thread detached_worker_;

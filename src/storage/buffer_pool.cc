@@ -107,6 +107,16 @@ std::size_t BufferPool::resident_count() const {
   return page_table_.size();
 }
 
+std::size_t BufferPool::dirty_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dirty = 0;
+  for (const auto& [page_id, frame] : page_table_) {
+    (void)page_id;
+    if (frames_[frame]->is_dirty()) ++dirty;
+  }
+  return dirty;
+}
+
 Result<std::size_t> BufferPool::GetFreeFrameLocked() {
   if (!free_frames_.empty()) {
     std::size_t frame = free_frames_.back();

@@ -52,6 +52,10 @@ class BufferPool {
   std::size_t capacity() const { return capacity_; }
   /// Number of resident pages (for tests/benchmarks).
   std::size_t resident_count() const;
+  /// Number of resident pages with unwritten modifications (checkpoint
+  /// pressure gauge; scans the frame table under the pool latch, which is
+  /// fine at watchdog sampling rates).
+  std::size_t dirty_count() const;
   // Counters are written under the pool latch but read lock-free by stats
   // surfaces, so they are relaxed atomics.
   std::uint64_t hit_count() const {

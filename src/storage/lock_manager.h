@@ -90,6 +90,13 @@ class LockManager {
   /// txn → requested-key edges of the waits-for graph (postmortems).
   std::vector<WaitEdge> SnapshotWaits() const;
 
+  /// Transactions currently blocked in Acquire (waits-for-graph size) — a
+  /// live lock-pileup gauge for the monitoring plane.
+  std::size_t waiting_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return waiting_for_.size();
+  }
+
   std::uint64_t wait_count() const {
     return waits_.load(std::memory_order_relaxed);
   }

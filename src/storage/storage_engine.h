@@ -55,6 +55,11 @@ class StorageEngine {
   Status Commit(TxnId txn);
   Status Abort(TxnId txn);
   bool IsActive(TxnId txn) const;
+  /// Open top-level transactions (monitoring-plane gauge).
+  std::size_t active_txn_count() const {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    return active_.size();
+  }
 
   // -- Heap files -----------------------------------------------------------
   /// Creates a heap file; its head page id is the handle the caller persists.

@@ -302,6 +302,16 @@ std::size_t NestedTransactionManager::active_count() const {
   return subs_.size();
 }
 
+std::size_t NestedTransactionManager::waiting_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, state] : locks_) {
+    (void)key;
+    n += static_cast<std::size_t>(state->waiters);
+  }
+  return n;
+}
+
 std::size_t NestedTransactionManager::locked_key_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;

@@ -75,6 +75,9 @@ class NestedTransactionManager {
   Result<TopTxnId> TopOf(SubTxnId sub) const;
   std::size_t active_count() const;
   std::size_t locked_key_count() const;
+  /// Threads currently blocked inside Acquire across the whole nested lock
+  /// table (monitoring-plane gauge).
+  std::size_t waiting_count() const;
 
   /// Nanoseconds `sub` has spent blocked in Acquire so far (latency
   /// accounting for the rule metrics; harvested before commit/abort).

@@ -82,6 +82,62 @@ TEST(ObsHistogramTest, AggregatesAcrossThreads) {
   EXPECT_EQ(bucketed, snap.count);
 }
 
+TEST(ObsHistogramTest, ZeroLandsInBucketZero) {
+  EXPECT_EQ(LatencyHistogram::BucketOf(0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1), 1);
+  EXPECT_EQ(LatencyHistogram::BucketOf(2), 2);
+  LatencyHistogram h;
+  h.Record(0);
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.QuantileNs(0.5), 0u);
+  EXPECT_EQ(snap.mean_ns(), 0u);
+}
+
+TEST(ObsHistogramTest, OverflowClampsToLastBucket) {
+  LatencyHistogram h;
+  h.Record(~0ull);  // bit_width 64 — far beyond the 48 buckets
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.buckets[LatencyHistogram::kBuckets - 1], 1u);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.max_ns, ~0ull);
+  // The quantile reports the last bucket's upper bound, not the raw max:
+  // the histogram cannot resolve beyond its bucket range.
+  EXPECT_EQ(snap.QuantileNs(1.0),
+            (std::uint64_t{1} << (LatencyHistogram::kBuckets - 1)) - 1);
+}
+
+TEST(ObsHistogramTest, QuantileOnEmptyIsZero) {
+  LatencyHistogram::Snapshot snap;
+  EXPECT_EQ(snap.QuantileNs(0.0), 0u);
+  EXPECT_EQ(snap.QuantileNs(0.99), 0u);
+  EXPECT_EQ(snap.QuantileNs(1.0), 0u);
+  EXPECT_EQ(snap.mean_ns(), 0u);
+}
+
+TEST(ObsHistogramTest, QuantileClampsQOutsideUnitInterval) {
+  LatencyHistogram h;
+  h.Record(100);
+  auto snap = h.TakeSnapshot();
+  // Out-of-range q behaves like the nearest bound; a single 100ns sample's
+  // bucket bound (127) clamps to the recorded max.
+  EXPECT_EQ(snap.QuantileNs(-1.0), snap.QuantileNs(0.0));
+  EXPECT_EQ(snap.QuantileNs(2.0), snap.QuantileNs(1.0));
+  EXPECT_EQ(snap.QuantileNs(1.0), 100u);
+}
+
+// Satellite regression: a snapshot taken under concurrent recording can pair
+// a lagging bucket array with a sum that already includes newer samples; the
+// mean must clamp to the observed max instead of exceeding every sample.
+TEST(ObsHistogramTest, TornSnapshotMeanClampsToMax) {
+  LatencyHistogram::Snapshot snap;
+  snap.count = 1;
+  snap.sum_ns = 10000;
+  snap.max_ns = 500;
+  EXPECT_EQ(snap.mean_ns(), 500u);
+}
+
 TEST(ObsTraceTest, RingWrapsAndCountsDropped) {
   ProvenanceTracer tracer(/*capacity=*/8);
   tracer.set_enabled(true);

@@ -5,10 +5,16 @@
 # ->Threads(n) runs, so the aggregate is items_per_second * threads).
 #
 # Usage: tools/run_benches.sh [--strict] [build_dir] [out_json]
-#   --strict   exit non-zero when a BM_Notify* benchmark regresses >10%
-#              against tools/bench_baseline.json (default: warn only)
+#   --strict   exit non-zero when ANY benchmark listed in
+#              tools/bench_baseline.json regresses >10% (default: warn only),
+#              or when the monitoring plane adds >10% to the Notify path
 #   build_dir  defaults to ./build (must contain bench/ binaries)
 #   out_json   defaults to BENCH_dispatch.json in the current directory
+#
+# Also runs bench_monitor_overhead and writes BENCH_monitor.json next to
+# out_json: the Notify hot path measured bare, under the health watchdog,
+# and under watchdog + a concurrently scraping /metrics endpoint. Overheads
+# above 2% print a warning (noise allowance); above 10% strict mode fails.
 #
 # Note: the bundled Google Benchmark predates duration-suffixed
 # --benchmark_min_time values; pass plain seconds (0.2, not "0.2s").
@@ -50,6 +56,7 @@ run() {
 run bench_primitive_events 'BM_Notify.*' "${tmpdir}/primitive.json"
 run bench_threading 'BM_NotifyConcurrent.*' "${tmpdir}/threading.json"
 run bench_span_overhead 'BM_Span.*' "${tmpdir}/span.json"
+run bench_monitor_overhead 'BM_Monitor.*' "${tmpdir}/monitor.json"
 
 BASELINE="$(dirname "$0")/bench_baseline.json"
 
@@ -79,10 +86,10 @@ for bench in merged["benchmarks"]:
         )
 
 # Fold in the checked-in pre-PR baseline and per-benchmark speedups so the
-# artifact is self-contained evidence of the improvement. BM_Notify* entries
-# that regress more than 10% against the baseline get a printed warning;
+# artifact is self-contained evidence of the improvement. EVERY benchmark
+# with a baseline entry that regresses more than 10% gets a printed warning;
 # with --strict (SENTINEL_BENCH_STRICT=1) they fail the run instead, so CI
-# can gate on dispatch-path regressions.
+# can gate on hot-path regressions across the whole tracked set.
 regressions = []
 if os.path.exists(baseline_path):
     with open(baseline_path) as f:
@@ -94,7 +101,7 @@ if os.path.exists(baseline_path):
         if base and bench.get("real_time"):
             speedup = base["real_time_ns"] / bench["real_time"]
             bench["speedup_vs_baseline"] = speedup
-            if bench["name"].startswith("BM_Notify") and speedup < 1 / 1.10:
+            if speedup < 1 / 1.10:
                 regressions.append(
                     (bench["name"], base["real_time_ns"], bench["real_time"])
                 )
@@ -130,5 +137,58 @@ if strict and regressions:
     sys.exit(1)
 PY
 
+# Monitoring-plane overhead artifact: Notify cost bare vs under the watchdog
+# vs under watchdog + live /metrics scraping, with relative overheads.
+MONITOR_OUT="$(dirname "${OUT}")/BENCH_monitor.json"
+python3 - "${tmpdir}/monitor.json" "${MONITOR_OUT}" <<'PY'
+import json
+import os
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+times = {}
+for bench in doc.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    times[bench["name"]] = bench.get("real_time")
+
+off = times.get("BM_MonitorNotifyOff")
+out = {
+    "description": (
+        "Notify hot-path cost without monitoring, with the health watchdog "
+        "sampling at 10ms, and with watchdog + a concurrent /metrics "
+        "scraper. Overheads are relative to BM_MonitorNotifyOff; the "
+        "monitoring plane must stay within noise (<2%) of the bare path."
+    ),
+    "context": doc.get("context", {}),
+    "benchmarks": times,
+    "overhead_pct": {},
+}
+failures = []
+strict = os.environ.get("SENTINEL_BENCH_STRICT") == "1"
+for name in ("BM_MonitorNotifyWatchdog", "BM_MonitorNotifyServerAndWatchdog"):
+    t = times.get(name)
+    if not off or not t:
+        continue
+    pct = (t - off) / off * 100.0
+    out["overhead_pct"][name] = pct
+    print(f"  {name:55s} {t:10.1f} ns   {pct:+6.2f}% vs off")
+    if pct > 10.0:
+        failures.append((name, pct))
+        print(f"{'ERROR' if strict else 'WARNING'}: {name} adds "
+              f"{pct:.1f}% to the Notify path (>10%)")
+    elif pct > 2.0:
+        print(f"WARNING: {name} adds {pct:.1f}% to the Notify path "
+              "(above the 2% noise allowance)")
+
+with open(sys.argv[2], "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+if strict and failures:
+    sys.exit(1)
+PY
+
 echo "wrote ${OUT}"
+echo "wrote ${MONITOR_OUT}"
 echo "metrics snapshots (if any) in ${METRICS_DIR}/"

@@ -105,6 +105,10 @@ void PrintHelp() {
   events | rules           list definitions
   enable <rule> | disable <rule>
   stats                    pipeline metrics snapshot (JSON)
+  serve [<port>|stop]      start the monitor endpoint (default port 9464;
+                           0 = ephemeral) with the health watchdog
+  health                   health verdict from the watchdog (JSON)
+  metrics                  Prometheus text exposition (what /metrics serves)
   trace [on|off|txn <id>]  provenance trace: toggle, dump (JSON), or drain one txn
   trace span <off|flight|full>       set the causal span tracer mode
   trace export <path>      write buffered spans as Chrome trace JSON (Perfetto)
@@ -292,6 +296,29 @@ int Run() {
       std::printf("%s", shell.db.detector()->DumpGraph().c_str());
     } else if (cmd == "stats") {
       std::printf("%s\n", shell.db.StatsJson().c_str());
+    } else if (cmd == "serve") {
+      if (words.size() >= 2 && words[1] == "stop") {
+        shell.db.StopMonitoring();
+        std::printf("monitoring stopped\n");
+      } else {
+        const int port =
+            words.size() >= 2
+                ? static_cast<int>(std::strtol(words[1].c_str(), nullptr, 10))
+                : 9464;
+        auto bound = shell.db.StartMonitoring(port);
+        st = bound.status();
+        if (bound.ok()) {
+          std::printf("monitor listening on http://127.0.0.1:%d "
+                      "(/metrics /healthz /stats /graph /trace /postmortem)\n",
+                      *bound);
+        }
+      }
+    } else if (cmd == "health") {
+      int http_status = 200;
+      const std::string body = shell.db.HealthJson(&http_status);
+      std::printf("%d %s\n", http_status, body.c_str());
+    } else if (cmd == "metrics") {
+      std::printf("%s", shell.db.PrometheusText().c_str());
     } else {
       std::printf("error: unknown command '%s' (try 'help')\n", cmd.c_str());
       continue;
