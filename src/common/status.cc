@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "TypeMismatch";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kRetryLater:
+      return "RetryLater";
   }
   return "Unknown";
 }

@@ -25,6 +25,10 @@ enum class StatusCode : int {
   kParseError = 11,
   kTypeMismatch = 12,
   kResourceExhausted = 13,
+  // Typed load-shedding verdict: the operation was *admissible but refused*
+  // because a bounded queue is full right now — the caller should back off
+  // and retry, unlike kResourceExhausted which signals a hard capacity wall.
+  kRetryLater = 14,
 };
 
 /// Returns a stable human-readable name for a status code ("OK", "NotFound").
@@ -89,6 +93,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status RetryLater(std::string msg) {
+    return Status(StatusCode::kRetryLater, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -109,6 +116,7 @@ class Status {
   bool IsLockTimeout() const { return code() == StatusCode::kLockTimeout; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsTypeMismatch() const { return code() == StatusCode::kTypeMismatch; }
+  bool IsRetryLater() const { return code() == StatusCode::kRetryLater; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

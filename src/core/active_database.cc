@@ -5,6 +5,8 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/pool.h"
+#include "net/event_bus_server.h"
+#include "net/remote_client.h"
 #include "obs/json.h"
 #include "obs/prometheus.h"
 
@@ -612,6 +614,14 @@ obs::MonitorSample ActiveDatabase::CollectMonitorSample() {
     const std::int64_t open = open_txn_gauge_.load(std::memory_order_relaxed);
     s.open_txns = open > 0 ? static_cast<std::uint64_t>(open) : 0;
   }
+  if (event_bus_ != nullptr) {
+    const net::EventBusServerStats net = event_bus_->stats();
+    s.net_sessions = net.open_sessions;
+    s.net_admission_depth = net.admission_depth;
+    s.net_sheds = net.sheds;
+    s.net_frame_errors = net.frame_errors;
+    s.net_overloaded = net.overloaded;
+  }
   return s;
 }
 
@@ -862,6 +872,82 @@ std::string ActiveDatabase::PrometheusText() {
     p.Counter("sentinel_monitor_requests_total",
               "HTTP requests served by the monitor endpoint.", {},
               monitor_->requests());
+  }
+
+  // Network plane: event-bus server (daemon side) and remote client.
+  if (event_bus_ != nullptr) {
+    const net::EventBusServerStats n = event_bus_->stats();
+    p.Counter("sentinel_net_accepted_total",
+              "Connections accepted by the event-bus server.", {},
+              n.accepted);
+    p.Counter("sentinel_net_rejected_sessions_total",
+              "Connections refused at the session limit.", {},
+              n.rejected_sessions);
+    p.Counter("sentinel_net_superseded_sessions_total",
+              "Sessions superseded by a reconnect of the same application.",
+              {}, n.superseded_sessions);
+    p.Gauge("sentinel_net_open_sessions", "Open event-bus sessions.", {},
+            n.open_sessions);
+    p.Counter("sentinel_net_notifies_received_total",
+              "NOTIFY frames decoded by the event-bus server.", {},
+              n.notifies_received);
+    p.Counter("sentinel_net_dispatched_total",
+              "Occurrences handed from the admission queue to the GED.", {},
+              n.dispatched);
+    p.Counter("sentinel_net_sheds_total",
+              "NOTIFY frames shed by admission control (RETRY_LATER).", {},
+              n.sheds);
+    p.Counter("sentinel_net_frame_errors_total",
+              "Framing/CRC violations observed on client streams.", {},
+              n.frame_errors);
+    p.Counter("sentinel_net_slow_consumer_disconnects_total",
+              "Sessions dropped for exceeding their outbound byte budget.",
+              {}, n.slow_consumer_disconnects);
+    p.Counter("sentinel_net_idle_disconnects_total",
+              "Sessions reaped by the idle/heartbeat timeout.", {},
+              n.idle_disconnects);
+    p.Counter("sentinel_net_pushes_sent_total",
+              "EVENT_PUSH frames queued to subscribers.", {}, n.pushes_sent);
+    p.Counter("sentinel_net_bytes_in_total",
+              "Bytes received by the event-bus server.", {}, n.bytes_in);
+    p.Counter("sentinel_net_bytes_out_total",
+              "Bytes sent by the event-bus server.", {}, n.bytes_out);
+    p.Gauge("sentinel_net_admission_depth",
+            "Admission-control queue depth.", {}, n.admission_depth);
+    p.Gauge("sentinel_net_admission_peak",
+            "Deepest the admission queue has been.", {}, n.admission_peak);
+    p.Gauge("sentinel_net_outbound_queued_bytes",
+            "Bytes queued across all session outbound buffers.", {},
+            n.outbound_queued_bytes);
+    p.Gauge("sentinel_net_overloaded",
+            "1 while the admission queue sits past its high-water mark.", {},
+            n.overloaded ? 1 : 0);
+  }
+  if (remote_client_ != nullptr) {
+    const net::RemoteGedClient::Stats c = remote_client_->stats();
+    p.Gauge("sentinel_net_client_connected",
+            "1 while the remote GED session is established.", {},
+            c.connected ? 1 : 0);
+    p.Counter("sentinel_net_client_connect_attempts_total",
+              "Dial attempts (including reconnects).", {},
+              c.connect_attempts);
+    p.Counter("sentinel_net_client_sessions_total",
+              "Sessions successfully established.", {},
+              c.sessions_established);
+    p.Counter("sentinel_net_client_disconnects_total",
+              "Established sessions that ended.", {}, c.disconnects);
+    p.Counter("sentinel_net_client_notifies_sent_total",
+              "NOTIFY frames written to the wire.", {}, c.notifies_sent);
+    p.Counter("sentinel_net_client_notifies_dropped_total",
+              "Events dropped by the bounded send buffer.", {},
+              c.notifies_dropped);
+    p.Counter("sentinel_net_client_pushes_received_total",
+              "EVENT_PUSH frames received.", {}, c.pushes_received);
+    p.Counter("sentinel_net_client_sheds_received_total",
+              "RETRY_LATER shed notices received.", {}, c.sheds_received);
+    p.Counter("sentinel_net_client_journal_replays_total",
+              "Journal entries replayed after reconnects.", {},
+              c.journal_replays);
   }
   return p.Take();
 }

@@ -18,6 +18,11 @@
 #include "rules/scheduler.h"
 #include "txn/nested_txn.h"
 
+namespace sentinel::net {
+class EventBusServer;
+class RemoteGedClient;
+}  // namespace sentinel::net
+
 namespace sentinel::core {
 
 /// Sentinel: the integrated active OODBMS (paper Fig. 1). Wraps the passive
@@ -193,6 +198,19 @@ class ActiveDatabase {
   /// Null until StartMonitoring ran.
   obs::Watchdog* watchdog() { return watchdog_.get(); }
 
+  /// Wires a (non-owned) event-bus server into the monitoring plane: its
+  /// session/admission gauges join CollectMonitorSample (so the watchdog's
+  /// net_overload predicate can flip /healthz degraded while the server
+  /// sheds) and its counters join /metrics as sentinel_net_* families.
+  /// Pass nullptr to detach; the server must outlive its attachment.
+  void AttachEventBusServer(net::EventBusServer* server) {
+    event_bus_ = server;
+  }
+  /// Same for a client: its counters join /metrics as sentinel_net_client_*.
+  void AttachRemoteGedClient(net::RemoteGedClient* client) {
+    remote_client_ = client;
+  }
+
   /// Names of the built-in system events and internal flush rules.
   static constexpr char kBeginTxnEvent[] = "sys_begin_transaction";
   static constexpr char kPreCommitEvent[] = "sys_pre_commit_transaction";
@@ -224,6 +242,9 @@ class ActiveDatabase {
   // server handlers read every component above.
   std::unique_ptr<obs::Watchdog> watchdog_;
   std::unique_ptr<obs::MonitorServer> monitor_;
+  // Network plane attachments (non-owning; see AttachEventBusServer).
+  net::EventBusServer* event_bus_ = nullptr;
+  net::RemoteGedClient* remote_client_ = nullptr;
   // Open top-level transactions in detector-only mode, where no storage
   // engine tracks them. Advisory gauge: clamped at zero on read so an
   // unmatched Commit/Abort cannot wrap it.

@@ -50,20 +50,31 @@ GlobalEventDetector::GlobalEventDetector() {
   worker_ = std::thread([this] { BusLoop(); });
 }
 
-GlobalEventDetector::~GlobalEventDetector() {
+GlobalEventDetector::~GlobalEventDetector() { Shutdown(); }
+
+void GlobalEventDetector::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
-  worker_.join();
+  // Serialize the join so a racing Shutdown and the destructor cannot both
+  // (or neither) wait for the worker; joinable() makes repeats no-ops.
+  std::lock_guard<std::mutex> join_lock(shutdown_mu_);
+  if (worker_.joinable()) worker_.join();
+}
+
+bool GlobalEventDetector::shut_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stop_;
 }
 
 Status GlobalEventDetector::RegisterApplication(const std::string& app_name,
                                                 core::ActiveDatabase* app) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (apps_.count(app_name) != 0) {
+    if (stop_) return Status::RetryLater("GED shut down");
+    if (apps_.count(app_name) != 0 || remote_apps_.count(app_name) != 0) {
       return Status::AlreadyExists("application already registered: " +
                                    app_name);
     }
@@ -76,13 +87,55 @@ Status GlobalEventDetector::RegisterApplication(const std::string& app_name,
   return Status::OK();
 }
 
+Status GlobalEventDetector::RegisterRemoteApplication(
+    const std::string& app_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return Status::RetryLater("GED shut down");
+  if (apps_.count(app_name) != 0 || remote_apps_.count(app_name) != 0) {
+    return Status::AlreadyExists("application already registered: " +
+                                 app_name);
+  }
+  remote_apps_.insert(app_name);
+  return Status::OK();
+}
+
+Status GlobalEventDetector::UnregisterApplication(const std::string& app_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (remote_apps_.erase(app_name) == 0) {
+    return Status::NotFound("no remote application named " + app_name);
+  }
+  return Status::OK();
+}
+
+Status GlobalEventDetector::InjectRemote(
+    const std::string& app_name,
+    const detector::PrimitiveOccurrence& occurrence) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      ++dropped_;
+      return Status::RetryLater("GED shut down");
+    }
+    if (remote_apps_.count(app_name) == 0 && apps_.count(app_name) == 0) {
+      // Session torn down with frames in flight: at-most-once means drop.
+      ++dropped_;
+      return Status::NotFound("application not registered: " + app_name);
+    }
+    bus_.emplace_back(app_name, occurrence);
+    ++forwarded_;
+    if (bus_.size() > bus_peak_) bus_peak_ = bus_.size();
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
 Result<detector::EventNode*> GlobalEventDetector::DefineGlobalPrimitive(
     const std::string& name, const std::string& app_name,
     const std::string& class_name, detector::EventModifier modifier,
     const std::string& method_signature) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (apps_.count(app_name) == 0) {
+    if (apps_.count(app_name) == 0 && remote_apps_.count(app_name) == 0) {
       return Status::NotFound("application not registered: " + app_name);
     }
   }
@@ -124,6 +177,12 @@ void GlobalEventDetector::Pump(const std::string& app_name,
                                const detector::PrimitiveOccurrence& occ) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      // A still-live application signalled after Shutdown — refuse quietly;
+      // the observer hook outlives the bus on purpose (see Shutdown()).
+      ++dropped_;
+      return;
+    }
     bus_.emplace_back(app_name, occ);
     ++forwarded_;
     if (bus_.size() > bus_peak_) bus_peak_ = bus_.size();
@@ -162,7 +221,9 @@ void GlobalEventDetector::BusLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       busy_ = false;
-      if (bus_.empty()) cv_.notify_all();
+      // Every pop may unblock a WaitBusBelow backpressure waiter, not just
+      // the transition to empty.
+      cv_.notify_all();
     }
   }
 }
@@ -172,9 +233,37 @@ void GlobalEventDetector::WaitQuiescent() {
   cv_.wait(lock, [this] { return bus_.empty() && !busy_; });
 }
 
+bool GlobalEventDetector::WaitBusBelow(std::size_t depth,
+                                       std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout,
+               [this, depth] { return stop_ || bus_.size() < depth; });
+  return bus_.size() < depth;
+}
+
 std::uint64_t GlobalEventDetector::forwarded_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return forwarded_;
+}
+
+std::uint64_t GlobalEventDetector::dropped_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::size_t GlobalEventDetector::bus_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bus_.size();
+}
+
+std::size_t GlobalEventDetector::application_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return apps_.size() + remote_apps_.size();
+}
+
+bool GlobalEventDetector::IsRegistered(const std::string& app_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return apps_.count(app_name) != 0 || remote_apps_.count(app_name) != 0;
 }
 
 void GlobalEventDetector::set_span_tracer(obs::SpanTracer* tracer) {
@@ -187,9 +276,12 @@ std::string GlobalEventDetector::StatsJson() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     w.Field("forwarded", forwarded_);
+    w.Field("dropped", dropped_);
     w.Field("bus_depth", bus_.size());
     w.Field("bus_peak", bus_peak_);
     w.Field("applications", apps_.size());
+    w.Field("remote_applications", remote_apps_.size());
+    w.Field("shut_down", stop_);
   }
   // The internal graph has its own lock; do not hold mu_ across it.
   w.Key("graph").Raw(graph_.StatsJson());

@@ -1,11 +1,13 @@
 #ifndef SENTINEL_GED_GLOBAL_DETECTOR_H_
 #define SENTINEL_GED_GLOBAL_DETECTOR_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,9 +35,17 @@ namespace sentinel::ged {
 /// explicit event — where a (typically detached) rule executes it, matching
 /// the paper's "Application_i to execute detached rule" arrows.
 ///
-/// The in-process message bus stands in for the socket/Corba transport the
-/// paper leaves as future work: it preserves the asynchronous, queue-based
-/// control flow of Fig. 2 without requiring separate OS processes.
+/// Transports. Two paths feed the bus:
+///   - the in-process loopback fast path: applications in the same process
+///     register with RegisterApplication and forward through a raw-event
+///     observer — no serialization, selected whenever no network port is
+///     involved; and
+///   - the socket transport (src/net/): a net::EventBusServer owns remote
+///     sessions and feeds their framed Notify streams in through
+///     RegisterRemoteApplication / InjectRemote, realizing the socket/Corba
+///     transport the paper left as future work (see DESIGN.md §12).
+/// Both preserve the asynchronous, queue-based control flow of Fig. 2; the
+/// bus worker gives occurrences one total arrival order either way.
 class GlobalEventDetector {
  public:
   GlobalEventDetector();
@@ -44,9 +54,30 @@ class GlobalEventDetector {
   GlobalEventDetector(const GlobalEventDetector&) = delete;
   GlobalEventDetector& operator=(const GlobalEventDetector&) = delete;
 
-  /// Connects an application: its raw events are forwarded to the bus.
+  /// Connects an in-process application: its raw events are forwarded to
+  /// the bus (the loopback fast path).
   Status RegisterApplication(const std::string& app_name,
                              core::ActiveDatabase* app);
+
+  /// Reserves `app_name` for an application living in another process and
+  /// feeding events through InjectRemote (the net::EventBusServer calls
+  /// this once per authenticated session). Rejects names already held by a
+  /// local or remote application.
+  Status RegisterRemoteApplication(const std::string& app_name);
+
+  /// Releases a remote application's name (session disconnect). Graph nodes
+  /// already defined against the name stay — definitions are shared state,
+  /// registration is liveness — so a reconnecting client finds its
+  /// primitives intact. Local registrations cannot be unregistered (their
+  /// raw-observer hook has no removal path).
+  Status UnregisterApplication(const std::string& app_name);
+
+  /// Feeds one remote occurrence onto the bus under `app_name`'s namespace.
+  /// RetryLater after Shutdown; NotFound when the app is not registered
+  /// (e.g. its session was torn down while frames were in flight — the
+  /// occurrence is dropped, upholding at-most-once delivery).
+  Status InjectRemote(const std::string& app_name,
+                      const detector::PrimitiveOccurrence& occurrence);
 
   /// Declares a global primitive event mirroring `app_name`'s primitive
   /// (class, modifier, method) specification.
@@ -73,7 +104,27 @@ class GlobalEventDetector {
   /// Blocks until every event forwarded so far has been processed.
   void WaitQuiescent();
 
+  /// Blocks until the bus backlog drops below `depth` (bounded-bus
+  /// backpressure for the network dispatcher), the timeout expires, or the
+  /// GED shuts down. Returns true iff the backlog is below `depth`.
+  bool WaitBusBelow(std::size_t depth, std::chrono::milliseconds timeout);
+
+  /// Stops the bus worker after draining queued events. Idempotent and safe
+  /// against concurrent RegisterApplication / InjectRemote calls: anything
+  /// arriving after shutdown is refused (RetryLater) rather than enqueued.
+  /// The destructor calls it; the network server calls it explicitly so
+  /// sessions observe a stopped GED instead of a destroyed one.
+  void Shutdown();
+  bool shut_down() const;
+
   std::uint64_t forwarded_count() const;
+  /// Occurrences refused because they arrived after Shutdown or from an
+  /// unregistered remote application.
+  std::uint64_t dropped_count() const;
+  std::size_t bus_depth() const;
+  /// Currently registered application count (local + remote).
+  std::size_t application_count() const;
+  bool IsRegistered(const std::string& app_name) const;
 
   /// Bus counters plus the internal graph's per-node stats as JSON.
   std::string StatsJson() const;
@@ -92,6 +143,7 @@ class GlobalEventDetector {
 
   detector::LocalEventDetector graph_;
   std::map<std::string, core::ActiveDatabase*> apps_;
+  std::set<std::string> remote_apps_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -99,7 +151,9 @@ class GlobalEventDetector {
   bool busy_ = false;
   bool stop_ = false;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
   std::size_t bus_peak_ = 0;  // deepest the bus has been (backlog gauge)
+  std::mutex shutdown_mu_;    // serializes the worker join (see Shutdown)
   std::thread worker_;
 
   // Sinks created by DeliverTo (owned).

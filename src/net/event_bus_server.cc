@@ -1,0 +1,746 @@
+#include "net/event_bus_server.h"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace sentinel::net {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t ToNs(std::chrono::milliseconds ms) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(ms).count());
+}
+
+}  // namespace
+
+struct EventBusServer::Session {
+  explicit Session(std::size_t max_frame_bytes)
+      : assembler(max_frame_bytes) {}
+
+  std::uint64_t id = 0;
+  int fd = -1;
+
+  // I/O-thread-owned state.
+  std::string app_name;
+  bool app_registered = false;  // this session owns the GED registration
+  FrameAssembler assembler;
+  std::uint64_t last_recv_ns = 0;
+  std::uint64_t last_ping_ns = 0;
+  std::uint64_t last_shed_notice_ns = 0;
+  struct Sub {
+    std::string event;
+    detector::ParamContext context;
+    std::unique_ptr<PushSink> sink;
+  };
+  std::vector<Sub> subs;
+
+  // Guarded by EventBusServer::sessions_mu_.
+  std::deque<std::string> out;
+  std::size_t out_bytes = 0;
+  std::size_t out_offset = 0;  // flushed prefix of out.front()
+  bool doomed = false;
+  std::string doom_reason;
+};
+
+/// Subscription sink living on the GED bus thread: encodes each detection
+/// and appends it to the owning session's outbound queue. Holds the session
+/// weakly — the session owns the sink, not vice versa.
+class EventBusServer::PushSink : public detector::EventSink {
+ public:
+  PushSink(EventBusServer* server, std::weak_ptr<Session> session,
+           std::string event, detector::ParamContext context)
+      : server_(server),
+        session_(std::move(session)),
+        event_(std::move(event)),
+        context_(context) {}
+
+  void OnEvent(const detector::Occurrence& occurrence,
+               detector::ParamContext context) override {
+    if (context != context_) return;
+    std::shared_ptr<Session> session = session_.lock();
+    if (session == nullptr) return;
+    EventPushMsg msg;
+    msg.event = event_;
+    msg.occurrence = occurrence;
+    server_->EnqueueFrame(session, msg.Encode(), /*is_push=*/true);
+  }
+
+ private:
+  EventBusServer* const server_;
+  const std::weak_ptr<Session> session_;
+  const std::string event_;
+  const detector::ParamContext context_;
+};
+
+EventBusServer::EventBusServer(ged::GlobalEventDetector* ged) : ged_(ged) {}
+
+EventBusServer::~EventBusServer() { Stop(); }
+
+Status EventBusServer::Start(const Options& options) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("event-bus server already running");
+  }
+  options_ = options;
+  IgnoreSigpipe();
+  SENTINEL_ASSIGN_OR_RETURN(int fd, ListenTcp(options_.port));
+  auto port = BoundPort(fd);
+  if (!port.ok()) {
+    CloseQuietly(fd);
+    return port.status();
+  }
+  Status wake_st = wake_.Open();
+  if (!wake_st.ok()) {
+    CloseQuietly(fd);
+    return wake_st;
+  }
+  SetNonBlocking(fd);
+  listen_fd_ = fd;
+  port_.store(*port, std::memory_order_release);
+  stop_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    dispatch_stop_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  return Status::OK();
+}
+
+void EventBusServer::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  wake_.Signal();
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    dispatch_stop_ = true;
+  }
+  admission_cv_.notify_all();
+  if (io_thread_.joinable()) io_thread_.join();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  CloseQuietly(listen_fd_);
+  listen_fd_ = -1;
+  wake_.Close();
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    admission_.clear();  // undelivered notifies drop: at-most-once
+  }
+  overloaded_.store(false, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+}
+
+std::size_t EventBusServer::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+// ---------------------------------------------------------------------------
+// I/O thread
+
+void EventBusServer::IoLoop() {
+  std::vector<pollfd> pfds;
+  std::vector<std::shared_ptr<Session>> polled;
+  while (!stop_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    polled.clear();
+    pfds.push_back(pollfd{wake_.read_fd(), POLLIN, 0});
+    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (auto& [id, session] : sessions_) {
+        short events = POLLIN;
+        if (!session->out.empty()) events |= POLLOUT;
+        pfds.push_back(pollfd{session->fd, events, 0});
+        polled.push_back(session);
+      }
+    }
+    // 100ms cap so heartbeat/idle timers fire even on a silent wire.
+    int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 100);
+    if (rc < 0 && errno != EINTR) {
+      SENTINEL_LOG(kError) << "event-bus poll failed: "
+                           << std::strerror(errno);
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    if ((pfds[0].revents & POLLIN) != 0) wake_.Drain();
+    if ((pfds[1].revents & POLLIN) != 0) AcceptPending();
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      const short revents = pfds[i + 2].revents;
+      const std::shared_ptr<Session>& session = polled[i];
+      if ((revents & POLLIN) != 0) ReadSession(session);
+      if ((revents & POLLOUT) != 0 && !IsDoomed(session)) {
+        FlushSession(session);
+      }
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        Doom(session, "socket error");
+      }
+    }
+    CheckTimers(NowNs());
+    ReapDoomed();
+  }
+  // Shutdown: say goodbye to everyone, tear down GED state, close sockets.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& [id, session] : sessions_) {
+      if (!session->doomed) {
+        session->doomed = true;
+        session->doom_reason = "server shutting down";
+      }
+    }
+  }
+  ReapDoomed();
+  // The listen socket and wake pipe stay open until Stop() has joined this
+  // thread: Stop() signals the pipe concurrently, so closing here would race
+  // the fd with that write.
+}
+
+void EventBusServer::AcceptPending() {
+  for (;;) {
+    int fd = AcceptRetry(listen_fd_);
+    if (fd < 0) return;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t count;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      count = sessions_.size();
+    }
+    if (count >= options_.max_sessions) {
+      // Connection admission control: refuse politely with a typed verdict
+      // instead of letting the accept backlog absorb the overload.
+      rejected_sessions_.fetch_add(1, std::memory_order_relaxed);
+      StatusReplyMsg reply;
+      reply.seq = 0;
+      reply.code = WireCode::kRetryLater;
+      reply.retry_after_ms = options_.retry_after_ms;
+      reply.message = "session limit reached";
+      const std::string frame = reply.Encode();
+      (void)SendSome(fd, frame.data(), frame.size(), "net.server.write");
+      CloseQuietly(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    auto session = std::make_shared<Session>(options_.max_frame_bytes);
+    session->fd = fd;
+    session->last_recv_ns = NowNs();
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      session->id = next_session_id_++;
+      sessions_[session->id] = session;
+    }
+  }
+}
+
+void EventBusServer::ReadSession(const std::shared_ptr<Session>& session) {
+  char buf[16 * 1024];
+  for (;;) {
+    IoResult r = RecvSome(session->fd, buf, sizeof(buf), "net.server.read");
+    if (r.kind == IoResult::Kind::kWouldBlock) return;
+    if (r.kind == IoResult::Kind::kClosed) {
+      Doom(session, "peer closed connection");
+      return;
+    }
+    if (r.kind == IoResult::Kind::kError) {
+      Doom(session, "read failed: " + r.error);
+      return;
+    }
+    bytes_in_.fetch_add(r.bytes, std::memory_order_relaxed);
+    session->last_recv_ns = NowNs();
+    session->assembler.Feed(buf, r.bytes);
+    for (;;) {
+      FrameAssembler::Frame frame;
+      auto more = session->assembler.Next(&frame);
+      if (!more.ok()) {
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        Doom(session, "protocol error: " + more.status().ToString());
+        return;
+      }
+      if (!*more) break;
+      HandleFrame(session, frame);
+      if (IsDoomed(session)) return;
+    }
+    if (r.bytes < sizeof(buf)) return;  // short read: socket is drained
+  }
+}
+
+void EventBusServer::FlushSession(const std::shared_ptr<Session>& session) {
+  std::string doom_why;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    while (!session->out.empty()) {
+      const std::string& front = session->out.front();
+      IoResult r =
+          SendSome(session->fd, front.data() + session->out_offset,
+                   front.size() - session->out_offset, "net.server.write");
+      if (r.kind == IoResult::Kind::kWouldBlock) break;
+      if (r.kind != IoResult::Kind::kOk) {
+        doom_why = r.kind == IoResult::Kind::kClosed
+                       ? "peer closed connection"
+                       : "write failed: " + r.error;
+        break;
+      }
+      bytes_out_.fetch_add(r.bytes, std::memory_order_relaxed);
+      session->out_offset += r.bytes;
+      if (session->out_offset == front.size()) {
+        session->out_bytes -= front.size();
+        session->out.pop_front();
+        session->out_offset = 0;
+      }
+    }
+  }
+  if (!doom_why.empty()) Doom(session, doom_why);
+}
+
+// ---------------------------------------------------------------------------
+// Frame handling (I/O thread)
+
+void EventBusServer::HandleFrame(const std::shared_ptr<Session>& session,
+                                 FrameAssembler::Frame& frame) {
+  BytesReader reader(frame.body);
+  switch (frame.type) {
+    case MessageType::kHello: {
+      auto msg = HelloMsg::Decode(&reader);
+      if (!msg.ok()) {
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        Doom(session, "bad HELLO: " + msg.status().ToString());
+        return;
+      }
+      HandleHello(session, *msg);
+      return;
+    }
+    case MessageType::kDefinePrimitive: {
+      auto msg = DefinePrimitiveMsg::Decode(&reader);
+      if (!msg.ok()) {
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        Doom(session, "bad DEFINE_PRIMITIVE: " + msg.status().ToString());
+        return;
+      }
+      if (!session->app_registered) {
+        Reply(session, msg->seq, WireCode::kError, 0,
+              "HELLO required before DEFINE_PRIMITIVE");
+        return;
+      }
+      // Idempotent re-declaration: a reconnecting client replays its
+      // definition journal, and the graph keeps nodes across sessions —
+      // an existing node with this name is accepted as-is (the spec is
+      // not re-checked; DESIGN.md §12 documents the contract).
+      if (ged_->graph()->Exists(msg->name)) {
+        Reply(session, msg->seq, WireCode::kOk, 0, "");
+        return;
+      }
+      auto node = ged_->DefineGlobalPrimitive(msg->name, msg->app_name,
+                                              msg->class_name, msg->modifier,
+                                              msg->method_signature);
+      if (!node.ok()) {
+        Reply(session, msg->seq, WireCode::kError, 0,
+              node.status().ToString());
+      } else {
+        Reply(session, msg->seq, WireCode::kOk, 0, "");
+      }
+      return;
+    }
+    case MessageType::kSubscribe: {
+      auto msg = SubscribeMsg::Decode(&reader);
+      if (!msg.ok()) {
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        Doom(session, "bad SUBSCRIBE: " + msg.status().ToString());
+        return;
+      }
+      if (!session->app_registered) {
+        Reply(session, msg->seq, WireCode::kError, 0,
+              "HELLO required before SUBSCRIBE");
+        return;
+      }
+      for (const auto& sub : session->subs) {
+        if (sub.event == msg->event && sub.context == msg->context) {
+          Reply(session, msg->seq, WireCode::kOk, 0, "");  // idempotent
+          return;
+        }
+      }
+      auto sink = std::make_unique<PushSink>(
+          this, std::weak_ptr<Session>(session), msg->event, msg->context);
+      Status st = ged_->Subscribe(msg->event, sink.get(), msg->context);
+      if (!st.ok()) {
+        Reply(session, msg->seq, WireCode::kError, 0, st.ToString());
+        return;
+      }
+      session->subs.push_back(
+          Session::Sub{msg->event, msg->context, std::move(sink)});
+      Reply(session, msg->seq, WireCode::kOk, 0, "");
+      return;
+    }
+    case MessageType::kNotify: {
+      notifies_received_.fetch_add(1, std::memory_order_relaxed);
+      if (!session->app_registered) {
+        Doom(session, "NOTIFY before HELLO");
+        return;
+      }
+      HandleNotify(session, &reader);
+      return;
+    }
+    case MessageType::kPing:
+      EnqueueFrame(session, EncodeFrame(MessageType::kPong),
+                   /*is_push=*/false);
+      return;
+    case MessageType::kPong:
+      return;  // last_recv_ns already refreshed by ReadSession
+    case MessageType::kBye:
+      Doom(session, "client closed the session");
+      return;
+    case MessageType::kStatusReply:
+    case MessageType::kEventPush:
+      frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      Doom(session, std::string("unexpected client frame: ") +
+                        MessageTypeToString(frame.type));
+      return;
+  }
+  frame_errors_.fetch_add(1, std::memory_order_relaxed);
+  Doom(session, "unknown frame type");
+}
+
+void EventBusServer::HandleHello(const std::shared_ptr<Session>& session,
+                                 const HelloMsg& msg) {
+  if (msg.app_name.empty()) {
+    Reply(session, msg.seq, WireCode::kError, 0, "empty application name");
+    return;
+  }
+  if (session->app_registered) {
+    if (session->app_name == msg.app_name) {
+      Reply(session, msg.seq, WireCode::kOk, 0, "");  // idempotent
+    } else {
+      Reply(session, msg.seq, WireCode::kError, 0,
+            "session already registered as " + session->app_name);
+    }
+    return;
+  }
+  // A live session already holding the name is superseded: the common case
+  // is a client reconnecting before the server noticed its old socket die.
+  std::shared_ptr<Session> old;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& [id, s] : sessions_) {
+      if (s != session && !s->doomed && s->app_name == msg.app_name) {
+        old = s;
+        break;
+      }
+    }
+  }
+  if (old != nullptr) {
+    superseded_sessions_.fetch_add(1, std::memory_order_relaxed);
+    DetachFromGed(*old);  // frees the name before re-registering below
+    Doom(old, "superseded by a reconnect of " + msg.app_name);
+  }
+  Status st = ged_->RegisterRemoteApplication(msg.app_name);
+  if (st.IsRetryLater()) {
+    Reply(session, msg.seq, WireCode::kRetryLater, options_.retry_after_ms,
+          st.ToString());
+    return;
+  }
+  if (!st.ok()) {
+    // e.g. an in-process application owns the name.
+    Reply(session, msg.seq, WireCode::kError, 0, st.ToString());
+    return;
+  }
+  session->app_name = msg.app_name;
+  session->app_registered = true;
+  Reply(session, msg.seq, WireCode::kOk, 0, "");
+}
+
+void EventBusServer::HandleNotify(const std::shared_ptr<Session>& session,
+                                  BytesReader* body) {
+  auto occ = DecodeOccurrence(body);
+  if (!occ.ok()) {
+    frame_errors_.fetch_add(1, std::memory_order_relaxed);
+    Doom(session, "bad NOTIFY: " + occ.status().ToString());
+    return;
+  }
+  bool shed = false;
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    if (admission_.size() >= options_.admission_capacity) {
+      shed = true;
+      depth = admission_.size();
+    } else {
+      admission_.emplace_back(session->app_name, std::move(*occ));
+      depth = admission_.size();
+    }
+  }
+  UpdateOverload(depth);
+  if (shed) {
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    // Unsolicited typed shed notice, rate-limited per session so a
+    // firehosing client doesn't get a notice per dropped event.
+    const std::uint64_t now = NowNs();
+    if (now - session->last_shed_notice_ns > 10'000'000ull) {
+      session->last_shed_notice_ns = now;
+      Reply(session, 0, WireCode::kRetryLater, options_.retry_after_ms,
+            "admission queue full; event dropped");
+    }
+    return;
+  }
+  if (depth > admission_peak_.load(std::memory_order_relaxed)) {
+    admission_peak_.store(depth, std::memory_order_relaxed);
+  }
+  admission_cv_.notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher thread
+
+void EventBusServer::DispatchLoop() {
+  for (;;) {
+    std::pair<std::string, detector::PrimitiveOccurrence> item;
+    std::size_t depth = 0;
+    {
+      std::unique_lock<std::mutex> lock(admission_mu_);
+      admission_cv_.wait(
+          lock, [this] { return dispatch_stop_ || !admission_.empty(); });
+      // Undelivered occurrences drop on shutdown: at-most-once delivery.
+      if (dispatch_stop_) return;
+      item = std::move(admission_.front());
+      admission_.pop_front();
+      depth = admission_.size();
+    }
+    UpdateOverload(depth);
+    if (FailPointRegistry::AnyActive()) {
+      // net.server.dispatch: delay stalls the dispatcher (forces admission
+      // backlog for overload tests); error drops the occurrence.
+      FailPointAction action =
+          FailPointRegistry::Instance().Evaluate("net.server.dispatch");
+      if (action.fired()) continue;
+    }
+    // End-to-end backpressure: the GED bus is unbounded, so pause here
+    // while its backlog is deep instead of letting it absorb what the
+    // admission queue exists to bound.
+    while (!ged_->WaitBusBelow(options_.ged_bus_soft_cap,
+                               std::chrono::milliseconds(50))) {
+      std::lock_guard<std::mutex> lock(admission_mu_);
+      if (dispatch_stop_) return;
+      if (ged_->shut_down()) break;
+    }
+    Status st = ged_->InjectRemote(item.first, item.second);
+    if (st.ok()) {
+      dispatched_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // NotFound (session torn down mid-flight) and RetryLater (GED shut
+    // down) both drop the occurrence — at-most-once delivery.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session plumbing
+
+void EventBusServer::EnqueueFrame(const std::shared_ptr<Session>& session,
+                                  std::string frame, bool is_push) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (session->doomed || session->fd < 0) return;
+    if (session->out_bytes + frame.size() > options_.outbound_max_bytes) {
+      session->doomed = true;
+      session->doom_reason =
+          "slow consumer: outbound queue exceeded " +
+          std::to_string(options_.outbound_max_bytes) + " bytes";
+      slow_consumer_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      session->out_bytes += frame.size();
+      session->out.push_back(std::move(frame));
+      if (is_push) pushes_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  wake_.Signal();  // the I/O thread re-polls with POLLOUT (or reaps)
+}
+
+void EventBusServer::Reply(const std::shared_ptr<Session>& session,
+                           std::uint32_t seq, WireCode code,
+                           std::uint32_t retry_after_ms,
+                           const std::string& message) {
+  StatusReplyMsg reply;
+  reply.seq = seq;
+  reply.code = code;
+  reply.retry_after_ms = retry_after_ms;
+  reply.message = message;
+  EnqueueFrame(session, reply.Encode(), /*is_push=*/false);
+}
+
+void EventBusServer::Doom(const std::shared_ptr<Session>& session,
+                          const std::string& why) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (session->doomed) return;
+  session->doomed = true;
+  session->doom_reason = why;
+}
+
+bool EventBusServer::IsDoomed(
+    const std::shared_ptr<Session>& session) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return session->doomed;
+}
+
+void EventBusServer::CheckTimers(std::uint64_t now_ns) {
+  const std::uint64_t heartbeat_ns = ToNs(options_.heartbeat_interval);
+  const std::uint64_t idle_ns = ToNs(options_.idle_timeout);
+  std::vector<std::shared_ptr<Session>> to_ping;
+  std::vector<std::shared_ptr<Session>> to_idle_out;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& [id, session] : sessions_) {
+      if (session->doomed) continue;
+      const std::uint64_t quiet = now_ns - session->last_recv_ns;
+      if (idle_ns > 0 && quiet > idle_ns) {
+        to_idle_out.push_back(session);
+      } else if (heartbeat_ns > 0 && quiet > heartbeat_ns &&
+                 now_ns - session->last_ping_ns > heartbeat_ns) {
+        to_ping.push_back(session);
+      }
+    }
+  }
+  for (auto& session : to_idle_out) {
+    idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    Doom(session, "idle timeout: no frames or pongs");
+  }
+  for (auto& session : to_ping) {
+    session->last_ping_ns = now_ns;
+    pings_sent_.fetch_add(1, std::memory_order_relaxed);
+    EnqueueFrame(session, EncodeFrame(MessageType::kPing), /*is_push=*/false);
+  }
+}
+
+void EventBusServer::ReapDoomed() {
+  std::vector<std::shared_ptr<Session>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second->doomed) {
+        doomed.push_back(it->second);
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& session : doomed) {
+    // Unsubscribe/unregister first so no push lands in the queue of a
+    // session whose socket is closing, and so a half-registered app node
+    // can never outlive its connection.
+    DetachFromGed(*session);
+    // Best-effort goodbye so the client can tell a policy disconnect from
+    // a crash; the socket may be dead, which is fine.
+    ByeMsg bye;
+    bye.reason = session->doom_reason;
+    const std::string frame = bye.Encode();
+    (void)SendSome(session->fd, frame.data(), frame.size(), nullptr);
+    CloseQuietly(session->fd);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      session->fd = -1;
+    }
+    SENTINEL_LOG(kInfo) << "event-bus session closed (app="
+                        << (session->app_name.empty() ? "<anonymous>"
+                                                      : session->app_name)
+                        << "): " << session->doom_reason;
+  }
+}
+
+void EventBusServer::DetachFromGed(Session& session) {
+  for (auto& sub : session.subs) {
+    (void)ged_->graph()->Unsubscribe(sub.event, sub.sink.get(), sub.context);
+  }
+  session.subs.clear();
+  if (session.app_registered) {
+    session.app_registered = false;
+    (void)ged_->UnregisterApplication(session.app_name);
+  }
+}
+
+void EventBusServer::UpdateOverload(std::size_t depth) {
+  const std::size_t high =
+      options_.admission_capacity - options_.admission_capacity / 4;
+  const std::size_t low = options_.admission_capacity / 4;
+  if (depth >= high) {
+    overloaded_.store(true, std::memory_order_release);
+  } else if (depth <= low) {
+    overloaded_.store(false, std::memory_order_release);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+EventBusServerStats EventBusServer::stats() const {
+  EventBusServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected_sessions = rejected_sessions_.load(std::memory_order_relaxed);
+  s.superseded_sessions =
+      superseded_sessions_.load(std::memory_order_relaxed);
+  s.notifies_received = notifies_received_.load(std::memory_order_relaxed);
+  s.dispatched = dispatched_.load(std::memory_order_relaxed);
+  s.sheds = sheds_.load(std::memory_order_relaxed);
+  s.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  s.slow_consumer_disconnects =
+      slow_consumer_disconnects_.load(std::memory_order_relaxed);
+  s.idle_disconnects = idle_disconnects_.load(std::memory_order_relaxed);
+  s.pushes_sent = pushes_sent_.load(std::memory_order_relaxed);
+  s.pings_sent = pings_sent_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.admission_peak = admission_peak_.load(std::memory_order_relaxed);
+  s.overloaded = overloaded_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    s.open_sessions = sessions_.size();
+    for (const auto& [id, session] : sessions_) {
+      s.outbound_queued_bytes += session->out_bytes;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    s.admission_depth = admission_.size();
+  }
+  return s;
+}
+
+std::string EventBusServer::StatsJson() const {
+  const EventBusServerStats s = stats();
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("running", running());
+  w.Field("port", port());
+  w.Field("accepted", s.accepted);
+  w.Field("rejected_sessions", s.rejected_sessions);
+  w.Field("superseded_sessions", s.superseded_sessions);
+  w.Field("open_sessions", s.open_sessions);
+  w.Field("notifies_received", s.notifies_received);
+  w.Field("dispatched", s.dispatched);
+  w.Field("sheds", s.sheds);
+  w.Field("frame_errors", s.frame_errors);
+  w.Field("slow_consumer_disconnects", s.slow_consumer_disconnects);
+  w.Field("idle_disconnects", s.idle_disconnects);
+  w.Field("pushes_sent", s.pushes_sent);
+  w.Field("pings_sent", s.pings_sent);
+  w.Field("bytes_in", s.bytes_in);
+  w.Field("bytes_out", s.bytes_out);
+  w.Field("admission_depth", s.admission_depth);
+  w.Field("admission_peak", s.admission_peak);
+  w.Field("outbound_queued_bytes", s.outbound_queued_bytes);
+  w.Field("overloaded", s.overloaded);
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace sentinel::net

@@ -1,0 +1,202 @@
+#ifndef SENTINEL_NET_EVENT_BUS_SERVER_H_
+#define SENTINEL_NET_EVENT_BUS_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "detector/event_types.h"
+#include "ged/global_detector.h"
+#include "net/protocol.h"
+#include "net/socket_util.h"
+
+namespace sentinel::net {
+
+/// Counter/gauge snapshot of the event-bus server (the sentinel_net_*
+/// Prometheus families). Counters are cumulative since Start.
+struct EventBusServerStats {
+  std::uint64_t accepted = 0;            // connections accepted
+  std::uint64_t rejected_sessions = 0;   // refused at the session limit
+  std::uint64_t superseded_sessions = 0; // kicked by a reconnect of same app
+  std::uint64_t open_sessions = 0;       // gauge
+  std::uint64_t notifies_received = 0;   // NOTIFY frames decoded
+  std::uint64_t dispatched = 0;          // occurrences handed to the GED
+  std::uint64_t sheds = 0;               // notifies dropped by admission ctl
+  std::uint64_t frame_errors = 0;        // framing/CRC violations observed
+  std::uint64_t slow_consumer_disconnects = 0;
+  std::uint64_t idle_disconnects = 0;
+  std::uint64_t pushes_sent = 0;         // EVENT_PUSH frames queued
+  std::uint64_t pings_sent = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t admission_depth = 0;     // gauge
+  std::uint64_t admission_peak = 0;
+  std::uint64_t outbound_queued_bytes = 0;  // gauge, summed over sessions
+  bool overloaded = false;               // admission queue past high water
+};
+
+/// TCP front end that turns a GlobalEventDetector into a multi-client
+/// daemon: remote applications register, declare global primitives, stream
+/// Notify frames in, and subscribe to server-pushed global detections —
+/// the paper's Fig. 2 arrows carried over the socket transport it left as
+/// future work.
+///
+/// Robustness contract (DESIGN.md §12):
+///   - every queue is bounded: the admission queue sheds NOTIFY traffic
+///     with a typed RETRY_LATER verdict instead of growing, and a session
+///     whose outbound queue exceeds its byte budget is disconnected as a
+///     slow consumer rather than wedging the push path;
+///   - sessions are limited (connection admission) and heartbeated: a peer
+///     that stops responding is reaped by the idle timeout;
+///   - a framing violation (bad magic, CRC mismatch, oversized length)
+///     drops that connection only — the daemon itself never trusts a byte
+///     it has not validated;
+///   - overload is observable: `overloaded()` flips when the admission
+///     queue passes its high-water mark (3/4, clearing at 1/4) and feeds
+///     the health watchdog, so /healthz reports degraded while the server
+///     sheds instead of the process dying.
+///
+/// Threads: one poll-based I/O thread owns every socket; one dispatcher
+/// thread drains the admission queue into the GED bus, blocking while the
+/// bus backlog exceeds `ged_bus_soft_cap` (backpressure end to end).
+/// Subscription sinks run on the GED bus thread and only append to the
+/// per-session outbound queues.
+class EventBusServer {
+ public:
+  struct Options {
+    /// 127.0.0.1 port; 0 picks an ephemeral port (tests).
+    int port = 0;
+    std::size_t max_sessions = 64;
+    /// Admission queue capacity, in occurrences. Past 3/4 the server is
+    /// `overloaded()`; at capacity NOTIFY traffic sheds with RETRY_LATER.
+    std::size_t admission_capacity = 1024;
+    /// Dispatcher pauses while the GED bus backlog is at or above this.
+    std::size_t ged_bus_soft_cap = 256;
+    /// Per-session outbound byte budget; past it the session is dropped as
+    /// a slow consumer.
+    std::size_t outbound_max_bytes = 256 * 1024;
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    std::chrono::milliseconds heartbeat_interval{2000};
+    std::chrono::milliseconds idle_timeout{10000};
+    /// Advisory backoff carried in RETRY_LATER shed notices.
+    std::uint32_t retry_after_ms = 50;
+  };
+
+  /// `ged` must outlive the server and stay un-shut-down while it runs.
+  explicit EventBusServer(ged::GlobalEventDetector* ged);
+  ~EventBusServer();
+
+  EventBusServer(const EventBusServer&) = delete;
+  EventBusServer& operator=(const EventBusServer&) = delete;
+
+  Status Start(const Options& options);
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Bound port after a successful Start (resolves ephemeral requests).
+  int port() const { return port_.load(std::memory_order_acquire); }
+  /// True while the admission queue sits past its high-water mark — the
+  /// watchdog turns this into a degraded /healthz verdict.
+  bool overloaded() const {
+    return overloaded_.load(std::memory_order_acquire);
+  }
+  std::size_t session_count() const;
+
+  EventBusServerStats stats() const;
+  std::string StatsJson() const;
+
+ private:
+  struct Session;
+  class PushSink;
+
+  void IoLoop();
+  void DispatchLoop();
+
+  void AcceptPending();
+  void ReadSession(const std::shared_ptr<Session>& session);
+  void FlushSession(const std::shared_ptr<Session>& session);
+  void HandleFrame(const std::shared_ptr<Session>& session,
+                   FrameAssembler::Frame& frame);
+  void HandleHello(const std::shared_ptr<Session>& session,
+                   const HelloMsg& msg);
+  void HandleNotify(const std::shared_ptr<Session>& session,
+                    BytesReader* body);
+  /// Appends a frame to the session's outbound queue; dooms the session as
+  /// a slow consumer when the byte budget would be exceeded. Safe from any
+  /// thread.
+  void EnqueueFrame(const std::shared_ptr<Session>& session,
+                    std::string frame, bool is_push);
+  void Reply(const std::shared_ptr<Session>& session, std::uint32_t seq,
+             WireCode code, std::uint32_t retry_after_ms,
+             const std::string& message);
+  void Doom(const std::shared_ptr<Session>& session, const std::string& why);
+  bool IsDoomed(const std::shared_ptr<Session>& session) const;
+  /// Hysteresis: overloaded_ sets at 3/4 of admission capacity, clears at
+  /// 1/4 — so the health verdict doesn't flap at the boundary.
+  void UpdateOverload(std::size_t depth);
+  void CheckTimers(std::uint64_t now_ns);
+  void ReapDoomed();
+  void CloseSessionLocked(Session& session);
+  /// Tears down GED-side state (subscriptions, app registration) of a
+  /// session being closed. Must be called WITHOUT sessions_mu_ held.
+  void DetachFromGed(Session& session);
+
+  ged::GlobalEventDetector* const ged_;
+  Options options_;
+
+  int listen_fd_ = -1;
+  WakePipe wake_;
+  std::mutex lifecycle_mu_;  // serializes Start/Stop (and the joins)
+  std::thread io_thread_;
+  std::thread dispatch_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> port_{0};
+
+  // Sessions. sessions_mu_ guards the map and each session's outbound
+  // queue + doom flag (the only fields other threads touch); everything
+  // else in a Session belongs to the I/O thread.
+  mutable std::mutex sessions_mu_;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+
+  // Admission-control queue (bounded; see Options::admission_capacity).
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  std::deque<std::pair<std::string, detector::PrimitiveOccurrence>>
+      admission_;
+  bool dispatch_stop_ = false;
+
+  std::atomic<bool> overloaded_{false};
+
+  // Counters (relaxed; snapshotted by stats()).
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_sessions_{0};
+  std::atomic<std::uint64_t> superseded_sessions_{0};
+  std::atomic<std::uint64_t> notifies_received_{0};
+  std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> sheds_{0};
+  std::atomic<std::uint64_t> frame_errors_{0};
+  std::atomic<std::uint64_t> slow_consumer_disconnects_{0};
+  std::atomic<std::uint64_t> idle_disconnects_{0};
+  std::atomic<std::uint64_t> pushes_sent_{0};
+  std::atomic<std::uint64_t> pings_sent_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> admission_peak_{0};
+};
+
+}  // namespace sentinel::net
+
+#endif  // SENTINEL_NET_EVENT_BUS_SERVER_H_

@@ -1,0 +1,511 @@
+#include "net/remote_client.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace sentinel::net {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+RemoteGedClient::RemoteGedClient(Options options)
+    : options_(std::move(options)) {}
+
+RemoteGedClient::~RemoteGedClient() { Stop(); }
+
+Status RemoteGedClient::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::InvalidArgument("client already started");
+    if (options_.app_name.empty()) {
+      return Status::InvalidArgument("app_name is required");
+    }
+  }
+  IgnoreSigpipe();
+  SENTINEL_RETURN_NOT_OK(wake_.Open());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+    stop_ = false;
+    backoff_attempt_ = 0;
+    jitter_state_ = options_.jitter_seed | 1;  // LCG state must be nonzero
+  }
+  worker_ = std::thread([this] { WorkerLoop(); });
+  return Status::OK();
+}
+
+void RemoteGedClient::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  worker_cv_.notify_all();
+  cv_.notify_all();
+  wake_.Signal();
+  if (worker_.joinable()) worker_.join();
+  connected_.store(false, std::memory_order_release);
+  wake_.Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+bool RemoteGedClient::WaitConnected(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout, [this] {
+    return stop_ || connected_.load(std::memory_order_acquire);
+  });
+  return connected_.load(std::memory_order_acquire);
+}
+
+std::string RemoteGedClient::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+// ---------------------------------------------------------------------------
+// Application-thread API
+
+Status RemoteGedClient::DefineGlobalPrimitive(
+    const std::string& name, const std::string& class_name,
+    detector::EventModifier modifier, const std::string& method_signature) {
+  DefinePrimitiveMsg msg;
+  msg.name = name;
+  msg.app_name = options_.app_name;
+  msg.class_name = class_name;
+  msg.modifier = modifier;
+  msg.method_signature = method_signature;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stop_) return Status::IOError("client not running");
+    msg.seq = next_seq_++;
+    pending_[msg.seq] = Pending{};
+    EnqueueControlLocked(msg.Encode());
+  }
+  wake_.Signal();
+  Status st = AwaitReply(msg.seq);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    JournalEntry entry;
+    entry.kind = JournalEntry::Kind::kDefine;
+    entry.define = msg;
+    journal_.push_back(std::move(entry));
+  }
+  return st;
+}
+
+Status RemoteGedClient::Subscribe(const std::string& event,
+                                  detector::ParamContext context,
+                                  PushHandler handler) {
+  SubscribeMsg msg;
+  msg.event = event;
+  msg.context = context;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stop_) return Status::IOError("client not running");
+    msg.seq = next_seq_++;
+    pending_[msg.seq] = Pending{};
+    EnqueueControlLocked(msg.Encode());
+  }
+  wake_.Signal();
+  Status st = AwaitReply(msg.seq);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    handlers_[event] = std::move(handler);
+    JournalEntry entry;
+    entry.kind = JournalEntry::Kind::kSubscribe;
+    entry.subscribe = msg;
+    journal_.push_back(std::move(entry));
+  }
+  return st;
+}
+
+Status RemoteGedClient::Notify(
+    const detector::PrimitiveOccurrence& occurrence) {
+  BytesWriter body;
+  EncodeOccurrence(occurrence, &body);
+  std::string frame = EncodeFrame(MessageType::kNotify, body);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stop_) return Status::IOError("client not running");
+    if (notify_out_.size() >= options_.notify_queue_limit) {
+      // Bounded send buffer: shed the *oldest* event — at-most-once says
+      // drop, and recent events are worth more to composite detection.
+      notify_out_.pop_front();
+      notifies_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    notify_out_.push_back(std::move(frame));
+  }
+  wake_.Signal();
+  return Status::OK();
+}
+
+Status RemoteGedClient::NotifyMethod(
+    const std::string& class_name, std::uint64_t oid,
+    detector::EventModifier modifier, const std::string& method_signature,
+    std::shared_ptr<detector::ParamList> params, storage::TxnId txn) {
+  detector::PrimitiveOccurrence occ;
+  occ.class_name = class_name;
+  occ.oid = oid;
+  occ.modifier = modifier;
+  occ.method_signature = method_signature;
+  occ.params = std::move(params);
+  occ.txn = txn;
+  occ.at = 0;  // the GED re-stamps on bus arrival
+  occ.at_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  return Notify(occ);
+}
+
+void RemoteGedClient::BindLocalDetector(detector::LocalEventDetector* det) {
+  det->AddRawObserver([this](const detector::PrimitiveOccurrence& occ) {
+    (void)Notify(occ);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Worker thread
+
+void RemoteGedClient::WorkerLoop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+    }
+    connect_attempts_.fetch_add(1, std::memory_order_relaxed);
+    auto fd_result = ConnectTcp(options_.host, options_.port);
+    if (!fd_result.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        last_error_ = fd_result.status().ToString();
+      }
+      if (!BackoffSleep()) return;
+      continue;
+    }
+    const int fd = *fd_result;
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    std::string why = StreamLoop(fd);
+    CloseQuietly(fd);
+    if (connected_.exchange(false, std::memory_order_acq_rel)) {
+      disconnects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    FailAllPending(why);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_error_ = why;
+      if (stop_) return;
+    }
+    SENTINEL_LOG(kInfo) << "remote GED session ended (" << why
+                        << "); reconnecting with backoff";
+    if (!BackoffSleep()) return;
+  }
+}
+
+std::string RemoteGedClient::StreamLoop(int fd) {
+  FrameAssembler assembler(options_.max_frame_bytes);
+  std::string wire;  // bytes staged for the socket
+  std::size_t wire_off = 0;
+  bool registered = false;
+  std::uint32_t hello_seq = 0;
+  {
+    // The Hello goes out ahead of anything queued; TCP ordering then
+    // guarantees the server sees registration before any control frame
+    // that was waiting while we were disconnected.
+    std::lock_guard<std::mutex> lock(mu_);
+    hello_seq = next_seq_++;
+    HelloMsg hello;
+    hello.seq = hello_seq;
+    hello.app_name = options_.app_name;
+    wire = hello.Encode();
+  }
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return "client stopping";
+      // Stage outbound bytes: control first; notifies only once the
+      // session is registered and not paused by a shed notice.
+      const std::uint64_t now = NowNs();
+      while (wire.size() - wire_off < 64 * 1024) {
+        if (!control_out_.empty()) {
+          wire += control_out_.front();
+          control_out_.pop_front();
+        } else if (registered && now >= pause_until_ns_ &&
+                   !notify_out_.empty()) {
+          wire += notify_out_.front();
+          notify_out_.pop_front();
+          notifies_sent_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          break;
+        }
+      }
+      if (wire_off > 0 && wire_off == wire.size()) {
+        wire.clear();
+        wire_off = 0;
+      }
+    }
+    pollfd pfds[2];
+    pfds[0] = pollfd{wake_.read_fd(), POLLIN, 0};
+    short events = POLLIN;
+    if (wire.size() > wire_off) events |= POLLOUT;
+    pfds[1] = pollfd{fd, events, 0};
+    // 100ms cap so a shed pause expiring (or Stop) is noticed promptly.
+    int rc = ::poll(pfds, 2, 100);
+    if (rc < 0 && errno != EINTR) return "poll failed";
+    if ((pfds[0].revents & POLLIN) != 0) wake_.Drain();
+    if ((pfds[1].revents & POLLOUT) != 0 && wire.size() > wire_off) {
+      IoResult r = SendSome(fd, wire.data() + wire_off,
+                            wire.size() - wire_off, "net.client.write");
+      if (r.kind == IoResult::Kind::kClosed) return "server closed connection";
+      if (r.kind == IoResult::Kind::kError) {
+        return "write failed: " + r.error;
+      }
+      if (r.kind == IoResult::Kind::kOk) wire_off += r.bytes;
+    }
+    if ((pfds[1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    char buf[16 * 1024];
+    for (;;) {
+      IoResult r = RecvSome(fd, buf, sizeof(buf), "net.client.read");
+      if (r.kind == IoResult::Kind::kWouldBlock) break;
+      if (r.kind == IoResult::Kind::kClosed) return "server closed connection";
+      if (r.kind == IoResult::Kind::kError) {
+        return "read failed: " + r.error;
+      }
+      assembler.Feed(buf, r.bytes);
+      for (;;) {
+        FrameAssembler::Frame frame;
+        auto more = assembler.Next(&frame);
+        if (!more.ok()) {
+          return "protocol error: " + more.status().ToString();
+        }
+        if (!*more) break;
+        BytesReader reader(frame.body);
+        switch (frame.type) {
+          case MessageType::kStatusReply: {
+            auto msg = StatusReplyMsg::Decode(&reader);
+            if (!msg.ok()) {
+              return "bad STATUS_REPLY: " + msg.status().ToString();
+            }
+            if (msg->seq == 0) {
+              // Unsolicited shed notice: pause the notify stream for the
+              // advertised backoff instead of hammering the server.
+              sheds_received_.fetch_add(1, std::memory_order_relaxed);
+              std::lock_guard<std::mutex> lock(mu_);
+              pause_until_ns_ =
+                  NowNs() + static_cast<std::uint64_t>(msg->retry_after_ms) *
+                                1'000'000ull;
+            } else if (msg->seq == hello_seq) {
+              if (msg->code != WireCode::kOk) {
+                return "registration refused: " + msg->message;
+              }
+              registered = true;
+              sessions_established_.fetch_add(1, std::memory_order_relaxed);
+              {
+                std::lock_guard<std::mutex> lock(mu_);
+                backoff_attempt_ = 0;
+                ReplayJournalLocked();
+              }
+              connected_.store(true, std::memory_order_release);
+              cv_.notify_all();  // WaitConnected waiters
+            } else {
+              Status result = Status::OK();
+              if (msg->code == WireCode::kRetryLater) {
+                result = Status::RetryLater(msg->message.empty()
+                                                ? "server asked to retry"
+                                                : msg->message);
+              } else if (msg->code != WireCode::kOk) {
+                result = Status::Internal(msg->message.empty()
+                                              ? "server refused request"
+                                              : msg->message);
+              }
+              CompletePending(msg->seq, result);
+            }
+            break;
+          }
+          case MessageType::kEventPush: {
+            auto msg = EventPushMsg::Decode(&reader);
+            if (!msg.ok()) {
+              return "bad EVENT_PUSH: " + msg.status().ToString();
+            }
+            pushes_received_.fetch_add(1, std::memory_order_relaxed);
+            PushHandler handler;
+            {
+              std::lock_guard<std::mutex> lock(mu_);
+              auto it = handlers_.find(msg->event);
+              if (it != handlers_.end()) handler = it->second;
+            }
+            if (handler) handler(msg->event, msg->occurrence);
+            break;
+          }
+          case MessageType::kPing: {
+            std::lock_guard<std::mutex> lock(mu_);
+            control_out_.push_back(EncodeFrame(MessageType::kPong));
+            break;
+          }
+          case MessageType::kPong:
+            break;
+          case MessageType::kBye: {
+            auto msg = ByeMsg::Decode(&reader);
+            return "server closed session: " +
+                   (msg.ok() ? msg->reason : std::string("<garbled>"));
+          }
+          default:
+            return std::string("unexpected server frame: ") +
+                   MessageTypeToString(frame.type);
+        }
+      }
+      if (r.bytes < sizeof(buf)) break;  // short read: socket drained
+    }
+  }
+}
+
+void RemoteGedClient::CompletePending(std::uint32_t seq, Status result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) return;  // caller timed out and gave up
+    if (it->second.internal) {
+      if (!result.ok()) {
+        SENTINEL_LOG(kWarn) << "journal replay entry refused: "
+                            << result.ToString();
+      }
+      pending_.erase(it);
+      return;
+    }
+    it->second.done = true;
+    it->second.result = std::move(result);
+  }
+  cv_.notify_all();
+}
+
+void RemoteGedClient::FailAllPending(const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.internal) {
+        it = pending_.erase(it);
+        continue;
+      }
+      it->second.done = true;
+      it->second.result = Status::IOError("connection lost: " + why);
+      ++it;
+    }
+  }
+  cv_.notify_all();
+}
+
+Status RemoteGedClient::AwaitReply(std::uint32_t seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, options_.request_timeout, [this, seq] {
+    auto it = pending_.find(seq);
+    return it == pending_.end() || it->second.done;
+  });
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    return Status::IOError("request slot vanished");
+  }
+  if (!it->second.done) {
+    pending_.erase(it);
+    return Status::IOError("request timed out");
+  }
+  Status st = std::move(it->second.result);
+  pending_.erase(it);
+  return st;
+}
+
+void RemoteGedClient::EnqueueControlLocked(std::string frame) {
+  control_out_.push_back(std::move(frame));
+}
+
+void RemoteGedClient::ReplayJournalLocked() {
+  for (const auto& entry : journal_) {
+    const std::uint32_t seq = next_seq_++;
+    if (entry.kind == JournalEntry::Kind::kDefine) {
+      DefinePrimitiveMsg msg = entry.define;
+      msg.seq = seq;
+      control_out_.push_back(msg.Encode());
+    } else {
+      SubscribeMsg msg = entry.subscribe;
+      msg.seq = seq;
+      control_out_.push_back(msg.Encode());
+    }
+    Pending p;
+    p.internal = true;
+    pending_[seq] = p;
+    journal_replays_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool RemoteGedClient::BackoffSleep() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) return false;
+  const std::uint64_t shift = std::min<std::uint64_t>(backoff_attempt_, 16);
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(options_.backoff_base.count()) << shift;
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>(options_.backoff_max.count());
+  const std::uint64_t full = std::min(std::max<std::uint64_t>(base, 1), cap);
+  // Deterministic jitter in [full/2, full): spreads reconnect storms while
+  // keeping tests reproducible via Options::jitter_seed.
+  jitter_state_ =
+      jitter_state_ * 6364136223846793005ull + 1442695040888963407ull;
+  const std::uint64_t frac = (jitter_state_ >> 33) % 1000;
+  const std::uint64_t sleep_ms = full / 2 + (full / 2 * frac) / 1000;
+  ++backoff_attempt_;
+  worker_cv_.wait_for(lock, std::chrono::milliseconds(sleep_ms),
+                      [this] { return stop_; });
+  return !stop_;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+RemoteGedClient::Stats RemoteGedClient::stats() const {
+  Stats s;
+  s.connect_attempts = connect_attempts_.load(std::memory_order_relaxed);
+  s.sessions_established =
+      sessions_established_.load(std::memory_order_relaxed);
+  s.disconnects = disconnects_.load(std::memory_order_relaxed);
+  s.notifies_sent = notifies_sent_.load(std::memory_order_relaxed);
+  s.notifies_dropped = notifies_dropped_.load(std::memory_order_relaxed);
+  s.pushes_received = pushes_received_.load(std::memory_order_relaxed);
+  s.sheds_received = sheds_received_.load(std::memory_order_relaxed);
+  s.journal_replays = journal_replays_.load(std::memory_order_relaxed);
+  s.connected = connected_.load(std::memory_order_acquire);
+  return s;
+}
+
+std::string RemoteGedClient::StatsJson() const {
+  const Stats s = stats();
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("connected", s.connected);
+  w.Field("connect_attempts", s.connect_attempts);
+  w.Field("sessions_established", s.sessions_established);
+  w.Field("disconnects", s.disconnects);
+  w.Field("notifies_sent", s.notifies_sent);
+  w.Field("notifies_dropped", s.notifies_dropped);
+  w.Field("pushes_received", s.pushes_received);
+  w.Field("sheds_received", s.sheds_received);
+  w.Field("journal_replays", s.journal_replays);
+  w.Field("last_error", last_error());
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace sentinel::net

@@ -1,13 +1,13 @@
 #include "obs/monitor_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#include "net/socket_util.h"
 
 namespace sentinel::obs {
 
@@ -51,34 +51,16 @@ void MonitorServer::Route(const std::string& path, Handler handler) {
 
 Status MonitorServer::Start(const Options& options) {
   if (running()) return Status::InvalidArgument("monitor server already running");
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError("monitor: socket: " + std::string(strerror(errno)));
+  net::IgnoreSigpipe();
+  auto fd = net::ListenTcp(options.port, /*backlog=*/16);
+  if (!fd.ok()) return fd.status();
+  auto port = net::BoundPort(*fd);
+  if (!port.ok()) {
+    net::CloseQuietly(*fd);
+    return port.status();
   }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string err = strerror(errno);
-    ::close(fd);
-    return Status::IOError("monitor: bind 127.0.0.1:" +
-                           std::to_string(options.port) + ": " + err);
-  }
-  if (::listen(fd, 16) != 0) {
-    const std::string err = strerror(errno);
-    ::close(fd);
-    return Status::IOError("monitor: listen: " + err);
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
-    port_.store(static_cast<int>(ntohs(bound.sin_port)),
-                std::memory_order_release);
-  }
-  listen_fd_ = fd;
+  port_.store(*port, std::memory_order_release);
+  listen_fd_ = *fd;
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { AcceptLoop(); });
@@ -89,10 +71,8 @@ void MonitorServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  net::CloseQuietly(listen_fd_);
+  listen_fd_ = -1;
 }
 
 void MonitorServer::AcceptLoop() {
@@ -102,10 +82,10 @@ void MonitorServer::AcceptLoop() {
     pfd.events = POLLIN;
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready <= 0) continue;  // timeout (re-check stop flag) or EINTR
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    const int conn = net::AcceptRetry(listen_fd_);
     if (conn < 0) continue;
     ServeConnection(conn);
-    ::close(conn);
+    net::CloseQuietly(conn);
   }
 }
 
@@ -120,7 +100,10 @@ void MonitorServer::ServeConnection(int fd) {
   while (request.size() < 8192 &&
          request.find("\r\n") == std::string::npos) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
     request.append(buf, static_cast<std::size_t>(n));
   }
   const std::size_t line_end = request.find("\r\n");

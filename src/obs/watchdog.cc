@@ -172,6 +172,17 @@ void Watchdog::Evaluate(const MonitorSample& sample) {
       }
     }
 
+    // Network overload: the event-bus admission queue sits past its
+    // high-water mark and is shedding NOTIFY traffic with RETRY_LATER.
+    // Degraded, not unhealthy — bounded queues and typed sheds mean the
+    // daemon is coping by design, but clients are seeing drops.
+    if (sample.net_overloaded) {
+      trip(HealthState::kDegraded,
+           "net_overload: admission queue depth " +
+               std::to_string(sample.net_admission_depth) +
+               ", shedding NOTIFY traffic with RETRY_LATER");
+    }
+
     // Detector buffer growth without detections: operator contexts are
     // accumulating occurrences nothing consumes (e.g. a SEQ whose right
     // side never fires inside a long transaction).
@@ -292,6 +303,9 @@ std::string Watchdog::HealthJson() const {
   w.Field("pool_dirty", last.pool_dirty);
   w.Field("detector_buffered", last.detector_buffered);
   w.Field("wal_wedged", last.wal_wedged);
+  w.Field("net_sessions", last.net_sessions);
+  w.Field("net_admission_depth", last.net_admission_depth);
+  w.Field("net_overloaded", last.net_overloaded);
   w.EndObject();
   w.Field("ticks", ticks());
   w.Field("transitions", transitions());

@@ -48,6 +48,13 @@ struct MonitorSample {
 
   bool wal_wedged = false;
 
+  // Network plane (event-bus server; all zero when none is attached).
+  std::uint64_t net_sessions = 0;         // open remote sessions (gauge)
+  std::uint64_t net_admission_depth = 0;  // admission queue depth (gauge)
+  std::uint64_t net_sheds = 0;            // cumulative shed notifies
+  std::uint64_t net_frame_errors = 0;     // cumulative framing violations
+  bool net_overloaded = false;            // admission past high-water mark
+
   // Cumulative latency distributions (windowed quantiles via subtraction).
   LatencyHistogram::Snapshot lock_wait;
   LatencyHistogram::Snapshot wal_fsync;

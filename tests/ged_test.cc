@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "detector_test_util.h"
 
@@ -122,6 +126,133 @@ TEST_F(GedTest, ForwardedCountTracksBusTraffic) {
   Fire(&app2_, "void whatever()", 2);
   ged_.WaitQuiescent();
   EXPECT_EQ(ged_.forwarded_count(), before + 2);
+}
+
+detector::PrimitiveOccurrence RemoteOccurrence(int v) {
+  detector::PrimitiveOccurrence occ;
+  occ.class_name = "Order";
+  occ.oid = 1;
+  occ.modifier = EventModifier::kEnd;
+  occ.method_signature = "void submit()";
+  occ.txn = 1;
+  auto params = std::make_shared<detector::ParamList>();
+  params->Insert("v", oodb::Value::Int(v));
+  occ.params = params;
+  return occ;
+}
+
+TEST_F(GedTest, RemoteApplicationLifecycle) {
+  ASSERT_TRUE(ged_.RegisterRemoteApplication("remote1").ok());
+  EXPECT_TRUE(ged_.RegisterRemoteApplication("remote1").IsAlreadyExists());
+  EXPECT_TRUE(ged_.RegisterApplication("remote1", &app1_).IsAlreadyExists());
+  EXPECT_TRUE(ged_.RegisterRemoteApplication("app1").IsAlreadyExists());
+  EXPECT_TRUE(ged_.IsRegistered("remote1"));
+
+  ASSERT_TRUE(ged_.DefineGlobalPrimitive("g_remote", "remote1", "Order",
+                                         EventModifier::kEnd, "void submit()")
+                  .ok());
+  detector::RecordingSink sink;
+  ASSERT_TRUE(ged_.Subscribe("g_remote", &sink, ParamContext::kRecent).ok());
+
+  ASSERT_TRUE(ged_.InjectRemote("remote1", RemoteOccurrence(7)).ok());
+  ged_.WaitQuiescent();
+  ASSERT_EQ(sink.hits.size(), 1u);
+  EXPECT_EQ(sink.hits[0].occurrence.Param("v")->AsInt(), 7);
+
+  // Unregistration is liveness only: the name frees up and late events are
+  // dropped, but the graph keeps the definition for the next session.
+  ASSERT_TRUE(ged_.UnregisterApplication("remote1").ok());
+  EXPECT_FALSE(ged_.IsRegistered("remote1"));
+  const std::uint64_t dropped = ged_.dropped_count();
+  EXPECT_TRUE(ged_.InjectRemote("remote1", RemoteOccurrence(8)).IsNotFound());
+  EXPECT_EQ(ged_.dropped_count(), dropped + 1);
+  ASSERT_TRUE(ged_.RegisterRemoteApplication("remote1").ok());
+  EXPECT_TRUE(ged_.graph()->Find("g_remote").ok());
+  ASSERT_TRUE(ged_.InjectRemote("remote1", RemoteOccurrence(9)).ok());
+  ged_.WaitQuiescent();
+  EXPECT_EQ(sink.hits.size(), 2u);
+
+  // Local registrations have no removal path (their raw-observer hook is
+  // permanent) and must refuse to unregister.
+  EXPECT_FALSE(ged_.UnregisterApplication("app1").ok());
+  EXPECT_TRUE(ged_.UnregisterApplication("never-registered").IsNotFound());
+}
+
+TEST_F(GedTest, ShutdownIsIdempotentAndRefusesLateArrivals) {
+  ged_.Shutdown();
+  ged_.Shutdown();  // second call must be a no-op, not a double-join
+  EXPECT_TRUE(ged_.shut_down());
+
+  EXPECT_TRUE(ged_.RegisterApplication("late", &app1_).IsRetryLater());
+  EXPECT_TRUE(ged_.RegisterRemoteApplication("late").IsRetryLater());
+  EXPECT_TRUE(ged_.InjectRemote("app1", RemoteOccurrence(1)).IsRetryLater());
+
+  // Events from still-attached local apps are dropped, not queued forever.
+  const std::uint64_t dropped = ged_.dropped_count();
+  Fire(&app1_, "void submit()", 1);
+  EXPECT_GE(ged_.dropped_count(), dropped + 1);
+}
+
+TEST_F(GedTest, ConcurrentRegistrationDuringShutdownNeverCorrupts) {
+  // Satellite regression: RegisterApplication racing Shutdown used to be
+  // able to observe a half-torn bus. Every racer must get a clean verdict —
+  // OK (registered before the stop) or RetryLater (after) — and the GED
+  // must come out shut down with no crash or deadlock.
+  constexpr int kRacers = 8;
+  std::vector<std::unique_ptr<core::ActiveDatabase>> apps(kRacers);
+  for (auto& app : apps) {
+    app = std::make_unique<core::ActiveDatabase>();
+    ASSERT_TRUE(app->OpenInMemory().ok());
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<int> ok_count{0};
+  std::atomic<int> retry_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kRacers + 2);
+  for (int i = 0; i < kRacers; ++i) {
+    threads.emplace_back([&, i] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      const std::string name = "racer" + std::to_string(i);
+      const Status st = (i % 2 == 0)
+                            ? ged_.RegisterApplication(name, apps[i].get())
+                            : ged_.RegisterRemoteApplication(name);
+      if (st.ok()) {
+        ok_count.fetch_add(1);
+      } else {
+        EXPECT_TRUE(st.IsRetryLater()) << st.ToString();
+        retry_count.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      ged_.Shutdown();
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  EXPECT_TRUE(ged_.shut_down());
+  EXPECT_EQ(ok_count.load() + retry_count.load(), kRacers);
+  // Registrations that won the race are still visible; losers left nothing
+  // half-registered behind.
+  for (int i = 0; i < kRacers; ++i) {
+    const std::string name = "racer" + std::to_string(i);
+    if (!ged_.IsRegistered(name)) {
+      EXPECT_TRUE(ged_.RegisterRemoteApplication(name).IsRetryLater());
+    }
+  }
+}
+
+TEST_F(GedTest, WaitBusBelowReportsBacklogAndUnblocksOnShutdown) {
+  // An idle bus satisfies any depth bound immediately.
+  EXPECT_TRUE(ged_.WaitBusBelow(1, std::chrono::milliseconds(100)));
+
+  // After Shutdown the wait must not hang; it reports the (empty) bus.
+  ged_.Shutdown();
+  EXPECT_TRUE(ged_.WaitBusBelow(1, std::chrono::milliseconds(100)));
 }
 
 }  // namespace

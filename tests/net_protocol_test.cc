@@ -1,0 +1,303 @@
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "detector/event_types.h"
+#include "oodb/value.h"
+
+namespace sentinel::net {
+namespace {
+
+using detector::EventModifier;
+using detector::ParamContext;
+
+// Feeds a complete wire frame and expects exactly one frame out.
+FrameAssembler::Frame FeedOne(FrameAssembler* assembler,
+                              const std::string& wire) {
+  assembler->Feed(wire.data(), wire.size());
+  FrameAssembler::Frame frame;
+  auto ready = assembler->Next(&frame);
+  EXPECT_TRUE(ready.ok()) << ready.status().ToString();
+  EXPECT_TRUE(ready.ok() && *ready) << "frame not complete";
+  return frame;
+}
+
+detector::PrimitiveOccurrence MakeOccurrence() {
+  detector::PrimitiveOccurrence occ;
+  occ.event_name = "submitted";
+  occ.class_name = "Order";
+  occ.oid = 7;
+  occ.modifier = EventModifier::kBegin;
+  occ.method_signature = "void submit(int)";
+  occ.at = 42;
+  occ.at_ms = 1234;
+  occ.txn = 9;
+  auto params = std::make_shared<detector::ParamList>();
+  params->Insert("v", oodb::Value::Int(17));
+  params->Insert("who", oodb::Value::String("alice"));
+  occ.params = params;
+  return occ;
+}
+
+TEST(NetProtocol, HelloRoundtrip) {
+  HelloMsg msg;
+  msg.seq = 3;
+  msg.app_name = "inventory";
+
+  FrameAssembler assembler;
+  auto frame = FeedOne(&assembler, msg.Encode());
+  EXPECT_EQ(frame.type, MessageType::kHello);
+  BytesReader reader(frame.body);
+  auto decoded = HelloMsg::Decode(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->seq, 3u);
+  EXPECT_EQ(decoded->app_name, "inventory");
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(NetProtocol, StatusReplyRoundtrip) {
+  StatusReplyMsg msg;
+  msg.seq = 0;  // unsolicited shed notice
+  msg.code = WireCode::kRetryLater;
+  msg.retry_after_ms = 75;
+  msg.message = "admission queue full";
+
+  FrameAssembler assembler;
+  auto frame = FeedOne(&assembler, msg.Encode());
+  EXPECT_EQ(frame.type, MessageType::kStatusReply);
+  BytesReader reader(frame.body);
+  auto decoded = StatusReplyMsg::Decode(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->seq, 0u);
+  EXPECT_EQ(decoded->code, WireCode::kRetryLater);
+  EXPECT_EQ(decoded->retry_after_ms, 75u);
+  EXPECT_EQ(decoded->message, "admission queue full");
+}
+
+TEST(NetProtocol, DefinePrimitiveRoundtrip) {
+  DefinePrimitiveMsg msg;
+  msg.seq = 11;
+  msg.name = "g_submit";
+  msg.app_name = "inventory";
+  msg.class_name = "Order";
+  msg.modifier = EventModifier::kBegin;
+  msg.method_signature = "void submit(int)";
+
+  FrameAssembler assembler;
+  auto frame = FeedOne(&assembler, msg.Encode());
+  EXPECT_EQ(frame.type, MessageType::kDefinePrimitive);
+  BytesReader reader(frame.body);
+  auto decoded = DefinePrimitiveMsg::Decode(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->seq, 11u);
+  EXPECT_EQ(decoded->name, "g_submit");
+  EXPECT_EQ(decoded->app_name, "inventory");
+  EXPECT_EQ(decoded->class_name, "Order");
+  EXPECT_EQ(decoded->modifier, EventModifier::kBegin);
+  EXPECT_EQ(decoded->method_signature, "void submit(int)");
+}
+
+TEST(NetProtocol, SubscribeAndByeRoundtrip) {
+  SubscribeMsg sub;
+  sub.seq = 4;
+  sub.event = "g_submit";
+  sub.context = ParamContext::kCumulative;
+
+  FrameAssembler assembler;
+  auto frame = FeedOne(&assembler, sub.Encode());
+  EXPECT_EQ(frame.type, MessageType::kSubscribe);
+  BytesReader sub_reader(frame.body);
+  auto sub_decoded = SubscribeMsg::Decode(&sub_reader);
+  ASSERT_TRUE(sub_decoded.ok());
+  EXPECT_EQ(sub_decoded->event, "g_submit");
+  EXPECT_EQ(sub_decoded->context, ParamContext::kCumulative);
+
+  ByeMsg bye;
+  bye.reason = "slow consumer";
+  frame = FeedOne(&assembler, bye.Encode());
+  EXPECT_EQ(frame.type, MessageType::kBye);
+  BytesReader bye_reader(frame.body);
+  auto bye_decoded = ByeMsg::Decode(&bye_reader);
+  ASSERT_TRUE(bye_decoded.ok());
+  EXPECT_EQ(bye_decoded->reason, "slow consumer");
+}
+
+TEST(NetProtocol, OccurrenceRoundtrip) {
+  const detector::PrimitiveOccurrence occ = MakeOccurrence();
+  BytesWriter writer;
+  EncodeOccurrence(occ, &writer);
+
+  FrameAssembler assembler;
+  auto frame = FeedOne(&assembler, EncodeFrame(MessageType::kNotify, writer));
+  EXPECT_EQ(frame.type, MessageType::kNotify);
+  BytesReader reader(frame.body);
+  auto decoded = DecodeOccurrence(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->event_name, "submitted");
+  EXPECT_EQ(decoded->class_name, "Order");
+  EXPECT_EQ(decoded->oid, 7u);
+  EXPECT_EQ(decoded->modifier, EventModifier::kBegin);
+  EXPECT_EQ(decoded->method_signature, "void submit(int)");
+  EXPECT_EQ(decoded->at, 42u);
+  EXPECT_EQ(decoded->at_ms, 1234u);
+  EXPECT_EQ(decoded->txn, 9u);
+  ASSERT_TRUE(decoded->params != nullptr);
+  auto v = decoded->params->Get("v");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 17);
+  auto who = decoded->params->Get("who");
+  ASSERT_TRUE(who.ok());
+  EXPECT_EQ(who->AsString(), "alice");
+}
+
+TEST(NetProtocol, EventPushRoundtrip) {
+  EventPushMsg msg;
+  msg.event = "g_pair";
+  msg.occurrence.event_name = "g_pair";
+  msg.occurrence.t_start = 10;
+  msg.occurrence.t_end = 20;
+  msg.occurrence.at_ms = 555;
+  msg.occurrence.txn = 3;
+  msg.occurrence.constituents.push_back(
+      std::make_shared<detector::PrimitiveOccurrence>(MakeOccurrence()));
+  auto second = MakeOccurrence();
+  second.event_name = "shipped";
+  second.params = nullptr;  // constituents without parameters survive, too
+  msg.occurrence.constituents.push_back(
+      std::make_shared<detector::PrimitiveOccurrence>(second));
+
+  FrameAssembler assembler;
+  auto frame = FeedOne(&assembler, msg.Encode());
+  EXPECT_EQ(frame.type, MessageType::kEventPush);
+  BytesReader reader(frame.body);
+  auto decoded = EventPushMsg::Decode(&reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->event, "g_pair");
+  EXPECT_EQ(decoded->occurrence.t_start, 10u);
+  EXPECT_EQ(decoded->occurrence.t_end, 20u);
+  ASSERT_EQ(decoded->occurrence.constituents.size(), 2u);
+  EXPECT_EQ(decoded->occurrence.constituents[1]->event_name, "shipped");
+  // The parameter lookup path works across decoded constituents.
+  auto v = decoded->occurrence.Param("v");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 17);
+}
+
+TEST(NetProtocol, EmptyBodyPingPong) {
+  FrameAssembler assembler;
+  auto ping = FeedOne(&assembler, EncodeFrame(MessageType::kPing));
+  EXPECT_EQ(ping.type, MessageType::kPing);
+  EXPECT_TRUE(ping.body.empty());
+  auto pong = FeedOne(&assembler, EncodeFrame(MessageType::kPong));
+  EXPECT_EQ(pong.type, MessageType::kPong);
+}
+
+TEST(NetProtocol, IncrementalByteByByteReassembly) {
+  HelloMsg first;
+  first.seq = 1;
+  first.app_name = "a";
+  ByeMsg second;
+  second.reason = "done";
+  const std::string wire = first.Encode() + second.Encode();
+
+  FrameAssembler assembler;
+  std::vector<FrameAssembler::Frame> frames;
+  for (char byte : wire) {
+    assembler.Feed(&byte, 1);
+    FrameAssembler::Frame frame;
+    auto ready = assembler.Next(&frame);
+    ASSERT_TRUE(ready.ok()) << ready.status().ToString();
+    if (*ready) frames.push_back(std::move(frame));
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, MessageType::kHello);
+  EXPECT_EQ(frames[1].type, MessageType::kBye);
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(NetProtocol, TruncatedFrameWaitsForMoreBytes) {
+  HelloMsg msg;
+  msg.seq = 2;
+  msg.app_name = "truncated";
+  const std::string wire = msg.Encode();
+
+  FrameAssembler assembler;
+  assembler.Feed(wire.data(), wire.size() - 1);
+  FrameAssembler::Frame frame;
+  auto ready = assembler.Next(&frame);
+  ASSERT_TRUE(ready.ok());
+  EXPECT_FALSE(*ready);
+  EXPECT_GT(assembler.buffered(), 0u);
+
+  assembler.Feed(wire.data() + wire.size() - 1, 1);
+  ready = assembler.Next(&frame);
+  ASSERT_TRUE(ready.ok());
+  EXPECT_TRUE(*ready);
+  EXPECT_EQ(frame.type, MessageType::kHello);
+}
+
+TEST(NetProtocol, CrcCorruptionPoisonsTheStream) {
+  HelloMsg msg;
+  msg.seq = 5;
+  msg.app_name = "victim";
+  std::string wire = msg.Encode();
+  wire[kFrameHeaderBytes] ^= 0x01;  // flip one body bit
+
+  FrameAssembler assembler;
+  assembler.Feed(wire.data(), wire.size());
+  FrameAssembler::Frame frame;
+  auto ready = assembler.Next(&frame);
+  EXPECT_FALSE(ready.ok());
+
+  // Poisoning is sticky: even a pristine follow-up frame is refused.
+  const std::string good = HelloMsg{6, "fresh"}.Encode();
+  assembler.Feed(good.data(), good.size());
+  ready = assembler.Next(&frame);
+  EXPECT_FALSE(ready.ok());
+}
+
+TEST(NetProtocol, BadMagicRejected) {
+  std::string garbage(kFrameHeaderBytes + 4, '\xAA');
+  FrameAssembler assembler;
+  assembler.Feed(garbage.data(), garbage.size());
+  FrameAssembler::Frame frame;
+  auto ready = assembler.Next(&frame);
+  EXPECT_FALSE(ready.ok());
+}
+
+TEST(NetProtocol, OversizedFrameRejectedBeforeBuffering) {
+  HelloMsg msg;
+  msg.seq = 1;
+  msg.app_name = std::string(256, 'x');
+  const std::string wire = msg.Encode();
+
+  FrameAssembler small(/*max_frame_bytes=*/64);
+  small.Feed(wire.data(), kFrameHeaderBytes);  // header alone condemns it
+  FrameAssembler::Frame frame;
+  auto ready = small.Next(&frame);
+  EXPECT_FALSE(ready.ok());
+}
+
+TEST(NetProtocol, HeaderParseValidates) {
+  const std::string wire = EncodeFrame(MessageType::kPing);
+  auto header = FrameHeader::Parse(
+      reinterpret_cast<const std::uint8_t*>(wire.data()),
+      kDefaultMaxFrameBytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->type, MessageType::kPing);
+  EXPECT_EQ(header->body_len, 0u);
+
+  std::string bad = wire;
+  bad[4] = 99;  // unsupported version byte
+  auto refused = FrameHeader::Parse(
+      reinterpret_cast<const std::uint8_t*>(bad.data()), kDefaultMaxFrameBytes);
+  EXPECT_FALSE(refused.ok());
+}
+
+}  // namespace
+}  // namespace sentinel::net

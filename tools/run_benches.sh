@@ -57,6 +57,7 @@ run bench_primitive_events 'BM_Notify.*' "${tmpdir}/primitive.json"
 run bench_threading 'BM_NotifyConcurrent.*' "${tmpdir}/threading.json"
 run bench_span_overhead 'BM_Span.*' "${tmpdir}/span.json"
 run bench_monitor_overhead 'BM_Monitor.*' "${tmpdir}/monitor.json"
+run bench_net_throughput 'BM_Net.*' "${tmpdir}/net.json"
 
 BASELINE="$(dirname "$0")/bench_baseline.json"
 
@@ -189,6 +190,52 @@ if strict and failures:
     sys.exit(1)
 PY
 
+# Network-plane artifact: frame codec cost, loopback notify→push round-trip,
+# and streamed throughput. Socket timings are machine-dependent, so this
+# artifact is informational — it never joins bench_baseline.json, and strict
+# mode only fails if the benchmark itself failed to run (caught above by
+# `set -e`) or reported an error.
+NET_OUT="$(dirname "${OUT}")/BENCH_net.json"
+python3 - "${tmpdir}/net.json" "${NET_OUT}" <<'PY'
+import json
+import os
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+out = {
+    "description": (
+        "Networked GED event bus: frame codec, notify->push round-trip "
+        "over loopback TCP, and streamed batch throughput with the "
+        "admission/backpressure pipeline engaged. Machine-dependent; not "
+        "baseline-gated."
+    ),
+    "context": doc.get("context", {}),
+    "benchmarks": doc.get("benchmarks", []),
+}
+errors = [b["name"] for b in out["benchmarks"] if b.get("error_occurred")]
+for bench in out["benchmarks"]:
+    if bench.get("run_type") == "aggregate":
+        continue
+    name = bench["name"]
+    t = bench.get("real_time")
+    unit = bench.get("time_unit", "ns")
+    ips = bench.get("items_per_second")
+    line = f"  {name:55s} {t:10.1f} {unit}"
+    if ips:
+        line += f"   {ips / 1e3:10.1f} K items/s"
+    print(line)
+with open(sys.argv[2], "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+strict = os.environ.get("SENTINEL_BENCH_STRICT") == "1"
+for name in errors:
+    print(f"{'ERROR' if strict else 'WARNING'}: {name} failed to run")
+if strict and errors:
+    sys.exit(1)
+PY
+
 echo "wrote ${OUT}"
 echo "wrote ${MONITOR_OUT}"
+echo "wrote ${NET_OUT}"
 echo "metrics snapshots (if any) in ${METRICS_DIR}/"

@@ -16,6 +16,7 @@
 // Built-in rule functions available to specs: condition `true`; actions
 // `print` (dump the triggering occurrence) and `none`.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -26,6 +27,9 @@
 #include "common/failpoint.h"
 #include "core/active_database.h"
 #include "debug/rule_debugger.h"
+#include "ged/global_detector.h"
+#include "net/event_bus_server.h"
+#include "net/remote_client.h"
 #include "preproc/compiler.h"
 
 namespace {
@@ -43,6 +47,13 @@ struct Shell {
   sentinel::debug::RuleDebugger debugger;
   sentinel::storage::TxnId txn = sentinel::storage::kInvalidTxnId;
   bool open = false;
+
+  // GED event-bus plane (`ged serve` / `ged connect`). Declaration order
+  // matters: the client must die before the server, the server before the
+  // detector it feeds.
+  std::unique_ptr<sentinel::ged::GlobalEventDetector> ged;
+  std::unique_ptr<sentinel::net::EventBusServer> bus;
+  std::unique_ptr<sentinel::net::RemoteGedClient> remote;
 
   Shell() {
     functions.RegisterAction("print", [](const RuleContext& ctx) {
@@ -118,6 +129,16 @@ void PrintHelp() {
   failpoint list                     show armed failpoints
   failpoint set <name> <spec>        arm one, e.g.: failpoint set wal.append error(hit=2)
   failpoint clear [<name>]           disarm one (or all)
+  ged serve [<port>]       run a GED event-bus daemon (default 9475; 0 = ephemeral)
+  ged connect <port> <app> join a remote GED as application <app>
+  ged define <event> <class> <begin|end> <signature...>
+                           declare a global primitive mirroring <app>'s events
+  ged subscribe <event> [recent|chronicle|continuous|cumulative]
+                           stream detections of a global event to this shell
+  ged notify <class> <oid> <begin|end> <signature...> [| k=v ...]
+                           send one occurrence to the remote GED
+  ged stats                daemon/client counters (JSON)
+  ged stop                 tear the daemon/client down
   help | quit
 )");
 }
@@ -176,6 +197,137 @@ int Run() {
       } else {
         std::printf("usage: failpoint list | set <name> <spec> | clear "
                     "[<name>]\n");
+      }
+    } else if (cmd == "ged") {
+      // Networked GED plane: works with or without a database open.
+      const std::string sub = words.size() >= 2 ? words[1] : "";
+      if (sub == "serve") {
+        const int port =
+            words.size() >= 3
+                ? static_cast<int>(std::strtol(words[2].c_str(), nullptr, 10))
+                : 9475;
+        if (shell.bus != nullptr) {
+          std::printf("error: daemon already running on port %d\n",
+                      shell.bus->port());
+          continue;
+        }
+        if (shell.ged == nullptr) {
+          shell.ged = std::make_unique<sentinel::ged::GlobalEventDetector>();
+        }
+        shell.bus =
+            std::make_unique<sentinel::net::EventBusServer>(shell.ged.get());
+        sentinel::net::EventBusServer::Options options;
+        options.port = port;
+        st = shell.bus->Start(options);
+        if (st.ok()) {
+          if (shell.open) shell.db.AttachEventBusServer(shell.bus.get());
+          std::printf("GED event bus listening on 127.0.0.1:%d\n",
+                      shell.bus->port());
+        } else {
+          shell.bus.reset();
+        }
+      } else if (sub == "connect" && words.size() >= 4) {
+        sentinel::net::RemoteGedClient::Options options;
+        options.port =
+            static_cast<int>(std::strtol(words[2].c_str(), nullptr, 10));
+        options.app_name = words[3];
+        shell.remote =
+            std::make_unique<sentinel::net::RemoteGedClient>(options);
+        st = shell.remote->Start();
+        if (st.ok() &&
+            shell.remote->WaitConnected(std::chrono::milliseconds(3000))) {
+          if (shell.open) shell.db.AttachRemoteGedClient(shell.remote.get());
+          std::printf("connected to 127.0.0.1:%d as '%s'\n", options.port,
+                      options.app_name.c_str());
+        } else if (st.ok()) {
+          std::printf("dialing 127.0.0.1:%d in the background (%s)\n",
+                      options.port, shell.remote->last_error().c_str());
+        } else {
+          shell.remote.reset();
+        }
+      } else if (sub == "define" && words.size() >= 6 &&
+                 shell.remote != nullptr) {
+        // ged define <event> <class> <begin|end> <signature...>
+        const EventModifier modifier = words[4] == "begin"
+                                           ? EventModifier::kBegin
+                                           : EventModifier::kEnd;
+        std::string signature;
+        for (std::size_t i = 5; i < words.size(); ++i) {
+          if (!signature.empty()) signature += " ";
+          signature += words[i];
+        }
+        st = shell.remote->DefineGlobalPrimitive(words[2], words[3], modifier,
+                                                 signature);
+      } else if (sub == "subscribe" && words.size() >= 3 &&
+                 shell.remote != nullptr) {
+        sentinel::detector::ParamContext context =
+            sentinel::detector::ParamContext::kRecent;
+        if (words.size() >= 4) {
+          if (words[3] == "chronicle") {
+            context = sentinel::detector::ParamContext::kChronicle;
+          } else if (words[3] == "continuous") {
+            context = sentinel::detector::ParamContext::kContinuous;
+          } else if (words[3] == "cumulative") {
+            context = sentinel::detector::ParamContext::kCumulative;
+          }
+        }
+        st = shell.remote->Subscribe(
+            words[2], context,
+            [](const std::string& event,
+               const sentinel::detector::Occurrence& occurrence) {
+              std::printf("  [ged] %s detected:", event.c_str());
+              for (const auto& constituent : occurrence.constituents) {
+                if (constituent->params == nullptr) continue;
+                for (const auto& [name, value] : *constituent->params) {
+                  std::printf(" %s=%s", name.c_str(),
+                              value.ToString().c_str());
+                }
+              }
+              std::printf("\n");
+            });
+      } else if (sub == "notify" && words.size() >= 6 &&
+                 shell.remote != nullptr) {
+        // ged notify <class> <oid> <begin|end> <signature...> [| k=v ...]
+        const auto oid = static_cast<sentinel::oodb::Oid>(
+            std::strtoull(words[3].c_str(), nullptr, 10));
+        const EventModifier modifier = words[4] == "begin"
+                                           ? EventModifier::kBegin
+                                           : EventModifier::kEnd;
+        std::string signature;
+        std::size_t i = 5;
+        for (; i < words.size() && words[i] != "|"; ++i) {
+          if (!signature.empty()) signature += " ";
+          signature += words[i];
+        }
+        st = shell.remote->NotifyMethod(words[2], oid, modifier, signature,
+                                        ParseParams(words, i + 1), shell.txn);
+      } else if (sub == "stats") {
+        if (shell.bus != nullptr) {
+          std::printf("server %s\n", shell.bus->StatsJson().c_str());
+        }
+        if (shell.remote != nullptr) {
+          std::printf("client %s\n", shell.remote->StatsJson().c_str());
+        }
+        if (shell.bus == nullptr && shell.remote == nullptr) {
+          std::printf("  (no daemon or client running)\n");
+        }
+      } else if (sub == "stop") {
+        if (shell.open) {
+          shell.db.AttachRemoteGedClient(nullptr);
+          shell.db.AttachEventBusServer(nullptr);
+        }
+        shell.remote.reset();
+        shell.bus.reset();
+        if (shell.ged != nullptr) shell.ged->Shutdown();
+        shell.ged.reset();
+        std::printf("GED plane stopped\n");
+      } else if (shell.remote == nullptr &&
+                 (sub == "define" || sub == "subscribe" || sub == "notify")) {
+        std::printf("error: not connected (use 'ged connect <port> <app>')\n");
+      } else {
+        std::printf(
+            "usage: ged serve [<port>] | connect <port> <app> | define ... | "
+            "subscribe ... | notify ... | stats | stop\n");
       }
     } else if (!shell.open) {
       std::printf("error: no database open (use 'open <path>' or 'memory')\n");
