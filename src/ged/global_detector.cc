@@ -12,6 +12,11 @@ std::string Namespaced(const std::string& app, const std::string& class_name) {
 }
 }  // namespace
 
+std::string GlobalEventDetector::NamespacedClass(
+    const std::string& app_name, const std::string& class_name) {
+  return Namespaced(app_name, class_name);
+}
+
 /// Sink that re-raises a global detection inside a target application as an
 /// explicit event (the "to execute detached rule" arrow in Fig. 2).
 class GlobalEventDetector::Forwarder : public detector::EventSink {

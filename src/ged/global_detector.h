@@ -79,6 +79,12 @@ class GlobalEventDetector {
   Status InjectRemote(const std::string& app_name,
                       const detector::PrimitiveOccurrence& occurrence);
 
+  /// The "app::class" namespacing applied to every global primitive's class
+  /// name. Exposed so transports can compare an existing node's stored spec
+  /// (which embeds the owning app) against a re-declaration.
+  static std::string NamespacedClass(const std::string& app_name,
+                                     const std::string& class_name);
+
   /// Declares a global primitive event mirroring `app_name`'s primitive
   /// (class, modifier, method) specification.
   Result<detector::EventNode*> DefineGlobalPrimitive(

@@ -7,6 +7,7 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "detector/event_node.h"
 #include "obs/json.h"
 
 namespace sentinel::net {
@@ -230,7 +231,10 @@ void EventBusServer::AcceptPending() {
       reply.message = "session limit reached";
       const std::string frame = reply.Encode();
       (void)SendSome(fd, frame.data(), frame.size(), "net.server.write");
-      CloseQuietly(fd);
+      // The client's HELLO may already sit unread in our receive buffer; a
+      // plain close() would RST and discard the verdict before the client
+      // reads it. Half-close and drain briefly instead.
+      ShutdownDrainClose(fd);
       continue;
     }
     SetNonBlocking(fd);
@@ -336,11 +340,27 @@ void EventBusServer::HandleFrame(const std::shared_ptr<Session>& session,
         return;
       }
       // Idempotent re-declaration: a reconnecting client replays its
-      // definition journal, and the graph keeps nodes across sessions —
-      // an existing node with this name is accepted as-is (the spec is
-      // not re-checked; DESIGN.md §12 documents the contract).
-      if (ged_->graph()->Exists(msg->name)) {
-        Reply(session, msg->seq, WireCode::kOk, 0, "");
+      // definition journal, and the graph keeps nodes across sessions — an
+      // existing node is accepted only when its stored spec matches the
+      // request exactly. The stored class name embeds the owning app
+      // ("app::class"), so a mismatch also catches one client trying to
+      // alias another application's primitive (DESIGN.md §12).
+      if (auto existing = ged_->graph()->Find(msg->name); existing.ok()) {
+        const auto* prim =
+            dynamic_cast<const detector::PrimitiveEventNode*>(*existing);
+        const bool same_spec =
+            prim != nullptr &&
+            prim->class_name() == ged::GlobalEventDetector::NamespacedClass(
+                                      msg->app_name, msg->class_name) &&
+            prim->modifier() == msg->modifier &&
+            prim->method_signature() == msg->method_signature;
+        if (same_spec) {
+          Reply(session, msg->seq, WireCode::kOk, 0, "");
+        } else {
+          Reply(session, msg->seq, WireCode::kError, 0,
+                "event already defined with a different specification: " +
+                    msg->name);
+        }
         return;
       }
       auto node = ged_->DefineGlobalPrimitive(msg->name, msg->app_name,

@@ -113,22 +113,38 @@ Status RemoteGedClient::Subscribe(const std::string& event,
   SubscribeMsg msg;
   msg.event = event;
   msg.context = context;
+  PushHandler previous;
+  bool had_previous = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!started_ || stop_) return Status::IOError("client not running");
     msg.seq = next_seq_++;
     pending_[msg.seq] = Pending{};
+    // Install the handler before the frame goes out: the server activates
+    // the subscription before its ack reaches us, so a push racing the ack
+    // must already find a handler or it is silently dropped.
+    auto it = handlers_.find(event);
+    if (it != handlers_.end()) {
+      had_previous = true;
+      previous = it->second;
+    }
+    handlers_[event] = std::move(handler);
     EnqueueControlLocked(msg.Encode());
   }
   wake_.Signal();
   Status st = AwaitReply(msg.seq);
-  if (st.ok()) {
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    handlers_[event] = std::move(handler);
-    JournalEntry entry;
-    entry.kind = JournalEntry::Kind::kSubscribe;
-    entry.subscribe = msg;
-    journal_.push_back(std::move(entry));
+    if (st.ok()) {
+      JournalEntry entry;
+      entry.kind = JournalEntry::Kind::kSubscribe;
+      entry.subscribe = msg;
+      journal_.push_back(std::move(entry));
+    } else if (had_previous) {
+      handlers_[event] = std::move(previous);
+    } else {
+      handlers_.erase(event);
+    }
   }
   return st;
 }
@@ -235,6 +251,16 @@ std::string RemoteGedClient::StreamLoop(int fd) {
     wire = hello.Encode();
   }
   for (;;) {
+    // Compact the flushed prefix *before* staging: under sustained traffic
+    // the queues are never empty, so waiting for a full drain would let the
+    // prefix — every byte ever sent — accumulate without bound.
+    if (wire_off == wire.size()) {
+      wire.clear();
+      wire_off = 0;
+    } else if (wire_off >= 64 * 1024) {
+      wire.erase(0, wire_off);
+      wire_off = 0;
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stop_) return "client stopping";
@@ -253,10 +279,6 @@ std::string RemoteGedClient::StreamLoop(int fd) {
         } else {
           break;
         }
-      }
-      if (wire_off > 0 && wire_off == wire.size()) {
-        wire.clear();
-        wire_off = 0;
       }
     }
     pollfd pfds[2];
@@ -316,11 +338,15 @@ std::string RemoteGedClient::StreamLoop(int fd) {
               registered = true;
               sessions_established_.fetch_add(1, std::memory_order_relaxed);
               {
+                // connected_ flips under mu_: WaitConnected checks its
+                // predicate with mu_ held, so a store outside the lock could
+                // land between the check and the wait and the notify would
+                // be missed for the full timeout.
                 std::lock_guard<std::mutex> lock(mu_);
                 backoff_attempt_ = 0;
                 ReplayJournalLocked();
+                connected_.store(true, std::memory_order_release);
               }
-              connected_.store(true, std::memory_order_release);
               cv_.notify_all();  // WaitConnected waiters
             } else {
               Status result = Status::OK();

@@ -5,10 +5,12 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <mutex>
 
@@ -128,6 +130,28 @@ void SetNoDelay(int fd) {
 void CloseQuietly(int fd) {
   if (fd < 0) return;
   ::close(fd);  // retrying close on EINTR double-closes on Linux; do not
+}
+
+void ShutdownDrainClose(int fd, int max_wait_ms) {
+  if (fd < 0) return;
+  (void)::shutdown(fd, SHUT_WR);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(max_wait_ms);
+  char buf[512];
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) break;
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) break;  // timeout or poll failure: give up, just close
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got > 0) continue;
+    if (got < 0 && errno == EINTR) continue;
+    break;  // EOF (peer closed after reading the verdict) or error
+  }
+  CloseQuietly(fd);
 }
 
 IoResult RecvSome(int fd, void* buf, std::size_t n, const char* failpoint) {

@@ -46,6 +46,15 @@ void SetNoDelay(int fd);
 /// close(2) with EINTR ignored; tolerates fd < 0.
 void CloseQuietly(int fd);
 
+/// Half-closes the write side (SHUT_WR), then drains inbound bytes for up
+/// to `max_wait_ms` (or until EOF) before closing. Use after writing a
+/// final verdict to a socket whose receive buffer may still hold unread
+/// client bytes: a plain close() there turns into an RST that can discard
+/// the verdict in flight, so the peer sees a bare connection reset instead
+/// of the typed reply. The wait is bounded so an accept/poll loop calling
+/// this cannot be stalled by an unresponsive peer.
+void ShutdownDrainClose(int fd, int max_wait_ms = 50);
+
 /// Outcome of one non-blocking I/O attempt.
 struct IoResult {
   enum class Kind : std::uint8_t {

@@ -245,6 +245,40 @@ TEST_F(NetBusTest, DefineAndSubscribeAreIdempotent) {
   client.Stop();
 }
 
+TEST_F(NetBusTest, DefineRejectsSpecMismatchAndCrossAppAliasing) {
+  ASSERT_TRUE(StartServer().ok());
+  RemoteGedClient client(ClientOptions("appA"));
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.WaitConnected(std::chrono::milliseconds(5000)));
+
+  ASSERT_TRUE(client
+                  .DefineGlobalPrimitive("g_submit", "Order",
+                                         EventModifier::kEnd, "void submit()")
+                  .ok());
+  EXPECT_FALSE(client
+                   .DefineGlobalPrimitive("g_submit", "Order",
+                                          EventModifier::kBegin,
+                                          "void submit()")
+                   .ok())
+      << "re-declaring with a different modifier must be refused";
+  EXPECT_FALSE(client
+                   .DefineGlobalPrimitive("g_submit", "Order",
+                                          EventModifier::kEnd, "void cancel()")
+                   .ok())
+      << "re-declaring with a different method signature must be refused";
+
+  RemoteGedClient other(ClientOptions("appB"));
+  ASSERT_TRUE(other.Start().ok());
+  ASSERT_TRUE(other.WaitConnected(std::chrono::milliseconds(5000)));
+  EXPECT_FALSE(other
+                   .DefineGlobalPrimitive("g_submit", "Order",
+                                          EventModifier::kEnd, "void submit()")
+                   .ok())
+      << "another application must not silently alias the primitive";
+  other.Stop();
+  client.Stop();
+}
+
 TEST_F(NetBusTest, SessionLimitRejectsWithRetryLater) {
   EventBusServer::Options opts;
   opts.max_sessions = 1;
