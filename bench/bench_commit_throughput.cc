@@ -1,0 +1,129 @@
+// Commit-path throughput: per-commit-fsync baseline vs WAL group commit vs
+// async commit, across 1..8 committer threads. Each iteration is one full
+// short transaction (Begin, 64-byte Insert, Commit). The benchmark library
+// reports per-thread-normalized rates for ->Threads(n) runs, so the
+// aggregate commits/sec is items_per_second * threads (tools/run_benches.sh
+// annotates this into BENCH_commit.json and gates the group/async speedup
+// vs the per-fsync baseline at 8 threads).
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/storage_engine.h"
+
+namespace sentinel::bench {
+namespace {
+
+using storage::CommitDurability;
+using storage::StorageEngine;
+
+struct CommitEnv {
+  std::string prefix;
+  std::unique_ptr<StorageEngine> engine;
+  storage::PageId file = 0;
+  std::vector<std::uint8_t> record;
+};
+
+CommitEnv* g_env = nullptr;
+
+void CleanupFiles(const std::string& prefix) {
+  std::remove((prefix + ".db").c_str());
+  std::remove((prefix + ".wal").c_str());
+}
+
+void SetupEnv(bool group_commit) {
+  auto env = std::make_unique<CommitEnv>();
+  env->prefix = (std::filesystem::temp_directory_path() /
+                 ("sentinel_bench_commit_" + std::to_string(::getpid())))
+                    .string();
+  CleanupFiles(env->prefix);
+  StorageEngine::Options options;
+  options.wal_options.group_commit = group_commit;
+  env->engine = std::make_unique<StorageEngine>();
+  if (!env->engine->Open(env->prefix, options).ok()) std::abort();
+  auto file = env->engine->CreateHeapFile();
+  if (!file.ok()) std::abort();
+  env->file = *file;
+  env->record.assign(64, 0xAB);
+  g_env = env.release();
+}
+
+void SetupPerFsync(const benchmark::State&) { SetupEnv(false); }
+void SetupGroup(const benchmark::State&) { SetupEnv(true); }
+
+void TeardownEnv(const benchmark::State&) {
+  // Drain any async-acknowledged commits so every configuration pays for
+  // full durability of its work inside the same process lifetime.
+  (void)g_env->engine->WaitWalDurable();
+  (void)g_env->engine->Close();
+  CleanupFiles(g_env->prefix);
+  delete g_env;
+  g_env = nullptr;
+}
+
+void CommitLoop(benchmark::State& state, CommitDurability durability) {
+  StorageEngine& engine = *g_env->engine;
+  for (auto _ : state) {
+    auto txn = engine.Begin();
+    if (!txn.ok()) {
+      state.SkipWithError("Begin failed");
+      break;
+    }
+    (void)engine.Insert(*txn, g_env->file, g_env->record);
+    if (!engine.Commit(*txn, durability).ok()) {
+      state.SkipWithError("Commit failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Seed behaviour: every commit record pays its own fsync inline.
+void BM_CommitPerFsync(benchmark::State& state) {
+  CommitLoop(state, CommitDurability::kSync);
+}
+BENCHMARK(BM_CommitPerFsync)
+    ->Setup(SetupPerFsync)
+    ->Teardown(TeardownEnv)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Group commit: committers block on the durability watermark while one
+// group-commit thread coalesces concurrent commits into a single fsync.
+void BM_CommitGroup(benchmark::State& state) {
+  CommitLoop(state, CommitDurability::kSync);
+}
+BENCHMARK(BM_CommitGroup)
+    ->Setup(SetupGroup)
+    ->Teardown(TeardownEnv)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Async commit: acknowledged on WAL-buffer write; the group-commit thread
+// advances the durable watermark behind the acks (drained in Teardown).
+void BM_CommitAsync(benchmark::State& state) {
+  CommitLoop(state, CommitDurability::kAsync);
+}
+BENCHMARK(BM_CommitAsync)
+    ->Setup(SetupGroup)
+    ->Teardown(TeardownEnv)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace sentinel::bench

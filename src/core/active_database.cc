@@ -210,8 +210,14 @@ Status ActiveDatabase::Commit(storage::TxnId txn) {
   auto params = common::MakePooled<detector::ParamList>();
   params->Insert("txn", oodb::Value::Int(static_cast<std::int64_t>(txn)));
   // pre_commit is signalled before the commit (§2.3): deferred rules (A*
-  // terminator) execute here, inside the transaction.
-  SENTINEL_RETURN_NOT_OK(detector_->RaiseExplicit(kPreCommitEvent, params, txn));
+  // terminator) execute here, inside the transaction. The batch scope hands
+  // every deferred firing the raise produces to the scheduler in one bulk
+  // enqueue (one lock acquisition) before Drain runs them.
+  {
+    rules::RuleScheduler::BatchScope batch(scheduler_.get());
+    SENTINEL_RETURN_NOT_OK(
+        detector_->RaiseExplicit(kPreCommitEvent, params, txn));
+  }
   scheduler_->Drain();
 
   if (db_ != nullptr) SENTINEL_RETURN_NOT_OK(db_->Commit(txn));
@@ -241,6 +247,21 @@ Status ActiveDatabase::Abort(storage::TxnId txn) {
   anchor.End();
   span_tracer_.EndTxnSpan(txn);
   return st;
+}
+
+void ActiveDatabase::set_commit_durability(
+    storage::CommitDurability durability) {
+  if (db_ != nullptr) db_->engine()->set_commit_durability(durability);
+}
+
+storage::CommitDurability ActiveDatabase::commit_durability() const {
+  if (db_ != nullptr) return db_->engine()->commit_durability();
+  return storage::CommitDurability::kSync;
+}
+
+Status ActiveDatabase::WaitWalDurable() {
+  if (db_ == nullptr) return Status::OK();
+  return db_->engine()->WaitWalDurable();
 }
 
 Result<detector::EventNode*> ActiveDatabase::DeclareEvent(
@@ -345,6 +366,10 @@ std::string ActiveDatabase::StatsJson() const {
     w.Field("sync_count", wal->sync_count());
     w.Field("truncated_bytes", wal->truncated_bytes());
     w.Field("wedged", wal->wedged());
+    w.Field("appended_lsn", wal->appended_lsn());
+    w.Field("durable_lsn", wal->durable_lsn());
+    w.Field("group_commit_waits", wal->group_commit_waits());
+    w.Field("async_commits", wal->async_commits());
     w.Key("fsync_ns").Raw(obs::HistogramJson(wal->fsync_histogram().TakeSnapshot()));
     w.EndObject();
     storage::DiskManager* disk = engine->disk_manager();
@@ -609,6 +634,8 @@ obs::MonitorSample ActiveDatabase::CollectMonitorSample() {
     s.pool_resident = engine->buffer_pool()->resident_count();
     s.pool_dirty = engine->buffer_pool()->dirty_count();
     s.wal_wedged = engine->log_manager()->wedged();
+    s.wal_appended_lsn = engine->log_manager()->appended_lsn();
+    s.wal_durable_lsn = engine->log_manager()->durable_lsn();
     s.wal_fsync = engine->log_manager()->fsync_histogram().TakeSnapshot();
   } else {
     const std::int64_t open = open_txn_gauge_.load(std::memory_order_relaxed);
@@ -806,8 +833,22 @@ std::string ActiveDatabase::PrometheusText() {
               "Bytes of torn tail discarded during WAL recovery.", {},
               wal->truncated_bytes());
     p.Gauge("sentinel_wal_wedged",
-            "1 when the WAL refused further appends after a torn write.", {},
-            wal->wedged() ? 1 : 0);
+            "1 when the WAL refused further appends after a torn write or "
+            "failed fsync barrier.",
+            {}, wal->wedged() ? 1 : 0);
+    p.Gauge("sentinel_wal_durable_lsn",
+            "Highest LSN covered by a completed fsync barrier.", {},
+            wal->durable_lsn());
+    p.Gauge("sentinel_wal_appended_lsn",
+            "Highest LSN fully written to the WAL buffer.", {},
+            wal->appended_lsn());
+    p.Counter("sentinel_wal_group_commit_waits_total",
+              "Commits that waited on (or piggybacked on) a group-commit "
+              "barrier.",
+              {}, wal->group_commit_waits());
+    p.Counter("sentinel_wal_async_commits_total",
+              "Commits acknowledged on WAL-buffer write (async durability).",
+              {}, wal->async_commits());
     p.Histogram("sentinel_wal_fsync_ns", "WAL fsync latency (ns).", {},
                 wal->fsync_histogram().TakeSnapshot());
     storage::DiskManager* disk = engine->disk_manager();

@@ -66,6 +66,18 @@ class ActiveDatabase {
   Status Commit(storage::TxnId txn);
   Status Abort(storage::TxnId txn);
 
+  // -- Commit durability --------------------------------------------------------
+
+  /// Default durability for Commit: kSync blocks until the WAL group-commit
+  /// barrier covers the commit record; kAsync acks on the WAL-buffer write
+  /// and lets the group-commit thread converge the durable watermark behind
+  /// the ack. No-op in in-memory mode.
+  void set_commit_durability(storage::CommitDurability durability);
+  storage::CommitDurability commit_durability() const;
+  /// Blocks until every async-acknowledged commit is on stable storage
+  /// (kSync/in-memory: returns immediately).
+  Status WaitWalDurable();
+
   // -- Event interface ------------------------------------------------------------
 
   /// Declares a class-level primitive event (paper §3.1 `event end(e1) ...`).

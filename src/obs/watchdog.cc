@@ -171,6 +171,18 @@ void Watchdog::Evaluate(const MonitorSample& sample) {
              "wal_fsync_p99: " + std::to_string(p99) + "ns over window");
       }
     }
+    // Durability lag: async commits acknowledged far ahead of the fsync
+    // watermark mean the group-commit thread is not keeping up — every
+    // un-synced ack is exposure to a crash.
+    if (sample.wal_appended_lsn > sample.wal_durable_lsn &&
+        sample.wal_appended_lsn - sample.wal_durable_lsn >
+            options_.max_wal_durability_lag) {
+      trip(HealthState::kDegraded,
+           "wal_durability_lag: durable watermark " +
+               std::to_string(sample.wal_durable_lsn) + " trails appends at " +
+               std::to_string(sample.wal_appended_lsn) + " by more than " +
+               std::to_string(options_.max_wal_durability_lag));
+    }
 
     // Network overload: the event-bus admission queue sits past its
     // high-water mark and is shedding NOTIFY traffic with RETRY_LATER.
@@ -303,6 +315,8 @@ std::string Watchdog::HealthJson() const {
   w.Field("pool_dirty", last.pool_dirty);
   w.Field("detector_buffered", last.detector_buffered);
   w.Field("wal_wedged", last.wal_wedged);
+  w.Field("wal_appended_lsn", last.wal_appended_lsn);
+  w.Field("wal_durable_lsn", last.wal_durable_lsn);
   w.Field("net_sessions", last.net_sessions);
   w.Field("net_admission_depth", last.net_admission_depth);
   w.Field("net_overloaded", last.net_overloaded);

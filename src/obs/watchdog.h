@@ -47,6 +47,10 @@ struct MonitorSample {
   std::uint64_t detector_buffered = 0;  // occurrences buffered in the graph
 
   bool wal_wedged = false;
+  // WAL durability watermarks (group commit): appended - durable is the
+  // async-commit backlog awaiting an fsync barrier.
+  std::uint64_t wal_appended_lsn = 0;
+  std::uint64_t wal_durable_lsn = 0;
 
   // Network plane (event-bus server; all zero when none is attached).
   std::uint64_t net_sessions = 0;         // open remote sessions (gauge)
@@ -98,6 +102,9 @@ class Watchdog {
     std::uint64_t lock_wait_p99_degraded_ns = 250ull * 1000 * 1000;
     std::uint64_t lock_wait_p99_unhealthy_ns = 1500ull * 1000 * 1000;
     std::uint64_t wal_fsync_p99_degraded_ns = 250ull * 1000 * 1000;
+    /// Async-commit backlog (appended_lsn - durable_lsn) above which the
+    /// group-commit thread is considered to be falling behind (degraded).
+    std::uint64_t max_wal_durability_lag = 65536;
     std::uint64_t buffer_growth_min = 4096;
     std::chrono::milliseconds postmortem_min_interval{5000};
   };

@@ -14,6 +14,7 @@ namespace sentinel::rules {
 namespace {
 
 thread_local RuleScheduler::Frame* t_frame = nullptr;
+thread_local RuleScheduler::BatchScope* t_batch_scope = nullptr;
 
 std::uint64_t NowNs() {
   return static_cast<std::uint64_t>(
@@ -66,10 +67,32 @@ RuleScheduler::~RuleScheduler() {
   pool_.reset();
 }
 
+RuleScheduler::BatchScope::BatchScope(RuleScheduler* scheduler)
+    : scheduler_(scheduler), prev_(t_batch_scope) {
+  t_batch_scope = this;
+}
+
+RuleScheduler::BatchScope::~BatchScope() {
+  t_batch_scope = prev_;
+  if (!buffered_.empty()) scheduler_->EnqueueBatch(std::move(buffered_));
+}
+
 void RuleScheduler::Enqueue(Firing firing) {
+  if (t_batch_scope != nullptr && t_batch_scope->scheduler_ == this) {
+    t_batch_scope->buffered_.push_back(std::move(firing));
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   pending_.push_back(std::move(firing));
   pending_count_.store(pending_.size(), std::memory_order_release);
+}
+
+void RuleScheduler::EnqueueBatch(std::vector<Firing> firings) {
+  if (firings.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Firing& firing : firings) pending_.push_back(std::move(firing));
+  pending_count_.store(pending_.size(), std::memory_order_release);
+  batch_enqueues_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void RuleScheduler::EnqueueDetached(Firing firing) {

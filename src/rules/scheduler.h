@@ -86,8 +86,35 @@ class RuleScheduler {
   RuleScheduler(const RuleScheduler&) = delete;
   RuleScheduler& operator=(const RuleScheduler&) = delete;
 
-  /// Queues an immediate/deferred firing.
+  /// Queues an immediate/deferred firing. Inside an active BatchScope on
+  /// this thread the firing is buffered locally and handed over in bulk at
+  /// scope exit.
   void Enqueue(Firing firing);
+
+  /// Queues many firings with a single lock acquisition and one
+  /// pending-count store (vs one of each per Enqueue call).
+  void EnqueueBatch(std::vector<Firing> firings);
+
+  /// RAII batching window: while alive on the current thread, Enqueue()
+  /// calls against this scheduler collect into a thread-local buffer that
+  /// is flushed as one EnqueueBatch when the scope ends. The pre-commit
+  /// hand-off of deferred firings wraps its event raise in one of these so
+  /// N deferred rules reach the queue under one lock acquisition. Scopes
+  /// nest (inner flushes first).
+  class BatchScope {
+   public:
+    explicit BatchScope(RuleScheduler* scheduler);
+    ~BatchScope();
+
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+   private:
+    friend class RuleScheduler;
+    RuleScheduler* scheduler_;
+    BatchScope* prev_;
+    std::vector<Firing> buffered_;
+  };
 
   /// Queues a detached firing: executed asynchronously in its own top-level
   /// transaction by the detached worker.
@@ -121,6 +148,11 @@ class RuleScheduler {
   /// executing on the detached worker.
   std::size_t detached_pending_count() const {
     return detached_count_.load(std::memory_order_acquire);
+  }
+  /// EnqueueBatch calls (BatchScope flushes included) — each one replaced
+  /// buffered.size() individual lock round-trips with one.
+  std::uint64_t batch_enqueues() const {
+    return batch_enqueues_.load(std::memory_order_relaxed);
   }
   std::uint64_t condition_rejections() const { return rejected_; }
   /// Firings whose condition/action threw or whose subtransaction failed.
@@ -209,6 +241,7 @@ class RuleScheduler {
   std::thread detached_worker_;
 
   std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> batch_enqueues_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> abort_top_{0};

@@ -29,11 +29,12 @@ Result<PageId> HeapFile::Create(BufferPool* pool) {
   return id;
 }
 
-Result<Rid> HeapFile::Insert(const std::vector<std::uint8_t>& record) {
+Result<Rid> HeapFile::Insert(const std::vector<std::uint8_t>& record,
+                             PageId start_hint) {
   if (record.size() > SlottedPage::kMaxRecordSize) {
     return Status::InvalidArgument("record exceeds max size");
   }
-  PageId current = head_;
+  PageId current = start_hint != kInvalidPageId ? start_hint : head_;
   for (;;) {
     auto page = pool_->FetchPage(current);
     if (!page.ok()) return page.status();

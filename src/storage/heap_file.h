@@ -33,8 +33,14 @@ class HeapFile {
   PageId head_page_id() const { return head_; }
 
   /// Inserts a record into the first page with room, appending a page to the
-  /// chain when all are full.
-  Result<Rid> Insert(const std::vector<std::uint8_t>& record);
+  /// chain when all are full. `start_hint`, when valid, names a chain page
+  /// to start the first-fit scan from instead of the head — callers that
+  /// remember where their last insert landed (StorageEngine keeps a per-file
+  /// hint) avoid rescanning the full pages before it. Pages before the hint
+  /// are never revisited, so a stale-high hint trades space for speed; pass
+  /// kInvalidPageId for the exact from-the-head first-fit scan.
+  Result<Rid> Insert(const std::vector<std::uint8_t>& record,
+                     PageId start_hint = kInvalidPageId);
 
   /// Inserts into a specific slot (used by recovery redo and abort undo so
   /// that RIDs are preserved exactly).

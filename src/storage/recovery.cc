@@ -12,13 +12,25 @@
 namespace sentinel::storage {
 
 Status RecoveryManager::Recover() {
-  redo_count_ = undo_count_ = loser_count_ = 0;
+  redo_count_ = undo_count_ = loser_count_ = beyond_watermark_count_ = 0;
+
+  // Durability bound: nothing past the fsync watermark participates in
+  // recovery. Open() sets the watermark to the scanned tail, so this is
+  // normally every surviving record; the explicit check keeps async-commit
+  // semantics honest if recovery ever runs against a live log.
+  const Lsn durable = engine_->log_->durable_lsn();
 
   // ---- Pass 1: analysis ----------------------------------------------------
   std::set<TxnId> finished;  // committed or fully aborted
   std::map<TxnId, Lsn> last_lsn;
   std::vector<LogRecord> all;
   SENTINEL_RETURN_NOT_OK(engine_->log_->Scan([&](const LogRecord& rec) {
+    if (rec.lsn > durable) {
+      ++beyond_watermark_count_;
+      SENTINEL_LOG(kWarn) << "recovery: skipping lsn " << rec.lsn
+                          << " beyond durable watermark " << durable;
+      return Status::OK();
+    }
     all.push_back(rec);
     if (rec.txn_id != kInvalidTxnId) {
       last_lsn[rec.txn_id] = rec.lsn;

@@ -17,6 +17,13 @@ class StorageEngine;
 ///      than the page LSN — history is repeated.
 ///   3. Undo: roll back loser transactions newest-first, writing CLRs and a
 ///      final abort record, so recovery is idempotent under repeated crashes.
+///
+/// Recovery is bounded by the WAL's durable watermark: only records with
+/// LSN <= durable_lsn() participate in the passes. After a real crash the
+/// unsynced tail is physically gone (or truncated as torn), so the bound is
+/// normally vacuous — but async commit makes it an explicit contract: an
+/// acknowledged-but-unsynced commit whose record never reached stable
+/// storage is a loser, never a winner.
 class RecoveryManager {
  public:
   explicit RecoveryManager(StorageEngine* engine) : engine_(engine) {}
@@ -28,12 +35,18 @@ class RecoveryManager {
   std::uint64_t redo_count() const { return redo_count_; }
   std::uint64_t undo_count() const { return undo_count_; }
   std::uint64_t loser_count() const { return loser_count_; }
+  /// Log records skipped because their LSN exceeded the durable watermark
+  /// at recovery start (0 after a normal reopen).
+  std::uint64_t beyond_watermark_count() const {
+    return beyond_watermark_count_;
+  }
 
  private:
   StorageEngine* engine_;
   std::uint64_t redo_count_ = 0;
   std::uint64_t undo_count_ = 0;
   std::uint64_t loser_count_ = 0;
+  std::uint64_t beyond_watermark_count_ = 0;
 };
 
 }  // namespace sentinel::storage

@@ -13,11 +13,17 @@ Status StorageEngine::Open(const std::string& path_prefix) {
 
 Status StorageEngine::Open(const std::string& path_prefix,
                            const Options& options) {
+  {
+    std::lock_guard<std::mutex> lock(hint_mu_);
+    insert_hints_.clear();
+  }
   disk_ = std::make_unique<DiskManager>();
   SENTINEL_RETURN_NOT_OK(disk_->Open(path_prefix + ".db"));
   pool_ = std::make_unique<BufferPool>(disk_.get(), options.buffer_pool_pages);
-  log_ = std::make_unique<LogManager>();
+  log_ = std::make_unique<LogManager>(options.wal_options);
   SENTINEL_RETURN_NOT_OK(log_->Open(path_prefix + ".wal"));
+  commit_durability_.store(options.commit_durability,
+                           std::memory_order_relaxed);
   lock_manager_ = std::make_unique<LockManager>(options.lock_options);
 
   auto clean = disk_->GetCleanShutdown();
@@ -51,6 +57,10 @@ Status StorageEngine::Close() {
   pool_.reset();
   log_.reset();
   lock_manager_.reset();
+  {
+    std::lock_guard<std::mutex> lock(hint_mu_);
+    insert_hints_.clear();
+  }
   return Status::OK();
 }
 
@@ -69,6 +79,12 @@ void StorageEngine::SimulateCrash() {
   pool_.reset();
   log_.reset();
   lock_manager_.reset();
+  {
+    // A remembered page id may belong to a different file's chain after the
+    // crash rebuild: drop every hint.
+    std::lock_guard<std::mutex> lock(hint_mu_);
+    insert_hints_.clear();
+  }
 }
 
 Result<TxnId> StorageEngine::Begin() {
@@ -84,6 +100,11 @@ Result<TxnId> StorageEngine::Begin() {
 }
 
 Status StorageEngine::Commit(TxnId txn) {
+  return Commit(txn, commit_durability_.load(std::memory_order_relaxed));
+}
+
+Status StorageEngine::Commit(TxnId txn, CommitDurability durability) {
+  Lsn prev_lsn = kInvalidLsn;
   {
     std::lock_guard<std::mutex> lock(txn_mu_);
     auto it = active_.find(txn);
@@ -91,13 +112,20 @@ Status StorageEngine::Commit(TxnId txn) {
       return Status::InvalidArgument("commit of unknown txn " +
                                      std::to_string(txn));
     }
-    LogRecord rec;
-    rec.txn_id = txn;
-    rec.type = LogRecordType::kCommit;
-    rec.prev_lsn = it->second.last_lsn;
-    auto lsn = log_->Append(std::move(rec));
-    if (!lsn.ok()) return lsn.status();
-    active_.erase(it);
+    prev_lsn = it->second.last_lsn;
+  }
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kCommit;
+  rec.prev_lsn = prev_lsn;
+  // Appended outside txn_mu_: with group commit the call blocks until the
+  // barrier covers this LSN, and holding txn_mu_ across that wait would
+  // serialize every Begin/Commit behind a single fsync.
+  auto lsn = log_->Append(std::move(rec), durability);
+  if (!lsn.ok()) return lsn.status();
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    active_.erase(txn);
   }
   lock_manager_->ReleaseAll(txn);
   return Status::OK();
@@ -112,19 +140,29 @@ Status StorageEngine::Abort(TxnId txn) {
     }
   }
   Status undo = UndoTxn(txn);
+  Lsn prev_lsn = kInvalidLsn;
   {
     std::lock_guard<std::mutex> lock(txn_mu_);
     auto it = active_.find(txn);
-    LogRecord rec;
-    rec.txn_id = txn;
-    rec.type = LogRecordType::kAbort;
-    rec.prev_lsn = it != active_.end() ? it->second.last_lsn : kInvalidLsn;
-    auto lsn = log_->Append(std::move(rec));
-    if (!lsn.ok()) return lsn.status();
-    if (it != active_.end()) active_.erase(it);
+    prev_lsn = it != active_.end() ? it->second.last_lsn : kInvalidLsn;
+  }
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kAbort;
+  rec.prev_lsn = prev_lsn;
+  auto lsn = log_->Append(std::move(rec));
+  if (!lsn.ok()) return lsn.status();
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    active_.erase(txn);
   }
   lock_manager_->ReleaseAll(txn);
   return undo;
+}
+
+Status StorageEngine::WaitWalDurable() {
+  if (log_ == nullptr) return Status::IOError("engine not open");
+  return log_->WaitDurable(log_->appended_lsn());
 }
 
 bool StorageEngine::IsActive(TxnId txn) const {
@@ -141,6 +179,12 @@ Result<PageId> StorageEngine::CreateHeapFile() {
   SENTINEL_RETURN_NOT_OK(pool_->FlushPage(*head));
   SENTINEL_RETURN_NOT_OK(disk_->Sync());
   return head;
+}
+
+PageId StorageEngine::InsertHint(PageId file) const {
+  std::lock_guard<std::mutex> lock(hint_mu_);
+  auto it = insert_hints_.find(file);
+  return it != insert_hints_.end() ? it->second : kInvalidPageId;
 }
 
 HeapFile StorageEngine::OpenHeap(TxnId txn, PageId file) {
@@ -194,8 +238,12 @@ Result<Rid> StorageEngine::Insert(TxnId txn, PageId file,
   SENTINEL_RETURN_NOT_OK(
       lock_manager_->Acquire(txn, FileKey(file), LockMode::kShared));
   HeapFile heap = OpenHeap(txn, file);
-  auto rid = heap.Insert(rec);
+  auto rid = heap.Insert(rec, InsertHint(file));
   if (!rid.ok()) return rid.status();
+  {
+    std::lock_guard<std::mutex> lock(hint_mu_);
+    insert_hints_[file] = rid->page_id;
+  }
   SENTINEL_RETURN_NOT_OK(
       lock_manager_->Acquire(txn, RecordKey(*rid), LockMode::kExclusive));
   LogRecord log_rec;
@@ -244,6 +292,15 @@ Status StorageEngine::Delete(TxnId txn, PageId file, const Rid& rid) {
   auto before = heap.Read(rid);
   if (!before.ok()) return before.status();
   SENTINEL_RETURN_NOT_OK(heap.Delete(rid));
+  {
+    // Freed space behind the insert hint: lower it so first-fit sees the
+    // hole again (chain page ids are monotone along the chain).
+    std::lock_guard<std::mutex> lock(hint_mu_);
+    auto it = insert_hints_.find(file);
+    if (it != insert_hints_.end() && rid.page_id < it->second) {
+      it->second = rid.page_id;
+    }
+  }
   LogRecord log_rec;
   log_rec.txn_id = txn;
   log_rec.type = LogRecordType::kDelete;

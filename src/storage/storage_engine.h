@@ -30,6 +30,10 @@ class StorageEngine {
   struct Options {
     std::size_t buffer_pool_pages = 256;
     LockManager::Options lock_options;
+    LogManager::Options wal_options;
+    /// Default durability for Commit(txn); per-call overrides via
+    /// Commit(txn, durability).
+    CommitDurability commit_durability = CommitDurability::kSync;
   };
 
   StorageEngine() = default;
@@ -52,8 +56,23 @@ class StorageEngine {
 
   // -- Transactions --------------------------------------------------------
   Result<TxnId> Begin();
+  /// Commits with the engine-wide default durability (see
+  /// set_commit_durability).
   Status Commit(TxnId txn);
+  Status Commit(TxnId txn, CommitDurability durability);
   Status Abort(TxnId txn);
+
+  /// Engine-wide default commit durability. kAsync acks commits on the
+  /// WAL-buffer write; the group-commit thread converges durability in the
+  /// background (WaitWalDurable blocks until it catches up).
+  void set_commit_durability(CommitDurability durability) {
+    commit_durability_.store(durability, std::memory_order_relaxed);
+  }
+  CommitDurability commit_durability() const {
+    return commit_durability_.load(std::memory_order_relaxed);
+  }
+  /// Blocks until every async-acknowledged commit is on stable storage.
+  Status WaitWalDurable();
   bool IsActive(TxnId txn) const;
   /// Open top-level transactions (monitoring-plane gauge).
   std::size_t active_txn_count() const {
@@ -106,6 +125,17 @@ class StorageEngine {
   // HeapFile handle whose chain extensions are WAL-logged under `txn`.
   HeapFile OpenHeap(TxnId txn, PageId file);
 
+  // Advisory per-file free-space hints: the chain page where the last insert
+  // into each heap file landed. Insert starts its first-fit scan there
+  // instead of walking the chain from the head (O(1) amortized vs O(pages)
+  // per insert); Delete lowers the hint so freed space is found again.
+  // In-memory only — cleared on Open/Close/SimulateCrash, because after a
+  // crash a remembered page id may belong to a different file's rebuilt
+  // chain.
+  PageId InsertHint(PageId file) const;
+  mutable std::mutex hint_mu_;
+  std::unordered_map<PageId, PageId> insert_hints_;
+
   // Appends a log record chained to `txn`'s last LSN and stamps the page LSN.
   Result<Lsn> Log(TxnId txn, LogRecord record);
   Status UndoTxn(TxnId txn);
@@ -118,6 +148,7 @@ class StorageEngine {
   mutable std::mutex txn_mu_;
   std::unordered_map<TxnId, TxnState> active_;
   std::atomic<TxnId> next_txn_{1};
+  std::atomic<CommitDurability> commit_durability_{CommitDurability::kSync};
   bool was_clean_shutdown_ = false;
 };
 

@@ -312,18 +312,32 @@ TEST_F(FailPointTest, WalChecksumDetectsBitFlip) {
   ASSERT_TRUE(log.Close().ok());
 }
 
-TEST_F(FailPointTest, WalFlushFailpointSurfacesOnCommitForce) {
+TEST_F(FailPointTest, WalFlushFailpointWedgesLogUntilReopen) {
+  const std::string path = dir_ + "/wal";
   storage::LogManager log;
-  ASSERT_TRUE(log.Open(dir_ + "/wal").ok());
+  ASSERT_TRUE(log.Open(path).ok());
   storage::LogRecord commit;
   commit.txn_id = 1;
   commit.type = storage::LogRecordType::kCommit;
   ASSERT_TRUE(registry().Enable("wal.flush", "error(hit=1)").ok());
   EXPECT_FALSE(log.Append(commit).ok());  // commit force hits the failpoint
   registry().DisableAll();
-  EXPECT_TRUE(log.Append(commit).ok());
-  EXPECT_GE(log.sync_count(), 1u);
+  // fsyncgate containment: after a failed barrier the kernel may have
+  // dropped the dirty pages, so a retried fsync proves nothing. The log is
+  // wedged — further appends are refused and no fsync is counted — until a
+  // reopen re-establishes a trusted tail.
+  EXPECT_TRUE(log.wedged());
+  EXPECT_FALSE(log.Append(commit).ok());
+  EXPECT_EQ(log.sync_count(), 0u);
+  EXPECT_EQ(log.durable_lsn(), 0u);
   ASSERT_TRUE(log.Close().ok());
+
+  storage::LogManager reopened;
+  ASSERT_TRUE(reopened.Open(path).ok());
+  EXPECT_FALSE(reopened.wedged());
+  EXPECT_TRUE(reopened.Append(commit).ok());
+  EXPECT_GE(reopened.sync_count(), 1u);
+  ASSERT_TRUE(reopened.Close().ok());
 }
 
 }  // namespace

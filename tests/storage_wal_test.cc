@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "common/failpoint.h"
 
 namespace sentinel::storage {
 namespace {
@@ -21,9 +25,19 @@ class WalTest : public ::testing::Test {
                 .string();
     std::remove(path_.c_str());
   }
-  void TearDown() override { std::remove(path_.c_str()); }
+  void TearDown() override {
+    FailPointRegistry::Instance().DisableAll();
+    std::remove(path_.c_str());
+  }
   std::string path_;
 };
+
+LogRecord MakeCommit(TxnId txn) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kCommit;
+  return rec;
+}
 
 LogRecord MakeUpdate(TxnId txn, PageId page, SlotId slot) {
   LogRecord rec;
@@ -118,6 +132,138 @@ TEST_F(WalTest, TornTailIsIgnored) {
                  }).ok());
   EXPECT_EQ(count, 1);
   EXPECT_EQ(log.next_lsn(), 2u);
+  ASSERT_TRUE(log.Close().ok());
+}
+
+TEST_F(WalTest, InlineModeSyncsOncePerCommit) {
+  LogManager::Options options;
+  options.group_commit = false;
+  LogManager log(options);
+  ASSERT_TRUE(log.Open(path_).ok());
+  for (TxnId txn = 1; txn <= 3; ++txn) {
+    ASSERT_TRUE(log.Append(MakeCommit(txn)).ok());
+  }
+  EXPECT_EQ(log.sync_count(), 3u);
+  EXPECT_EQ(log.durable_lsn(), 3u);
+  EXPECT_EQ(log.appended_lsn(), 3u);
+  ASSERT_TRUE(log.Close().ok());
+}
+
+TEST_F(WalTest, GroupCommitCoalescesConcurrentCommits) {
+  // Make every fsync barrier observably slow so concurrent committers pile
+  // up behind it and the next barrier provably absorbs more than one of
+  // them: with 8 threads x 10 commits each, perfect one-barrier-per-commit
+  // serialization cannot happen.
+  ASSERT_TRUE(
+      FailPointRegistry::Instance().Enable("wal.flush", "delay(ms=2)").ok());
+  LogManager log;
+  ASSERT_TRUE(log.Open(path_).ok());
+  constexpr int kThreads = 8;
+  constexpr int kCommitsPerThread = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, &failures, t] {
+      for (int i = 0; i < kCommitsPerThread; ++i) {
+        const TxnId txn = static_cast<TxnId>(t * kCommitsPerThread + i + 1);
+        if (!log.Append(MakeCommit(txn)).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  constexpr std::uint64_t kTotal = kThreads * kCommitsPerThread;
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(log.appended_lsn(), kTotal);
+  // Every sync commit returned, so the watermark covers all of them.
+  EXPECT_EQ(log.durable_lsn(), kTotal);
+  EXPECT_EQ(log.group_commit_waits(), kTotal);
+  // The whole point: far fewer fsync barriers than commits.
+  EXPECT_LT(log.sync_count(), kTotal);
+  EXPECT_GE(log.sync_count(), 1u);
+  ASSERT_TRUE(log.Close().ok());
+}
+
+TEST_F(WalTest, GroupBarrierFailureWedgesWholeBatch) {
+  // Every barrier attempt fails. Every committer in the batch must see the
+  // error; none may be woken "durable" later (the watermark never moves).
+  ASSERT_TRUE(FailPointRegistry::Instance().Enable("wal.flush", "error").ok());
+  LogManager log;
+  ASSERT_TRUE(log.Open(path_).ok());
+  constexpr int kThreads = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, &failures, t] {
+      if (!log.Append(MakeCommit(static_cast<TxnId>(t + 1))).ok()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), kThreads);
+  EXPECT_TRUE(log.wedged());
+  EXPECT_EQ(log.durable_lsn(), 0u);
+  EXPECT_EQ(log.sync_count(), 0u);
+  // Disarming does not un-wedge: the log stays refused until reopen.
+  FailPointRegistry::Instance().DisableAll();
+  EXPECT_FALSE(log.Append(MakeCommit(99)).ok());
+  EXPECT_FALSE(log.Flush().ok());
+  ASSERT_TRUE(log.Close().ok());
+
+  LogManager reopened;
+  ASSERT_TRUE(reopened.Open(path_).ok());
+  EXPECT_FALSE(reopened.wedged());
+  ASSERT_TRUE(reopened.Close().ok());
+}
+
+TEST_F(WalTest, RedundantBarriersAreSkipped) {
+  LogManager log;
+  ASSERT_TRUE(log.Open(path_).ok());
+  // Empty log: nothing beyond the durable watermark, no fsync.
+  ASSERT_TRUE(log.Flush().ok());
+  EXPECT_EQ(log.sync_count(), 0u);
+
+  ASSERT_TRUE(log.Append(MakeUpdate(1, 1, 1)).ok());
+  ASSERT_TRUE(log.Flush().ok());
+  EXPECT_EQ(log.sync_count(), 1u);
+  // Re-flushing already-durable bytes is a no-op.
+  ASSERT_TRUE(log.Flush().ok());
+  EXPECT_EQ(log.sync_count(), 1u);
+
+  // A commit whose bytes an explicit Flush() already pushed to stable
+  // storage must not pay a second barrier.
+  ASSERT_TRUE(log.Append(MakeCommit(1), CommitDurability::kAsync).ok());
+  ASSERT_TRUE(log.Flush().ok());
+  const std::uint64_t syncs_after_flush = log.sync_count();
+  ASSERT_TRUE(log.WaitDurable(log.appended_lsn()).ok());
+  EXPECT_EQ(log.sync_count(), syncs_after_flush);
+  EXPECT_EQ(log.durable_lsn(), log.appended_lsn());
+  ASSERT_TRUE(log.Close().ok());
+}
+
+TEST_F(WalTest, AsyncCommitWatermarkLagsAcksAndConverges) {
+  // Slow barriers guarantee the durable watermark visibly trails the async
+  // acks: a barrier covering the last ack cannot have completed within the
+  // microseconds between that ack and the check below.
+  ASSERT_TRUE(
+      FailPointRegistry::Instance().Enable("wal.flush", "delay(ms=2)").ok());
+  LogManager log;
+  ASSERT_TRUE(log.Open(path_).ok());
+  constexpr std::uint64_t kCommits = 50;
+  for (TxnId txn = 1; txn <= kCommits; ++txn) {
+    ASSERT_TRUE(log.Append(MakeCommit(txn), CommitDurability::kAsync).ok());
+  }
+  EXPECT_EQ(log.appended_lsn(), kCommits);
+  EXPECT_EQ(log.async_commits(), kCommits);
+  EXPECT_LT(log.durable_lsn(), kCommits);  // acks outran durability
+  FailPointRegistry::Instance().DisableAll();
+  // Convergence: the group thread catches up; WaitDurable joins it.
+  ASSERT_TRUE(log.WaitDurable(kCommits).ok());
+  EXPECT_EQ(log.durable_lsn(), kCommits);
   ASSERT_TRUE(log.Close().ok());
 }
 

@@ -110,6 +110,9 @@ void PrintHelp() {
   load <file>              load a Sentinel spec file
   spec <inline spec...>    load an inline spec (single line)
   begin | commit | abort   transaction control
+  durability [sync|async]  show or set commit durability: sync blocks on the
+                           WAL group-commit barrier, async acks on buffer
+                           write (watermark converges in the background)
   notify <class> <oid> <begin|end> <signature...> [| k=v ...]
   raise <event> [k=v ...]  raise an explicit event
   advance <ms>             advance the temporal clock
@@ -352,6 +355,24 @@ int Run() {
     } else if (cmd == "abort") {
       st = shell.db.Abort(shell.txn);
       shell.txn = sentinel::storage::kInvalidTxnId;
+    } else if (cmd == "durability") {
+      if (words.size() >= 2) {
+        if (words[1] == "sync") {
+          shell.db.set_commit_durability(
+              sentinel::storage::CommitDurability::kSync);
+        } else if (words[1] == "async") {
+          shell.db.set_commit_durability(
+              sentinel::storage::CommitDurability::kAsync);
+        } else {
+          std::printf("error: durability takes 'sync' or 'async'\n");
+          continue;
+        }
+      }
+      std::printf("commit durability: %s\n",
+                  shell.db.commit_durability() ==
+                          sentinel::storage::CommitDurability::kAsync
+                      ? "async"
+                      : "sync");
     } else if (cmd == "notify" && words.size() >= 5) {
       // notify <class> <oid> <begin|end> <signature...> [| k=v ...]
       const std::string& class_name = words[1];
