@@ -17,6 +17,7 @@
 #include "net/event_bus_server.h"
 #include "net/protocol.h"
 #include "net/remote_client.h"
+#include "obs/span.h"
 
 namespace sentinel::bench {
 namespace {
@@ -63,14 +64,23 @@ void BM_NetFrameCodec(benchmark::State& state) {
 BENCHMARK(BM_NetFrameCodec);
 
 /// Server + client on loopback, one subscription back to the sender.
+/// `traced` turns on full causal span recording in both roles — the
+/// distributed-tracing worst case (every frame pays encode/decode/wait
+/// spans plus the wire trailer).
 struct NetHarness {
   ged::GlobalEventDetector ged;
   net::EventBusServer server{&ged};
+  obs::SpanTracer tracer;
   std::unique_ptr<net::RemoteGedClient> client;
   std::atomic<std::uint64_t> received{0};
   bool ok = false;
 
-  NetHarness() {
+  explicit NetHarness(bool traced = false) {
+    tracer.set_mode(traced ? obs::TraceMode::kFull : obs::TraceMode::kOff);
+    if (traced) {
+      server.set_span_tracer(&tracer);
+      ged.set_span_tracer(&tracer);
+    }
     net::EventBusServer::Options options;
     if (!server.Start(options).ok()) return;
     net::RemoteGedClient::Options copts;
@@ -78,6 +88,7 @@ struct NetHarness {
     copts.app_name = "bench";
     copts.notify_queue_limit = 8192;
     client = std::make_unique<net::RemoteGedClient>(copts);
+    if (traced) client->set_span_tracer(&tracer);
     if (!client->Start().ok()) return;
     if (!client->WaitConnected(std::chrono::milliseconds(5000))) return;
     if (!client
@@ -102,8 +113,11 @@ struct NetHarness {
 };
 
 /// Full loop latency: one Notify through TCP → admission → GED → push.
-void BM_NetNotifyRoundTrip(benchmark::State& state) {
-  NetHarness harness;
+/// The always-on e2e histograms (origin stamp → dispatch / detect / push
+/// handler) are exported as counters so BENCH_net.json records the
+/// distribution, not just the mean loop time.
+void NotifyRoundTrip(benchmark::State& state, bool traced) {
+  NetHarness harness(traced);
   if (!harness.ok) {
     state.SkipWithError("net harness failed to start");
     return;
@@ -123,8 +137,29 @@ void BM_NetNotifyRoundTrip(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations());
+  const auto sstats = harness.server.stats();
+  state.counters["e2e_delivery_p50_ns"] =
+      static_cast<double>(sstats.e2e_delivery_ns.QuantileNs(0.50));
+  state.counters["e2e_delivery_p99_ns"] =
+      static_cast<double>(sstats.e2e_delivery_ns.QuantileNs(0.99));
+  state.counters["e2e_detect_p99_ns"] =
+      static_cast<double>(sstats.e2e_detect_ns.QuantileNs(0.99));
+  state.counters["e2e_action_p99_ns"] = static_cast<double>(
+      harness.client->stats().e2e_action_ns.QuantileNs(0.99));
+  if (traced) {
+    state.counters["spans"] = static_cast<double>(harness.tracer.recorded());
+  }
+  state.SetLabel(traced ? "traced" : "untraced");
+}
+
+void BM_NetNotifyRoundTrip(benchmark::State& state) {
+  NotifyRoundTrip(state, /*traced=*/false);
+}
+void BM_NetNotifyRoundTripTraced(benchmark::State& state) {
+  NotifyRoundTrip(state, /*traced=*/true);
 }
 BENCHMARK(BM_NetNotifyRoundTrip);
+BENCHMARK(BM_NetNotifyRoundTripTraced);
 
 /// Streamed throughput: a batch in flight per iteration, acknowledged by
 /// the detections coming back. At-most-once semantics make lost events

@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "net/protocol.h"
 #include "obs/span.h"
 
 namespace sentinel::bench {
@@ -87,6 +88,54 @@ void BM_SpanSubTxnFull(benchmark::State& state) {
 BENCHMARK(BM_SpanSubTxnTracerOff);
 BENCHMARK(BM_SpanSubTxnFlightOnly);
 BENCHMARK(BM_SpanSubTxnFull);
+
+/// Wire cost of the distributed-trace trailer (DESIGN.md §14): one Notify
+/// occurrence encoded in the pre-trailer format vs with the 24-byte
+/// trace-context trailer + flags bit. run_benches.sh compares the pair —
+/// the trailer must stay within 2% of the baseline encode (10% strict).
+detector::PrimitiveOccurrence TrailerBenchOccurrence() {
+  detector::PrimitiveOccurrence occ;
+  occ.class_name = "Order";
+  occ.oid = 1;
+  occ.modifier = EventModifier::kEnd;
+  occ.method_signature = "void f(int v)";
+  occ.txn = 1;
+  auto params = std::make_shared<ParamList>();
+  params->Insert("v", oodb::Value::Int(7));
+  occ.params = params;
+  return occ;
+}
+
+void BM_SpanNetEncodeBaseline(benchmark::State& state) {
+  const detector::PrimitiveOccurrence occ = TrailerBenchOccurrence();
+  for (auto _ : state) {
+    BytesWriter body;
+    net::EncodeOccurrence(occ, &body);
+    const std::string wire =
+        net::EncodeFrame(net::MessageType::kNotify, body);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanNetEncodeBaseline);
+
+void BM_SpanNetEncodeTrailer(benchmark::State& state) {
+  const detector::PrimitiveOccurrence occ = TrailerBenchOccurrence();
+  net::TraceContext tc;
+  tc.trace_id = 0x1234abcd;
+  tc.parent_span = 42;
+  tc.origin_ns = 1;
+  for (auto _ : state) {
+    BytesWriter body;
+    net::EncodeOccurrence(occ, &body);
+    net::AppendTraceContext(tc, &body);
+    const std::string wire = net::EncodeFrame(
+        net::MessageType::kNotify, body, net::kFlagTraceContext);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanNetEncodeTrailer);
 
 }  // namespace
 }  // namespace sentinel::bench

@@ -648,8 +648,19 @@ obs::MonitorSample ActiveDatabase::CollectMonitorSample() {
     s.net_sheds = net.sheds;
     s.net_frame_errors = net.frame_errors;
     s.net_overloaded = net.overloaded;
+    s.net_e2e = net.e2e_delivery_ns;
   }
   return s;
+}
+
+void ActiveDatabase::AttachEventBusServer(net::EventBusServer* server) {
+  event_bus_ = server;
+  if (server != nullptr) server->set_span_tracer(&span_tracer_);
+}
+
+void ActiveDatabase::AttachRemoteGedClient(net::RemoteGedClient* client) {
+  remote_client_ = client;
+  if (client != nullptr) client->set_span_tracer(&span_tracer_);
 }
 
 std::string ActiveDatabase::HealthJson(int* http_status) {
@@ -963,6 +974,31 @@ std::string ActiveDatabase::PrometheusText() {
     p.Gauge("sentinel_net_overloaded",
             "1 while the admission queue sits past its high-water mark.", {},
             n.overloaded ? 1 : 0);
+    // Always-on end-to-end latency (client origin stamp → server-side
+    // milestone; wall clock, so cross-host skew shows up here, not in the
+    // steady-clock trace export).
+    p.Histogram("sentinel_net_e2e_delivery_ns",
+                "Origin-stamped occurrence to GED dispatch (ns).", {},
+                n.e2e_delivery_ns);
+    p.Histogram("sentinel_net_e2e_detect_ns",
+                "Origin-stamped occurrence to global detection push (ns).", {},
+                n.e2e_detect_ns);
+    p.Counter("sentinel_net_rtt_samples_total",
+              "Heartbeat round-trip samples collected.", {}, n.rtt_samples);
+    p.Histogram("sentinel_net_rtt_us",
+                "Heartbeat round-trip time across all sessions (us).", {},
+                n.rtt_us);
+    for (const net::SessionClockStats& sc : event_bus_->SessionClocks()) {
+      const obs::PromWriter::Labels labels = {
+          {"app", sc.app}, {"session", std::to_string(sc.session_id)}};
+      p.Histogram("sentinel_net_session_rtt_us",
+                  "Heartbeat round-trip time per session (us).", labels,
+                  sc.rtt_us);
+      p.GaugeF("sentinel_net_clock_offset_us",
+               "EWMA steady-clock offset of the client vs this server (us; "
+               "may be negative).",
+               labels, static_cast<double>(sc.clock_offset_us));
+    }
   }
   if (remote_client_ != nullptr) {
     const net::RemoteGedClient::Stats c = remote_client_->stats();
@@ -989,6 +1025,19 @@ std::string ActiveDatabase::PrometheusText() {
     p.Counter("sentinel_net_client_journal_replays_total",
               "Journal entries replayed after reconnects.", {},
               c.journal_replays);
+    p.Counter("sentinel_net_client_rtt_samples_total",
+              "Heartbeat round-trip samples collected by the client.", {},
+              c.rtt_samples);
+    p.Histogram("sentinel_net_client_rtt_us",
+                "Client-observed heartbeat round-trip time (us).", {},
+                c.rtt_us);
+    p.GaugeF("sentinel_net_client_clock_offset_us",
+             "EWMA steady-clock offset of the server vs this client (us; "
+             "may be negative).",
+             {}, static_cast<double>(c.clock_offset_us));
+    p.Histogram("sentinel_net_client_e2e_action_ns",
+                "Origin-stamped occurrence to push-handler completion (ns).",
+                {}, c.e2e_action_ns);
   }
   return p.Take();
 }

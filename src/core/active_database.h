@@ -212,16 +212,14 @@ class ActiveDatabase {
 
   /// Wires a (non-owned) event-bus server into the monitoring plane: its
   /// session/admission gauges join CollectMonitorSample (so the watchdog's
-  /// net_overload predicate can flip /healthz degraded while the server
-  /// sheds) and its counters join /metrics as sentinel_net_* families.
+  /// net_overload and net_e2e_p99 predicates can flip /healthz degraded),
+  /// its counters join /metrics as sentinel_net_* families, and this
+  /// database's span tracer is attached so the server records kNet* spans.
   /// Pass nullptr to detach; the server must outlive its attachment.
-  void AttachEventBusServer(net::EventBusServer* server) {
-    event_bus_ = server;
-  }
-  /// Same for a client: its counters join /metrics as sentinel_net_client_*.
-  void AttachRemoteGedClient(net::RemoteGedClient* client) {
-    remote_client_ = client;
-  }
+  void AttachEventBusServer(net::EventBusServer* server);
+  /// Same for a client: its counters join /metrics as sentinel_net_client_*
+  /// and its Notify/push paths record + adopt distributed-trace spans.
+  void AttachRemoteGedClient(net::RemoteGedClient* client);
 
   /// Names of the built-in system events and internal flush rules.
   static constexpr char kBeginTxnEvent[] = "sys_begin_transaction";

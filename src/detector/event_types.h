@@ -123,6 +123,15 @@ struct PrimitiveOccurrence {
   // the detector re-interns on Inject.
   common::SymbolId class_sym = common::kInvalidSymbol;
   common::SymbolId method_sym = common::kInvalidSymbol;
+  // Distributed-trace linkage (DESIGN.md §14), process-local like the
+  // interned symbols above: trace_id groups one cross-process causal chain,
+  // trace_parent is the LATEST span id along it (rewritten at each hop —
+  // decode, admission wait, forward), origin_ns is the originating client's
+  // wall-clock ns at Notify() (the e2e latency anchor, which IS carried on
+  // the wire via the trace-context trailer, never via this struct's codec).
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_parent = 0;
+  std::uint64_t origin_ns = 0;
   Timestamp at = kInvalidTimestamp;  // logical occurrence time
   std::uint64_t at_ms = 0;           // temporal-clock time (for PLUS/P)
   TxnId txn = storage::kInvalidTxnId;

@@ -218,8 +218,17 @@ void GlobalEventDetector::BusLoop() {
     obs::SpanScope forward_span;
     if (obs::SpanTracer* st = graph_.span_tracer();
         st != nullptr && st->enabled_for(obs::SpanKind::kGedForward)) {
+      // A remote occurrence carries its causal chain: trace_parent is the
+      // latest upstream span (the server's admission-wait span — same
+      // process, so it pins the local parent directly), trace_id marks the
+      // cross-process trace. Downstream composite_detect spans parent here
+      // via the scope stack.
       forward_span.Start(st, obs::SpanKind::kGedForward, occ.txn,
-                         occ.class_name + "::" + occ.method_signature);
+                         occ.class_name + "::" + occ.method_signature,
+                         /*subtxn=*/0,
+                         /*parent_override=*/occ.trace_parent);
+      if (occ.trace_id != 0) forward_span.AnnotateRemote(occ.trace_id, 0);
+      occ.trace_parent = forward_span.id();
     }
     graph_.Inject(occ);
     forward_span.End();

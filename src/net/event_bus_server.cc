@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "detector/event_node.h"
 #include "obs/json.h"
+#include "obs/span.h"
 
 namespace sentinel::net {
 
@@ -18,6 +19,16 @@ std::uint64_t NowNs() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Wall-clock ns: the e2e latency anchor (occurrence origin stamps are
+/// wall time so either end of the wire can subtract without knowing the
+/// peer's steady-clock offset).
+std::uint64_t WallNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
           .count());
 }
 
@@ -49,8 +60,17 @@ struct EventBusServer::Session {
   };
   std::vector<Sub> subs;
 
+  // Heartbeat timing (DESIGN.md §14). The histogram and the published
+  // atomics are read by stats scrapers from other threads; the EWMA state
+  // (offset_ewma_ns / offset_primed) is I/O-thread-only.
+  obs::LatencyHistogram rtt_us;
+  std::atomic<std::uint64_t> rtt_samples{0};
+  std::atomic<std::int64_t> clock_offset_ns{0};
+  std::int64_t offset_ewma_ns = 0;
+  bool offset_primed = false;
+
   // Guarded by EventBusServer::sessions_mu_.
-  std::deque<std::string> out;
+  std::deque<OutFrame> out;
   std::size_t out_bytes = 0;
   std::size_t out_offset = 0;  // flushed prefix of out.front()
   bool doomed = false;
@@ -77,7 +97,39 @@ class EventBusServer::PushSink : public detector::EventSink {
     EventPushMsg msg;
     msg.event = event_;
     msg.occurrence = occurrence;
-    server_->EnqueueFrame(session, msg.Encode(), /*is_push=*/true);
+    // Trace/origin context of the detection: the trace of the newest traced
+    // constituent, and the newest origin stamp (a composite's e2e latency is
+    // measured from its completing — most recent — constituent).
+    for (const auto& constituent : occurrence.constituents) {
+      if (constituent->trace_id != 0) msg.trace.trace_id = constituent->trace_id;
+      if (constituent->origin_ns > msg.trace.origin_ns) {
+        msg.trace.origin_ns = constituent->origin_ns;
+      }
+    }
+    if (msg.trace.has_origin()) {
+      const std::uint64_t now = WallNs();
+      if (now > msg.trace.origin_ns) {
+        server_->e2e_detect_ns_.Record(now - msg.trace.origin_ns);
+      }
+    }
+    // Push-encode span: runs on the GED bus thread inside the ged_forward /
+    // composite_detect scopes, so it parents locally; its id crosses the
+    // wire as the push's remote parent.
+    obs::SpanScope encode_span;
+    if (obs::SpanTracer* st =
+            server_->tracer_.load(std::memory_order_acquire);
+        st != nullptr && st->enabled_for(obs::SpanKind::kNetFrameEncode)) {
+      encode_span.Start(st, obs::SpanKind::kNetFrameEncode, occurrence.txn,
+                        "push " + event_);
+      if (msg.trace.trace_id != 0) {
+        encode_span.AnnotateRemote(msg.trace.trace_id, 0);
+      }
+      msg.trace.parent_span = encode_span.id();
+    }
+    std::string frame = msg.Encode();
+    encode_span.End();
+    server_->EnqueueFrame(session, std::move(frame), /*is_push=*/true,
+                          msg.trace.trace_id, msg.trace.parent_span);
   }
 
  private:
@@ -242,6 +294,10 @@ void EventBusServer::AcceptPending() {
     auto session = std::make_shared<Session>(options_.max_frame_bytes);
     session->fd = fd;
     session->last_recv_ns = NowNs();
+    // Stamp the ping clock too: the first heartbeat PING comes one full
+    // interval after accept, never racing ahead of the HELLO/STATUS
+    // handshake (raw peers read the ack as their first frame).
+    session->last_ping_ns = session->last_recv_ns;
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
       session->id = next_session_id_++;
@@ -284,13 +340,24 @@ void EventBusServer::ReadSession(const std::shared_ptr<Session>& session) {
 
 void EventBusServer::FlushSession(const std::shared_ptr<Session>& session) {
   std::string doom_why;
+  obs::SpanTracer* st = tracer_.load(std::memory_order_acquire);
+  const bool trace_waits =
+      st != nullptr && st->enabled_for(obs::SpanKind::kNetOutboundWait);
+  const bool trace_write =
+      st != nullptr && st->enabled_for(obs::SpanKind::kNetWrite);
+  // Queue-wait metadata of frames that finish flushing, recorded as spans
+  // only after sessions_mu_ is released.
+  std::vector<OutFrame> done;
+  const std::uint64_t write_start_ns = trace_write ? NowNs() : 0;
+  std::size_t wrote = 0;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     while (!session->out.empty()) {
-      const std::string& front = session->out.front();
-      IoResult r =
-          SendSome(session->fd, front.data() + session->out_offset,
-                   front.size() - session->out_offset, "net.server.write");
+      const OutFrame& front = session->out.front();
+      IoResult r = SendSome(session->fd,
+                            front.bytes.data() + session->out_offset,
+                            front.bytes.size() - session->out_offset,
+                            "net.server.write");
       if (r.kind == IoResult::Kind::kWouldBlock) break;
       if (r.kind != IoResult::Kind::kOk) {
         doom_why = r.kind == IoResult::Kind::kClosed
@@ -299,12 +366,37 @@ void EventBusServer::FlushSession(const std::shared_ptr<Session>& session) {
         break;
       }
       bytes_out_.fetch_add(r.bytes, std::memory_order_relaxed);
+      wrote += r.bytes;
       session->out_offset += r.bytes;
-      if (session->out_offset == front.size()) {
-        session->out_bytes -= front.size();
+      if (session->out_offset == front.bytes.size()) {
+        session->out_bytes -= front.bytes.size();
+        if (trace_waits) {
+          OutFrame meta;
+          meta.enqueued_ns = front.enqueued_ns;
+          meta.trace = front.trace;
+          meta.parent_span = front.parent_span;
+          meta.is_push = front.is_push;
+          done.push_back(std::move(meta));
+        }
         session->out.pop_front();
         session->out_offset = 0;
       }
+    }
+  }
+  if (st != nullptr && (trace_waits || trace_write)) {
+    const std::uint64_t now = NowNs();
+    for (const OutFrame& f : done) {
+      st->RecordTimedSpan(obs::SpanKind::kNetOutboundWait, f.enqueued_ns, now,
+                          storage::kInvalidTxnId,
+                          f.is_push ? "push" : "control",
+                          /*parent=*/f.parent_span, /*trace=*/f.trace);
+    }
+    if (trace_write && wrote > 0) {
+      st->RecordTimedSpan(obs::SpanKind::kNetWrite, write_start_ns, now,
+                          storage::kInvalidTxnId,
+                          session->app_name.empty() ? "flush"
+                                                    : session->app_name,
+                          /*parent=*/0);
     }
   }
   if (!doom_why.empty()) Doom(session, doom_why);
@@ -410,14 +502,18 @@ void EventBusServer::HandleFrame(const std::shared_ptr<Session>& session,
         Doom(session, "NOTIFY before HELLO");
         return;
       }
-      HandleNotify(session, &reader);
+      HandleNotify(session, &reader, frame.flags);
       return;
     }
     case MessageType::kPing:
-      EnqueueFrame(session, EncodeFrame(MessageType::kPong),
+      // Echo the peer's send time and add our steady clock so it can derive
+      // RTT + clock offset (empty pre-PR9 pings echo a zero, which the peer
+      // skips as a sample).
+      EnqueueFrame(session, EncodePong(ReadPingT0(&reader), NowNs()),
                    /*is_push=*/false);
       return;
     case MessageType::kPong:
+      HandlePong(session, &reader);
       return;  // last_recv_ns already refreshed by ReadSession
     case MessageType::kBye:
       Doom(session, "client closed the session");
@@ -482,12 +578,30 @@ void EventBusServer::HandleHello(const std::shared_ptr<Session>& session,
 }
 
 void EventBusServer::HandleNotify(const std::shared_ptr<Session>& session,
-                                  BytesReader* body) {
+                                  BytesReader* body, std::uint16_t flags) {
+  const std::uint64_t decode_start_ns = NowNs();
   auto occ = DecodeOccurrence(body);
   if (!occ.ok()) {
     frame_errors_.fetch_add(1, std::memory_order_relaxed);
     Doom(session, "bad NOTIFY: " + occ.status().ToString());
     return;
+  }
+  // Trace trailer (absent → zeros). origin_ns rides into the occurrence
+  // unconditionally — the e2e layer is always on; the span linkage only
+  // materializes when a tracer is attached and recording.
+  const TraceContext tc = ReadTraceContext(flags, body);
+  occ->origin_ns = tc.origin_ns;
+  std::uint64_t decode_span = 0;
+  if (obs::SpanTracer* st = tracer_.load(std::memory_order_acquire);
+      st != nullptr && st->enabled_for(obs::SpanKind::kNetFrameDecode)) {
+    // The remote parent is the CLIENT's encode span id — resolvable only by
+    // the cross-file merge, hence remote_parent, not parent.
+    decode_span = st->RecordTimedSpan(
+        obs::SpanKind::kNetFrameDecode, decode_start_ns, NowNs(), occ->txn,
+        "notify " + occ->event_name, /*parent=*/0, tc.trace_id,
+        tc.parent_span);
+    occ->trace_id = tc.trace_id;
+    occ->trace_parent = decode_span;
   }
   bool shed = false;
   std::size_t depth = 0;
@@ -497,7 +611,12 @@ void EventBusServer::HandleNotify(const std::shared_ptr<Session>& session,
       shed = true;
       depth = admission_.size();
     } else {
-      admission_.emplace_back(session->app_name, std::move(*occ));
+      AdmissionItem item;
+      item.app = session->app_name;
+      item.occ = std::move(*occ);
+      item.enqueued_ns = NowNs();
+      item.decode_span = decode_span;
+      admission_.push_back(std::move(item));
       depth = admission_.size();
     }
   }
@@ -520,12 +639,40 @@ void EventBusServer::HandleNotify(const std::shared_ptr<Session>& session,
   admission_cv_.notify_one();
 }
 
+void EventBusServer::HandlePong(const std::shared_ptr<Session>& session,
+                                BytesReader* body) {
+  std::uint64_t t0 = 0;
+  std::uint64_t t1 = 0;
+  if (!ReadPongTimes(body, &t0, &t1)) return;  // old peer: empty pong
+  const std::uint64_t t2 = NowNs();
+  if (t2 <= t0) return;  // clock went backwards / bogus echo
+  const std::uint64_t rtt_ns = t2 - t0;
+  session->rtt_us.Record(rtt_ns / 1000);
+  rtt_us_.Record(rtt_ns / 1000);
+  session->rtt_samples.fetch_add(1, std::memory_order_relaxed);
+  rtt_samples_.fetch_add(1, std::memory_order_relaxed);
+  // NTP-style offset sample: responder clock minus the midpoint of our
+  // send/receive pair, EWMA-smoothed (alpha 1/8) against jitter. Both
+  // clocks are steady — the offset aligns span timelines, not wall time.
+  const std::int64_t sample =
+      static_cast<std::int64_t>(t1) -
+      static_cast<std::int64_t>(t0 + (rtt_ns / 2));
+  if (!session->offset_primed) {
+    session->offset_primed = true;
+    session->offset_ewma_ns = sample;
+  } else {
+    session->offset_ewma_ns += (sample - session->offset_ewma_ns) / 8;
+  }
+  session->clock_offset_ns.store(session->offset_ewma_ns,
+                                 std::memory_order_relaxed);
+}
+
 // ---------------------------------------------------------------------------
 // Dispatcher thread
 
 void EventBusServer::DispatchLoop() {
   for (;;) {
-    std::pair<std::string, detector::PrimitiveOccurrence> item;
+    AdmissionItem item;
     std::size_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(admission_mu_);
@@ -538,6 +685,17 @@ void EventBusServer::DispatchLoop() {
       depth = admission_.size();
     }
     UpdateOverload(depth);
+    // Admission-queue wait: starts on the I/O thread, ends here, so it is
+    // recorded as an already-timed span parented into the decode span.
+    if (obs::SpanTracer* st = tracer_.load(std::memory_order_acquire);
+        st != nullptr &&
+        st->enabled_for(obs::SpanKind::kNetAdmissionWait) &&
+        item.decode_span != 0) {
+      const std::uint64_t wait_span = st->RecordTimedSpan(
+          obs::SpanKind::kNetAdmissionWait, item.enqueued_ns, NowNs(),
+          item.occ.txn, "admission", item.decode_span, item.occ.trace_id);
+      item.occ.trace_parent = wait_span;
+    }
     if (FailPointRegistry::AnyActive()) {
       // net.server.dispatch: delay stalls the dispatcher (forces admission
       // backlog for overload tests); error drops the occurrence.
@@ -554,9 +712,15 @@ void EventBusServer::DispatchLoop() {
       if (dispatch_stop_) return;
       if (ged_->shut_down()) break;
     }
-    Status st = ged_->InjectRemote(item.first, item.second);
+    Status st = ged_->InjectRemote(item.app, item.occ);
     if (st.ok()) {
       dispatched_.fetch_add(1, std::memory_order_relaxed);
+      if (item.occ.origin_ns != 0) {
+        const std::uint64_t now = WallNs();
+        if (now > item.occ.origin_ns) {
+          e2e_delivery_ns_.Record(now - item.occ.origin_ns);
+        }
+      }
     }
     // NotFound (session torn down mid-flight) and RetryLater (GED shut
     // down) both drop the occurrence — at-most-once delivery.
@@ -567,7 +731,9 @@ void EventBusServer::DispatchLoop() {
 // Session plumbing
 
 void EventBusServer::EnqueueFrame(const std::shared_ptr<Session>& session,
-                                  std::string frame, bool is_push) {
+                                  std::string frame, bool is_push,
+                                  std::uint64_t trace,
+                                  std::uint64_t parent_span) {
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     if (session->doomed || session->fd < 0) return;
@@ -579,7 +745,13 @@ void EventBusServer::EnqueueFrame(const std::shared_ptr<Session>& session,
       slow_consumer_disconnects_.fetch_add(1, std::memory_order_relaxed);
     } else {
       session->out_bytes += frame.size();
-      session->out.push_back(std::move(frame));
+      OutFrame out;
+      out.bytes = std::move(frame);
+      out.enqueued_ns = NowNs();
+      out.trace = trace;
+      out.parent_span = parent_span;
+      out.is_push = is_push;
+      session->out.push_back(std::move(out));
       if (is_push) pushes_sent_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -624,8 +796,11 @@ void EventBusServer::CheckTimers(std::uint64_t now_ns) {
       const std::uint64_t quiet = now_ns - session->last_recv_ns;
       if (idle_ns > 0 && quiet > idle_ns) {
         to_idle_out.push_back(session);
-      } else if (heartbeat_ns > 0 && quiet > heartbeat_ns &&
+      } else if (heartbeat_ns > 0 &&
                  now_ns - session->last_ping_ns > heartbeat_ns) {
+        // Ping on every heartbeat interval, busy wire or not: each pong is
+        // an RTT + clock-offset sample, so the estimate keeps converging
+        // while traffic flows (liveness alone would only need quiet pings).
         to_ping.push_back(session);
       }
     }
@@ -637,7 +812,7 @@ void EventBusServer::CheckTimers(std::uint64_t now_ns) {
   for (auto& session : to_ping) {
     session->last_ping_ns = now_ns;
     pings_sent_.fetch_add(1, std::memory_order_relaxed);
-    EnqueueFrame(session, EncodeFrame(MessageType::kPing), /*is_push=*/false);
+    EnqueueFrame(session, EncodePing(NowNs()), /*is_push=*/false);
   }
 }
 
@@ -721,6 +896,10 @@ EventBusServerStats EventBusServer::stats() const {
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   s.admission_peak = admission_peak_.load(std::memory_order_relaxed);
   s.overloaded = overloaded_.load(std::memory_order_acquire);
+  s.rtt_samples = rtt_samples_.load(std::memory_order_relaxed);
+  s.rtt_us = rtt_us_.TakeSnapshot();
+  s.e2e_delivery_ns = e2e_delivery_ns_.TakeSnapshot();
+  s.e2e_detect_ns = e2e_detect_ns_.TakeSnapshot();
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     s.open_sessions = sessions_.size();
@@ -733,6 +912,24 @@ EventBusServerStats EventBusServer::stats() const {
     s.admission_depth = admission_.size();
   }
   return s;
+}
+
+std::vector<SessionClockStats> EventBusServer::SessionClocks() const {
+  std::vector<SessionClockStats> out;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    if (session->doomed) continue;
+    SessionClockStats c;
+    c.session_id = id;
+    c.app = session->app_name;
+    c.rtt_samples = session->rtt_samples.load(std::memory_order_relaxed);
+    c.clock_offset_us =
+        session->clock_offset_ns.load(std::memory_order_relaxed) / 1000;
+    c.rtt_us = session->rtt_us.TakeSnapshot();
+    out.push_back(std::move(c));
+  }
+  return out;
 }
 
 std::string EventBusServer::StatsJson() const {
@@ -759,6 +956,26 @@ std::string EventBusServer::StatsJson() const {
   w.Field("admission_peak", s.admission_peak);
   w.Field("outbound_queued_bytes", s.outbound_queued_bytes);
   w.Field("overloaded", s.overloaded);
+  w.Field("rtt_samples", s.rtt_samples);
+  w.Field("rtt_p50_us", s.rtt_us.QuantileNs(0.5));
+  w.Field("rtt_p99_us", s.rtt_us.QuantileNs(0.99));
+  w.Field("e2e_delivery_p50_ns", s.e2e_delivery_ns.QuantileNs(0.5));
+  w.Field("e2e_delivery_p99_ns", s.e2e_delivery_ns.QuantileNs(0.99));
+  w.Field("e2e_detect_p50_ns", s.e2e_detect_ns.QuantileNs(0.5));
+  w.Field("e2e_detect_p99_ns", s.e2e_detect_ns.QuantileNs(0.99));
+  w.Key("session_clocks");
+  w.BeginArray();
+  for (const SessionClockStats& c : SessionClocks()) {
+    w.BeginObject();
+    w.Field("session", c.session_id);
+    w.Field("app", c.app);
+    w.Field("rtt_samples", c.rtt_samples);
+    w.Field("rtt_p50_us", c.rtt_us.QuantileNs(0.5));
+    w.Field("rtt_p99_us", c.rtt_us.QuantileNs(0.99));
+    w.Field("clock_offset_us", c.clock_offset_us);
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   return w.Take();
 }

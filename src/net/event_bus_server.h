@@ -20,8 +20,24 @@
 #include "ged/global_detector.h"
 #include "net/protocol.h"
 #include "net/socket_util.h"
+#include "obs/metrics.h"
+
+namespace sentinel::obs {
+class SpanTracer;
+}  // namespace sentinel::obs
 
 namespace sentinel::net {
+
+/// Per-session heartbeat timing (DESIGN.md §14): RTT histogram in
+/// MICROseconds plus the EWMA-smoothed steady-clock offset of the peer
+/// relative to this server (positive = peer's steady clock is ahead).
+struct SessionClockStats {
+  std::uint64_t session_id = 0;
+  std::string app;
+  std::uint64_t rtt_samples = 0;
+  std::int64_t clock_offset_us = 0;
+  obs::LatencyHistogram::Snapshot rtt_us;
+};
 
 /// Counter/gauge snapshot of the event-bus server (the sentinel_net_*
 /// Prometheus families). Counters are cumulative since Start.
@@ -44,6 +60,16 @@ struct EventBusServerStats {
   std::uint64_t admission_peak = 0;
   std::uint64_t outbound_queued_bytes = 0;  // gauge, summed over sessions
   bool overloaded = false;               // admission queue past high water
+  std::uint64_t rtt_samples = 0;         // timed pongs folded into rtt_us
+  /// Heartbeat round trips, aggregated over all sessions (µs buckets; the
+  /// per-session split lives in SessionClocks()).
+  obs::LatencyHistogram::Snapshot rtt_us;
+  /// End-to-end latency (ns), measured against the ORIGINATING client's
+  /// wall-clock Notify timestamp: at GED dispatch, and at global detection
+  /// (the moment a push is cut). Always on — origin stamps ride the wire
+  /// even with tracing off.
+  obs::LatencyHistogram::Snapshot e2e_delivery_ns;
+  obs::LatencyHistogram::Snapshot e2e_detect_ns;
 };
 
 /// TCP front end that turns a GlobalEventDetector into a multi-client
@@ -116,9 +142,43 @@ class EventBusServer {
   EventBusServerStats stats() const;
   std::string StatsJson() const;
 
+  /// Heartbeat timing per live session (shell `ged stats`, /metrics
+  /// per-session RTT/offset series).
+  std::vector<SessionClockStats> SessionClocks() const;
+
+  /// Attaches the causal span tracer: the I/O and dispatcher threads record
+  /// kNet* spans (frame decode, admission wait, outbound wait, socket
+  /// write) and push-encode spans adopt the remote trace context. May be
+  /// set at any time; nullptr detaches.
+  void set_span_tracer(obs::SpanTracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+
  private:
   struct Session;
   class PushSink;
+
+  /// One admitted NOTIFY waiting for the dispatcher. Carries the decode
+  /// span id so the admission-wait span (recorded at dequeue — it spans two
+  /// threads) parents into the decode span, and the enqueue timestamp that
+  /// wait is measured from.
+  struct AdmissionItem {
+    std::string app;
+    detector::PrimitiveOccurrence occ;
+    std::uint64_t enqueued_ns = 0;
+    std::uint64_t decode_span = 0;
+  };
+
+  /// One encoded frame in a session's outbound queue. The trace linkage
+  /// lets the outbound-wait span (recorded when the frame finishes
+  /// flushing) hang off the push-encode span that produced it.
+  struct OutFrame {
+    std::string bytes;
+    std::uint64_t enqueued_ns = 0;
+    std::uint64_t trace = 0;
+    std::uint64_t parent_span = 0;
+    bool is_push = false;
+  };
 
   void IoLoop();
   void DispatchLoop();
@@ -131,12 +191,14 @@ class EventBusServer {
   void HandleHello(const std::shared_ptr<Session>& session,
                    const HelloMsg& msg);
   void HandleNotify(const std::shared_ptr<Session>& session,
-                    BytesReader* body);
+                    BytesReader* body, std::uint16_t flags);
+  void HandlePong(const std::shared_ptr<Session>& session, BytesReader* body);
   /// Appends a frame to the session's outbound queue; dooms the session as
   /// a slow consumer when the byte budget would be exceeded. Safe from any
-  /// thread.
+  /// thread. `trace`/`parent_span` annotate the outbound-wait span.
   void EnqueueFrame(const std::shared_ptr<Session>& session,
-                    std::string frame, bool is_push);
+                    std::string frame, bool is_push,
+                    std::uint64_t trace = 0, std::uint64_t parent_span = 0);
   void Reply(const std::shared_ptr<Session>& session, std::uint32_t seq,
              WireCode code, std::uint32_t retry_after_ms,
              const std::string& message);
@@ -174,11 +236,18 @@ class EventBusServer {
   // Admission-control queue (bounded; see Options::admission_capacity).
   mutable std::mutex admission_mu_;
   std::condition_variable admission_cv_;
-  std::deque<std::pair<std::string, detector::PrimitiveOccurrence>>
-      admission_;
+  std::deque<AdmissionItem> admission_;
   bool dispatch_stop_ = false;
 
   std::atomic<bool> overloaded_{false};
+
+  std::atomic<obs::SpanTracer*> tracer_{nullptr};
+
+  // Always-on latency layer (see EventBusServerStats).
+  obs::LatencyHistogram rtt_us_;  // aggregate; per-session copies in Session
+  std::atomic<std::uint64_t> rtt_samples_{0};
+  obs::LatencyHistogram e2e_delivery_ns_;
+  obs::LatencyHistogram e2e_detect_ns_;
 
   // Counters (relaxed; snapshotted by stats()).
   std::atomic<std::uint64_t> accepted_{0};

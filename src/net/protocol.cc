@@ -41,12 +41,12 @@ Result<std::shared_ptr<const detector::ParamList>> DecodeParams(
 }
 
 std::string TakeFrame(MessageType type, const std::uint8_t* body,
-                      std::size_t body_len) {
+                      std::size_t body_len, std::uint16_t flags = 0) {
   BytesWriter header;
   header.PutU32(kFrameMagic);
   header.PutU8(kProtocolVersion);
   header.PutU8(static_cast<std::uint8_t>(type));
-  header.PutU16(0);  // flags, reserved
+  header.PutU16(flags);
   header.PutU32(static_cast<std::uint32_t>(body_len));
   header.PutU32(Crc32(body, body_len));
   std::string frame;
@@ -102,9 +102,13 @@ Result<FrameHeader> FrameHeader::Parse(const std::uint8_t* data,
     return Status::Corruption("unknown message type " +
                               std::to_string(raw_type));
   }
-  (void)*in.ReadU16();  // flags
+  const std::uint16_t flags = *in.ReadU16();
   FrameHeader header;
   header.type = static_cast<MessageType>(raw_type);
+  // Flags are per-frame capability bits: keep the ones we know AND the ones
+  // we don't — unknown bits are a newer peer's optional extras, never an
+  // error (decoders check individual bits and skip the rest).
+  header.flags = flags;
   header.body_len = *in.ReadU32();
   header.body_crc = *in.ReadU32();
   if (header.body_len > max_frame_bytes) {
@@ -115,12 +119,59 @@ Result<FrameHeader> FrameHeader::Parse(const std::uint8_t* data,
   return header;
 }
 
-std::string EncodeFrame(MessageType type, const BytesWriter& body) {
-  return TakeFrame(type, body.data().data(), body.size());
+std::string EncodeFrame(MessageType type, const BytesWriter& body,
+                        std::uint16_t flags) {
+  return TakeFrame(type, body.data().data(), body.size(), flags);
 }
 
 std::string EncodeFrame(MessageType type) {
   return TakeFrame(type, nullptr, 0);
+}
+
+void AppendTraceContext(const TraceContext& tc, BytesWriter* out) {
+  out->PutU64(tc.trace_id);
+  out->PutU64(tc.parent_span);
+  out->PutU64(tc.origin_ns);
+}
+
+TraceContext ReadTraceContext(std::uint16_t flags, BytesReader* in) {
+  TraceContext tc;
+  if ((flags & kFlagTraceContext) == 0) return tc;
+  // Tolerate a flagged frame without the bytes (foreign bit reuse, buggy
+  // peer): an absent trailer is "no context", never a decode failure.
+  if (in->remaining() < 24) return tc;
+  tc.trace_id = *in->ReadU64();
+  tc.parent_span = *in->ReadU64();
+  tc.origin_ns = *in->ReadU64();
+  return tc;
+}
+
+std::string EncodePing(std::uint64_t now_ns) {
+  BytesWriter w;
+  w.PutU64(now_ns);
+  return EncodeFrame(MessageType::kPing, w);
+}
+
+std::string EncodePong(std::uint64_t echo_t0_ns, std::uint64_t now_ns) {
+  BytesWriter w;
+  w.PutU64(echo_t0_ns);
+  w.PutU64(now_ns);
+  return EncodeFrame(MessageType::kPong, w);
+}
+
+std::uint64_t ReadPingT0(BytesReader* in) {
+  if (in->remaining() < 8) return 0;  // pre-PR9 empty ping
+  return *in->ReadU64();
+}
+
+bool ReadPongTimes(BytesReader* in, std::uint64_t* echo_t0_ns,
+                   std::uint64_t* responder_ns) {
+  *echo_t0_ns = 0;
+  *responder_ns = 0;
+  if (in->remaining() < 16) return false;  // pre-PR9 empty pong
+  *echo_t0_ns = *in->ReadU64();
+  *responder_ns = *in->ReadU64();
+  return *echo_t0_ns != 0;
 }
 
 std::string HelloMsg::Encode() const {
@@ -306,10 +357,15 @@ std::string EventPushMsg::Encode() const {
   for (const auto& constituent : occurrence.constituents) {
     EncodeOccurrence(*constituent, &w);
   }
+  if (trace.traced() || trace.has_origin()) {
+    AppendTraceContext(trace, &w);
+    return EncodeFrame(MessageType::kEventPush, w, kFlagTraceContext);
+  }
   return EncodeFrame(MessageType::kEventPush, w);
 }
 
-Result<EventPushMsg> EventPushMsg::Decode(BytesReader* in) {
+Result<EventPushMsg> EventPushMsg::Decode(BytesReader* in,
+                                          std::uint16_t flags) {
   EventPushMsg msg;
   auto event = in->ReadString();
   if (!event.ok()) return event.status();
@@ -340,6 +396,7 @@ Result<EventPushMsg> EventPushMsg::Decode(BytesReader* in) {
     msg.occurrence.constituents.push_back(
         std::make_shared<detector::PrimitiveOccurrence>(std::move(*occ)));
   }
+  msg.trace = ReadTraceContext(flags, in);
   return msg;
 }
 
@@ -372,6 +429,7 @@ Result<bool> FrameAssembler::Next(Frame* out) {
     return Status::Corruption("frame body CRC mismatch (torn or corrupted)");
   }
   out->type = header->type;
+  out->flags = header->flags;
   out->body.assign(body, body + header->body_len);
   consumed_ += kFrameHeaderBytes + header->body_len;
   return true;

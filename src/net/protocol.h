@@ -22,7 +22,13 @@ namespace sentinel::net {
 ///   | magic  | version | type   | flags   | body_len  | body_crc  | body |
 ///   +--------+---------+--------+---------+-----------+-----------+------+
 ///
-/// magic = 0x53'4E'45'54 ("SNET"), version = 1, flags reserved (0).
+/// magic = 0x53'4E'45'54 ("SNET"), version = 1. `flags` is a bitfield of
+/// OPTIONAL per-frame capabilities: a receiver processes the bits it knows
+/// and MUST ignore the rest (forward compatibility — unknown bits never
+/// poison the stream; only magic/version/size/CRC violations do). Bit 0
+/// (kFlagTraceContext) marks a trace-context trailer appended after the
+/// regular kNotify/kEventPush body; old decoders read their fixed fields
+/// and never look at trailing bytes, so flagged frames stay readable.
 /// body_crc is CRC-32 (IEEE) of the body bytes, so a torn or bit-flipped
 /// frame is detected before any field is parsed — the receiving side treats
 /// any header/CRC violation as a protocol error and drops the connection
@@ -38,6 +44,9 @@ namespace sentinel::net {
 constexpr std::uint32_t kFrameMagic = 0x53'4E'45'54;  // "SNET"
 constexpr std::uint8_t kProtocolVersion = 1;
 constexpr std::size_t kFrameHeaderBytes = 16;
+/// Header flags bit: the body carries a TraceContext trailer after the
+/// message's regular fields (kNotify / kEventPush only).
+constexpr std::uint16_t kFlagTraceContext = 0x0001;
 /// Upper bound a receiver enforces on body_len before buffering: a corrupt
 /// length prefix must not make the peer allocate gigabytes.
 constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
@@ -66,17 +75,65 @@ enum class WireCode : std::uint8_t {
 
 struct FrameHeader {
   MessageType type = MessageType::kPing;
+  std::uint16_t flags = 0;
   std::uint32_t body_len = 0;
   std::uint32_t body_crc = 0;
 
   /// Parses and validates a 16-byte header (magic, version, size bound).
+  /// Unknown flag bits are preserved, never rejected.
   static Result<FrameHeader> Parse(const std::uint8_t* data,
                                    std::size_t max_frame_bytes);
 };
 
 /// Encodes one complete frame (header + body) ready for the wire.
-std::string EncodeFrame(MessageType type, const BytesWriter& body);
+std::string EncodeFrame(MessageType type, const BytesWriter& body,
+                        std::uint16_t flags = 0);
 std::string EncodeFrame(MessageType type);  // empty body (ping/pong)
+
+// -- Trace-context trailer (DESIGN.md §14) -----------------------------------
+
+/// Compact distributed-trace trailer appended to kNotify/kEventPush bodies
+/// when kFlagTraceContext is set: 3 little-endian u64s (24 bytes).
+///
+///   trace_id    groups every span of one cross-process causal chain
+///               (0 when span tracing is off at the sender);
+///   parent_span the sender-side span id the receiver's first span should
+///               causally parent to (0 = none);
+///   origin_ns   wall-clock (system_clock) nanoseconds at the ORIGINATING
+///               client's Notify() call — the always-on end-to-end latency
+///               anchor, carried unchanged through the GED into pushes.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+  std::uint64_t origin_ns = 0;
+
+  bool has_origin() const { return origin_ns != 0; }
+  bool traced() const { return trace_id != 0; }
+};
+
+void AppendTraceContext(const TraceContext& tc, BytesWriter* out);
+
+/// Reads the trailer when `flags` advertises one and the 24 bytes are
+/// actually present; otherwise returns an all-zero context. Never fails:
+/// a short or absent trailer (old peer, foreign flag use) just yields zeros.
+TraceContext ReadTraceContext(std::uint16_t flags, BytesReader* in);
+
+// -- Timestamped heartbeats ---------------------------------------------------
+
+/// Ping bodies carry the sender's steady-clock nanoseconds; Pong echoes that
+/// t0 and adds the responder's own steady clock, so the pinger derives
+/// RTT = t2 - t0 and the NTP-style offset t1 - (t0 + t2)/2 (responder clock
+/// minus the midpoint of the local send/receive pair). Empty bodies — the
+/// PR 6 wire form — remain legal: decoders return zeros and the sample is
+/// simply skipped, so old and new peers interoperate.
+std::string EncodePing(std::uint64_t now_ns);
+std::string EncodePong(std::uint64_t echo_t0_ns, std::uint64_t now_ns);
+/// Reads the optional u64 of a Ping body (0 when absent/short).
+std::uint64_t ReadPingT0(BytesReader* in);
+/// Reads the optional (t0 echo, responder now) of a Pong body; returns false
+/// (zeros) when the body is empty or short.
+bool ReadPongTimes(BytesReader* in, std::uint64_t* echo_t0_ns,
+                   std::uint64_t* responder_ns);
 
 // -- Message bodies ----------------------------------------------------------
 
@@ -137,9 +194,14 @@ Result<detector::PrimitiveOccurrence> DecodeOccurrence(BytesReader* in);
 struct EventPushMsg {
   std::string event;  // subscribed global event that detected
   detector::Occurrence occurrence;
+  /// Trace trailer (zero-valued = absent). Encode() appends it and sets
+  /// kFlagTraceContext when it carries anything; Decode() fills it from the
+  /// trailer when `flags` advertises one.
+  TraceContext trace;
 
   std::string Encode() const;
-  static Result<EventPushMsg> Decode(BytesReader* in);
+  static Result<EventPushMsg> Decode(BytesReader* in,
+                                     std::uint16_t flags = 0);
 };
 
 /// Incremental frame parser: feed raw bytes as they arrive, pop complete
@@ -153,6 +215,7 @@ class FrameAssembler {
 
   struct Frame {
     MessageType type = MessageType::kPing;
+    std::uint16_t flags = 0;
     std::vector<std::uint8_t> body;
   };
 

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "obs/json.h"
+#include "obs/span.h"
 
 namespace sentinel::net {
 
@@ -16,6 +17,15 @@ std::uint64_t NowNs() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Wall-clock ns: the always-on e2e origin stamp (either end of the wire
+/// can subtract without knowing the peer's steady-clock offset).
+std::uint64_t WallNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
           .count());
 }
 
@@ -42,6 +52,9 @@ Status RemoteGedClient::Start() {
     stop_ = false;
     backoff_attempt_ = 0;
     jitter_state_ = options_.jitter_seed | 1;  // LCG state must be nonzero
+    // Trace ids must be distinct across processes: mix the app name with
+    // the wall clock at start, then count.
+    trace_seed_ = std::hash<std::string>{}(options_.app_name) ^ WallNs();
   }
   worker_ = std::thread([this] { WorkerLoop(); });
   return Status::OK();
@@ -151,9 +164,39 @@ Status RemoteGedClient::Subscribe(const std::string& event,
 
 Status RemoteGedClient::Notify(
     const detector::PrimitiveOccurrence& occurrence) {
+  // Always-on e2e anchor: stamp the origin here (wall clock), unless the
+  // caller already carries one (an occurrence relayed from elsewhere).
+  TraceContext tc;
+  tc.origin_ns =
+      occurrence.origin_ns != 0 ? occurrence.origin_ns : WallNs();
+  // Frame-encode span: the client-side root of the wire hop. Its id rides
+  // the trailer as the server decode span's remote parent; its own parent
+  // resolves locally (scope stack / open-txn anchor), hanging the whole
+  // remote chain off the originating transaction.
+  obs::SpanScope encode_span;
+  obs::SpanTracer* st = tracer_.load(std::memory_order_acquire);
+  if (st != nullptr && st->enabled_for(obs::SpanKind::kNetFrameEncode)) {
+    tc.trace_id = occurrence.trace_id != 0
+                      ? occurrence.trace_id
+                      : trace_seed_ * 0x9E3779B97F4A7C15ull +
+                            trace_counter_.fetch_add(
+                                1, std::memory_order_relaxed) +
+                            1;
+    if (tc.trace_id == 0) tc.trace_id = 1;
+    encode_span.Start(st, obs::SpanKind::kNetFrameEncode, occurrence.txn,
+                      "notify " + occurrence.class_name + "::" +
+                          occurrence.method_signature);
+    encode_span.AnnotateRemote(tc.trace_id, 0);
+    tc.parent_span = encode_span.id();
+  }
   BytesWriter body;
   EncodeOccurrence(occurrence, &body);
-  std::string frame = EncodeFrame(MessageType::kNotify, body);
+  // The trailer is ALWAYS appended (origin stamps power the server's e2e
+  // histograms even with tracing off); trace_id/parent are zero then.
+  AppendTraceContext(tc, &body);
+  std::string frame =
+      EncodeFrame(MessageType::kNotify, body, kFlagTraceContext);
+  encode_span.End();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!started_ || stop_) return Status::IOError("client not running");
@@ -250,6 +293,11 @@ std::string RemoteGedClient::StreamLoop(int fd) {
     hello.app_name = options_.app_name;
     wire = hello.Encode();
   }
+  const std::uint64_t ping_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options_.ping_interval)
+          .count());
+  std::uint64_t last_ping_ns = NowNs();
   for (;;) {
     // Compact the flushed prefix *before* staging: under sustained traffic
     // the queues are never empty, so waiting for a full drain would let the
@@ -260,6 +308,13 @@ std::string RemoteGedClient::StreamLoop(int fd) {
     } else if (wire_off >= 64 * 1024) {
       wire.erase(0, wire_off);
       wire_off = 0;
+    }
+    // Client-side heartbeat: unlike the server's quiet-wire liveness probe,
+    // these pings exist for their pongs — each one is an RTT + clock-offset
+    // sample feeding this process's trace export.
+    if (registered && ping_ns > 0 && NowNs() - last_ping_ns >= ping_ns) {
+      last_ping_ns = NowNs();
+      wire += EncodePing(last_ping_ns);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -364,7 +419,7 @@ std::string RemoteGedClient::StreamLoop(int fd) {
             break;
           }
           case MessageType::kEventPush: {
-            auto msg = EventPushMsg::Decode(&reader);
+            auto msg = EventPushMsg::Decode(&reader, frame.flags);
             if (!msg.ok()) {
               return "bad EVENT_PUSH: " + msg.status().ToString();
             }
@@ -375,16 +430,66 @@ std::string RemoteGedClient::StreamLoop(int fd) {
               auto it = handlers_.find(msg->event);
               if (it != handlers_.end()) handler = it->second;
             }
+            // The push-decode span adopts the server's trace context (its
+            // push-encode span is the remote parent) and stays open across
+            // the handler, so handler-raised condition/action/subtxn spans
+            // parent into the originating cross-process tree.
+            obs::SpanScope push_span;
+            if (obs::SpanTracer* st =
+                    tracer_.load(std::memory_order_acquire);
+                st != nullptr &&
+                st->enabled_for(obs::SpanKind::kNetFrameDecode)) {
+              push_span.Start(st, obs::SpanKind::kNetFrameDecode,
+                              msg->occurrence.txn, "push " + msg->event);
+              if (msg->trace.trace_id != 0) {
+                push_span.AnnotateRemote(msg->trace.trace_id,
+                                         msg->trace.parent_span);
+              }
+            }
             if (handler) handler(msg->event, msg->occurrence);
+            push_span.End();
+            if (msg->trace.has_origin()) {
+              const std::uint64_t now_wall = WallNs();
+              if (now_wall > msg->trace.origin_ns) {
+                e2e_action_ns_.Record(now_wall - msg->trace.origin_ns);
+              }
+            }
             break;
           }
           case MessageType::kPing: {
+            // Echo the server's send time plus our steady clock so it can
+            // sample RTT/offset for this session.
+            const std::string pong =
+                EncodePong(ReadPingT0(&reader), NowNs());
             std::lock_guard<std::mutex> lock(mu_);
-            control_out_.push_back(EncodeFrame(MessageType::kPong));
+            control_out_.push_back(pong);
             break;
           }
-          case MessageType::kPong:
+          case MessageType::kPong: {
+            std::uint64_t t0 = 0;
+            std::uint64_t t1 = 0;
+            if (!ReadPongTimes(&reader, &t0, &t1)) break;  // old server
+            const std::uint64_t t2 = NowNs();
+            if (t2 <= t0) break;
+            const std::uint64_t rtt_ns = t2 - t0;
+            rtt_us_.Record(rtt_ns / 1000);
+            rtt_samples_.fetch_add(1, std::memory_order_relaxed);
+            // NTP-style sample of the server's steady clock minus ours,
+            // EWMA-smoothed (alpha 1/8); exported with this process's
+            // trace so merge_traces.py can shift it onto one timeline.
+            const std::int64_t sample =
+                static_cast<std::int64_t>(t1) -
+                static_cast<std::int64_t>(t0 + rtt_ns / 2);
+            if (!offset_primed_) {
+              offset_primed_ = true;
+              offset_ewma_ns_ = sample;
+            } else {
+              offset_ewma_ns_ += (sample - offset_ewma_ns_) / 8;
+            }
+            clock_offset_ns_.store(offset_ewma_ns_,
+                                   std::memory_order_relaxed);
             break;
+          }
           case MessageType::kBye: {
             auto msg = ByeMsg::Decode(&reader);
             return "server closed session: " +
@@ -513,6 +618,10 @@ RemoteGedClient::Stats RemoteGedClient::stats() const {
   s.sheds_received = sheds_received_.load(std::memory_order_relaxed);
   s.journal_replays = journal_replays_.load(std::memory_order_relaxed);
   s.connected = connected_.load(std::memory_order_acquire);
+  s.rtt_samples = rtt_samples_.load(std::memory_order_relaxed);
+  s.clock_offset_us = clock_offset_ns_.load(std::memory_order_relaxed) / 1000;
+  s.rtt_us = rtt_us_.TakeSnapshot();
+  s.e2e_action_ns = e2e_action_ns_.TakeSnapshot();
   return s;
 }
 
@@ -529,6 +638,12 @@ std::string RemoteGedClient::StatsJson() const {
   w.Field("pushes_received", s.pushes_received);
   w.Field("sheds_received", s.sheds_received);
   w.Field("journal_replays", s.journal_replays);
+  w.Field("rtt_samples", s.rtt_samples);
+  w.Field("rtt_p50_us", s.rtt_us.QuantileNs(0.5));
+  w.Field("rtt_p99_us", s.rtt_us.QuantileNs(0.99));
+  w.Field("clock_offset_us", s.clock_offset_us);
+  w.Field("e2e_action_p50_ns", s.e2e_action_ns.QuantileNs(0.5));
+  w.Field("e2e_action_p99_ns", s.e2e_action_ns.QuantileNs(0.99));
   w.Field("last_error", last_error());
   w.EndObject();
   return w.Take();

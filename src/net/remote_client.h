@@ -20,6 +20,11 @@
 #include "detector/local_detector.h"
 #include "net/protocol.h"
 #include "net/socket_util.h"
+#include "obs/metrics.h"
+
+namespace sentinel::obs {
+class SpanTracer;
+}  // namespace sentinel::obs
 
 namespace sentinel::net {
 
@@ -63,6 +68,9 @@ class RemoteGedClient {
     /// Seed for the deterministic backoff jitter (tests pin it).
     std::uint64_t jitter_seed = 0x5eed;
     std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Client-side heartbeat cadence: each ping's pong yields an RTT and a
+    /// clock-offset sample for this process's trace export. 0 disables.
+    std::chrono::milliseconds ping_interval{1000};
   };
 
   struct Stats {
@@ -75,6 +83,15 @@ class RemoteGedClient {
     std::uint64_t sheds_received = 0;    // server RETRY_LATER notices
     std::uint64_t journal_replays = 0;   // entries re-sent after reconnect
     bool connected = false;              // Hello acked on the live socket
+    std::uint64_t rtt_samples = 0;
+    /// EWMA steady-clock offset of the SERVER relative to this client
+    /// (positive = server's steady clock is ahead); feeds the trace
+    /// export's clock_offset_ns so merge_traces.py can align timelines.
+    std::int64_t clock_offset_us = 0;
+    obs::LatencyHistogram::Snapshot rtt_us;
+    /// Always-on e2e: origin-stamp → push-handler completion (ns). For a
+    /// single client this closes the loop notify → global detect → action.
+    obs::LatencyHistogram::Snapshot e2e_action_ns;
   };
 
   using PushHandler = std::function<void(const std::string& event,
@@ -134,6 +151,21 @@ class RemoteGedClient {
   Stats stats() const;
   std::string StatsJson() const;
 
+  /// Attaches the causal span tracer: Notify opens a frame-encode span
+  /// whose id crosses the wire as the server's remote parent, and pushes
+  /// open a frame-decode span that adopts the server's trace context so
+  /// handler-side condition/action spans join the originating tree.
+  void set_span_tracer(obs::SpanTracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+
+  /// Smoothed steady-clock offset of the server relative to this process
+  /// (ns); pass it as ExportMeta::clock_offset_ns when exporting this
+  /// process's trace with the server as the reference timeline.
+  std::int64_t clock_offset_ns() const {
+    return clock_offset_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Pending {
     bool done = false;
@@ -189,6 +221,18 @@ class RemoteGedClient {
   std::atomic<std::uint64_t> pushes_received_{0};
   std::atomic<std::uint64_t> sheds_received_{0};
   std::atomic<std::uint64_t> journal_replays_{0};
+
+  // Tracing + heartbeat timing (DESIGN.md §14). EWMA state is worker-only;
+  // the histograms/atomics are scraped from app threads.
+  std::atomic<obs::SpanTracer*> tracer_{nullptr};
+  obs::LatencyHistogram rtt_us_;
+  obs::LatencyHistogram e2e_action_ns_;
+  std::atomic<std::uint64_t> rtt_samples_{0};
+  std::atomic<std::int64_t> clock_offset_ns_{0};
+  std::int64_t offset_ewma_ns_ = 0;  // worker thread only
+  bool offset_primed_ = false;       // worker thread only
+  std::atomic<std::uint64_t> trace_counter_{0};
+  std::uint64_t trace_seed_ = 0;  // set once in Start()
 };
 
 }  // namespace sentinel::net

@@ -86,6 +86,16 @@ const char* SpanKindToString(SpanKind kind) {
       return "page_read";
     case SpanKind::kGedForward:
       return "ged_forward";
+    case SpanKind::kNetFrameEncode:
+      return "net_frame_encode";
+    case SpanKind::kNetFrameDecode:
+      return "net_frame_decode";
+    case SpanKind::kNetAdmissionWait:
+      return "net_admission_wait";
+    case SpanKind::kNetOutboundWait:
+      return "net_outbound_wait";
+    case SpanKind::kNetWrite:
+      return "net_write";
   }
   return "?";
 }
@@ -173,6 +183,28 @@ void SpanTracer::Commit(Span&& span) {
   std::uint64_t pos = ring->seq.fetch_add(1, std::memory_order_relaxed);
   if (pos >= ring_capacity_) dropped_.fetch_add(1, std::memory_order_relaxed);
   ring->slots[pos % ring_capacity_] = std::move(span);
+}
+
+std::uint64_t SpanTracer::RecordTimedSpan(SpanKind kind, std::uint64_t start_ns,
+                                          std::uint64_t end_ns,
+                                          storage::TxnId txn, std::string label,
+                                          std::uint64_t parent,
+                                          std::uint64_t trace,
+                                          std::uint64_t remote_parent) {
+  Span span;
+  span.id = NextSpanId();
+  span.parent = parent;
+  span.kind = kind;
+  span.txn = txn;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns >= start_ns ? end_ns : start_ns;
+  span.tid = ThisThreadId();
+  span.label = std::move(label);
+  span.trace = trace;
+  span.remote_parent = remote_parent;
+  const std::uint64_t id = span.id;
+  Commit(std::move(span));
+  return id;
 }
 
 void SpanTracer::BeginTxnSpan(storage::TxnId txn) {
@@ -275,6 +307,8 @@ void AppendTraceEvent(JsonWriter& w, const Span& span, std::uint64_t base_ns,
   w.Field("kind", SpanKindToString(span.kind));
   if (span.txn != storage::kInvalidTxnId) w.Field("txn", span.txn);
   if (span.subtxn != 0) w.Field("subtxn", span.subtxn);
+  if (span.trace != 0) w.Field("trace", span.trace);
+  if (span.remote_parent != 0) w.Field("remote_parent", span.remote_parent);
   w.EndObject();
   w.EndObject();
 }
@@ -282,6 +316,10 @@ void AppendTraceEvent(JsonWriter& w, const Span& span, std::uint64_t base_ns,
 }  // namespace
 
 std::string SpanTracer::ChromeTraceJson() const {
+  return ChromeTraceJson(ExportMeta{});
+}
+
+std::string SpanTracer::ChromeTraceJson(const ExportMeta& meta) const {
   std::vector<Span> spans = Snapshot();
   std::vector<Span> open = OpenTxnSpans();
   spans.insert(spans.end(), open.begin(), open.end());
@@ -316,12 +354,26 @@ std::string SpanTracer::ChromeTraceJson() const {
     w.EndObject();
   }
   w.EndArray();
+  // Cross-process merge metadata: base_ns re-absolutizes the relative ts
+  // fields; clock_offset_ns shifts this export onto the reference timeline.
+  w.Key("otherData");
+  w.BeginObject();
+  if (!meta.process.empty()) w.Field("process", meta.process);
+  w.Field("base_ns", base_ns);
+  w.Field("clock_offset_ns",
+          static_cast<std::int64_t>(meta.clock_offset_ns));
+  w.EndObject();
   w.EndObject();
   return w.Take();
 }
 
 Status SpanTracer::ExportChromeTrace(const std::string& path) const {
-  std::string json = ChromeTraceJson();
+  return ExportChromeTrace(path, ExportMeta{});
+}
+
+Status SpanTracer::ExportChromeTrace(const std::string& path,
+                                     const ExportMeta& meta) const {
+  std::string json = ChromeTraceJson(meta);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open trace output: " + path);
   out.write(json.data(), static_cast<std::streamsize>(json.size()));

@@ -20,6 +20,11 @@ class FlightRecorder;
 /// the paper's pipeline: txn → notify → composite_detect → (condition,
 /// action, subtxn) with storage-layer leaves (lock_wait, wal_fsync,
 /// page_read) and cross-application hops (ged_forward) hanging off it.
+/// The kNet* kinds cover the SNET wire path (DESIGN.md §14): frame
+/// encode/decode on either end, the server's admission-queue and
+/// per-session outbound-queue waits, and raw socket writes. They are
+/// per-event hot kinds: enabled_for() keeps them out of flight-only mode,
+/// and they must stay LAST in the enum so that gate is one compare.
 enum class SpanKind : std::uint8_t {
   kTxn = 0,
   kNotify,
@@ -31,6 +36,11 @@ enum class SpanKind : std::uint8_t {
   kWalFsync,
   kPageRead,
   kGedForward,
+  kNetFrameEncode,
+  kNetFrameDecode,
+  kNetAdmissionWait,
+  kNetOutboundWait,
+  kNetWrite,
 };
 
 const char* SpanKindToString(SpanKind kind);
@@ -60,6 +70,13 @@ struct Span {
   std::uint64_t end_ns = 0;
   std::uint32_t tid = 0;
   std::string label;
+  // Distributed-trace linkage (DESIGN.md §14). `trace` groups the spans of
+  // one cross-process causal chain; `remote_parent` is the causal parent's
+  // span id, which may live in ANOTHER process's export — span ids are
+  // per-tracer, so tools/merge_traces.py resolves it by (trace, id) across
+  // files. Both zero for purely local spans.
+  std::uint64_t trace = 0;
+  std::uint64_t remote_parent = 0;
 };
 
 /// Causal span tracer. Same budget discipline as the provenance tracer
@@ -91,8 +108,10 @@ class SpanTracer {
     TraceMode m = mode_.load(std::memory_order_relaxed);
     if (m == TraceMode::kOff) return false;
     if (m == TraceMode::kFull) return true;
-    // Flight-recorder-only: skip the per-event hot kinds.
-    return kind != SpanKind::kNotify && kind != SpanKind::kCompositeDetect;
+    // Flight-recorder-only: skip the per-event hot kinds (including every
+    // net wire kind — they fire once per frame).
+    return kind != SpanKind::kNotify && kind != SpanKind::kCompositeDetect &&
+           kind < SpanKind::kNetFrameEncode;
   }
 
   /// Every committed span is also copied into `recorder` (the always-on
@@ -125,6 +144,31 @@ class SpanTracer {
   /// provisional end.
   std::string ChromeTraceJson() const;
   Status ExportChromeTrace(const std::string& path) const;
+
+  /// Per-process metadata stamped into the export's top-level `otherData`
+  /// object so tools/merge_traces.py can place several process exports on
+  /// one timeline: `process` labels the export, `clock_offset_ns` is this
+  /// process's steady clock minus the reference process's (the tool
+  /// subtracts it), and the export always carries `base_ns` — the absolute
+  /// steady-clock origin the relative `ts` fields are measured from.
+  struct ExportMeta {
+    std::string process;
+    std::int64_t clock_offset_ns = 0;
+  };
+  std::string ChromeTraceJson(const ExportMeta& meta) const;
+  Status ExportChromeTrace(const std::string& path,
+                           const ExportMeta& meta) const;
+
+  /// Commits an already-timed span (both timestamps supplied by the caller)
+  /// and returns its id. Queue-wait spans need this: the wait starts on the
+  /// enqueuing thread and ends on the dequeuing one, so no RAII scope can
+  /// cover it. Does NOT consult or push the scope stack. Call only after
+  /// enabled_for() passed.
+  std::uint64_t RecordTimedSpan(SpanKind kind, std::uint64_t start_ns,
+                                std::uint64_t end_ns, storage::TxnId txn,
+                                std::string label, std::uint64_t parent,
+                                std::uint64_t trace = 0,
+                                std::uint64_t remote_parent = 0);
 
   /// Id of the innermost open scope on this thread belonging to `tracer`
   /// (0 when none). Used to stamp a firing with the detection span that
@@ -187,6 +231,15 @@ class SpanScope {
              std::string label, std::uint64_t subtxn = 0,
              std::uint64_t parent_override = 0);
   void End();
+
+  /// Marks an open span as part of distributed trace `trace`, causally
+  /// parented by `remote_parent` (a span id possibly from another process;
+  /// 0 = trace membership only). No-op on an inert scope.
+  void AnnotateRemote(std::uint64_t trace, std::uint64_t remote_parent) {
+    if (tracer_ == nullptr) return;
+    span_.trace = trace;
+    span_.remote_parent = remote_parent;
+  }
 
   bool active() const { return tracer_ != nullptr; }
   std::uint64_t id() const { return span_.id; }

@@ -184,6 +184,19 @@ void Watchdog::Evaluate(const MonitorSample& sample) {
                std::to_string(options_.max_wal_durability_lag));
     }
 
+    // End-to-end event SLO: windowed p99 of origin-stamp → GED dispatch.
+    // The breach usually means the wire/admission path is stalling while
+    // per-stage gauges still look healthy, so it gets its own predicate.
+    const LatencyHistogram::Snapshot e2e_delta =
+        DeltaSnapshot(sample.net_e2e, oldest.net_e2e);
+    if (e2e_delta.count > 0) {
+      const std::uint64_t p99 = e2e_delta.QuantileNs(0.99);
+      if (p99 > options_.net_e2e_p99_degraded_ns) {
+        trip(HealthState::kDegraded,
+             "net_e2e_p99: " + std::to_string(p99) + "ns over window");
+      }
+    }
+
     // Network overload: the event-bus admission queue sits past its
     // high-water mark and is shedding NOTIFY traffic with RETRY_LATER.
     // Degraded, not unhealthy — bounded queues and typed sheds mean the

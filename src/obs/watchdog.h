@@ -62,6 +62,10 @@ struct MonitorSample {
   // Cumulative latency distributions (windowed quantiles via subtraction).
   LatencyHistogram::Snapshot lock_wait;
   LatencyHistogram::Snapshot wal_fsync;
+  /// End-to-end event latency at the server (origin-stamp → GED dispatch,
+  /// ns; empty when no event-bus server is attached). Windowed p99 feeds
+  /// the net_e2e stall predicate.
+  LatencyHistogram::Snapshot net_e2e;
 };
 
 enum class HealthState : int { kHealthy = 0, kDegraded = 1, kUnhealthy = 2 };
@@ -105,6 +109,9 @@ class Watchdog {
     /// Async-commit backlog (appended_lsn - durable_lsn) above which the
     /// group-commit thread is considered to be falling behind (degraded).
     std::uint64_t max_wal_durability_lag = 65536;
+    /// Windowed end-to-end event-delivery p99 (client origin → GED
+    /// dispatch) above which the network plane is degraded — the e2e SLO.
+    std::uint64_t net_e2e_p99_degraded_ns = 1000ull * 1000 * 1000;
     std::uint64_t buffer_growth_min = 4096;
     std::chrono::milliseconds postmortem_min_interval{5000};
   };

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -22,6 +23,7 @@
 #include "ged/global_detector.h"
 #include "net/event_bus_server.h"
 #include "net/remote_client.h"
+#include "obs/span.h"
 #include "oodb/value.h"
 
 namespace sentinel::net {
@@ -63,6 +65,40 @@ RemoteGedClient::Options FastClient(int port, const std::string& app,
   o.request_timeout = std::chrono::milliseconds(500);
   o.jitter_seed = seed;
   return o;
+}
+
+/// Walks every delivered push back to the notify-encode span that
+/// originated it, hop by hop: remote_parent when the causal parent crossed
+/// the wire, the local parent otherwise. Both roles share one tracer here,
+/// so the whole cross-process chain resolves inside a single snapshot —
+/// the in-process equivalent of tools/merge_traces.py --check.
+struct ChainCheck {
+  int pushes = 0;     // client-side push-decode spans seen
+  int connected = 0;  // of those, how many chain back to a notify encode
+};
+
+ChainCheck CheckPushChains(const std::vector<obs::Span>& spans) {
+  std::map<std::uint64_t, const obs::Span*> by_id;
+  for (const obs::Span& s : spans) by_id[s.id] = &s;
+  ChainCheck check;
+  for (const obs::Span& s : spans) {
+    if (s.kind != obs::SpanKind::kNetFrameDecode) continue;
+    if (s.label.rfind("push ", 0) != 0) continue;
+    ++check.pushes;
+    const obs::Span* cur = &s;
+    for (int hops = 0; hops < 64 && cur != nullptr; ++hops) {
+      if (cur->kind == obs::SpanKind::kNetFrameEncode &&
+          cur->label.rfind("notify ", 0) == 0) {
+        if (cur->trace == s.trace && s.trace != 0) ++check.connected;
+        break;
+      }
+      const std::uint64_t up =
+          cur->remote_parent != 0 ? cur->remote_parent : cur->parent;
+      const auto it = by_id.find(up);
+      cur = it == by_id.end() ? nullptr : it->second;
+    }
+  }
+  return check;
 }
 
 class NetChaosTest : public ::testing::Test {
@@ -271,6 +307,151 @@ TEST_F(NetChaosTest, OverloadDegradesHealthzAndRecovers) {
   server.Stop();
   db.StopMonitoring();
   ASSERT_TRUE(db.Close().ok());
+}
+
+// Supersede under tracing: a second connection stealing the app name dooms
+// the first session, and every push delivered on the surviving session
+// still carries a trace chain that walks back to its notify encode. The
+// superseded client is parked on a long backoff so the two connections
+// don't keep dooming each other.
+TEST_F(NetChaosTest, TracedSupersedeKeepsTraceChainsConnected) {
+  obs::SpanTracer tracer(1 << 16);
+  tracer.set_mode(obs::TraceMode::kFull);
+  ged::GlobalEventDetector ged;
+  ged.set_span_tracer(&tracer);
+  EventBusServer server(&ged);
+  server.set_span_tracer(&tracer);
+  ASSERT_TRUE(server.Start({}).ok());
+
+  RemoteGedClient::Options fopts = FastClient(server.port(), "traced");
+  fopts.backoff_base = std::chrono::seconds(60);  // stay down once doomed
+  fopts.backoff_max = std::chrono::seconds(60);
+  RemoteGedClient first(fopts);
+  first.set_span_tracer(&tracer);
+  ASSERT_TRUE(first.Start().ok());
+  ASSERT_TRUE(first.WaitConnected(std::chrono::seconds(10)));
+
+  RemoteGedClient client(FastClient(server.port(), "traced", 0xabcd));
+  client.set_span_tracer(&tracer);
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.WaitConnected(std::chrono::seconds(10)));
+  ASSERT_TRUE(WaitUntil(
+      [&] { return server.stats().superseded_sessions >= 1; },
+      std::chrono::seconds(10)));
+
+  std::atomic<std::uint64_t> received{0};
+  ASSERT_TRUE(client
+                  .DefineGlobalPrimitive("g_traced", "Order",
+                                         EventModifier::kEnd, "void f()")
+                  .ok());
+  ASSERT_TRUE(
+      client
+          .Subscribe("g_traced", ParamContext::kRecent,
+                     [&](const std::string&, const detector::Occurrence&) {
+                       received.fetch_add(1);
+                     })
+          .ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (received.load() < 5) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    (void)client.Notify(Occ("void f()", 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // The push handler bumps `received` before its decode span commits to
+  // the ring, so poll until the spans land rather than racing the worker.
+  ChainCheck check;
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        check = CheckPushChains(tracer.Snapshot());
+        return check.pushes >= 5;
+      },
+      std::chrono::seconds(10)));
+  EXPECT_EQ(check.connected, check.pushes)
+      << "a delivered push lost its causal chain across the supersede";
+
+  client.Stop();
+  first.Stop();
+  server.Stop();
+}
+
+// Shed/retry under tracing: the admission queue sheds NOTIFY traffic with
+// RETRY_LATER while the dispatcher is stalled; after the stall clears,
+// deliveries resume and every push that made it through — during or after
+// the overload — still has a fully connected trace chain. Shed events
+// simply have no push; they must not leave half-built trees behind.
+TEST_F(NetChaosTest, TracedShedRetryKeepsTraceChainsConnected) {
+  obs::SpanTracer tracer(1 << 16);
+  tracer.set_mode(obs::TraceMode::kFull);
+  ged::GlobalEventDetector ged;
+  ged.set_span_tracer(&tracer);
+  EventBusServer server(&ged);
+  server.set_span_tracer(&tracer);
+  EventBusServer::Options sopts;
+  sopts.admission_capacity = 4;
+  sopts.retry_after_ms = 5;
+  ASSERT_TRUE(server.Start(sopts).ok());
+
+  RemoteGedClient client(FastClient(server.port(), "traced_shed"));
+  client.set_span_tracer(&tracer);
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.WaitConnected(std::chrono::seconds(10)));
+
+  std::atomic<std::uint64_t> received{0};
+  ASSERT_TRUE(client
+                  .DefineGlobalPrimitive("g_shed", "Order",
+                                         EventModifier::kEnd, "void f()")
+                  .ok());
+  ASSERT_TRUE(
+      client
+          .Subscribe("g_shed", ParamContext::kRecent,
+                     [&](const std::string&, const detector::Occurrence&) {
+                       received.fetch_add(1);
+                     })
+          .ok());
+
+  // Stall the dispatcher and flood until the server sheds at least once.
+  ASSERT_TRUE(FailPointRegistry::Instance()
+                  .Enable("net.server.dispatch", "delay(ms=30)")
+                  .ok());
+  const auto flood_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (client.stats().sheds_received < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), flood_deadline)
+        << "overload never shed; server sheds=" << server.stats().sheds;
+    for (int i = 0; i < 16; ++i) (void)client.Notify(Occ("void f()", i));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Clear the stall, let the queue drain, then push one more event through.
+  FailPointRegistry::Instance().DisableAll();
+  ASSERT_TRUE(WaitUntil([&] { return !server.overloaded(); },
+                        std::chrono::seconds(20)));
+  const std::uint64_t before = received.load();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (received.load() <= before) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    (void)client.Notify(Occ("void f()", 7));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // The push handler bumps `received` before its decode span commits to
+  // the ring, so poll until the spans land rather than racing the worker.
+  ChainCheck check;
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        check = CheckPushChains(tracer.Snapshot());
+        return check.pushes >= 1;
+      },
+      std::chrono::seconds(10)));
+  EXPECT_EQ(check.connected, check.pushes)
+      << "a delivered push lost its causal chain across shed/retry";
+  EXPECT_GE(client.stats().sheds_received, 1u);
+
+  client.Stop();
+  server.Stop();
 }
 
 // The acceptance swarm: ≥50 concurrent clients while probabilistic faults

@@ -188,6 +188,143 @@ TEST(NetProtocol, EventPushRoundtrip) {
   EXPECT_EQ(v->AsInt(), 17);
 }
 
+TEST(NetProtocol, TraceContextTrailerRoundtrip) {
+  const detector::PrimitiveOccurrence occ = MakeOccurrence();
+  BytesWriter writer;
+  EncodeOccurrence(occ, &writer);
+  TraceContext tc;
+  tc.trace_id = 0xABCDEF0123456789ull;
+  tc.parent_span = 42;
+  tc.origin_ns = 1700000000000000000ull;
+  AppendTraceContext(tc, &writer);
+
+  FrameAssembler assembler;
+  auto frame = FeedOne(
+      &assembler,
+      EncodeFrame(MessageType::kNotify, writer, kFlagTraceContext));
+  EXPECT_EQ(frame.flags & kFlagTraceContext, kFlagTraceContext);
+  BytesReader reader(frame.body);
+  auto decoded = DecodeOccurrence(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->event_name, "submitted");
+  const TraceContext back = ReadTraceContext(frame.flags, &reader);
+  EXPECT_EQ(back.trace_id, tc.trace_id);
+  EXPECT_EQ(back.parent_span, tc.parent_span);
+  EXPECT_EQ(back.origin_ns, tc.origin_ns);
+}
+
+TEST(NetProtocol, TraceContextAbsentYieldsZeros) {
+  // Pre-trailer frame (no flag, no trailer bytes): decoding must not fail
+  // and the context must read as all-zero — version tolerance forward.
+  const detector::PrimitiveOccurrence occ = MakeOccurrence();
+  BytesWriter writer;
+  EncodeOccurrence(occ, &writer);
+  FrameAssembler assembler;
+  auto frame = FeedOne(&assembler, EncodeFrame(MessageType::kNotify, writer));
+  EXPECT_EQ(frame.flags, 0u);
+  BytesReader reader(frame.body);
+  ASSERT_TRUE(DecodeOccurrence(&reader).ok());
+  const TraceContext none = ReadTraceContext(frame.flags, &reader);
+  EXPECT_EQ(none.trace_id, 0u);
+  EXPECT_EQ(none.parent_span, 0u);
+  EXPECT_EQ(none.origin_ns, 0u);
+  EXPECT_FALSE(none.traced());
+  EXPECT_FALSE(none.has_origin());
+
+  // Flag set but trailer truncated: tolerated as absent, never an error.
+  BytesReader short_reader(frame.body);
+  ASSERT_TRUE(DecodeOccurrence(&short_reader).ok());
+  const TraceContext truncated =
+      ReadTraceContext(kFlagTraceContext, &short_reader);
+  EXPECT_EQ(truncated.trace_id, 0u);
+  EXPECT_EQ(truncated.origin_ns, 0u);
+}
+
+TEST(NetProtocol, UnknownFlagBitsAreCarriedNotRefused) {
+  // A future peer may set flag bits this build does not know. The header
+  // must parse, the frame must decode, and the unknown bits must be
+  // visible to the caller (explicitly ignored, never poisoning).
+  const std::uint16_t flags = kFlagTraceContext | 0x4000 | 0x0002;
+  HelloMsg msg;
+  msg.seq = 8;
+  msg.app_name = "future";
+  BytesWriter body;
+  body.PutU32(msg.seq);
+  body.PutString(msg.app_name);
+  const std::string wire = EncodeFrame(MessageType::kHello, body, flags);
+
+  auto header = FrameHeader::Parse(
+      reinterpret_cast<const std::uint8_t*>(wire.data()),
+      kDefaultMaxFrameBytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->flags, flags);
+
+  FrameAssembler assembler;
+  auto frame = FeedOne(&assembler, wire);
+  EXPECT_EQ(frame.flags, flags);
+  BytesReader reader(frame.body);
+  auto decoded = HelloMsg::Decode(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->app_name, "future");
+}
+
+TEST(NetProtocol, EventPushCarriesTraceContext) {
+  EventPushMsg msg;
+  msg.event = "g_traced";
+  msg.occurrence.event_name = "g_traced";
+  msg.occurrence.constituents.push_back(
+      std::make_shared<detector::PrimitiveOccurrence>(MakeOccurrence()));
+  msg.trace.trace_id = 77;
+  msg.trace.parent_span = 5;
+  msg.trace.origin_ns = 123456789;
+
+  FrameAssembler assembler;
+  auto frame = FeedOne(&assembler, msg.Encode());
+  EXPECT_EQ(frame.flags & kFlagTraceContext, kFlagTraceContext);
+  BytesReader reader(frame.body);
+  auto decoded = EventPushMsg::Decode(&reader, frame.flags);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->trace.trace_id, 77u);
+  EXPECT_EQ(decoded->trace.parent_span, 5u);
+  EXPECT_EQ(decoded->trace.origin_ns, 123456789u);
+
+  // An untraced push keeps the legacy empty-flags wire shape.
+  EventPushMsg plain;
+  plain.event = "g_plain";
+  plain.occurrence.event_name = "g_plain";
+  auto plain_frame = FeedOne(&assembler, plain.Encode());
+  EXPECT_EQ(plain_frame.flags, 0u);
+  BytesReader plain_reader(plain_frame.body);
+  auto plain_decoded = EventPushMsg::Decode(&plain_reader, plain_frame.flags);
+  ASSERT_TRUE(plain_decoded.ok());
+  EXPECT_EQ(plain_decoded->trace.trace_id, 0u);
+}
+
+TEST(NetProtocol, TimestampedPingPongRoundtrip) {
+  FrameAssembler assembler;
+  auto ping = FeedOne(&assembler, EncodePing(987654321));
+  EXPECT_EQ(ping.type, MessageType::kPing);
+  BytesReader ping_reader(ping.body);
+  EXPECT_EQ(ReadPingT0(&ping_reader), 987654321u);
+
+  auto pong = FeedOne(&assembler, EncodePong(987654321, 987700000));
+  EXPECT_EQ(pong.type, MessageType::kPong);
+  BytesReader pong_reader(pong.body);
+  std::uint64_t echo = 0;
+  std::uint64_t responder = 0;
+  ASSERT_TRUE(ReadPongTimes(&pong_reader, &echo, &responder));
+  EXPECT_EQ(echo, 987654321u);
+  EXPECT_EQ(responder, 987700000u);
+
+  // Pre-PR9 empty heartbeats: no timestamp, no RTT sample, no error.
+  auto old_ping = FeedOne(&assembler, EncodeFrame(MessageType::kPing));
+  BytesReader old_ping_reader(old_ping.body);
+  EXPECT_EQ(ReadPingT0(&old_ping_reader), 0u);
+  auto old_pong = FeedOne(&assembler, EncodeFrame(MessageType::kPong));
+  BytesReader old_pong_reader(old_pong.body);
+  EXPECT_FALSE(ReadPongTimes(&old_pong_reader, &echo, &responder));
+}
+
 TEST(NetProtocol, EmptyBodyPingPong) {
   FrameAssembler assembler;
   auto ping = FeedOne(&assembler, EncodeFrame(MessageType::kPing));

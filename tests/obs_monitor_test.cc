@@ -251,6 +251,39 @@ TEST(ObsWatchdogTest, BufferGrowthWithoutDetectionsDegrades) {
   EXPECT_EQ(wd2.health(), HealthState::kHealthy);
 }
 
+TEST(ObsWatchdogTest, NetE2eP99BreachDegrades) {
+  Watchdog::Options options;
+  options.net_e2e_p99_degraded_ns = 1000000;  // 1ms SLO for the test
+  options.window = 2;  // compare each tick against the previous one only
+  Watchdog wd([] { return MonitorSample{}; }, options);
+
+  // Baseline tick: the cumulative e2e histogram already holds some fast
+  // deliveries — they must not count against the window.
+  LatencyHistogram e2e;
+  for (int i = 0; i < 100; ++i) e2e.Record(50000);  // 50us, well under SLO
+  MonitorSample s1 = SampleAt(100);
+  s1.net_e2e = e2e.TakeSnapshot();
+  wd.TickForTest(s1);
+  EXPECT_EQ(wd.health(), HealthState::kHealthy);
+
+  // The window between ticks sees a latency spike: p99 of the delta
+  // blows through the SLO even though the cumulative p99 barely moves.
+  for (int i = 0; i < 10; ++i) e2e.Record(50000000);  // 50ms
+  MonitorSample s2 = SampleAt(200);
+  s2.net_e2e = e2e.TakeSnapshot();
+  wd.TickForTest(s2);
+  EXPECT_EQ(wd.health(), HealthState::kDegraded);
+  ASSERT_FALSE(wd.reasons().empty());
+  EXPECT_NE(wd.reasons().front().find("net_e2e_p99"), std::string::npos);
+
+  // Spike passes, window is clean again: back to healthy.
+  for (int i = 0; i < 100; ++i) e2e.Record(50000);
+  MonitorSample s3 = SampleAt(300);
+  s3.net_e2e = e2e.TakeSnapshot();
+  wd.TickForTest(s3);
+  EXPECT_EQ(wd.health(), HealthState::kHealthy);
+}
+
 TEST(ObsWatchdogTest, PostmortemsAreRateLimitedPerTransition) {
   Watchdog::Options options;
   options.postmortem_min_interval = std::chrono::milliseconds(1000);

@@ -308,6 +308,101 @@ TEST(ObsSpanTest, StatsJsonCarriesStorageSectionWhenPersistent) {
   std::filesystem::remove_all(dir, ec);
 }
 
+// Net wire kinds fire once per frame, so flight-recorder mode must skip
+// them the same way it skips notify/composite_detect; kFull records them.
+TEST(ObsSpanTest, NetSpanKindsGatedByMode) {
+  obs::SpanTracer tracer;
+  const SpanKind net_kinds[] = {
+      SpanKind::kNetFrameEncode, SpanKind::kNetFrameDecode,
+      SpanKind::kNetAdmissionWait, SpanKind::kNetOutboundWait,
+      SpanKind::kNetWrite};
+  tracer.set_mode(TraceMode::kFlightOnly);
+  for (SpanKind kind : net_kinds) {
+    EXPECT_FALSE(tracer.enabled_for(kind)) << obs::SpanKindToString(kind);
+  }
+  EXPECT_TRUE(tracer.enabled_for(SpanKind::kSubTxn));
+  tracer.set_mode(TraceMode::kFull);
+  for (SpanKind kind : net_kinds) {
+    EXPECT_TRUE(tracer.enabled_for(kind)) << obs::SpanKindToString(kind);
+  }
+  tracer.set_mode(TraceMode::kOff);
+  for (SpanKind kind : net_kinds) {
+    EXPECT_FALSE(tracer.enabled_for(kind)) << obs::SpanKindToString(kind);
+  }
+}
+
+// The cross-process linkage primitives: a scope annotated with a remote
+// parent, a timed span recorded with an explicit parent (the queue-wait
+// shape), and a child scope resolving its parent from the enclosing scope.
+TEST(ObsSpanTest, RemoteAnnotationAndTimedSpanParents) {
+  obs::SpanTracer tracer;
+  tracer.set_mode(TraceMode::kFull);
+
+  std::uint64_t decode_id = 0;
+  std::uint64_t child_id = 0;
+  {
+    obs::SpanScope decode;
+    decode.Start(&tracer, SpanKind::kNetFrameDecode, storage::kInvalidTxnId,
+                 "push g_e");
+    decode.AnnotateRemote(/*trace=*/0xFEED, /*remote_parent=*/314);
+    decode_id = decode.id();
+    // A span opened inside the scope parents to it via the scope stack —
+    // the push-handler condition/action path.
+    obs::SpanScope child;
+    child.Start(&tracer, SpanKind::kAction, storage::kInvalidTxnId, "handler");
+    child_id = child.id();
+    child.End();
+    decode.End();
+  }
+  const std::uint64_t wait_id = tracer.RecordTimedSpan(
+      SpanKind::kNetAdmissionWait, /*start_ns=*/100, /*end_ns=*/250,
+      storage::kInvalidTxnId, "admission", /*parent=*/decode_id,
+      /*trace=*/0xFEED, /*remote_parent=*/0);
+
+  std::map<std::uint64_t, Span> by_id;
+  for (const Span& span : tracer.Snapshot()) by_id[span.id] = span;
+  ASSERT_TRUE(by_id.count(decode_id));
+  ASSERT_TRUE(by_id.count(child_id));
+  ASSERT_TRUE(by_id.count(wait_id));
+  EXPECT_EQ(by_id[decode_id].trace, 0xFEEDu);
+  EXPECT_EQ(by_id[decode_id].remote_parent, 314u);
+  EXPECT_EQ(by_id[child_id].parent, decode_id);
+  EXPECT_EQ(by_id[wait_id].parent, decode_id);
+  EXPECT_EQ(by_id[wait_id].trace, 0xFEEDu);
+  EXPECT_EQ(by_id[wait_id].start_ns, 100u);
+  EXPECT_EQ(by_id[wait_id].end_ns, 250u);
+}
+
+// The export carries the merge metadata and the distributed-trace args the
+// merge tool resolves remote parents by.
+TEST(ObsSpanTest, ExportMetaStampsOtherData) {
+  obs::SpanTracer tracer;
+  tracer.set_mode(TraceMode::kFull);
+  {
+    obs::SpanScope scope;
+    scope.Start(&tracer, SpanKind::kNetFrameEncode, storage::kInvalidTxnId,
+                "notify Order::f");
+    scope.AnnotateRemote(/*trace=*/0xBEEF, /*remote_parent=*/0);
+    scope.End();
+  }
+  obs::SpanTracer::ExportMeta meta;
+  meta.process = "client:inventory";
+  meta.clock_offset_ns = -12345;
+  const std::string json = tracer.ChromeTraceJson(meta);
+  EXPECT_TRUE(JsonBalanced(json));
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(json.find("\"process\":\"client:inventory\""), std::string::npos);
+  EXPECT_NE(json.find("\"clock_offset_ns\":-12345"), std::string::npos);
+  EXPECT_NE(json.find("\"base_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":48879"), std::string::npos);  // 0xBEEF
+  EXPECT_NE(json.find("\"cat\":\"net_frame_encode\""), std::string::npos);
+
+  // The meta-less export still carries otherData (offset 0) so merge input
+  // shape is uniform.
+  const std::string plain = tracer.ChromeTraceJson();
+  EXPECT_NE(plain.find("\"clock_offset_ns\":0"), std::string::npos);
+}
+
 TEST(ObsSpanTest, FlightRecorderRingKeepsLastN) {
   obs::FlightRecorder recorder(/*capacity=*/4);
   obs::SpanTracer tracer;

@@ -10,12 +10,17 @@ does:
   - histogram _bucket series have numerically increasing le labels per
     labelset, cumulative non-decreasing values, a closing le="+Inf" bucket,
     and _count == the +Inf bucket;
-  - counter/gauge values are non-negative finite numbers.
+  - counter/histogram values are non-negative finite numbers (gauges may
+    be negative: clock offsets are signed).
 
-Usage: check_exposition.py <file>   (or pipe the body on stdin)
+Usage: check_exposition.py [--require PREFIX]... [<file>]
+       (or pipe the body on stdin)
+Each --require asserts that at least one sampled family starts with
+PREFIX — CI uses it to pin down families that must be present.
 Exits non-zero with a description of the first violation.
 """
 
+import argparse
 import math
 import re
 import sys
@@ -33,9 +38,17 @@ def fail(msg: str) -> None:
 
 
 def main() -> None:
-    text = (
-        open(sys.argv[1]).read() if len(sys.argv) > 1 else sys.stdin.read()
+    ap = argparse.ArgumentParser()
+    ap.add_argument("path", nargs="?", help="exposition body (default stdin)")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="fail unless some sampled family starts with PREFIX",
     )
+    args = ap.parse_args()
+    text = open(args.path).read() if args.path else sys.stdin.read()
     helps: dict[str, int] = defaultdict(int)
     types: dict[str, str] = {}
     type_counts: dict[str, int] = defaultdict(int)
@@ -66,8 +79,8 @@ def main() -> None:
                 value = float(value_raw)
             except ValueError:
                 fail(f"line {lineno}: bad value {value_raw!r}")
-            if math.isnan(value) or value < 0:
-                fail(f"line {lineno}: negative/NaN value in {line!r}")
+            if math.isnan(value):
+                fail(f"line {lineno}: NaN value in {line!r}")
         samples.append((name, labels, labels_raw or "", float(value)))
 
     if not samples:
@@ -81,7 +94,7 @@ def main() -> None:
         return name
 
     seen_families = set()
-    for name, labels, _, _ in samples:
+    for name, labels, _, value in samples:
         family = family_of(name)
         seen_families.add(family)
         if family not in types:
@@ -90,6 +103,14 @@ def main() -> None:
             fail(f"family {family}: {helps[family]} HELP lines (want 1)")
         if type_counts[family] != 1:
             fail(f"family {family}: {type_counts[family]} TYPE lines")
+        # Only gauges may go negative (signed clock offsets); a negative
+        # counter or histogram series is a bug a scraper would reject.
+        if value < 0 and types[family] != "gauge":
+            fail(f"family {family}: negative {types[family]} value {value}")
+
+    for prefix in args.require:
+        if not any(f.startswith(prefix) for f in seen_families):
+            fail(f"no sampled family starts with required prefix {prefix!r}")
 
     # Histogram shape per (family, labelset-without-le).
     buckets: dict[tuple, list] = defaultdict(list)

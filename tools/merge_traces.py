@@ -1,0 +1,347 @@
+#!/usr/bin/env python3
+"""Merges per-process Chrome trace exports into one clock-aligned timeline.
+
+Each Sentinel process exports its spans with `SpanTracer::ExportChromeTrace`
+and stamps the file's top-level `otherData` with
+
+  - process          -- a human label ("daemon", "client:inventory", ...),
+  - base_ns          -- the absolute steady-clock origin the relative `ts`
+                        fields are measured from, and
+  - clock_offset_ns  -- this process's steady clock minus the reference
+                        process's, as estimated from the heartbeat ping/pong
+                        (0 for the reference timeline itself).
+
+A span's absolute time is  base_ns + ts*1000 ; subtracting clock_offset_ns
+places it on the reference timeline. This tool re-bases every input onto
+that shared timeline, gives each input file its own Perfetto process lane,
+and preserves the causal linkage carried in span args:
+
+  - args.span / args.parent  -- ids within one export (one tracer), and
+  - args.trace / args.remote_parent -- the distributed-trace id and the
+    causal parent's span id, which lives in ANOTHER file's export. Span ids
+    are per-tracer, so a remote parent is resolved by (trace, span id)
+    across all inputs.
+
+Usage:
+  merge_traces.py [--out merged.json] [--check] [--tolerance-us N]
+                  trace_daemon.json trace_client.json ...
+
+--check validates the merged result the way CI consumes it:
+  1. at least one distributed trace spans >= 2 processes;
+  2. that trace forms a single connected tree (every span reaches one
+     root, following local parents within a file and remote parents
+     across files);
+  3. after the clock shift, every child starts no earlier than
+     `tolerance-us` before its parent (heartbeat offset estimation has
+     jitter; the default 500us absorbs it); and
+  4. the tree exercises the full wire path: both net_frame_encode and
+     net_frame_decode spans are present in >= 2 distinct processes.
+
+Exits non-zero with a description of the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"merge_traces: FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str, index: int) -> dict:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: cannot load: {e}")
+    other = doc.get("otherData", {})
+    process = other.get("process") or f"process{index}"
+    spans = []
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue
+        args = ev.get("args", {})
+        spans.append(
+            {
+                "file": path,
+                "process": process,
+                "name": ev.get("name", ""),
+                "kind": args.get("kind", ev.get("cat", "")),
+                "tid": ev.get("tid", 0),
+                "ts_us": float(ev.get("ts", 0.0)),
+                "dur_us": float(ev.get("dur", 0.0)),
+                "span": int(args.get("span", 0)),
+                "parent": int(args.get("parent", 0)),
+                "trace": int(args.get("trace", 0)),
+                "remote_parent": int(args.get("remote_parent", 0)),
+                "txn": args.get("txn"),
+                "subtxn": args.get("subtxn"),
+            }
+        )
+    return {
+        "path": path,
+        "process": process,
+        "base_ns": int(other.get("base_ns", 0)),
+        "clock_offset_ns": int(other.get("clock_offset_ns", 0)),
+        "spans": spans,
+    }
+
+
+def shifted_start_ns(file_doc: dict, span: dict) -> float:
+    absolute = file_doc["base_ns"] + span["ts_us"] * 1000.0
+    return absolute - file_doc["clock_offset_ns"]
+
+
+def build_trace_tree(files: list, trace_id: int):
+    """Collects the spans of one distributed trace plus their local
+    ancestors (a client's txn span has trace=0 but parents the traced
+    notify-encode span), and returns (nodes, edges, roots).
+
+    Nodes are (file_index, span_id); edges child -> parent."""
+    by_file_span = {}
+    for fi, fd in enumerate(files):
+        for s in fd["spans"]:
+            by_file_span[(fi, s["span"])] = s
+
+    # Seed: spans annotated with the trace id.
+    nodes = {
+        (fi, s["span"])
+        for fi, fd in enumerate(files)
+        for s in fd["spans"]
+        if s["trace"] == trace_id
+    }
+    if not nodes:
+        return {}, {}, set()
+
+    # Close over local parent chains so untraced ancestors (txn spans,
+    # scheduler subtxn spans recorded before annotation) join the tree.
+    work = list(nodes)
+    while work:
+        fi, sid = work.pop()
+        s = by_file_span.get((fi, sid))
+        if s is None:
+            continue
+        p = s["parent"]
+        if p and (fi, p) in by_file_span and (fi, p) not in nodes:
+            nodes.add((fi, p))
+            work.append((fi, p))
+
+    # ... and over local descendants: only the wire-crossing spans carry
+    # the trace id, but the work they cause in-process (a push handler's
+    # notify -> subtxn -> condition/action chain) links to them through
+    # plain parent ids within the same export.
+    children = {}
+    for (fi, sid), s in by_file_span.items():
+        if s["parent"]:
+            children.setdefault((fi, s["parent"]), []).append((fi, sid))
+    work = list(nodes)
+    while work:
+        key = work.pop()
+        for child in children.get(key, []):
+            if child not in nodes:
+                nodes.add(child)
+                work.append(child)
+
+    # Remote parent index: (trace, span_id) -> (file_index, span_id).
+    remote_index = {}
+    for fi, fd in enumerate(files):
+        for s in fd["spans"]:
+            if s["trace"] == trace_id:
+                remote_index[s["span"]] = (fi, s["span"])
+
+    edges = {}
+    roots = set()
+    for fi, sid in nodes:
+        s = by_file_span[(fi, sid)]
+        parent = None
+        if s["parent"] and (fi, s["parent"]) in nodes:
+            parent = (fi, s["parent"])
+        elif s["remote_parent"]:
+            hit = remote_index.get(s["remote_parent"])
+            if hit is not None and hit != (fi, sid):
+                parent = hit
+        if parent is None:
+            roots.add((fi, sid))
+        else:
+            edges[(fi, sid)] = parent
+    return {n: by_file_span[n] for n in nodes}, edges, roots
+
+
+def check(files: list, tolerance_us: float) -> None:
+    # 1. Find a trace spanning >= 2 processes.
+    trace_procs = {}
+    for fd in files:
+        for s in fd["spans"]:
+            if s["trace"]:
+                trace_procs.setdefault(s["trace"], set()).add(fd["process"])
+    multi = {t for t, procs in trace_procs.items() if len(procs) >= 2}
+    if not multi:
+        fail(
+            "no distributed trace spans two processes "
+            f"({len(trace_procs)} trace ids seen)"
+        )
+
+    checked = 0
+    connected = 0
+    kinds_ok = 0
+    for trace_id in sorted(multi):
+        nodes, edges, roots = build_trace_tree(files, trace_id)
+        if not nodes:
+            continue
+        checked += 1
+
+        # 2. Single connected tree: one root, every node reaches it.
+        if len(roots) != 1:
+            continue
+        root = next(iter(roots))
+        ok = True
+        for n in nodes:
+            seen = set()
+            cur = n
+            while cur in edges:
+                if cur in seen:
+                    fail(f"trace {trace_id:#x}: parent cycle at {cur}")
+                seen.add(cur)
+                cur = edges[cur]
+            if cur != root:
+                ok = False
+                break
+        if not ok:
+            continue
+        connected += 1
+
+        # 3. Clock-shifted monotonicity across every parent edge.
+        for child, parent in edges.items():
+            cs = shifted_start_ns(files[child[0]], nodes[child])
+            ps = shifted_start_ns(files[parent[0]], nodes[parent])
+            if cs + tolerance_us * 1000.0 < ps:
+                fail(
+                    f"trace {trace_id:#x}: child "
+                    f"{nodes[child]['kind']}@{files[child[0]]['process']} "
+                    f"starts {(ps - cs) / 1000.0:.1f}us before parent "
+                    f"{nodes[parent]['kind']}@{files[parent[0]]['process']} "
+                    f"(tolerance {tolerance_us}us)"
+                )
+
+        # 4. The wire path is visible from both sides.
+        encode_procs = {
+            files[fi]["process"]
+            for (fi, sid), s in nodes.items()
+            if s["kind"] == "net_frame_encode"
+        }
+        decode_procs = {
+            files[fi]["process"]
+            for (fi, sid), s in nodes.items()
+            if s["kind"] == "net_frame_decode"
+        }
+        if encode_procs and decode_procs and len(encode_procs | decode_procs) >= 2:
+            kinds_ok += 1
+
+    if connected == 0:
+        fail(
+            f"none of the {checked} multi-process traces forms a single "
+            "connected tree"
+        )
+    if kinds_ok == 0:
+        fail(
+            "no connected trace shows both net_frame_encode and "
+            "net_frame_decode across two processes"
+        )
+    print(
+        f"merge_traces: OK: {len(multi)} multi-process traces, "
+        f"{connected} connected, {kinds_ok} with a full wire path"
+    )
+
+
+def merge(files: list) -> dict:
+    t0 = min(
+        (
+            shifted_start_ns(fd, s)
+            for fd in files
+            for s in fd["spans"]
+        ),
+        default=0.0,
+    )
+    events = []
+    for pid, fd in enumerate(files, start=1):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": fd["process"]},
+            }
+        )
+        for s in fd["spans"]:
+            args = {
+                "span": s["span"],
+                "parent": s["parent"],
+                "kind": s["kind"],
+                "process": fd["process"],
+            }
+            if s["trace"]:
+                args["trace"] = s["trace"]
+            if s["remote_parent"]:
+                args["remote_parent"] = s["remote_parent"]
+            if s["txn"] is not None:
+                args["txn"] = s["txn"]
+            if s["subtxn"] is not None:
+                args["subtxn"] = s["subtxn"]
+            events.append(
+                {
+                    "name": s["name"],
+                    "cat": s["kind"],
+                    "ph": "X",
+                    "ts": round((shifted_start_ns(fd, s) - t0) / 1000.0, 3),
+                    "dur": s["dur_us"],
+                    "pid": pid,
+                    "tid": s["tid"],
+                    "args": args,
+                }
+            )
+    return {
+        "displayTimeUnit": "ns",
+        "traceEvents": events,
+        "otherData": {
+            "merged_from": [fd["path"] for fd in files],
+            "processes": [fd["process"] for fd in files],
+        },
+    }
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("inputs", nargs="+", help="per-process trace exports")
+    ap.add_argument("--out", help="write the merged Chrome trace here")
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="validate cross-process connectivity and clock alignment",
+    )
+    ap.add_argument(
+        "--tolerance-us",
+        type=float,
+        default=500.0,
+        help="allowed child-before-parent skew after the clock shift",
+    )
+    args = ap.parse_args()
+
+    files = [load(path, i) for i, path in enumerate(args.inputs)]
+    if len(files) < 2 and args.check:
+        fail("--check needs at least two process exports")
+
+    if args.check:
+        check(files, args.tolerance_us)
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(merge(files), f, indent=1)
+        total = sum(len(fd["spans"]) for fd in files)
+        print(f"merge_traces: wrote {args.out} ({total} spans, "
+              f"{len(files)} processes)")
+
+
+if __name__ == "__main__":
+    main()

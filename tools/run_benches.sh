@@ -108,6 +108,30 @@ if os.path.exists(baseline_path):
                     (bench["name"], base["real_time_ns"], bench["real_time"])
                 )
 
+# Trace-context trailer cost (DESIGN.md §14): encoding a Notify frame with
+# the 24-byte trailer + flags bit vs the bare pre-trailer encode, measured
+# in the same run. Target <2% (noise allowance); >10% fails strict mode —
+# the same two-tier pattern as the monitoring-plane gate below.
+times = {
+    b["name"]: b.get("real_time")
+    for b in merged["benchmarks"]
+    if b.get("run_type") != "aggregate"
+}
+trailer_base = times.get("BM_SpanNetEncodeBaseline")
+trailer = times.get("BM_SpanNetEncodeTrailer")
+if trailer_base and trailer:
+    pct = (trailer - trailer_base) / trailer_base * 100.0
+    merged["trace_trailer_overhead_pct"] = pct
+    print(f"  trace-context trailer encode overhead: {pct:+.2f}%")
+    if pct > 10.0:
+        regressions.append(
+            ("BM_SpanNetEncodeTrailer (+%.1f%% vs baseline encode)" % pct,
+             trailer_base, trailer)
+        )
+    elif pct > 2.0:
+        print(f"WARNING: trace-context trailer adds {pct:.1f}% to the "
+              "Notify encode (above the 2% target)")
+
 with open(sys.argv[-1], "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
@@ -207,9 +231,11 @@ with open(sys.argv[1]) as f:
 out = {
     "description": (
         "Networked GED event bus: frame codec, notify->push round-trip "
-        "over loopback TCP, and streamed batch throughput with the "
-        "admission/backpressure pipeline engaged. Machine-dependent; not "
-        "baseline-gated."
+        "over loopback TCP (untraced and with full distributed tracing), "
+        "and streamed batch throughput with the admission/backpressure "
+        "pipeline engaged. Round-trip runs carry the always-on e2e "
+        "latency quantiles (origin->dispatch/detect/action) as counters. "
+        "Machine-dependent; not baseline-gated."
     ),
     "context": doc.get("context", {}),
     "benchmarks": doc.get("benchmarks", []),
