@@ -1,31 +1,33 @@
 #include "common/logging.h"
 
+#include <time.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <thread>
 
 namespace sentinel {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+// Leaked statics: log lines can be emitted from static destructors.
 std::mutex& OutputMutex() {
   static std::mutex* m = new std::mutex();
   return *m;
 }
-const char* LevelName(LogLevel level) {
-  switch (level) {
-    case LogLevel::kTrace:
-      return "TRACE";
-    case LogLevel::kDebug:
-      return "DEBUG";
-    case LogLevel::kInfo:
-      return "INFO";
-    case LogLevel::kWarn:
-      return "WARN";
-    case LogLevel::kError:
-      return "ERROR";
-  }
-  return "?";
+std::mutex& SinkMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+struct SinkSlot {
+  const void* owner = nullptr;
+  Logger::Sink sink;
+};
+SinkSlot& SinkStorage() {
+  static SinkSlot* s = new SinkSlot();
+  return *s;
 }
 }  // namespace
 
@@ -41,9 +43,69 @@ bool Logger::IsEnabled(LogLevel level) {
   return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
 }
 
+const char* Logger::LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void Logger::SetSink(const void* owner, Sink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkStorage().owner = owner;
+  SinkStorage().sink = std::move(sink);
+}
+
+void Logger::ClearSink(const void* owner) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (SinkStorage().owner != owner) return;  // superseded meanwhile
+  SinkStorage().owner = nullptr;
+  SinkStorage().sink = nullptr;
+}
+
 void Logger::Write(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(OutputMutex());
-  std::fprintf(stderr, "[sentinel %s] %s\n", LevelName(level), message.c_str());
+  // UTC wall-clock stamp (ms) + a short thread tag so interleaved
+  // multi-thread output stays attributable and ordered.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int ms = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  const unsigned tid = static_cast<unsigned>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffu);
+  {
+    std::lock_guard<std::mutex> lock(OutputMutex());
+    std::fprintf(stderr,
+                 "[sentinel %s %04d-%02d-%02dT%02d:%02d:%02d.%03dZ t%04x] "
+                 "%s\n",
+                 LevelName(level), tm.tm_year + 1900, tm.tm_mon + 1,
+                 tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec, ms, tid,
+                 message.c_str());
+  }
+  // Mirror warnings and errors into the registered sink (the flight
+  // recorder's log ring). Copy the sink out so a slow consumer never holds
+  // the output lock, and a concurrent ClearSink never frees it mid-call.
+  if (level >= LogLevel::kWarn) {
+    Sink sink;
+    {
+      std::lock_guard<std::mutex> lock(SinkMutex());
+      sink = SinkStorage().sink;
+    }
+    if (sink) sink(level, message);
+  }
 }
 
 }  // namespace sentinel

@@ -1,6 +1,7 @@
 #ifndef SENTINEL_COMMON_LOGGING_H_
 #define SENTINEL_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -17,6 +18,16 @@ class Logger {
   static LogLevel GetLevel();
   static bool IsEnabled(LogLevel level);
   static void Write(LogLevel level, const std::string& message);
+  static const char* LevelName(LogLevel level);
+
+  /// Mirrors every kWarn/kError line into `sink` after the stderr write
+  /// (postmortems keep the last warnings even when stderr is long gone).
+  /// One sink per process, keyed by `owner` so a late ClearSink from one
+  /// database cannot drop a sink another database installed meanwhile. The
+  /// sink runs outside the output lock but must not log (it would recurse).
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+  static void SetSink(const void* owner, Sink sink);
+  static void ClearSink(const void* owner);
 };
 
 namespace internal_logging {
@@ -41,8 +52,13 @@ class LogMessage {
 }  // namespace internal_logging
 }  // namespace sentinel
 
-#define SENTINEL_LOG(level)                                     \
-  if (::sentinel::Logger::IsEnabled(::sentinel::LogLevel::level)) \
-  ::sentinel::internal_logging::LogMessage(::sentinel::LogLevel::level)
+// The negated form keeps `SENTINEL_LOG(...)` safe inside an unbraced outer
+// if/else: a bare `if (enabled) LogMessage(...)` would capture the caller's
+// `else` (dangling-else), silently inverting their control flow.
+#define SENTINEL_LOG(level)                                         \
+  if (!::sentinel::Logger::IsEnabled(::sentinel::LogLevel::level))  \
+    ;                                                               \
+  else                                                              \
+    ::sentinel::internal_logging::LogMessage(::sentinel::LogLevel::level)
 
 #endif  // SENTINEL_COMMON_LOGGING_H_

@@ -48,6 +48,7 @@ Status ActiveDatabase::OpenCommon(const Options& options) {
   detector_ = std::make_unique<detector::LocalEventDetector>();
   detector_->set_tracer(&tracer_);
   detector_->set_span_tracer(&span_tracer_);
+  detector_->set_profiler(&profiler_);
   if (db_ != nullptr) {
     detector_->set_class_registry(db_->classes());
     cache_ = std::make_unique<oodb::ObjectCache>(db_->engine(), db_->objects(),
@@ -64,6 +65,8 @@ Status ActiveDatabase::OpenCommon(const Options& options) {
         });
     engine->buffer_pool()->set_span_tracer(&span_tracer_);
     engine->log_manager()->set_span_tracer(&span_tracer_);
+    engine->lock_manager()->set_profiler(&profiler_);
+    engine->log_manager()->set_profiler(&profiler_);
   }
   nested_ = std::make_unique<txn::NestedTransactionManager>(options.nested);
   nested_->set_span_tracer(&span_tracer_);
@@ -71,6 +74,7 @@ Status ActiveDatabase::OpenCommon(const Options& options) {
                                                       options.scheduler);
   scheduler_->set_tracer(&tracer_);
   scheduler_->set_span_tracer(&span_tracer_);
+  scheduler_->set_profiler(&profiler_);
   scheduler_->set_postmortem_hook([this](storage::TxnId doomed) {
     (void)DumpPostmortem("abort_top", doomed);
   });
@@ -124,7 +128,20 @@ Status ActiveDatabase::OpenCommon(const Options& options) {
                       detector::EventModifier::kEnd, kRuleFiredMethod, params,
                       firing.txn);
   });
+  // Route warn/error log lines into the flight recorder's log ring so a
+  // postmortem shows the last warnings alongside the last spans. Keyed by
+  // `this`; cleared in Close before the recorder could go away.
+  Logger::SetSink(this, [this](LogLevel level, const std::string& message) {
+    flight_recorder_.RecordLog(level, message);
+  });
   open_ = true;
+
+  // Operator opt-in profiling: SENTINEL_PROFILE=1 turns the continuous
+  // profiler on from the first event (the shell's `profile start` and
+  // Profiler::Start do the same at runtime).
+  if (const char* prof_env = std::getenv("SENTINEL_PROFILE")) {
+    if (prof_env[0] != '\0' && prof_env[0] != '0') profiler_.Start();
+  }
 
   // Operator opt-in monitoring: SENTINEL_MONITOR_PORT starts the watchdog
   // plus the HTTP endpoint (0 = ephemeral port, logged below); a bind
@@ -152,9 +169,15 @@ Status ActiveDatabase::OpenCommon(const Options& options) {
 
 Status ActiveDatabase::Close() {
   if (!open_) return Status::OK();
-  // Tear down the monitoring plane first: its sampler thread and request
+  // Detach the log sink first: teardown below may itself log warnings, and
+  // the sink writes into this database's flight recorder.
+  Logger::ClearSink(this);
+  // Tear down the monitoring plane next: its sampler thread and request
   // handlers read every component released below.
   StopMonitoring();
+  // Join the profiler's sampler before component teardown so it never walks
+  // a worker annotation mid-join. Accounts stay readable after Stop.
+  profiler_.Stop();
   if (scheduler_ != nullptr) {
     scheduler_->Drain();
     scheduler_->WaitDetached();
@@ -490,6 +513,19 @@ std::string ActiveDatabase::PostmortemJson(const std::string& reason,
   }
   w.EndArray();
 
+  // The last warn/error log lines before the failure, oldest first (the
+  // Logger sink feeds the flight recorder's log ring while the database is
+  // open).
+  w.Key("last_logs").BeginArray();
+  for (const auto& entry : flight_recorder_.SnapshotLogs()) {
+    w.BeginObject();
+    w.Field("at_ns", entry.at_ns);
+    w.Field("level", Logger::LevelName(entry.level));
+    w.Field("message", entry.message);
+    w.EndObject();
+  }
+  w.EndArray();
+
   // The last spans the system recorded before the failure, oldest first.
   w.Key("last_spans").BeginArray();
   for (const obs::Span& span : flight_recorder_.Snapshot()) {
@@ -536,6 +572,9 @@ Result<int> ActiveDatabase::StartMonitoring(
   watchdog_->set_postmortem_hook([this](const std::string& reason) {
     (void)DumpPostmortem("watchdog: " + reason);
   });
+  // On degrade, /healthz names the rule with the largest attributed cost —
+  // the first suspect when the pipeline wedges under rule load.
+  watchdog_->set_detail_provider([this] { return profiler_.TopCostRule(); });
   Status st = watchdog_->Start();
   if (!st.ok()) {
     watchdog_.reset();
@@ -572,6 +611,12 @@ Result<int> ActiveDatabase::StartMonitoring(
     obs::MonitorServer::Response r;
     r.content_type = "application/json";
     r.body = PostmortemJson("manual");
+    return r;
+  });
+  monitor_->Route("/profile", [this] {
+    obs::MonitorServer::Response r;
+    r.content_type = "application/json";
+    r.body = profiler_.ProfileJson();
     return r;
   });
   monitor_->Route("/healthz", [this] {
@@ -1039,6 +1084,11 @@ std::string ActiveDatabase::PrometheusText() {
                 "Origin-stamped occurrence to push-handler completion (ns).",
                 {}, c.e2e_action_ns);
   }
+
+  // Continuous profiling plane (sentinel_profile_* families; the mode,
+  // duration and seam families are always present, per-account families
+  // appear once the profiler has attributed cost).
+  profiler_.WritePrometheus(p);
   return p.Take();
 }
 

@@ -9,6 +9,7 @@
 #include "detector/local_detector.h"
 #include "obs/flight_recorder.h"
 #include "obs/monitor_server.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "obs/watchdog.h"
@@ -148,6 +149,13 @@ class ActiveDatabase {
   /// Always-on last-N span ring consulted by postmortems.
   obs::FlightRecorder* flight_recorder() { return &flight_recorder_; }
 
+  /// Continuous profiling plane (off by default; Start() it, use the
+  /// shell's `profile start`, or set $SENTINEL_PROFILE=1). Wired into the
+  /// detector, scheduler, and — in persistent mode — the lock manager and
+  /// WAL on Open; /profile serves its JSON, /metrics its sentinel_profile_*
+  /// families. See DESIGN.md §15.
+  obs::Profiler* profiler() { return &profiler_; }
+
   /// Writes the buffered spans as Chrome trace-event JSON (loadable in
   /// ui.perfetto.dev / chrome://tracing). Full per-thread rings require
   /// TraceMode::kFull; in flight-recorder mode the export covers the
@@ -241,6 +249,10 @@ class ActiveDatabase {
   // outlive every component holding a pointer to them during teardown.
   obs::SpanTracer span_tracer_;
   obs::FlightRecorder flight_recorder_;
+  // Like the tracers, the profiler precedes the components: nodes and
+  // storage components cache account/site pointers into it, and worker
+  // threads unregister from its sampler during component teardown.
+  obs::Profiler profiler_;
   std::unique_ptr<oodb::Database> db_;
   std::unique_ptr<oodb::ObjectCache> cache_;
   std::unique_ptr<detector::LocalEventDetector> detector_;

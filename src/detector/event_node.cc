@@ -25,10 +25,37 @@ std::mutex& AssignBufferStripe() {
                  kBufferStripes];
 }
 
+/// Records one operator-node Emit into the node's cost account on every
+/// exit path (Emit returns early when there are no sinks).
+struct EmitCostScope {
+  obs::Profiler::CostCell* cost = nullptr;
+  std::uint64_t cpu0 = 0;
+  std::uint64_t t0 = 0;
+  ~EmitCostScope() {
+    if (cost != nullptr) {
+      cost->Record(obs::Profiler::ThreadCpuNs() - cpu0,
+                   obs::Profiler::NowNs() - t0);
+    }
+  }
+};
+
 }  // namespace
 
 EventNode::EventNode(std::string name)
     : name_(std::move(name)), buffer_mu_(AssignBufferStripe()) {}
+
+void EventNode::set_profiler(obs::Profiler* profiler) {
+  profiler_ = profiler;
+  // Only operator nodes evaluate anything or mutate buffers; primitives get
+  // the profiler pointer but no accounts.
+  if (profiler != nullptr && composite_) {
+    cost_ = profiler->NodeAccount(name_);
+    buffer_site_ = profiler->GetContentionSite("buffer:" + name_);
+  } else {
+    cost_ = nullptr;
+    buffer_site_ = nullptr;
+  }
+}
 
 void EventNode::AddParent(EventNode* parent, int port) {
   // Insert keeping descending port order (stable for equal ports).
@@ -82,6 +109,15 @@ void EventNode::ReleaseContextRef(ParamContext context) {
 
 void EventNode::Emit(const Occurrence& occurrence, ParamContext context) {
   metrics_.OnDetected(context);
+  // Operator-evaluation attribution (one relaxed load when profiling is
+  // off): covers the whole downstream cascade, like the composite_detect
+  // span below.
+  EmitCostScope emit_cost;
+  if (cost_ != nullptr && profiler_->enabled()) {
+    emit_cost.cost = cost_;
+    emit_cost.cpu0 = obs::Profiler::ThreadCpuNs();
+    emit_cost.t0 = obs::Profiler::NowNs();
+  }
   // Operator detections open a composite_detect span covering the whole
   // cascade (parent deliveries and sink firings below happen inside it, so
   // rule subtransactions parent into the detection that triggered them).

@@ -11,6 +11,7 @@
 #include "common/symbol.h"
 #include "detector/event_types.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace sentinel::obs {
 class ProvenanceTracer;
@@ -127,6 +128,13 @@ class EventNode {
   void set_span_tracer(obs::SpanTracer* tracer) { span_tracer_ = tracer; }
   obs::SpanTracer* span_tracer() const { return span_tracer_; }
 
+  /// Attaches the continuous profiler (set by the owning detector under the
+  /// exclusive graph lock, like the tracers). Operator nodes resolve their
+  /// cost account and buffer-stripe contention site once here, so the Emit
+  /// and buffer-lock paths never touch an account map.
+  void set_profiler(obs::Profiler* profiler);
+  obs::Profiler* profiler() const { return profiler_; }
+
   /// True for operator (composite) nodes; set once at construction.
   bool is_composite() const { return composite_; }
 
@@ -143,6 +151,14 @@ class EventNode {
 
   /// This node's buffer lock (striped across nodes). Leaf lock only.
   std::mutex& buffer_mu() const { return buffer_mu_; }
+
+  /// Acquires the buffer lock with try-then-wait contention accounting when
+  /// a profiler is attached and enabled (a plain lock otherwise). Operator
+  /// buffer mutations should lock through this instead of buffer_mu()
+  /// directly.
+  std::unique_lock<std::mutex> LockBuffer() const {
+    return obs::Profiler::LockContended(profiler_, buffer_site_, buffer_mu_);
+  }
 
   /// Operator-node constructors call this once; Emit then wraps deliveries
   /// in a composite_detect span when a span tracer is attached.
@@ -167,6 +183,9 @@ class EventNode {
   mutable obs::NodeMetrics metrics_;
   obs::ProvenanceTracer* tracer_ = nullptr;
   obs::SpanTracer* span_tracer_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
+  obs::Profiler::CostCell* cost_ = nullptr;            // operator eval account
+  obs::Profiler::ContentionSite* buffer_site_ = nullptr;
   bool composite_ = false;
 };
 

@@ -59,6 +59,7 @@ Result<EventNode*> LocalEventDetector::InstallLocked(
   EventNode* raw = node.get();
   raw->set_tracer(tracer_.load(std::memory_order_acquire));
   raw->set_span_tracer(span_tracer_.load(std::memory_order_acquire));
+  raw->set_profiler(profiler_.load(std::memory_order_acquire));
   nodes_[name] = std::move(node);
   return raw;
 }
@@ -406,6 +407,14 @@ void LocalEventDetector::Notify(const std::string& class_name, oodb::Oid oid,
                       class_name + "::" + method_signature);
   }
 
+  // Slow path only, like the span: per-class-symbol dispatch attribution
+  // (event rates + dispatch cost for the shard-steering report).
+  obs::Profiler* profiler = profiler_.load(std::memory_order_acquire);
+  const bool profiling = profiler != nullptr && profiler->enabled() &&
+                         entry->class_sym != common::kInvalidSymbol;
+  const std::uint64_t prof_cpu0 = profiling ? obs::Profiler::ThreadCpuNs() : 0;
+  const std::uint64_t prof_t0 = profiling ? obs::Profiler::NowNs() : 0;
+
   auto pooled = common::MakePooled<PrimitiveOccurrence>();
   pooled->class_name = class_name;
   pooled->oid = oid;
@@ -421,6 +430,11 @@ void LocalEventDetector::Notify(const std::string& class_name, oodb::Oid oid,
   for (const auto& observer : raw_observers_) observer(*raw);
   for (PrimitiveEventNode* node : entry->nodes) {
     if (node->Matches(*raw)) node->Signal(raw);
+  }
+  if (profiling) {
+    profiler->RecordSymbolEvent(entry->class_sym,
+                                obs::Profiler::ThreadCpuNs() - prof_cpu0,
+                                obs::Profiler::NowNs() - prof_t0);
   }
 }
 
@@ -439,6 +453,11 @@ Status LocalEventDetector::RaiseExplicit(
       st != nullptr && st->enabled_for(obs::SpanKind::kNotify)) {
     notify_span.Start(st, obs::SpanKind::kNotify, txn, name);
   }
+  obs::Profiler* profiler = profiler_.load(std::memory_order_acquire);
+  const bool profiling = profiler != nullptr && profiler->enabled() &&
+                         it->second->class_sym() != common::kInvalidSymbol;
+  const std::uint64_t prof_cpu0 = profiling ? obs::Profiler::ThreadCpuNs() : 0;
+  const std::uint64_t prof_t0 = profiling ? obs::Profiler::NowNs() : 0;
   auto pooled = common::MakePooled<PrimitiveOccurrence>();
   pooled->event_name = name;
   pooled->class_name = kExplicitClass;
@@ -453,6 +472,11 @@ Status LocalEventDetector::RaiseExplicit(
   const std::shared_ptr<const PrimitiveOccurrence> raw = std::move(pooled);
   for (const auto& observer : raw_observers_) observer(*raw);
   it->second->Signal(raw);
+  if (profiling) {
+    profiler->RecordSymbolEvent(it->second->class_sym(),
+                                obs::Profiler::ThreadCpuNs() - prof_cpu0,
+                                obs::Profiler::NowNs() - prof_t0);
+  }
   return Status::OK();
 }
 
@@ -483,9 +507,19 @@ void LocalEventDetector::Inject(const PrimitiveOccurrence& recorded) {
                     recorded.method_signature);
   raw->class_sym = entry->class_sym;
   raw->method_sym = entry->method_sym;
+  obs::Profiler* profiler = profiler_.load(std::memory_order_acquire);
+  const bool profiling = profiler != nullptr && profiler->enabled() &&
+                         entry->class_sym != common::kInvalidSymbol;
+  const std::uint64_t prof_cpu0 = profiling ? obs::Profiler::ThreadCpuNs() : 0;
+  const std::uint64_t prof_t0 = profiling ? obs::Profiler::NowNs() : 0;
   for (const auto& observer : raw_observers_) observer(*raw);
   for (PrimitiveEventNode* node : entry->nodes) {
     if (node->Matches(*raw)) node->Signal(raw);
+  }
+  if (profiling) {
+    profiler->RecordSymbolEvent(entry->class_sym,
+                                obs::Profiler::ThreadCpuNs() - prof_cpu0,
+                                obs::Profiler::NowNs() - prof_t0);
   }
 }
 
@@ -656,6 +690,15 @@ void LocalEventDetector::set_span_tracer(obs::SpanTracer* tracer) {
   for (auto& [name, node] : nodes_) {
     (void)name;
     node->set_span_tracer(tracer);
+  }
+}
+
+void LocalEventDetector::set_profiler(obs::Profiler* profiler) {
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  profiler_.store(profiler, std::memory_order_release);
+  for (auto& [name, node] : nodes_) {
+    (void)name;
+    node->set_profiler(profiler);
   }
 }
 

@@ -198,6 +198,15 @@ class LocalEventDetector {
     return span_tracer_.load(std::memory_order_acquire);
   }
 
+  /// Attaches the continuous profiler: per-class-symbol event-dispatch
+  /// accounts on the Notify/RaiseExplicit/Inject slow paths (fast-path
+  /// returns stay profile-free) plus per-node operator accounts and
+  /// buffer-stripe contention sites. Propagated to nodes like set_tracer.
+  void set_profiler(obs::Profiler* profiler);
+  obs::Profiler* profiler() const {
+    return profiler_.load(std::memory_order_acquire);
+  }
+
   /// Event graph in Graphviz DOT, nodes annotated with their per-context
   /// reference counts and detection counters.
   std::string DumpGraph() const;
@@ -301,6 +310,7 @@ class LocalEventDetector {
   std::atomic<std::uint64_t> notify_count_{0};
   std::atomic<obs::ProvenanceTracer*> tracer_{nullptr};
   std::atomic<obs::SpanTracer*> span_tracer_{nullptr};
+  std::atomic<obs::Profiler*> profiler_{nullptr};
 };
 
 }  // namespace sentinel::detector

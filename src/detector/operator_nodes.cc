@@ -99,7 +99,7 @@ void AndNode::Receive(int port, const Occurrence& occurrence,
                       ParamContext context) {
   std::vector<Occurrence> out;
   {
-    std::lock_guard<std::mutex> lock(buffer_mu());
+    auto lock = LockBuffer();
     State& st = state_[Idx(context)];
     std::deque<Occurrence>& mine = st.side[port];
     std::deque<Occurrence>& other = st.side[1 - port];
@@ -154,7 +154,7 @@ void AndNode::Receive(int port, const Occurrence& occurrence,
 }
 
 void AndNode::FlushTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) {
     EraseTxn(&st.side[0], txn);
     EraseTxn(&st.side[1], txn);
@@ -162,7 +162,7 @@ void AndNode::FlushTxn(TxnId txn) {
 }
 
 void AndNode::FlushAll() {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) {
     st.side[0].clear();
     st.side[1].clear();
@@ -170,7 +170,7 @@ void AndNode::FlushAll() {
 }
 
 std::size_t AndNode::BufferedCount() const {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   std::size_t n = 0;
   for (const State& st : state_) n += st.side[0].size() + st.side[1].size();
   return n;
@@ -185,7 +185,7 @@ void SeqNode::Receive(int port, const Occurrence& occurrence,
                       ParamContext context) {
   std::vector<Occurrence> out;
   {
-    std::lock_guard<std::mutex> lock(buffer_mu());
+    auto lock = LockBuffer();
     State& st = state_[Idx(context)];
     if (port == 0) {  // initiator
       if (context == ParamContext::kRecent) st.initiators.clear();
@@ -254,17 +254,17 @@ void SeqNode::Receive(int port, const Occurrence& occurrence,
 }
 
 void SeqNode::FlushTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) EraseTxn(&st.initiators, txn);
 }
 
 void SeqNode::FlushAll() {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) st.initiators.clear();
 }
 
 std::size_t SeqNode::BufferedCount() const {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   std::size_t n = 0;
   for (const State& st : state_) n += st.initiators.size();
   return n;
@@ -281,7 +281,7 @@ void NotNode::Receive(int port, const Occurrence& occurrence,
                       ParamContext context) {
   std::vector<Occurrence> out;
   {
-    std::lock_guard<std::mutex> lock(buffer_mu());
+    auto lock = LockBuffer();
     State& st = state_[Idx(context)];
     switch (port) {
       case 0:  // opener E1
@@ -363,17 +363,17 @@ void NotNode::Receive(int port, const Occurrence& occurrence,
 }
 
 void NotNode::FlushTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) EraseTxn(&st.initiators, txn);
 }
 
 void NotNode::FlushAll() {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) st.initiators.clear();
 }
 
 std::size_t NotNode::BufferedCount() const {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   std::size_t n = 0;
   for (const State& st : state_) n += st.initiators.size();
   return n;
@@ -390,7 +390,7 @@ void AperiodicNode::Receive(int port, const Occurrence& occurrence,
                             ParamContext context) {
   std::vector<Occurrence> out;
   {
-    std::lock_guard<std::mutex> lock(buffer_mu());
+    auto lock = LockBuffer();
     State& st = state_[Idx(context)];
     switch (port) {
       case 0:  // E1 opens a window
@@ -450,17 +450,17 @@ void AperiodicNode::Receive(int port, const Occurrence& occurrence,
 }
 
 void AperiodicNode::FlushTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) EraseTxn(&st.openers, txn);
 }
 
 void AperiodicNode::FlushAll() {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) st.openers.clear();
 }
 
 std::size_t AperiodicNode::BufferedCount() const {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   std::size_t n = 0;
   for (const State& st : state_) n += st.openers.size();
   return n;
@@ -477,7 +477,7 @@ void AperiodicStarNode::Receive(int port, const Occurrence& occurrence,
                                 ParamContext context) {
   std::vector<Occurrence> out;
   {
-    std::lock_guard<std::mutex> lock(buffer_mu());
+    auto lock = LockBuffer();
     State& st = state_[Idx(context)];
     switch (port) {
       case 0:  // E1: open (RECENT restarts the window, dropping accumulation)
@@ -514,7 +514,7 @@ void AperiodicStarNode::Receive(int port, const Occurrence& occurrence,
 }
 
 void AperiodicStarNode::FlushTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) {
     EraseTxn(&st.openers, txn);
     EraseTxn(&st.accumulated, txn);
@@ -522,7 +522,7 @@ void AperiodicStarNode::FlushTxn(TxnId txn) {
 }
 
 void AperiodicStarNode::FlushAll() {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) {
     st.openers.clear();
     st.accumulated.clear();
@@ -530,7 +530,7 @@ void AperiodicStarNode::FlushAll() {
 }
 
 std::size_t AperiodicStarNode::BufferedCount() const {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   std::size_t n = 0;
   for (const State& st : state_) {
     n += st.openers.size() + st.accumulated.size();
@@ -551,7 +551,7 @@ void AnyNode::Receive(int port, const Occurrence& occurrence,
                       ParamContext context) {
   std::vector<Occurrence> out;
   {
-    std::lock_guard<std::mutex> lock(buffer_mu());
+    auto lock = LockBuffer();
     State& st = state_[Idx(context)];
     auto& mine = st.ports[static_cast<std::size_t>(port)];
 
@@ -624,21 +624,21 @@ void AnyNode::Receive(int port, const Occurrence& occurrence,
 }
 
 void AnyNode::FlushTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) {
     for (auto& port_buffer : st.ports) EraseTxn(&port_buffer, txn);
   }
 }
 
 void AnyNode::FlushAll() {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) {
     for (auto& port_buffer : st.ports) port_buffer.clear();
   }
 }
 
 std::size_t AnyNode::BufferedCount() const {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   std::size_t n = 0;
   for (const State& st : state_) {
     for (const auto& port_buffer : st.ports) n += port_buffer.size();
@@ -657,7 +657,7 @@ PlusNode::PlusNode(std::string name, EventNode* base, std::uint64_t delta_ms,
 void PlusNode::Receive(int port, const Occurrence& occurrence,
                        ParamContext context) {
   (void)port;
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   State& st = state_[Idx(context)];
   if (context == ParamContext::kRecent) st.pending.clear();
   st.pending.push_back(Pending{occurrence.at_ms + delta_ms_, occurrence});
@@ -668,7 +668,7 @@ void PlusNode::OnTimeAdvance(std::uint64_t now_ms) {
     if (!ActiveIn(static_cast<ParamContext>(c))) continue;
     std::vector<Occurrence> out;
     {
-      std::lock_guard<std::mutex> lock(buffer_mu());
+      auto lock = LockBuffer();
       State& st = state_[c];
       while (!st.pending.empty() &&
              st.pending.front().deadline_ms <= now_ms) {
@@ -685,7 +685,7 @@ void PlusNode::OnTimeAdvance(std::uint64_t now_ms) {
 }
 
 void PlusNode::FlushTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) {
     st.pending.erase(std::remove_if(st.pending.begin(), st.pending.end(),
                                     [txn](const Pending& p) {
@@ -696,12 +696,12 @@ void PlusNode::FlushTxn(TxnId txn) {
 }
 
 void PlusNode::FlushAll() {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) st.pending.clear();
 }
 
 std::size_t PlusNode::BufferedCount() const {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   std::size_t n = 0;
   for (const State& st : state_) n += st.pending.size();
   return n;
@@ -721,7 +721,7 @@ void PeriodicNode::Receive(int port, const Occurrence& occurrence,
                            ParamContext context) {
   std::vector<Occurrence> out;
   {
-    std::lock_guard<std::mutex> lock(buffer_mu());
+    auto lock = LockBuffer();
     State& st = state_[Idx(context)];
     if (port == 0) {
       if (context == ParamContext::kRecent) st.schedules.clear();
@@ -748,7 +748,7 @@ void PeriodicNode::OnTimeAdvance(std::uint64_t now_ms) {
     if (!ActiveIn(static_cast<ParamContext>(c))) continue;
     std::vector<Occurrence> out;
     {
-      std::lock_guard<std::mutex> lock(buffer_mu());
+      auto lock = LockBuffer();
       for (Schedule& schedule : state_[c].schedules) {
         while (schedule.next_ms <= now_ms) {
           OnTick(&schedule, schedule.next_ms, &out);
@@ -777,7 +777,7 @@ void PeriodicNode::OnClose(Schedule* schedule, const Occurrence& closer,
 }
 
 void PeriodicNode::FlushTxn(TxnId txn) {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) {
     st.schedules.erase(std::remove_if(st.schedules.begin(),
                                       st.schedules.end(),
@@ -789,12 +789,12 @@ void PeriodicNode::FlushTxn(TxnId txn) {
 }
 
 void PeriodicNode::FlushAll() {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   for (State& st : state_) st.schedules.clear();
 }
 
 std::size_t PeriodicNode::BufferedCount() const {
-  std::lock_guard<std::mutex> lock(buffer_mu());
+  auto lock = LockBuffer();
   std::size_t n = 0;
   for (const State& st : state_) n += st.schedules.size();
   return n;

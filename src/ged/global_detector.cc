@@ -230,7 +230,17 @@ void GlobalEventDetector::BusLoop() {
       if (occ.trace_id != 0) forward_span.AnnotateRemote(occ.trace_id, 0);
       occ.trace_parent = forward_span.id();
     }
+    obs::Profiler* profiler = graph_.profiler();
+    const bool profiling = profiler != nullptr && profiler->enabled();
+    const std::uint64_t prof_cpu0 =
+        profiling ? obs::Profiler::ThreadCpuNs() : 0;
+    const std::uint64_t prof_t0 = profiling ? obs::Profiler::NowNs() : 0;
     graph_.Inject(occ);
+    if (profiling) {
+      profiler->RecordGlobal(obs::Profiler::GlobalSeam::kGedForward,
+                             obs::Profiler::ThreadCpuNs() - prof_cpu0,
+                             obs::Profiler::NowNs() - prof_t0);
+    }
     forward_span.End();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -282,6 +292,10 @@ bool GlobalEventDetector::IsRegistered(const std::string& app_name) const {
 
 void GlobalEventDetector::set_span_tracer(obs::SpanTracer* tracer) {
   graph_.set_span_tracer(tracer);
+}
+
+void GlobalEventDetector::set_profiler(obs::Profiler* profiler) {
+  graph_.set_profiler(profiler);
 }
 
 std::string GlobalEventDetector::StatsJson() const {

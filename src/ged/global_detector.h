@@ -140,6 +140,11 @@ class GlobalEventDetector {
   /// nodes record composite_detect spans).
   void set_span_tracer(obs::SpanTracer* tracer);
 
+  /// Attaches the continuous profiler: propagated into the internal graph
+  /// (operator-node cost accounts, per-symbol dispatch accounts) and the bus
+  /// worker records each injection into the ged_forward global seam.
+  void set_profiler(obs::Profiler* profiler);
+
  private:
   class Forwarder;
 

@@ -11,6 +11,7 @@ namespace sentinel::obs {
 FlightRecorder::FlightRecorder(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
   ring_.resize(capacity_);
+  log_ring_.resize(kLogCapacity);
 }
 
 void FlightRecorder::Record(const Span& span) {
@@ -18,6 +19,28 @@ void FlightRecorder::Record(const Span& span) {
   std::lock_guard<std::mutex> lock(mu_);
   ring_[next_ % capacity_] = span;
   ++next_;
+}
+
+void FlightRecorder::RecordLog(LogLevel level, const std::string& message) {
+  logs_recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  LogEntry& entry = log_ring_[log_next_ % kLogCapacity];
+  entry.at_ns = SpanTracer::NowNs();
+  entry.level = level;
+  entry.message = message;
+  ++log_next_;
+}
+
+std::vector<FlightRecorder::LogEntry> FlightRecorder::SnapshotLogs() const {
+  std::vector<LogEntry> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t count = std::min<std::uint64_t>(log_next_, kLogCapacity);
+  const std::uint64_t first = log_next_ - count;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(log_ring_[(first + i) % kLogCapacity]);
+  }
+  return out;
 }
 
 std::vector<Span> FlightRecorder::Snapshot() const {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/span.h"
@@ -36,6 +37,23 @@ class FlightRecorder {
   /// Last spans, oldest first.
   std::vector<Span> Snapshot() const;
 
+  /// One warn/error log line kept for postmortems (a parallel ring to the
+  /// span ring — the database wires Logger's sink here so the last warnings
+  /// survive into the dump even when stderr is gone).
+  struct LogEntry {
+    std::uint64_t at_ns = 0;  // steady-clock, same timeline as spans
+    LogLevel level = LogLevel::kWarn;
+    std::string message;
+  };
+  static constexpr std::size_t kLogCapacity = 64;
+
+  void RecordLog(LogLevel level, const std::string& message);
+  /// Last warn/error lines, oldest first.
+  std::vector<LogEntry> SnapshotLogs() const;
+  std::uint64_t logs_recorded() const {
+    return logs_recorded_.load(std::memory_order_relaxed);
+  }
+
   std::uint64_t recorded() const {
     return recorded_.load(std::memory_order_relaxed);
   }
@@ -53,7 +71,10 @@ class FlightRecorder {
   mutable std::mutex mu_;
   std::vector<Span> ring_;
   std::uint64_t next_ = 0;  // total spans ever recorded (ring write position)
+  std::vector<LogEntry> log_ring_;  // guarded by mu_, like the span ring
+  std::uint64_t log_next_ = 0;
   std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> logs_recorded_{0};
   std::atomic<std::uint64_t> dumps_{0};
 };
 

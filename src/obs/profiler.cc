@@ -1,0 +1,712 @@
+#include "obs/profiler.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "detector/event_types.h"
+#include "obs/json.h"
+#include "obs/prometheus.h"
+
+namespace sentinel::obs {
+
+namespace {
+
+/// Sampling period. Odd (not a round millisecond) so the sampler does not
+/// phase-lock with millisecond-periodic workloads.
+constexpr std::chrono::microseconds kSampleInterval{997};
+
+/// Process-wide set of live profilers (leaked statics so thread-exit
+/// destructors may consult them at any time). EnsureThisThread registers
+/// arbitrary executing threads — including application threads that outlive
+/// the database — so the thread-exit unregistration must first check that
+/// the owning profiler still exists.
+std::mutex& AliveMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+std::unordered_set<Profiler*>& AliveSet() {
+  static auto* set = new std::unordered_set<Profiler*>();
+  return *set;
+}
+
+void UnregisterIfAlive(Profiler* profiler,
+                       Profiler::ThreadAnnotations* annotations) {
+  // Holding the alive mutex across the unregister pins ~Profiler (which
+  // erases itself under the same mutex before tearing anything down), so the
+  // call below never races destruction.
+  std::lock_guard<std::mutex> lock(AliveMutex());
+  if (AliveSet().count(profiler) != 0) {
+    profiler->UnregisterThread(annotations);
+  }
+}
+
+/// Thread-local registration handle for EnsureThisThread: unregisters at
+/// thread exit. One slot per thread is enough — workers belong to exactly
+/// one database (and therefore one profiler) at a time.
+struct ThreadRegistration {
+  Profiler* owner = nullptr;
+  Profiler::ThreadAnnotations* annotations = nullptr;
+  ~ThreadRegistration() {
+    if (owner != nullptr) UnregisterIfAlive(owner, annotations);
+  }
+};
+thread_local ThreadRegistration t_registration;
+
+}  // namespace
+
+Profiler::Profiler() {
+  std::lock_guard<std::mutex> lock(AliveMutex());
+  AliveSet().insert(this);
+}
+
+Profiler::~Profiler() {
+  {
+    std::lock_guard<std::mutex> lock(AliveMutex());
+    AliveSet().erase(this);
+  }
+  Stop();
+}
+
+std::uint64_t Profiler::NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t Profiler::ThreadCpuNs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+const char* Profiler::RuleSeamName(RuleSeam seam) {
+  switch (seam) {
+    case RuleSeam::kCondition:
+      return "condition";
+    case RuleSeam::kAction:
+      return "action";
+    case RuleSeam::kCommit:
+      return "commit";
+  }
+  return "?";
+}
+
+const char* Profiler::GlobalSeamName(GlobalSeam seam) {
+  switch (seam) {
+    case GlobalSeam::kCommitBarrier:
+      return "commit_barrier";
+    case GlobalSeam::kGedForward:
+      return "ged_forward";
+  }
+  return "?";
+}
+
+void Profiler::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (mode_.load(std::memory_order_relaxed) == Mode::kOn) return;
+  enabled_since_ns_.store(NowNs(), std::memory_order_relaxed);
+  mode_.store(Mode::kOn, std::memory_order_relaxed);
+  StartSamplerLocked();
+}
+
+void Profiler::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (mode_.load(std::memory_order_relaxed) == Mode::kOff) return;
+  mode_.store(Mode::kOff, std::memory_order_relaxed);
+  active_ns_.fetch_add(
+      NowNs() - enabled_since_ns_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  StopSamplerLocked();
+}
+
+std::uint64_t Profiler::duration_ns() const {
+  std::uint64_t total = active_ns_.load(std::memory_order_relaxed);
+  if (enabled()) {
+    total += NowNs() - enabled_since_ns_.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Profiler::Reset() {
+  {
+    std::unique_lock lock(rules_mu_);
+    for (auto& [name, rule] : rules_) {
+      for (CostCell& cell : rule->seams) cell.Zero();
+      std::lock_guard<std::mutex> sym_lock(rule->sym_mu);
+      rule->symbols.clear();
+    }
+  }
+  {
+    std::unique_lock lock(nodes_mu_);
+    for (auto& [name, cell] : nodes_) cell->Zero();
+  }
+  {
+    std::unique_lock lock(symbols_mu_);
+    for (auto& sym : symbols_) {
+      if (sym == nullptr) continue;
+      sym->events.Zero();
+      sym->rules.Zero();
+    }
+  }
+  for (CostCell& cell : global_) cell.Zero();
+  {
+    std::unique_lock lock(sites_mu_);
+    for (auto& [name, site] : sites_) {
+      site->acquisitions.Reset();
+      site->contended.Reset();
+      site->wait_ns.Reset();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(folded_mu_);
+    folded_.clear();
+  }
+  samples_.store(0, std::memory_order_relaxed);
+  active_ns_.store(0, std::memory_order_relaxed);
+  enabled_since_ns_.store(NowNs(), std::memory_order_relaxed);
+}
+
+// -- Feed 1: exact attribution -----------------------------------------------
+
+Profiler::RuleCost* Profiler::GetRuleCost(const std::string& name) {
+  {
+    std::shared_lock lock(rules_mu_);
+    auto it = rules_.find(name);
+    if (it != rules_.end()) return it->second.get();
+  }
+  std::unique_lock lock(rules_mu_);
+  auto& slot = rules_[name];
+  if (slot == nullptr) slot = std::make_unique<RuleCost>();
+  return slot.get();
+}
+
+Profiler::SymbolCost* Profiler::GetSymbolCost(common::SymbolId sym) {
+  {
+    std::shared_lock lock(symbols_mu_);
+    if (sym < symbols_.size() && symbols_[sym] != nullptr) {
+      return symbols_[sym].get();
+    }
+  }
+  std::unique_lock lock(symbols_mu_);
+  if (sym >= symbols_.size()) symbols_.resize(sym + 1);
+  if (symbols_[sym] == nullptr) symbols_[sym] = std::make_unique<SymbolCost>();
+  return symbols_[sym].get();
+}
+
+Profiler::CostCell* Profiler::NodeAccount(const std::string& node_name) {
+  {
+    std::shared_lock lock(nodes_mu_);
+    auto it = nodes_.find(node_name);
+    if (it != nodes_.end()) return it->second.get();
+  }
+  std::unique_lock lock(nodes_mu_);
+  auto& slot = nodes_[node_name];
+  if (slot == nullptr) slot = std::make_unique<CostCell>();
+  return slot.get();
+}
+
+void Profiler::RecordRuleFiring(const std::string& rule_name,
+                                const detector::Occurrence* occurrence,
+                                const CostDelta& condition,
+                                const CostDelta& action,
+                                const CostDelta& commit) {
+  RuleCost* rule = GetRuleCost(rule_name);
+  if (condition.valid) {
+    rule->seams[static_cast<int>(RuleSeam::kCondition)].Record(
+        condition.cpu_ns, condition.wall_ns);
+  }
+  if (action.valid) {
+    rule->seams[static_cast<int>(RuleSeam::kAction)].Record(action.cpu_ns,
+                                                            action.wall_ns);
+  }
+  if (commit.valid) {
+    rule->seams[static_cast<int>(RuleSeam::kCommit)].Record(commit.cpu_ns,
+                                                            commit.wall_ns);
+  }
+
+  if (occurrence == nullptr) return;
+  // Distinct class symbols among the triggering constituents — a composite
+  // rule spanning several classes is exactly the coupling the shard report
+  // must know about.
+  common::SymbolId inline_syms[8];
+  std::size_t sym_count = 0;
+  for (const auto& constituent : occurrence->constituents) {
+    if (constituent == nullptr) continue;
+    const common::SymbolId sym = constituent->class_sym;
+    if (sym == common::kInvalidSymbol) continue;
+    bool seen = false;
+    for (std::size_t i = 0; i < sym_count; ++i) {
+      if (inline_syms[i] == sym) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen && sym_count < std::size(inline_syms)) {
+      inline_syms[sym_count++] = sym;
+    }
+  }
+  if (sym_count == 0) return;
+
+  {
+    std::lock_guard<std::mutex> lock(rule->sym_mu);
+    for (std::size_t i = 0; i < sym_count; ++i) {
+      auto it = std::lower_bound(rule->symbols.begin(), rule->symbols.end(),
+                                 inline_syms[i]);
+      if (it == rule->symbols.end() || *it != inline_syms[i]) {
+        rule->symbols.insert(it, inline_syms[i]);
+      }
+    }
+  }
+
+  // Split the rule's own compute (condition + action; commit cost belongs to
+  // the storage layer) evenly across the contributing symbols.
+  const std::uint64_t cpu =
+      (condition.valid ? condition.cpu_ns : 0) + (action.valid ? action.cpu_ns : 0);
+  const std::uint64_t wall = (condition.valid ? condition.wall_ns : 0) +
+                             (action.valid ? action.wall_ns : 0);
+  for (std::size_t i = 0; i < sym_count; ++i) {
+    GetSymbolCost(inline_syms[i])
+        ->rules.Record(cpu / sym_count, wall / sym_count);
+  }
+}
+
+void Profiler::RecordSymbolEvent(common::SymbolId sym, std::uint64_t cpu,
+                                 std::uint64_t wall) {
+  if (sym == common::kInvalidSymbol) return;
+  GetSymbolCost(sym)->events.Record(cpu, wall);
+}
+
+void Profiler::RecordGlobal(GlobalSeam seam, std::uint64_t cpu,
+                            std::uint64_t wall) {
+  global_[static_cast<int>(seam)].Record(cpu, wall);
+}
+
+// -- Feed 2: lock contention -------------------------------------------------
+
+Profiler::ContentionSite* Profiler::GetContentionSite(const std::string& name) {
+  {
+    std::shared_lock lock(sites_mu_);
+    auto it = sites_.find(name);
+    if (it != sites_.end()) return it->second.get();
+  }
+  std::unique_lock lock(sites_mu_);
+  auto& slot = sites_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<ContentionSite>();
+    slot->name = name;
+  }
+  return slot.get();
+}
+
+std::vector<Profiler::ContentionSnapshot> Profiler::TopContended(
+    std::size_t k) const {
+  std::vector<ContentionSnapshot> all;
+  {
+    std::shared_lock lock(sites_mu_);
+    all.reserve(sites_.size());
+    for (const auto& [name, site] : sites_) {
+      ContentionSnapshot snap;
+      snap.site = name;
+      snap.acquisitions = site->acquisitions.value();
+      snap.contended = site->contended.value();
+      snap.wait_ns = site->wait_ns.value();
+      if (snap.acquisitions == 0) continue;
+      all.push_back(std::move(snap));
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ContentionSnapshot& a, const ContentionSnapshot& b) {
+              if (a.wait_ns != b.wait_ns) return a.wait_ns > b.wait_ns;
+              if (a.contended != b.contended) return a.contended > b.contended;
+              return a.site < b.site;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+// -- Feed 3: wall-clock sampling ---------------------------------------------
+
+Profiler::ThreadAnnotations* Profiler::RegisterThread(std::string name) {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  thread_storage_.emplace_back();
+  ThreadAnnotations* thread = &thread_storage_.back();
+  thread->name_ = std::move(name);
+  active_threads_.push_back(thread);
+  return thread;
+}
+
+void Profiler::UnregisterThread(ThreadAnnotations* thread) {
+  if (thread == nullptr) return;
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  thread->active_.store(false, std::memory_order_relaxed);
+  active_threads_.erase(
+      std::remove(active_threads_.begin(), active_threads_.end(), thread),
+      active_threads_.end());
+}
+
+Profiler::ThreadAnnotations* Profiler::EnsureThisThread(
+    const char* name_prefix) {
+  if (t_registration.owner == this) return t_registration.annotations;
+  if (t_registration.owner != nullptr) {
+    UnregisterIfAlive(t_registration.owner, t_registration.annotations);
+    t_registration.owner = nullptr;
+  }
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    name = std::string(name_prefix) + "-" +
+           std::to_string(thread_storage_.size());
+  }
+  t_registration.annotations = RegisterThread(std::move(name));
+  t_registration.owner = this;
+  return t_registration.annotations;
+}
+
+const char* Profiler::InternFrame(const std::string& frame) {
+  std::lock_guard<std::mutex> lock(frames_mu_);
+  return interned_frames_.insert(frame).first->c_str();
+}
+
+void Profiler::StartSamplerLocked() {
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    if (sampler_running_) return;
+    sampler_stop_ = false;
+    sampler_running_ = true;
+  }
+  sampler_ = std::thread([this] { SamplerLoop(); });
+}
+
+void Profiler::StopSamplerLocked() {
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    if (!sampler_running_) return;
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+  std::lock_guard<std::mutex> lock(sampler_mu_);
+  sampler_running_ = false;
+}
+
+void Profiler::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(sampler_mu_);
+  while (!sampler_stop_) {
+    sampler_cv_.wait_for(lock, kSampleInterval,
+                         [this] { return sampler_stop_; });
+    if (sampler_stop_) break;
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+}
+
+void Profiler::SampleOnce() {
+  // Snapshot the registry under the lock, read the (atomic) stacks outside
+  // it: annotation storage lives until the profiler dies, so a concurrent
+  // unregister at worst yields one sample of an empty stack.
+  std::vector<ThreadAnnotations*> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    threads = active_threads_;
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  for (ThreadAnnotations* thread : threads) {
+    const int depth = thread->depth_.load(std::memory_order_acquire);
+    if (depth <= 0) continue;
+    std::string key = thread->name_;
+    for (int i = 0; i < depth && i < kMaxAnnotationDepth; ++i) {
+      const char* frame = thread->frames_[i].load(std::memory_order_relaxed);
+      if (frame == nullptr) break;
+      key += ';';
+      key += frame;
+    }
+    std::lock_guard<std::mutex> lock(folded_mu_);
+    ++folded_[key];
+  }
+}
+
+std::string Profiler::FoldedStacks() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(folded_mu_);
+  for (const auto& [stack, count] : folded_) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+// -- Snapshots & export ------------------------------------------------------
+
+std::vector<Profiler::RuleSnapshot> Profiler::RuleSnapshots() const {
+  std::vector<RuleSnapshot> out;
+  std::shared_lock lock(rules_mu_);
+  out.reserve(rules_.size());
+  for (const auto& [name, rule] : rules_) {
+    RuleSnapshot snap;
+    snap.name = name;
+    for (int i = 0; i < kRuleSeams; ++i) snap.seams[i] = rule->seams[i].Snap();
+    {
+      std::lock_guard<std::mutex> sym_lock(rule->sym_mu);
+      snap.symbols.reserve(rule->symbols.size());
+      for (common::SymbolId sym : rule->symbols) {
+        snap.symbols.push_back(common::SymbolTable::Global().NameOf(sym));
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::vector<Profiler::NodeSnapshot> Profiler::NodeSnapshots() const {
+  std::vector<NodeSnapshot> out;
+  std::shared_lock lock(nodes_mu_);
+  out.reserve(nodes_.size());
+  for (const auto& [name, cell] : nodes_) {
+    out.push_back(NodeSnapshot{name, cell->Snap()});
+  }
+  return out;
+}
+
+std::vector<Profiler::SymbolSnapshot> Profiler::SymbolSnapshots() const {
+  std::vector<SymbolSnapshot> out;
+  std::shared_lock lock(symbols_mu_);
+  for (std::size_t sym = 0; sym < symbols_.size(); ++sym) {
+    if (symbols_[sym] == nullptr) continue;
+    SymbolSnapshot snap;
+    snap.symbol = common::SymbolTable::Global().NameOf(
+        static_cast<common::SymbolId>(sym));
+    snap.events = symbols_[sym]->events.Snap();
+    snap.rules = symbols_[sym]->rules.Snap();
+    if (snap.events.invocations == 0 && snap.rules.invocations == 0) continue;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+Profiler::CostSnapshot Profiler::GlobalSnapshot(GlobalSeam seam) const {
+  return global_[static_cast<int>(seam)].Snap();
+}
+
+std::string Profiler::TopCostRule() const {
+  std::string best;
+  std::uint64_t best_wall = 0;
+  for (const RuleSnapshot& rule : RuleSnapshots()) {
+    const std::uint64_t wall = rule.total_wall_ns();
+    if (wall > best_wall) {
+      best_wall = wall;
+      best = rule.name;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+void WriteCost(JsonWriter& w, const std::string& key,
+               const Profiler::CostSnapshot& snap) {
+  w.Key(key).BeginObject();
+  w.Field("invocations", snap.invocations);
+  w.Field("cpu_ns", snap.cpu_ns);
+  w.Field("wall_ns", snap.wall_ns);
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string Profiler::ProfileJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("mode", enabled() ? "on" : "off");
+  w.Field("duration_ns", duration_ns());
+  w.Field("samples", samples());
+
+  w.Key("rules").BeginArray();
+  for (const RuleSnapshot& rule : RuleSnapshots()) {
+    w.BeginObject();
+    w.Field("name", rule.name);
+    for (int i = 0; i < kRuleSeams; ++i) {
+      WriteCost(w, RuleSeamName(static_cast<RuleSeam>(i)), rule.seams[i]);
+    }
+    w.Field("total_wall_ns", rule.total_wall_ns());
+    w.Key("symbols").BeginArray();
+    for (const std::string& sym : rule.symbols) w.Value(sym);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("nodes").BeginArray();
+  for (const NodeSnapshot& node : NodeSnapshots()) {
+    w.BeginObject();
+    w.Field("name", node.name);
+    WriteCost(w, "eval", node.eval);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("symbols").BeginArray();
+  for (const SymbolSnapshot& sym : SymbolSnapshots()) {
+    w.BeginObject();
+    w.Field("symbol", sym.symbol);
+    WriteCost(w, "events", sym.events);
+    WriteCost(w, "rules", sym.rules);
+    w.Field("total_wall_ns", sym.events.wall_ns + sym.rules.wall_ns);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("seams").BeginArray();
+  for (int i = 0; i < kGlobalSeams; ++i) {
+    const CostSnapshot snap = GlobalSnapshot(static_cast<GlobalSeam>(i));
+    w.BeginObject();
+    w.Field("seam", GlobalSeamName(static_cast<GlobalSeam>(i)));
+    w.Field("invocations", snap.invocations);
+    w.Field("cpu_ns", snap.cpu_ns);
+    w.Field("wall_ns", snap.wall_ns);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("contention").BeginArray();
+  for (const ContentionSnapshot& site : TopContended(16)) {
+    w.BeginObject();
+    w.Field("site", site.site);
+    w.Field("acquisitions", site.acquisitions);
+    w.Field("contended", site.contended);
+    w.Field("wait_ns", site.wait_ns);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("folded").BeginArray();
+  {
+    std::lock_guard<std::mutex> lock(folded_mu_);
+    for (const auto& [stack, count] : folded_) {
+      w.Value(stack + " " + std::to_string(count));
+    }
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.Take();
+}
+
+void Profiler::WritePrometheus(PromWriter& w) const {
+  w.Gauge("sentinel_profile_mode", "Profiling mode (0=off, 1=on)", {},
+          enabled() ? 1 : 0);
+  w.Gauge("sentinel_profile_duration_ns",
+          "Cumulative nanoseconds profiling has been enabled", {},
+          duration_ns());
+  w.Counter("sentinel_profile_samples_total",
+            "Wall-clock sampler ticks taken", {}, samples());
+
+  const auto rules = RuleSnapshots();
+  if (!rules.empty()) {
+    w.Family("sentinel_profile_rule_invocations_total",
+             "Rule seam invocations attributed by the profiler", "counter");
+    w.Family("sentinel_profile_rule_cpu_ns_total",
+             "Per-rule seam CPU time (thread clock), nanoseconds", "counter");
+    w.Family("sentinel_profile_rule_wall_ns_total",
+             "Per-rule seam wall time, nanoseconds", "counter");
+    for (const RuleSnapshot& rule : rules) {
+      for (int i = 0; i < kRuleSeams; ++i) {
+        const PromWriter::Labels labels = {
+            {"rule", rule.name},
+            {"seam", RuleSeamName(static_cast<RuleSeam>(i))}};
+        w.Sample("sentinel_profile_rule_invocations_total", labels,
+                 rule.seams[i].invocations);
+        w.Sample("sentinel_profile_rule_cpu_ns_total", labels,
+                 rule.seams[i].cpu_ns);
+        w.Sample("sentinel_profile_rule_wall_ns_total", labels,
+                 rule.seams[i].wall_ns);
+      }
+    }
+  }
+
+  const auto nodes = NodeSnapshots();
+  if (!nodes.empty()) {
+    w.Family("sentinel_profile_node_invocations_total",
+             "Operator-node evaluations attributed by the profiler",
+             "counter");
+    w.Family("sentinel_profile_node_cpu_ns_total",
+             "Per-event-node evaluation CPU time, nanoseconds", "counter");
+    w.Family("sentinel_profile_node_wall_ns_total",
+             "Per-event-node evaluation wall time, nanoseconds", "counter");
+    for (const NodeSnapshot& node : nodes) {
+      const PromWriter::Labels labels = {{"node", node.name}};
+      w.Sample("sentinel_profile_node_invocations_total", labels,
+               node.eval.invocations);
+      w.Sample("sentinel_profile_node_cpu_ns_total", labels, node.eval.cpu_ns);
+      w.Sample("sentinel_profile_node_wall_ns_total", labels,
+               node.eval.wall_ns);
+    }
+  }
+
+  const auto symbols = SymbolSnapshots();
+  if (!symbols.empty()) {
+    w.Family("sentinel_profile_symbol_events_total",
+             "Primitive event dispatches per interned class symbol",
+             "counter");
+    w.Family("sentinel_profile_symbol_cpu_ns_total",
+             "Attributed CPU time per class symbol (dispatch + rules),"
+             " nanoseconds",
+             "counter");
+    w.Family("sentinel_profile_symbol_wall_ns_total",
+             "Attributed wall time per class symbol (dispatch + rules),"
+             " nanoseconds",
+             "counter");
+    for (const SymbolSnapshot& sym : symbols) {
+      const PromWriter::Labels labels = {{"symbol", sym.symbol}};
+      w.Sample("sentinel_profile_symbol_events_total", labels,
+               sym.events.invocations);
+      w.Sample("sentinel_profile_symbol_cpu_ns_total", labels,
+               sym.events.cpu_ns + sym.rules.cpu_ns);
+      w.Sample("sentinel_profile_symbol_wall_ns_total", labels,
+               sym.events.wall_ns + sym.rules.wall_ns);
+    }
+  }
+
+  w.Family("sentinel_profile_seam_wall_ns_total",
+           "Process-level seam wall time (commit barrier, GED forward),"
+           " nanoseconds",
+           "counter");
+  for (int i = 0; i < kGlobalSeams; ++i) {
+    w.Sample("sentinel_profile_seam_wall_ns_total",
+             {{"seam", GlobalSeamName(static_cast<GlobalSeam>(i))}},
+             GlobalSnapshot(static_cast<GlobalSeam>(i)).wall_ns);
+  }
+
+  const auto sites = TopContended(16);
+  if (!sites.empty()) {
+    w.Family("sentinel_profile_contention_acquisitions_total",
+             "Profiled lock acquisitions per contention site", "counter");
+    w.Family("sentinel_profile_contention_contended_total",
+             "Acquisitions that blocked, per contention site", "counter");
+    w.Family("sentinel_profile_contention_wait_ns_total",
+             "Summed blocked wait time per contention site, nanoseconds",
+             "counter");
+    for (const ContentionSnapshot& site : sites) {
+      const PromWriter::Labels labels = {{"site", site.site}};
+      w.Sample("sentinel_profile_contention_acquisitions_total", labels,
+               site.acquisitions);
+      w.Sample("sentinel_profile_contention_contended_total", labels,
+               site.contended);
+      w.Sample("sentinel_profile_contention_wait_ns_total", labels,
+               site.wait_ns);
+    }
+  }
+}
+
+}  // namespace sentinel::obs

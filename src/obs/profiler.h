@@ -1,0 +1,373 @@
+#ifndef SENTINEL_OBS_PROFILER_H_
+#define SENTINEL_OBS_PROFILER_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/symbol.h"
+#include "obs/metrics.h"
+
+namespace sentinel::obs {
+
+class PromWriter;
+
+/// Continuous profiling plane (DESIGN.md §15). Opt-in (off by default) and
+/// always cheap when off: every feed is gated on one relaxed load of the
+/// mode, the same budget discipline as SpanTracer. Three feeds:
+///
+///   1. *Exact attribution* — the seams that already carry spans (condition,
+///      action, operator-node evaluation, commit barrier, GED forward) also
+///      record CPU-ns (CLOCK_THREAD_CPUTIME_ID), wall-ns and invocation
+///      counts into per-rule, per-event-node and per-interned-class-symbol
+///      cost accounts. Accounts store sharded counters so concurrent
+///      scheduler workers never contend on one cache line.
+///   2. *Lock contention* — the striped detector buffer mutexes, the storage
+///      lock manager and the WAL group-commit barrier report try-then-wait
+///      accounting (acquisitions, contended acquisitions, summed wait-ns)
+///      into named contention sites; TopContended() is the top-K table.
+///   3. *Wall-clock sampling* — a sampler thread walks registered worker
+///      annotation stacks at ~1kHz and accumulates collapsed-stack
+///      ("folded") lines consumable by standard flamegraph tooling.
+///
+/// Accounts are never erased while the profiler lives (Reset zeroes counters
+/// in place), so cached account/site pointers held by nodes and storage
+/// components stay valid for the profiler's lifetime.
+class Profiler {
+ public:
+  enum class Mode : std::uint8_t { kOff = 0, kOn = 1 };
+
+  Profiler();
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// The instrumentation gate: one relaxed load when profiling is off.
+  bool enabled() const {
+    return mode_.load(std::memory_order_relaxed) == Mode::kOn;
+  }
+  Mode mode() const { return mode_.load(std::memory_order_relaxed); }
+
+  /// Enables all three feeds and starts the sampler thread. Idempotent.
+  void Start();
+  /// Disables the feeds and joins the sampler thread. Idempotent.
+  void Stop();
+  /// Zeroes every account, contention site and folded sample in place
+  /// (pointers stay valid). Sharded-counter Reset races concurrent writers
+  /// (see ShardedCounter::Reset); call while profiling is off or accept a
+  /// benign undercount.
+  void Reset();
+
+  /// Steady-clock nanoseconds (same clock as SpanTracer::NowNs).
+  static std::uint64_t NowNs();
+  /// Per-thread CPU time in nanoseconds (CLOCK_THREAD_CPUTIME_ID; 0 when
+  /// the platform lacks it).
+  static std::uint64_t ThreadCpuNs();
+
+  /// One measured interval at an attribution seam. `valid` marks whether the
+  /// seam ran at all this firing (a failed condition skips the action).
+  struct CostDelta {
+    std::uint64_t cpu_ns = 0;
+    std::uint64_t wall_ns = 0;
+    bool valid = false;
+  };
+
+  struct CostSnapshot {
+    std::uint64_t invocations = 0;
+    std::uint64_t cpu_ns = 0;
+    std::uint64_t wall_ns = 0;
+  };
+
+  /// One (invocations, cpu, wall) account cell, sharded per field.
+  struct CostCell {
+    ShardedCounter invocations;
+    ShardedCounter cpu_ns;
+    ShardedCounter wall_ns;
+
+    void Record(std::uint64_t cpu, std::uint64_t wall) {
+      invocations.Add(1);
+      cpu_ns.Add(cpu);
+      wall_ns.Add(wall);
+    }
+    CostSnapshot Snap() const {
+      return {invocations.value(), cpu_ns.value(), wall_ns.value()};
+    }
+    void Zero() {
+      invocations.Reset();
+      cpu_ns.Reset();
+      wall_ns.Reset();
+    }
+  };
+
+  enum class RuleSeam : int { kCondition = 0, kAction = 1, kCommit = 2 };
+  static constexpr int kRuleSeams = 3;
+  static const char* RuleSeamName(RuleSeam seam);
+
+  /// Process-level seams that belong to no single rule or node.
+  enum class GlobalSeam : int { kCommitBarrier = 0, kGedForward = 1 };
+  static constexpr int kGlobalSeams = 2;
+  static const char* GlobalSeamName(GlobalSeam seam);
+
+  // -- Feed 1: exact attribution ---------------------------------------------
+
+  /// Records one rule firing's seam costs, attributes the condition+action
+  /// cost to the distinct class symbols among the triggering occurrence's
+  /// constituents (split evenly), and remembers the rule↔symbol coupling for
+  /// the shard-steering report. `occurrence` may be null (no attribution).
+  /// Call only after enabled() passed.
+  void RecordRuleFiring(const std::string& rule_name,
+                        const detector::Occurrence* occurrence,
+                        const CostDelta& condition, const CostDelta& action,
+                        const CostDelta& commit);
+
+  /// Per-event-node operator-evaluation account; the returned pointer is
+  /// stable for the profiler's lifetime (nodes cache it at set_profiler
+  /// time so the Emit path never takes the account-map lock).
+  CostCell* NodeAccount(const std::string& node_name);
+
+  /// Per-class-symbol primitive-dispatch account (event rates for the shard
+  /// report). Call only after enabled() passed.
+  void RecordSymbolEvent(common::SymbolId sym, std::uint64_t cpu,
+                         std::uint64_t wall);
+
+  /// Commit-barrier / GED-forward seams. Call only after enabled() passed.
+  void RecordGlobal(GlobalSeam seam, std::uint64_t cpu, std::uint64_t wall);
+
+  // -- Feed 2: lock contention -----------------------------------------------
+
+  struct ContentionSite {
+    std::string name;
+    ShardedCounter acquisitions;  // profiled acquisitions (profiling on)
+    ShardedCounter contended;     // acquisitions that had to wait
+    ShardedCounter wait_ns;       // summed wait time of contended ones
+  };
+
+  /// Get-or-create a named contention site; the pointer is stable for the
+  /// profiler's lifetime.
+  ContentionSite* GetContentionSite(const std::string& name);
+
+  /// Try-then-wait lock acquisition: uncontended acquisitions cost one
+  /// try_lock; contended ones time the blocking wait. Off-mode is a plain
+  /// lock (one relaxed load of the gate).
+  template <typename Mutex>
+  static std::unique_lock<Mutex> LockContended(const Profiler* profiler,
+                                               ContentionSite* site,
+                                               Mutex& mu) {
+    if (profiler == nullptr || site == nullptr || !profiler->enabled()) {
+      return std::unique_lock<Mutex>(mu);
+    }
+    std::unique_lock<Mutex> lock(mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      const std::uint64_t t0 = NowNs();
+      lock.lock();
+      site->contended.Add(1);
+      site->wait_ns.Add(NowNs() - t0);
+    }
+    site->acquisitions.Add(1);
+    return lock;
+  }
+
+  /// Condition-wait sites (lock manager grants, WAL barrier) report their
+  /// already-measured waits directly. Call only after enabled() passed.
+  static void RecordSiteAcquire(ContentionSite* site) {
+    site->acquisitions.Add(1);
+  }
+  static void RecordSiteWait(ContentionSite* site, std::uint64_t wait_ns) {
+    site->contended.Add(1);
+    site->wait_ns.Add(wait_ns);
+  }
+
+  struct ContentionSnapshot {
+    std::string site;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contended = 0;
+    std::uint64_t wait_ns = 0;
+  };
+  /// Top-K contended sites, ordered by summed wait-ns descending. Sites with
+  /// zero acquisitions are skipped.
+  std::vector<ContentionSnapshot> TopContended(std::size_t k) const;
+
+  // -- Feed 3: wall-clock sampling -------------------------------------------
+
+  static constexpr int kMaxAnnotationDepth = 8;
+
+  /// One worker thread's annotation stack. Frames are pointers to strings
+  /// with static or profiler-interned storage, pushed/popped only by the
+  /// owning thread; the sampler reads them with acquire/relaxed loads. A
+  /// racing pop/push can make the sampler read a just-replaced frame — the
+  /// sample lands one frame off, which sampling tolerates by design.
+  class ThreadAnnotations {
+   public:
+    const std::string& name() const { return name_; }
+
+   private:
+    friend class Profiler;
+    std::string name_;
+    std::array<std::atomic<const char*>, kMaxAnnotationDepth> frames_{};
+    std::atomic<int> depth_{0};
+    std::atomic<bool> active_{true};
+  };
+
+  /// Registers the calling worker with the sampler. The returned pointer is
+  /// valid until UnregisterThread (the storage lives until the profiler is
+  /// destroyed).
+  ThreadAnnotations* RegisterThread(std::string name);
+  void UnregisterThread(ThreadAnnotations* thread);
+
+  /// Thread-local get-or-register for worker loops that cannot know at spawn
+  /// time whether a profiler is attached. Unregisters automatically at
+  /// thread exit; the profiler must outlive the worker (it does: the
+  /// database destroys components — and joins their workers — before the
+  /// profiler).
+  ThreadAnnotations* EnsureThisThread(const char* name_prefix);
+
+  /// Interns a dynamic frame label (rule names) into storage that outlives
+  /// every sample referring to it.
+  const char* InternFrame(const std::string& frame);
+
+  /// RAII annotation frame. Inert when the gate is off or the stack is full.
+  class AnnotationScope {
+   public:
+    AnnotationScope(const Profiler* profiler, ThreadAnnotations* thread,
+                    const char* frame) {
+      if (profiler == nullptr || thread == nullptr || !profiler->enabled()) {
+        return;
+      }
+      const int depth = thread->depth_.load(std::memory_order_relaxed);
+      if (depth >= kMaxAnnotationDepth) return;
+      thread->frames_[depth].store(frame, std::memory_order_relaxed);
+      thread->depth_.store(depth + 1, std::memory_order_release);
+      thread_ = thread;
+    }
+    ~AnnotationScope() {
+      if (thread_ == nullptr) return;
+      thread_->depth_.store(
+          thread_->depth_.load(std::memory_order_relaxed) - 1,
+          std::memory_order_release);
+    }
+
+    AnnotationScope(const AnnotationScope&) = delete;
+    AnnotationScope& operator=(const AnnotationScope&) = delete;
+
+   private:
+    ThreadAnnotations* thread_ = nullptr;
+  };
+
+  /// Collapsed-stack lines ("thread;frame;frame count\n"), the input format
+  /// of standard flamegraph tooling.
+  std::string FoldedStacks() const;
+  std::uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+  // -- Snapshots & export ----------------------------------------------------
+
+  struct RuleSnapshot {
+    std::string name;
+    std::array<CostSnapshot, kRuleSeams> seams;
+    std::vector<std::string> symbols;  // distinct triggering class symbols
+    std::uint64_t total_wall_ns() const {
+      std::uint64_t total = 0;
+      for (const CostSnapshot& s : seams) total += s.wall_ns;
+      return total;
+    }
+  };
+  struct NodeSnapshot {
+    std::string name;
+    CostSnapshot eval;
+  };
+  struct SymbolSnapshot {
+    std::string symbol;
+    CostSnapshot events;  // primitive dispatches for this class symbol
+    CostSnapshot rules;   // attributed rule condition+action cost
+  };
+
+  std::vector<RuleSnapshot> RuleSnapshots() const;
+  std::vector<NodeSnapshot> NodeSnapshots() const;
+  std::vector<SymbolSnapshot> SymbolSnapshots() const;
+  CostSnapshot GlobalSnapshot(GlobalSeam seam) const;
+
+  /// Nanoseconds profiling has been enabled (cumulative across start/stop).
+  std::uint64_t duration_ns() const;
+
+  /// Name of the rule with the largest total wall-ns ("" when no rule has
+  /// recorded cost) — the watchdog names it in /healthz detail on degrade.
+  std::string TopCostRule() const;
+
+  /// The /profile body: every feed as one JSON object (the input of
+  /// tools/shard_plan.py — see DESIGN.md §15 for the schema).
+  std::string ProfileJson() const;
+
+  /// Appends the sentinel_profile_* families to a /metrics exposition.
+  void WritePrometheus(PromWriter& w) const;
+
+ private:
+  struct RuleCost {
+    std::array<CostCell, kRuleSeams> seams;
+    std::mutex sym_mu;
+    std::vector<common::SymbolId> symbols;  // sorted distinct
+  };
+  struct SymbolCost {
+    CostCell events;
+    CostCell rules;
+  };
+
+  RuleCost* GetRuleCost(const std::string& name);
+  SymbolCost* GetSymbolCost(common::SymbolId sym);
+
+  void SamplerLoop();
+  void SampleOnce();
+  void StartSamplerLocked();
+  void StopSamplerLocked();
+
+  std::atomic<Mode> mode_{Mode::kOff};
+  std::mutex lifecycle_mu_;
+  std::atomic<std::uint64_t> enabled_since_ns_{0};
+  std::atomic<std::uint64_t> active_ns_{0};
+
+  mutable std::shared_mutex rules_mu_;
+  std::map<std::string, std::unique_ptr<RuleCost>> rules_;
+
+  mutable std::shared_mutex nodes_mu_;
+  std::map<std::string, std::unique_ptr<CostCell>> nodes_;
+
+  mutable std::shared_mutex symbols_mu_;
+  std::deque<std::unique_ptr<SymbolCost>> symbols_;  // indexed by SymbolId
+
+  std::array<CostCell, kGlobalSeams> global_;
+
+  mutable std::shared_mutex sites_mu_;
+  std::map<std::string, std::unique_ptr<ContentionSite>> sites_;
+
+  mutable std::mutex threads_mu_;
+  std::deque<ThreadAnnotations> thread_storage_;
+  std::vector<ThreadAnnotations*> active_threads_;
+
+  mutable std::mutex frames_mu_;
+  std::set<std::string> interned_frames_;
+
+  mutable std::mutex folded_mu_;
+  std::map<std::string, std::uint64_t> folded_;
+  std::atomic<std::uint64_t> samples_{0};
+
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+  bool sampler_running_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace sentinel::obs
+
+#endif  // SENTINEL_OBS_PROFILER_H_

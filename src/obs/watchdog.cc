@@ -62,6 +62,11 @@ void Watchdog::set_postmortem_hook(PostmortemHook hook) {
   postmortem_hook_ = std::move(hook);
 }
 
+void Watchdog::set_detail_provider(DetailProvider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  detail_provider_ = std::move(provider);
+}
+
 void Watchdog::Loop() {
   for (;;) {
     {
@@ -302,6 +307,17 @@ std::string Watchdog::HealthJson() const {
   w.Key("reasons").BeginArray();
   for (const std::string& reason : reasons()) w.Value(reason);
   w.EndArray();
+  if (state != HealthState::kHealthy) {
+    DetailProvider provider;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      provider = detail_provider_;
+    }
+    if (provider) {
+      const std::string detail = provider();
+      if (!detail.empty()) w.Field("top_cost_rule", detail);
+    }
+  }
   w.Key("rates").BeginObject();
   // JsonWriter has no double overload; rates are scaled to milli-units so
   // integers carry the precision a health probe needs.

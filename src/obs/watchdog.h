@@ -132,6 +132,13 @@ class Watchdog {
 
   void set_postmortem_hook(PostmortemHook hook);
 
+  /// Optional cost-attribution provider consulted by HealthJson whenever the
+  /// state is not healthy: returns a short label (the profiler's top-cost
+  /// rule) reported as "top_cost_rule" in the /healthz detail. An empty
+  /// return omits the field.
+  using DetailProvider = std::function<std::string()>;
+  void set_detail_provider(DetailProvider provider);
+
   HealthState health() const {
     return static_cast<HealthState>(health_.load(std::memory_order_acquire));
   }
@@ -187,6 +194,7 @@ class Watchdog {
   std::deque<MonitorSample> ring_;          // oldest first, <= options_.window
   std::vector<std::string> reasons_;        // last evaluation's trip reasons
   PostmortemHook postmortem_hook_;
+  DetailProvider detail_provider_;  // guarded by mu_
   std::uint64_t last_postmortem_ns_ = 0;
 
   std::atomic<int> health_{static_cast<int>(HealthState::kHealthy)};

@@ -6,6 +6,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "detector/local_detector.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 
@@ -198,6 +199,23 @@ void RuleScheduler::Execute(Firing firing) {
       span_tracer != nullptr &&
       span_tracer->enabled_for(obs::SpanKind::kSubTxn);
 
+  // Continuous profiling (one relaxed load when off): the condition/action/
+  // commit seams below reuse the wall timestamps already taken for the rule
+  // histograms and add a thread-CPU clock reading, so the profiler's
+  // per-rule accounts agree with the histograms by construction.
+  obs::Profiler* profiler = profiler_.load(std::memory_order_acquire);
+  const bool profiling = profiler != nullptr && profiler->enabled();
+  obs::Profiler::CostDelta prof_condition;
+  obs::Profiler::CostDelta prof_action;
+  obs::Profiler::CostDelta prof_commit;
+  obs::Profiler::ThreadAnnotations* annotations = nullptr;
+  const char* rule_frame = nullptr;
+  if (profiling) {
+    annotations = profiler->EnsureThisThread("rule-exec");
+    rule_frame = profiler->InternFrame(rule->name());
+  }
+  obs::Profiler::AnnotationScope exec_frame(profiler, annotations, rule_frame);
+
   RuleContext ctx;
   ctx.occurrence = &firing.occurrence;
   ctx.context = firing.context;
@@ -278,9 +296,17 @@ void RuleScheduler::Execute(Firing firing) {
           cond_span.Start(span_tracer, obs::SpanKind::kCondition, firing.txn,
                           rule->name() + ".condition", sub);
         }
+        obs::Profiler::AnnotationScope cond_frame(profiler, annotations,
+                                                  "condition");
+        const std::uint64_t cpu0 =
+            profiling ? obs::Profiler::ThreadCpuNs() : 0;
         const std::uint64_t t0 = NowNs();
         condition_held = rule->condition()(ctx);
-        rule->metrics().condition_ns.Record(NowNs() - t0);
+        const std::uint64_t wall = NowNs() - t0;
+        rule->metrics().condition_ns.Record(wall);
+        if (profiling) {
+          prof_condition = {obs::Profiler::ThreadCpuNs() - cpu0, wall, true};
+        }
       }
       if (condition_held && rule->action()) {
         obs::SpanScope action_span;
@@ -288,9 +314,17 @@ void RuleScheduler::Execute(Firing firing) {
           action_span.Start(span_tracer, obs::SpanKind::kAction, firing.txn,
                             rule->name() + ".action", sub);
         }
+        obs::Profiler::AnnotationScope action_frame(profiler, annotations,
+                                                    "action");
+        const std::uint64_t cpu0 =
+            profiling ? obs::Profiler::ThreadCpuNs() : 0;
         const std::uint64_t t0 = NowNs();
         rule->action()(ctx);
-        rule->metrics().action_ns.Record(NowNs() - t0);
+        const std::uint64_t wall = NowNs() - t0;
+        rule->metrics().action_ns.Record(wall);
+        if (profiling) {
+          prof_action = {obs::Profiler::ThreadCpuNs() - cpu0, wall, true};
+        }
       }
     } catch (const std::exception& e) {
       failure = Status::Internal("rule " + rule->name() +
@@ -309,9 +343,15 @@ void RuleScheduler::Execute(Firing firing) {
     // accumulated by the lock table; harvest it before the subtxn finishes.
     rule->metrics().lock_wait_ns.Record(nested_->LockWaitNs(sub));
     if (failure.ok()) {
+      const std::uint64_t cpu0 = profiling ? obs::Profiler::ThreadCpuNs() : 0;
       const std::uint64_t t0 = NowNs();
       Status commit = nested_->Commit(sub);
-      rule->metrics().commit_ns.Record(NowNs() - t0);
+      const std::uint64_t commit_wall = NowNs() - t0;
+      rule->metrics().commit_ns.Record(commit_wall);
+      if (profiling) {
+        prof_commit = {obs::Profiler::ThreadCpuNs() - cpu0, commit_wall,
+                       true};
+      }
       if (tracing) {
         tracer->Record(obs::EdgeKind::kSubTxn, rule->name(),
                        commit.ok() ? "commit" : "commit-failed", firing.txn,
@@ -335,6 +375,11 @@ void RuleScheduler::Execute(Firing firing) {
                             << rule->name() << ": " << aborted.ToString();
       }
     }
+  }
+
+  if (profiling) {
+    profiler->RecordRuleFiring(rule->name(), &firing.occurrence,
+                               prof_condition, prof_action, prof_commit);
   }
 
   if (failure.ok()) {

@@ -14,6 +14,7 @@
 #include "rules/thread_pool.h"
 
 namespace sentinel::obs {
+class Profiler;
 class ProvenanceTracer;
 class SpanTracer;
 }  // namespace sentinel::obs
@@ -189,6 +190,14 @@ class RuleScheduler {
     span_tracer_.store(tracer, std::memory_order_release);
   }
 
+  /// Attaches the continuous profiler; while it is enabled, each firing's
+  /// condition/action/commit seams record CPU+wall cost into per-rule and
+  /// per-class-symbol accounts and the executing thread is annotated for
+  /// the wall-clock sampler.
+  void set_profiler(obs::Profiler* profiler) {
+    profiler_.store(profiler, std::memory_order_release);
+  }
+
   /// Invoked (with the doomed transaction id) when the kAbortTop contingency
   /// fires, before the transaction is aborted — the active layer hooks the
   /// crash-postmortem dump here.
@@ -221,6 +230,7 @@ class RuleScheduler {
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<obs::ProvenanceTracer*> tracer_{nullptr};
   std::atomic<obs::SpanTracer*> span_tracer_{nullptr};
+  std::atomic<obs::Profiler*> profiler_{nullptr};
   PostmortemHook postmortem_hook_;  // guarded by mu_
 
   std::mutex mu_;

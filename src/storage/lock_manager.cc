@@ -58,6 +58,11 @@ bool LockManager::WouldDeadlockLocked(TxnId txn, const LockKey& key,
 }
 
 Status LockManager::Acquire(TxnId txn, const LockKey& key, LockMode mode) {
+  obs::Profiler* profiler = profiler_.load(std::memory_order_acquire);
+  obs::Profiler::ContentionSite* site =
+      (profiler != nullptr && profiler->enabled())
+          ? site_.load(std::memory_order_relaxed)
+          : nullptr;
   std::unique_lock<std::mutex> lock(mu_);
   auto& state_ptr = table_[key];
   if (state_ptr == nullptr) state_ptr = std::make_unique<LockState>();
@@ -86,7 +91,9 @@ Status LockManager::Acquire(TxnId txn, const LockKey& key, LockMode mode) {
     }
     if (WouldDeadlockLocked(txn, key, mode)) {
       deadlocks_.fetch_add(1, std::memory_order_relaxed);
-      wait_ns_.Record(obs::SpanTracer::NowNs() - wait_start_ns);
+      const std::uint64_t waited = obs::SpanTracer::NowNs() - wait_start_ns;
+      wait_ns_.Record(waited);
+      if (site != nullptr) obs::Profiler::RecordSiteWait(site, waited);
       wait_span.End();
       DeadlockHook hook = deadlock_hook_;
       lock.unlock();  // the hook snapshots this table; don't hold the latch
@@ -100,14 +107,19 @@ Status LockManager::Acquire(TxnId txn, const LockKey& key, LockMode mode) {
     if (wait_status == std::cv_status::timeout &&
         !CanGrantLocked(state, txn, mode)) {
       timeouts_.fetch_add(1, std::memory_order_relaxed);
-      wait_ns_.Record(obs::SpanTracer::NowNs() - wait_start_ns);
+      const std::uint64_t waited = obs::SpanTracer::NowNs() - wait_start_ns;
+      wait_ns_.Record(waited);
+      if (site != nullptr) obs::Profiler::RecordSiteWait(site, waited);
       return Status::LockTimeout("txn " + std::to_string(txn) +
                                  " timed out waiting for " + key);
     }
   }
   if (wait_start_ns != 0) {
-    wait_ns_.Record(obs::SpanTracer::NowNs() - wait_start_ns);
+    const std::uint64_t waited = obs::SpanTracer::NowNs() - wait_start_ns;
+    wait_ns_.Record(waited);
+    if (site != nullptr) obs::Profiler::RecordSiteWait(site, waited);
   }
+  if (site != nullptr) obs::Profiler::RecordSiteAcquire(site);
   state.holders[txn] = mode;
   return Status::OK();
 }

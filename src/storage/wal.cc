@@ -193,10 +193,25 @@ Status LogManager::WaitDurableLocked(std::unique_lock<std::mutex>& lock,
   // a concurrent commit's barrier absorbed us): skip the redundant fsync.
   if (lsn <= durable_lsn_.load(std::memory_order_relaxed)) return Status::OK();
   if (wedged_) return WedgedStatusLocked();
+  // Any caller reaching here blocks for a barrier: report the full wait
+  // window (lead or follow) into the "wal.barrier" contention site.
+  obs::Profiler* profiler = profiler_.load(std::memory_order_acquire);
+  obs::Profiler::ContentionSite* site =
+      (profiler != nullptr && profiler->enabled())
+          ? site_.load(std::memory_order_relaxed)
+          : nullptr;
+  const std::uint64_t wait_t0 =
+      site != nullptr ? obs::SpanTracer::NowNs() : 0;
   if (!group_thread_.joinable()) {
     // No group thread: run the barrier inline under the lock (the classic
     // one-fsync-per-commit path).
-    return BarrierLocked(lock, /*release_during_fsync=*/false);
+    Status inline_status = BarrierLocked(lock, /*release_during_fsync=*/false);
+    if (site != nullptr) {
+      obs::Profiler::RecordSiteAcquire(site);
+      obs::Profiler::RecordSiteWait(site,
+                                    obs::SpanTracer::NowNs() - wait_t0);
+    }
+    return inline_status;
   }
   group_commit_waits_.fetch_add(1, std::memory_order_relaxed);
   // Leader/follower group commit: the first committer to find no barrier in
@@ -207,6 +222,11 @@ Status LogManager::WaitDurableLocked(std::unique_lock<std::mutex>& lock,
   // commit appended while the previous fsync ran.
   for (;;) {
     if (durable_lsn_.load(std::memory_order_relaxed) >= lsn) {
+      if (site != nullptr) {
+        obs::Profiler::RecordSiteAcquire(site);
+        obs::Profiler::RecordSiteWait(site,
+                                      obs::SpanTracer::NowNs() - wait_t0);
+      }
       return Status::OK();
     }
     if (wedged_) return WedgedStatusLocked();
@@ -252,6 +272,9 @@ Status LogManager::BarrierLocked(std::unique_lock<std::mutex>& lock,
     fsync_span.Start(st, obs::SpanKind::kWalFsync, kInvalidTxnId,
                      "wal.fsync");
   }
+  obs::Profiler* profiler = profiler_.load(std::memory_order_acquire);
+  const bool profiling = profiler != nullptr && profiler->enabled();
+  const std::uint64_t cpu0 = profiling ? obs::Profiler::ThreadCpuNs() : 0;
   const std::uint64_t start_ns = obs::SpanTracer::NowNs();
   if (std::fflush(file_) != 0) {
     Status failed = Status::IOError("cannot flush log");
@@ -285,7 +308,12 @@ Status LogManager::BarrierLocked(std::unique_lock<std::mutex>& lock,
   if (target > durable_lsn_.load(std::memory_order_relaxed)) {
     durable_lsn_.store(target, std::memory_order_release);
   }
-  fsync_ns_.Record(obs::SpanTracer::NowNs() - start_ns);
+  const std::uint64_t barrier_wall = obs::SpanTracer::NowNs() - start_ns;
+  fsync_ns_.Record(barrier_wall);
+  if (profiling) {
+    profiler->RecordGlobal(obs::Profiler::GlobalSeam::kCommitBarrier,
+                           obs::Profiler::ThreadCpuNs() - cpu0, barrier_wall);
+  }
   sync_count_.fetch_add(1, std::memory_order_relaxed);
   durable_cv_.notify_all();
   return Status::OK();

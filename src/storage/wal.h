@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "storage/log_record.h"
 
 namespace sentinel::obs {
@@ -160,6 +161,17 @@ class LogManager {
     span_tracer_.store(tracer, std::memory_order_release);
   }
 
+  /// Attaches the continuous profiler: each completed fsync barrier records
+  /// into the commit_barrier global seam, and forced appends that block for
+  /// a barrier report into the "wal.barrier" contention site.
+  void set_profiler(obs::Profiler* profiler) {
+    site_.store(profiler != nullptr
+                    ? profiler->GetContentionSite("wal.barrier")
+                    : nullptr,
+                std::memory_order_relaxed);
+    profiler_.store(profiler, std::memory_order_release);
+  }
+
  private:
   /// Reads one frame at the current position; distinguishes a good record
   /// from a bad/absent tail (bad == Corruption, clean EOF == NotFound).
@@ -204,6 +216,8 @@ class LogManager {
   std::atomic<std::uint64_t> group_commit_waits_{0};
   std::atomic<std::uint64_t> async_commits_{0};
   std::atomic<obs::SpanTracer*> span_tracer_{nullptr};
+  std::atomic<obs::Profiler*> profiler_{nullptr};
+  std::atomic<obs::Profiler::ContentionSite*> site_{nullptr};
   obs::LatencyHistogram fsync_ns_;
 };
 

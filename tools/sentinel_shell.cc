@@ -16,6 +16,7 @@
 // Built-in rule functions available to specs: condition `true`; actions
 // `print` (dump the triggering occurrence) and `none`.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -123,6 +124,11 @@ void PrintHelp() {
                            0 = ephemeral) with the health watchdog
   health                   health verdict from the watchdog (JSON)
   metrics                  Prometheus text exposition (what /metrics serves)
+  profile start|stop|reset continuous profiler control (cost attribution,
+                           contention sites, sampled stacks)
+  profile top              top rules by attributed cost + contended sites
+  profile export [file]    /profile JSON, or folded stacks to <file>
+                           (flamegraph.pl / inferno input)
   trace [on|off|txn <id>]  provenance trace: toggle, dump (JSON), or drain one txn
   trace span <off|flight|full>       set the causal span tracer mode
   trace export <path>      write buffered spans as Chrome trace JSON (Perfetto)
@@ -482,9 +488,67 @@ int Run() {
         st = bound.status();
         if (bound.ok()) {
           std::printf("monitor listening on http://127.0.0.1:%d "
-                      "(/metrics /healthz /stats /graph /trace /postmortem)\n",
+                      "(/metrics /healthz /stats /graph /trace /postmortem "
+                      "/profile)\n",
                       *bound);
         }
+      }
+    } else if (cmd == "profile") {
+      sentinel::obs::Profiler* profiler = shell.db.profiler();
+      const std::string sub = words.size() >= 2 ? words[1] : "";
+      if (sub == "start") {
+        profiler->Start();
+        std::printf("profiling on\n");
+      } else if (sub == "stop") {
+        profiler->Stop();
+        std::printf("profiling off\n");
+      } else if (sub == "reset") {
+        profiler->Reset();
+        std::printf("profile accounts zeroed\n");
+      } else if (sub == "top") {
+        std::printf("rules by total wall-ns:\n");
+        auto rules = profiler->RuleSnapshots();
+        std::sort(rules.begin(), rules.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.total_wall_ns() > b.total_wall_ns();
+                  });
+        for (const auto& r : rules) {
+          // Conditionless rules never record the condition seam, so the
+          // firing count is the busiest seam's invocation count.
+          const auto firings = std::max(
+              {r.seams[0].invocations, r.seams[1].invocations,
+               r.seams[2].invocations});
+          std::printf("  %-32s %12llu ns (%llu firings)\n", r.name.c_str(),
+                      static_cast<unsigned long long>(r.total_wall_ns()),
+                      static_cast<unsigned long long>(firings));
+        }
+        std::printf("contended sites by wait-ns:\n");
+        for (const auto& site : profiler->TopContended(8)) {
+          std::printf("  %-32s %12llu ns (%llu/%llu contended)\n",
+                      site.site.c_str(),
+                      static_cast<unsigned long long>(site.wait_ns),
+                      static_cast<unsigned long long>(site.contended),
+                      static_cast<unsigned long long>(site.acquisitions));
+        }
+      } else if (sub == "export") {
+        if (words.size() >= 3) {
+          std::FILE* f = std::fopen(words[2].c_str(), "wb");
+          if (f == nullptr) {
+            st = Status::IOError("cannot open " + words[2]);
+          } else {
+            // Folded stacks, the input of flamegraph.pl / inferno.
+            const std::string folded = profiler->FoldedStacks();
+            std::fwrite(folded.data(), 1, folded.size(), f);
+            std::fclose(f);
+            std::printf("folded stacks written to %s (%llu samples)\n",
+                        words[2].c_str(),
+                        static_cast<unsigned long long>(profiler->samples()));
+          }
+        } else {
+          std::printf("%s\n", profiler->ProfileJson().c_str());
+        }
+      } else {
+        std::printf("usage: profile start|stop|reset|top|export [file]\n");
       }
     } else if (cmd == "health") {
       int http_status = 200;

@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Shard-steering load report over a /profile snapshot (DESIGN.md §15).
+
+Reads the JSON served by GET /profile (or `profile export` in the shell),
+attributes cost to interned class symbols, and bin-packs the symbols into N
+shards — the machine-readable input ROADMAP item 2's detector/lock-manager
+partitioning needs:
+
+  * per-symbol cost shares (primitive dispatch + attributed rule cost, as a
+    fraction of total attributed wall-ns),
+  * per-symbol event rates (primitive dispatches per second of profiling),
+  * cross-symbol rule coupling: rules whose triggering occurrences span
+    more than one class symbol (composite events over several classes).
+    Coupled symbols are merged before packing — splitting them across
+    shards would turn every such rule firing into a cross-shard detection.
+
+Packing is greedy LPT (longest-processing-time) over the coupled groups:
+groups sorted by cost descending, each placed into the currently lightest
+shard, which is within 4/3 of the optimal makespan — plenty for a steering
+report whose inputs are measured shares, not exact costs.
+
+Usage:
+  tools/shard_plan.py [--shards N] [--json] [profile.json]
+  tools/shard_plan.py --selftest
+
+Reads stdin when no file is given. --json emits only the machine-readable
+plan; the default also prints a human-readable table. --selftest runs the
+packer against a built-in fixture and asserts the report invariants (every
+shard non-empty, cost shares summing to ~1.0, coupled symbols co-located).
+"""
+
+import argparse
+import json
+import sys
+
+
+def _merge_coupled(symbols, rules):
+    """Union-find over symbols: rules touching several symbols couple them."""
+    parent = {s: s for s in symbols}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    coupling = []
+    for rule in rules:
+        syms = [s for s in rule.get("symbols", []) if s in parent]
+        if len(syms) > 1:
+            coupling.append({
+                "rule": rule.get("name", "?"),
+                "symbols": sorted(syms),
+                "total_wall_ns": rule.get("total_wall_ns", 0),
+            })
+            for other in syms[1:]:
+                union(syms[0], other)
+
+    groups = {}
+    for sym in symbols:
+        groups.setdefault(find(sym), []).append(sym)
+    return sorted(groups.values(), key=lambda g: sorted(g)), coupling
+
+
+def build_plan(profile, shard_count):
+    """The shard-steering report for one /profile snapshot."""
+    duration_s = profile.get("duration_ns", 0) / 1e9
+    symbol_rows = profile.get("symbols", [])
+
+    cost = {}
+    events = {}
+    for row in symbol_rows:
+        name = row["symbol"]
+        cost[name] = row.get("total_wall_ns",
+                             row.get("events", {}).get("wall_ns", 0) +
+                             row.get("rules", {}).get("wall_ns", 0))
+        events[name] = row.get("events", {}).get("invocations", 0)
+
+    total_cost = sum(cost.values())
+    groups, coupling = _merge_coupled(list(cost), profile.get("rules", []))
+
+    # Never plan more shards than there are packable groups — an empty shard
+    # is a lie about achievable parallelism.
+    shard_count = max(1, min(shard_count, len(groups) or 1))
+
+    shards = [{
+        "id": i,
+        "symbols": [],
+        "cost_ns": 0,
+        "events": 0,
+    } for i in range(shard_count)]
+
+    def group_cost(group):
+        return sum(cost[s] for s in group)
+
+    for group in sorted(groups, key=group_cost, reverse=True):
+        target = min(shards, key=lambda s: s["cost_ns"])
+        target["symbols"].extend(sorted(group))
+        target["cost_ns"] += group_cost(group)
+        target["events"] += sum(events[s] for s in group)
+
+    for shard in shards:
+        shard["cost_share"] = (
+            shard["cost_ns"] / total_cost if total_cost else 0.0)
+        shard["events_per_sec"] = (
+            shard["events"] / duration_s if duration_s else 0.0)
+
+    return {
+        "shard_count": shard_count,
+        "duration_ns": profile.get("duration_ns", 0),
+        "total_cost_ns": total_cost,
+        "symbols": [{
+            "symbol": name,
+            "cost_ns": cost[name],
+            "cost_share": cost[name] / total_cost if total_cost else 0.0,
+            "events": events[name],
+            "events_per_sec": (
+                events[name] / duration_s if duration_s else 0.0),
+        } for name in sorted(cost, key=cost.get, reverse=True)],
+        "coupling": coupling,
+        "shards": shards,
+    }
+
+
+def check_invariants(plan):
+    """Raises AssertionError when the plan violates the report contract."""
+    shards = plan["shards"]
+    assert shards, "plan has no shards"
+    for shard in shards:
+        assert shard["symbols"], f"shard {shard['id']} is empty"
+    if plan["total_cost_ns"] > 0:
+        share = sum(s["cost_share"] for s in shards)
+        assert abs(share - 1.0) < 1e-9, f"cost shares sum to {share}"
+    placed = [sym for shard in shards for sym in shard["symbols"]]
+    assert len(placed) == len(set(placed)), "symbol placed twice"
+    where = {sym: shard["id"] for shard in shards for sym in shard["symbols"]}
+    for couple in plan["coupling"]:
+        homes = {where[s] for s in couple["symbols"] if s in where}
+        assert len(homes) <= 1, (
+            f"rule {couple['rule']} split across shards {sorted(homes)}")
+
+
+FIXTURE = {
+    # The inventory example's shape: stock trades dominate, audit couples
+    # ORDER and AUDIT through one composite rule, WAREHOUSE idles along.
+    "mode": "on",
+    "duration_ns": 2_000_000_000,
+    "samples": 1800,
+    "rules": [
+        {"name": "reorder_on_low_stock", "total_wall_ns": 900_000,
+         "symbols": ["STOCK"]},
+        {"name": "audit_large_orders", "total_wall_ns": 400_000,
+         "symbols": ["AUDIT", "ORDER"]},
+        {"name": "restock_warehouse", "total_wall_ns": 100_000,
+         "symbols": ["WAREHOUSE"]},
+    ],
+    "symbols": [
+        {"symbol": "STOCK", "events": {"invocations": 50_000,
+                                       "wall_ns": 600_000},
+         "rules": {"wall_ns": 900_000}, "total_wall_ns": 1_500_000},
+        {"symbol": "ORDER", "events": {"invocations": 8_000,
+                                       "wall_ns": 150_000},
+         "rules": {"wall_ns": 250_000}, "total_wall_ns": 400_000},
+        {"symbol": "AUDIT", "events": {"invocations": 2_000,
+                                       "wall_ns": 40_000},
+         "rules": {"wall_ns": 160_000}, "total_wall_ns": 200_000},
+        {"symbol": "WAREHOUSE", "events": {"invocations": 500,
+                                           "wall_ns": 20_000},
+         "rules": {"wall_ns": 80_000}, "total_wall_ns": 100_000},
+    ],
+}
+
+
+def selftest():
+    for shard_count in (1, 2, 3, 8):
+        plan = build_plan(FIXTURE, shard_count)
+        check_invariants(plan)
+    plan = build_plan(FIXTURE, 2)
+    # ORDER and AUDIT are coupled by audit_large_orders: one home shard.
+    where = {sym: s["id"] for s in plan["shards"] for sym in s["symbols"]}
+    assert where["ORDER"] == where["AUDIT"]
+    # STOCK dominates, so LPT keeps it away from the coupled pair.
+    assert where["STOCK"] != where["ORDER"]
+    # Shares reflect the fixture: STOCK alone is 1.5M of 2.2M total.
+    stock = next(s for s in plan["symbols"] if s["symbol"] == "STOCK")
+    assert abs(stock["cost_share"] - 1_500_000 / 2_200_000) < 1e-9
+    assert stock["events_per_sec"] == 25_000.0
+    # Requesting more shards than groups collapses to the group count.
+    assert build_plan(FIXTURE, 8)["shard_count"] == 3
+    empty = build_plan({"mode": "off", "duration_ns": 0, "rules": [],
+                        "symbols": []}, 4)
+    assert empty["shard_count"] == 1 and empty["total_cost_ns"] == 0
+    print("shard_plan selftest: OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Shard-steering load report over a /profile snapshot.")
+    parser.add_argument("profile", nargs="?",
+                        help="profile JSON file (stdin when omitted)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="target shard count (default 2)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit only the machine-readable plan")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in fixture checks and exit")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+
+    if args.profile:
+        with open(args.profile) as f:
+            profile = json.load(f)
+    else:
+        profile = json.load(sys.stdin)
+
+    if not profile.get("symbols"):
+        print("no symbol cost accounts in profile "
+              "(is profiling on? did any events fire?)", file=sys.stderr)
+        return 1
+
+    plan = build_plan(profile, args.shards)
+    check_invariants(plan)
+
+    if args.json:
+        json.dump(plan, sys.stdout, indent=2)
+        print()
+        return 0
+
+    print(f"shard plan: {plan['shard_count']} shards over "
+          f"{len(plan['symbols'])} symbols, "
+          f"total attributed cost {plan['total_cost_ns'] / 1e6:.2f} ms")
+    for sym in plan["symbols"]:
+        print(f"  {sym['symbol']:24s} share {sym['cost_share']:6.1%}   "
+              f"{sym['events_per_sec']:12.1f} events/s")
+    if plan["coupling"]:
+        print("cross-symbol rule coupling:")
+        for couple in plan["coupling"]:
+            print(f"  {couple['rule']:24s} couples "
+                  f"{', '.join(couple['symbols'])}")
+    for shard in plan["shards"]:
+        print(f"shard {shard['id']}: share {shard['cost_share']:6.1%}   "
+              f"{shard['events_per_sec']:12.1f} events/s   "
+              f"symbols: {', '.join(shard['symbols'])}")
+    json.dump(plan, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
